@@ -1,0 +1,118 @@
+//! Sequencer election.
+//!
+//! When an application starts on Amoeba, one machine is elected sequencer
+//! ("like a committee electing a chairman"); if it crashes the remaining
+//! members elect a new one. The election rule used here is the standard
+//! deterministic one for a known membership: the lowest-numbered live node is
+//! the sequencer. [`Membership`] tracks which members each node currently
+//! believes to be alive and answers the "who is sequencer now?" question; the
+//! group-communication layer consults it whenever it stops hearing from the
+//! current sequencer.
+
+use std::collections::BTreeSet;
+
+use parking_lot::RwLock;
+
+use crate::node::NodeId;
+
+/// Pick the sequencer among a set of live members: the lowest node id.
+///
+/// Returns `None` when no member is alive.
+pub fn elect_sequencer(alive: &[NodeId]) -> Option<NodeId> {
+    alive.iter().copied().min()
+}
+
+/// A node's view of which group members are alive.
+#[derive(Debug)]
+pub struct Membership {
+    members: RwLock<BTreeSet<NodeId>>,
+    all: Vec<NodeId>,
+}
+
+impl Membership {
+    /// Create a membership view containing all of `members`, all alive.
+    pub fn new(members: &[NodeId]) -> Self {
+        Membership {
+            members: RwLock::new(members.iter().copied().collect()),
+            all: members.to_vec(),
+        }
+    }
+
+    /// The full (initial) member list, alive or not.
+    pub fn all_members(&self) -> &[NodeId] {
+        &self.all
+    }
+
+    /// Current set of members believed alive, in id order.
+    pub fn alive(&self) -> Vec<NodeId> {
+        self.members.read().iter().copied().collect()
+    }
+
+    /// Number of members believed alive.
+    pub fn alive_count(&self) -> usize {
+        self.members.read().len()
+    }
+
+    /// Mark a member as failed.
+    pub fn mark_failed(&self, node: NodeId) {
+        self.members.write().remove(&node);
+    }
+
+    /// Mark a member as alive again (rejoin).
+    pub fn mark_alive(&self, node: NodeId) {
+        if self.all.contains(&node) {
+            self.members.write().insert(node);
+        }
+    }
+
+    /// True if `node` is believed alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.members.read().contains(&node)
+    }
+
+    /// The member currently elected sequencer (lowest live id).
+    pub fn sequencer(&self) -> Option<NodeId> {
+        self.members.read().iter().next().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowest_live_node_is_sequencer() {
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        assert_eq!(elect_sequencer(&nodes), Some(NodeId(0)));
+        assert_eq!(elect_sequencer(&nodes[1..]), Some(NodeId(1)));
+        assert_eq!(elect_sequencer(&[]), None);
+    }
+
+    #[test]
+    fn membership_tracks_failures_and_reelects() {
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let membership = Membership::new(&nodes);
+        assert_eq!(membership.sequencer(), Some(NodeId(0)));
+        assert_eq!(membership.alive_count(), 4);
+
+        membership.mark_failed(NodeId(0));
+        assert_eq!(membership.sequencer(), Some(NodeId(1)));
+        assert!(!membership.is_alive(NodeId(0)));
+
+        membership.mark_failed(NodeId(1));
+        membership.mark_failed(NodeId(2));
+        membership.mark_failed(NodeId(3));
+        assert_eq!(membership.sequencer(), None);
+
+        membership.mark_alive(NodeId(2));
+        assert_eq!(membership.sequencer(), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn unknown_member_cannot_join() {
+        let membership = Membership::new(&[NodeId(0), NodeId(1)]);
+        membership.mark_alive(NodeId(9));
+        assert!(!membership.is_alive(NodeId(9)));
+        assert_eq!(membership.all_members().len(), 2);
+    }
+}

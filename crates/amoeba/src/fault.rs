@@ -1,0 +1,163 @@
+//! Fault injection for the simulated network.
+//!
+//! The Ethernet underlying the paper's system is unreliable: packets can be
+//! lost (receiver overrun, collisions), occasionally duplicated, and --
+//! as observed by the layers above -- reordered. The PB/BB protocols in
+//! `orca-group` exist precisely to build totally-ordered *reliable*
+//! broadcasting on top of this. The [`FaultConfig`] lets tests and benchmarks
+//! dial in a failure rate; the default is a perfectly reliable network.
+
+use crate::rng::SplitMix64;
+
+/// Probability-based fault injection parameters for one network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a delivered copy of a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability that a delivered copy is duplicated (delivered twice).
+    pub duplicate_prob: f64,
+    /// Probability that a delivered copy is held back and released after the
+    /// next message to the same destination (simple reordering model).
+    pub reorder_prob: f64,
+    /// Seed for the deterministic fault-decision generator.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            reorder_prob: 0.0,
+            seed: 0xA30EBA,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A perfectly reliable network (the default).
+    pub fn reliable() -> Self {
+        FaultConfig::default()
+    }
+
+    /// A lossy network dropping roughly `drop_prob` of all deliveries.
+    pub fn lossy(drop_prob: f64, seed: u64) -> Self {
+        FaultConfig {
+            drop_prob,
+            seed,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// A nasty network that drops, duplicates and reorders deliveries.
+    pub fn chaotic(seed: u64) -> Self {
+        FaultConfig {
+            drop_prob: 0.05,
+            duplicate_prob: 0.03,
+            reorder_prob: 0.05,
+            seed,
+        }
+    }
+
+    /// True if this configuration can never perturb a delivery.
+    pub fn is_reliable(&self) -> bool {
+        self.drop_prob <= 0.0 && self.duplicate_prob <= 0.0 && self.reorder_prob <= 0.0
+    }
+}
+
+/// The action the fault injector decides to take for one delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver the message normally.
+    Deliver,
+    /// Silently drop this copy.
+    Drop,
+    /// Deliver the message twice.
+    Duplicate,
+    /// Hold the message back and release it after the next delivery to the
+    /// same destination.
+    HoldBack,
+}
+
+/// Stateful fault decision maker (one per network, shared across links).
+#[derive(Debug)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: SplitMix64,
+}
+
+impl FaultInjector {
+    /// Create an injector for the given configuration.
+    pub fn new(config: FaultConfig) -> Self {
+        let rng = SplitMix64::new(config.seed);
+        FaultInjector { config, rng }
+    }
+
+    /// The configuration this injector was built from.
+    pub fn config(&self) -> FaultConfig {
+        self.config
+    }
+
+    /// Decide what happens to the next delivery.
+    pub fn decide(&mut self) -> FaultAction {
+        if self.config.is_reliable() {
+            return FaultAction::Deliver;
+        }
+        if self.rng.chance(self.config.drop_prob) {
+            return FaultAction::Drop;
+        }
+        if self.rng.chance(self.config.duplicate_prob) {
+            return FaultAction::Duplicate;
+        }
+        if self.rng.chance(self.config.reorder_prob) {
+            return FaultAction::HoldBack;
+        }
+        FaultAction::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_never_perturbs() {
+        let mut injector = FaultInjector::new(FaultConfig::reliable());
+        for _ in 0..1000 {
+            assert_eq!(injector.decide(), FaultAction::Deliver);
+        }
+    }
+
+    #[test]
+    fn lossy_drops_roughly_expected_fraction() {
+        let mut injector = FaultInjector::new(FaultConfig::lossy(0.3, 99));
+        let drops = (0..10_000)
+            .filter(|_| injector.decide() == FaultAction::Drop)
+            .count();
+        assert!((2_400..3_600).contains(&drops), "drops = {drops}");
+    }
+
+    #[test]
+    fn chaotic_produces_all_actions() {
+        let mut injector = FaultInjector::new(FaultConfig::chaotic(5));
+        let mut seen = [false; 4];
+        for _ in 0..50_000 {
+            match injector.decide() {
+                FaultAction::Deliver => seen[0] = true,
+                FaultAction::Drop => seen[1] = true,
+                FaultAction::Duplicate => seen[2] = true,
+                FaultAction::HoldBack => seen[3] = true,
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "seen = {seen:?}");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = FaultInjector::new(FaultConfig::chaotic(123));
+        let mut b = FaultInjector::new(FaultConfig::chaotic(123));
+        for _ in 0..1000 {
+            assert_eq!(a.decide(), b.decide());
+        }
+    }
+}

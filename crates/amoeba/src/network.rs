@@ -1,0 +1,601 @@
+//! The simulated broadcast network connecting the processor pool.
+//!
+//! A [`Network`] owns one inbox per node; each inbox demultiplexes incoming
+//! messages onto *ports* bound by the layers above (group communication, RPC,
+//! runtime systems, applications). Three transmission primitives exist:
+//!
+//! * [`NetworkHandle::send_reliable`] — point-to-point, never perturbed by
+//!   fault injection. This models Amoeba RPC-style transport, which presents
+//!   reliable request/reply semantics to its users.
+//! * [`NetworkHandle::send`] — point-to-point datagram, subject to fault
+//!   injection. Used by the group-communication protocols, which implement
+//!   their own recovery.
+//! * [`NetworkHandle::broadcast`] — hardware-style broadcast to every node,
+//!   subject to fault injection (each destination copy is perturbed
+//!   independently, like receiver overruns on an Ethernet).
+//!
+//! Messages sent to a port that is not yet bound are buffered and flushed
+//! when the port is bound, so higher layers do not need to orchestrate
+//! start-up order.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::fault::{FaultAction, FaultConfig, FaultInjector};
+use crate::message::{Delivery, NetMessage, WIRE_HEADER_BYTES};
+use crate::node::{ports, NodeId, Port};
+use crate::stats::{NetStats, NetStatsSnapshot};
+
+/// Configuration of a simulated network.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Number of nodes in the processor pool.
+    pub nodes: usize,
+    /// Fault injection applied to unreliable traffic.
+    pub fault: FaultConfig,
+    /// Maximum payload bytes per packet (Ethernet-style MTU). Messages larger
+    /// than this are accounted as multiple packets. The paper's dynamic PB/BB
+    /// choice switches protocol at one packet.
+    pub packet_payload: usize,
+}
+
+impl NetworkConfig {
+    /// A reliable network with `nodes` nodes and Ethernet-like packets.
+    pub fn reliable(nodes: usize) -> Self {
+        NetworkConfig {
+            nodes,
+            fault: FaultConfig::reliable(),
+            packet_payload: DEFAULT_PACKET_PAYLOAD,
+        }
+    }
+
+    /// A network with the given fault configuration.
+    pub fn with_fault(nodes: usize, fault: FaultConfig) -> Self {
+        NetworkConfig {
+            nodes,
+            fault,
+            packet_payload: DEFAULT_PACKET_PAYLOAD,
+        }
+    }
+}
+
+/// Default packet payload (10 Mb/s Ethernet MTU minus headers).
+pub const DEFAULT_PACKET_PAYLOAD: usize = 1480;
+
+/// Errors surfaced by the network layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The destination node id is outside the processor pool.
+    NoSuchNode(NodeId),
+    /// A blocking receive timed out.
+    Timeout,
+    /// The channel behind a port was disconnected (network shut down).
+    Disconnected,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::NoSuchNode(node) => write!(f, "no such node: {node}"),
+            NetError::Timeout => write!(f, "receive timed out"),
+            NetError::Disconnected => write!(f, "port disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+struct NodeInbox {
+    /// Bound ports and their delivery channels.
+    bound: Mutex<HashMap<Port, Sender<NetMessage>>>,
+    /// Messages that arrived for a port before it was bound.
+    pending: Mutex<HashMap<Port, Vec<NetMessage>>>,
+    /// Messages held back by the reordering fault, keyed by port.
+    holdback: Mutex<Vec<NetMessage>>,
+    /// True when the node is simulated as crashed.
+    crashed: AtomicBool,
+}
+
+impl NodeInbox {
+    fn new() -> Self {
+        NodeInbox {
+            bound: Mutex::new(HashMap::new()),
+            pending: Mutex::new(HashMap::new()),
+            holdback: Mutex::new(Vec::new()),
+            crashed: AtomicBool::new(false),
+        }
+    }
+}
+
+struct NetworkCore {
+    config: NetworkConfig,
+    inboxes: Vec<NodeInbox>,
+    stats: NetStats,
+    injector: Mutex<FaultInjector>,
+    next_ephemeral: AtomicU64,
+}
+
+/// A simulated broadcast network shared by all nodes of the processor pool.
+///
+/// `Network` is cheaply cloneable (it is an `Arc` internally); clones refer to
+/// the same network.
+#[derive(Clone)]
+pub struct Network {
+    core: Arc<NetworkCore>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.core.config.nodes)
+            .field("fault", &self.core.config.fault)
+            .finish()
+    }
+}
+
+impl Network {
+    /// Create a network from a configuration.
+    pub fn new(config: NetworkConfig) -> Self {
+        assert!(config.nodes > 0, "network needs at least one node");
+        assert!(config.packet_payload > 0, "packet payload must be positive");
+        let inboxes = (0..config.nodes).map(|_| NodeInbox::new()).collect();
+        let stats = NetStats::new(config.nodes);
+        let injector = Mutex::new(FaultInjector::new(config.fault));
+        Network {
+            core: Arc::new(NetworkCore {
+                config,
+                inboxes,
+                stats,
+                injector,
+                next_ephemeral: AtomicU64::new(ports::EPHEMERAL_BASE),
+            }),
+        }
+    }
+
+    /// Convenience constructor for a reliable network.
+    pub fn reliable(nodes: usize) -> Self {
+        Network::new(NetworkConfig::reliable(nodes))
+    }
+
+    /// Number of nodes in the pool.
+    pub fn num_nodes(&self) -> usize {
+        self.core.config.nodes
+    }
+
+    /// All node ids, in order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        (0..self.core.config.nodes).map(NodeId::from).collect()
+    }
+
+    /// The configuration the network was built with.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.core.config
+    }
+
+    /// Obtain the per-node handle used to send and receive messages.
+    pub fn handle(&self, node: NodeId) -> NetworkHandle {
+        assert!(node.index() < self.core.config.nodes, "no such node {node}");
+        NetworkHandle {
+            core: Arc::clone(&self.core),
+            node,
+        }
+    }
+
+    /// Snapshot of all statistics counters.
+    pub fn stats(&self) -> NetStatsSnapshot {
+        self.core.stats.snapshot()
+    }
+
+    /// Simulate a crash of `node`: all traffic to and from it is discarded
+    /// until [`Network::recover`] is called.
+    pub fn crash(&self, node: NodeId) {
+        self.core.inboxes[node.index()]
+            .crashed
+            .store(true, Ordering::SeqCst);
+    }
+
+    /// Undo a simulated crash.
+    pub fn recover(&self, node: NodeId) {
+        self.core.inboxes[node.index()]
+            .crashed
+            .store(false, Ordering::SeqCst);
+    }
+
+    /// True if `node` is currently simulated as crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.core.inboxes[node.index()].crashed.load(Ordering::SeqCst)
+    }
+
+    /// Nodes that are currently alive (not crashed).
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .into_iter()
+            .filter(|n| !self.is_crashed(*n))
+            .collect()
+    }
+
+    /// Number of packets a message of `payload_len` bytes occupies on the
+    /// wire (header included, at least one packet).
+    pub fn packets_for(&self, payload_len: usize) -> usize {
+        packets_for(payload_len, self.core.config.packet_payload)
+    }
+}
+
+/// Number of packets a message of `payload_len` payload bytes occupies given a
+/// per-packet payload capacity.
+pub fn packets_for(payload_len: usize, packet_payload: usize) -> usize {
+    let total = payload_len + WIRE_HEADER_BYTES;
+    total.div_ceil(packet_payload).max(1)
+}
+
+/// Per-node endpoint of the network.
+#[derive(Clone)]
+pub struct NetworkHandle {
+    core: Arc<NetworkCore>,
+    node: NodeId,
+}
+
+impl std::fmt::Debug for NetworkHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetworkHandle").field("node", &self.node).finish()
+    }
+}
+
+impl NetworkHandle {
+    /// The node this handle belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of nodes in the pool.
+    pub fn num_nodes(&self) -> usize {
+        self.core.config.nodes
+    }
+
+    /// All node ids in the pool.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        (0..self.core.config.nodes).map(NodeId::from).collect()
+    }
+
+    /// The whole network this handle belongs to.
+    pub fn network(&self) -> Network {
+        Network {
+            core: Arc::clone(&self.core),
+        }
+    }
+
+    /// Allocate a fresh ephemeral port (unique network-wide).
+    pub fn alloc_ephemeral_port(&self) -> Port {
+        self.core.next_ephemeral.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Bind `port` on this node, returning the receiving end.
+    ///
+    /// Any messages that arrived for the port before it was bound are
+    /// delivered immediately, in arrival order.
+    pub fn bind(&self, port: Port) -> PortReceiver {
+        let (tx, rx) = unbounded();
+        let inbox = &self.core.inboxes[self.node.index()];
+        {
+            let mut bound = inbox.bound.lock();
+            bound.insert(port, tx.clone());
+        }
+        // Flush messages that arrived before the bind.
+        let pending = inbox.pending.lock().remove(&port).unwrap_or_default();
+        for msg in pending {
+            let _ = tx.send(msg);
+        }
+        PortReceiver {
+            core: Arc::clone(&self.core),
+            node: self.node,
+            port,
+            rx,
+        }
+    }
+
+    /// Reliable point-to-point send (models Amoeba RPC transport).
+    pub fn send_reliable(&self, dst: NodeId, port: Port, payload: Vec<u8>) -> Result<(), NetError> {
+        self.transmit(dst, port, payload, Delivery::PointToPoint, true)
+    }
+
+    /// Unreliable point-to-point datagram (subject to fault injection).
+    pub fn send(&self, dst: NodeId, port: Port, payload: Vec<u8>) -> Result<(), NetError> {
+        self.transmit(dst, port, payload, Delivery::PointToPoint, false)
+    }
+
+    /// Unreliable hardware-style broadcast to every node (including the
+    /// sender). Each destination copy is perturbed independently by the fault
+    /// injector, but the transmission is counted once on the wire.
+    pub fn broadcast(&self, port: Port, payload: Vec<u8>) -> Result<(), NetError> {
+        let src = self.node;
+        if self.core.inboxes[src.index()].crashed.load(Ordering::SeqCst) {
+            return Ok(()); // a crashed node's transmissions go nowhere
+        }
+        let wire_bytes = payload.len() + WIRE_HEADER_BYTES;
+        let packets = packets_for(payload.len(), self.core.config.packet_payload);
+        self.core.stats.record_broadcast_send(src, wire_bytes, packets);
+        for dst_index in 0..self.core.config.nodes {
+            let dst = NodeId::from(dst_index);
+            let msg = NetMessage {
+                src,
+                port,
+                delivery: Delivery::Broadcast,
+                payload: payload.clone(),
+            };
+            self.deliver(dst, msg, false);
+        }
+        Ok(())
+    }
+
+    fn transmit(
+        &self,
+        dst: NodeId,
+        port: Port,
+        payload: Vec<u8>,
+        delivery: Delivery,
+        reliable: bool,
+    ) -> Result<(), NetError> {
+        if dst.index() >= self.core.config.nodes {
+            return Err(NetError::NoSuchNode(dst));
+        }
+        let src = self.node;
+        if self.core.inboxes[src.index()].crashed.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let wire_bytes = payload.len() + WIRE_HEADER_BYTES;
+        let packets = packets_for(payload.len(), self.core.config.packet_payload);
+        self.core.stats.record_p2p_send(src, wire_bytes, packets);
+        let msg = NetMessage {
+            src,
+            port,
+            delivery,
+            payload,
+        };
+        self.deliver(dst, msg, reliable);
+        Ok(())
+    }
+
+    fn deliver(&self, dst: NodeId, msg: NetMessage, reliable: bool) {
+        let inbox = &self.core.inboxes[dst.index()];
+        if inbox.crashed.load(Ordering::SeqCst) {
+            self.core.stats.record_drop(dst);
+            return;
+        }
+        let action = if reliable {
+            FaultAction::Deliver
+        } else {
+            self.core.injector.lock().decide()
+        };
+        match action {
+            FaultAction::Drop => {
+                self.core.stats.record_drop(dst);
+            }
+            FaultAction::Deliver => {
+                self.enqueue(dst, msg);
+                self.release_holdback(dst);
+            }
+            FaultAction::Duplicate => {
+                self.enqueue(dst, msg.clone());
+                self.enqueue(dst, msg);
+                self.release_holdback(dst);
+            }
+            FaultAction::HoldBack => {
+                inbox.holdback.lock().push(msg);
+            }
+        }
+    }
+
+    fn release_holdback(&self, dst: NodeId) {
+        let held: Vec<NetMessage> = {
+            let mut holdback = self.core.inboxes[dst.index()].holdback.lock();
+            std::mem::take(&mut *holdback)
+        };
+        for msg in held {
+            self.enqueue(dst, msg);
+        }
+    }
+
+    fn enqueue(&self, dst: NodeId, msg: NetMessage) {
+        let inbox = &self.core.inboxes[dst.index()];
+        let wire_bytes = msg.wire_size();
+        self.core.stats.record_delivery(dst, wire_bytes);
+        let bound = inbox.bound.lock();
+        let msg = if let Some(tx) = bound.get(&msg.port) {
+            match tx.send(msg) {
+                Ok(()) => return,
+                Err(err) => err.0,
+            }
+        } else {
+            msg
+        };
+        drop(bound);
+        // Port not bound (yet) or receiver dropped concurrently: buffer it.
+        inbox.pending.lock().entry(msg.port).or_default().push(msg);
+    }
+}
+
+/// Receiving end of a bound port. Unbinds the port when dropped.
+pub struct PortReceiver {
+    core: Arc<NetworkCore>,
+    node: NodeId,
+    port: Port,
+    rx: Receiver<NetMessage>,
+}
+
+impl std::fmt::Debug for PortReceiver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PortReceiver")
+            .field("node", &self.node)
+            .field("port", &self.port)
+            .finish()
+    }
+}
+
+impl PortReceiver {
+    /// The node this receiver lives on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The port this receiver is bound to.
+    pub fn port(&self) -> Port {
+        self.port
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Result<NetMessage, NetError> {
+        self.rx.recv().map_err(|_| NetError::Disconnected)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<NetMessage> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Blocking receive with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<NetMessage, NetError> {
+        self.rx.recv_timeout(timeout).map_err(|err| match err {
+            RecvTimeoutError::Timeout => NetError::Timeout,
+            RecvTimeoutError::Disconnected => NetError::Disconnected,
+        })
+    }
+
+    /// Number of messages waiting in the port queue.
+    pub fn queued(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Borrow the underlying channel receiver, e.g. for use in
+    /// `crossbeam::select!` loops that also watch command channels.
+    pub fn receiver(&self) -> &Receiver<NetMessage> {
+        &self.rx
+    }
+}
+
+impl Drop for PortReceiver {
+    fn drop(&mut self) {
+        let inbox = &self.core.inboxes[self.node.index()];
+        inbox.bound.lock().remove(&self.port);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let net = Network::reliable(3);
+        let rx = net.handle(NodeId(2)).bind(ports::USER_BASE);
+        net.handle(NodeId(0))
+            .send_reliable(NodeId(2), ports::USER_BASE, vec![1, 2, 3])
+            .unwrap();
+        let msg = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(msg.src, NodeId(0));
+        assert_eq!(msg.payload, vec![1, 2, 3]);
+        assert_eq!(msg.delivery, Delivery::PointToPoint);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_node_including_sender() {
+        let net = Network::reliable(4);
+        let receivers: Vec<_> = net
+            .node_ids()
+            .into_iter()
+            .map(|n| net.handle(n).bind(ports::USER_BASE))
+            .collect();
+        net.handle(NodeId(1)).broadcast(ports::USER_BASE, vec![9]).unwrap();
+        for rx in &receivers {
+            let msg = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(msg.src, NodeId(1));
+            assert_eq!(msg.delivery, Delivery::Broadcast);
+        }
+    }
+
+    #[test]
+    fn messages_before_bind_are_buffered() {
+        let net = Network::reliable(2);
+        net.handle(NodeId(0))
+            .send_reliable(NodeId(1), 77, vec![42])
+            .unwrap();
+        let rx = net.handle(NodeId(1)).bind(77);
+        let msg = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(msg.payload, vec![42]);
+    }
+
+    #[test]
+    fn crash_discards_traffic_and_recover_restores_it() {
+        let net = Network::reliable(2);
+        let rx = net.handle(NodeId(1)).bind(5);
+        net.crash(NodeId(1));
+        assert!(net.is_crashed(NodeId(1)));
+        net.handle(NodeId(0)).send_reliable(NodeId(1), 5, vec![1]).unwrap();
+        assert!(rx.recv_timeout(Duration::from_millis(50)).is_err());
+        net.recover(NodeId(1));
+        net.handle(NodeId(0)).send_reliable(NodeId(1), 5, vec![2]).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap().payload, vec![2]);
+        assert_eq!(net.alive_nodes().len(), 2);
+    }
+
+    #[test]
+    fn lossy_network_drops_unreliable_but_not_reliable_traffic() {
+        let net = Network::new(NetworkConfig::with_fault(2, FaultConfig::lossy(1.0, 1)));
+        let rx = net.handle(NodeId(1)).bind(5);
+        let handle = net.handle(NodeId(0));
+        handle.send(NodeId(1), 5, vec![1]).unwrap();
+        assert!(rx.recv_timeout(Duration::from_millis(50)).is_err());
+        handle.send_reliable(NodeId(1), 5, vec![2]).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap().payload, vec![2]);
+        assert!(net.stats().total_dropped() >= 1);
+    }
+
+    #[test]
+    fn stats_account_broadcast_once_on_wire() {
+        let net = Network::reliable(8);
+        let _receivers: Vec<_> = net
+            .node_ids()
+            .into_iter()
+            .map(|n| net.handle(n).bind(1))
+            .collect();
+        net.handle(NodeId(0)).broadcast(1, vec![0; 100]).unwrap();
+        let stats = net.stats();
+        assert_eq!(stats.node(NodeId(0)).broadcasts_sent, 1);
+        assert_eq!(stats.total_wire_bytes(), (100 + WIRE_HEADER_BYTES) as u64);
+        assert_eq!(stats.total_interrupts(), 8);
+    }
+
+    #[test]
+    fn packets_for_fragmentation() {
+        assert_eq!(packets_for(0, 1480), 1);
+        assert_eq!(packets_for(1000, 1480), 1);
+        assert_eq!(packets_for(1480, 1480), 2);
+        assert_eq!(packets_for(10_000, 1480), 7);
+    }
+
+    #[test]
+    fn ephemeral_ports_are_unique() {
+        let net = Network::reliable(2);
+        let handle = net.handle(NodeId(0));
+        let a = handle.alloc_ephemeral_port();
+        let b = handle.alloc_ephemeral_port();
+        let c = net.handle(NodeId(1)).alloc_ephemeral_port();
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert!(a >= ports::EPHEMERAL_BASE);
+    }
+
+    #[test]
+    fn send_to_unknown_node_errors() {
+        let net = Network::reliable(2);
+        let err = net
+            .handle(NodeId(0))
+            .send_reliable(NodeId(9), 1, vec![])
+            .unwrap_err();
+        assert_eq!(err, NetError::NoSuchNode(NodeId(9)));
+    }
+}

@@ -1,0 +1,178 @@
+//! Processes and threads on the simulated processor pool.
+//!
+//! Amoeba's first microkernel function is managing processes and threads;
+//! Orca's `fork` statement creates a new process, optionally on an explicitly
+//! chosen processor. Here an Orca process is an OS thread tagged with the
+//! [`NodeId`] it runs on, and the [`ProcessorPool`] keeps the bookkeeping the
+//! Orca runtime needs: which processes run where, round-robin default
+//! placement, and joining at program end.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crate::node::NodeId;
+
+/// Identifier of a spawned process (unique within one pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub u64);
+
+/// Handle to a running process; joining returns the process result.
+pub struct ProcessHandle<T> {
+    id: ProcessId,
+    node: NodeId,
+    thread: JoinHandle<T>,
+}
+
+impl<T> std::fmt::Debug for ProcessHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessHandle")
+            .field("id", &self.id)
+            .field("node", &self.node)
+            .finish()
+    }
+}
+
+impl<T> ProcessHandle<T> {
+    /// Identifier of the process.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Node the process was placed on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Wait for the process to finish and return its result.
+    ///
+    /// Panics if the process itself panicked, propagating the failure to the
+    /// caller the way a crashed Orca process would abort the program.
+    pub fn join(self) -> T {
+        match self.thread.join() {
+            Ok(value) => value,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+struct PoolState {
+    placements: Vec<(ProcessId, NodeId)>,
+    next_round_robin: usize,
+}
+
+/// Bookkeeping for process placement on the processor pool.
+#[derive(Clone)]
+pub struct ProcessorPool {
+    nodes: usize,
+    next_id: Arc<AtomicU64>,
+    state: Arc<Mutex<PoolState>>,
+}
+
+impl std::fmt::Debug for ProcessorPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessorPool").field("nodes", &self.nodes).finish()
+    }
+}
+
+impl ProcessorPool {
+    /// Create a pool of `nodes` processors.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "pool needs at least one node");
+        ProcessorPool {
+            nodes,
+            next_id: Arc::new(AtomicU64::new(1)),
+            state: Arc::new(Mutex::new(PoolState {
+                placements: Vec::new(),
+                next_round_robin: 0,
+            })),
+        }
+    }
+
+    /// Number of processors in the pool.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Spawn a process on an explicit node (Orca's `fork f() on (cpu)` form).
+    pub fn spawn_on<T, F>(&self, node: NodeId, name: &str, body: F) -> ProcessHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        assert!(node.index() < self.nodes, "no such node {node}");
+        let id = ProcessId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.state.lock().placements.push((id, node));
+        let thread = std::thread::Builder::new()
+            .name(format!("{name}@{node}"))
+            .spawn(body)
+            .expect("spawn orca process thread");
+        ProcessHandle { id, node, thread }
+    }
+
+    /// Spawn a process on the next node in round-robin order (the default
+    /// placement used when the programmer does not name a processor).
+    pub fn spawn<T, F>(&self, name: &str, body: F) -> ProcessHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let node = {
+            let mut state = self.state.lock();
+            let node = NodeId::from(state.next_round_robin % self.nodes);
+            state.next_round_robin += 1;
+            node
+        };
+        self.spawn_on(node, name, body)
+    }
+
+    /// Number of processes ever placed on `node`.
+    pub fn processes_on(&self, node: NodeId) -> usize {
+        self.state
+            .lock()
+            .placements
+            .iter()
+            .filter(|(_, placed)| *placed == node)
+            .count()
+    }
+
+    /// Total number of processes ever spawned.
+    pub fn total_processes(&self) -> usize {
+        self.state.lock().placements.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_on_runs_and_joins() {
+        let pool = ProcessorPool::new(2);
+        let handle = pool.spawn_on(NodeId(1), "worker", || 41 + 1);
+        assert_eq!(handle.node(), NodeId(1));
+        assert_eq!(handle.join(), 42);
+    }
+
+    #[test]
+    fn round_robin_placement_cycles_through_nodes() {
+        let pool = ProcessorPool::new(3);
+        let handles: Vec<_> = (0..6).map(|i| pool.spawn("w", move || i)).collect();
+        let nodes: Vec<_> = handles.iter().map(|h| h.node().index()).collect();
+        assert_eq!(nodes, vec![0, 1, 2, 0, 1, 2]);
+        for (i, handle) in handles.into_iter().enumerate() {
+            assert_eq!(handle.join(), i);
+        }
+        assert_eq!(pool.total_processes(), 6);
+        assert_eq!(pool.processes_on(NodeId(0)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no such node")]
+    fn spawn_on_unknown_node_panics() {
+        let pool = ProcessorPool::new(1);
+        let _ = pool.spawn_on(NodeId(5), "w", || ());
+    }
+}

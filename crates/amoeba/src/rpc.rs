@@ -1,0 +1,371 @@
+//! Remote procedure calls over the simulated network.
+//!
+//! Amoeba's microkernel offers RPC between arbitrary threads as its basic
+//! point-to-point communication primitive; the point-to-point runtime system
+//! of the paper is built entirely from RPCs (write to primary, invalidate
+//! copy, fetch copy, ...). This module provides the same shape:
+//!
+//! * [`RpcServer::serve`] registers a handler on a well-known port of a node
+//!   and dispatches incoming requests on a dedicated thread.
+//! * [`rpc_call`] sends a request to `(node, port)` and blocks until the
+//!   reply arrives.
+//!
+//! Requests and replies are carried over the *reliable* point-to-point
+//! primitive of the network, mirroring the at-most-once, reliable semantics
+//! Amoeba RPC presents to its users.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use orca_wire::{Decoder, Encoder, Wire, WireResult};
+
+use crate::network::{NetError, NetworkHandle};
+use crate::node::{NodeId, Port};
+
+/// Wire format of an RPC request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcRequest {
+    /// Identifier chosen by the client, echoed in the reply.
+    pub request_id: u64,
+    /// Ephemeral port on the client node where the reply is expected.
+    pub reply_port: Port,
+    /// Serialized request body (interpreted by the service).
+    pub body: Vec<u8>,
+}
+
+impl Wire for RpcRequest {
+    fn encode(&self, enc: &mut Encoder) {
+        self.request_id.encode(enc);
+        self.reply_port.encode(enc);
+        enc.put_bytes(&self.body);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        Ok(RpcRequest {
+            request_id: Wire::decode(dec)?,
+            reply_port: Wire::decode(dec)?,
+            body: dec.get_bytes()?,
+        })
+    }
+}
+
+/// Wire format of an RPC reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcReply {
+    /// Echo of the request id.
+    pub request_id: u64,
+    /// Serialized reply body.
+    pub body: Vec<u8>,
+}
+
+impl Wire for RpcReply {
+    fn encode(&self, enc: &mut Encoder) {
+        self.request_id.encode(enc);
+        enc.put_bytes(&self.body);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        Ok(RpcReply {
+            request_id: Wire::decode(dec)?,
+            body: dec.get_bytes()?,
+        })
+    }
+}
+
+/// Errors surfaced by the RPC layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// Underlying network error.
+    Net(NetError),
+    /// The reply did not arrive within the deadline.
+    Timeout,
+    /// The reply could not be decoded.
+    BadReply(String),
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Net(err) => write!(f, "network error: {err}"),
+            RpcError::Timeout => write!(f, "rpc timed out"),
+            RpcError::BadReply(msg) => write!(f, "bad rpc reply: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<NetError> for RpcError {
+    fn from(err: NetError) -> Self {
+        RpcError::Net(err)
+    }
+}
+
+/// Default deadline for a blocking RPC.
+pub const DEFAULT_RPC_TIMEOUT: Duration = Duration::from_secs(10);
+
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Perform a blocking RPC to `(dst, service_port)` with the default timeout.
+pub fn rpc_call(
+    handle: &NetworkHandle,
+    dst: NodeId,
+    service_port: Port,
+    body: Vec<u8>,
+) -> Result<Vec<u8>, RpcError> {
+    rpc_call_timeout(handle, dst, service_port, body, DEFAULT_RPC_TIMEOUT)
+}
+
+/// Perform a blocking RPC with an explicit timeout.
+pub fn rpc_call_timeout(
+    handle: &NetworkHandle,
+    dst: NodeId,
+    service_port: Port,
+    body: Vec<u8>,
+    timeout: Duration,
+) -> Result<Vec<u8>, RpcError> {
+    let reply_port = handle.alloc_ephemeral_port();
+    let reply_rx = handle.bind(reply_port);
+    let request_id = NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed);
+    let request = RpcRequest {
+        request_id,
+        reply_port,
+        body,
+    };
+    handle.send_reliable(dst, service_port, request.to_bytes())?;
+    loop {
+        let msg = reply_rx.recv_timeout(timeout).map_err(|err| match err {
+            NetError::Timeout => RpcError::Timeout,
+            other => RpcError::Net(other),
+        })?;
+        let reply: RpcReply = msg
+            .decode_payload()
+            .map_err(|err| RpcError::BadReply(err.to_string()))?;
+        if reply.request_id == request_id {
+            return Ok(reply.body);
+        }
+        // A stale reply for a previous (timed-out) call on a reused port;
+        // ignore and keep waiting.
+    }
+}
+
+/// A running RPC service on one node. Stops and joins its dispatch thread
+/// when [`RpcServer::shutdown`] is called or the server is dropped.
+pub struct RpcServer {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+    node: NodeId,
+    port: Port,
+}
+
+impl std::fmt::Debug for RpcServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RpcServer")
+            .field("node", &self.node)
+            .field("port", &self.port)
+            .finish()
+    }
+}
+
+impl RpcServer {
+    /// Start serving `service_port` on the node owning `handle`.
+    ///
+    /// The handler receives the request body and the caller's node id and
+    /// returns the reply body. It runs on the dispatch thread, so a slow
+    /// handler delays subsequent requests to the same service (as it would on
+    /// a single-threaded Amoeba server thread).
+    pub fn serve<F>(handle: NetworkHandle, service_port: Port, handler: F) -> RpcServer
+    where
+        F: Fn(&[u8], NodeId) -> Vec<u8> + Send + Sync + 'static,
+    {
+        Self::serve_inner(handle, service_port, handler, false)
+    }
+
+    /// Like [`RpcServer::serve`], but each request is handled on its own
+    /// thread so that a handler which itself performs (nested) RPCs cannot
+    /// stall unrelated requests. The primary-copy runtime system uses this:
+    /// its write protocol issues update/invalidate RPCs to other nodes from
+    /// inside a handler.
+    pub fn serve_concurrent<F>(handle: NetworkHandle, service_port: Port, handler: F) -> RpcServer
+    where
+        F: Fn(&[u8], NodeId) -> Vec<u8> + Send + Sync + 'static,
+    {
+        Self::serve_inner(handle, service_port, handler, true)
+    }
+
+    fn serve_inner<F>(
+        handle: NetworkHandle,
+        service_port: Port,
+        handler: F,
+        concurrent: bool,
+    ) -> RpcServer
+    where
+        F: Fn(&[u8], NodeId) -> Vec<u8> + Send + Sync + 'static,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let node = handle.node();
+        let rx = handle.bind(service_port);
+        let handler = Arc::new(handler);
+        let thread = std::thread::Builder::new()
+            .name(format!("rpc-{node}-{service_port}"))
+            .spawn(move || {
+                loop {
+                    if stop_flag.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let msg = match rx.recv_timeout(Duration::from_millis(25)) {
+                        Ok(msg) => msg,
+                        Err(NetError::Timeout) => continue,
+                        Err(_) => return,
+                    };
+                    let request: RpcRequest = match msg.decode_payload() {
+                        Ok(req) => req,
+                        Err(_) => continue, // malformed request: drop it
+                    };
+                    if concurrent {
+                        let handler = Arc::clone(&handler);
+                        let handle = handle.clone();
+                        let src = msg.src;
+                        std::thread::Builder::new()
+                            .name(format!("rpc-worker-{node}-{service_port}"))
+                            .spawn(move || {
+                                let reply_body = handler(&request.body, src);
+                                let reply = RpcReply {
+                                    request_id: request.request_id,
+                                    body: reply_body,
+                                };
+                                let _ =
+                                    handle.send_reliable(src, request.reply_port, reply.to_bytes());
+                            })
+                            .expect("spawn rpc worker thread");
+                    } else {
+                        let reply_body = handler(&request.body, msg.src);
+                        let reply = RpcReply {
+                            request_id: request.request_id,
+                            body: reply_body,
+                        };
+                        let _ = handle.send_reliable(msg.src, request.reply_port, reply.to_bytes());
+                    }
+                }
+            })
+            .expect("spawn rpc dispatch thread");
+        RpcServer {
+            stop,
+            thread: Some(thread),
+            node,
+            port: service_port,
+        }
+    }
+
+    /// Node the service runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Port the service is bound to.
+    pub fn port(&self) -> Port {
+        self.port
+    }
+
+    /// Stop the dispatch thread and wait for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for RpcServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use crate::node::ports;
+
+    #[test]
+    fn echo_rpc_round_trip() {
+        let net = Network::reliable(2);
+        let server_handle = net.handle(NodeId(1));
+        let _server = RpcServer::serve(server_handle, ports::USER_BASE, |body, caller| {
+            let mut reply = body.to_vec();
+            reply.push(caller.0 as u8);
+            reply
+        });
+        let client = net.handle(NodeId(0));
+        let reply = rpc_call(&client, NodeId(1), ports::USER_BASE, vec![1, 2, 3]).unwrap();
+        assert_eq!(reply, vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn concurrent_clients_get_their_own_replies() {
+        let net = Network::reliable(4);
+        let _server = RpcServer::serve(net.handle(NodeId(0)), ports::USER_BASE, |body, _| {
+            let value = u64::from_bytes(body).unwrap();
+            (value * 2).to_bytes()
+        });
+        let mut threads = Vec::new();
+        for node in 1..4u16 {
+            let handle = net.handle(NodeId(node));
+            threads.push(std::thread::spawn(move || {
+                for i in 0..20u64 {
+                    let value = u64::from(node) * 1000 + i;
+                    let reply =
+                        rpc_call(&handle, NodeId(0), ports::USER_BASE, value.to_bytes()).unwrap();
+                    assert_eq!(u64::from_bytes(&reply).unwrap(), value * 2);
+                }
+            }));
+        }
+        for thread in threads {
+            thread.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn rpc_to_crashed_node_times_out() {
+        let net = Network::reliable(2);
+        net.crash(NodeId(1));
+        let client = net.handle(NodeId(0));
+        let err = rpc_call_timeout(
+            &client,
+            NodeId(1),
+            ports::USER_BASE,
+            vec![],
+            Duration::from_millis(100),
+        )
+        .unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+    }
+
+    #[test]
+    fn server_shutdown_joins_thread() {
+        let net = Network::reliable(1);
+        let server = RpcServer::serve(net.handle(NodeId(0)), ports::USER_BASE, |_, _| vec![]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn request_reply_wire_round_trip() {
+        let req = RpcRequest {
+            request_id: 9,
+            reply_port: 1 << 40,
+            body: vec![1, 2, 3],
+        };
+        assert_eq!(RpcRequest::from_bytes(&req.to_bytes()).unwrap(), req);
+        let rep = RpcReply {
+            request_id: 9,
+            body: vec![],
+        };
+        assert_eq!(RpcReply::from_bytes(&rep.to_bytes()).unwrap(), rep);
+    }
+}

@@ -1,0 +1,181 @@
+//! Memory segments, mirroring Amoeba's low-level memory management.
+//!
+//! Amoeba threads allocate and free *segments* — contiguous, memory-resident
+//! blocks that can be mapped into an address space. The Orca runtime uses
+//! segments for object state buffers and for marshalling large messages.
+//! The simulation keeps segments as plain byte vectors in a per-node
+//! registry; the value of modelling them at all is (a) faithfulness of the
+//! substrate inventory and (b) a single place that accounts how much memory
+//! the runtime on each node is using for replicas.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// Identifier of an allocated segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegmentId(pub u64);
+
+/// Errors from the segment manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentError {
+    /// The segment id is not currently allocated.
+    NoSuchSegment(SegmentId),
+    /// Read or write beyond the end of the segment.
+    OutOfBounds {
+        /// Requested end offset.
+        end: usize,
+        /// Segment length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegmentError::NoSuchSegment(id) => write!(f, "no such segment {id:?}"),
+            SegmentError::OutOfBounds { end, len } => {
+                write!(f, "access up to byte {end} exceeds segment length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+/// Per-node memory segment manager.
+#[derive(Clone, Default)]
+pub struct SegmentManager {
+    next_id: Arc<AtomicU64>,
+    segments: Arc<RwLock<HashMap<SegmentId, Vec<u8>>>>,
+}
+
+impl std::fmt::Debug for SegmentManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentManager")
+            .field("segments", &self.segments.read().len())
+            .finish()
+    }
+}
+
+impl SegmentManager {
+    /// Create an empty manager.
+    pub fn new() -> Self {
+        SegmentManager::default()
+    }
+
+    /// Allocate a zero-filled segment of `len` bytes.
+    pub fn allocate(&self, len: usize) -> SegmentId {
+        let id = SegmentId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.segments.write().insert(id, vec![0; len]);
+        id
+    }
+
+    /// Allocate a segment initialized with `data`.
+    pub fn allocate_with(&self, data: Vec<u8>) -> SegmentId {
+        let id = SegmentId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.segments.write().insert(id, data);
+        id
+    }
+
+    /// Free a segment.
+    pub fn free(&self, id: SegmentId) -> Result<(), SegmentError> {
+        self.segments
+            .write()
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(SegmentError::NoSuchSegment(id))
+    }
+
+    /// Length of a segment.
+    pub fn len(&self, id: SegmentId) -> Result<usize, SegmentError> {
+        self.segments
+            .read()
+            .get(&id)
+            .map(Vec::len)
+            .ok_or(SegmentError::NoSuchSegment(id))
+    }
+
+    /// True if no segments are allocated.
+    pub fn is_empty(&self) -> bool {
+        self.segments.read().is_empty()
+    }
+
+    /// Read `len` bytes from `offset`.
+    pub fn read(&self, id: SegmentId, offset: usize, len: usize) -> Result<Vec<u8>, SegmentError> {
+        let segments = self.segments.read();
+        let data = segments.get(&id).ok_or(SegmentError::NoSuchSegment(id))?;
+        let end = offset + len;
+        if end > data.len() {
+            return Err(SegmentError::OutOfBounds { end, len: data.len() });
+        }
+        Ok(data[offset..end].to_vec())
+    }
+
+    /// Write `bytes` at `offset`.
+    pub fn write(&self, id: SegmentId, offset: usize, bytes: &[u8]) -> Result<(), SegmentError> {
+        let mut segments = self.segments.write();
+        let data = segments.get_mut(&id).ok_or(SegmentError::NoSuchSegment(id))?;
+        let end = offset + bytes.len();
+        if end > data.len() {
+            return Err(SegmentError::OutOfBounds { end, len: data.len() });
+        }
+        data[offset..end].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Total bytes currently allocated across all segments.
+    pub fn total_bytes(&self) -> usize {
+        self.segments.read().values().map(Vec::len).sum()
+    }
+
+    /// Number of allocated segments.
+    pub fn count(&self) -> usize {
+        self.segments.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_read_write_free() {
+        let mgr = SegmentManager::new();
+        let id = mgr.allocate(16);
+        assert_eq!(mgr.len(id).unwrap(), 16);
+        mgr.write(id, 4, &[1, 2, 3]).unwrap();
+        assert_eq!(mgr.read(id, 4, 3).unwrap(), vec![1, 2, 3]);
+        assert_eq!(mgr.read(id, 0, 2).unwrap(), vec![0, 0]);
+        mgr.free(id).unwrap();
+        assert_eq!(mgr.free(id), Err(SegmentError::NoSuchSegment(id)));
+        assert!(mgr.is_empty());
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mgr = SegmentManager::new();
+        let id = mgr.allocate(4);
+        assert!(matches!(
+            mgr.read(id, 2, 8),
+            Err(SegmentError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            mgr.write(id, 3, &[0, 0]),
+            Err(SegmentError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn accounting_tracks_totals() {
+        let mgr = SegmentManager::new();
+        let a = mgr.allocate(10);
+        let _b = mgr.allocate_with(vec![7; 22]);
+        assert_eq!(mgr.total_bytes(), 32);
+        assert_eq!(mgr.count(), 2);
+        mgr.free(a).unwrap();
+        assert_eq!(mgr.total_bytes(), 22);
+    }
+}

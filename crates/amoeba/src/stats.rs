@@ -1,0 +1,241 @@
+//! Per-node network statistics.
+//!
+//! The statistics collected here are the raw measurements behind two parts of
+//! the reproduction:
+//!
+//! * the PB-vs-BB comparison of §3.1 (bytes on the wire and interrupts per
+//!   member), and
+//! * the performance model in `orca-perf`, which converts per-node message
+//!   and byte counts into estimated protocol-handling time on the paper's
+//!   hardware.
+//!
+//! Bandwidth is accounted the way an Ethernet would see it: a broadcast puts
+//! the message on the shared medium once, regardless of how many nodes
+//! receive it, while every point-to-point transmission is counted once.
+//! An *interrupt* is one message copy delivered to one node.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::node::NodeId;
+
+/// Atomic per-node counters (internal representation).
+#[derive(Debug, Default)]
+pub struct NodeCounters {
+    /// Point-to-point messages this node transmitted.
+    pub p2p_sent: AtomicU64,
+    /// Broadcast messages this node transmitted.
+    pub broadcasts_sent: AtomicU64,
+    /// Bytes this node placed on the shared medium (headers included).
+    pub bytes_sent: AtomicU64,
+    /// Packets this node placed on the shared medium (after fragmentation).
+    pub packets_sent: AtomicU64,
+    /// Message copies delivered to this node (== interrupts taken).
+    pub interrupts: AtomicU64,
+    /// Bytes delivered to this node.
+    pub bytes_received: AtomicU64,
+    /// Copies destined to this node that the fault injector dropped.
+    pub dropped: AtomicU64,
+}
+
+/// Live statistics for a whole network (one [`NodeCounters`] per node).
+#[derive(Debug)]
+pub struct NetStats {
+    nodes: Vec<NodeCounters>,
+}
+
+impl NetStats {
+    /// Create zeroed statistics for `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        NetStats {
+            nodes: (0..nodes).map(|_| NodeCounters::default()).collect(),
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the network has no nodes (never the case in practice).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access the counters of one node.
+    pub fn node(&self, node: NodeId) -> &NodeCounters {
+        &self.nodes[node.index()]
+    }
+
+    /// Record a point-to-point transmission by `src` of `bytes` wire bytes in
+    /// `packets` packets.
+    pub fn record_p2p_send(&self, src: NodeId, bytes: usize, packets: usize) {
+        let c = self.node(src);
+        c.p2p_sent.fetch_add(1, Ordering::Relaxed);
+        c.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        c.packets_sent.fetch_add(packets as u64, Ordering::Relaxed);
+    }
+
+    /// Record a broadcast transmission by `src`.
+    pub fn record_broadcast_send(&self, src: NodeId, bytes: usize, packets: usize) {
+        let c = self.node(src);
+        c.broadcasts_sent.fetch_add(1, Ordering::Relaxed);
+        c.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        c.packets_sent.fetch_add(packets as u64, Ordering::Relaxed);
+    }
+
+    /// Record one message copy delivered to `dst`.
+    pub fn record_delivery(&self, dst: NodeId, bytes: usize) {
+        let c = self.node(dst);
+        c.interrupts.fetch_add(1, Ordering::Relaxed);
+        c.bytes_received.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Record one message copy destined to `dst` that was dropped.
+    pub fn record_drop(&self, dst: NodeId) {
+        self.node(dst).dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Take a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            per_node: self
+                .nodes
+                .iter()
+                .map(|c| NodeStatsSnapshot {
+                    p2p_sent: c.p2p_sent.load(Ordering::Relaxed),
+                    broadcasts_sent: c.broadcasts_sent.load(Ordering::Relaxed),
+                    bytes_sent: c.bytes_sent.load(Ordering::Relaxed),
+                    packets_sent: c.packets_sent.load(Ordering::Relaxed),
+                    interrupts: c.interrupts.load(Ordering::Relaxed),
+                    bytes_received: c.bytes_received.load(Ordering::Relaxed),
+                    dropped: c.dropped.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of one node's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStatsSnapshot {
+    /// Point-to-point messages sent.
+    pub p2p_sent: u64,
+    /// Broadcast messages sent.
+    pub broadcasts_sent: u64,
+    /// Bytes placed on the wire.
+    pub bytes_sent: u64,
+    /// Packets placed on the wire.
+    pub packets_sent: u64,
+    /// Message copies delivered (interrupts taken).
+    pub interrupts: u64,
+    /// Bytes delivered.
+    pub bytes_received: u64,
+    /// Copies dropped by fault injection.
+    pub dropped: u64,
+}
+
+impl NodeStatsSnapshot {
+    /// Element-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &NodeStatsSnapshot) -> NodeStatsSnapshot {
+        NodeStatsSnapshot {
+            p2p_sent: self.p2p_sent.saturating_sub(earlier.p2p_sent),
+            broadcasts_sent: self.broadcasts_sent.saturating_sub(earlier.broadcasts_sent),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            packets_sent: self.packets_sent.saturating_sub(earlier.packets_sent),
+            interrupts: self.interrupts.saturating_sub(earlier.interrupts),
+            bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
+            dropped: self.dropped.saturating_sub(earlier.dropped),
+        }
+    }
+
+    /// Total messages sent by this node (point-to-point + broadcast).
+    pub fn messages_sent(&self) -> u64 {
+        self.p2p_sent + self.broadcasts_sent
+    }
+}
+
+/// Point-in-time copy of a whole network's counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStatsSnapshot {
+    /// One entry per node, indexed by `NodeId::index()`.
+    pub per_node: Vec<NodeStatsSnapshot>,
+}
+
+impl NetStatsSnapshot {
+    /// Per-node difference `self - earlier`.
+    pub fn since(&self, earlier: &NetStatsSnapshot) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            per_node: self
+                .per_node
+                .iter()
+                .zip(earlier.per_node.iter())
+                .map(|(now, then)| now.since(then))
+                .collect(),
+        }
+    }
+
+    /// Total bytes placed on the shared medium by all nodes.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.per_node.iter().map(|n| n.bytes_sent).sum()
+    }
+
+    /// Total messages transmitted (point-to-point plus broadcasts).
+    pub fn total_messages(&self) -> u64 {
+        self.per_node.iter().map(|n| n.messages_sent()).sum()
+    }
+
+    /// Total interrupts taken across all nodes.
+    pub fn total_interrupts(&self) -> u64 {
+        self.per_node.iter().map(|n| n.interrupts).sum()
+    }
+
+    /// Total copies dropped by fault injection.
+    pub fn total_dropped(&self) -> u64 {
+        self.per_node.iter().map(|n| n.dropped).sum()
+    }
+
+    /// Statistics of one node.
+    pub fn node(&self, node: NodeId) -> NodeStatsSnapshot {
+        self.per_node[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let stats = NetStats::new(3);
+        stats.record_p2p_send(NodeId(0), 100, 1);
+        stats.record_broadcast_send(NodeId(1), 2000, 2);
+        stats.record_delivery(NodeId(2), 100);
+        stats.record_delivery(NodeId(2), 2000);
+        stats.record_drop(NodeId(0));
+
+        let snap = stats.snapshot();
+        assert_eq!(snap.node(NodeId(0)).p2p_sent, 1);
+        assert_eq!(snap.node(NodeId(1)).broadcasts_sent, 1);
+        assert_eq!(snap.node(NodeId(1)).packets_sent, 2);
+        assert_eq!(snap.node(NodeId(2)).interrupts, 2);
+        assert_eq!(snap.node(NodeId(2)).bytes_received, 2100);
+        assert_eq!(snap.total_wire_bytes(), 2100);
+        assert_eq!(snap.total_messages(), 2);
+        assert_eq!(snap.total_interrupts(), 2);
+        assert_eq!(snap.total_dropped(), 1);
+    }
+
+    #[test]
+    fn since_computes_difference() {
+        let stats = NetStats::new(1);
+        stats.record_p2p_send(NodeId(0), 10, 1);
+        let before = stats.snapshot();
+        stats.record_p2p_send(NodeId(0), 30, 1);
+        stats.record_delivery(NodeId(0), 30);
+        let after = stats.snapshot();
+        let delta = after.since(&before);
+        assert_eq!(delta.node(NodeId(0)).p2p_sent, 1);
+        assert_eq!(delta.node(NodeId(0)).bytes_sent, 30);
+        assert_eq!(delta.node(NodeId(0)).interrupts, 1);
+    }
+}

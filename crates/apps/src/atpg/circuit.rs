@@ -1,0 +1,342 @@
+//! Combinational circuits and five-valued logic for ATPG.
+//!
+//! A circuit is a DAG of gates over primary inputs; faults are single
+//! stuck-at faults on gate outputs. The PODEM implementation uses the
+//! classic five-valued algebra {0, 1, X, D, D'} where D means "1 in the good
+//! circuit, 0 in the faulty circuit" and D' the opposite.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Five-valued signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Val {
+    /// Logic 0 in both good and faulty circuit.
+    Zero,
+    /// Logic 1 in both good and faulty circuit.
+    One,
+    /// Unassigned.
+    X,
+    /// 1 in the good circuit, 0 in the faulty circuit.
+    D,
+    /// 0 in the good circuit, 1 in the faulty circuit.
+    DBar,
+}
+
+impl Val {
+    /// Value in the good circuit (`None` for X).
+    pub fn good(self) -> Option<bool> {
+        match self {
+            Val::Zero => Some(false),
+            Val::One => Some(true),
+            Val::X => None,
+            Val::D => Some(true),
+            Val::DBar => Some(false),
+        }
+    }
+
+    /// Value in the faulty circuit (`None` for X).
+    pub fn faulty(self) -> Option<bool> {
+        match self {
+            Val::Zero => Some(false),
+            Val::One => Some(true),
+            Val::X => None,
+            Val::D => Some(false),
+            Val::DBar => Some(true),
+        }
+    }
+
+    /// Combine good/faulty booleans back into a five-valued signal.
+    pub fn from_pair(good: Option<bool>, faulty: Option<bool>) -> Val {
+        match (good, faulty) {
+            (Some(true), Some(true)) => Val::One,
+            (Some(false), Some(false)) => Val::Zero,
+            (Some(true), Some(false)) => Val::D,
+            (Some(false), Some(true)) => Val::DBar,
+            _ => Val::X,
+        }
+    }
+
+    /// Logical negation.
+    pub fn not(self) -> Val {
+        Val::from_pair(self.good().map(|b| !b), self.faulty().map(|b| !b))
+    }
+}
+
+/// Gate kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateKind {
+    /// Primary input (no fan-in).
+    Input,
+    /// Logical AND of all fan-ins.
+    And,
+    /// Logical OR.
+    Or,
+    /// Negated AND.
+    Nand,
+    /// Negated OR.
+    Nor,
+    /// Exclusive or (exactly two fan-ins).
+    Xor,
+    /// Inverter (one fan-in).
+    Not,
+    /// Buffer (one fan-in).
+    Buf,
+}
+
+/// One gate of the circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// Kind of gate.
+    pub kind: GateKind,
+    /// Indices of the gates feeding this one (empty for inputs).
+    pub fanin: Vec<usize>,
+}
+
+/// A single stuck-at fault on a gate output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fault {
+    /// Gate whose output is faulty.
+    pub gate: usize,
+    /// True for stuck-at-1, false for stuck-at-0.
+    pub stuck_at_one: bool,
+}
+
+impl Fault {
+    /// Stable numeric id used for the shared detected-fault set.
+    pub fn id(&self) -> u64 {
+        (self.gate as u64) * 2 + u64::from(self.stuck_at_one)
+    }
+}
+
+/// A combinational circuit in topological order (fan-ins always precede a
+/// gate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    /// Gates in topological order; the first `inputs` entries are inputs.
+    pub gates: Vec<Gate>,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Indices of the primary outputs.
+    pub outputs: Vec<usize>,
+}
+
+impl Circuit {
+    /// Evaluate one gate from its fan-in values (two-valued).
+    fn eval_gate(kind: GateKind, inputs: &[bool]) -> bool {
+        match kind {
+            GateKind::Input => unreachable!("inputs have no fan-in evaluation"),
+            GateKind::And => inputs.iter().all(|&b| b),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Nand => !inputs.iter().all(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Xor => inputs.iter().filter(|&&b| b).count() % 2 == 1,
+            GateKind::Not => !inputs[0],
+            GateKind::Buf => inputs[0],
+        }
+    }
+
+    /// Simulate the good circuit for a fully specified input pattern,
+    /// returning the value of every gate.
+    pub fn simulate(&self, pattern: &[bool]) -> Vec<bool> {
+        assert_eq!(pattern.len(), self.inputs);
+        let mut values = vec![false; self.gates.len()];
+        for (i, gate) in self.gates.iter().enumerate() {
+            values[i] = if gate.kind == GateKind::Input {
+                pattern[i]
+            } else {
+                let ins: Vec<bool> = gate.fanin.iter().map(|&f| values[f]).collect();
+                Self::eval_gate(gate.kind, &ins)
+            };
+        }
+        values
+    }
+
+    /// Simulate the circuit with `fault` injected, returning every gate value.
+    pub fn simulate_with_fault(&self, pattern: &[bool], fault: Fault) -> Vec<bool> {
+        let mut values = vec![false; self.gates.len()];
+        for (i, gate) in self.gates.iter().enumerate() {
+            let mut value = if gate.kind == GateKind::Input {
+                pattern[i]
+            } else {
+                let ins: Vec<bool> = gate.fanin.iter().map(|&f| values[f]).collect();
+                Self::eval_gate(gate.kind, &ins)
+            };
+            if i == fault.gate {
+                value = fault.stuck_at_one;
+            }
+            values[i] = value;
+        }
+        values
+    }
+
+    /// True if `pattern` detects `fault` (some primary output differs between
+    /// the good and the faulty circuit).
+    pub fn detects(&self, pattern: &[bool], fault: Fault) -> bool {
+        let good = self.simulate(pattern);
+        let bad = self.simulate_with_fault(pattern, fault);
+        self.outputs.iter().any(|&o| good[o] != bad[o])
+    }
+
+    /// Every single stuck-at fault of the circuit (both polarities on every
+    /// gate output).
+    pub fn all_faults(&self) -> Vec<Fault> {
+        (0..self.gates.len())
+            .flat_map(|gate| {
+                [
+                    Fault { gate, stuck_at_one: false },
+                    Fault { gate, stuck_at_one: true },
+                ]
+            })
+            .collect()
+    }
+
+    /// Gates that `gate` feeds into.
+    pub fn fanout(&self, gate: usize) -> Vec<usize> {
+        self.gates
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.fanin.contains(&gate))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The ISCAS-85 c17 benchmark circuit (5 inputs, 6 NAND gates,
+    /// 2 outputs) — small, classic, and handy for exact tests.
+    pub fn c17() -> Circuit {
+        // Inputs: 0..=4  (N1, N2, N3, N6, N7 in the ISCAS numbering)
+        let gates = vec![
+            Gate { kind: GateKind::Input, fanin: vec![] },
+            Gate { kind: GateKind::Input, fanin: vec![] },
+            Gate { kind: GateKind::Input, fanin: vec![] },
+            Gate { kind: GateKind::Input, fanin: vec![] },
+            Gate { kind: GateKind::Input, fanin: vec![] },
+            Gate { kind: GateKind::Nand, fanin: vec![0, 2] }, // 5: N10
+            Gate { kind: GateKind::Nand, fanin: vec![2, 3] }, // 6: N11
+            Gate { kind: GateKind::Nand, fanin: vec![1, 6] }, // 7: N16
+            Gate { kind: GateKind::Nand, fanin: vec![6, 4] }, // 8: N19
+            Gate { kind: GateKind::Nand, fanin: vec![5, 7] }, // 9: N22 (output)
+            Gate { kind: GateKind::Nand, fanin: vec![7, 8] }, // 10: N23 (output)
+        ];
+        Circuit {
+            gates,
+            inputs: 5,
+            outputs: vec![9, 10],
+        }
+    }
+
+    /// Generate a random layered combinational circuit with `inputs` primary
+    /// inputs and `gate_count` internal gates.
+    pub fn random(inputs: usize, gate_count: usize, seed: u64) -> Circuit {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gates: Vec<Gate> = (0..inputs)
+            .map(|_| Gate { kind: GateKind::Input, fanin: vec![] })
+            .collect();
+        for _ in 0..gate_count {
+            let kind = match rng.gen_range(0..6) {
+                0 => GateKind::And,
+                1 => GateKind::Or,
+                2 => GateKind::Nand,
+                3 => GateKind::Nor,
+                4 => GateKind::Xor,
+                _ => GateKind::Not,
+            };
+            let arity = match kind {
+                GateKind::Not | GateKind::Buf => 1,
+                GateKind::Xor => 2,
+                _ => rng.gen_range(2..4),
+            };
+            let fanin: Vec<usize> = (0..arity).map(|_| rng.gen_range(0..gates.len())).collect();
+            gates.push(Gate { kind, fanin });
+        }
+        // Outputs: gates nobody consumes (plus the last gate as a fallback).
+        let consumed: std::collections::HashSet<usize> =
+            gates.iter().flat_map(|g| g.fanin.iter().copied()).collect();
+        let mut outputs: Vec<usize> = (inputs..gates.len())
+            .filter(|i| !consumed.contains(i))
+            .collect();
+        if outputs.is_empty() {
+            outputs.push(gates.len() - 1);
+        }
+        Circuit {
+            gates,
+            inputs,
+            outputs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_valued_algebra() {
+        assert_eq!(Val::D.good(), Some(true));
+        assert_eq!(Val::D.faulty(), Some(false));
+        assert_eq!(Val::D.not(), Val::DBar);
+        assert_eq!(Val::from_pair(Some(true), Some(true)), Val::One);
+        assert_eq!(Val::from_pair(None, Some(true)), Val::X);
+    }
+
+    #[test]
+    fn c17_simulation_matches_nand_logic() {
+        let c17 = Circuit::c17();
+        let pattern = [true, true, false, true, false];
+        let values = c17.simulate(&pattern);
+        // N10 = NAND(N1, N3) = NAND(1,0) = 1
+        assert!(values[5]);
+        // N11 = NAND(N3, N6) = NAND(0,1) = 1
+        assert!(values[6]);
+        // N16 = NAND(N2, N11) = NAND(1,1) = 0
+        assert!(!values[7]);
+        // N22 = NAND(N10, N16) = NAND(1,0) = 1
+        assert!(values[9]);
+    }
+
+    #[test]
+    fn fault_detection_on_c17() {
+        let c17 = Circuit::c17();
+        // Output gate stuck-at-1: any pattern that drives it to 0 detects it.
+        let fault = Fault { gate: 9, stuck_at_one: true };
+        let mut detected = false;
+        for bits in 0..32u32 {
+            let pattern: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            if c17.detects(&pattern, fault) {
+                detected = true;
+                break;
+            }
+        }
+        assert!(detected);
+    }
+
+    #[test]
+    fn all_faults_enumerates_both_polarities() {
+        let c17 = Circuit::c17();
+        let faults = c17.all_faults();
+        assert_eq!(faults.len(), 2 * c17.gates.len());
+        let ids: std::collections::HashSet<u64> = faults.iter().map(Fault::id).collect();
+        assert_eq!(ids.len(), faults.len());
+    }
+
+    #[test]
+    fn random_circuit_is_topologically_ordered() {
+        let circuit = Circuit::random(8, 40, 3);
+        for (i, gate) in circuit.gates.iter().enumerate() {
+            for &f in &gate.fanin {
+                assert!(f < i, "gate {i} depends on later gate {f}");
+            }
+        }
+        assert!(!circuit.outputs.is_empty());
+        // Simulation must not panic and must be deterministic.
+        let pattern = vec![true; circuit.inputs];
+        assert_eq!(circuit.simulate(&pattern), circuit.simulate(&pattern));
+    }
+
+    #[test]
+    fn fanout_is_inverse_of_fanin() {
+        let c17 = Circuit::c17();
+        assert_eq!(c17.fanout(6), vec![7, 8]);
+        assert_eq!(c17.fanout(9), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,315 @@
+//! PODEM test-pattern generation (Goel's implicit enumeration algorithm).
+//!
+//! PODEM searches over primary-input assignments only: at every step it
+//! chooses an *objective* (activate the fault, or propagate the fault effect
+//! one gate further), *backtraces* the objective to an unassigned primary
+//! input, assigns it, and re-simulates. When the fault effect reaches a
+//! primary output the accumulated assignment is a test pattern; when an
+//! assignment can be shown not to lead to a test the algorithm backtracks
+//! and tries the opposite value.
+
+use super::circuit::{Circuit, Fault, GateKind, Val};
+
+/// Outcome of PODEM for one fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PodemOutcome {
+    /// A test pattern was found (one bool per primary input).
+    Test(Vec<bool>),
+    /// The fault is untestable (search space exhausted).
+    Untestable,
+    /// The backtrack limit was hit before a decision was reached.
+    Aborted,
+}
+
+/// Statistics of one PODEM run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PodemStats {
+    /// Number of backtracks performed.
+    pub backtracks: u64,
+    /// Number of five-valued simulations performed.
+    pub simulations: u64,
+}
+
+/// Maximum number of backtracks before a fault is declared aborted ("in
+/// practice an ATPG program tries to cover as many gates as possible within
+/// the time limit imposed on it").
+pub const DEFAULT_BACKTRACK_LIMIT: u64 = 2_000;
+
+/// Three-valued simulation of the good or faulty circuit.
+fn simulate3(circuit: &Circuit, pins: &[Option<bool>], fault: Option<Fault>) -> Vec<Option<bool>> {
+    let mut values: Vec<Option<bool>> = vec![None; circuit.gates.len()];
+    for (i, gate) in circuit.gates.iter().enumerate() {
+        let mut value = if gate.kind == GateKind::Input {
+            pins[i]
+        } else {
+            let ins: Vec<Option<bool>> = gate.fanin.iter().map(|&f| values[f]).collect();
+            eval3(gate.kind, &ins)
+        };
+        if let Some(fault) = fault {
+            if i == fault.gate {
+                value = Some(fault.stuck_at_one);
+            }
+        }
+        values[i] = value;
+    }
+    values
+}
+
+fn eval3(kind: GateKind, ins: &[Option<bool>]) -> Option<bool> {
+    match kind {
+        GateKind::Input => None,
+        GateKind::And | GateKind::Nand => {
+            let base = if ins.iter().any(|v| *v == Some(false)) {
+                Some(false)
+            } else if ins.iter().all(|v| *v == Some(true)) {
+                Some(true)
+            } else {
+                None
+            };
+            if kind == GateKind::Nand {
+                base.map(|b| !b)
+            } else {
+                base
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let base = if ins.iter().any(|v| *v == Some(true)) {
+                Some(true)
+            } else if ins.iter().all(|v| *v == Some(false)) {
+                Some(false)
+            } else {
+                None
+            };
+            if kind == GateKind::Nor {
+                base.map(|b| !b)
+            } else {
+                base
+            }
+        }
+        GateKind::Xor => match (ins[0], ins[1]) {
+            (Some(a), Some(b)) => Some(a ^ b),
+            _ => None,
+        },
+        GateKind::Not => ins[0].map(|b| !b),
+        GateKind::Buf => ins[0],
+    }
+}
+
+/// Five-valued circuit state for one fault and one partial input assignment.
+fn simulate5(circuit: &Circuit, pins: &[Option<bool>], fault: Fault) -> Vec<Val> {
+    let good = simulate3(circuit, pins, None);
+    let faulty = simulate3(circuit, pins, Some(fault));
+    good.iter()
+        .zip(faulty.iter())
+        .map(|(&g, &f)| Val::from_pair(g, f))
+        .collect()
+}
+
+/// True if a fault effect (D or D') has reached a primary output.
+fn fault_at_output(circuit: &Circuit, values: &[Val]) -> bool {
+    circuit
+        .outputs
+        .iter()
+        .any(|&o| matches!(values[o], Val::D | Val::DBar))
+}
+
+/// The D-frontier: gates whose output is X but which have a D/D' on an input.
+fn d_frontier(circuit: &Circuit, values: &[Val]) -> Vec<usize> {
+    circuit
+        .gates
+        .iter()
+        .enumerate()
+        .filter(|(i, gate)| {
+            values[*i] == Val::X
+                && gate
+                    .fanin
+                    .iter()
+                    .any(|&f| matches!(values[f], Val::D | Val::DBar))
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Non-controlling value of a gate kind (the value that lets other inputs
+/// decide the output).
+fn non_controlling(kind: GateKind) -> bool {
+    matches!(kind, GateKind::And | GateKind::Nand)
+}
+
+/// Backtrace an objective `(gate, value)` to an unassigned primary input,
+/// flipping the desired value through inverting gates. Returns the input and
+/// the value to assign.
+fn backtrace(
+    circuit: &Circuit,
+    values: &[Val],
+    mut gate: usize,
+    mut value: bool,
+) -> Option<(usize, bool)> {
+    loop {
+        let g = &circuit.gates[gate];
+        if g.kind == GateKind::Input {
+            return if values[gate] == Val::X {
+                Some((gate, value))
+            } else {
+                None
+            };
+        }
+        if matches!(g.kind, GateKind::Nand | GateKind::Nor | GateKind::Not) {
+            value = !value;
+        }
+        // Follow an X-valued fan-in (prefer the first).
+        let next = g.fanin.iter().copied().find(|&f| values[f] == Val::X)?;
+        gate = next;
+    }
+}
+
+/// Choose the next objective: activate the fault if it is not yet excited,
+/// otherwise advance the D-frontier.
+fn objective(circuit: &Circuit, values: &[Val], fault: Fault) -> Option<(usize, bool)> {
+    if values[fault.gate] == Val::X {
+        // Excite the fault: drive the fault site to the opposite of the
+        // stuck-at value.
+        return Some((fault.gate, !fault.stuck_at_one));
+    }
+    let frontier = d_frontier(circuit, values);
+    let &gate = frontier.first()?;
+    let kind = circuit.gates[gate].kind;
+    // Set one X input of the frontier gate to the non-controlling value.
+    let input = circuit.gates[gate]
+        .fanin
+        .iter()
+        .copied()
+        .find(|&f| values[f] == Val::X)?;
+    Some((input, non_controlling(kind)))
+}
+
+/// Run PODEM for one fault.
+pub fn podem(circuit: &Circuit, fault: Fault, backtrack_limit: u64) -> (PodemOutcome, PodemStats) {
+    let mut pins: Vec<Option<bool>> = vec![None; circuit.inputs];
+    let mut stats = PodemStats::default();
+    let outcome = podem_recurse(circuit, fault, &mut pins, &mut stats, backtrack_limit);
+    (outcome, stats)
+}
+
+fn podem_recurse(
+    circuit: &Circuit,
+    fault: Fault,
+    pins: &mut Vec<Option<bool>>,
+    stats: &mut PodemStats,
+    backtrack_limit: u64,
+) -> PodemOutcome {
+    stats.simulations += 1;
+    let mut full_pins = vec![None; circuit.gates.len()];
+    full_pins[..circuit.inputs].copy_from_slice(pins);
+    let values = simulate5(circuit, &full_pins, fault);
+    if fault_at_output(circuit, &values) {
+        let pattern: Vec<bool> = pins.iter().map(|p| p.unwrap_or(false)).collect();
+        return PodemOutcome::Test(pattern);
+    }
+    // The fault is unexcitable if the fault site has settled to the stuck
+    // value in the good circuit, or there is no path left to propagate on.
+    if values[fault.gate] != Val::X
+        && !matches!(values[fault.gate], Val::D | Val::DBar)
+    {
+        return PodemOutcome::Untestable;
+    }
+    if matches!(values[fault.gate], Val::D | Val::DBar) && d_frontier(circuit, &values).is_empty() {
+        return PodemOutcome::Untestable;
+    }
+    let Some((goal_gate, goal_value)) = objective(circuit, &values, fault) else {
+        return PodemOutcome::Untestable;
+    };
+    let Some((pi, pi_value)) = backtrace(circuit, &values, goal_gate, goal_value) else {
+        return PodemOutcome::Untestable;
+    };
+    debug_assert!(pi < circuit.inputs);
+    for value in [pi_value, !pi_value] {
+        pins[pi] = Some(value);
+        match podem_recurse(circuit, fault, pins, stats, backtrack_limit) {
+            PodemOutcome::Test(pattern) => return PodemOutcome::Test(pattern),
+            PodemOutcome::Aborted => {
+                pins[pi] = None;
+                return PodemOutcome::Aborted;
+            }
+            PodemOutcome::Untestable => {
+                stats.backtracks += 1;
+                if stats.backtracks > backtrack_limit {
+                    pins[pi] = None;
+                    return PodemOutcome::Aborted;
+                }
+            }
+        }
+    }
+    pins[pi] = None;
+    PodemOutcome::Untestable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn podem_patterns_really_detect_their_faults_on_c17() {
+        let circuit = Circuit::c17();
+        let mut found = 0;
+        for fault in circuit.all_faults() {
+            let (outcome, _) = podem(&circuit, fault, DEFAULT_BACKTRACK_LIMIT);
+            if let PodemOutcome::Test(pattern) = outcome {
+                assert!(
+                    circuit.detects(&pattern, fault),
+                    "pattern {pattern:?} does not detect {fault:?}"
+                );
+                found += 1;
+            }
+        }
+        // c17 is fully testable except for a handful of redundant internal
+        // polarities; PODEM must find tests for the large majority.
+        assert!(found >= 16, "only {found} faults covered");
+    }
+
+    #[test]
+    fn podem_agrees_with_exhaustive_testability_on_c17() {
+        let circuit = Circuit::c17();
+        for fault in circuit.all_faults() {
+            let exhaustive_testable = (0..32u32).any(|bits| {
+                let pattern: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+                circuit.detects(&pattern, fault)
+            });
+            let (outcome, _) = podem(&circuit, fault, DEFAULT_BACKTRACK_LIMIT);
+            match outcome {
+                PodemOutcome::Test(_) => assert!(exhaustive_testable, "{fault:?}"),
+                PodemOutcome::Untestable => {
+                    assert!(!exhaustive_testable, "{fault:?} is testable but PODEM gave up")
+                }
+                PodemOutcome::Aborted => {}
+            }
+        }
+    }
+
+    #[test]
+    fn podem_works_on_random_circuits() {
+        let circuit = Circuit::random(10, 60, 42);
+        let mut tested = 0;
+        let mut covered = 0;
+        for fault in circuit.all_faults().into_iter().take(60) {
+            let (outcome, stats) = podem(&circuit, fault, DEFAULT_BACKTRACK_LIMIT);
+            tested += 1;
+            if let PodemOutcome::Test(pattern) = outcome {
+                assert!(circuit.detects(&pattern, fault));
+                covered += 1;
+            }
+            assert!(stats.simulations > 0);
+        }
+        assert!(covered > tested / 4, "coverage {covered}/{tested}");
+    }
+
+    #[test]
+    fn three_valued_evaluation_handles_unknowns() {
+        assert_eq!(eval3(GateKind::And, &[Some(false), None]), Some(false));
+        assert_eq!(eval3(GateKind::And, &[Some(true), None]), None);
+        assert_eq!(eval3(GateKind::Or, &[Some(true), None]), Some(true));
+        assert_eq!(eval3(GateKind::Nor, &[Some(false), Some(false)]), Some(true));
+        assert_eq!(eval3(GateKind::Xor, &[Some(true), None]), None);
+        assert_eq!(eval3(GateKind::Not, &[None]), None);
+    }
+}

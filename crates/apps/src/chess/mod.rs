@@ -1,0 +1,141 @@
+//! Oracol — the chess problem solver of §4.3.
+//!
+//! Oracol looks for mates-in-N and material-winning combinations. Its search
+//! is alpha-beta with iterative deepening and quiescence; parallelism comes
+//! from dynamically partitioning the search tree (here: the root moves) over
+//! the processors through a shared job queue. The killer table and the
+//! transposition table can be kept per-worker ([`TableMode::Local`]) or in
+//! shared objects ([`TableMode::Shared`]); the paper reports that the shared
+//! versions — the killer table especially — are the most efficient.
+
+pub mod board;
+pub mod parallel;
+pub mod search;
+
+pub use board::{Board, Color, Move, Piece};
+pub use parallel::{solve_parallel, ChessResult, TableMode};
+pub use search::{
+    is_mate_score, search_position, LocalTables, SearchResult, SearchTables, SharedTables,
+    MATE_SCORE,
+};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A tactical test position with a short description.
+#[derive(Debug, Clone)]
+pub struct TestPosition {
+    /// Human-readable name (shown in benchmark tables).
+    pub name: &'static str,
+    /// The position.
+    pub board: Board,
+    /// Search depth Oracol uses on it.
+    pub depth: i32,
+}
+
+/// The tactical positions used by the chess benchmarks: a couple of
+/// constructed mates plus material-winning middlegame positions.
+pub fn tactical_positions() -> Vec<TestPosition> {
+    let mut positions = Vec::new();
+
+    // Back-rank mate in one.
+    let mut back_rank = Board::empty();
+    back_rank.put(0, Color::White, Piece::Rook);
+    back_rank.put(6, Color::White, Piece::King);
+    back_rank.put(62, Color::Black, Piece::King);
+    back_rank.put(53, Color::Black, Piece::Pawn);
+    back_rank.put(54, Color::Black, Piece::Pawn);
+    back_rank.put(55, Color::Black, Piece::Pawn);
+    positions.push(TestPosition {
+        name: "back-rank mate",
+        board: back_rank,
+        depth: 4,
+    });
+
+    // Two rooks ladder mate (mate in a few moves).
+    let mut ladder = Board::empty();
+    ladder.put(7, Color::White, Piece::Rook); // h1
+    ladder.put(15, Color::White, Piece::Rook); // h2
+    ladder.put(2, Color::White, Piece::King); // c1
+    ladder.put(59, Color::Black, Piece::King); // d8
+    positions.push(TestPosition {
+        name: "two-rook ladder",
+        board: ladder,
+        depth: 4,
+    });
+
+    // Queen wins an undefended rook.
+    let mut material = Board::empty();
+    material.put(0, Color::White, Piece::King);
+    material.put(63, Color::Black, Piece::King);
+    material.put(3, Color::White, Piece::Queen);
+    material.put(27, Color::Black, Piece::Rook);
+    material.put(36, Color::Black, Piece::Knight);
+    positions.push(TestPosition {
+        name: "win material",
+        board: material,
+        depth: 4,
+    });
+
+    // A random middlegame position (seeded, deterministic).
+    positions.push(TestPosition {
+        name: "middlegame",
+        board: random_middlegame(12, 1993),
+        depth: 4,
+    });
+
+    positions
+}
+
+/// Play `plies` random legal moves from the starting position (seeded), which
+/// gives a deterministic "middlegame" benchmark position.
+pub fn random_middlegame(plies: usize, seed: u64) -> Board {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut board = Board::start_position();
+    for _ in 0..plies {
+        let moves = board.legal_moves();
+        if moves.is_empty() {
+            break;
+        }
+        // Avoid immediately hanging the queen so positions stay "quiet".
+        let mv = moves[rng.gen_range(0..moves.len())];
+        board = board.make_move(mv);
+    }
+    board
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tactical_positions_are_legal_and_searchable() {
+        for position in tactical_positions() {
+            assert!(
+                !position.board.legal_moves().is_empty(),
+                "{} has no moves",
+                position.name
+            );
+            let mut tables = LocalTables::new();
+            let result = search_position(&position.board, 2, &mut tables);
+            assert!(result.nodes > 0);
+        }
+    }
+
+    #[test]
+    fn random_middlegame_is_deterministic() {
+        assert_eq!(random_middlegame(10, 7), random_middlegame(10, 7));
+        assert_ne!(
+            random_middlegame(10, 7).hash(),
+            random_middlegame(10, 8).hash()
+        );
+    }
+
+    #[test]
+    fn back_rank_position_is_a_mate_in_one() {
+        let positions = tactical_positions();
+        let mut tables = LocalTables::new();
+        let result = search_position(&positions[0].board, 2, &mut tables);
+        assert!(is_mate_score(result.score, 2));
+    }
+}

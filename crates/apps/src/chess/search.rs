@@ -1,0 +1,378 @@
+//! Oracol's search: alpha-beta with iterative deepening, quiescence,
+//! a killer table and a transposition table.
+//!
+//! The two tables are deliberately hidden behind [`SearchTables`]: "both the
+//! killer table and the transposition table can be implemented as local data
+//! structures or as shared objects … the two versions differ in only a few
+//! lines of code" (§4.3). [`LocalTables`] keeps them private to one worker;
+//! [`SharedTables`] stores them in shared `KvTable` objects so every worker
+//! benefits from every other worker's work at the price of communication.
+
+use std::collections::HashMap;
+
+use orca_core::objects::{KvTable, TableEntry};
+use orca_core::OrcaNode;
+
+use super::board::{Board, Move};
+
+/// Score assigned to mate (minus the ply distance, so faster mates score
+/// higher).
+pub const MATE_SCORE: i32 = 100_000;
+
+/// Result of searching one position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchResult {
+    /// Best move found at the root (None when the position is terminal).
+    pub best_move: Option<Move>,
+    /// Score from the point of view of the side to move.
+    pub score: i32,
+    /// Nodes searched (the work metric of §4.3).
+    pub nodes: u64,
+}
+
+/// Abstraction over the killer and transposition tables.
+pub trait SearchTables {
+    /// Look up a position in the transposition table.
+    fn tt_get(&mut self, key: u64) -> Option<TableEntry>;
+    /// Store a position in the transposition table.
+    fn tt_put(&mut self, key: u64, entry: TableEntry);
+    /// Current killer move for a ply, if any.
+    fn killer_get(&mut self, ply: u32) -> Option<Move>;
+    /// Record a killer move for a ply.
+    fn killer_put(&mut self, ply: u32, mv: Move);
+}
+
+/// Tables private to one search (no communication, no sharing of results).
+#[derive(Debug, Default)]
+pub struct LocalTables {
+    tt: HashMap<u64, TableEntry>,
+    killers: HashMap<u32, Move>,
+}
+
+impl LocalTables {
+    /// Create empty local tables.
+    pub fn new() -> Self {
+        LocalTables::default()
+    }
+
+    /// Number of transposition-table entries stored.
+    pub fn tt_len(&self) -> usize {
+        self.tt.len()
+    }
+}
+
+impl SearchTables for LocalTables {
+    fn tt_get(&mut self, key: u64) -> Option<TableEntry> {
+        self.tt.get(&key).copied()
+    }
+    fn tt_put(&mut self, key: u64, entry: TableEntry) {
+        let slot = self.tt.entry(key).or_insert(entry);
+        if entry.depth >= slot.depth {
+            *slot = entry;
+        }
+    }
+    fn killer_get(&mut self, ply: u32) -> Option<Move> {
+        self.killers.get(&ply).copied()
+    }
+    fn killer_put(&mut self, ply: u32, mv: Move) {
+        self.killers.insert(ply, mv);
+    }
+}
+
+/// Tables stored in shared objects: every worker reads and writes the same
+/// killer and transposition tables through its node's runtime system.
+pub struct SharedTables {
+    ctx: OrcaNode,
+    transposition: KvTable,
+    killer: KvTable,
+}
+
+impl SharedTables {
+    /// Bind shared tables to the invoking process's context.
+    pub fn new(ctx: OrcaNode, transposition: KvTable, killer: KvTable) -> Self {
+        SharedTables {
+            ctx,
+            transposition,
+            killer,
+        }
+    }
+}
+
+impl SearchTables for SharedTables {
+    fn tt_get(&mut self, key: u64) -> Option<TableEntry> {
+        self.transposition.get(&self.ctx, key).unwrap_or(None)
+    }
+    fn tt_put(&mut self, key: u64, entry: TableEntry) {
+        let _ = self.transposition.put(&self.ctx, key, entry);
+    }
+    fn killer_get(&mut self, ply: u32) -> Option<Move> {
+        self.killer
+            .get(&self.ctx, u64::from(ply))
+            .ok()
+            .flatten()
+            .map(|entry| Move::decode(entry.aux))
+    }
+    fn killer_put(&mut self, ply: u32, mv: Move) {
+        let entry = TableEntry {
+            depth: 0,
+            value: 0,
+            aux: mv.encode(),
+        };
+        let _ = self.killer.put(&self.ctx, u64::from(ply), entry);
+    }
+}
+
+/// Quiescence search: only captures, to avoid the horizon effect.
+fn quiesce(board: &Board, mut alpha: i32, beta: i32, nodes: &mut u64) -> i32 {
+    *nodes += 1;
+    let stand_pat = board.evaluate();
+    if stand_pat >= beta {
+        return beta;
+    }
+    alpha = alpha.max(stand_pat);
+    let mut captures: Vec<Move> = board
+        .legal_moves()
+        .into_iter()
+        .filter(|mv| board.is_capture(*mv))
+        .collect();
+    // Most valuable victim first.
+    captures.sort_by_key(|mv| {
+        board.squares[mv.to as usize]
+            .map(|(_, piece)| -piece.value())
+            .unwrap_or(0)
+    });
+    for mv in captures {
+        let score = -quiesce(&board.make_move(mv), -beta, -alpha, nodes);
+        if score >= beta {
+            return beta;
+        }
+        alpha = alpha.max(score);
+    }
+    alpha
+}
+
+#[allow(clippy::too_many_arguments)]
+fn alpha_beta(
+    board: &Board,
+    depth: i32,
+    ply: u32,
+    mut alpha: i32,
+    beta: i32,
+    tables: &mut dyn SearchTables,
+    nodes: &mut u64,
+) -> i32 {
+    *nodes += 1;
+    let key = board.hash();
+    if let Some(entry) = tables.tt_get(key) {
+        if entry.depth >= depth {
+            return entry.value as i32;
+        }
+    }
+    let moves = board.legal_moves();
+    if moves.is_empty() {
+        return if board.in_check() {
+            -(MATE_SCORE - ply as i32)
+        } else {
+            0
+        };
+    }
+    if depth <= 0 {
+        return quiesce(board, alpha, beta, nodes);
+    }
+    let ordered = order_moves(board, moves, tables.killer_get(ply));
+    let mut best = -MATE_SCORE;
+    for mv in ordered {
+        let score = -alpha_beta(
+            &board.make_move(mv),
+            depth - 1,
+            ply + 1,
+            -beta,
+            -alpha,
+            tables,
+            nodes,
+        );
+        if score > best {
+            best = score;
+        }
+        if best > alpha {
+            alpha = best;
+        }
+        if alpha >= beta {
+            // Cutoff: remember the refutation as the killer move for this ply.
+            tables.killer_put(ply, mv);
+            break;
+        }
+    }
+    tables.tt_put(
+        key,
+        TableEntry {
+            depth,
+            value: i64::from(best),
+            aux: 0,
+        },
+    );
+    best
+}
+
+fn order_moves(board: &Board, mut moves: Vec<Move>, killer: Option<Move>) -> Vec<Move> {
+    moves.sort_by_key(|mv| {
+        let mut score = 0i32;
+        if Some(*mv) == killer {
+            score -= 10_000;
+        }
+        if let Some((_, captured)) = board.squares[mv.to as usize] {
+            score -= captured.value();
+        }
+        if mv.promotes {
+            score -= 800;
+        }
+        score
+    });
+    moves
+}
+
+/// Search one root move to `depth - 1` and return its score from the root
+/// player's point of view (used by the parallel root-splitting search).
+pub fn search_root_move(
+    board: &Board,
+    mv: Move,
+    depth: i32,
+    tables: &mut dyn SearchTables,
+) -> (i32, u64) {
+    let mut nodes = 0;
+    let score = -alpha_beta(
+        &board.make_move(mv),
+        depth - 1,
+        1,
+        -MATE_SCORE,
+        MATE_SCORE,
+        tables,
+        &mut nodes,
+    );
+    (score, nodes)
+}
+
+/// Full search of a position with iterative deepening up to `max_depth`.
+pub fn search_position(
+    board: &Board,
+    max_depth: i32,
+    tables: &mut dyn SearchTables,
+) -> SearchResult {
+    let mut nodes = 0;
+    let mut best_move = None;
+    let mut best_score = -MATE_SCORE;
+    for depth in 1..=max_depth {
+        let mut depth_best = None;
+        let mut depth_score = -MATE_SCORE;
+        let moves = order_moves(board, board.legal_moves(), tables.killer_get(0));
+        if moves.is_empty() {
+            return SearchResult {
+                best_move: None,
+                score: if board.in_check() { -MATE_SCORE } else { 0 },
+                nodes,
+            };
+        }
+        for mv in moves {
+            let mut child_nodes = 0;
+            let score = -alpha_beta(
+                &board.make_move(mv),
+                depth - 1,
+                1,
+                -MATE_SCORE,
+                -depth_score.max(-MATE_SCORE),
+                tables,
+                &mut child_nodes,
+            );
+            nodes += child_nodes;
+            if score > depth_score {
+                depth_score = score;
+                depth_best = Some(mv);
+            }
+        }
+        best_move = depth_best;
+        best_score = depth_score;
+    }
+    SearchResult {
+        best_move,
+        score: best_score,
+        nodes,
+    }
+}
+
+/// True if `score` means the side to move delivers mate within `plies` plies.
+pub fn is_mate_score(score: i32, plies: u32) -> bool {
+    score >= MATE_SCORE - plies as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::board::{Color, Piece};
+    use super::*;
+
+    /// Back-rank mate in one: white Ra1, white Kg1 vs black Kg8 with pawns
+    /// f7 g7 h7. Ra1-a8 is mate.
+    fn mate_in_one_position() -> Board {
+        let mut board = Board::empty();
+        board.put(0, Color::White, Piece::Rook); // a1
+        board.put(6, Color::White, Piece::King); // g1
+        board.put(62, Color::Black, Piece::King); // g8
+        board.put(53, Color::Black, Piece::Pawn); // f7
+        board.put(54, Color::Black, Piece::Pawn); // g7
+        board.put(55, Color::Black, Piece::Pawn); // h7
+        board
+    }
+
+    #[test]
+    fn finds_mate_in_one() {
+        let board = mate_in_one_position();
+        let mut tables = LocalTables::new();
+        let result = search_position(&board, 2, &mut tables);
+        assert!(is_mate_score(result.score, 2), "score = {}", result.score);
+        let mv = result.best_move.unwrap();
+        assert_eq!(mv.from, 0);
+        assert_eq!(mv.to, 56); // a8
+    }
+
+    #[test]
+    fn prefers_winning_material() {
+        // White queen can capture an undefended black rook.
+        let mut board = Board::empty();
+        board.put(0, Color::White, Piece::King);
+        board.put(63, Color::Black, Piece::King);
+        board.put(3, Color::White, Piece::Queen); // d1
+        board.put(27, Color::Black, Piece::Rook); // d4, undefended
+        let mut tables = LocalTables::new();
+        let result = search_position(&board, 3, &mut tables);
+        let mv = result.best_move.unwrap();
+        assert_eq!(mv.to, 27, "queen should capture the rook");
+        assert!(result.score > 300);
+    }
+
+    #[test]
+    fn transposition_table_reduces_nodes() {
+        let board = Board::start_position();
+        let mut with_tt = LocalTables::new();
+        let first = search_position(&board, 4, &mut with_tt);
+        // Searching again with a warm table must be much cheaper.
+        let second = search_position(&board, 4, &mut with_tt);
+        assert!(second.nodes < first.nodes);
+        assert!(with_tt.tt_len() > 0);
+    }
+
+    #[test]
+    fn stalemate_is_a_draw_score() {
+        // Black king a8, white queen c7, white king c8->no... use classic
+        // stalemate: black Ka8, white Qb6, white Kc6, black to move.
+        let mut board = Board::empty();
+        board.put(56, Color::Black, Piece::King); // a8
+        board.put(41, Color::White, Piece::Queen); // b6
+        board.put(42, Color::White, Piece::King); // c6
+        board.to_move = Color::Black;
+        assert!(board.legal_moves().is_empty());
+        assert!(!board.in_check());
+        let mut tables = LocalTables::new();
+        let result = search_position(&board, 3, &mut tables);
+        assert_eq!(result.score, 0);
+        assert!(result.best_move.is_none());
+    }
+}

@@ -1,0 +1,33 @@
+//! The applications evaluated in the paper, in sequential and Orca-parallel
+//! form.
+//!
+//! §4 of the paper discusses four applications and the shared objects each
+//! uses; this crate re-implements all four against the Orca-style API of
+//! `orca-core`:
+//!
+//! * [`tsp`] — the Traveling Salesman Problem, a replicated-worker
+//!   branch-and-bound search sharing a job queue and a global bound
+//!   (Fig. 2 of the paper).
+//! * [`acp`] — the Arc Consistency Problem, sharing a `domain` object, a
+//!   `work` array, a `quit` flag and a `result` array, with the distributed
+//!   termination test described in the paper (Fig. 3).
+//! * [`chess`] — Oracol, an alpha-beta chess problem solver with killer and
+//!   transposition tables that can be kept local or shared (§4.3).
+//! * [`atpg`] — Automatic Test Pattern Generation using the PODEM algorithm
+//!   with an optional shared fault-simulation object (§4.4).
+//!
+//! Every application provides a deterministic workload generator (the paper's
+//! concrete inputs — 14-city tours, 64-variable constraint networks,
+//! tactical chess positions, combinational circuits — are not archived, so
+//! seeded synthetic instances of the same sizes are used instead), a
+//! sequential solver, and a parallel solver returning per-worker work counts
+//! that the performance model in `orca-perf` converts into the paper's
+//! speedup figures.
+
+pub mod acp;
+pub mod atpg;
+pub mod chess;
+pub mod metrics;
+pub mod tsp;
+
+pub use metrics::{ParallelRunReport, WorkerWork};

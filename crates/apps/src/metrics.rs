@@ -1,0 +1,81 @@
+//! Work accounting shared by all parallel applications.
+
+/// Work performed by one worker process during a parallel run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerWork {
+    /// Application-level work units (TSP nodes expanded, ACP constraint
+    /// revisions, chess nodes searched, ATPG backtrack steps, ...).
+    pub units: u64,
+    /// Jobs (or partitions) the worker processed.
+    pub jobs: u64,
+}
+
+/// Result of a parallel application run: what each worker did, plus the
+/// total, so the performance model can compute the makespan of the slowest
+/// worker and the parallel search overhead.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParallelRunReport {
+    /// Per-worker work, indexed by worker id.
+    pub per_worker: Vec<WorkerWork>,
+}
+
+impl ParallelRunReport {
+    /// Build a report from per-worker work.
+    pub fn new(per_worker: Vec<WorkerWork>) -> Self {
+        ParallelRunReport { per_worker }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.per_worker.len()
+    }
+
+    /// Total work units across all workers.
+    pub fn total_units(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.units).sum()
+    }
+
+    /// Work units of the busiest worker (the makespan driver).
+    pub fn max_units(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.units).max().unwrap_or(0)
+    }
+
+    /// Total jobs processed.
+    pub fn total_jobs(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.jobs).sum()
+    }
+
+    /// Load imbalance: busiest worker divided by the mean (1.0 = perfect).
+    pub fn imbalance(&self) -> f64 {
+        if self.per_worker.is_empty() || self.total_units() == 0 {
+            return 1.0;
+        }
+        let mean = self.total_units() as f64 / self.per_worker.len() as f64;
+        self.max_units() as f64 / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let report = ParallelRunReport::new(vec![
+            WorkerWork { units: 10, jobs: 2 },
+            WorkerWork { units: 30, jobs: 3 },
+        ]);
+        assert_eq!(report.workers(), 2);
+        assert_eq!(report.total_units(), 40);
+        assert_eq!(report.max_units(), 30);
+        assert_eq!(report.total_jobs(), 5);
+        assert!((report.imbalance() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_balanced() {
+        let report = ParallelRunReport::default();
+        assert_eq!(report.imbalance(), 1.0);
+        assert_eq!(report.total_units(), 0);
+    }
+}

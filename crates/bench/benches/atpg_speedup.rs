@@ -1,0 +1,8 @@
+//! Regenerates the §4.4 ATPG speedup comparison (static partitioning vs the
+//! shared fault-simulation object).
+fn main() {
+    let (plain, with_sim, abs_ratio) = orca_bench::speedup::atpg_speedup();
+    println!("{}", orca_perf::format_speedup_table(&plain));
+    println!("{}", orca_perf::format_speedup_table(&with_sim));
+    println!("absolute-time ratio (plain / fault-sim) at 16 procs: {abs_ratio:.2}x");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the §4.3 Oracol chess speedup numbers (4.5-5.5 on 10 CPUs in
+//! the paper, limited by search overhead).
+fn main() {
+    let series = orca_bench::speedup::chess_speedup();
+    println!("{}", orca_perf::format_speedup_table(&series));
+}

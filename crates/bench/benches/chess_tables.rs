@@ -1,0 +1,8 @@
+//! Regenerates the §4.3 shared-vs-local killer/transposition table comparison.
+fn main() {
+    println!("# shared vs local search tables");
+    println!("tables         nodes_searched  est_seconds");
+    for (name, nodes, seconds) in orca_bench::speedup::chess_tables() {
+        println!("{name:<14} {nodes:>14}  {seconds:>11.3}");
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 2: TSP speedup, 14-city problem, 1..16 processors.
+fn main() {
+    let series = orca_bench::speedup::tsp_speedup();
+    println!("{}", orca_perf::format_speedup_table(&series));
+}

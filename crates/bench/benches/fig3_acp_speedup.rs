@@ -1,0 +1,5 @@
+//! Regenerates Fig. 3: Arc Consistency Problem speedup, 64 variables.
+fn main() {
+    let series = orca_bench::speedup::acp_speedup();
+    println!("{}", orca_perf::format_speedup_table(&series));
+}

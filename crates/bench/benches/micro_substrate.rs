@@ -1,0 +1,33 @@
+//! Criterion micro-benchmarks of the substrate layers: wire codec, local
+//! read invocation, broadcast write invocation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use orca_core::objects::{IntObject, IntOp};
+use orca_core::OrcaRuntime;
+use orca_wire::Wire;
+
+fn codec(c: &mut Criterion) {
+    let value: Vec<u64> = (0..256).collect();
+    c.bench_function("wire_encode_vec_u64_256", |b| {
+        b.iter(|| std::hint::black_box(&value).to_bytes())
+    });
+    let bytes = value.to_bytes();
+    c.bench_function("wire_decode_vec_u64_256", |b| {
+        b.iter(|| Vec::<u64>::from_bytes(std::hint::black_box(&bytes)).unwrap())
+    });
+}
+
+fn invocation(c: &mut Criterion) {
+    let runtime = OrcaRuntime::standard(4);
+    let counter = runtime.create::<IntObject>(&0).unwrap();
+    let ctx = runtime.main().clone();
+    c.bench_function("local_read_invocation", |b| {
+        b.iter(|| ctx.invoke(counter, &IntOp::Value).unwrap())
+    });
+    c.bench_function("broadcast_write_invocation_4_nodes", |b| {
+        b.iter(|| ctx.invoke(counter, &IntOp::Add(1)).unwrap())
+    });
+}
+
+criterion_group!(benches, codec, invocation);
+criterion_main!(benches);

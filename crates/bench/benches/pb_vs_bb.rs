@@ -1,0 +1,5 @@
+//! Regenerates the §3.1 PB vs BB broadcast-protocol comparison.
+fn main() {
+    let rows = orca_bench::protocols::pb_vs_bb(16, &[64, 1024, 4096, 16384, 65536], 10);
+    println!("{}", orca_bench::protocols::format_table(&rows));
+}

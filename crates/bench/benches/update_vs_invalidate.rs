@@ -1,0 +1,5 @@
+//! Regenerates the §3.2.2 invalidation vs two-phase update comparison.
+fn main() {
+    let rows = orca_bench::rtscompare::rts_comparison(4, 150, &[0.5, 0.9, 0.99]);
+    println!("{}", orca_bench::rtscompare::format_table(&rows));
+}

@@ -1,0 +1,66 @@
+//! Mapping measured run statistics onto per-node loads for the cost model.
+
+use orca_amoeba::NetStatsSnapshot;
+use orca_apps::ParallelRunReport;
+use orca_core::OrcaRuntime;
+use orca_perf::NodeLoad;
+use orca_rts::RtsStatsSnapshot;
+
+/// Build the per-node [`NodeLoad`]s of a finished parallel run.
+///
+/// Workers are placed round-robin (worker `i` on node `i % processors`, the
+/// placement `replicated_workers` uses), so each worker's application work is
+/// charged to its node; the runtime-system and network statistics are already
+/// per node.
+pub fn node_loads(
+    processors: usize,
+    report: &ParallelRunReport,
+    rts: &[RtsStatsSnapshot],
+    net: &NetStatsSnapshot,
+) -> Vec<NodeLoad> {
+    let mut loads = vec![NodeLoad::default(); processors];
+    for (worker, work) in report.per_worker.iter().enumerate() {
+        loads[worker % processors].work_units += work.units;
+    }
+    for (node, load) in loads.iter_mut().enumerate() {
+        if let Some(stats) = rts.get(node) {
+            load.updates_handled = stats.updates_applied;
+            load.ops_shipped = stats.broadcast_writes + stats.remote_writes;
+            load.rpcs = stats.remote_reads + stats.remote_writes + stats.copies_fetched;
+        }
+        if let Some(stats) = net.per_node.get(node) {
+            load.interrupts = stats.interrupts;
+            load.wire_bytes = stats.bytes_sent;
+        }
+    }
+    loads
+}
+
+/// Convenience: collect loads straight from a runtime after a run.
+pub fn loads_from_runtime(runtime: &OrcaRuntime, report: &ParallelRunReport) -> Vec<NodeLoad> {
+    node_loads(
+        runtime.processors(),
+        report,
+        &runtime.rts_stats(),
+        &runtime.network_stats(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orca_apps::WorkerWork;
+
+    #[test]
+    fn work_is_charged_to_the_right_node() {
+        let report = ParallelRunReport::new(vec![
+            WorkerWork { units: 10, jobs: 1 },
+            WorkerWork { units: 20, jobs: 1 },
+            WorkerWork { units: 30, jobs: 1 },
+        ]);
+        let loads = node_loads(2, &report, &[], &NetStatsSnapshot::default());
+        assert_eq!(loads.len(), 2);
+        assert_eq!(loads[0].work_units, 10 + 30); // workers 0 and 2
+        assert_eq!(loads[1].work_units, 20);
+    }
+}

@@ -1,0 +1,144 @@
+//! PB vs BB broadcast-protocol comparison (§3.1).
+//!
+//! The paper's analysis: PB puts the full message on the wire twice but
+//! interrupts each member once; BB puts it on the wire once (plus a short
+//! Accept) but interrupts each member twice; the kernel picks PB for short
+//! messages and BB for long ones. This experiment broadcasts a batch of
+//! messages of various sizes under each policy and reports bytes on the wire
+//! and interrupts per member per message, as measured by the network layer.
+
+use std::time::Duration;
+
+use orca_amoeba::network::Network;
+use orca_group::{GroupConfig, GroupMember, MethodPolicy};
+
+/// One row of the PB/BB table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolRow {
+    /// Protocol policy name.
+    pub policy: &'static str,
+    /// Payload size in bytes.
+    pub payload: usize,
+    /// Average bytes on the wire per broadcast message.
+    pub wire_bytes_per_msg: f64,
+    /// Average interrupts per member per broadcast message.
+    pub interrupts_per_member: f64,
+}
+
+/// Run the PB/BB comparison for the given payload sizes on `members` nodes.
+pub fn pb_vs_bb(members: usize, payload_sizes: &[usize], msgs_per_size: usize) -> Vec<ProtocolRow> {
+    let mut rows = Vec::new();
+    for &(policy, name) in &[
+        (MethodPolicy::AlwaysPb, "PB"),
+        (MethodPolicy::AlwaysBb, "BB"),
+        (MethodPolicy::Auto, "auto"),
+    ] {
+        for &payload in payload_sizes {
+            rows.push(measure(members, policy, name, payload, msgs_per_size));
+        }
+    }
+    rows
+}
+
+fn measure(
+    members: usize,
+    policy: MethodPolicy,
+    name: &'static str,
+    payload: usize,
+    count: usize,
+) -> ProtocolRow {
+    let net = Network::reliable(members);
+    let config = GroupConfig {
+        method: policy,
+        ..GroupConfig::default()
+    };
+    let group: Vec<GroupMember> = net
+        .node_ids()
+        .into_iter()
+        .map(|n| GroupMember::start(net.handle(n), config.clone()))
+        .collect();
+    let before = net.stats();
+    // Node 1 broadcasts (never the sequencer, so the request leg is real).
+    let sender = &group[1.min(members - 1)];
+    for i in 0..count {
+        sender
+            .broadcast(vec![(i % 251) as u8; payload])
+            .expect("broadcast");
+    }
+    for member in &group {
+        for _ in 0..count {
+            member
+                .recv_timeout(Duration::from_secs(10))
+                .expect("delivery");
+        }
+    }
+    let delta = net.stats().since(&before);
+    let wire_bytes_per_msg = delta.total_wire_bytes() as f64 / count as f64;
+    let interrupts_per_member =
+        delta.total_interrupts() as f64 / (count as f64 * members as f64);
+    for member in group {
+        member.shutdown();
+    }
+    ProtocolRow {
+        policy: name,
+        payload,
+        wire_bytes_per_msg,
+        interrupts_per_member,
+    }
+}
+
+/// Format the comparison as a text table.
+pub fn format_table(rows: &[ProtocolRow]) -> String {
+    let mut out = String::from("# §3.1: PB vs BB totally-ordered broadcast\n");
+    out.push_str("policy  payload_bytes  wire_bytes/msg  interrupts/member\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{:>6}  {:>13}  {:>14.0}  {:>17.2}\n",
+            row.policy, row.payload, row.wire_bytes_per_msg, row.interrupts_per_member
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pb_uses_twice_the_bandwidth_and_half_the_interrupts_of_bb() {
+        let rows = pb_vs_bb(4, &[256], 10);
+        let pb = rows.iter().find(|r| r.policy == "PB").unwrap();
+        let bb = rows.iter().find(|r| r.policy == "BB").unwrap();
+        // PB: message crosses the wire twice (request + broadcast).
+        assert!(pb.wire_bytes_per_msg > 1.7 * 256.0);
+        // BB: message crosses once plus a short accept.
+        assert!(bb.wire_bytes_per_msg < 1.5 * pb.wire_bytes_per_msg);
+        assert!(bb.wire_bytes_per_msg < pb.wire_bytes_per_msg);
+        // Interrupts: PB one per member per message (plus the sequencer's
+        // request), BB two per member per message.
+        assert!(bb.interrupts_per_member > pb.interrupts_per_member);
+    }
+
+    #[test]
+    fn auto_behaves_like_pb_for_small_and_bb_for_large_messages() {
+        let rows = pb_vs_bb(3, &[64, 8192], 6);
+        let small_auto = rows
+            .iter()
+            .find(|r| r.policy == "auto" && r.payload == 64)
+            .unwrap();
+        let small_pb = rows
+            .iter()
+            .find(|r| r.policy == "PB" && r.payload == 64)
+            .unwrap();
+        let large_auto = rows
+            .iter()
+            .find(|r| r.policy == "auto" && r.payload == 8192)
+            .unwrap();
+        let large_bb = rows
+            .iter()
+            .find(|r| r.policy == "BB" && r.payload == 8192)
+            .unwrap();
+        assert!((small_auto.wire_bytes_per_msg - small_pb.wire_bytes_per_msg).abs() < 64.0);
+        assert!((large_auto.wire_bytes_per_msg - large_bb.wire_bytes_per_msg).abs() < 512.0);
+    }
+}

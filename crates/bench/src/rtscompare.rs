@@ -1,0 +1,175 @@
+//! Invalidation vs two-phase update vs broadcast runtime systems (§3.2.2).
+//!
+//! "Comparisons of update and invalidation did not show a clear winner.
+//! Which one is better depends on the problem being solved." This experiment
+//! sweeps the read/write ratio of a synthetic shared-object workload and
+//! reports, for each runtime system, the communication it generated and the
+//! estimated time per operation on the paper's hardware.
+
+use orca_amoeba::NodeId;
+use orca_core::objects::{IntObject, IntOp};
+use orca_core::{OrcaConfig, OrcaRuntime, RtsStrategy};
+use orca_perf::{CostModel, NodeLoad};
+use orca_rts::{ReplicationPolicy, RtsKind, WritePolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One row of the comparison table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtsRow {
+    /// Runtime-system kind.
+    pub rts: RtsKind,
+    /// Fraction of operations that are reads.
+    pub read_fraction: f64,
+    /// Messages on the wire per operation.
+    pub messages_per_op: f64,
+    /// Wire bytes per operation.
+    pub bytes_per_op: f64,
+    /// Estimated milliseconds per operation on the paper's hardware.
+    pub est_ms_per_op: f64,
+    /// Copies fetched / dropped by the dynamic replication policy.
+    pub copies_fetched: u64,
+}
+
+/// Run the synthetic workload: `nodes` nodes each perform `ops_per_node`
+/// operations on one shared integer, a `read_fraction` of which are reads.
+pub fn rts_comparison(
+    nodes: usize,
+    ops_per_node: usize,
+    read_fractions: &[f64],
+) -> Vec<RtsRow> {
+    let mut rows = Vec::new();
+    for &read_fraction in read_fractions {
+        for strategy in [
+            RtsStrategy::broadcast(),
+            RtsStrategy::PrimaryCopy {
+                policy: WritePolicy::Invalidate,
+                replication: ReplicationPolicy::default(),
+            },
+            RtsStrategy::PrimaryCopy {
+                policy: WritePolicy::Update,
+                replication: ReplicationPolicy::default(),
+            },
+        ] {
+            rows.push(run_one(nodes, ops_per_node, read_fraction, strategy));
+        }
+    }
+    rows
+}
+
+fn run_one(
+    nodes: usize,
+    ops_per_node: usize,
+    read_fraction: f64,
+    strategy: RtsStrategy,
+) -> RtsRow {
+    let kind = strategy.kind();
+    let config = OrcaConfig {
+        processors: nodes,
+        fault: orca_amoeba::FaultConfig::reliable(),
+        strategy,
+    };
+    let runtime = OrcaRuntime::start(config, orca_core::standard_registry());
+    let counter = runtime.create::<IntObject>(&0).expect("create counter");
+    let before = runtime.network_stats();
+    let mut handles = Vec::new();
+    for node in 0..nodes {
+        let handle = counter;
+        handles.push(runtime.fork_on(node, "load", move |ctx| {
+            let mut rng = StdRng::seed_from_u64(node as u64 + 1);
+            for _ in 0..ops_per_node {
+                if rng.gen_bool(read_fraction) {
+                    ctx.invoke(handle, &IntOp::Value).expect("read");
+                } else {
+                    ctx.invoke(handle, &IntOp::Add(1)).expect("write");
+                }
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join();
+    }
+    let delta = runtime.network_stats().since(&before);
+    let rts_stats = runtime.rts_stats();
+    let total_ops = (nodes * ops_per_node) as f64;
+    // Per-op estimated time on the paper's hardware: average node time over
+    // the run divided by the operations one node performed.
+    let model = CostModel::with_unit_seconds(0.0);
+    let loads: Vec<NodeLoad> = (0..nodes)
+        .map(|n| {
+            let stats = rts_stats[n];
+            NodeLoad {
+                work_units: 0,
+                updates_handled: stats.updates_applied,
+                ops_shipped: stats.broadcast_writes + stats.remote_writes,
+                rpcs: stats.remote_reads + stats.remote_writes + stats.copies_fetched,
+                interrupts: delta.node(NodeId::from(n)).interrupts,
+                wire_bytes: delta.node(NodeId::from(n)).bytes_sent,
+            }
+        })
+        .collect();
+    let total_comm_seconds: f64 = loads.iter().map(|l| model.node_time(l)).sum();
+    let copies_fetched = rts_stats.iter().map(|s| s.copies_fetched).sum();
+    runtime.shutdown();
+    RtsRow {
+        rts: kind,
+        read_fraction,
+        messages_per_op: delta.total_messages() as f64 / total_ops,
+        bytes_per_op: delta.total_wire_bytes() as f64 / total_ops,
+        est_ms_per_op: total_comm_seconds * 1000.0 / total_ops,
+        copies_fetched,
+    }
+}
+
+/// Format the comparison as a text table.
+pub fn format_table(rows: &[RtsRow]) -> String {
+    let mut out =
+        String::from("# §3.2.2: invalidation vs two-phase update vs broadcast RTS\n");
+    out.push_str("rts         read%   msgs/op  bytes/op  est_ms/op  copies_fetched\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{:<11} {:>5.0}  {:>8.2}  {:>8.0}  {:>9.3}  {:>14}\n",
+            row.rts.name(),
+            row.read_fraction * 100.0,
+            row.messages_per_op,
+            row.bytes_per_op,
+            row.est_ms_per_op,
+            row.copies_fetched
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_heavy_workloads_favour_replication() {
+        let rows = rts_comparison(3, 60, &[0.95]);
+        let broadcast = rows.iter().find(|r| r.rts == RtsKind::Broadcast).unwrap();
+        let update = rows
+            .iter()
+            .find(|r| r.rts == RtsKind::PrimaryUpdate)
+            .unwrap();
+        let invalidate = rows
+            .iter()
+            .find(|r| r.rts == RtsKind::PrimaryInvalidate)
+            .unwrap();
+        // With 95% reads the broadcast RTS does almost all its work locally.
+        assert!(broadcast.messages_per_op < 1.0);
+        // The primary-copy systems need messages for the remote accesses of
+        // the two non-primary nodes, but still fewer than one RPC per op once
+        // copies have been fetched.
+        assert!(update.messages_per_op > broadcast.messages_per_op);
+        assert!(invalidate.messages_per_op > 0.0);
+    }
+
+    #[test]
+    fn write_heavy_workloads_penalize_full_replication() {
+        let rows = rts_comparison(3, 40, &[0.2]);
+        let broadcast = rows.iter().find(|r| r.rts == RtsKind::Broadcast).unwrap();
+        // Every write is a broadcast that every node must process.
+        assert!(broadcast.messages_per_op > 0.5);
+    }
+}

@@ -1,0 +1,160 @@
+//! Speedup experiments (Fig. 2, Fig. 3 and the §4.3/§4.4 numbers).
+
+use orca_apps::{acp, atpg, chess, tsp};
+use orca_core::OrcaRuntime;
+use orca_perf::{CostModel, SpeedupPoint, SpeedupSeries};
+
+use crate::loads::loads_from_runtime;
+use crate::{env_usize, PROCESSOR_SWEEP};
+
+/// Per-unit CPU costs of each application on the paper's MC68030s. The unit
+/// definitions: one branch-and-bound node (TSP), one constraint revision
+/// (ACP), one search node (chess), one PODEM simulation/backtrack step
+/// (ATPG).
+pub mod unit_cost {
+    /// Seconds per TSP branch-and-bound node.
+    pub const TSP: f64 = 150e-6;
+    /// Seconds per ACP constraint revision (set operations over domains).
+    pub const ACP: f64 = 2.5e-3;
+    /// Seconds per chess search node (move generation + evaluation).
+    pub const CHESS: f64 = 1.2e-3;
+    /// Seconds per PODEM step (one implication/simulation pass).
+    pub const ATPG: f64 = 0.8e-3;
+}
+
+/// Fig. 2: TSP speedup on 1–16 processors, 14-city problem.
+pub fn tsp_speedup() -> SpeedupSeries {
+    let cities = env_usize("TSP_CITIES", 14);
+    let instance = tsp::TspInstance::random(cities, 1993);
+    let sequential = tsp::solve_sequential(&instance);
+    let model = CostModel::with_unit_seconds(unit_cost::TSP);
+    let mut points = Vec::new();
+    for &p in PROCESSOR_SWEEP {
+        let runtime = OrcaRuntime::standard(p);
+        let (solution, report) = tsp::solve_parallel(&runtime, &instance, p);
+        assert_eq!(
+            solution.best_length, sequential.best_length,
+            "parallel TSP must find the optimum"
+        );
+        let loads = loads_from_runtime(&runtime, &report);
+        points.push(SpeedupPoint {
+            processors: p,
+            speedup: model.speedup(sequential.nodes_expanded, &loads),
+            seconds: model.makespan(&loads),
+        });
+        runtime.shutdown();
+    }
+    SpeedupSeries::new(format!("Fig 2: TSP speedup ({cities} cities)"), points)
+}
+
+/// Fig. 3: ACP speedup on 2–16 processors, 64 variables.
+pub fn acp_speedup() -> SpeedupSeries {
+    let variables = env_usize("ACP_VARIABLES", 64);
+    let instance = acp::AcpInstance::random(variables, 16, variables * 3, 7);
+    let sequential = acp::solve_sequential(&instance);
+    let model = CostModel::with_unit_seconds(unit_cost::ACP);
+    let mut points = Vec::new();
+    for &p in PROCESSOR_SWEEP.iter().filter(|&&p| p >= 2) {
+        let runtime = acp::runtime(p);
+        let (solution, report) = acp::solve_parallel(&runtime, &instance, p);
+        assert_eq!(solution.no_solution, sequential.no_solution);
+        let loads = loads_from_runtime(&runtime, &report);
+        points.push(SpeedupPoint {
+            processors: p,
+            speedup: model.speedup(sequential.revisions, &loads),
+            seconds: model.makespan(&loads),
+        });
+        runtime.shutdown();
+    }
+    SpeedupSeries::new(
+        format!("Fig 3: ACP speedup ({variables} variables)"),
+        points,
+    )
+}
+
+/// §4.3: Oracol speedup (shared tables), reported by the paper as 4.5–5.5 on
+/// 10 CPUs, limited by search overhead.
+pub fn chess_speedup() -> SpeedupSeries {
+    let position = chess::random_middlegame(12, 1993);
+    let depth = env_usize("CHESS_DEPTH", 4) as i32;
+    let mut tables = chess::LocalTables::new();
+    let sequential = chess::search_position(&position, depth, &mut tables);
+    let model = CostModel::with_unit_seconds(unit_cost::CHESS);
+    let mut points = Vec::new();
+    for &p in &[1usize, 2, 4, 8, 10, 16] {
+        let runtime = OrcaRuntime::standard(p);
+        let (_result, report) =
+            chess::solve_parallel(&runtime, &position, depth, p, chess::TableMode::Shared);
+        let loads = loads_from_runtime(&runtime, &report);
+        points.push(SpeedupPoint {
+            processors: p,
+            speedup: model.speedup(sequential.nodes, &loads),
+            seconds: model.makespan(&loads),
+        });
+        runtime.shutdown();
+    }
+    SpeedupSeries::new("§4.3: Oracol chess speedup (shared tables)", points)
+}
+
+/// §4.3: shared vs local killer/transposition tables at a fixed processor
+/// count. Returns (mode name, total nodes, estimated seconds).
+pub fn chess_tables() -> Vec<(String, u64, f64)> {
+    let position = chess::random_middlegame(12, 1993);
+    let depth = env_usize("CHESS_DEPTH", 4) as i32;
+    let workers = env_usize("CHESS_WORKERS", 8);
+    let model = CostModel::with_unit_seconds(unit_cost::CHESS);
+    let mut rows = Vec::new();
+    for (name, mode) in [
+        ("local tables", chess::TableMode::Local),
+        ("shared tables", chess::TableMode::Shared),
+    ] {
+        let runtime = OrcaRuntime::standard(workers);
+        let (result, report) = chess::solve_parallel(&runtime, &position, depth, workers, mode);
+        let loads = loads_from_runtime(&runtime, &report);
+        rows.push((name.to_string(), result.nodes, model.makespan(&loads)));
+        runtime.shutdown();
+    }
+    rows
+}
+
+/// §4.4: ATPG speedup with and without the shared fault-simulation object.
+/// Returns two series plus the absolute-time ratio at the largest processor
+/// count (the paper reports ≈ 3× faster with fault simulation).
+pub fn atpg_speedup() -> (SpeedupSeries, SpeedupSeries, f64) {
+    let inputs = env_usize("ATPG_INPUTS", 12);
+    let gates = env_usize("ATPG_GATES", 90);
+    let circuit = atpg::Circuit::random(inputs, gates, 1993);
+    let model = CostModel::with_unit_seconds(unit_cost::ATPG);
+    let sequential_plain = atpg::solve_sequential(&circuit, false);
+    let sequential_sim = atpg::solve_sequential(&circuit, true);
+
+    let mut run = |fault_sim: bool, sequential_work: u64| -> SpeedupSeries {
+        let mut points = Vec::new();
+        for &p in PROCESSOR_SWEEP {
+            let runtime = OrcaRuntime::standard(p);
+            let (_result, report) = atpg::solve_parallel(&runtime, &circuit, p, fault_sim);
+            let loads = loads_from_runtime(&runtime, &report);
+            points.push(SpeedupPoint {
+                processors: p,
+                speedup: model.speedup(sequential_work, &loads),
+                seconds: model.makespan(&loads),
+            });
+            runtime.shutdown();
+        }
+        SpeedupSeries::new(
+            if fault_sim {
+                "§4.4: ATPG speedup (with shared fault simulation)"
+            } else {
+                "§4.4: ATPG speedup (static partitioning only)"
+            },
+            points,
+        )
+    };
+    let plain = run(false, sequential_plain.work);
+    let with_sim = run(true, sequential_sim.work);
+    // Absolute time comparison at the largest measured processor count.
+    let last_plain = plain.points.last().map(|p| p.seconds).unwrap_or(1.0);
+    let last_sim = with_sim.points.last().map(|p| p.seconds).unwrap_or(1.0);
+    let abs_ratio = last_plain / last_sim.max(1e-9);
+    (plain, with_sim, abs_ratio)
+}

@@ -1,0 +1,128 @@
+//! Configuration of an Orca runtime instance.
+
+use orca_amoeba::FaultConfig;
+use orca_group::GroupConfig;
+use orca_rts::{ReplicationPolicy, RtsKind, WritePolicy};
+
+/// Which runtime system each node runs.
+#[derive(Debug, Clone)]
+pub enum RtsStrategy {
+    /// The broadcast runtime system (full replication, operation shipping
+    /// over PB/BB totally-ordered broadcast).
+    Broadcast(GroupConfig),
+    /// The point-to-point runtime system (primary copy, invalidation or
+    /// two-phase update, dynamic replication).
+    PrimaryCopy {
+        /// Write propagation protocol.
+        policy: WritePolicy,
+        /// Dynamic replication thresholds.
+        replication: ReplicationPolicy,
+    },
+}
+
+impl RtsStrategy {
+    /// Default broadcast strategy.
+    pub fn broadcast() -> Self {
+        RtsStrategy::Broadcast(GroupConfig::default())
+    }
+
+    /// Primary-copy strategy with two-phase updates (the paper's usual
+    /// better-performing point-to-point variant).
+    pub fn primary_update() -> Self {
+        RtsStrategy::PrimaryCopy {
+            policy: WritePolicy::Update,
+            replication: ReplicationPolicy::default(),
+        }
+    }
+
+    /// Primary-copy strategy with invalidation.
+    pub fn primary_invalidate() -> Self {
+        RtsStrategy::PrimaryCopy {
+            policy: WritePolicy::Invalidate,
+            replication: ReplicationPolicy::default(),
+        }
+    }
+
+    /// The [`RtsKind`] this strategy produces.
+    pub fn kind(&self) -> RtsKind {
+        match self {
+            RtsStrategy::Broadcast(_) => RtsKind::Broadcast,
+            RtsStrategy::PrimaryCopy {
+                policy: WritePolicy::Invalidate,
+                ..
+            } => RtsKind::PrimaryInvalidate,
+            RtsStrategy::PrimaryCopy {
+                policy: WritePolicy::Update,
+                ..
+            } => RtsKind::PrimaryUpdate,
+        }
+    }
+}
+
+/// Configuration of a whole Orca application run.
+#[derive(Debug, Clone)]
+pub struct OrcaConfig {
+    /// Number of processors in the pool (the paper's experiments use up
+    /// to 16).
+    pub processors: usize,
+    /// Fault injection applied to the simulated network.
+    pub fault: FaultConfig,
+    /// Runtime-system strategy used on every node.
+    pub strategy: RtsStrategy,
+}
+
+impl OrcaConfig {
+    /// Broadcast runtime system on `processors` processors over a reliable
+    /// network — the configuration the paper's measurements use.
+    pub fn broadcast(processors: usize) -> Self {
+        OrcaConfig {
+            processors,
+            fault: FaultConfig::reliable(),
+            strategy: RtsStrategy::broadcast(),
+        }
+    }
+
+    /// Point-to-point runtime system with the given write policy.
+    pub fn primary_copy(processors: usize, policy: WritePolicy) -> Self {
+        OrcaConfig {
+            processors,
+            fault: FaultConfig::reliable(),
+            strategy: RtsStrategy::PrimaryCopy {
+                policy,
+                replication: ReplicationPolicy::default(),
+            },
+        }
+    }
+
+    /// Replace the fault configuration.
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_kinds() {
+        assert_eq!(RtsStrategy::broadcast().kind(), RtsKind::Broadcast);
+        assert_eq!(RtsStrategy::primary_update().kind(), RtsKind::PrimaryUpdate);
+        assert_eq!(
+            RtsStrategy::primary_invalidate().kind(),
+            RtsKind::PrimaryInvalidate
+        );
+    }
+
+    #[test]
+    fn config_builders() {
+        let config = OrcaConfig::broadcast(16);
+        assert_eq!(config.processors, 16);
+        assert!(config.fault.is_reliable());
+        let config = OrcaConfig::primary_copy(4, WritePolicy::Invalidate)
+            .with_fault(FaultConfig::lossy(0.1, 3));
+        assert_eq!(config.strategy.kind(), RtsKind::PrimaryInvalidate);
+        assert!(!config.fault.is_reliable());
+    }
+}

@@ -1,0 +1,76 @@
+//! Typed handles to shared objects.
+
+use std::marker::PhantomData;
+
+use orca_object::{ObjectId, ObjectType};
+
+/// A typed, copyable reference to a shared data-object.
+///
+/// A handle is the Rust analogue of an Orca object variable that is passed to
+/// forked processes as a *shared parameter*: it identifies the object and
+/// carries its type, but holds no replica itself. Operations are invoked
+/// through the [`crate::OrcaNode`] context of the process performing them, so
+/// that each access goes through the runtime system of the machine the
+/// process runs on.
+pub struct ObjectHandle<T: ObjectType> {
+    id: ObjectId,
+    _type: PhantomData<fn() -> T>,
+}
+
+impl<T: ObjectType> ObjectHandle<T> {
+    /// Wrap a raw object id in a typed handle.
+    ///
+    /// Callers are responsible for the id really referring to an object of
+    /// type `T` (the runtime creates handles through
+    /// [`crate::OrcaRuntime::create`], which guarantees it).
+    pub fn from_id(id: ObjectId) -> Self {
+        ObjectHandle {
+            id,
+            _type: PhantomData,
+        }
+    }
+
+    /// The underlying object id.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+}
+
+impl<T: ObjectType> Clone for ObjectHandle<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T: ObjectType> Copy for ObjectHandle<T> {}
+
+impl<T: ObjectType> std::fmt::Debug for ObjectHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ObjectHandle<{}>({})", T::TYPE_NAME, self.id)
+    }
+}
+
+impl<T: ObjectType> PartialEq for ObjectHandle<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl<T: ObjectType> Eq for ObjectHandle<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::IntObject;
+
+    #[test]
+    fn handles_are_copyable_and_comparable() {
+        let a: ObjectHandle<IntObject> = ObjectHandle::from_id(ObjectId::compose(1, 2));
+        let b = a;
+        assert_eq!(a, b);
+        assert_eq!(a.id(), ObjectId::compose(1, 2));
+        assert!(format!("{a:?}").contains("orca.Int"));
+        let c: ObjectHandle<IntObject> = ObjectHandle::from_id(ObjectId::compose(1, 3));
+        assert_ne!(a, c);
+    }
+}

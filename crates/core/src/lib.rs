@@ -1,0 +1,73 @@
+//! The Orca programming model on top of the shared-object runtime systems.
+//!
+//! Orca programs consist of *processes* and *objects*: processes are created
+//! dynamically with `fork`, objects are instances of abstract data types that
+//! are passed to forked processes as shared parameters. This crate is the
+//! Rust rendering of that model (the paper's contribution is the model and
+//! its runtime, not the Orca syntax):
+//!
+//! * [`OrcaRuntime`] — builds the simulated processor pool, the network and
+//!   one runtime-system instance per node, and lets the "main process"
+//!   create objects and fork worker processes onto specific processors.
+//! * [`OrcaNode`] — the per-process execution context handed to every forked
+//!   process; it routes operation invocations through *its own node's*
+//!   runtime system, exactly as an Orca process uses the RTS of the machine
+//!   it runs on.
+//! * [`ObjectHandle`] — a typed, copyable reference to a shared object that
+//!   can be captured by forked closures (the analogue of passing an object
+//!   as a shared parameter).
+//! * [`objects`] — a library of ready-made object types (shared integer with
+//!   atomic minimum, job queue, barrier, boolean flag and array, set,
+//!   key-value table) that cover the patterns the paper's applications use,
+//!   including the *replicated worker paradigm* helper in [`worker`].
+
+pub mod config;
+pub mod handle;
+pub mod objects;
+pub mod runtime;
+pub mod worker;
+
+pub use config::{OrcaConfig, RtsStrategy};
+pub use handle::ObjectHandle;
+pub use runtime::{OrcaNode, OrcaRuntime};
+pub use worker::replicated_workers;
+
+/// Errors surfaced by the Orca layer (thin wrapper over the RTS errors).
+pub type OrcaError = orca_rts::RtsError;
+
+/// Result alias for Orca-level calls.
+pub type OrcaResult<T> = Result<T, OrcaError>;
+
+/// Build an [`orca_object::ObjectRegistry`] pre-loaded with every standard
+/// object type in [`objects`]. Applications add their own types on top.
+pub fn standard_registry() -> orca_object::ObjectRegistry {
+    let mut registry = orca_object::ObjectRegistry::new();
+    registry
+        .register::<objects::IntObject>()
+        .register::<objects::BoolObject>()
+        .register::<objects::BoolArrayObject>()
+        .register::<objects::JobQueueObject>()
+        .register::<objects::BarrierObject>()
+        .register::<objects::SetObject>()
+        .register::<objects::KvTableObject>();
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn standard_registry_contains_all_types() {
+        let registry = super::standard_registry();
+        for name in [
+            "orca.Int",
+            "orca.Bool",
+            "orca.BoolArray",
+            "orca.JobQueue",
+            "orca.Barrier",
+            "orca.Set",
+            "orca.KvTable",
+        ] {
+            assert!(registry.contains(name), "{name} missing");
+        }
+    }
+}

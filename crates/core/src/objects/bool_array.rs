@@ -1,0 +1,249 @@
+//! Shared array of booleans.
+//!
+//! ACP uses two of these: `work[v]` marks variables whose value sets must be
+//! rechecked, and `result[p]` marks processes that are willing to terminate.
+//! The termination test of the paper ("all entries of `work` are false and
+//! all entries of `result` are true") maps onto the indivisible `AllFalse`
+//! and `AllTrue` read operations.
+
+use orca_object::{ObjectType, OpKind, OpOutcome};
+use orca_wire::{Decoder, Encoder, Wire, WireError, WireResult};
+
+use crate::handle::ObjectHandle;
+use crate::runtime::OrcaNode;
+use crate::OrcaResult;
+
+/// Marker type for the shared boolean-array object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoolArrayObject;
+
+/// Operations of [`BoolArrayObject`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoolArrayOp {
+    /// Set entry `index` to `value` (write); returns the new value.
+    Set {
+        /// Entry to modify.
+        index: u32,
+        /// New value.
+        value: bool,
+    },
+    /// Set several entries to `true` in one indivisible operation (write);
+    /// returns `true`. Used to mark all neighbours of a reduced variable.
+    SetAllOf {
+        /// Entries to set.
+        indices: Vec<u32>,
+    },
+    /// Read entry `index`.
+    Get(u32),
+    /// True if every entry is false (read).
+    AllFalse,
+    /// True if every entry is true (read).
+    AllTrue,
+    /// Number of entries that are true (read).
+    CountTrue,
+}
+
+impl Wire for BoolArrayOp {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            BoolArrayOp::Set { index, value } => {
+                enc.put_u8(0);
+                index.encode(enc);
+                value.encode(enc);
+            }
+            BoolArrayOp::SetAllOf { indices } => {
+                enc.put_u8(1);
+                indices.encode(enc);
+            }
+            BoolArrayOp::Get(index) => {
+                enc.put_u8(2);
+                index.encode(enc);
+            }
+            BoolArrayOp::AllFalse => enc.put_u8(3),
+            BoolArrayOp::AllTrue => enc.put_u8(4),
+            BoolArrayOp::CountTrue => enc.put_u8(5),
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        match dec.get_u8()? {
+            0 => Ok(BoolArrayOp::Set {
+                index: Wire::decode(dec)?,
+                value: Wire::decode(dec)?,
+            }),
+            1 => Ok(BoolArrayOp::SetAllOf {
+                indices: Wire::decode(dec)?,
+            }),
+            2 => Ok(BoolArrayOp::Get(Wire::decode(dec)?)),
+            3 => Ok(BoolArrayOp::AllFalse),
+            4 => Ok(BoolArrayOp::AllTrue),
+            5 => Ok(BoolArrayOp::CountTrue),
+            tag => Err(WireError::InvalidTag {
+                type_name: "BoolArrayOp",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+impl ObjectType for BoolArrayObject {
+    type State = Vec<bool>;
+    type Op = BoolArrayOp;
+    type Reply = u64;
+
+    const TYPE_NAME: &'static str = "orca.BoolArray";
+
+    fn kind(op: &Self::Op) -> OpKind {
+        match op {
+            BoolArrayOp::Set { .. } | BoolArrayOp::SetAllOf { .. } => OpKind::Write,
+            BoolArrayOp::Get(_)
+            | BoolArrayOp::AllFalse
+            | BoolArrayOp::AllTrue
+            | BoolArrayOp::CountTrue => OpKind::Read,
+        }
+    }
+
+    fn apply(state: &mut Self::State, op: &Self::Op) -> OpOutcome<Self::Reply> {
+        match op {
+            BoolArrayOp::Set { index, value } => {
+                let index = *index as usize;
+                if index < state.len() {
+                    state[index] = *value;
+                }
+                OpOutcome::Done(u64::from(*value))
+            }
+            BoolArrayOp::SetAllOf { indices } => {
+                for &index in indices {
+                    let index = index as usize;
+                    if index < state.len() {
+                        state[index] = true;
+                    }
+                }
+                OpOutcome::Done(1)
+            }
+            BoolArrayOp::Get(index) => {
+                let value = state.get(*index as usize).copied().unwrap_or(false);
+                OpOutcome::Done(u64::from(value))
+            }
+            BoolArrayOp::AllFalse => OpOutcome::Done(u64::from(state.iter().all(|v| !*v))),
+            BoolArrayOp::AllTrue => OpOutcome::Done(u64::from(state.iter().all(|v| *v))),
+            BoolArrayOp::CountTrue => {
+                OpOutcome::Done(state.iter().filter(|v| **v).count() as u64)
+            }
+        }
+    }
+}
+
+/// Typed convenience wrapper around a [`BoolArrayObject`] handle.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolArray {
+    handle: ObjectHandle<BoolArrayObject>,
+}
+
+impl BoolArray {
+    /// Create an array of `len` entries, all set to `initial`.
+    pub fn create(ctx: &OrcaNode, len: usize, initial: bool) -> OrcaResult<Self> {
+        Ok(BoolArray {
+            handle: ctx.create::<BoolArrayObject>(&vec![initial; len])?,
+        })
+    }
+
+    /// Wrap an existing handle.
+    pub fn from_handle(handle: ObjectHandle<BoolArrayObject>) -> Self {
+        BoolArray { handle }
+    }
+
+    /// The underlying handle.
+    pub fn handle(&self) -> ObjectHandle<BoolArrayObject> {
+        self.handle
+    }
+
+    /// Set one entry.
+    pub fn set(&self, ctx: &OrcaNode, index: u32, value: bool) -> OrcaResult<()> {
+        ctx.invoke(self.handle, &BoolArrayOp::Set { index, value })?;
+        Ok(())
+    }
+
+    /// Set several entries to true indivisibly.
+    pub fn set_all_of(&self, ctx: &OrcaNode, indices: Vec<u32>) -> OrcaResult<()> {
+        ctx.invoke(self.handle, &BoolArrayOp::SetAllOf { indices })?;
+        Ok(())
+    }
+
+    /// Read one entry.
+    pub fn get(&self, ctx: &OrcaNode, index: u32) -> OrcaResult<bool> {
+        Ok(ctx.invoke(self.handle, &BoolArrayOp::Get(index))? != 0)
+    }
+
+    /// True if every entry is false.
+    pub fn all_false(&self, ctx: &OrcaNode) -> OrcaResult<bool> {
+        Ok(ctx.invoke(self.handle, &BoolArrayOp::AllFalse)? != 0)
+    }
+
+    /// True if every entry is true.
+    pub fn all_true(&self, ctx: &OrcaNode) -> OrcaResult<bool> {
+        Ok(ctx.invoke(self.handle, &BoolArrayOp::AllTrue)? != 0)
+    }
+
+    /// Number of true entries.
+    pub fn count_true(&self, ctx: &OrcaNode) -> OrcaResult<u64> {
+        ctx.invoke(self.handle, &BoolArrayOp::CountTrue)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semantics() {
+        let mut state = vec![false; 4];
+        BoolArrayObject::apply(&mut state, &BoolArrayOp::Set { index: 1, value: true });
+        assert_eq!(
+            BoolArrayObject::apply(&mut state, &BoolArrayOp::Get(1)),
+            OpOutcome::Done(1)
+        );
+        assert_eq!(
+            BoolArrayObject::apply(&mut state, &BoolArrayOp::AllFalse),
+            OpOutcome::Done(0)
+        );
+        BoolArrayObject::apply(
+            &mut state,
+            &BoolArrayOp::SetAllOf {
+                indices: vec![0, 2, 3],
+            },
+        );
+        assert_eq!(
+            BoolArrayObject::apply(&mut state, &BoolArrayOp::AllTrue),
+            OpOutcome::Done(1)
+        );
+        assert_eq!(
+            BoolArrayObject::apply(&mut state, &BoolArrayOp::CountTrue),
+            OpOutcome::Done(4)
+        );
+    }
+
+    #[test]
+    fn out_of_range_accesses_are_harmless() {
+        let mut state = vec![false; 2];
+        BoolArrayObject::apply(&mut state, &BoolArrayOp::Set { index: 9, value: true });
+        assert_eq!(
+            BoolArrayObject::apply(&mut state, &BoolArrayOp::Get(9)),
+            OpOutcome::Done(0)
+        );
+        assert_eq!(state.len(), 2);
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        for op in [
+            BoolArrayOp::Set { index: 3, value: true },
+            BoolArrayOp::SetAllOf { indices: vec![1, 2] },
+            BoolArrayOp::Get(0),
+            BoolArrayOp::AllFalse,
+            BoolArrayOp::AllTrue,
+            BoolArrayOp::CountTrue,
+        ] {
+            assert_eq!(BoolArrayOp::from_bytes(&op.to_bytes()).unwrap(), op);
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Shared job queue — the heart of the replicated worker paradigm.
+//!
+//! A manager process generates jobs and adds them to the queue; every worker
+//! repeatedly takes a job and executes it. `GetJob` is a blocking operation:
+//! while the queue is empty and not yet closed, its guard is false and the
+//! calling worker waits; once the manager calls `Close`, waiting workers are
+//! released with [`JobQueueReply::NoMoreJobs`].
+//!
+//! Jobs are stored as encoded byte strings so one object type serves every
+//! application; the typed wrapper [`JobQueue`] encodes and decodes the
+//! application's job type at the edges.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+
+use orca_object::{ObjectType, OpKind, OpOutcome};
+use orca_wire::{Decoder, Encoder, Wire, WireError, WireResult};
+
+use crate::handle::ObjectHandle;
+use crate::runtime::OrcaNode;
+use crate::{OrcaError, OrcaResult};
+
+/// Marker type for the shared job-queue object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobQueueObject;
+
+/// State of the queue: pending jobs plus the "no more jobs will be added"
+/// flag.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JobQueueState {
+    /// Jobs waiting to be executed (encoded).
+    pub jobs: VecDeque<Vec<u8>>,
+    /// True once the manager has promised not to add further jobs.
+    pub closed: bool,
+    /// Total number of jobs ever added (for statistics).
+    pub total_added: u64,
+}
+
+impl Wire for JobQueueState {
+    fn encode(&self, enc: &mut Encoder) {
+        self.jobs.encode(enc);
+        self.closed.encode(enc);
+        self.total_added.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        Ok(JobQueueState {
+            jobs: Wire::decode(dec)?,
+            closed: Wire::decode(dec)?,
+            total_added: Wire::decode(dec)?,
+        })
+    }
+}
+
+/// Operations of [`JobQueueObject`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobQueueOp {
+    /// Append a job (write); returns the queue length.
+    AddJob(Vec<u8>),
+    /// Append several jobs in one indivisible operation (write).
+    AddJobs(Vec<Vec<u8>>),
+    /// Declare that no further jobs will be added (write).
+    Close,
+    /// Take the next job (write, blocking): waits while the queue is empty
+    /// and not closed.
+    GetJob,
+    /// Number of pending jobs (read).
+    Len,
+}
+
+impl Wire for JobQueueOp {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            JobQueueOp::AddJob(job) => {
+                enc.put_u8(0);
+                enc.put_bytes(job);
+            }
+            JobQueueOp::AddJobs(jobs) => {
+                enc.put_u8(1);
+                jobs.encode(enc);
+            }
+            JobQueueOp::Close => enc.put_u8(2),
+            JobQueueOp::GetJob => enc.put_u8(3),
+            JobQueueOp::Len => enc.put_u8(4),
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        match dec.get_u8()? {
+            0 => Ok(JobQueueOp::AddJob(dec.get_bytes()?)),
+            1 => Ok(JobQueueOp::AddJobs(Wire::decode(dec)?)),
+            2 => Ok(JobQueueOp::Close),
+            3 => Ok(JobQueueOp::GetJob),
+            4 => Ok(JobQueueOp::Len),
+            tag => Err(WireError::InvalidTag {
+                type_name: "JobQueueOp",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+/// Replies of [`JobQueueObject`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobQueueReply {
+    /// A job taken from the queue.
+    Job(Vec<u8>),
+    /// The queue is closed and empty: the worker should terminate.
+    NoMoreJobs,
+    /// Queue length (reply to `AddJob*`/`Len`/`Close`).
+    Len(u64),
+}
+
+impl Wire for JobQueueReply {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            JobQueueReply::Job(job) => {
+                enc.put_u8(0);
+                enc.put_bytes(job);
+            }
+            JobQueueReply::NoMoreJobs => enc.put_u8(1),
+            JobQueueReply::Len(n) => {
+                enc.put_u8(2);
+                n.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        match dec.get_u8()? {
+            0 => Ok(JobQueueReply::Job(dec.get_bytes()?)),
+            1 => Ok(JobQueueReply::NoMoreJobs),
+            2 => Ok(JobQueueReply::Len(Wire::decode(dec)?)),
+            tag => Err(WireError::InvalidTag {
+                type_name: "JobQueueReply",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+impl ObjectType for JobQueueObject {
+    type State = JobQueueState;
+    type Op = JobQueueOp;
+    type Reply = JobQueueReply;
+
+    const TYPE_NAME: &'static str = "orca.JobQueue";
+
+    fn kind(op: &Self::Op) -> OpKind {
+        match op {
+            JobQueueOp::AddJob(_)
+            | JobQueueOp::AddJobs(_)
+            | JobQueueOp::Close
+            | JobQueueOp::GetJob => OpKind::Write,
+            JobQueueOp::Len => OpKind::Read,
+        }
+    }
+
+    fn apply(state: &mut Self::State, op: &Self::Op) -> OpOutcome<Self::Reply> {
+        match op {
+            JobQueueOp::AddJob(job) => {
+                state.jobs.push_back(job.clone());
+                state.total_added += 1;
+                OpOutcome::Done(JobQueueReply::Len(state.jobs.len() as u64))
+            }
+            JobQueueOp::AddJobs(jobs) => {
+                for job in jobs {
+                    state.jobs.push_back(job.clone());
+                    state.total_added += 1;
+                }
+                OpOutcome::Done(JobQueueReply::Len(state.jobs.len() as u64))
+            }
+            JobQueueOp::Close => {
+                state.closed = true;
+                OpOutcome::Done(JobQueueReply::Len(state.jobs.len() as u64))
+            }
+            JobQueueOp::GetJob => {
+                if let Some(job) = state.jobs.pop_front() {
+                    OpOutcome::Done(JobQueueReply::Job(job))
+                } else if state.closed {
+                    OpOutcome::Done(JobQueueReply::NoMoreJobs)
+                } else {
+                    // Guard: a job must be available or the queue closed.
+                    OpOutcome::Blocked
+                }
+            }
+            JobQueueOp::Len => OpOutcome::Done(JobQueueReply::Len(state.jobs.len() as u64)),
+        }
+    }
+}
+
+/// Typed job queue over an application-defined job type `J`.
+#[derive(Debug)]
+pub struct JobQueue<J: Wire> {
+    handle: ObjectHandle<JobQueueObject>,
+    _job: PhantomData<fn() -> J>,
+}
+
+impl<J: Wire> Clone for JobQueue<J> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<J: Wire> Copy for JobQueue<J> {}
+
+impl<J: Wire> JobQueue<J> {
+    /// Create an empty, open job queue.
+    pub fn create(ctx: &OrcaNode) -> OrcaResult<Self> {
+        Ok(JobQueue {
+            handle: ctx.create::<JobQueueObject>(&JobQueueState::default())?,
+            _job: PhantomData,
+        })
+    }
+
+    /// Wrap an existing handle.
+    pub fn from_handle(handle: ObjectHandle<JobQueueObject>) -> Self {
+        JobQueue {
+            handle,
+            _job: PhantomData,
+        }
+    }
+
+    /// The underlying handle.
+    pub fn handle(&self) -> ObjectHandle<JobQueueObject> {
+        self.handle
+    }
+
+    /// Add one job.
+    pub fn add(&self, ctx: &OrcaNode, job: &J) -> OrcaResult<()> {
+        ctx.invoke(self.handle, &JobQueueOp::AddJob(job.to_bytes()))?;
+        Ok(())
+    }
+
+    /// Add a batch of jobs in one indivisible operation.
+    pub fn add_all(&self, ctx: &OrcaNode, jobs: &[J]) -> OrcaResult<()> {
+        let encoded = jobs.iter().map(Wire::to_bytes).collect();
+        ctx.invoke(self.handle, &JobQueueOp::AddJobs(encoded))?;
+        Ok(())
+    }
+
+    /// Declare that no further jobs will be added.
+    pub fn close(&self, ctx: &OrcaNode) -> OrcaResult<()> {
+        ctx.invoke(self.handle, &JobQueueOp::Close)?;
+        Ok(())
+    }
+
+    /// Take the next job, blocking while the queue is empty and open.
+    /// Returns `None` once the queue is closed and drained.
+    pub fn get(&self, ctx: &OrcaNode) -> OrcaResult<Option<J>> {
+        match ctx.invoke(self.handle, &JobQueueOp::GetJob)? {
+            JobQueueReply::Job(bytes) => {
+                let job = J::from_bytes(&bytes)
+                    .map_err(|err| OrcaError::Communication(format!("job decode: {err}")))?;
+                Ok(Some(job))
+            }
+            JobQueueReply::NoMoreJobs => Ok(None),
+            JobQueueReply::Len(_) => Err(OrcaError::Communication(
+                "unexpected Len reply to GetJob".into(),
+            )),
+        }
+    }
+
+    /// Number of pending jobs.
+    pub fn len(&self, ctx: &OrcaNode) -> OrcaResult<u64> {
+        match ctx.invoke(self.handle, &JobQueueOp::Len)? {
+            JobQueueReply::Len(n) => Ok(n),
+            _ => Err(OrcaError::Communication("unexpected reply to Len".into())),
+        }
+    }
+
+    /// True if no jobs are pending.
+    pub fn is_empty(&self, ctx: &OrcaNode) -> OrcaResult<bool> {
+        Ok(self.len(ctx)? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_blocking_guard() {
+        let mut state = JobQueueState::default();
+        assert_eq!(
+            JobQueueObject::apply(&mut state, &JobQueueOp::GetJob),
+            OpOutcome::Blocked
+        );
+        JobQueueObject::apply(&mut state, &JobQueueOp::AddJob(vec![1]));
+        JobQueueObject::apply(&mut state, &JobQueueOp::AddJob(vec![2]));
+        assert_eq!(
+            JobQueueObject::apply(&mut state, &JobQueueOp::GetJob),
+            OpOutcome::Done(JobQueueReply::Job(vec![1]))
+        );
+        assert_eq!(
+            JobQueueObject::apply(&mut state, &JobQueueOp::GetJob),
+            OpOutcome::Done(JobQueueReply::Job(vec![2]))
+        );
+        assert_eq!(
+            JobQueueObject::apply(&mut state, &JobQueueOp::GetJob),
+            OpOutcome::Blocked
+        );
+        JobQueueObject::apply(&mut state, &JobQueueOp::Close);
+        assert_eq!(
+            JobQueueObject::apply(&mut state, &JobQueueOp::GetJob),
+            OpOutcome::Done(JobQueueReply::NoMoreJobs)
+        );
+        assert_eq!(state.total_added, 2);
+    }
+
+    #[test]
+    fn batch_add() {
+        let mut state = JobQueueState::default();
+        JobQueueObject::apply(
+            &mut state,
+            &JobQueueOp::AddJobs(vec![vec![1], vec![2], vec![3]]),
+        );
+        assert_eq!(state.jobs.len(), 3);
+        assert_eq!(
+            JobQueueObject::apply(&mut state, &JobQueueOp::Len),
+            OpOutcome::Done(JobQueueReply::Len(3))
+        );
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let state = JobQueueState {
+            jobs: vec![vec![1, 2], vec![]].into(),
+            closed: true,
+            total_added: 7,
+        };
+        assert_eq!(
+            JobQueueState::from_bytes(&state.to_bytes()).unwrap(),
+            state
+        );
+        for op in [
+            JobQueueOp::AddJob(vec![1]),
+            JobQueueOp::AddJobs(vec![vec![2]]),
+            JobQueueOp::Close,
+            JobQueueOp::GetJob,
+            JobQueueOp::Len,
+        ] {
+            assert_eq!(JobQueueOp::from_bytes(&op.to_bytes()).unwrap(), op);
+        }
+        for reply in [
+            JobQueueReply::Job(vec![1]),
+            JobQueueReply::NoMoreJobs,
+            JobQueueReply::Len(4),
+        ] {
+            assert_eq!(JobQueueReply::from_bytes(&reply.to_bytes()).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(JobQueueObject::kind(&JobQueueOp::GetJob), OpKind::Write);
+        assert_eq!(JobQueueObject::kind(&JobQueueOp::Len), OpKind::Read);
+    }
+}

@@ -1,0 +1,294 @@
+//! Shared key-value table.
+//!
+//! Oracol (the chess program) keeps its transposition table and its killer
+//! table either as local data structures or as shared objects; the shared
+//! version is one object of this type per table. Keys are 64-bit hashes
+//! (Zobrist keys for the transposition table, ply numbers for the killer
+//! table); entries carry a value, a depth and a small payload word so the
+//! search can store bounds and best moves.
+
+use std::collections::BTreeMap;
+
+use orca_object::{ObjectType, OpKind, OpOutcome};
+use orca_wire::{Decoder, Encoder, Wire, WireError, WireResult};
+
+use crate::handle::ObjectHandle;
+use crate::runtime::OrcaNode;
+use crate::OrcaResult;
+
+/// One table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TableEntry {
+    /// Search depth the entry was computed at (entries from deeper searches
+    /// replace shallower ones).
+    pub depth: i32,
+    /// Stored value (evaluation score, bound, ...).
+    pub value: i64,
+    /// Auxiliary payload (bound flag, encoded best move, ...).
+    pub aux: u64,
+}
+
+impl Wire for TableEntry {
+    fn encode(&self, enc: &mut Encoder) {
+        self.depth.encode(enc);
+        self.value.encode(enc);
+        self.aux.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        Ok(TableEntry {
+            depth: Wire::decode(dec)?,
+            value: Wire::decode(dec)?,
+            aux: Wire::decode(dec)?,
+        })
+    }
+}
+
+/// Marker type for the shared key-value table object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvTableObject;
+
+/// Operations of [`KvTableObject`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvTableOp {
+    /// Store an entry if it is at least as deep as the existing one (write);
+    /// returns 1 if the entry was stored.
+    Put {
+        /// Hash key.
+        key: u64,
+        /// Entry to store.
+        entry: TableEntry,
+    },
+    /// Look up a key (read).
+    Get(u64),
+    /// Number of entries (read).
+    Len,
+    /// Remove everything (write).
+    Clear,
+}
+
+impl Wire for KvTableOp {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            KvTableOp::Put { key, entry } => {
+                enc.put_u8(0);
+                key.encode(enc);
+                entry.encode(enc);
+            }
+            KvTableOp::Get(key) => {
+                enc.put_u8(1);
+                key.encode(enc);
+            }
+            KvTableOp::Len => enc.put_u8(2),
+            KvTableOp::Clear => enc.put_u8(3),
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        match dec.get_u8()? {
+            0 => Ok(KvTableOp::Put {
+                key: Wire::decode(dec)?,
+                entry: Wire::decode(dec)?,
+            }),
+            1 => Ok(KvTableOp::Get(Wire::decode(dec)?)),
+            2 => Ok(KvTableOp::Len),
+            3 => Ok(KvTableOp::Clear),
+            tag => Err(WireError::InvalidTag {
+                type_name: "KvTableOp",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+/// Reply type of [`KvTableObject`] operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvTableReply {
+    /// Entry found for a `Get`.
+    Found(TableEntry),
+    /// Nothing stored under the key.
+    Missing,
+    /// Count reply (`Put`, `Len`, `Clear`).
+    Count(u64),
+}
+
+impl Wire for KvTableReply {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            KvTableReply::Found(entry) => {
+                enc.put_u8(0);
+                entry.encode(enc);
+            }
+            KvTableReply::Missing => enc.put_u8(1),
+            KvTableReply::Count(n) => {
+                enc.put_u8(2);
+                n.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        match dec.get_u8()? {
+            0 => Ok(KvTableReply::Found(Wire::decode(dec)?)),
+            1 => Ok(KvTableReply::Missing),
+            2 => Ok(KvTableReply::Count(Wire::decode(dec)?)),
+            tag => Err(WireError::InvalidTag {
+                type_name: "KvTableReply",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+impl ObjectType for KvTableObject {
+    type State = BTreeMap<u64, TableEntry>;
+    type Op = KvTableOp;
+    type Reply = KvTableReply;
+
+    const TYPE_NAME: &'static str = "orca.KvTable";
+
+    fn kind(op: &Self::Op) -> OpKind {
+        match op {
+            KvTableOp::Put { .. } | KvTableOp::Clear => OpKind::Write,
+            KvTableOp::Get(_) | KvTableOp::Len => OpKind::Read,
+        }
+    }
+
+    fn apply(state: &mut Self::State, op: &Self::Op) -> OpOutcome<Self::Reply> {
+        match op {
+            KvTableOp::Put { key, entry } => {
+                let stored = match state.get(key) {
+                    Some(existing) if existing.depth > entry.depth => false,
+                    _ => {
+                        state.insert(*key, *entry);
+                        true
+                    }
+                };
+                OpOutcome::Done(KvTableReply::Count(u64::from(stored)))
+            }
+            KvTableOp::Get(key) => match state.get(key) {
+                Some(entry) => OpOutcome::Done(KvTableReply::Found(*entry)),
+                None => OpOutcome::Done(KvTableReply::Missing),
+            },
+            KvTableOp::Len => OpOutcome::Done(KvTableReply::Count(state.len() as u64)),
+            KvTableOp::Clear => {
+                state.clear();
+                OpOutcome::Done(KvTableReply::Count(0))
+            }
+        }
+    }
+}
+
+/// Typed convenience wrapper around a [`KvTableObject`] handle.
+#[derive(Debug, Clone, Copy)]
+pub struct KvTable {
+    handle: ObjectHandle<KvTableObject>,
+}
+
+impl KvTable {
+    /// Create an empty shared table.
+    pub fn create(ctx: &OrcaNode) -> OrcaResult<Self> {
+        Ok(KvTable {
+            handle: ctx.create::<KvTableObject>(&BTreeMap::new())?,
+        })
+    }
+
+    /// Wrap an existing handle.
+    pub fn from_handle(handle: ObjectHandle<KvTableObject>) -> Self {
+        KvTable { handle }
+    }
+
+    /// The underlying handle.
+    pub fn handle(&self) -> ObjectHandle<KvTableObject> {
+        self.handle
+    }
+
+    /// Store an entry (deepest entry wins); returns true if it was stored.
+    pub fn put(&self, ctx: &OrcaNode, key: u64, entry: TableEntry) -> OrcaResult<bool> {
+        match ctx.invoke(self.handle, &KvTableOp::Put { key, entry })? {
+            KvTableReply::Count(n) => Ok(n == 1),
+            _ => Ok(false),
+        }
+    }
+
+    /// Look up a key.
+    pub fn get(&self, ctx: &OrcaNode, key: u64) -> OrcaResult<Option<TableEntry>> {
+        match ctx.invoke(self.handle, &KvTableOp::Get(key))? {
+            KvTableReply::Found(entry) => Ok(Some(entry)),
+            _ => Ok(None),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self, ctx: &OrcaNode) -> OrcaResult<u64> {
+        match ctx.invoke(self.handle, &KvTableOp::Len)? {
+            KvTableReply::Count(n) => Ok(n),
+            _ => Ok(0),
+        }
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self, ctx: &OrcaNode) -> OrcaResult<bool> {
+        Ok(self.len(ctx)? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_respects_depth_priority() {
+        let mut state = BTreeMap::new();
+        let deep = TableEntry {
+            depth: 6,
+            value: 100,
+            aux: 1,
+        };
+        let shallow = TableEntry {
+            depth: 2,
+            value: -5,
+            aux: 2,
+        };
+        assert_eq!(
+            KvTableObject::apply(&mut state, &KvTableOp::Put { key: 9, entry: deep }),
+            OpOutcome::Done(KvTableReply::Count(1))
+        );
+        assert_eq!(
+            KvTableObject::apply(&mut state, &KvTableOp::Put { key: 9, entry: shallow }),
+            OpOutcome::Done(KvTableReply::Count(0))
+        );
+        assert_eq!(
+            KvTableObject::apply(&mut state, &KvTableOp::Get(9)),
+            OpOutcome::Done(KvTableReply::Found(deep))
+        );
+        assert_eq!(
+            KvTableObject::apply(&mut state, &KvTableOp::Get(10)),
+            OpOutcome::Done(KvTableReply::Missing)
+        );
+        KvTableObject::apply(&mut state, &KvTableOp::Clear);
+        assert!(state.is_empty());
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let entry = TableEntry {
+            depth: 3,
+            value: -7,
+            aux: 42,
+        };
+        assert_eq!(TableEntry::from_bytes(&entry.to_bytes()).unwrap(), entry);
+        for op in [
+            KvTableOp::Put { key: 1, entry },
+            KvTableOp::Get(2),
+            KvTableOp::Len,
+            KvTableOp::Clear,
+        ] {
+            assert_eq!(KvTableOp::from_bytes(&op.to_bytes()).unwrap(), op);
+        }
+        for reply in [
+            KvTableReply::Found(entry),
+            KvTableReply::Missing,
+            KvTableReply::Count(2),
+        ] {
+            assert_eq!(KvTableReply::from_bytes(&reply.to_bytes()).unwrap(), reply);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Standard library of shared object types.
+//!
+//! These are the reusable abstract data types the paper's applications are
+//! built from: a shared integer with an atomic minimum update (the TSP
+//! bound), a job queue with a blocking dequeue (the replicated worker
+//! paradigm), boolean flags and arrays (ACP's quit/work/result objects), a
+//! barrier, a set of identifiers (ATPG's detected-fault set) and a generic
+//! key-value table (the chess transposition and killer tables).
+//!
+//! Each object type comes with a thin typed wrapper whose methods take the
+//! invoking process's [`crate::OrcaNode`] context, mirroring how an Orca
+//! process performs operations through the RTS of its own machine.
+
+mod barrier;
+mod bool_array;
+mod boolean;
+mod int;
+mod job_queue;
+mod kv_table;
+mod set;
+
+pub use barrier::{Barrier, BarrierObject, BarrierOp};
+pub use bool_array::{BoolArray, BoolArrayObject, BoolArrayOp};
+pub use boolean::{BoolFlag, BoolObject, BoolOp};
+pub use int::{IntObject, IntOp, SharedInt};
+pub use job_queue::{JobQueue, JobQueueObject, JobQueueOp, JobQueueReply, JobQueueState};
+pub use kv_table::{KvTable, KvTableObject, KvTableOp, KvTableReply, TableEntry};
+pub use set::{SetObject, SetOp, SetReply, SharedSet};

@@ -1,0 +1,249 @@
+//! Shared set of identifiers.
+//!
+//! The ATPG program shares "an object containing the gates for which test
+//! patterns have been generated": whenever a process adds a fault to this
+//! set, the other processes drop it from their remaining work.
+
+use std::collections::BTreeSet;
+
+use orca_object::{ObjectType, OpKind, OpOutcome};
+use orca_wire::{Decoder, Encoder, Wire, WireError, WireResult};
+
+use crate::handle::ObjectHandle;
+use crate::runtime::OrcaNode;
+use crate::OrcaResult;
+
+/// Marker type for the shared set object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetObject;
+
+/// Operations of [`SetObject`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetOp {
+    /// Insert one element (write); returns 1 if it was new.
+    Add(u64),
+    /// Insert several elements (write); returns how many were new.
+    AddAll(Vec<u64>),
+    /// Membership test (read).
+    Contains(u64),
+    /// Number of elements (read).
+    Len,
+    /// Return all elements (read).
+    Snapshot,
+}
+
+impl Wire for SetOp {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            SetOp::Add(v) => {
+                enc.put_u8(0);
+                v.encode(enc);
+            }
+            SetOp::AddAll(v) => {
+                enc.put_u8(1);
+                v.encode(enc);
+            }
+            SetOp::Contains(v) => {
+                enc.put_u8(2);
+                v.encode(enc);
+            }
+            SetOp::Len => enc.put_u8(3),
+            SetOp::Snapshot => enc.put_u8(4),
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        match dec.get_u8()? {
+            0 => Ok(SetOp::Add(Wire::decode(dec)?)),
+            1 => Ok(SetOp::AddAll(Wire::decode(dec)?)),
+            2 => Ok(SetOp::Contains(Wire::decode(dec)?)),
+            3 => Ok(SetOp::Len),
+            4 => Ok(SetOp::Snapshot),
+            tag => Err(WireError::InvalidTag {
+                type_name: "SetOp",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+/// Reply type of [`SetObject`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetReply {
+    /// Count (insertions, length or 0/1 membership).
+    Count(u64),
+    /// All elements, sorted.
+    Elements(Vec<u64>),
+}
+
+impl Wire for SetReply {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            SetReply::Count(n) => {
+                enc.put_u8(0);
+                n.encode(enc);
+            }
+            SetReply::Elements(v) => {
+                enc.put_u8(1);
+                v.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        match dec.get_u8()? {
+            0 => Ok(SetReply::Count(Wire::decode(dec)?)),
+            1 => Ok(SetReply::Elements(Wire::decode(dec)?)),
+            tag => Err(WireError::InvalidTag {
+                type_name: "SetReply",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+impl ObjectType for SetObject {
+    type State = BTreeSet<u64>;
+    type Op = SetOp;
+    type Reply = SetReply;
+
+    const TYPE_NAME: &'static str = "orca.Set";
+
+    fn kind(op: &Self::Op) -> OpKind {
+        match op {
+            SetOp::Add(_) | SetOp::AddAll(_) => OpKind::Write,
+            SetOp::Contains(_) | SetOp::Len | SetOp::Snapshot => OpKind::Read,
+        }
+    }
+
+    fn apply(state: &mut Self::State, op: &Self::Op) -> OpOutcome<Self::Reply> {
+        match op {
+            SetOp::Add(v) => OpOutcome::Done(SetReply::Count(u64::from(state.insert(*v)))),
+            SetOp::AddAll(values) => {
+                let added = values.iter().filter(|v| state.insert(**v)).count();
+                OpOutcome::Done(SetReply::Count(added as u64))
+            }
+            SetOp::Contains(v) => {
+                OpOutcome::Done(SetReply::Count(u64::from(state.contains(v))))
+            }
+            SetOp::Len => OpOutcome::Done(SetReply::Count(state.len() as u64)),
+            SetOp::Snapshot => {
+                OpOutcome::Done(SetReply::Elements(state.iter().copied().collect()))
+            }
+        }
+    }
+}
+
+/// Typed convenience wrapper around a [`SetObject`] handle.
+#[derive(Debug, Clone, Copy)]
+pub struct SharedSet {
+    handle: ObjectHandle<SetObject>,
+}
+
+impl SharedSet {
+    /// Create an empty shared set.
+    pub fn create(ctx: &OrcaNode) -> OrcaResult<Self> {
+        Ok(SharedSet {
+            handle: ctx.create::<SetObject>(&BTreeSet::new())?,
+        })
+    }
+
+    /// Wrap an existing handle.
+    pub fn from_handle(handle: ObjectHandle<SetObject>) -> Self {
+        SharedSet { handle }
+    }
+
+    /// The underlying handle.
+    pub fn handle(&self) -> ObjectHandle<SetObject> {
+        self.handle
+    }
+
+    /// Insert one element; returns true if it was new.
+    pub fn add(&self, ctx: &OrcaNode, value: u64) -> OrcaResult<bool> {
+        match ctx.invoke(self.handle, &SetOp::Add(value))? {
+            SetReply::Count(n) => Ok(n == 1),
+            _ => Ok(false),
+        }
+    }
+
+    /// Insert several elements; returns how many were new.
+    pub fn add_all(&self, ctx: &OrcaNode, values: Vec<u64>) -> OrcaResult<u64> {
+        match ctx.invoke(self.handle, &SetOp::AddAll(values))? {
+            SetReply::Count(n) => Ok(n),
+            _ => Ok(0),
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, ctx: &OrcaNode, value: u64) -> OrcaResult<bool> {
+        match ctx.invoke(self.handle, &SetOp::Contains(value))? {
+            SetReply::Count(n) => Ok(n == 1),
+            _ => Ok(false),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self, ctx: &OrcaNode) -> OrcaResult<u64> {
+        match ctx.invoke(self.handle, &SetOp::Len)? {
+            SetReply::Count(n) => Ok(n),
+            _ => Ok(0),
+        }
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self, ctx: &OrcaNode) -> OrcaResult<bool> {
+        Ok(self.len(ctx)? == 0)
+    }
+
+    /// All elements, sorted.
+    pub fn snapshot(&self, ctx: &OrcaNode) -> OrcaResult<Vec<u64>> {
+        match ctx.invoke(self.handle, &SetOp::Snapshot)? {
+            SetReply::Elements(v) => Ok(v),
+            SetReply::Count(_) => Ok(Vec::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_semantics() {
+        let mut state = BTreeSet::new();
+        assert_eq!(
+            SetObject::apply(&mut state, &SetOp::Add(5)),
+            OpOutcome::Done(SetReply::Count(1))
+        );
+        assert_eq!(
+            SetObject::apply(&mut state, &SetOp::Add(5)),
+            OpOutcome::Done(SetReply::Count(0))
+        );
+        assert_eq!(
+            SetObject::apply(&mut state, &SetOp::AddAll(vec![5, 6, 7])),
+            OpOutcome::Done(SetReply::Count(2))
+        );
+        assert_eq!(
+            SetObject::apply(&mut state, &SetOp::Contains(6)),
+            OpOutcome::Done(SetReply::Count(1))
+        );
+        assert_eq!(
+            SetObject::apply(&mut state, &SetOp::Snapshot),
+            OpOutcome::Done(SetReply::Elements(vec![5, 6, 7]))
+        );
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        for op in [
+            SetOp::Add(1),
+            SetOp::AddAll(vec![2, 3]),
+            SetOp::Contains(4),
+            SetOp::Len,
+            SetOp::Snapshot,
+        ] {
+            assert_eq!(SetOp::from_bytes(&op.to_bytes()).unwrap(), op);
+        }
+        for reply in [SetReply::Count(3), SetReply::Elements(vec![1, 2])] {
+            assert_eq!(SetReply::from_bytes(&reply.to_bytes()).unwrap(), reply);
+        }
+    }
+}

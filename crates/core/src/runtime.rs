@@ -1,0 +1,301 @@
+//! The Orca runtime: processor pool, per-node runtime systems, processes.
+
+use std::sync::Arc;
+
+use orca_amoeba::network::{Network, NetworkConfig};
+use orca_amoeba::process::{ProcessHandle, ProcessorPool};
+use orca_amoeba::{NetStatsSnapshot, NodeId};
+use orca_object::{ObjectRegistry, ObjectType, OpKind};
+use orca_rts::{BroadcastRts, PrimaryCopyRts, RtsStatsSnapshot, RuntimeSystem};
+use orca_wire::Wire;
+
+use crate::config::{OrcaConfig, RtsStrategy};
+use crate::handle::ObjectHandle;
+use crate::{OrcaError, OrcaResult};
+
+enum NodeRts {
+    Broadcast(BroadcastRts),
+    Primary(PrimaryCopyRts),
+}
+
+impl NodeRts {
+    fn as_runtime(&self) -> Arc<dyn RuntimeSystem> {
+        match self {
+            NodeRts::Broadcast(rts) => Arc::new(rts.clone()),
+            NodeRts::Primary(rts) => Arc::new(rts.clone()),
+        }
+    }
+
+    fn shutdown(&self) {
+        match self {
+            NodeRts::Broadcast(rts) => rts.shutdown(),
+            NodeRts::Primary(rts) => rts.shutdown(),
+        }
+    }
+}
+
+/// The per-process execution context: which node the process runs on and the
+/// runtime system of that node. Cloneable and cheap to pass into forked
+/// closures.
+#[derive(Clone)]
+pub struct OrcaNode {
+    node: NodeId,
+    rts: Arc<dyn RuntimeSystem>,
+}
+
+impl std::fmt::Debug for OrcaNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OrcaNode").field("node", &self.node).finish()
+    }
+}
+
+impl OrcaNode {
+    /// The simulated processor this context belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of processors in the pool.
+    pub fn processors(&self) -> usize {
+        self.rts.num_nodes()
+    }
+
+    /// Invoke an operation on a shared object.
+    ///
+    /// The operation's read/write classification decides whether it executes
+    /// locally (reads on a replica) or is shipped by the runtime system
+    /// (writes); blocking operations return only once their guard is true.
+    pub fn invoke<T: ObjectType>(
+        &self,
+        handle: ObjectHandle<T>,
+        op: &T::Op,
+    ) -> OrcaResult<T::Reply> {
+        let kind = T::kind(op);
+        let reply = self
+            .rts
+            .invoke(handle.id(), T::TYPE_NAME, kind, &op.to_bytes())?;
+        T::Reply::from_bytes(&reply)
+            .map_err(|err| OrcaError::Communication(format!("reply decode: {err}")))
+    }
+
+    /// Create a new shared object from this process's node.
+    pub fn create<T: ObjectType>(&self, initial: &T::State) -> OrcaResult<ObjectHandle<T>> {
+        let id = self.rts.create_object(T::TYPE_NAME, &initial.to_bytes())?;
+        Ok(ObjectHandle::from_id(id))
+    }
+
+    /// Classification helper (exposed mostly for tests and instrumentation).
+    pub fn op_kind<T: ObjectType>(&self, op: &T::Op) -> OpKind {
+        T::kind(op)
+    }
+
+    /// Runtime-system statistics of this node.
+    pub fn rts_stats(&self) -> RtsStatsSnapshot {
+        self.rts.stats()
+    }
+}
+
+/// The Orca runtime for one application run.
+///
+/// Owns the simulated network, the processor pool and one runtime-system
+/// instance per node. The thread that creates the runtime plays the role of
+/// Orca's main process (running on processor 0): it creates the shared
+/// objects and forks worker processes.
+pub struct OrcaRuntime {
+    config: OrcaConfig,
+    network: Network,
+    pool: ProcessorPool,
+    rtses: Vec<NodeRts>,
+    contexts: Vec<OrcaNode>,
+}
+
+impl std::fmt::Debug for OrcaRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OrcaRuntime")
+            .field("processors", &self.config.processors)
+            .field("strategy", &self.config.strategy.kind())
+            .finish()
+    }
+}
+
+impl OrcaRuntime {
+    /// Start a runtime with the given configuration and object registry.
+    ///
+    /// The registry must contain every object type the application shares
+    /// (start from [`crate::standard_registry`] and add application types).
+    pub fn start(config: OrcaConfig, registry: ObjectRegistry) -> Self {
+        assert!(config.processors > 0, "need at least one processor");
+        let network = Network::new(NetworkConfig::with_fault(config.processors, config.fault));
+        let pool = ProcessorPool::new(config.processors);
+        let mut rtses = Vec::with_capacity(config.processors);
+        for node in network.node_ids() {
+            let handle = network.handle(node);
+            let rts = match &config.strategy {
+                RtsStrategy::Broadcast(group) => {
+                    NodeRts::Broadcast(BroadcastRts::start(handle, registry.clone(), group.clone()))
+                }
+                RtsStrategy::PrimaryCopy {
+                    policy,
+                    replication,
+                } => NodeRts::Primary(PrimaryCopyRts::start(
+                    handle,
+                    registry.clone(),
+                    *policy,
+                    *replication,
+                )),
+            };
+            rtses.push(rts);
+        }
+        let contexts = rtses
+            .iter()
+            .enumerate()
+            .map(|(index, rts)| OrcaNode {
+                node: NodeId::from(index),
+                rts: rts.as_runtime(),
+            })
+            .collect();
+        OrcaRuntime {
+            config,
+            network,
+            pool,
+            rtses,
+            contexts,
+        }
+    }
+
+    /// Convenience constructor: broadcast RTS with the standard object
+    /// registry.
+    pub fn standard(processors: usize) -> Self {
+        OrcaRuntime::start(OrcaConfig::broadcast(processors), crate::standard_registry())
+    }
+
+    /// Number of processors in the pool.
+    pub fn processors(&self) -> usize {
+        self.config.processors
+    }
+
+    /// The configuration this runtime was started with.
+    pub fn config(&self) -> &OrcaConfig {
+        &self.config
+    }
+
+    /// The execution context of the main process (processor 0).
+    pub fn main(&self) -> &OrcaNode {
+        &self.contexts[0]
+    }
+
+    /// The execution context of an arbitrary processor (used by tests and by
+    /// the benchmark harness; application code normally receives its context
+    /// through [`OrcaRuntime::fork_on`]).
+    pub fn context(&self, node: usize) -> &OrcaNode {
+        &self.contexts[node]
+    }
+
+    /// Create a shared object from the main process.
+    pub fn create<T: ObjectType>(&self, initial: &T::State) -> OrcaResult<ObjectHandle<T>> {
+        self.main().create(initial)
+    }
+
+    /// Fork a process on an explicit processor (Orca's `fork f() on (cpu)`).
+    ///
+    /// The closure receives the [`OrcaNode`] context of that processor; any
+    /// [`ObjectHandle`]s it captures become the process's shared parameters.
+    pub fn fork_on<R, F>(&self, cpu: usize, name: &str, body: F) -> ProcessHandle<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(OrcaNode) -> R + Send + 'static,
+    {
+        let ctx = self.contexts[cpu % self.config.processors].clone();
+        self.pool
+            .spawn_on(NodeId::from(cpu % self.config.processors), name, move || body(ctx))
+    }
+
+    /// Fork a process with default (round-robin) placement.
+    pub fn fork<R, F>(&self, name: &str, body: F) -> ProcessHandle<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(OrcaNode) -> R + Send + 'static,
+    {
+        let node = self.pool.total_processes() % self.config.processors;
+        self.fork_on(node, name, body)
+    }
+
+    /// Network-level statistics (messages, bytes, interrupts per node).
+    pub fn network_stats(&self) -> NetStatsSnapshot {
+        self.network.stats()
+    }
+
+    /// Runtime-system statistics of every node.
+    pub fn rts_stats(&self) -> Vec<RtsStatsSnapshot> {
+        self.contexts.iter().map(|ctx| ctx.rts_stats()).collect()
+    }
+
+    /// Direct access to the simulated network (for crash injection in tests).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Shut down every node's runtime system. Called automatically on drop.
+    pub fn shutdown(&self) {
+        for rts in &self.rtses {
+            rts.shutdown();
+        }
+    }
+}
+
+impl Drop for OrcaRuntime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::{IntObject, IntOp};
+
+    #[test]
+    fn fork_and_shared_counter_roundtrip() {
+        let runtime = OrcaRuntime::standard(3);
+        let counter = runtime.create::<IntObject>(&0).unwrap();
+        let mut workers = Vec::new();
+        for w in 0..3 {
+            let handle = counter;
+            workers.push(runtime.fork_on(w, "adder", move |ctx| {
+                for _ in 0..10 {
+                    ctx.invoke(handle, &IntOp::Add(1)).unwrap();
+                }
+                ctx.node().index()
+            }));
+        }
+        let nodes: Vec<usize> = workers.into_iter().map(|w| w.join()).collect();
+        assert_eq!(nodes, vec![0, 1, 2]);
+        let total = runtime.main().invoke(counter, &IntOp::Value).unwrap();
+        assert_eq!(total, 30);
+        assert!(runtime.network_stats().total_messages() > 0);
+        assert_eq!(runtime.rts_stats().len(), 3);
+    }
+
+    #[test]
+    fn primary_copy_strategy_also_works_end_to_end() {
+        let runtime = OrcaRuntime::start(
+            OrcaConfig::primary_copy(2, orca_rts::WritePolicy::Update),
+            crate::standard_registry(),
+        );
+        let counter = runtime.create::<IntObject>(&5).unwrap();
+        let worker = runtime.fork_on(1, "w", move |ctx| {
+            ctx.invoke(counter, &IntOp::Add(7)).unwrap()
+        });
+        assert_eq!(worker.join(), 12);
+        assert_eq!(runtime.main().invoke(counter, &IntOp::Value).unwrap(), 12);
+    }
+
+    #[test]
+    fn round_robin_fork_distributes_processes() {
+        let runtime = OrcaRuntime::standard(2);
+        let a = runtime.fork("a", |ctx| ctx.node().index());
+        let b = runtime.fork("b", |ctx| ctx.node().index());
+        let (a, b) = (a.join(), b.join());
+        assert_ne!(a, b);
+    }
+}

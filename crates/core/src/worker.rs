@@ -1,0 +1,67 @@
+//! The replicated worker paradigm.
+//!
+//! "A common way of programming in Orca is the Replicated Worker Paradigm:
+//! the main program starts out by creating a large number of identical
+//! worker processes, each getting the same objects as parameters." This
+//! module provides the fork/join plumbing for that pattern; applications
+//! supply the worker body and the shared objects it captures.
+
+use crate::runtime::{OrcaNode, OrcaRuntime};
+
+/// Fork `workers` identical worker processes, one per processor in
+/// round-robin order starting at processor 0, run `body` in each, and wait
+/// for all of them. Returns each worker's result, indexed by worker id.
+///
+/// The closure receives the worker id and the [`OrcaNode`] execution context
+/// of the processor the worker runs on; shared objects are captured as
+/// [`crate::ObjectHandle`]s (they are `Copy`).
+pub fn replicated_workers<R, F>(runtime: &OrcaRuntime, workers: usize, body: F) -> Vec<R>
+where
+    R: Send + 'static,
+    F: Fn(usize, OrcaNode) -> R + Clone + Send + 'static,
+{
+    let handles: Vec<_> = (0..workers)
+        .map(|worker_id| {
+            let body = body.clone();
+            runtime.fork_on(
+                worker_id % runtime.processors(),
+                &format!("worker-{worker_id}"),
+                move |ctx| body(worker_id, ctx),
+            )
+        })
+        .collect();
+    handles.into_iter().map(|handle| handle.join()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::{IntOp, IntObject, JobQueue};
+    use crate::OrcaRuntime;
+
+    #[test]
+    fn replicated_workers_share_a_job_queue_and_a_counter() {
+        let runtime = OrcaRuntime::standard(3);
+        let main = runtime.main();
+        let queue: JobQueue<u32> = JobQueue::create(main).unwrap();
+        let sum = runtime.create::<IntObject>(&0).unwrap();
+        // Manager: generate jobs, then close the queue.
+        for job in 1..=20u32 {
+            queue.add(main, &job).unwrap();
+        }
+        queue.close(main).unwrap();
+
+        let results = replicated_workers(&runtime, 3, move |_worker, ctx| {
+            let mut processed = 0u32;
+            while let Some(job) = queue.get(&ctx).unwrap() {
+                ctx.invoke(sum, &IntOp::Add(i64::from(job))).unwrap();
+                processed += 1;
+            }
+            processed
+        });
+
+        assert_eq!(results.iter().sum::<u32>(), 20);
+        let total = runtime.main().invoke(sum, &IntOp::Value).unwrap();
+        assert_eq!(total, (1..=20).sum::<i64>());
+    }
+}

@@ -1,0 +1,840 @@
+//! The group member: protocol engine for totally-ordered reliable broadcast.
+//!
+//! Every node of an application runs one [`GroupMember`]. A member can
+//! [`GroupMember::broadcast`] application payloads and receives *all* group
+//! messages (its own included) through [`GroupMember::recv`] in a single
+//! total order that is identical at every member.
+//!
+//! One member at a time acts as the *sequencer* (initially the
+//! lowest-numbered node). The sequencer assigns consecutive global sequence
+//! numbers, keeps a history buffer for retransmissions and — depending on
+//! message size — either rebroadcasts the full message (PB) or broadcasts a
+//! short Accept for a message the origin already broadcast (BB).
+//!
+//! ## Failure handling
+//!
+//! * Lost broadcasts are detected as gaps in the sequence numbers and
+//!   repaired with retransmission requests served from the history buffer.
+//! * Lost requests (the origin's message never gets sequenced) are detected
+//!   by the origin's retransmission timer and simply sent again; the
+//!   sequencer deduplicates by message id.
+//! * A crashed sequencer is detected either through the simulated kernel's
+//!   crash flag or after repeated fruitless retransmissions; the remaining
+//!   members elect the lowest-numbered live node, which resumes sequencing
+//!   after the highest number it has itself observed. (The full Amoeba
+//!   recovery protocol additionally reconciles the outgoing history of the
+//!   failed sequencer; this simulation documents that simplification in
+//!   DESIGN.md and its tests quiesce traffic before killing the sequencer.)
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use orca_amoeba::election::Membership;
+use orca_amoeba::network::NetworkHandle;
+use orca_amoeba::node::{ports, NodeId};
+use orca_amoeba::NetMessage;
+use orca_wire::Wire;
+
+use crate::config::{GroupConfig, MethodPolicy};
+use crate::history::{HistoryBuffer, HistoryEntry};
+use crate::messages::{BroadcastMethod, GroupMsg, MsgId};
+use crate::stats::{GroupStats, GroupStatsSnapshot};
+
+/// A message delivered in total order to the application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivered {
+    /// Position in the global total order (1-based, no gaps).
+    pub global_seq: u64,
+    /// Identity assigned by the message's origin.
+    pub id: MsgId,
+    /// Application payload.
+    pub payload: Vec<u8>,
+}
+
+/// Errors surfaced by the group layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupError {
+    /// The member has been shut down.
+    Terminated,
+    /// A blocking receive timed out.
+    Timeout,
+}
+
+impl std::fmt::Display for GroupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroupError::Terminated => write!(f, "group member terminated"),
+            GroupError::Timeout => write!(f, "receive timed out"),
+        }
+    }
+}
+
+impl std::error::Error for GroupError {}
+
+enum Command {
+    Broadcast { payload: Vec<u8> },
+    Shutdown,
+}
+
+/// Cheap cloneable handle that can queue broadcasts on a [`GroupMember`]
+/// from other threads (e.g. the runtime system's invocation path) while the
+/// member itself is owned by its manager thread.
+#[derive(Clone)]
+pub struct GroupSender {
+    cmd_tx: Sender<Command>,
+}
+
+impl std::fmt::Debug for GroupSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupSender").finish()
+    }
+}
+
+impl GroupSender {
+    /// Queue an application payload for totally-ordered broadcast.
+    pub fn broadcast(&self, payload: Vec<u8>) -> Result<(), GroupError> {
+        self.cmd_tx
+            .send(Command::Broadcast { payload })
+            .map_err(|_| GroupError::Terminated)
+    }
+}
+
+/// Handle to a running group member (protocol thread + delivery queue).
+pub struct GroupMember {
+    node: NodeId,
+    cmd_tx: Sender<Command>,
+    delivery_rx: Receiver<Delivered>,
+    stats: Arc<GroupStats>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for GroupMember {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupMember").field("node", &self.node).finish()
+    }
+}
+
+impl GroupMember {
+    /// Start a group member on the node owning `handle`.
+    ///
+    /// All nodes of the network are assumed to be members of the (single)
+    /// group, which matches the paper's model of one parallel application
+    /// owning the processor pool.
+    pub fn start(handle: NetworkHandle, config: GroupConfig) -> GroupMember {
+        let node = handle.node();
+        let stats = GroupStats::new_shared();
+        let (cmd_tx, cmd_rx) = unbounded();
+        let (delivery_tx, delivery_rx) = unbounded();
+        let state_stats = Arc::clone(&stats);
+        let thread = std::thread::Builder::new()
+            .name(format!("group-{node}"))
+            .spawn(move || {
+                let mut state = ProtocolState::new(handle, config, state_stats, delivery_tx);
+                state.run(cmd_rx);
+            })
+            .expect("spawn group protocol thread");
+        GroupMember {
+            node,
+            cmd_tx,
+            delivery_rx,
+            stats,
+            thread: Some(thread),
+        }
+    }
+
+    /// Node this member runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// A cloneable handle that can queue broadcasts from other threads.
+    pub fn sender(&self) -> GroupSender {
+        GroupSender {
+            cmd_tx: self.cmd_tx.clone(),
+        }
+    }
+
+    /// Queue an application payload for totally-ordered broadcast.
+    ///
+    /// The call returns immediately; the message is delivered (also to the
+    /// caller's own member) once the sequencer has ordered it.
+    pub fn broadcast(&self, payload: Vec<u8>) -> Result<(), GroupError> {
+        self.cmd_tx
+            .send(Command::Broadcast { payload })
+            .map_err(|_| GroupError::Terminated)
+    }
+
+    /// Blocking receive of the next message in total order.
+    pub fn recv(&self) -> Result<Delivered, GroupError> {
+        self.delivery_rx.recv().map_err(|_| GroupError::Terminated)
+    }
+
+    /// Blocking receive with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Delivered, GroupError> {
+        self.delivery_rx.recv_timeout(timeout).map_err(|err| match err {
+            crossbeam::channel::RecvTimeoutError::Timeout => GroupError::Timeout,
+            crossbeam::channel::RecvTimeoutError::Disconnected => GroupError::Terminated,
+        })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Delivered> {
+        self.delivery_rx.try_recv().ok()
+    }
+
+    /// Borrow the delivery channel (for select loops in higher layers).
+    pub fn deliveries(&self) -> &Receiver<Delivered> {
+        &self.delivery_rx
+    }
+
+    /// Snapshot of this member's protocol statistics.
+    pub fn stats(&self) -> GroupStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Stop the protocol thread and wait for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let _ = self.cmd_tx.send(Command::Shutdown);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for GroupMember {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+struct PendingSend {
+    payload: Vec<u8>,
+    method: BroadcastMethod,
+    last_sent: Instant,
+    attempts: u32,
+}
+
+struct ProtocolState {
+    handle: NetworkHandle,
+    config: GroupConfig,
+    stats: Arc<GroupStats>,
+    delivery_tx: Sender<Delivered>,
+    membership: Membership,
+    sequencer: NodeId,
+    // Member-side ordering state.
+    next_deliver: u64,
+    pending_order: BTreeMap<u64, (MsgId, Option<Vec<u8>>)>,
+    bb_data: HashMap<MsgId, Vec<u8>>,
+    delivered_ids: HashSet<MsgId>,
+    gap_since: Option<Instant>,
+    /// Highest global sequence number this member knows to exist (from data,
+    /// accepts or sequencer status messages).
+    known_highest: u64,
+    last_status_sent: Instant,
+    // Sender-side state.
+    next_origin_seq: u64,
+    unacked: HashMap<MsgId, PendingSend>,
+    // Sequencer-side state.
+    next_global_seq: u64,
+    history: HistoryBuffer,
+    sequenced_ids: HashMap<MsgId, u64>,
+}
+
+impl ProtocolState {
+    fn new(
+        handle: NetworkHandle,
+        config: GroupConfig,
+        stats: Arc<GroupStats>,
+        delivery_tx: Sender<Delivered>,
+    ) -> Self {
+        let members = handle.node_ids();
+        let membership = Membership::new(&members);
+        let sequencer = membership.sequencer().expect("non-empty group");
+        let history_limit = config.history_limit;
+        ProtocolState {
+            handle,
+            config,
+            stats,
+            delivery_tx,
+            membership,
+            sequencer,
+            next_deliver: 1,
+            pending_order: BTreeMap::new(),
+            bb_data: HashMap::new(),
+            delivered_ids: HashSet::new(),
+            gap_since: None,
+            known_highest: 0,
+            last_status_sent: Instant::now(),
+            next_origin_seq: 1,
+            unacked: HashMap::new(),
+            next_global_seq: 1,
+            history: HistoryBuffer::new(history_limit),
+            sequenced_ids: HashMap::new(),
+        }
+    }
+
+    fn run(&mut self, cmd_rx: Receiver<Command>) {
+        let net_rx = self.handle.bind(ports::GROUP);
+        loop {
+            crossbeam::channel::select! {
+                recv(cmd_rx) -> cmd => match cmd {
+                    Ok(Command::Broadcast { payload }) => self.start_broadcast(payload),
+                    Ok(Command::Shutdown) | Err(_) => return,
+                },
+                recv(net_rx.receiver()) -> msg => match msg {
+                    Ok(msg) => self.handle_net(msg),
+                    Err(_) => return,
+                },
+                default(self.config.tick) => {}
+            }
+            self.check_timers();
+        }
+    }
+
+    fn is_sequencer(&self) -> bool {
+        self.sequencer == self.handle.node()
+    }
+
+    fn choose_method(&self, payload_len: usize) -> BroadcastMethod {
+        match self.config.method {
+            MethodPolicy::AlwaysPb => BroadcastMethod::Pb,
+            MethodPolicy::AlwaysBb => BroadcastMethod::Bb,
+            MethodPolicy::Auto => {
+                if payload_len <= self.config.pb_max_payload {
+                    BroadcastMethod::Pb
+                } else {
+                    BroadcastMethod::Bb
+                }
+            }
+        }
+    }
+
+    fn start_broadcast(&mut self, payload: Vec<u8>) {
+        let id = MsgId {
+            origin: self.handle.node(),
+            origin_seq: self.next_origin_seq,
+        };
+        self.next_origin_seq += 1;
+        let method = self.choose_method(payload.len());
+        match method {
+            BroadcastMethod::Pb => GroupStats::bump(&self.stats.pb_sent),
+            BroadcastMethod::Bb => GroupStats::bump(&self.stats.bb_sent),
+        }
+        self.unacked.insert(
+            id,
+            PendingSend {
+                payload: payload.clone(),
+                method,
+                last_sent: Instant::now(),
+                attempts: 0,
+            },
+        );
+        self.transmit(id, &payload, method);
+    }
+
+    fn transmit(&mut self, id: MsgId, payload: &[u8], method: BroadcastMethod) {
+        match method {
+            BroadcastMethod::Pb => {
+                if self.is_sequencer() {
+                    // The sequencer's own writes never touch the wire on the
+                    // request leg; it sequences them directly.
+                    self.sequence_data(id, payload.to_vec());
+                } else {
+                    let msg = GroupMsg::RequestForBroadcast {
+                        id,
+                        payload: payload.to_vec(),
+                    };
+                    let _ = self
+                        .handle
+                        .send(self.sequencer, ports::GROUP, msg.to_bytes());
+                }
+            }
+            BroadcastMethod::Bb => {
+                let msg = GroupMsg::BbData {
+                    id,
+                    payload: payload.to_vec(),
+                };
+                let _ = self.handle.broadcast(ports::GROUP, msg.to_bytes());
+            }
+        }
+    }
+
+    /// Sequencer duty: assign the next global number and announce the data.
+    fn sequence_data(&mut self, id: MsgId, payload: Vec<u8>) {
+        if let Some(&existing) = self.sequenced_ids.get(&id) {
+            // Duplicate request (origin retransmitted): re-announce.
+            GroupStats::bump(&self.stats.duplicates_ignored);
+            if let Some(entry) = self.history.get(existing) {
+                let msg = GroupMsg::SeqData {
+                    global_seq: existing,
+                    id,
+                    payload: entry.payload.clone(),
+                };
+                let _ = self.handle.broadcast(ports::GROUP, msg.to_bytes());
+            }
+            return;
+        }
+        let global_seq = self.next_global_seq;
+        self.next_global_seq += 1;
+        self.history.insert(
+            global_seq,
+            HistoryEntry {
+                id,
+                payload: payload.clone(),
+            },
+        );
+        self.sequenced_ids.insert(id, global_seq);
+        GroupStats::bump(&self.stats.sequenced);
+        let msg = GroupMsg::SeqData {
+            global_seq,
+            id,
+            payload,
+        };
+        let _ = self.handle.broadcast(ports::GROUP, msg.to_bytes());
+    }
+
+    /// Sequencer duty for the BB protocol: bind an already-broadcast message
+    /// to a global number with a short Accept.
+    fn sequence_accept(&mut self, id: MsgId, payload: Vec<u8>) {
+        if let Some(&existing) = self.sequenced_ids.get(&id) {
+            GroupStats::bump(&self.stats.duplicates_ignored);
+            let msg = GroupMsg::Accept {
+                global_seq: existing,
+                id,
+            };
+            let _ = self.handle.broadcast(ports::GROUP, msg.to_bytes());
+            return;
+        }
+        let global_seq = self.next_global_seq;
+        self.next_global_seq += 1;
+        self.history.insert(global_seq, HistoryEntry { id, payload });
+        self.sequenced_ids.insert(id, global_seq);
+        GroupStats::bump(&self.stats.sequenced);
+        let msg = GroupMsg::Accept { global_seq, id };
+        let _ = self.handle.broadcast(ports::GROUP, msg.to_bytes());
+    }
+
+    fn handle_net(&mut self, msg: NetMessage) {
+        let src = msg.src;
+        let decoded: GroupMsg = match msg.decode_payload() {
+            Ok(decoded) => decoded,
+            Err(_) => return, // corrupted message: the protocol recovers via gaps
+        };
+        match decoded {
+            GroupMsg::RequestForBroadcast { id, payload } => {
+                if self.is_sequencer() {
+                    self.sequence_data(id, payload);
+                }
+            }
+            GroupMsg::SeqData {
+                global_seq,
+                id,
+                payload,
+            } => {
+                self.receive_sequenced(global_seq, id, Some(payload));
+            }
+            GroupMsg::BbData { id, payload } => {
+                if !self.delivered_ids.contains(&id) {
+                    self.bb_data.insert(id, payload.clone());
+                }
+                if self.is_sequencer() {
+                    self.sequence_accept(id, payload);
+                }
+            }
+            GroupMsg::Accept { global_seq, id } => {
+                let payload = self.bb_data.remove(&id);
+                self.receive_sequenced(global_seq, id, payload);
+            }
+            GroupMsg::RetransmitRequest { from, to } => {
+                self.serve_retransmission(src, from, to);
+            }
+            GroupMsg::NewSequencer { sequencer, next_seq } => {
+                self.sequencer = sequencer;
+                if next_seq > self.next_global_seq {
+                    self.next_global_seq = next_seq;
+                }
+            }
+            GroupMsg::Status { highest_seq } => {
+                self.note_highest(highest_seq);
+            }
+        }
+    }
+
+    /// Record that sequence numbers up to `seq` have been assigned; if this
+    /// member has not delivered that far yet, start the gap-repair timer.
+    fn note_highest(&mut self, seq: u64) {
+        if seq > self.known_highest {
+            self.known_highest = seq;
+        }
+        if self.known_highest >= self.next_deliver && self.gap_since.is_none() {
+            self.gap_since = Some(Instant::now());
+        }
+    }
+
+    fn serve_retransmission(&mut self, requester: NodeId, from: u64, to: u64) {
+        // Any member that still has the entry in its history can serve it;
+        // normally only the sequencer has one.
+        let to = to.min(from.saturating_add(256)); // bound the burst
+        for (global_seq, entry) in self.history.range(from, to) {
+            GroupStats::bump(&self.stats.retransmissions_served);
+            let msg = GroupMsg::SeqData {
+                global_seq,
+                id: entry.id,
+                payload: entry.payload,
+            };
+            let _ = self.handle.send(requester, ports::GROUP, msg.to_bytes());
+        }
+    }
+
+    fn receive_sequenced(&mut self, global_seq: u64, id: MsgId, payload: Option<Vec<u8>>) {
+        if global_seq > self.known_highest {
+            self.known_highest = global_seq;
+        }
+        if global_seq < self.next_deliver {
+            GroupStats::bump(&self.stats.duplicates_ignored);
+            return;
+        }
+        match self.pending_order.get_mut(&global_seq) {
+            Some((_, existing @ None)) => {
+                if payload.is_some() {
+                    *existing = payload;
+                }
+            }
+            Some(_) => {
+                GroupStats::bump(&self.stats.duplicates_ignored);
+            }
+            None => {
+                if global_seq > self.next_deliver {
+                    GroupStats::bump(&self.stats.buffered_out_of_order);
+                }
+                self.pending_order.insert(global_seq, (id, payload));
+            }
+        }
+        self.try_deliver();
+    }
+
+    fn try_deliver(&mut self) {
+        loop {
+            let ready = matches!(
+                self.pending_order.get(&self.next_deliver),
+                Some((_, Some(_)))
+            );
+            if !ready {
+                break;
+            }
+            let (id, payload) = self
+                .pending_order
+                .remove(&self.next_deliver)
+                .expect("checked above");
+            let payload = payload.expect("checked above");
+            let delivered = Delivered {
+                global_seq: self.next_deliver,
+                id,
+                payload,
+            };
+            self.delivered_ids.insert(id);
+            self.bb_data.remove(&id);
+            self.unacked.remove(&id);
+            GroupStats::bump(&self.stats.delivered);
+            self.next_deliver += 1;
+            let _ = self.delivery_tx.send(delivered);
+        }
+        self.gap_since = if self.pending_order.is_empty() && self.known_highest < self.next_deliver
+        {
+            None
+        } else if self.gap_since.is_none() {
+            Some(Instant::now())
+        } else {
+            self.gap_since
+        };
+    }
+
+    fn check_timers(&mut self) {
+        self.check_sequencer_alive();
+        self.retry_unacked();
+        self.repair_gaps();
+        self.send_status();
+    }
+
+    /// Sequencer duty: periodically announce the highest assigned sequence
+    /// number so members that missed the *last* broadcast (and therefore see
+    /// no gap) still learn they are behind.
+    fn send_status(&mut self) {
+        if !self.is_sequencer() || self.next_global_seq == 1 {
+            return;
+        }
+        let interval = self.config.retransmit_timeout;
+        if self.last_status_sent.elapsed() < interval {
+            return;
+        }
+        self.last_status_sent = Instant::now();
+        let msg = GroupMsg::Status {
+            highest_seq: self.next_global_seq - 1,
+        };
+        let _ = self.handle.broadcast(ports::GROUP, msg.to_bytes());
+    }
+
+    fn check_sequencer_alive(&mut self) {
+        // The simulated kernel exposes crash state directly (a perfect
+        // failure detector); the retry path below also suspects the
+        // sequencer after repeated fruitless retransmissions.
+        if self.handle.network().is_crashed(self.sequencer) {
+            self.fail_sequencer();
+        }
+    }
+
+    fn fail_sequencer(&mut self) {
+        self.membership.mark_failed(self.sequencer);
+        let Some(new_sequencer) = self.membership.sequencer() else {
+            return;
+        };
+        if new_sequencer == self.sequencer {
+            return;
+        }
+        self.sequencer = new_sequencer;
+        if self.is_sequencer() {
+            // Resume numbering after everything this member has seen.
+            let highest_buffered = self
+                .pending_order
+                .keys()
+                .next_back()
+                .copied()
+                .unwrap_or(self.next_deliver.saturating_sub(1));
+            let resume = highest_buffered.max(self.next_deliver.saturating_sub(1)) + 1;
+            if resume > self.next_global_seq {
+                self.next_global_seq = resume;
+            }
+            let msg = GroupMsg::NewSequencer {
+                sequencer: self.sequencer,
+                next_seq: self.next_global_seq,
+            };
+            let _ = self.handle.broadcast(ports::GROUP, msg.to_bytes());
+        }
+    }
+
+    fn retry_unacked(&mut self) {
+        let now = Instant::now();
+        let timeout = self.config.retransmit_timeout;
+        let due: Vec<MsgId> = self
+            .unacked
+            .iter()
+            .filter(|(_, pending)| now.duration_since(pending.last_sent) >= timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut suspect_sequencer = false;
+        for id in due {
+            let (payload, method, attempts) = {
+                let pending = self.unacked.get_mut(&id).expect("due id present");
+                pending.last_sent = now;
+                pending.attempts += 1;
+                (pending.payload.clone(), pending.method, pending.attempts)
+            };
+            GroupStats::bump(&self.stats.send_retries);
+            if attempts >= self.config.suspect_after {
+                suspect_sequencer = true;
+            }
+            self.transmit(id, &payload, method);
+        }
+        if suspect_sequencer && !self.is_sequencer() {
+            self.fail_sequencer();
+        }
+    }
+
+    fn repair_gaps(&mut self) {
+        let Some(since) = self.gap_since else { return };
+        if since.elapsed() < self.config.retransmit_timeout {
+            return;
+        }
+        let highest_buffered = self
+            .pending_order
+            .keys()
+            .next_back()
+            .copied()
+            .unwrap_or(0);
+        let highest = highest_buffered.max(self.known_highest);
+        if highest < self.next_deliver {
+            self.gap_since = None;
+            return;
+        }
+        if self.is_sequencer() {
+            // We *are* the sequencer: the lost copies are in our own history
+            // buffer (we store every message we sequence), so re-inject them
+            // locally instead of asking anyone.
+            let missing = self.history.range(self.next_deliver, highest);
+            for (global_seq, entry) in missing {
+                self.receive_sequenced(global_seq, entry.id, Some(entry.payload));
+            }
+            self.gap_since = Some(Instant::now());
+            return;
+        }
+        // Ask for everything from the next expected number up to the highest
+        // number known to exist; the sequencer ignores numbers it no longer
+        // has.
+        GroupStats::bump(&self.stats.retransmit_requests);
+        let msg = GroupMsg::RetransmitRequest {
+            from: self.next_deliver,
+            to: highest,
+        };
+        let _ = self.handle.send(self.sequencer, ports::GROUP, msg.to_bytes());
+        self.gap_since = Some(Instant::now());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orca_amoeba::network::{Network, NetworkConfig};
+    use orca_amoeba::FaultConfig;
+
+    fn start_members(net: &Network, config: &GroupConfig) -> Vec<GroupMember> {
+        net.node_ids()
+            .into_iter()
+            .map(|n| GroupMember::start(net.handle(n), config.clone()))
+            .collect()
+    }
+
+    fn collect(member: &GroupMember, count: usize, per_msg: Duration) -> Vec<Delivered> {
+        (0..count)
+            .map(|_| member.recv_timeout(per_msg).expect("delivery within timeout"))
+            .collect()
+    }
+
+    #[test]
+    fn single_broadcast_reaches_all_members_in_order() {
+        let net = Network::reliable(4);
+        let members = start_members(&net, &GroupConfig::default());
+        members[2].broadcast(b"hello".to_vec()).unwrap();
+        for member in &members {
+            let delivered = member.recv_timeout(Duration::from_secs(2)).unwrap();
+            assert_eq!(delivered.global_seq, 1);
+            assert_eq!(delivered.payload, b"hello");
+            assert_eq!(delivered.id.origin, NodeId(2));
+        }
+    }
+
+    #[test]
+    fn concurrent_broadcasts_identical_total_order() {
+        let net = Network::reliable(5);
+        let members = start_members(&net, &GroupConfig::default());
+        let per_member = 20usize;
+        for (i, member) in members.iter().enumerate() {
+            for k in 0..per_member {
+                member
+                    .broadcast(format!("{i}:{k}").into_bytes())
+                    .unwrap();
+            }
+        }
+        let total = per_member * members.len();
+        let orders: Vec<Vec<(u64, MsgId)>> = members
+            .iter()
+            .map(|m| {
+                collect(m, total, Duration::from_secs(5))
+                    .into_iter()
+                    .map(|d| (d.global_seq, d.id))
+                    .collect()
+            })
+            .collect();
+        for order in &orders[1..] {
+            assert_eq!(order, &orders[0]);
+        }
+        // Sequence numbers are gapless 1..=total.
+        let seqs: Vec<u64> = orders[0].iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, (1..=total as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn large_messages_use_bb_and_small_use_pb_under_auto() {
+        let net = Network::reliable(3);
+        let members = start_members(&net, &GroupConfig::default());
+        members[1].broadcast(vec![1u8; 10]).unwrap();
+        members[1].broadcast(vec![2u8; 50_000]).unwrap();
+        for member in &members {
+            let _ = collect(member, 2, Duration::from_secs(2));
+        }
+        let stats = members[1].stats();
+        assert_eq!(stats.pb_sent, 1);
+        assert_eq!(stats.bb_sent, 1);
+    }
+
+    #[test]
+    fn lossy_network_still_delivers_everything_in_order() {
+        let fault = FaultConfig {
+            drop_prob: 0.15,
+            duplicate_prob: 0.05,
+            reorder_prob: 0.05,
+            seed: 7,
+        };
+        let net = Network::new(NetworkConfig::with_fault(4, fault));
+        let mut config = GroupConfig::default();
+        config.retransmit_timeout = Duration::from_millis(40);
+        let members = start_members(&net, &config);
+        let per_member = 15usize;
+        for (i, member) in members.iter().enumerate() {
+            for k in 0..per_member {
+                member.broadcast(vec![i as u8, k as u8]).unwrap();
+            }
+        }
+        let total = per_member * members.len();
+        let orders: Vec<Vec<MsgId>> = members
+            .iter()
+            .map(|m| {
+                collect(m, total, Duration::from_secs(20))
+                    .into_iter()
+                    .map(|d| d.id)
+                    .collect()
+            })
+            .collect();
+        for order in &orders[1..] {
+            assert_eq!(order, &orders[0]);
+        }
+    }
+
+    #[test]
+    fn sequencer_crash_elects_new_sequencer_and_traffic_continues() {
+        let net = Network::reliable(3);
+        let mut config = GroupConfig::default();
+        config.retransmit_timeout = Duration::from_millis(30);
+        let members = start_members(&net, &config);
+        // Quiesce: one message through the original sequencer first.
+        members[1].broadcast(b"before".to_vec()).unwrap();
+        for member in &members {
+            let _ = member.recv_timeout(Duration::from_secs(2)).unwrap();
+        }
+        // Kill the sequencer (node 0) and keep broadcasting from node 2.
+        net.crash(NodeId(0));
+        members[2].broadcast(b"after".to_vec()).unwrap();
+        for member in &members[1..] {
+            let delivered = member.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(delivered.payload, b"after");
+            assert_eq!(delivered.global_seq, 2);
+        }
+    }
+
+    #[test]
+    fn forced_pb_and_bb_policies_are_respected() {
+        for (config, expect_pb) in [(GroupConfig::always_pb(), true), (GroupConfig::always_bb(), false)] {
+            let net = Network::reliable(2);
+            let members = start_members(&net, &config);
+            members[1].broadcast(vec![0u8; 20_000]).unwrap();
+            members[1].broadcast(vec![0u8; 8]).unwrap();
+            for member in &members {
+                let _ = collect(member, 2, Duration::from_secs(2));
+            }
+            let stats = members[1].stats();
+            if expect_pb {
+                assert_eq!(stats.pb_sent, 2);
+                assert_eq!(stats.bb_sent, 0);
+            } else {
+                assert_eq!(stats.pb_sent, 0);
+                assert_eq!(stats.bb_sent, 2);
+            }
+        }
+    }
+}

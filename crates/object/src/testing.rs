@@ -1,0 +1,258 @@
+//! Small object types used by tests throughout the workspace.
+//!
+//! They are kept in the library (not behind `cfg(test)`) because the runtime
+//! system crates and the integration tests need shared, well-understood
+//! object types to exercise replication with.
+
+use orca_wire::{Decoder, Encoder, Wire, WireError, WireResult};
+
+use crate::{ObjectType, OpKind, OpOutcome};
+
+/// A shared integer accumulator with a guard-based wait operation.
+///
+/// * `Read` returns the current value (read).
+/// * `Add(n)` adds `n` and returns the new value (write).
+/// * `Set(n)` overwrites the value (write).
+/// * `AwaitAtLeast(n)` blocks until the value is at least `n`, then returns
+///   it (read with a guard — demonstrates Orca's blocking operations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Accumulator;
+
+/// Operations of [`Accumulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccumulatorOp {
+    /// Return the current value.
+    Read,
+    /// Add to the value, returning the new value.
+    Add(i64),
+    /// Overwrite the value.
+    Set(i64),
+    /// Block until the value is at least the operand, then return it.
+    AwaitAtLeast(i64),
+}
+
+impl Wire for AccumulatorOp {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            AccumulatorOp::Read => enc.put_u8(0),
+            AccumulatorOp::Add(n) => {
+                enc.put_u8(1);
+                n.encode(enc);
+            }
+            AccumulatorOp::Set(n) => {
+                enc.put_u8(2);
+                n.encode(enc);
+            }
+            AccumulatorOp::AwaitAtLeast(n) => {
+                enc.put_u8(3);
+                n.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        match dec.get_u8()? {
+            0 => Ok(AccumulatorOp::Read),
+            1 => Ok(AccumulatorOp::Add(Wire::decode(dec)?)),
+            2 => Ok(AccumulatorOp::Set(Wire::decode(dec)?)),
+            3 => Ok(AccumulatorOp::AwaitAtLeast(Wire::decode(dec)?)),
+            tag => Err(WireError::InvalidTag {
+                type_name: "AccumulatorOp",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+impl ObjectType for Accumulator {
+    type State = i64;
+    type Op = AccumulatorOp;
+    type Reply = i64;
+
+    const TYPE_NAME: &'static str = "test.Accumulator";
+
+    fn kind(op: &Self::Op) -> OpKind {
+        match op {
+            AccumulatorOp::Read | AccumulatorOp::AwaitAtLeast(_) => OpKind::Read,
+            AccumulatorOp::Add(_) | AccumulatorOp::Set(_) => OpKind::Write,
+        }
+    }
+
+    fn apply(state: &mut Self::State, op: &Self::Op) -> OpOutcome<Self::Reply> {
+        match op {
+            AccumulatorOp::Read => OpOutcome::Done(*state),
+            AccumulatorOp::Add(n) => {
+                *state += n;
+                OpOutcome::Done(*state)
+            }
+            AccumulatorOp::Set(n) => {
+                *state = *n;
+                OpOutcome::Done(*state)
+            }
+            AccumulatorOp::AwaitAtLeast(n) => {
+                if *state >= *n {
+                    OpOutcome::Done(*state)
+                } else {
+                    OpOutcome::Blocked
+                }
+            }
+        }
+    }
+}
+
+/// An append-only log of small integers; useful for checking that all
+/// replicas observe writes in exactly the same order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventLog;
+
+/// Operations of [`EventLog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventLogOp {
+    /// Append a value (write); returns the new length.
+    Append(u32),
+    /// Return the whole log (read).
+    Snapshot,
+    /// Return the length of the log (read).
+    Len,
+}
+
+impl Wire for EventLogOp {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            EventLogOp::Append(v) => {
+                enc.put_u8(0);
+                v.encode(enc);
+            }
+            EventLogOp::Snapshot => enc.put_u8(1),
+            EventLogOp::Len => enc.put_u8(2),
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        match dec.get_u8()? {
+            0 => Ok(EventLogOp::Append(Wire::decode(dec)?)),
+            1 => Ok(EventLogOp::Snapshot),
+            2 => Ok(EventLogOp::Len),
+            tag => Err(WireError::InvalidTag {
+                type_name: "EventLogOp",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+/// Reply type of [`EventLog`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventLogReply {
+    /// New length after an append, or current length.
+    Len(u64),
+    /// Full contents of the log.
+    Contents(Vec<u32>),
+}
+
+impl Wire for EventLogReply {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            EventLogReply::Len(n) => {
+                enc.put_u8(0);
+                n.encode(enc);
+            }
+            EventLogReply::Contents(v) => {
+                enc.put_u8(1);
+                v.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        match dec.get_u8()? {
+            0 => Ok(EventLogReply::Len(Wire::decode(dec)?)),
+            1 => Ok(EventLogReply::Contents(Wire::decode(dec)?)),
+            tag => Err(WireError::InvalidTag {
+                type_name: "EventLogReply",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+impl ObjectType for EventLog {
+    type State = Vec<u32>;
+    type Op = EventLogOp;
+    type Reply = EventLogReply;
+
+    const TYPE_NAME: &'static str = "test.EventLog";
+
+    fn kind(op: &Self::Op) -> OpKind {
+        match op {
+            EventLogOp::Append(_) => OpKind::Write,
+            EventLogOp::Snapshot | EventLogOp::Len => OpKind::Read,
+        }
+    }
+
+    fn apply(state: &mut Self::State, op: &Self::Op) -> OpOutcome<Self::Reply> {
+        match op {
+            EventLogOp::Append(v) => {
+                state.push(*v);
+                OpOutcome::Done(EventLogReply::Len(state.len() as u64))
+            }
+            EventLogOp::Snapshot => OpOutcome::Done(EventLogReply::Contents(state.clone())),
+            EventLogOp::Len => OpOutcome::Done(EventLogReply::Len(state.len() as u64)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_semantics() {
+        let mut state = 0i64;
+        assert_eq!(
+            Accumulator::apply(&mut state, &AccumulatorOp::Add(3)),
+            OpOutcome::Done(3)
+        );
+        assert_eq!(
+            Accumulator::apply(&mut state, &AccumulatorOp::AwaitAtLeast(5)),
+            OpOutcome::Blocked
+        );
+        assert_eq!(
+            Accumulator::apply(&mut state, &AccumulatorOp::Set(10)),
+            OpOutcome::Done(10)
+        );
+        assert_eq!(
+            Accumulator::apply(&mut state, &AccumulatorOp::AwaitAtLeast(5)),
+            OpOutcome::Done(10)
+        );
+        assert_eq!(Accumulator::kind(&AccumulatorOp::Read), OpKind::Read);
+        assert_eq!(Accumulator::kind(&AccumulatorOp::Add(1)), OpKind::Write);
+    }
+
+    #[test]
+    fn event_log_semantics_and_codec() {
+        let mut state: Vec<u32> = vec![];
+        assert_eq!(
+            EventLog::apply(&mut state, &EventLogOp::Append(7)),
+            OpOutcome::Done(EventLogReply::Len(1))
+        );
+        assert_eq!(
+            EventLog::apply(&mut state, &EventLogOp::Snapshot),
+            OpOutcome::Done(EventLogReply::Contents(vec![7]))
+        );
+        for op in [EventLogOp::Append(3), EventLogOp::Snapshot, EventLogOp::Len] {
+            assert_eq!(EventLogOp::from_bytes(&op.to_bytes()).unwrap(), op);
+        }
+        let reply = EventLogReply::Contents(vec![1, 2, 3]);
+        assert_eq!(EventLogReply::from_bytes(&reply.to_bytes()).unwrap(), reply);
+    }
+
+    #[test]
+    fn accumulator_op_codec_round_trip() {
+        for op in [
+            AccumulatorOp::Read,
+            AccumulatorOp::Add(-5),
+            AccumulatorOp::Set(9),
+            AccumulatorOp::AwaitAtLeast(2),
+        ] {
+            assert_eq!(AccumulatorOp::from_bytes(&op.to_bytes()).unwrap(), op);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Calibrated performance model for regenerating the paper's figures.
+//!
+//! The paper's measurements were taken on 16 MC68030 processors connected by
+//! a 10 Mb/s Ethernet running Amoeba. This environment executes the same
+//! algorithms and protocols in-process and *counts* what happened — work
+//! units per worker, operations shipped, update messages handled per node,
+//! bytes on the wire. This crate converts those counts into estimated
+//! per-node times on the paper's hardware and from them the speedup curves
+//! of Figs. 2 and 3 and the chess/ATPG numbers of §4.3–4.4.
+//!
+//! The constants are calibrated to published Amoeba-era numbers (null RPC
+//! ≈ 1.1 ms user-to-user, reliable totally-ordered broadcast ≈ 2.5 ms,
+//! 10 Mb/s ≈ 0.8 µs per byte on the wire); the *application* work per unit
+//! differs per program and is supplied by the benchmark harness. What the
+//! model does **not** do is assume the answer: work distribution, search
+//! overhead, message counts and load imbalance all come from the measured
+//! run, so the shape of each curve is produced by the reproduced system, not
+//! by these constants.
+
+pub mod model;
+pub mod report;
+
+pub use model::{CostModel, NodeLoad};
+pub use report::{format_speedup_table, SpeedupPoint, SpeedupSeries};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_parallelism_gives_linear_speedup() {
+        let model = CostModel::default();
+        // Enough work that the fixed start-up cost is negligible, as it is in
+        // the paper's minutes-long application runs.
+        let sequential_units = 1_600_000u64;
+        let mut points = Vec::new();
+        for p in [1usize, 2, 4, 8, 16] {
+            let loads: Vec<NodeLoad> = (0..p)
+                .map(|_| NodeLoad {
+                    work_units: sequential_units / p as u64,
+                    ..NodeLoad::default()
+                })
+                .collect();
+            let t_par = model.makespan(&loads);
+            let t_seq = model.sequential_time(sequential_units);
+            points.push(SpeedupPoint {
+                processors: p,
+                speedup: t_seq / t_par,
+                seconds: t_par,
+            });
+        }
+        assert!((points[0].speedup - 1.0).abs() < 0.05);
+        assert!(points[4].speedup > 14.0, "speedup {}", points[4].speedup);
+    }
+
+    #[test]
+    fn communication_overhead_bends_the_curve() {
+        let model = CostModel::default();
+        let sequential_units = 16_000u64;
+        let mut speedups = Vec::new();
+        for p in [1usize, 8, 16] {
+            let loads: Vec<NodeLoad> = (0..p)
+                .map(|_| NodeLoad {
+                    work_units: sequential_units / p as u64,
+                    updates_handled: 2_000, // heavy replicated-object traffic
+                    ..NodeLoad::default()
+                })
+                .collect();
+            let t_par = model.makespan(&loads);
+            speedups.push(model.sequential_time(sequential_units) / t_par);
+        }
+        assert!(speedups[2] < 14.0);
+        assert!(speedups[2] > speedups[1] * 0.8);
+    }
+}

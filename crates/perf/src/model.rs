@@ -1,0 +1,144 @@
+//! The cost model proper.
+
+/// Per-node load measured during a parallel run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeLoad {
+    /// Application work units executed by processes on this node.
+    pub work_units: u64,
+    /// Remote operations (other nodes' writes) applied to this node's
+    /// replicas by its object manager.
+    pub updates_handled: u64,
+    /// Operations this node shipped (broadcast writes or RPCs to a primary).
+    pub ops_shipped: u64,
+    /// RPC round trips this node initiated (point-to-point runtime system).
+    pub rpcs: u64,
+    /// Network interrupts taken by this node.
+    pub interrupts: u64,
+    /// Bytes this node put on the wire.
+    pub wire_bytes: u64,
+}
+
+/// Hardware/protocol cost constants (MC68030 + 10 Mb/s Ethernet + Amoeba).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Seconds of CPU per application work unit (supplied per application by
+    /// the benchmark harness; the default corresponds to a fine-grained unit
+    /// such as one branch-and-bound node).
+    pub unit_seconds: f64,
+    /// CPU seconds a node spends handling one incoming update (interrupt,
+    /// protocol processing, lock, apply).
+    pub update_handle_seconds: f64,
+    /// Seconds of latency/CPU for shipping one operation (request leg of the
+    /// broadcast or the RPC send path).
+    pub op_ship_seconds: f64,
+    /// Seconds per RPC round trip (Amoeba user-to-user null RPC ≈ 1.1 ms
+    /// plus marshalling).
+    pub rpc_seconds: f64,
+    /// Seconds per interrupt not otherwise accounted (short packets).
+    pub interrupt_seconds: f64,
+    /// Seconds per byte on the 10 Mb/s Ethernet (≈ 0.8 µs/byte).
+    pub wire_seconds_per_byte: f64,
+    /// Fixed start-up cost of a parallel run (process creation, object
+    /// creation broadcasts).
+    pub startup_seconds: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            unit_seconds: 100e-6,
+            update_handle_seconds: 1.3e-3,
+            op_ship_seconds: 0.4e-3,
+            rpc_seconds: 1.4e-3,
+            interrupt_seconds: 0.05e-3,
+            wire_seconds_per_byte: 0.8e-6,
+            startup_seconds: 0.05,
+        }
+    }
+}
+
+impl CostModel {
+    /// Model with an application-specific work-unit cost.
+    pub fn with_unit_seconds(unit_seconds: f64) -> Self {
+        CostModel {
+            unit_seconds,
+            ..CostModel::default()
+        }
+    }
+
+    /// Estimated CPU-seconds one node spends for the given load.
+    pub fn node_time(&self, load: &NodeLoad) -> f64 {
+        load.work_units as f64 * self.unit_seconds
+            + load.updates_handled as f64 * self.update_handle_seconds
+            + load.ops_shipped as f64 * self.op_ship_seconds
+            + load.rpcs as f64 * self.rpc_seconds
+            + load.interrupts as f64 * self.interrupt_seconds
+            + load.wire_bytes as f64 * self.wire_seconds_per_byte
+    }
+
+    /// Estimated elapsed time of a parallel run: the busiest node plus the
+    /// fixed start-up cost.
+    pub fn makespan(&self, loads: &[NodeLoad]) -> f64 {
+        let busiest = loads
+            .iter()
+            .map(|load| self.node_time(load))
+            .fold(0.0, f64::max);
+        self.startup_seconds + busiest
+    }
+
+    /// Estimated time of the sequential program doing `units` work units
+    /// (no communication, no start-up).
+    pub fn sequential_time(&self, units: u64) -> f64 {
+        units as f64 * self.unit_seconds
+    }
+
+    /// Speedup of a parallel run relative to the sequential time.
+    pub fn speedup(&self, sequential_units: u64, loads: &[NodeLoad]) -> f64 {
+        self.sequential_time(sequential_units) / self.makespan(loads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_time_is_sum_of_components() {
+        let model = CostModel {
+            unit_seconds: 1.0,
+            update_handle_seconds: 10.0,
+            op_ship_seconds: 100.0,
+            rpc_seconds: 1000.0,
+            interrupt_seconds: 0.0,
+            wire_seconds_per_byte: 0.0,
+            startup_seconds: 0.0,
+        };
+        let load = NodeLoad {
+            work_units: 2,
+            updates_handled: 3,
+            ops_shipped: 1,
+            rpcs: 1,
+            interrupts: 99,
+            wire_bytes: 99,
+        };
+        assert!((model.node_time(&load) - (2.0 + 30.0 + 100.0 + 1000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn makespan_is_driven_by_the_busiest_node() {
+        let model = CostModel::with_unit_seconds(1e-3);
+        let loads = vec![
+            NodeLoad { work_units: 100, ..NodeLoad::default() },
+            NodeLoad { work_units: 500, ..NodeLoad::default() },
+        ];
+        let expected = model.startup_seconds + 0.5;
+        assert!((model.makespan(&loads) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_of_a_single_node_run_is_below_one_due_to_startup() {
+        let model = CostModel::default();
+        let loads = vec![NodeLoad { work_units: 1000, ..NodeLoad::default() }];
+        assert!(model.speedup(1000, &loads) < 1.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Speedup series and table formatting for the benchmark harness.
+
+/// One point of a speedup curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupPoint {
+    /// Number of processors used.
+    pub processors: usize,
+    /// Estimated speedup relative to the sequential program.
+    pub speedup: f64,
+    /// Estimated elapsed seconds of the parallel run.
+    pub seconds: f64,
+}
+
+/// A named speedup curve (one per figure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupSeries {
+    /// Name shown in the table header (e.g. "TSP, 14 cities").
+    pub name: String,
+    /// Points, ordered by processor count.
+    pub points: Vec<SpeedupPoint>,
+}
+
+impl SpeedupSeries {
+    /// Create a named series.
+    pub fn new(name: impl Into<String>, points: Vec<SpeedupPoint>) -> Self {
+        SpeedupSeries {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// Speedup at a given processor count, if measured.
+    pub fn speedup_at(&self, processors: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.processors == processors)
+            .map(|p| p.speedup)
+    }
+
+    /// Parallel efficiency (speedup / processors) at a processor count.
+    pub fn efficiency_at(&self, processors: usize) -> Option<f64> {
+        self.speedup_at(processors).map(|s| s / processors as f64)
+    }
+}
+
+/// Render a speedup series as the text table the benchmark binaries print
+/// (paper-style: processors, speedup, efficiency, estimated seconds).
+pub fn format_speedup_table(series: &SpeedupSeries) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", series.name));
+    out.push_str("procs  speedup  efficiency  est_seconds\n");
+    for point in &series.points {
+        out.push_str(&format!(
+            "{:>5}  {:>7.2}  {:>10.2}  {:>11.3}\n",
+            point.processors,
+            point.speedup,
+            point.speedup / point.processors as f64,
+            point.seconds
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SpeedupSeries {
+        SpeedupSeries::new(
+            "TSP",
+            vec![
+                SpeedupPoint { processors: 1, speedup: 0.98, seconds: 100.0 },
+                SpeedupPoint { processors: 16, speedup: 14.2, seconds: 7.0 },
+            ],
+        )
+    }
+
+    #[test]
+    fn lookups() {
+        let series = sample();
+        assert_eq!(series.speedup_at(16), Some(14.2));
+        assert_eq!(series.speedup_at(3), None);
+        assert!((series.efficiency_at(16).unwrap() - 14.2 / 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_contains_every_point() {
+        let table = format_speedup_table(&sample());
+        assert!(table.contains("# TSP"));
+        assert!(table.contains("   16"));
+        assert!(table.contains("14.20"));
+        assert_eq!(table.lines().count(), 4);
+    }
+}

@@ -1,0 +1,149 @@
+//! Shared-object runtime systems.
+//!
+//! The runtime system (RTS) is the piece of system software that makes
+//! replicated shared data-objects look like they live in one big shared
+//! memory (§3.2 of the paper). Two very different runtime systems are
+//! implemented here behind one common interface:
+//!
+//! * [`BroadcastRts`] — used when the network supports (hardware)
+//!   broadcasting. Every object is fully replicated on all nodes. Read
+//!   operations execute on the local replica without any communication;
+//!   write operations are shipped (operation code + parameters) through the
+//!   totally-ordered reliable broadcast of `orca-group` and applied by every
+//!   node's object manager in exactly the same order, which yields
+//!   sequential consistency.
+//! * [`PrimaryCopyRts`] — used when there is no broadcast. Each object has a
+//!   primary copy on its creating node and zero or more secondary copies.
+//!   Writes are sent to the primary, which either **invalidates** all
+//!   secondaries or pushes a **two-phase update** to them
+//!   ([`WritePolicy`]). Secondary copies are created and discarded
+//!   dynamically, driven by each node's read/write ratio for the object
+//!   ([`ReplicationPolicy`]).
+//!
+//! Both implement [`RuntimeSystem`], which is what the Orca layer
+//! (`orca-core`) programs against.
+
+pub mod broadcast_rts;
+pub mod primary;
+pub mod stats;
+
+pub use broadcast_rts::BroadcastRts;
+pub use primary::{PrimaryCopyRts, ReplicationPolicy, WritePolicy};
+pub use stats::{AccessStats, RtsStats, RtsStatsSnapshot};
+
+use orca_amoeba::NodeId;
+use orca_object::{ObjectError, ObjectId, OpKind};
+
+/// Errors surfaced by the runtime systems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtsError {
+    /// Problem with the object itself (unknown type, codec failure, ...).
+    Object(ObjectError),
+    /// The group-communication or RPC layer failed.
+    Communication(String),
+    /// The runtime system has been shut down.
+    Terminated,
+    /// An invocation did not complete within its deadline.
+    Timeout,
+}
+
+impl std::fmt::Display for RtsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RtsError::Object(err) => write!(f, "object error: {err}"),
+            RtsError::Communication(msg) => write!(f, "communication error: {msg}"),
+            RtsError::Terminated => write!(f, "runtime system terminated"),
+            RtsError::Timeout => write!(f, "operation timed out"),
+        }
+    }
+}
+
+impl std::error::Error for RtsError {}
+
+impl From<ObjectError> for RtsError {
+    fn from(err: ObjectError) -> Self {
+        RtsError::Object(err)
+    }
+}
+
+/// Which runtime system a node is running (used by configuration and by the
+/// benchmark harness when sweeping over strategies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtsKind {
+    /// Full replication with operation shipping over totally-ordered
+    /// broadcast.
+    Broadcast,
+    /// Primary copy with invalidation of secondaries on writes.
+    PrimaryInvalidate,
+    /// Primary copy with two-phase updates of secondaries on writes.
+    PrimaryUpdate,
+}
+
+impl RtsKind {
+    /// Human-readable name used in benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            RtsKind::Broadcast => "broadcast",
+            RtsKind::PrimaryInvalidate => "invalidate",
+            RtsKind::PrimaryUpdate => "update",
+        }
+    }
+}
+
+/// The interface the Orca layer programs against: create objects and invoke
+/// encoded operations on them, with the runtime system deciding where
+/// replicas live and how writes propagate.
+pub trait RuntimeSystem: Send + Sync {
+    /// Node this runtime-system instance runs on.
+    fn node(&self) -> NodeId;
+
+    /// Number of nodes participating in the application.
+    fn num_nodes(&self) -> usize;
+
+    /// Create a shared object of registered type `type_name` with the given
+    /// encoded initial state. Returns its id once the object is usable on
+    /// this node (and, for the broadcast RTS, on every node).
+    fn create_object(&self, type_name: &str, initial_state: &[u8]) -> Result<ObjectId, RtsError>;
+
+    /// Invoke an encoded operation on an object, blocking until it completes
+    /// (including waiting for a blocking operation's guard to become true).
+    /// Returns the encoded reply.
+    ///
+    /// The caller supplies the object's registered type name and the
+    /// operation's read/write classification; in Orca both are known
+    /// statically at the call site (the compiler classifies operations), and
+    /// passing them here lets the point-to-point runtime system handle
+    /// objects it holds no local copy of.
+    fn invoke(
+        &self,
+        object: ObjectId,
+        type_name: &str,
+        kind: OpKind,
+        op: &[u8],
+    ) -> Result<Vec<u8>, RtsError>;
+
+    /// Snapshot of this node's runtime-system statistics.
+    fn stats(&self) -> RtsStatsSnapshot;
+
+    /// Which kind of runtime system this is.
+    fn kind(&self) -> RtsKind;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(RtsKind::Broadcast.name(), "broadcast");
+        assert_eq!(RtsKind::PrimaryInvalidate.name(), "invalidate");
+        assert_eq!(RtsKind::PrimaryUpdate.name(), "update");
+    }
+
+    #[test]
+    fn error_conversions_and_display() {
+        let err: RtsError = ObjectError::UnknownType("X".into()).into();
+        assert!(err.to_string().contains("X"));
+        assert!(RtsError::Timeout.to_string().contains("timed out"));
+    }
+}

@@ -1,0 +1,235 @@
+//! RPC messages of the point-to-point (primary-copy) runtime system.
+
+use orca_object::ObjectId;
+use orca_wire::{Decoder, Encoder, Wire, WireError, WireResult};
+
+/// Requests sent to a node's primary-copy RTS service.
+///
+/// The first four are client → primary requests; the last three are
+/// primary → secondary requests used by the write protocols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrimaryMsg {
+    /// Execute a read operation at the primary copy (the caller holds no
+    /// valid local copy).
+    ReadAt {
+        /// Target object.
+        object: ObjectId,
+        /// Encoded operation.
+        op: Vec<u8>,
+    },
+    /// Execute a write operation at the primary copy, running the
+    /// invalidation or two-phase-update protocol against all secondaries.
+    WriteAt {
+        /// Target object.
+        object: ObjectId,
+        /// Encoded operation.
+        op: Vec<u8>,
+    },
+    /// Register the caller as a copy holder and return the current state.
+    FetchCopy {
+        /// Target object.
+        object: ObjectId,
+    },
+    /// Deregister the caller as a copy holder.
+    DropCopy {
+        /// Target object.
+        object: ObjectId,
+    },
+    /// Primary → secondary: discard your copy (invalidation protocol).
+    Invalidate {
+        /// Target object.
+        object: ObjectId,
+    },
+    /// Primary → secondary: apply this operation to your copy and keep the
+    /// object locked until [`PrimaryMsg::Unlock`] arrives (update protocol,
+    /// phase 1).
+    UpdateOp {
+        /// Target object.
+        object: ObjectId,
+        /// Encoded operation.
+        op: Vec<u8>,
+    },
+    /// Primary → secondary: unlock the object (update protocol, phase 2).
+    Unlock {
+        /// Target object.
+        object: ObjectId,
+    },
+}
+
+impl Wire for PrimaryMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            PrimaryMsg::ReadAt { object, op } => {
+                enc.put_u8(0);
+                object.encode(enc);
+                enc.put_bytes(op);
+            }
+            PrimaryMsg::WriteAt { object, op } => {
+                enc.put_u8(1);
+                object.encode(enc);
+                enc.put_bytes(op);
+            }
+            PrimaryMsg::FetchCopy { object } => {
+                enc.put_u8(2);
+                object.encode(enc);
+            }
+            PrimaryMsg::DropCopy { object } => {
+                enc.put_u8(3);
+                object.encode(enc);
+            }
+            PrimaryMsg::Invalidate { object } => {
+                enc.put_u8(4);
+                object.encode(enc);
+            }
+            PrimaryMsg::UpdateOp { object, op } => {
+                enc.put_u8(5);
+                object.encode(enc);
+                enc.put_bytes(op);
+            }
+            PrimaryMsg::Unlock { object } => {
+                enc.put_u8(6);
+                object.encode(enc);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        match dec.get_u8()? {
+            0 => Ok(PrimaryMsg::ReadAt {
+                object: Wire::decode(dec)?,
+                op: dec.get_bytes()?,
+            }),
+            1 => Ok(PrimaryMsg::WriteAt {
+                object: Wire::decode(dec)?,
+                op: dec.get_bytes()?,
+            }),
+            2 => Ok(PrimaryMsg::FetchCopy {
+                object: Wire::decode(dec)?,
+            }),
+            3 => Ok(PrimaryMsg::DropCopy {
+                object: Wire::decode(dec)?,
+            }),
+            4 => Ok(PrimaryMsg::Invalidate {
+                object: Wire::decode(dec)?,
+            }),
+            5 => Ok(PrimaryMsg::UpdateOp {
+                object: Wire::decode(dec)?,
+                op: dec.get_bytes()?,
+            }),
+            6 => Ok(PrimaryMsg::Unlock {
+                object: Wire::decode(dec)?,
+            }),
+            tag => Err(WireError::InvalidTag {
+                type_name: "PrimaryMsg",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+/// Replies of the primary-copy RTS service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrimaryReply {
+    /// Encoded reply of a completed operation.
+    Reply(Vec<u8>),
+    /// The operation's guard was false; the caller should retry later.
+    Blocked,
+    /// Current state of the object (reply to [`PrimaryMsg::FetchCopy`]).
+    State {
+        /// Registered type name, so the receiver can instantiate a replica.
+        type_name: String,
+        /// Encoded state.
+        state: Vec<u8>,
+    },
+    /// Acknowledgement with no payload.
+    Ack,
+    /// The request failed.
+    Error(String),
+}
+
+impl Wire for PrimaryReply {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            PrimaryReply::Reply(bytes) => {
+                enc.put_u8(0);
+                enc.put_bytes(bytes);
+            }
+            PrimaryReply::Blocked => enc.put_u8(1),
+            PrimaryReply::State { type_name, state } => {
+                enc.put_u8(2);
+                type_name.encode(enc);
+                enc.put_bytes(state);
+            }
+            PrimaryReply::Ack => enc.put_u8(3),
+            PrimaryReply::Error(msg) => {
+                enc.put_u8(4);
+                msg.encode(enc);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        match dec.get_u8()? {
+            0 => Ok(PrimaryReply::Reply(dec.get_bytes()?)),
+            1 => Ok(PrimaryReply::Blocked),
+            2 => Ok(PrimaryReply::State {
+                type_name: Wire::decode(dec)?,
+                state: dec.get_bytes()?,
+            }),
+            3 => Ok(PrimaryReply::Ack),
+            4 => Ok(PrimaryReply::Error(Wire::decode(dec)?)),
+            tag => Err(WireError::InvalidTag {
+                type_name: "PrimaryReply",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_requests_round_trip() {
+        let object = ObjectId::compose(2, 5);
+        let msgs = vec![
+            PrimaryMsg::ReadAt {
+                object,
+                op: vec![1],
+            },
+            PrimaryMsg::WriteAt {
+                object,
+                op: vec![2, 3],
+            },
+            PrimaryMsg::FetchCopy { object },
+            PrimaryMsg::DropCopy { object },
+            PrimaryMsg::Invalidate { object },
+            PrimaryMsg::UpdateOp {
+                object,
+                op: vec![],
+            },
+            PrimaryMsg::Unlock { object },
+        ];
+        for msg in msgs {
+            assert_eq!(PrimaryMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn all_replies_round_trip() {
+        let replies = vec![
+            PrimaryReply::Reply(vec![9, 9]),
+            PrimaryReply::Blocked,
+            PrimaryReply::State {
+                type_name: "T".into(),
+                state: vec![0; 10],
+            },
+            PrimaryReply::Ack,
+            PrimaryReply::Error("nope".into()),
+        ];
+        for reply in replies {
+            assert_eq!(PrimaryReply::from_bytes(&reply.to_bytes()).unwrap(), reply);
+        }
+    }
+}

@@ -1,0 +1,816 @@
+//! The point-to-point (primary-copy) runtime system (§3.2.2 of the paper).
+//!
+//! Used when the network offers no broadcast. Every object has a *primary*
+//! copy on the node that created it; other nodes may hold *secondary* copies.
+//! Reads execute on a local copy when one is valid, otherwise they are sent
+//! to the primary by RPC. Writes are always executed at the primary, which
+//! then runs one of two protocols against the secondaries:
+//!
+//! * **Invalidation** ([`WritePolicy::Invalidate`]): the primary applies the
+//!   operation, sends an invalidation to every copy holder, collects the
+//!   acknowledgements, and only then completes the write. Invalidated nodes
+//!   fetch a fresh copy (or read remotely) on their next access.
+//! * **Two-phase update** ([`WritePolicy::Update`]): the primary ships the
+//!   *operation* to every copy holder (phase 1); each holder locks its copy,
+//!   applies the operation and acknowledges while keeping the copy locked;
+//!   once all acknowledgements are in, the primary sends unlock messages
+//!   (phase 2). Reads attempted while a copy is locked wait until it is
+//!   unlocked, which is what makes concurrent updates sequentially
+//!   consistent.
+//!
+//! Whether a node holds a copy at all is decided dynamically
+//! ([`ReplicationPolicy`]): each node keeps per-object read/write counters;
+//! when the read/write ratio of its own accesses exceeds a threshold it
+//! fetches a copy from the primary, and when the ratio falls below a lower
+//! threshold it drops the copy again — exactly the hysteresis rule sketched
+//! in the paper.
+
+pub mod messages;
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use orca_amoeba::network::NetworkHandle;
+use orca_amoeba::node::ports;
+use orca_amoeba::rpc::{rpc_call, RpcServer};
+use orca_amoeba::NodeId;
+use orca_object::{
+    AnyReplica, AppliedOutcome, ObjectError, ObjectId, ObjectRegistry, OpKind,
+};
+use orca_wire::Wire;
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::stats::{AccessStats, RtsStats, RtsStatsSnapshot};
+use crate::{RtsError, RtsKind, RuntimeSystem};
+use messages::{PrimaryMsg, PrimaryReply};
+
+/// How a write at the primary propagates to secondary copies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// Discard all secondary copies; they are re-fetched on demand.
+    Invalidate,
+    /// Push the operation to all secondary copies with a two-phase
+    /// lock/update/unlock exchange.
+    Update,
+}
+
+/// Dynamic replication thresholds (read/write-ratio hysteresis).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicationPolicy {
+    /// Fetch a local copy once the node's own read/write ratio for the
+    /// object exceeds this value.
+    pub fetch_ratio: f64,
+    /// Drop the local copy once the ratio falls below this value.
+    pub drop_ratio: f64,
+    /// Re-evaluate the decision every this many accesses.
+    pub window: u64,
+    /// Disable dynamic replication entirely (no secondary copies are ever
+    /// created; all remote accesses go to the primary).
+    pub enabled: bool,
+}
+
+impl Default for ReplicationPolicy {
+    fn default() -> Self {
+        ReplicationPolicy {
+            fetch_ratio: 4.0,
+            drop_ratio: 1.0,
+            window: 16,
+            enabled: true,
+        }
+    }
+}
+
+impl ReplicationPolicy {
+    /// Policy that never creates secondary copies.
+    pub fn never_replicate() -> Self {
+        ReplicationPolicy {
+            enabled: false,
+            ..ReplicationPolicy::default()
+        }
+    }
+}
+
+/// How long a caller sleeps before retrying an operation whose guard was
+/// false at the primary.
+const BLOCKED_RETRY_DELAY: Duration = Duration::from_millis(20);
+
+/// Primary-side record of one object.
+struct PrimaryObject {
+    /// The authoritative replica. The mutex doubles as the object lock held
+    /// for the duration of the write protocol.
+    replica: Mutex<Box<dyn AnyReplica>>,
+    /// Nodes currently holding a secondary copy.
+    copy_holders: Mutex<HashSet<NodeId>>,
+    type_name: String,
+}
+
+/// Secondary-side record of one object on one node.
+#[derive(Default)]
+struct SecondaryState {
+    /// Valid local copy, if any.
+    copy: Option<Box<dyn AnyReplica>>,
+    /// True between phase 1 (update applied) and phase 2 (unlock) of the
+    /// update protocol; local reads wait while this is set.
+    locked: bool,
+}
+
+struct SecondaryObject {
+    state: Mutex<SecondaryState>,
+    unlocked: Condvar,
+    access: AccessStats,
+}
+
+struct Inner {
+    node: NodeId,
+    num_nodes: usize,
+    handle: NetworkHandle,
+    registry: ObjectRegistry,
+    write_policy: WritePolicy,
+    replication: ReplicationPolicy,
+    primaries: RwLock<HashMap<ObjectId, Arc<PrimaryObject>>>,
+    secondaries: RwLock<HashMap<ObjectId, Arc<SecondaryObject>>>,
+    next_object: AtomicU64,
+    stats: Arc<RtsStats>,
+}
+
+/// Handle to one node's primary-copy runtime system. Cheap to clone.
+#[derive(Clone)]
+pub struct PrimaryCopyRts {
+    inner: Arc<Inner>,
+    server: Arc<Mutex<Option<RpcServer>>>,
+}
+
+impl std::fmt::Debug for PrimaryCopyRts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrimaryCopyRts")
+            .field("node", &self.inner.node)
+            .field("policy", &self.inner.write_policy)
+            .finish()
+    }
+}
+
+impl PrimaryCopyRts {
+    /// Start the point-to-point runtime system on the node owning `handle`.
+    pub fn start(
+        handle: NetworkHandle,
+        registry: ObjectRegistry,
+        write_policy: WritePolicy,
+        replication: ReplicationPolicy,
+    ) -> Self {
+        let inner = Arc::new(Inner {
+            node: handle.node(),
+            num_nodes: handle.num_nodes(),
+            handle: handle.clone(),
+            registry,
+            write_policy,
+            replication,
+            primaries: RwLock::new(HashMap::new()),
+            secondaries: RwLock::new(HashMap::new()),
+            next_object: AtomicU64::new(1),
+            stats: RtsStats::new_shared(),
+        });
+        let service_inner = Arc::clone(&inner);
+        let server = RpcServer::serve_concurrent(handle, ports::RTS_PRIMARY, move |body, caller| {
+            serve_request(&service_inner, body, caller)
+        });
+        PrimaryCopyRts {
+            inner,
+            server: Arc::new(Mutex::new(Some(server))),
+        }
+    }
+
+    /// Stop the RPC service of this node. Idempotent.
+    pub fn shutdown(&self) {
+        if let Some(server) = self.server.lock().take() {
+            server.shutdown();
+        }
+    }
+
+    /// True if this node currently holds a valid secondary copy of `object`.
+    pub fn has_local_copy(&self, object: ObjectId) -> bool {
+        if self.primary_node(object) == self.inner.node {
+            return true;
+        }
+        let secondaries = self.inner.secondaries.read();
+        secondaries
+            .get(&object)
+            .map(|entry| entry.state.lock().copy.is_some())
+            .unwrap_or(false)
+    }
+
+    fn primary_node(&self, object: ObjectId) -> NodeId {
+        NodeId(object.creator_index())
+    }
+
+    fn rpc(&self, dst: NodeId, msg: &PrimaryMsg) -> Result<PrimaryReply, RtsError> {
+        let reply = rpc_call(&self.inner.handle, dst, ports::RTS_PRIMARY, msg.to_bytes())
+            .map_err(|err| RtsError::Communication(err.to_string()))?;
+        PrimaryReply::from_bytes(&reply)
+            .map_err(|err| RtsError::Communication(format!("bad reply: {err}")))
+    }
+
+    fn secondary_entry(&self, object: ObjectId) -> Arc<SecondaryObject> {
+        {
+            let secondaries = self.inner.secondaries.read();
+            if let Some(entry) = secondaries.get(&object) {
+                return Arc::clone(entry);
+            }
+        }
+        let mut secondaries = self.inner.secondaries.write();
+        Arc::clone(secondaries.entry(object).or_insert_with(|| {
+            Arc::new(SecondaryObject {
+                state: Mutex::new(SecondaryState::default()),
+                unlocked: Condvar::new(),
+                access: AccessStats::default(),
+            })
+        }))
+    }
+
+    fn invoke_at_primary_local(&self, object: ObjectId, op: &[u8], kind: OpKind) -> Result<Vec<u8>, RtsError> {
+        loop {
+            let outcome = match kind {
+                OpKind::Read => {
+                    let reply = primary_read(&self.inner, object, op)?;
+                    RtsStats::bump(&self.inner.stats.local_reads);
+                    reply
+                }
+                OpKind::Write => {
+                    RtsStats::bump(&self.inner.stats.writes);
+                    primary_write(&self.inner, object, op)?
+                }
+            };
+            match outcome {
+                AppliedOutcome::Done(reply) => return Ok(reply),
+                AppliedOutcome::Blocked => {
+                    RtsStats::bump(&self.inner.stats.guard_retries);
+                    std::thread::sleep(BLOCKED_RETRY_DELAY);
+                }
+            }
+        }
+    }
+
+    fn invoke_remote(
+        &self,
+        object: ObjectId,
+        type_name: &str,
+        kind: OpKind,
+        op: &[u8],
+    ) -> Result<Vec<u8>, RtsError> {
+        let primary = self.primary_node(object);
+        let entry = self.secondary_entry(object);
+        match kind {
+            OpKind::Read => entry.access.record_read(),
+            OpKind::Write => entry.access.record_write(),
+        }
+        let result = match kind {
+            OpKind::Read => {
+                if let Some(reply) = self.try_local_secondary_read(&entry, op)? {
+                    RtsStats::bump(&self.inner.stats.local_reads);
+                    Ok(reply)
+                } else {
+                    RtsStats::bump(&self.inner.stats.remote_reads);
+                    self.remote_op(primary, PrimaryMsg::ReadAt {
+                        object,
+                        op: op.to_vec(),
+                    })
+                }
+            }
+            OpKind::Write => {
+                RtsStats::bump(&self.inner.stats.writes);
+                RtsStats::bump(&self.inner.stats.remote_writes);
+                self.remote_op(primary, PrimaryMsg::WriteAt {
+                    object,
+                    op: op.to_vec(),
+                })
+            }
+        };
+        self.maybe_adjust_replication(object, type_name, primary, &entry)?;
+        result
+    }
+
+    /// Attempt a read on a valid, unlocked local secondary copy.
+    fn try_local_secondary_read(
+        &self,
+        entry: &SecondaryObject,
+        op: &[u8],
+    ) -> Result<Option<Vec<u8>>, RtsError> {
+        let mut state = entry.state.lock();
+        loop {
+            while state.locked {
+                entry.unlocked.wait(&mut state);
+            }
+            let Some(copy) = state.copy.as_mut() else {
+                return Ok(None);
+            };
+            match copy.apply_encoded(op)? {
+                AppliedOutcome::Done(reply) => return Ok(Some(reply)),
+                AppliedOutcome::Blocked => {
+                    // Guarded read: wait for the copy to change (updates
+                    // arrive via the update protocol) or fall back to a
+                    // periodic retry.
+                    RtsStats::bump(&self.inner.stats.guard_retries);
+                    entry.unlocked.wait_for(&mut state, Duration::from_millis(100));
+                }
+            }
+        }
+    }
+
+    /// Send a read/write to the primary, retrying while the guard is false.
+    fn remote_op(&self, primary: NodeId, msg: PrimaryMsg) -> Result<Vec<u8>, RtsError> {
+        loop {
+            match self.rpc(primary, &msg)? {
+                PrimaryReply::Reply(bytes) => return Ok(bytes),
+                PrimaryReply::Blocked => {
+                    RtsStats::bump(&self.inner.stats.guard_retries);
+                    std::thread::sleep(BLOCKED_RETRY_DELAY);
+                }
+                PrimaryReply::Error(msg) => {
+                    return Err(RtsError::Communication(msg));
+                }
+                other => {
+                    return Err(RtsError::Communication(format!(
+                        "unexpected reply {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Apply the dynamic-replication hysteresis rule after an access.
+    fn maybe_adjust_replication(
+        &self,
+        object: ObjectId,
+        _type_name: &str,
+        primary: NodeId,
+        entry: &SecondaryObject,
+    ) -> Result<(), RtsError> {
+        if !self.inner.replication.enabled {
+            return Ok(());
+        }
+        if entry.access.total() < self.inner.replication.window {
+            return Ok(());
+        }
+        let ratio = entry.access.read_write_ratio();
+        let has_copy = entry.state.lock().copy.is_some();
+        if !has_copy && ratio >= self.inner.replication.fetch_ratio {
+            self.fetch_copy(object, primary, entry)?;
+        } else if has_copy && ratio <= self.inner.replication.drop_ratio {
+            self.drop_copy(object, primary, entry)?;
+        }
+        entry.access.reset();
+        Ok(())
+    }
+
+    fn fetch_copy(
+        &self,
+        object: ObjectId,
+        primary: NodeId,
+        entry: &SecondaryObject,
+    ) -> Result<(), RtsError> {
+        match self.rpc(primary, &PrimaryMsg::FetchCopy { object })? {
+            PrimaryReply::State { type_name, state } => {
+                let replica = self.inner.registry.instantiate(&type_name, &state)?;
+                let mut guard = entry.state.lock();
+                guard.copy = Some(replica);
+                guard.locked = false;
+                RtsStats::bump(&self.inner.stats.copies_fetched);
+                Ok(())
+            }
+            PrimaryReply::Error(msg) => Err(RtsError::Communication(msg)),
+            other => Err(RtsError::Communication(format!(
+                "unexpected FetchCopy reply {other:?}"
+            ))),
+        }
+    }
+
+    fn drop_copy(
+        &self,
+        object: ObjectId,
+        primary: NodeId,
+        entry: &SecondaryObject,
+    ) -> Result<(), RtsError> {
+        let _ = self.rpc(primary, &PrimaryMsg::DropCopy { object })?;
+        let mut guard = entry.state.lock();
+        guard.copy = None;
+        guard.locked = false;
+        RtsStats::bump(&self.inner.stats.copies_dropped);
+        self.inner.stats.snapshot();
+        Ok(())
+    }
+}
+
+impl RuntimeSystem for PrimaryCopyRts {
+    fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.inner.num_nodes
+    }
+
+    fn create_object(&self, type_name: &str, initial_state: &[u8]) -> Result<ObjectId, RtsError> {
+        let replica = self.inner.registry.instantiate(type_name, initial_state)?;
+        let counter = self.inner.next_object.fetch_add(1, Ordering::Relaxed);
+        let id = ObjectId::compose(self.inner.node.0, counter);
+        self.inner.primaries.write().insert(
+            id,
+            Arc::new(PrimaryObject {
+                replica: Mutex::new(replica),
+                copy_holders: Mutex::new(HashSet::new()),
+                type_name: type_name.to_string(),
+            }),
+        );
+        RtsStats::bump(&self.inner.stats.objects_created);
+        Ok(id)
+    }
+
+    fn invoke(
+        &self,
+        object: ObjectId,
+        type_name: &str,
+        kind: OpKind,
+        op: &[u8],
+    ) -> Result<Vec<u8>, RtsError> {
+        if self.primary_node(object) == self.inner.node {
+            self.invoke_at_primary_local(object, op, kind)
+        } else {
+            self.invoke_remote(object, type_name, kind, op)
+        }
+    }
+
+    fn stats(&self) -> RtsStatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    fn kind(&self) -> RtsKind {
+        match self.inner.write_policy {
+            WritePolicy::Invalidate => RtsKind::PrimaryInvalidate,
+            WritePolicy::Update => RtsKind::PrimaryUpdate,
+        }
+    }
+}
+
+/// Execute a read operation at the primary copy.
+fn primary_read(inner: &Arc<Inner>, object: ObjectId, op: &[u8]) -> Result<AppliedOutcome, RtsError> {
+    let entry = {
+        let primaries = inner.primaries.read();
+        primaries
+            .get(&object)
+            .cloned()
+            .ok_or(RtsError::Object(ObjectError::NoSuchObject(object)))?
+    };
+    let mut replica = entry.replica.lock();
+    Ok(replica.apply_encoded(op)?)
+}
+
+/// Execute a write at the primary copy and run the configured propagation
+/// protocol against all copy holders.
+fn primary_write(inner: &Arc<Inner>, object: ObjectId, op: &[u8]) -> Result<AppliedOutcome, RtsError> {
+    let entry = {
+        let primaries = inner.primaries.read();
+        primaries
+            .get(&object)
+            .cloned()
+            .ok_or(RtsError::Object(ObjectError::NoSuchObject(object)))?
+    };
+    // The primary replica's mutex is the object lock: it stays held for the
+    // entire protocol so no reads or competing writes observe partial state.
+    let mut replica = entry.replica.lock();
+    let outcome = replica.apply_encoded(op)?;
+    let AppliedOutcome::Done(reply) = outcome else {
+        return Ok(AppliedOutcome::Blocked);
+    };
+    let holders: Vec<NodeId> = {
+        let holders = entry.copy_holders.lock();
+        holders.iter().copied().filter(|h| *h != inner.node).collect()
+    };
+    match inner.write_policy {
+        WritePolicy::Invalidate => {
+            for holder in &holders {
+                let _ = send_to_secondary(inner, *holder, &PrimaryMsg::Invalidate { object });
+            }
+            entry.copy_holders.lock().clear();
+        }
+        WritePolicy::Update => {
+            // Phase 1: ship the operation; every holder applies it and stays
+            // locked. Phase 2: unlock everyone.
+            for holder in &holders {
+                let _ = send_to_secondary(
+                    inner,
+                    *holder,
+                    &PrimaryMsg::UpdateOp {
+                        object,
+                        op: op.to_vec(),
+                    },
+                );
+            }
+            for holder in &holders {
+                let _ = send_to_secondary(inner, *holder, &PrimaryMsg::Unlock { object });
+            }
+        }
+    }
+    Ok(AppliedOutcome::Done(reply))
+}
+
+fn send_to_secondary(
+    inner: &Arc<Inner>,
+    dst: NodeId,
+    msg: &PrimaryMsg,
+) -> Result<PrimaryReply, RtsError> {
+    let reply = rpc_call(&inner.handle, dst, ports::RTS_PRIMARY, msg.to_bytes())
+        .map_err(|err| RtsError::Communication(err.to_string()))?;
+    PrimaryReply::from_bytes(&reply).map_err(|err| RtsError::Communication(err.to_string()))
+}
+
+/// RPC dispatch: the service side of the protocol, running on every node.
+fn serve_request(inner: &Arc<Inner>, body: &[u8], caller: NodeId) -> Vec<u8> {
+    let reply = match PrimaryMsg::from_bytes(body) {
+        Ok(msg) => dispatch(inner, msg, caller),
+        Err(err) => PrimaryReply::Error(format!("bad request: {err}")),
+    };
+    reply.to_bytes()
+}
+
+fn dispatch(inner: &Arc<Inner>, msg: PrimaryMsg, caller: NodeId) -> PrimaryReply {
+    match msg {
+        PrimaryMsg::ReadAt { object, op } => match primary_read(inner, object, &op) {
+            Ok(AppliedOutcome::Done(reply)) => PrimaryReply::Reply(reply),
+            Ok(AppliedOutcome::Blocked) => PrimaryReply::Blocked,
+            Err(err) => PrimaryReply::Error(err.to_string()),
+        },
+        PrimaryMsg::WriteAt { object, op } => match primary_write(inner, object, &op) {
+            Ok(AppliedOutcome::Done(reply)) => PrimaryReply::Reply(reply),
+            Ok(AppliedOutcome::Blocked) => PrimaryReply::Blocked,
+            Err(err) => PrimaryReply::Error(err.to_string()),
+        },
+        PrimaryMsg::FetchCopy { object } => {
+            let primaries = inner.primaries.read();
+            let Some(entry) = primaries.get(&object).cloned() else {
+                return PrimaryReply::Error(format!("no such object {object}"));
+            };
+            drop(primaries);
+            // Lock the replica so the state snapshot cannot interleave with a
+            // write protocol in progress.
+            let replica = entry.replica.lock();
+            let state = replica.state_bytes();
+            drop(replica);
+            entry.copy_holders.lock().insert(caller);
+            PrimaryReply::State {
+                type_name: entry.type_name.clone(),
+                state,
+            }
+        }
+        PrimaryMsg::DropCopy { object } => {
+            let primaries = inner.primaries.read();
+            if let Some(entry) = primaries.get(&object) {
+                entry.copy_holders.lock().remove(&caller);
+            }
+            PrimaryReply::Ack
+        }
+        PrimaryMsg::Invalidate { object } => {
+            let secondaries = inner.secondaries.read();
+            if let Some(entry) = secondaries.get(&object) {
+                let mut state = entry.state.lock();
+                state.copy = None;
+                state.locked = false;
+                entry.unlocked.notify_all();
+                RtsStats::bump(&inner.stats.invalidations_received);
+            }
+            PrimaryReply::Ack
+        }
+        PrimaryMsg::UpdateOp { object, op } => {
+            let secondaries = inner.secondaries.read();
+            if let Some(entry) = secondaries.get(&object) {
+                let mut state = entry.state.lock();
+                if let Some(copy) = state.copy.as_mut() {
+                    match copy.apply_encoded(&op) {
+                        Ok(_) => {
+                            state.locked = true;
+                            RtsStats::bump(&inner.stats.updates_applied);
+                        }
+                        Err(_) => {
+                            // A copy we cannot update is discarded; the next
+                            // access will fetch a fresh one.
+                            state.copy = None;
+                            state.locked = false;
+                        }
+                    }
+                }
+            }
+            PrimaryReply::Ack
+        }
+        PrimaryMsg::Unlock { object } => {
+            let secondaries = inner.secondaries.read();
+            if let Some(entry) = secondaries.get(&object) {
+                let mut state = entry.state.lock();
+                state.locked = false;
+                entry.unlocked.notify_all();
+            }
+            PrimaryReply::Ack
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orca_amoeba::network::Network;
+    use orca_object::testing::{Accumulator, AccumulatorOp};
+    use orca_object::ObjectType;
+
+    fn registry() -> ObjectRegistry {
+        let mut registry = ObjectRegistry::new();
+        registry.register::<Accumulator>();
+        registry
+    }
+
+    fn start_all(net: &Network, policy: WritePolicy, replication: ReplicationPolicy) -> Vec<PrimaryCopyRts> {
+        net.node_ids()
+            .into_iter()
+            .map(|n| PrimaryCopyRts::start(net.handle(n), registry(), policy, replication))
+            .collect()
+    }
+
+    fn add(rts: &PrimaryCopyRts, id: ObjectId, n: i64) -> i64 {
+        let reply = rts
+            .invoke(
+                id,
+                Accumulator::TYPE_NAME,
+                OpKind::Write,
+                &AccumulatorOp::Add(n).to_bytes(),
+            )
+            .unwrap();
+        i64::from_bytes(&reply).unwrap()
+    }
+
+    fn read(rts: &PrimaryCopyRts, id: ObjectId) -> i64 {
+        let reply = rts
+            .invoke(
+                id,
+                Accumulator::TYPE_NAME,
+                OpKind::Read,
+                &AccumulatorOp::Read.to_bytes(),
+            )
+            .unwrap();
+        i64::from_bytes(&reply).unwrap()
+    }
+
+    #[test]
+    fn remote_reads_and_writes_through_primary() {
+        for policy in [WritePolicy::Invalidate, WritePolicy::Update] {
+            let net = Network::reliable(3);
+            let rtses = start_all(&net, policy, ReplicationPolicy::never_replicate());
+            let id = rtses[0]
+                .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+                .unwrap();
+            assert_eq!(add(&rtses[1], id, 5), 5);
+            assert_eq!(add(&rtses[2], id, 7), 12);
+            assert_eq!(read(&rtses[0], id), 12);
+            assert_eq!(read(&rtses[2], id), 12);
+            assert!(rtses[2].stats().remote_reads >= 1);
+            assert!(rtses[1].stats().remote_writes >= 1);
+            for rts in &rtses {
+                rts.shutdown();
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_replication_fetches_copy_after_many_reads() {
+        let net = Network::reliable(2);
+        let replication = ReplicationPolicy {
+            fetch_ratio: 2.0,
+            drop_ratio: 0.5,
+            window: 8,
+            enabled: true,
+        };
+        let rtses = start_all(&net, WritePolicy::Update, replication);
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &1i64.to_bytes())
+            .unwrap();
+        assert!(!rtses[1].has_local_copy(id));
+        for _ in 0..16 {
+            assert_eq!(read(&rtses[1], id), 1);
+        }
+        assert!(rtses[1].has_local_copy(id), "copy should have been fetched");
+        let before = rtses[1].stats();
+        assert!(before.copies_fetched >= 1);
+        // Reads now hit the local copy.
+        let local_before = before.local_reads;
+        for _ in 0..5 {
+            assert_eq!(read(&rtses[1], id), 1);
+        }
+        assert!(rtses[1].stats().local_reads >= local_before + 5);
+        for rts in &rtses {
+            rts.shutdown();
+        }
+    }
+
+    #[test]
+    fn update_policy_keeps_secondary_copy_current() {
+        let net = Network::reliable(2);
+        let replication = ReplicationPolicy {
+            fetch_ratio: 1.0,
+            drop_ratio: 0.0,
+            window: 4,
+            enabled: true,
+        };
+        let rtses = start_all(&net, WritePolicy::Update, replication);
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+            .unwrap();
+        for _ in 0..8 {
+            read(&rtses[1], id);
+        }
+        assert!(rtses[1].has_local_copy(id));
+        // A write at the primary must propagate to the secondary copy.
+        assert_eq!(add(&rtses[0], id, 9), 9);
+        assert_eq!(read(&rtses[1], id), 9);
+        assert!(rtses[1].stats().updates_applied >= 1);
+        for rts in &rtses {
+            rts.shutdown();
+        }
+    }
+
+    #[test]
+    fn invalidate_policy_discards_secondary_copy_on_write() {
+        let net = Network::reliable(2);
+        let replication = ReplicationPolicy {
+            fetch_ratio: 1.0,
+            drop_ratio: 0.0,
+            window: 4,
+            enabled: true,
+        };
+        let rtses = start_all(&net, WritePolicy::Invalidate, replication);
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+            .unwrap();
+        for _ in 0..8 {
+            read(&rtses[1], id);
+        }
+        assert!(rtses[1].has_local_copy(id));
+        assert_eq!(add(&rtses[0], id, 3), 3);
+        assert!(!rtses[1].has_local_copy(id), "copy should be invalidated");
+        assert_eq!(read(&rtses[1], id), 3);
+        assert!(rtses[1].stats().invalidations_received >= 1);
+        for rts in &rtses {
+            rts.shutdown();
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_from_many_nodes_are_serialized() {
+        let net = Network::reliable(4);
+        let rtses = start_all(&net, WritePolicy::Update, ReplicationPolicy::default());
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+            .unwrap();
+        let mut handles = Vec::new();
+        for rts in &rtses {
+            let rts = rts.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..25 {
+                    add(&rts, id, 1);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(read(&rtses[3], id), 100);
+        for rts in &rtses {
+            rts.shutdown();
+        }
+    }
+
+    #[test]
+    fn blocked_write_at_primary_retries_until_guard_true() {
+        let net = Network::reliable(2);
+        let rtses = start_all(&net, WritePolicy::Update, ReplicationPolicy::never_replicate());
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+            .unwrap();
+        let waiter = {
+            let rts = rtses[1].clone();
+            std::thread::spawn(move || {
+                let reply = rts
+                    .invoke(
+                        id,
+                        Accumulator::TYPE_NAME,
+                        OpKind::Read,
+                        &AccumulatorOp::AwaitAtLeast(4).to_bytes(),
+                    )
+                    .unwrap();
+                i64::from_bytes(&reply).unwrap()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(80));
+        add(&rtses[0], id, 10);
+        assert_eq!(waiter.join().unwrap(), 10);
+        for rts in &rtses {
+            rts.shutdown();
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Runtime-system statistics.
+//!
+//! Two kinds of counters live here:
+//!
+//! * [`RtsStats`] — per-node counters of what the runtime system did on
+//!   behalf of the application (local reads, shipped writes, update messages
+//!   handled for other nodes' writes, copies fetched/dropped, guard retries).
+//!   The performance model combines these with the network statistics to
+//!   estimate per-node protocol handling time.
+//! * [`AccessStats`] — per-node, per-object read/write counts used by the
+//!   dynamic replication policy of the point-to-point runtime system
+//!   (fetch a copy when the read/write ratio is high, drop it when it falls).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Live per-node runtime-system counters.
+#[derive(Debug, Default)]
+pub struct RtsStats {
+    /// Read operations satisfied from a local replica (no communication).
+    pub local_reads: AtomicU64,
+    /// Read operations that required an RPC to the primary copy.
+    pub remote_reads: AtomicU64,
+    /// Write operations invoked by processes on this node.
+    pub writes: AtomicU64,
+    /// Write operations shipped through the totally-ordered broadcast.
+    pub broadcast_writes: AtomicU64,
+    /// Write operations sent to a primary copy by RPC.
+    pub remote_writes: AtomicU64,
+    /// Operations (of other nodes) applied to local replicas by the object
+    /// manager — the "CPU overhead of handling incoming update messages" the
+    /// paper blames for the ACP slowdown.
+    pub updates_applied: AtomicU64,
+    /// Invalidation messages processed (local copy discarded).
+    pub invalidations_received: AtomicU64,
+    /// Object copies fetched because the read/write ratio crossed the
+    /// replication threshold.
+    pub copies_fetched: AtomicU64,
+    /// Object copies dropped because the ratio fell below the threshold.
+    pub copies_dropped: AtomicU64,
+    /// Times a blocking operation found its guard false and had to wait.
+    pub guard_retries: AtomicU64,
+    /// Objects created by this node.
+    pub objects_created: AtomicU64,
+}
+
+impl RtsStats {
+    /// Create a zeroed, shareable statistics block.
+    pub fn new_shared() -> Arc<RtsStats> {
+        Arc::new(RtsStats::default())
+    }
+
+    /// Increment a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot.
+    pub fn snapshot(&self) -> RtsStatsSnapshot {
+        RtsStatsSnapshot {
+            local_reads: self.local_reads.load(Ordering::Relaxed),
+            remote_reads: self.remote_reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            broadcast_writes: self.broadcast_writes.load(Ordering::Relaxed),
+            remote_writes: self.remote_writes.load(Ordering::Relaxed),
+            updates_applied: self.updates_applied.load(Ordering::Relaxed),
+            invalidations_received: self.invalidations_received.load(Ordering::Relaxed),
+            copies_fetched: self.copies_fetched.load(Ordering::Relaxed),
+            copies_dropped: self.copies_dropped.load(Ordering::Relaxed),
+            guard_retries: self.guard_retries.load(Ordering::Relaxed),
+            objects_created: self.objects_created.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`RtsStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RtsStatsSnapshot {
+    /// Read operations satisfied locally.
+    pub local_reads: u64,
+    /// Read operations that needed an RPC.
+    pub remote_reads: u64,
+    /// Write operations invoked on this node.
+    pub writes: u64,
+    /// Writes shipped via broadcast.
+    pub broadcast_writes: u64,
+    /// Writes sent to a remote primary.
+    pub remote_writes: u64,
+    /// Other nodes' operations applied locally.
+    pub updates_applied: u64,
+    /// Invalidations processed.
+    pub invalidations_received: u64,
+    /// Copies fetched by the dynamic replication policy.
+    pub copies_fetched: u64,
+    /// Copies dropped by the dynamic replication policy.
+    pub copies_dropped: u64,
+    /// Guard retries (blocked operations).
+    pub guard_retries: u64,
+    /// Objects created.
+    pub objects_created: u64,
+}
+
+impl RtsStatsSnapshot {
+    /// Total operations invoked by processes on this node.
+    pub fn total_invocations(&self) -> u64 {
+        self.local_reads + self.remote_reads + self.writes
+    }
+
+    /// Fraction of all reads that were satisfied locally (1.0 when there were
+    /// no reads at all).
+    pub fn local_read_fraction(&self) -> f64 {
+        let total = self.local_reads + self.remote_reads;
+        if total == 0 {
+            1.0
+        } else {
+            self.local_reads as f64 / total as f64
+        }
+    }
+}
+
+/// Read/write access counters for one object on one node, driving the
+/// dynamic replication decisions of §3.2.2.
+#[derive(Debug, Default)]
+pub struct AccessStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl AccessStats {
+    /// Record a read access by the local node.
+    pub fn record_read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a write access by the local node.
+    pub fn record_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total accesses recorded.
+    pub fn total(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed) + self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Reads recorded.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Writes recorded.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Read/write ratio; a node that only reads gets `f64::INFINITY`.
+    pub fn read_write_ratio(&self) -> f64 {
+        let reads = self.reads() as f64;
+        let writes = self.writes() as f64;
+        if writes == 0.0 {
+            if reads == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            reads / writes
+        }
+    }
+
+    /// Reset both counters (used at each replication-policy decision point).
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rts_stats_snapshot() {
+        let stats = RtsStats::new_shared();
+        RtsStats::bump(&stats.local_reads);
+        RtsStats::bump(&stats.local_reads);
+        RtsStats::bump(&stats.writes);
+        RtsStats::bump(&stats.remote_reads);
+        let snap = stats.snapshot();
+        assert_eq!(snap.local_reads, 2);
+        assert_eq!(snap.total_invocations(), 4);
+        assert!((snap.local_read_fraction() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_read_fraction_with_no_reads() {
+        let snap = RtsStatsSnapshot::default();
+        assert_eq!(snap.local_read_fraction(), 1.0);
+    }
+
+    #[test]
+    fn access_stats_ratio() {
+        let access = AccessStats::default();
+        assert_eq!(access.read_write_ratio(), 0.0);
+        access.record_read();
+        assert_eq!(access.read_write_ratio(), f64::INFINITY);
+        access.record_write();
+        access.record_read();
+        assert_eq!(access.reads(), 2);
+        assert_eq!(access.writes(), 1);
+        assert_eq!(access.total(), 3);
+        assert!((access.read_write_ratio() - 2.0).abs() < 1e-9);
+        access.reset();
+        assert_eq!(access.total(), 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Encoder half of the wire codec.
+
+/// Streaming encoder that appends wire-format bytes to an internal buffer.
+///
+/// The encoder never fails; all fallibility lives on the decoding side.
+#[derive(Debug, Default, Clone)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Create an empty encoder.
+    pub fn new() -> Self {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// Create an encoder with a pre-allocated capacity (useful for messages
+    /// whose approximate size is known, e.g. bulk state transfers).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Encoder {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the encoder, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Append a single raw byte.
+    pub fn put_u8(&mut self, value: u8) {
+        self.buf.push(value);
+    }
+
+    /// Append raw bytes verbatim (no length prefix).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append an unsigned integer as a LEB128 varint.
+    pub fn put_uvarint(&mut self, mut value: u64) {
+        loop {
+            let byte = (value & 0x7f) as u8;
+            value >>= 7;
+            if value == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Append a signed integer as a zig-zag encoded varint.
+    pub fn put_ivarint(&mut self, value: i64) {
+        let zigzag = ((value << 1) ^ (value >> 63)) as u64;
+        self.put_uvarint(zigzag);
+    }
+
+    /// Append an `f64` as 8 little-endian bytes.
+    pub fn put_f64(&mut self, value: f64) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Append an `f32` as 4 little-endian bytes.
+    pub fn put_f32(&mut self, value: f32) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Append a boolean as a single byte (0 or 1).
+    pub fn put_bool(&mut self, value: bool) {
+        self.buf.push(u8::from(value));
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_uvarint(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, value: &str) {
+        self.put_bytes(value.as_bytes());
+    }
+
+    /// Append a sequence length prefix. The caller then encodes each element.
+    pub fn put_len(&mut self, len: usize) {
+        self.put_uvarint(len as u64);
+    }
+}
+
+/// Number of bytes a value occupies when encoded as an unsigned varint.
+pub fn uvarint_len(mut value: u64) -> usize {
+    let mut len = 1;
+    while value >= 0x80 {
+        value >>= 7;
+        len += 1;
+    }
+    len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_boundaries() {
+        let mut enc = Encoder::new();
+        enc.put_uvarint(0);
+        enc.put_uvarint(127);
+        enc.put_uvarint(128);
+        enc.put_uvarint(16_383);
+        enc.put_uvarint(16_384);
+        assert_eq!(enc.as_slice().len(), 1 + 1 + 2 + 2 + 3);
+    }
+
+    #[test]
+    fn uvarint_len_matches_encoding() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX] {
+            let mut enc = Encoder::new();
+            enc.put_uvarint(v);
+            assert_eq!(uvarint_len(v), enc.len(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn with_capacity_and_raw() {
+        let mut enc = Encoder::with_capacity(16);
+        assert!(enc.is_empty());
+        enc.put_raw(&[1, 2, 3]);
+        enc.put_u8(4);
+        assert_eq!(enc.into_bytes(), vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type for the wire codec.
+
+use std::fmt;
+
+/// Result alias used throughout the codec.
+pub type WireResult<T> = Result<T, WireError>;
+
+/// Errors produced while decoding a wire-format buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value was fully decoded.
+    UnexpectedEof {
+        /// How many more bytes were needed.
+        needed: usize,
+        /// How many bytes remained.
+        remaining: usize,
+    },
+    /// A varint used more than the maximum number of bytes for its width.
+    VarintOverflow,
+    /// A length prefix exceeded the sanity limit.
+    LengthTooLarge {
+        /// The decoded length.
+        len: u64,
+        /// The maximum allowed length.
+        max: u64,
+    },
+    /// A byte string declared as UTF-8 was not valid UTF-8.
+    InvalidUtf8,
+    /// An enum/option tag had an unexpected value.
+    InvalidTag {
+        /// Name of the type being decoded.
+        type_name: &'static str,
+        /// The offending tag value.
+        tag: u64,
+    },
+    /// `Decoder::finish` found unconsumed bytes.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+    /// Application-level decode failure (e.g. unknown object type name).
+    Custom(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { needed, remaining } => write!(
+                f,
+                "unexpected end of buffer: needed {needed} more bytes, {remaining} remaining"
+            ),
+            WireError::VarintOverflow => write!(f, "varint overflowed its integer width"),
+            WireError::LengthTooLarge { len, max } => {
+                write!(f, "length prefix {len} exceeds limit {max}")
+            }
+            WireError::InvalidUtf8 => write!(f, "byte string is not valid UTF-8"),
+            WireError::InvalidTag { type_name, tag } => {
+                write!(f, "invalid tag {tag} while decoding {type_name}")
+            }
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after decoding value")
+            }
+            WireError::Custom(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireError {
+    /// Construct a custom, application-level decode error.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        WireError::Custom(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = WireError::UnexpectedEof {
+            needed: 4,
+            remaining: 1,
+        };
+        let text = err.to_string();
+        assert!(text.contains("needed 4"));
+        assert!(text.contains("1 remaining"));
+        assert!(WireError::custom("boom").to_string().contains("boom"));
+    }
+}

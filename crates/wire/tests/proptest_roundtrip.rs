@@ -1,0 +1,111 @@
+//! Property-based round-trip tests for the wire codec.
+
+use std::collections::BTreeMap;
+
+use orca_wire::{Decoder, Encoder, Wire, WireResult};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Nested {
+    id: u64,
+    name: String,
+    values: Vec<i32>,
+    flag: Option<bool>,
+    table: BTreeMap<u16, String>,
+}
+
+impl Wire for Nested {
+    fn encode(&self, enc: &mut Encoder) {
+        self.id.encode(enc);
+        self.name.encode(enc);
+        self.values.encode(enc);
+        self.flag.encode(enc);
+        self.table.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        Ok(Nested {
+            id: Wire::decode(dec)?,
+            name: Wire::decode(dec)?,
+            values: Wire::decode(dec)?,
+            flag: Wire::decode(dec)?,
+            table: Wire::decode(dec)?,
+        })
+    }
+}
+
+fn nested_strategy() -> impl Strategy<Value = Nested> {
+    (
+        any::<u64>(),
+        ".*",
+        prop::collection::vec(any::<i32>(), 0..32),
+        any::<Option<bool>>(),
+        prop::collection::btree_map(any::<u16>(), ".*", 0..8),
+    )
+        .prop_map(|(id, name, values, flag, table)| Nested {
+            id,
+            name,
+            values,
+            flag,
+            table,
+        })
+}
+
+proptest! {
+    #[test]
+    fn u64_round_trip(v in any::<u64>()) {
+        prop_assert_eq!(u64::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn i64_round_trip(v in any::<i64>()) {
+        prop_assert_eq!(i64::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn f64_round_trip(v in any::<f64>()) {
+        let back = f64::from_bytes(&v.to_bytes()).unwrap();
+        if v.is_nan() {
+            prop_assert!(back.is_nan());
+        } else {
+            prop_assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn string_round_trip(v in ".*") {
+        prop_assert_eq!(String::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn vec_bytes_round_trip(v in prop::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(Vec::<u8>::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn nested_struct_round_trip(v in nested_strategy()) {
+        prop_assert_eq!(Nested::from_bytes(&v.to_bytes()).unwrap(), v.clone());
+        prop_assert_eq!(v.encoded_len(), v.to_bytes().len());
+    }
+
+    #[test]
+    fn decoding_random_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        // Any outcome is fine as long as it does not panic.
+        let _ = Nested::from_bytes(&bytes);
+        let _ = Vec::<String>::from_bytes(&bytes);
+        let _ = Option::<u64>::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn truncated_encodings_error(v in nested_strategy(), cut in 0usize..64) {
+        let bytes = v.to_bytes();
+        if cut < bytes.len() {
+            let truncated = &bytes[..bytes.len() - 1 - cut.min(bytes.len() - 1)];
+            // Truncation may still decode successfully only if the remaining
+            // prefix happens to be a valid encoding of some value, but it must
+            // never equal the original when `finish` is enforced.
+            if let Ok(decoded) = Nested::from_bytes(truncated) {
+                prop_assert_ne!(decoded, v);
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Generate test patterns for a combinational circuit with the parallel
+//! PODEM program of §4.4, with and without the shared fault-simulation
+//! object.
+//!
+//! ```text
+//! cargo run --release --example atpg_patterns
+//! ```
+
+use orca::apps::atpg;
+use orca::core::OrcaRuntime;
+
+fn main() {
+    // The classic ISCAS-85 c17 circuit plus a larger random circuit.
+    for (name, circuit) in [
+        ("c17".to_string(), atpg::Circuit::c17()),
+        ("random-200".to_string(), atpg::Circuit::random(12, 200, 7)),
+    ] {
+        println!(
+            "== {name}: {} gates, {} inputs, {} outputs, {} faults ==",
+            circuit.gates.len(),
+            circuit.inputs,
+            circuit.outputs.len(),
+            circuit.all_faults().len()
+        );
+        for fault_simulation in [false, true] {
+            let runtime = OrcaRuntime::standard(4);
+            let (result, report) =
+                atpg::solve_parallel(&runtime, &circuit, 4, fault_simulation);
+            println!(
+                "  fault simulation {:>5}: {} patterns, coverage {:.1}%, \
+                 {} PODEM steps, load imbalance {:.2}",
+                fault_simulation,
+                result.patterns.len(),
+                result.coverage() * 100.0,
+                result.work,
+                report.imbalance()
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Oracol in miniature: solve tactical chess positions in parallel with
+//! shared killer/transposition tables (§4.3).
+//!
+//! ```text
+//! cargo run --release --example chess_mate
+//! ```
+
+use orca::apps::chess::{self, TableMode};
+use orca::core::OrcaRuntime;
+
+fn main() {
+    let processors = 4;
+    for position in chess::tactical_positions() {
+        let runtime = OrcaRuntime::standard(processors);
+        let (result, report) = chess::solve_parallel(
+            &runtime,
+            &position.board,
+            position.depth,
+            processors,
+            TableMode::Shared,
+        );
+        let verdict = if chess::is_mate_score(result.score, position.depth as u32) {
+            "mate found".to_string()
+        } else {
+            format!("score {:+} centipawns", result.score)
+        };
+        println!(
+            "{:<18} depth {}: {verdict}, best move {:?}, {} nodes across {} workers",
+            position.name,
+            position.depth,
+            result.best_move.map(|m| (m.from, m.to)),
+            result.nodes,
+            report.workers()
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: a shared counter and a shared job queue on a simulated
+//! 4-processor multicomputer, programmed in the replicated worker style.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use orca::core::objects::{IntOp, IntObject, JobQueue};
+use orca::core::{replicated_workers, OrcaRuntime};
+
+fn main() {
+    // One runtime = one parallel application: 4 simulated processors, the
+    // broadcast runtime system, the standard object library.
+    let runtime = OrcaRuntime::standard(4);
+    let main = runtime.main();
+
+    // Shared objects are created by the main process and passed to workers
+    // as (copyable) handles — the analogue of Orca's shared parameters.
+    let queue: JobQueue<u64> = JobQueue::create(main).expect("create queue");
+    let total = runtime.create::<IntObject>(&0).expect("create counter");
+
+    // Manager: enqueue 100 jobs and close the queue.
+    for job in 1..=100u64 {
+        queue.add(main, &job).expect("add job");
+    }
+    queue.close(main).expect("close queue");
+
+    // Replicated workers: each repeatedly takes a job and adds to the shared
+    // counter. Reads are local; writes are shipped through the totally
+    // ordered broadcast and applied on every replica.
+    let per_worker = replicated_workers(&runtime, 4, move |worker, ctx| {
+        let mut jobs = 0u64;
+        while let Some(job) = queue.get(&ctx).expect("get job") {
+            ctx.invoke(total, &IntOp::Add(job as i64)).expect("add");
+            jobs += 1;
+        }
+        println!("worker {worker} on {} processed {jobs} jobs", ctx.node());
+        jobs
+    });
+
+    let sum = main.invoke(total, &IntOp::Value).expect("read total");
+    println!("jobs per worker: {per_worker:?}");
+    println!("sum of 1..=100 computed through the shared object: {sum}");
+    assert_eq!(sum, 5050);
+
+    let stats = runtime.network_stats();
+    println!(
+        "network traffic: {} messages, {} bytes on the wire, {} interrupts",
+        stats.total_messages(),
+        stats.total_wire_bytes(),
+        stats.total_interrupts()
+    );
+}

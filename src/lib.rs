@@ -1,0 +1,49 @@
+//! Umbrella crate for the Orca shared data-object system reproduction.
+//!
+//! This crate simply re-exports every sub-crate of the workspace under a
+//! single name so that examples, integration tests and downstream users can
+//! depend on `orca` alone.
+//!
+//! The layers, bottom to top:
+//!
+//! * [`wire`] — compact binary wire codec used for every simulated network
+//!   message, so that byte counts reported by the statistics layer are
+//!   meaningful.
+//! * [`amoeba`] — the simulated multicomputer substrate (nodes, unreliable
+//!   network with fault injection, RPC, statistics, sequencer election),
+//!   standing in for the Amoeba microkernel of the paper.
+//! * [`group`] — totally-ordered reliable broadcast built from the PB
+//!   (point-to-point/broadcast) and BB (broadcast/broadcast) protocols with a
+//!   sequencer and history buffer.
+//! * [`object`] — the shared data-object model: abstract data types with
+//!   read/write operations, guards, and type-erased replicas.
+//! * [`rts`] — the runtime systems that keep replicas sequentially
+//!   consistent: the broadcast RTS (full replication, operation shipping) and
+//!   the primary-copy RTS (invalidation and two-phase update protocols,
+//!   dynamic replication).
+//! * [`core`] — the Orca programming model: runtime, `fork`-style process
+//!   creation, typed object handles and a standard object library.
+//! * [`apps`] — the four applications evaluated in the paper (TSP, arc
+//!   consistency, chess, ATPG) in sequential and Orca-parallel form.
+//! * [`perf`] — the calibrated performance model used to regenerate the
+//!   paper's speedup figures from measured work and communication counts.
+
+pub use orca_amoeba as amoeba;
+pub use orca_apps as apps;
+pub use orca_core as core;
+pub use orca_group as group;
+pub use orca_object as object;
+pub use orca_perf as perf;
+pub use orca_rts as rts;
+pub use orca_wire as wire;
+
+/// Version of the umbrella crate (mirrors the workspace version).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_nonempty() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

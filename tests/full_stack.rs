@@ -1,0 +1,127 @@
+//! Cross-crate integration tests: the whole stack from the simulated network
+//! up to the applications.
+
+use std::time::Duration;
+
+use orca::amoeba::{FaultConfig, NodeId};
+use orca::apps::{acp, tsp};
+use orca::core::objects::{BoolArray, IntOp, IntObject, JobQueue, SharedInt};
+use orca::core::{replicated_workers, OrcaConfig, OrcaRuntime, RtsStrategy};
+use orca::rts::WritePolicy;
+
+#[test]
+fn replicated_worker_program_runs_on_every_runtime_system() {
+    for strategy in [
+        RtsStrategy::broadcast(),
+        RtsStrategy::primary_update(),
+        RtsStrategy::primary_invalidate(),
+    ] {
+        let config = OrcaConfig {
+            processors: 3,
+            fault: FaultConfig::reliable(),
+            strategy,
+        };
+        let runtime = OrcaRuntime::start(config, orca::core::standard_registry());
+        let main = runtime.main();
+        let queue: JobQueue<u32> = JobQueue::create(main).unwrap();
+        let sum = SharedInt::create(main, 0).unwrap();
+        for job in 1..=30u32 {
+            queue.add(main, &job).unwrap();
+        }
+        queue.close(main).unwrap();
+        replicated_workers(&runtime, 3, move |_worker, ctx| {
+            while let Some(job) = queue.get(&ctx).unwrap() {
+                sum.add(&ctx, i64::from(job)).unwrap();
+            }
+        });
+        assert_eq!(sum.value(runtime.main()).unwrap(), (1..=30).sum::<i64>());
+        runtime.shutdown();
+    }
+}
+
+#[test]
+fn tsp_on_a_lossy_network_still_finds_the_optimum() {
+    let instance = tsp::TspInstance::random(8, 5);
+    let sequential = tsp::solve_sequential(&instance);
+    let config = OrcaConfig::broadcast(3).with_fault(FaultConfig {
+        drop_prob: 0.05,
+        duplicate_prob: 0.02,
+        reorder_prob: 0.02,
+        seed: 99,
+    });
+    let runtime = OrcaRuntime::start(config, orca::core::standard_registry());
+    let (solution, _) = tsp::solve_parallel(&runtime, &instance, 3);
+    assert_eq!(solution.best_length, sequential.best_length);
+    runtime.shutdown();
+}
+
+#[test]
+fn acp_parallel_equals_sequential_across_worker_counts() {
+    let instance = acp::AcpInstance::random(12, 5, 20, 21);
+    let sequential = acp::solve_sequential(&instance);
+    for workers in [2usize, 4] {
+        let runtime = acp::runtime(workers);
+        let (parallel, _) = acp::solve_parallel(&runtime, &instance, workers);
+        assert_eq!(parallel.no_solution, sequential.no_solution);
+        if !parallel.no_solution {
+            assert_eq!(parallel.domains, sequential.domains);
+        }
+        runtime.shutdown();
+    }
+}
+
+#[test]
+fn primary_copy_runtime_survives_concurrent_mixed_load() {
+    let runtime = OrcaRuntime::start(
+        OrcaConfig::primary_copy(4, WritePolicy::Update),
+        orca::core::standard_registry(),
+    );
+    let main = runtime.main();
+    let counter = runtime.create::<IntObject>(&0).unwrap();
+    let flags = BoolArray::create(main, 4, false).unwrap();
+    let mut handles = Vec::new();
+    for node in 0..4 {
+        let counter = counter;
+        let flags = flags;
+        handles.push(runtime.fork_on(node, "mixed", move |ctx| {
+            for i in 0..25 {
+                ctx.invoke(counter, &IntOp::Add(1)).unwrap();
+                if i % 5 == 0 {
+                    ctx.invoke(counter, &IntOp::Value).unwrap();
+                }
+            }
+            flags.set(&ctx, node as u32, true).unwrap();
+        }));
+    }
+    for handle in handles {
+        handle.join();
+    }
+    assert_eq!(runtime.main().invoke(counter, &IntOp::Value).unwrap(), 100);
+    assert!(flags.all_true(runtime.main()).unwrap());
+    runtime.shutdown();
+}
+
+#[test]
+fn network_statistics_reflect_application_traffic() {
+    let runtime = OrcaRuntime::standard(4);
+    let counter = runtime.create::<IntObject>(&0).unwrap();
+    let before = runtime.network_stats();
+    let worker = runtime.fork_on(2, "writer", move |ctx| {
+        for _ in 0..10 {
+            ctx.invoke(counter, &IntOp::Add(1)).unwrap();
+        }
+        for _ in 0..100 {
+            ctx.invoke(counter, &IntOp::Value).unwrap();
+        }
+    });
+    worker.join();
+    // Give the last broadcast a moment to reach every replica.
+    std::thread::sleep(Duration::from_millis(100));
+    let delta = runtime.network_stats().since(&before);
+    // Writes generate broadcasts; the 100 local reads generate none.
+    assert!(delta.node(NodeId(2)).broadcasts_sent + delta.node(NodeId(2)).p2p_sent >= 10);
+    let rts = runtime.rts_stats();
+    assert!(rts[2].local_reads >= 100);
+    assert_eq!(rts[2].writes, 10);
+    runtime.shutdown();
+}
