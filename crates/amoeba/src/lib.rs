@@ -40,5 +40,5 @@ pub mod stats;
 pub use fault::FaultConfig;
 pub use message::NetMessage;
 pub use network::{Network, NetworkConfig, NetworkHandle, PortReceiver};
-pub use node::{NodeId, Port, ports};
+pub use node::{ports, NodeId, Port};
 pub use stats::{NetStats, NetStatsSnapshot};

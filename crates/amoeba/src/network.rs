@@ -208,7 +208,9 @@ impl Network {
 
     /// True if `node` is currently simulated as crashed.
     pub fn is_crashed(&self, node: NodeId) -> bool {
-        self.core.inboxes[node.index()].crashed.load(Ordering::SeqCst)
+        self.core.inboxes[node.index()]
+            .crashed
+            .load(Ordering::SeqCst)
     }
 
     /// Nodes that are currently alive (not crashed).
@@ -242,7 +244,9 @@ pub struct NetworkHandle {
 
 impl std::fmt::Debug for NetworkHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NetworkHandle").field("node", &self.node).finish()
+        f.debug_struct("NetworkHandle")
+            .field("node", &self.node)
+            .finish()
     }
 }
 
@@ -313,12 +317,17 @@ impl NetworkHandle {
     /// injector, but the transmission is counted once on the wire.
     pub fn broadcast(&self, port: Port, payload: Vec<u8>) -> Result<(), NetError> {
         let src = self.node;
-        if self.core.inboxes[src.index()].crashed.load(Ordering::SeqCst) {
+        if self.core.inboxes[src.index()]
+            .crashed
+            .load(Ordering::SeqCst)
+        {
             return Ok(()); // a crashed node's transmissions go nowhere
         }
         let wire_bytes = payload.len() + WIRE_HEADER_BYTES;
         let packets = packets_for(payload.len(), self.core.config.packet_payload);
-        self.core.stats.record_broadcast_send(src, wire_bytes, packets);
+        self.core
+            .stats
+            .record_broadcast_send(src, wire_bytes, packets);
         for dst_index in 0..self.core.config.nodes {
             let dst = NodeId::from(dst_index);
             let msg = NetMessage {
@@ -344,7 +353,10 @@ impl NetworkHandle {
             return Err(NetError::NoSuchNode(dst));
         }
         let src = self.node;
-        if self.core.inboxes[src.index()].crashed.load(Ordering::SeqCst) {
+        if self.core.inboxes[src.index()]
+            .crashed
+            .load(Ordering::SeqCst)
+        {
             return Ok(());
         }
         let wire_bytes = payload.len() + WIRE_HEADER_BYTES;
@@ -509,7 +521,9 @@ mod tests {
             .into_iter()
             .map(|n| net.handle(n).bind(ports::USER_BASE))
             .collect();
-        net.handle(NodeId(1)).broadcast(ports::USER_BASE, vec![9]).unwrap();
+        net.handle(NodeId(1))
+            .broadcast(ports::USER_BASE, vec![9])
+            .unwrap();
         for rx in &receivers {
             let msg = rx.recv_timeout(Duration::from_secs(1)).unwrap();
             assert_eq!(msg.src, NodeId(1));
@@ -534,11 +548,18 @@ mod tests {
         let rx = net.handle(NodeId(1)).bind(5);
         net.crash(NodeId(1));
         assert!(net.is_crashed(NodeId(1)));
-        net.handle(NodeId(0)).send_reliable(NodeId(1), 5, vec![1]).unwrap();
+        net.handle(NodeId(0))
+            .send_reliable(NodeId(1), 5, vec![1])
+            .unwrap();
         assert!(rx.recv_timeout(Duration::from_millis(50)).is_err());
         net.recover(NodeId(1));
-        net.handle(NodeId(0)).send_reliable(NodeId(1), 5, vec![2]).unwrap();
-        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap().payload, vec![2]);
+        net.handle(NodeId(0))
+            .send_reliable(NodeId(1), 5, vec![2])
+            .unwrap();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(1)).unwrap().payload,
+            vec![2]
+        );
         assert_eq!(net.alive_nodes().len(), 2);
     }
 
@@ -550,7 +571,10 @@ mod tests {
         handle.send(NodeId(1), 5, vec![1]).unwrap();
         assert!(rx.recv_timeout(Duration::from_millis(50)).is_err());
         handle.send_reliable(NodeId(1), 5, vec![2]).unwrap();
-        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap().payload, vec![2]);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(1)).unwrap().payload,
+            vec![2]
+        );
         assert!(net.stats().total_dropped() >= 1);
     }
 

@@ -92,12 +92,17 @@ mod tests {
 
     #[test]
     fn port_constants_are_distinct() {
-        let ports = [ports::GROUP, ports::RTS_PRIMARY, ports::RTS_COPY, ports::MEMBERSHIP];
+        let ports = [
+            ports::GROUP,
+            ports::RTS_PRIMARY,
+            ports::RTS_COPY,
+            ports::MEMBERSHIP,
+        ];
         for (i, a) in ports.iter().enumerate() {
             for b in &ports[i + 1..] {
                 assert_ne!(a, b);
             }
         }
-        assert!(ports::EPHEMERAL_BASE > ports::USER_BASE);
+        const { assert!(ports::EPHEMERAL_BASE > ports::USER_BASE) };
     }
 }

@@ -73,7 +73,9 @@ pub struct ProcessorPool {
 
 impl std::fmt::Debug for ProcessorPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ProcessorPool").field("nodes", &self.nodes).finish()
+        f.debug_struct("ProcessorPool")
+            .field("nodes", &self.nodes)
+            .finish()
     }
 }
 

@@ -109,7 +109,10 @@ impl SegmentManager {
         let data = segments.get(&id).ok_or(SegmentError::NoSuchSegment(id))?;
         let end = offset + len;
         if end > data.len() {
-            return Err(SegmentError::OutOfBounds { end, len: data.len() });
+            return Err(SegmentError::OutOfBounds {
+                end,
+                len: data.len(),
+            });
         }
         Ok(data[offset..end].to_vec())
     }
@@ -117,10 +120,15 @@ impl SegmentManager {
     /// Write `bytes` at `offset`.
     pub fn write(&self, id: SegmentId, offset: usize, bytes: &[u8]) -> Result<(), SegmentError> {
         let mut segments = self.segments.write();
-        let data = segments.get_mut(&id).ok_or(SegmentError::NoSuchSegment(id))?;
+        let data = segments
+            .get_mut(&id)
+            .ok_or(SegmentError::NoSuchSegment(id))?;
         let end = offset + bytes.len();
         if end > data.len() {
-            return Err(SegmentError::OutOfBounds { end, len: data.len() });
+            return Err(SegmentError::OutOfBounds {
+                end,
+                len: data.len(),
+            });
         }
         data[offset..end].copy_from_slice(bytes);
         Ok(())

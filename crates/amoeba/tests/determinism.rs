@@ -1,0 +1,165 @@
+//! Deterministic-simulation tests for the network substrate.
+//!
+//! The fault injector is driven by a seeded SplitMix64 generator and every
+//! fault decision happens synchronously inside the sender's call, so a
+//! fixed single-threaded workload over a faulty network must be *exactly*
+//! reproducible: same seed ⇒ identical per-node statistics, identical
+//! delivered message sequences, identical drop/duplicate counts. These
+//! tests pin that property down; any change that makes the substrate
+//! schedule-dependent (or silently reseeds the injector) breaks them.
+
+use orca_amoeba::network::{Network, NetworkConfig};
+use orca_amoeba::node::{ports, NodeId};
+use orca_amoeba::stats::NetStatsSnapshot;
+use orca_amoeba::FaultConfig;
+
+const NODES: usize = 4;
+const ROUNDS: usize = 200;
+
+/// What one workload run observes: final statistics plus, per node, the
+/// exact delivered `(src, payload)` sequence.
+#[derive(Debug, PartialEq)]
+struct Observation {
+    stats: NetStatsSnapshot,
+    delivered: Vec<Vec<(NodeId, Vec<u8>)>>,
+}
+
+/// Drive a fixed, fully single-threaded message pattern over a faulty
+/// network: point-to-point datagrams, broadcasts and a deterministic
+/// crash/recovery schedule, then drain every inbox without blocking.
+fn run_workload(seed: u64) -> Observation {
+    let fault = FaultConfig {
+        drop_prob: 0.2,
+        duplicate_prob: 0.1,
+        reorder_prob: 0.1,
+        seed,
+    };
+    let net = Network::new(NetworkConfig::with_fault(NODES, fault));
+    let receivers: Vec<_> = net
+        .node_ids()
+        .into_iter()
+        .map(|node| net.handle(node).bind(ports::USER_BASE))
+        .collect();
+
+    for round in 0..ROUNDS {
+        // Deterministic crash schedule: node 3 is down for rounds 50..100.
+        if round == 50 {
+            net.crash(NodeId(3));
+        }
+        if round == 100 {
+            net.recover(NodeId(3));
+        }
+        for src_index in 0..NODES {
+            let src = NodeId(src_index as u16);
+            let handle = net.handle(src);
+            let dst = NodeId(((src_index + round) % NODES) as u16);
+            let payload = vec![src_index as u8, (round % 251) as u8];
+            handle.send(dst, ports::USER_BASE, payload.clone()).unwrap();
+            if (round + src_index) % 5 == 0 {
+                handle.broadcast(ports::USER_BASE, payload).unwrap();
+            }
+        }
+    }
+
+    let delivered = receivers
+        .iter()
+        .map(|rx| {
+            let mut messages = Vec::new();
+            while let Some(msg) = rx.try_recv() {
+                messages.push((msg.src, msg.payload));
+            }
+            messages
+        })
+        .collect();
+    Observation {
+        stats: net.stats(),
+        delivered,
+    }
+}
+
+#[test]
+fn same_seed_reproduces_statistics_and_deliveries_exactly() {
+    let first = run_workload(0xC0FFEE);
+    let second = run_workload(0xC0FFEE);
+    assert_eq!(
+        first.stats, second.stats,
+        "same seed must give identical network statistics"
+    );
+    assert_eq!(
+        first.delivered, second.delivered,
+        "same seed must give identical delivery sequences"
+    );
+    // The workload actually exercised the injector.
+    assert!(first.stats.total_dropped() > 0, "expected drops");
+    assert!(first.stats.total_messages() > 0);
+}
+
+#[test]
+fn repeated_runs_are_stable_across_many_seeds() {
+    for seed in [1u64, 7, 42, 0xA30EBA, u64::MAX] {
+        let first = run_workload(seed);
+        let second = run_workload(seed);
+        assert_eq!(first, second, "seed {seed} not reproducible");
+    }
+}
+
+#[test]
+fn different_seeds_perturb_the_fault_schedule() {
+    let a = run_workload(1);
+    let b = run_workload(2);
+    // With ~1000 fault decisions the chance of identical outcomes under
+    // different seeds is negligible; a failure here means the seed is
+    // being ignored.
+    assert_ne!(
+        (a.stats.total_dropped(), a.delivered),
+        (b.stats.total_dropped(), b.delivered),
+        "different seeds must give different fault schedules"
+    );
+}
+
+#[test]
+fn reliable_network_statistics_are_schedule_independent() {
+    // With fault injection off the statistics depend only on the workload,
+    // and every message must be delivered exactly once.
+    let run = |_: ()| {
+        let net = Network::reliable(3);
+        let receivers: Vec<_> = net
+            .node_ids()
+            .into_iter()
+            .map(|node| net.handle(node).bind(ports::USER_BASE))
+            .collect();
+        for round in 0..100u8 {
+            for src in 0..3u16 {
+                net.handle(NodeId(src))
+                    .send(NodeId((src + 1) % 3), ports::USER_BASE, vec![round])
+                    .unwrap();
+            }
+        }
+        let counts: Vec<usize> = receivers.iter().map(|rx| rx.queued()).collect();
+        (net.stats(), counts)
+    };
+    let (stats_a, counts_a) = run(());
+    let (stats_b, counts_b) = run(());
+    assert_eq!(stats_a, stats_b);
+    assert_eq!(counts_a, counts_b);
+    assert_eq!(counts_a, vec![100, 100, 100]);
+    assert_eq!(stats_a.total_dropped(), 0);
+}
+
+#[test]
+fn crash_window_statistics_are_reproducible() {
+    // The crash schedule inside `run_workload` interacts with the fault
+    // injector (crashed-node deliveries are recorded as drops without
+    // consuming injector randomness). Two runs must agree on the exact
+    // per-node drop counts.
+    let first = run_workload(0xDEAD);
+    let second = run_workload(0xDEAD);
+    for node in 0..NODES {
+        let id = NodeId(node as u16);
+        assert_eq!(
+            first.stats.node(id).dropped,
+            second.stats.node(id).dropped,
+            "node {node} drop count must be reproducible"
+        );
+    }
+}

@@ -351,10 +351,7 @@ pub fn solve_sequential(instance: &AcpInstance) -> AcpSolution {
         .collect();
     let mut work: Vec<bool> = vec![true; instance.variables];
     let mut revisions = 0u64;
-    loop {
-        let Some(var) = work.iter().position(|w| *w) else {
-            break;
-        };
+    while let Some(var) = work.iter().position(|w| *w) {
         work[var] = false;
         let var = var as u32;
         for constraint in instance.constraints_of(var) {
@@ -404,8 +401,9 @@ pub fn solve_parallel(
     let initial_domains: Vec<Vec<i32>> = (0..instance.variables)
         .map(|_| (0..instance.domain_size).collect())
         .collect();
-    let domain: ObjectHandle<DomainObject> =
-        main.create::<DomainObject>(&initial_domains).expect("domain object");
+    let domain: ObjectHandle<DomainObject> = main
+        .create::<DomainObject>(&initial_domains)
+        .expect("domain object");
     let work = BoolArray::create(main, instance.variables, true).expect("work object");
     let quit = BoolFlag::create(main, false).expect("quit object");
     let result = BoolArray::create(main, workers, false).expect("result object");
@@ -473,6 +471,16 @@ pub fn solve_parallel(
         stats
     });
 
+    // The AllSets read below is local to main's replica, which can lag
+    // behind the final worker writes. Barrier on the *domain object itself*:
+    // removing a value that can never be present (domains only ever hold
+    // 0..domain_size) is a no-op write, sequenced after every worker write
+    // to the object, that completes only once main's replica has applied
+    // them all. A stale `quit` read is harmless: `quit` is only ever set
+    // after the RemoveValue that emptied a set, so the domains check below
+    // catches the no-solution case on its own.
+    main.invoke(domain, &DomainOp::RemoveValue { var: 0, value: -1 })
+        .expect("sync barrier");
     let final_domains = match main
         .invoke(domain, &DomainOp::AllSets)
         .expect("final domains")
@@ -582,8 +590,16 @@ mod tests {
             variables: 3,
             domain_size: 3,
             constraints: vec![
-                Constraint::Less { a: 0, b: 1, offset: 0 },
-                Constraint::Less { a: 1, b: 2, offset: 0 },
+                Constraint::Less {
+                    a: 0,
+                    b: 1,
+                    offset: 0,
+                },
+                Constraint::Less {
+                    a: 1,
+                    b: 2,
+                    offset: 0,
+                },
             ],
         };
         let solution = solve_sequential(&instance);
@@ -600,8 +616,16 @@ mod tests {
             variables: 2,
             domain_size: 2,
             constraints: vec![
-                Constraint::Less { a: 0, b: 1, offset: 0 },
-                Constraint::Less { a: 1, b: 0, offset: 0 },
+                Constraint::Less {
+                    a: 0,
+                    b: 1,
+                    offset: 0,
+                },
+                Constraint::Less {
+                    a: 1,
+                    b: 0,
+                    offset: 0,
+                },
             ],
         };
         let solution = solve_sequential(&instance);

@@ -57,7 +57,10 @@ impl Val {
         }
     }
 
-    /// Logical negation.
+    /// Logical negation. (A method rather than `impl std::ops::Not` so the
+    /// five-valued algebra keeps all of its operations in one inherent
+    /// block.)
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Val {
         Val::from_pair(self.good().map(|b| !b), self.faulty().map(|b| !b))
     }
@@ -184,8 +187,14 @@ impl Circuit {
         (0..self.gates.len())
             .flat_map(|gate| {
                 [
-                    Fault { gate, stuck_at_one: false },
-                    Fault { gate, stuck_at_one: true },
+                    Fault {
+                        gate,
+                        stuck_at_one: false,
+                    },
+                    Fault {
+                        gate,
+                        stuck_at_one: true,
+                    },
                 ]
             })
             .collect()
@@ -206,17 +215,50 @@ impl Circuit {
     pub fn c17() -> Circuit {
         // Inputs: 0..=4  (N1, N2, N3, N6, N7 in the ISCAS numbering)
         let gates = vec![
-            Gate { kind: GateKind::Input, fanin: vec![] },
-            Gate { kind: GateKind::Input, fanin: vec![] },
-            Gate { kind: GateKind::Input, fanin: vec![] },
-            Gate { kind: GateKind::Input, fanin: vec![] },
-            Gate { kind: GateKind::Input, fanin: vec![] },
-            Gate { kind: GateKind::Nand, fanin: vec![0, 2] }, // 5: N10
-            Gate { kind: GateKind::Nand, fanin: vec![2, 3] }, // 6: N11
-            Gate { kind: GateKind::Nand, fanin: vec![1, 6] }, // 7: N16
-            Gate { kind: GateKind::Nand, fanin: vec![6, 4] }, // 8: N19
-            Gate { kind: GateKind::Nand, fanin: vec![5, 7] }, // 9: N22 (output)
-            Gate { kind: GateKind::Nand, fanin: vec![7, 8] }, // 10: N23 (output)
+            Gate {
+                kind: GateKind::Input,
+                fanin: vec![],
+            },
+            Gate {
+                kind: GateKind::Input,
+                fanin: vec![],
+            },
+            Gate {
+                kind: GateKind::Input,
+                fanin: vec![],
+            },
+            Gate {
+                kind: GateKind::Input,
+                fanin: vec![],
+            },
+            Gate {
+                kind: GateKind::Input,
+                fanin: vec![],
+            },
+            Gate {
+                kind: GateKind::Nand,
+                fanin: vec![0, 2],
+            }, // 5: N10
+            Gate {
+                kind: GateKind::Nand,
+                fanin: vec![2, 3],
+            }, // 6: N11
+            Gate {
+                kind: GateKind::Nand,
+                fanin: vec![1, 6],
+            }, // 7: N16
+            Gate {
+                kind: GateKind::Nand,
+                fanin: vec![6, 4],
+            }, // 8: N19
+            Gate {
+                kind: GateKind::Nand,
+                fanin: vec![5, 7],
+            }, // 9: N22 (output)
+            Gate {
+                kind: GateKind::Nand,
+                fanin: vec![7, 8],
+            }, // 10: N23 (output)
         ];
         Circuit {
             gates,
@@ -230,7 +272,10 @@ impl Circuit {
     pub fn random(inputs: usize, gate_count: usize, seed: u64) -> Circuit {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut gates: Vec<Gate> = (0..inputs)
-            .map(|_| Gate { kind: GateKind::Input, fanin: vec![] })
+            .map(|_| Gate {
+                kind: GateKind::Input,
+                fanin: vec![],
+            })
             .collect();
         for _ in 0..gate_count {
             let kind = match rng.gen_range(0..6) {
@@ -298,7 +343,10 @@ mod tests {
     fn fault_detection_on_c17() {
         let c17 = Circuit::c17();
         // Output gate stuck-at-1: any pattern that drives it to 0 detects it.
-        let fault = Fault { gate: 9, stuck_at_one: true };
+        let fault = Fault {
+            gate: 9,
+            stuck_at_one: true,
+        };
         let mut detected = false;
         for bits in 0..32u32 {
             let pattern: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();

@@ -174,7 +174,15 @@ pub fn solve_parallel(
     }
     // Global coverage comes from the shared set (it also counts faults that
     // were covered by another worker's pattern through fault simulation).
-    result.detected = detected_set.len(runtime.main()).expect("detected count");
+    // `len` is a local read of main's replica, which can lag behind the
+    // final worker writes; the empty `add_all` is a write barrier — it is
+    // sequenced after every worker write and completes only once main's
+    // replica has applied them all.
+    let main = runtime.main();
+    detected_set
+        .add_all(main, Vec::new())
+        .expect("sync barrier");
+    result.detected = detected_set.len(main).expect("detected count");
     let report = ParallelRunReport::new(per_worker);
     (result, report)
 }

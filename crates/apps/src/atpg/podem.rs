@@ -59,7 +59,7 @@ fn eval3(kind: GateKind, ins: &[Option<bool>]) -> Option<bool> {
     match kind {
         GateKind::Input => None,
         GateKind::And | GateKind::Nand => {
-            let base = if ins.iter().any(|v| *v == Some(false)) {
+            let base = if ins.contains(&Some(false)) {
                 Some(false)
             } else if ins.iter().all(|v| *v == Some(true)) {
                 Some(true)
@@ -73,7 +73,7 @@ fn eval3(kind: GateKind, ins: &[Option<bool>]) -> Option<bool> {
             }
         }
         GateKind::Or | GateKind::Nor => {
-            let base = if ins.iter().any(|v| *v == Some(true)) {
+            let base = if ins.contains(&Some(true)) {
                 Some(true)
             } else if ins.iter().all(|v| *v == Some(false)) {
                 Some(false)
@@ -208,9 +208,7 @@ fn podem_recurse(
     }
     // The fault is unexcitable if the fault site has settled to the stuck
     // value in the good circuit, or there is no path left to propagate on.
-    if values[fault.gate] != Val::X
-        && !matches!(values[fault.gate], Val::D | Val::DBar)
-    {
+    if values[fault.gate] != Val::X && !matches!(values[fault.gate], Val::D | Val::DBar) {
         return PodemOutcome::Untestable;
     }
     if matches!(values[fault.gate], Val::D | Val::DBar) && d_frontier(circuit, &values).is_empty() {
@@ -279,7 +277,10 @@ mod tests {
             match outcome {
                 PodemOutcome::Test(_) => assert!(exhaustive_testable, "{fault:?}"),
                 PodemOutcome::Untestable => {
-                    assert!(!exhaustive_testable, "{fault:?} is testable but PODEM gave up")
+                    assert!(
+                        !exhaustive_testable,
+                        "{fault:?} is testable but PODEM gave up"
+                    )
                 }
                 PodemOutcome::Aborted => {}
             }
@@ -308,7 +309,10 @@ mod tests {
         assert_eq!(eval3(GateKind::And, &[Some(false), None]), Some(false));
         assert_eq!(eval3(GateKind::And, &[Some(true), None]), None);
         assert_eq!(eval3(GateKind::Or, &[Some(true), None]), Some(true));
-        assert_eq!(eval3(GateKind::Nor, &[Some(false), Some(false)]), Some(true));
+        assert_eq!(
+            eval3(GateKind::Nor, &[Some(false), Some(false)]),
+            Some(true)
+        );
         assert_eq!(eval3(GateKind::Xor, &[Some(true), None]), None);
         assert_eq!(eval3(GateKind::Not, &[None]), None);
     }

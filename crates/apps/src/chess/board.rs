@@ -114,10 +114,24 @@ fn square_at(file: i32, rank: i32) -> Option<usize> {
 }
 
 const KNIGHT_STEPS: [(i32, i32); 8] = [
-    (1, 2), (2, 1), (-1, 2), (-2, 1), (1, -2), (2, -1), (-1, -2), (-2, -1),
+    (1, 2),
+    (2, 1),
+    (-1, 2),
+    (-2, 1),
+    (1, -2),
+    (2, -1),
+    (-1, -2),
+    (-2, -1),
 ];
 const KING_STEPS: [(i32, i32); 8] = [
-    (1, 0), (-1, 0), (0, 1), (0, -1), (1, 1), (1, -1), (-1, 1), (-1, -1),
+    (1, 0),
+    (-1, 0),
+    (0, 1),
+    (0, -1),
+    (1, 1),
+    (1, -1),
+    (-1, 1),
+    (-1, -1),
 ];
 const BISHOP_DIRS: [(i32, i32); 4] = [(1, 1), (1, -1), (-1, 1), (-1, -1)];
 const ROOK_DIRS: [(i32, i32); 4] = [(1, 0), (-1, 0), (0, 1), (0, -1)];
@@ -171,7 +185,9 @@ impl Board {
                 let code = (i as u64)
                     .wrapping_mul(0x100000001b3)
                     .wrapping_add(*piece as u64 * 7 + (*color as u64) * 97 + 1);
-                h ^= code.wrapping_mul(0xff51afd7ed558ccd).rotate_left((i % 63) as u32);
+                h ^= code
+                    .wrapping_mul(0xff51afd7ed558ccd)
+                    .rotate_left((i % 63) as u32);
             }
         }
         h
@@ -266,7 +282,9 @@ impl Board {
         let mut moves = Vec::with_capacity(48);
         let us = self.to_move;
         for from in 0..64usize {
-            let Some((color, piece)) = self.squares[from] else { continue };
+            let Some((color, piece)) = self.squares[from] else {
+                continue;
+            };
             if color != us {
                 continue;
             }
@@ -343,7 +361,14 @@ impl Board {
                         Piece::Bishop => &BISHOP_DIRS,
                         Piece::Rook => &ROOK_DIRS,
                         _ => &[
-                            (1, 1), (1, -1), (-1, 1), (-1, -1), (1, 0), (-1, 0), (0, 1), (0, -1),
+                            (1, 1),
+                            (1, -1),
+                            (-1, 1),
+                            (-1, -1),
+                            (1, 0),
+                            (-1, 0),
+                            (0, 1),
+                            (0, -1),
                         ],
                     };
                     for (df, dr) in dirs {
@@ -469,7 +494,10 @@ mod tests {
             .collect();
         assert!(moves.iter().all(|mv| mv.promotes));
         let next = board.make_move(moves[0]);
-        assert_eq!(next.squares[moves[0].to as usize], Some((Color::White, Piece::Queen)));
+        assert_eq!(
+            next.squares[moves[0].to as usize],
+            Some((Color::White, Piece::Queen))
+        );
     }
 
     #[test]

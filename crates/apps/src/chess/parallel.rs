@@ -3,7 +3,7 @@
 //! integer used for pruning (mirroring the paper's description of a job
 //! queue plus shared search tables).
 
-use orca_core::objects::{IntOp, IntObject, JobQueue, KvTable, SharedInt};
+use orca_core::objects::{IntObject, IntOp, JobQueue, KvTable, SharedInt};
 use orca_core::{replicated_workers, ObjectHandle, OrcaRuntime};
 use orca_wire::{Decoder, Encoder, Wire, WireResult};
 
@@ -116,6 +116,13 @@ pub fn solve_parallel(
     });
 
     let report = ParallelRunReport::new(reports);
+    // The Value read below is local to main's replica, which can lag behind
+    // the final worker writes; MinAssign(i64::MAX) never changes the value
+    // but, as a write, is sequenced after every worker write and completes
+    // only once main's replica has applied them all.
+    best_packed
+        .min_assign(runtime.main(), i64::MAX)
+        .expect("sync barrier");
     let packed = -runtime
         .main()
         .invoke::<IntObject>(best_packed.handle(), &IntOp::Value)
@@ -148,7 +155,10 @@ fn unpack(packed: i64) -> (i32, u64) {
 
 /// Handles needed by workers when the caller wants to manage shared tables
 /// itself (exposed for the table-mode benchmark).
-pub type SharedTableHandles = (ObjectHandle<orca_core::objects::KvTableObject>, ObjectHandle<orca_core::objects::KvTableObject>);
+pub type SharedTableHandles = (
+    ObjectHandle<orca_core::objects::KvTableObject>,
+    ObjectHandle<orca_core::objects::KvTableObject>,
+);
 
 #[cfg(test)]
 mod tests {
@@ -171,8 +181,7 @@ mod tests {
         let runtime = OrcaRuntime::standard(2);
         let mut tables = LocalTables::new();
         let sequential = search_position(&position.board, 2, &mut tables);
-        let (parallel, report) =
-            solve_parallel(&runtime, &position.board, 2, 2, TableMode::Local);
+        let (parallel, report) = solve_parallel(&runtime, &position.board, 2, 2, TableMode::Local);
         assert!(is_mate_score(sequential.score, 2));
         assert!(is_mate_score(parallel.score, 2));
         assert_eq!(parallel.best_move.map(|m| m.to), Some(56)); // Ra8 mate

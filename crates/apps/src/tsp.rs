@@ -140,30 +140,46 @@ pub struct TspSolution {
     pub nodes_expanded: u64,
 }
 
+/// The best tour found so far: `(length, tour)`.
+type Best = (i64, Vec<usize>);
+
+/// Pruning bound consulted before descending (the parallel version reads
+/// the shared bound here).
+type BoundFn<'a> = dyn FnMut(&mut Best) -> i64 + 'a;
+
+/// Called whenever a better complete tour is found (the parallel version
+/// publishes it to the shared bound here). Deliberately returns nothing:
+/// the shared bound's post-update value may be another worker's tour
+/// length, and feeding it back into `best` would corrupt the
+/// (length, tour) pair.
+type ImprovedFn<'a> = dyn FnMut(i64, &[usize]) + 'a;
+
 /// Exhaustive branch-and-bound over completions of `prefix`, updating
 /// `best` in place. Returns the number of nodes expanded.
-///
-/// `bound_check` is consulted before descending (the parallel version reads
-/// the shared bound there); `improved` is called whenever a better complete
-/// tour is found.
+#[allow(clippy::too_many_arguments)] // recursion state; a struct would just rename the args
 fn search_from(
     instance: &TspInstance,
     prefix: &mut Vec<usize>,
     prefix_len: i64,
     visited: &mut Vec<bool>,
-    best: &mut (i64, Vec<usize>),
+    best: &mut Best,
     nodes: &mut u64,
-    bound: &mut dyn FnMut(&mut (i64, Vec<usize>)) -> i64,
-    improved: &mut dyn FnMut(i64, &[usize]) -> i64,
+    bound: &mut BoundFn<'_>,
+    improved: &mut ImprovedFn<'_>,
 ) {
     *nodes += 1;
     let n = instance.cities;
     if prefix.len() == n {
         let total = prefix_len + instance.distance(*prefix.last().unwrap(), prefix[0]);
         if total < best.0 {
+            // `best` must stay a consistent (length, tour) pair: `improved`
+            // may return an even lower *global* bound (another worker's
+            // tour), which would pair a foreign length with this tour and
+            // let a corrupted pair win the final aggregation. Pruning
+            // against the global bound happens through `bound` instead.
             best.0 = total;
             best.1 = prefix.clone();
-            best.0 = improved(total, prefix);
+            improved(total, prefix);
         }
         return;
     }
@@ -213,7 +229,7 @@ pub fn solve_sequential(instance: &TspInstance) -> TspSolution {
         &mut best,
         &mut nodes,
         &mut |best| best.0,
-        &mut |total, _| total,
+        &mut |_, _| {},
     );
     let (best_length, mut best_tour) = best;
     if best_tour.is_empty() {
@@ -285,10 +301,10 @@ pub fn solve_parallel(
                 visited[city] = true;
             }
             let mut nodes = 0u64;
-            let mut best = (
-                bound.value(&ctx).expect("read bound"),
-                local_best.1.clone(),
-            );
+            // Start from this worker's own best pair (not the shared global
+            // bound, whose tour lives on another worker); the shared bound
+            // still prunes through the closures below.
+            let mut best = local_best.clone();
             let prefix_len = job.prefix_len;
             search_from(
                 &instance,
@@ -297,8 +313,10 @@ pub fn solve_parallel(
                 &mut visited,
                 &mut best,
                 &mut nodes,
-                &mut |_| bound.value(&ctx).expect("read bound"),
-                &mut |total, _| bound.min_assign(&ctx, total).expect("update bound"),
+                &mut |best| bound.value(&ctx).expect("read bound").min(best.0),
+                &mut |total, _| {
+                    bound.min_assign(&ctx, total).expect("update bound");
+                },
             );
             if best.0 < local_best.0 && !best.1.is_empty() {
                 local_best = best;

@@ -1,0 +1,89 @@
+//! Smoke tests for all four paper applications on tiny inputs: the
+//! Orca-parallel solver must agree with the sequential reference.
+//!
+//! These run on small instances so the whole file stays in the one-second
+//! range; the speedup-sized instances live in `orca_bench`.
+
+use orca_apps::{acp, atpg, chess, tsp};
+use orca_core::OrcaRuntime;
+
+#[test]
+fn tsp_parallel_equals_sequential_on_tiny_instance() {
+    let instance = tsp::TspInstance::random(7, 41);
+    let sequential = tsp::solve_sequential(&instance);
+    for workers in [1usize, 2] {
+        let runtime = OrcaRuntime::standard(workers);
+        let (parallel, report) = tsp::solve_parallel(&runtime, &instance, workers);
+        assert_eq!(
+            parallel.best_length, sequential.best_length,
+            "workers={workers}"
+        );
+        assert_eq!(
+            instance.tour_length(&parallel.best_tour),
+            parallel.best_length
+        );
+        assert_eq!(report.workers(), workers);
+        runtime.shutdown();
+    }
+}
+
+#[test]
+fn acp_parallel_equals_sequential_on_tiny_instance() {
+    let instance = acp::AcpInstance::random(8, 4, 12, 17);
+    let sequential = acp::solve_sequential(&instance);
+    let runtime = acp::runtime(2);
+    let (parallel, _report) = acp::solve_parallel(&runtime, &instance, 2);
+    assert_eq!(parallel.no_solution, sequential.no_solution);
+    if !parallel.no_solution {
+        assert_eq!(parallel.domains, sequential.domains);
+    }
+    runtime.shutdown();
+}
+
+#[test]
+fn chess_parallel_finds_the_same_tactic_as_sequential() {
+    let position = &chess::tactical_positions()[0]; // back-rank mate in one
+    let mut tables = chess::LocalTables::new();
+    let sequential = chess::search_position(&position.board, 2, &mut tables);
+    let runtime = OrcaRuntime::standard(2);
+    let (parallel, _report) =
+        chess::solve_parallel(&runtime, &position.board, 2, 2, chess::TableMode::Local);
+    assert!(chess::is_mate_score(sequential.score, 2));
+    assert!(chess::is_mate_score(parallel.score, 2));
+    assert_eq!(
+        parallel.best_move.map(|m| m.to),
+        sequential.best_move.map(|m| m.to)
+    );
+    runtime.shutdown();
+}
+
+#[test]
+fn atpg_parallel_equals_sequential_on_tiny_circuit() {
+    let circuit = atpg::Circuit::random(6, 24, 5);
+    let sequential = atpg::solve_sequential(&circuit, false);
+    let runtime = OrcaRuntime::standard(2);
+    let (parallel, report) = atpg::solve_parallel(&runtime, &circuit, 2, false);
+    // Without fault simulation each fault is attacked independently, so the
+    // per-fault outcomes (and hence all counts) must match exactly; only
+    // the pattern order may differ between the static partitions.
+    assert_eq!(parallel.detected, sequential.detected);
+    assert_eq!(parallel.untestable, sequential.untestable);
+    assert_eq!(parallel.aborted, sequential.aborted);
+    assert_eq!(parallel.total_faults, sequential.total_faults);
+    assert_eq!(parallel.patterns.len(), sequential.patterns.len());
+    assert!(report.total_jobs() > 0);
+    runtime.shutdown();
+}
+
+#[test]
+fn atpg_fault_simulation_keeps_coverage_in_parallel() {
+    let circuit = atpg::Circuit::random(6, 24, 5);
+    let sequential = atpg::solve_sequential(&circuit, false);
+    let runtime = OrcaRuntime::standard(2);
+    let (with_sim, _) = atpg::solve_parallel(&runtime, &circuit, 2, true);
+    // Shared fault simulation prunes redundant PODEM runs but must not
+    // lose coverage.
+    assert!(with_sim.detected >= sequential.detected * 9 / 10);
+    assert!(with_sim.work <= sequential.work * 2);
+    runtime.shutdown();
+}

@@ -11,7 +11,14 @@ use orca_perf::format_speedup_table;
 fn main() {
     println!("== Orca shared data-object reproduction: full experiment run ==\n");
 
-    println!("{}", protocols::format_table(&protocols::pb_vs_bb(16, &[64, 1024, 4096, 16384, 65536], 10)));
+    println!(
+        "{}",
+        protocols::format_table(&protocols::pb_vs_bb(
+            16,
+            &[64, 1024, 4096, 16384, 65536],
+            10
+        ))
+    );
 
     println!(
         "{}",

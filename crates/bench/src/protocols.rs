@@ -74,8 +74,7 @@ fn measure(
     }
     let delta = net.stats().since(&before);
     let wire_bytes_per_msg = delta.total_wire_bytes() as f64 / count as f64;
-    let interrupts_per_member =
-        delta.total_interrupts() as f64 / (count as f64 * members as f64);
+    let interrupts_per_member = delta.total_interrupts() as f64 / (count as f64 * members as f64);
     for member in group {
         member.shutdown();
     }

@@ -33,11 +33,7 @@ pub struct RtsRow {
 
 /// Run the synthetic workload: `nodes` nodes each perform `ops_per_node`
 /// operations on one shared integer, a `read_fraction` of which are reads.
-pub fn rts_comparison(
-    nodes: usize,
-    ops_per_node: usize,
-    read_fractions: &[f64],
-) -> Vec<RtsRow> {
+pub fn rts_comparison(nodes: usize, ops_per_node: usize, read_fractions: &[f64]) -> Vec<RtsRow> {
     let mut rows = Vec::new();
     for &read_fraction in read_fractions {
         for strategy in [
@@ -57,12 +53,7 @@ pub fn rts_comparison(
     rows
 }
 
-fn run_one(
-    nodes: usize,
-    ops_per_node: usize,
-    read_fraction: f64,
-    strategy: RtsStrategy,
-) -> RtsRow {
+fn run_one(nodes: usize, ops_per_node: usize, read_fraction: f64, strategy: RtsStrategy) -> RtsRow {
     let kind = strategy.kind();
     let config = OrcaConfig {
         processors: nodes,
@@ -123,8 +114,7 @@ fn run_one(
 
 /// Format the comparison as a text table.
 pub fn format_table(rows: &[RtsRow]) -> String {
-    let mut out =
-        String::from("# §3.2.2: invalidation vs two-phase update vs broadcast RTS\n");
+    let mut out = String::from("# §3.2.2: invalidation vs two-phase update vs broadcast RTS\n");
     out.push_str("rts         read%   msgs/op  bytes/op  est_ms/op  copies_fetched\n");
     for row in rows {
         out.push_str(&format!(

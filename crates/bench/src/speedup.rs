@@ -128,7 +128,7 @@ pub fn atpg_speedup() -> (SpeedupSeries, SpeedupSeries, f64) {
     let sequential_plain = atpg::solve_sequential(&circuit, false);
     let sequential_sim = atpg::solve_sequential(&circuit, true);
 
-    let mut run = |fault_sim: bool, sequential_work: u64| -> SpeedupSeries {
+    let run = |fault_sim: bool, sequential_work: u64| -> SpeedupSeries {
         let mut points = Vec::new();
         for &p in PROCESSOR_SWEEP {
             let runtime = OrcaRuntime::standard(p);

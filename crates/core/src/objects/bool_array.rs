@@ -126,9 +126,7 @@ impl ObjectType for BoolArrayObject {
             }
             BoolArrayOp::AllFalse => OpOutcome::Done(u64::from(state.iter().all(|v| !*v))),
             BoolArrayOp::AllTrue => OpOutcome::Done(u64::from(state.iter().all(|v| *v))),
-            BoolArrayOp::CountTrue => {
-                OpOutcome::Done(state.iter().filter(|v| **v).count() as u64)
-            }
+            BoolArrayOp::CountTrue => OpOutcome::Done(state.iter().filter(|v| **v).count() as u64),
         }
     }
 }
@@ -197,7 +195,13 @@ mod tests {
     #[test]
     fn semantics() {
         let mut state = vec![false; 4];
-        BoolArrayObject::apply(&mut state, &BoolArrayOp::Set { index: 1, value: true });
+        BoolArrayObject::apply(
+            &mut state,
+            &BoolArrayOp::Set {
+                index: 1,
+                value: true,
+            },
+        );
         assert_eq!(
             BoolArrayObject::apply(&mut state, &BoolArrayOp::Get(1)),
             OpOutcome::Done(1)
@@ -225,7 +229,13 @@ mod tests {
     #[test]
     fn out_of_range_accesses_are_harmless() {
         let mut state = vec![false; 2];
-        BoolArrayObject::apply(&mut state, &BoolArrayOp::Set { index: 9, value: true });
+        BoolArrayObject::apply(
+            &mut state,
+            &BoolArrayOp::Set {
+                index: 9,
+                value: true,
+            },
+        );
         assert_eq!(
             BoolArrayObject::apply(&mut state, &BoolArrayOp::Get(9)),
             OpOutcome::Done(0)
@@ -236,8 +246,13 @@ mod tests {
     #[test]
     fn codec_round_trip() {
         for op in [
-            BoolArrayOp::Set { index: 3, value: true },
-            BoolArrayOp::SetAllOf { indices: vec![1, 2] },
+            BoolArrayOp::Set {
+                index: 3,
+                value: true,
+            },
+            BoolArrayOp::SetAllOf {
+                indices: vec![1, 2],
+            },
             BoolArrayOp::Get(0),
             BoolArrayOp::AllFalse,
             BoolArrayOp::AllTrue,

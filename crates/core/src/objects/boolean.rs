@@ -124,7 +124,10 @@ mod tests {
     #[test]
     fn semantics_and_codec() {
         let mut state = false;
-        assert_eq!(BoolObject::apply(&mut state, &BoolOp::AwaitTrue), OpOutcome::Blocked);
+        assert_eq!(
+            BoolObject::apply(&mut state, &BoolOp::AwaitTrue),
+            OpOutcome::Blocked
+        );
         assert_eq!(
             BoolObject::apply(&mut state, &BoolOp::Set(true)),
             OpOutcome::Done(true)

@@ -326,10 +326,7 @@ mod tests {
             closed: true,
             total_added: 7,
         };
-        assert_eq!(
-            JobQueueState::from_bytes(&state.to_bytes()).unwrap(),
-            state
-        );
+        assert_eq!(JobQueueState::from_bytes(&state.to_bytes()).unwrap(), state);
         for op in [
             JobQueueOp::AddJob(vec![1]),
             JobQueueOp::AddJobs(vec![vec![2]]),

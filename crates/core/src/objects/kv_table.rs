@@ -248,11 +248,23 @@ mod tests {
             aux: 2,
         };
         assert_eq!(
-            KvTableObject::apply(&mut state, &KvTableOp::Put { key: 9, entry: deep }),
+            KvTableObject::apply(
+                &mut state,
+                &KvTableOp::Put {
+                    key: 9,
+                    entry: deep
+                }
+            ),
             OpOutcome::Done(KvTableReply::Count(1))
         );
         assert_eq!(
-            KvTableObject::apply(&mut state, &KvTableOp::Put { key: 9, entry: shallow }),
+            KvTableObject::apply(
+                &mut state,
+                &KvTableOp::Put {
+                    key: 9,
+                    entry: shallow
+                }
+            ),
             OpOutcome::Done(KvTableReply::Count(0))
         );
         assert_eq!(

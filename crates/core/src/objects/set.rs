@@ -121,13 +121,9 @@ impl ObjectType for SetObject {
                 let added = values.iter().filter(|v| state.insert(**v)).count();
                 OpOutcome::Done(SetReply::Count(added as u64))
             }
-            SetOp::Contains(v) => {
-                OpOutcome::Done(SetReply::Count(u64::from(state.contains(v))))
-            }
+            SetOp::Contains(v) => OpOutcome::Done(SetReply::Count(u64::from(state.contains(v)))),
             SetOp::Len => OpOutcome::Done(SetReply::Count(state.len() as u64)),
-            SetOp::Snapshot => {
-                OpOutcome::Done(SetReply::Elements(state.iter().copied().collect()))
-            }
+            SetOp::Snapshot => OpOutcome::Done(SetReply::Elements(state.iter().copied().collect())),
         }
     }
 }

@@ -45,7 +45,9 @@ pub struct OrcaNode {
 
 impl std::fmt::Debug for OrcaNode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("OrcaNode").field("node", &self.node).finish()
+        f.debug_struct("OrcaNode")
+            .field("node", &self.node)
+            .finish()
     }
 }
 
@@ -166,7 +168,10 @@ impl OrcaRuntime {
     /// Convenience constructor: broadcast RTS with the standard object
     /// registry.
     pub fn standard(processors: usize) -> Self {
-        OrcaRuntime::start(OrcaConfig::broadcast(processors), crate::standard_registry())
+        OrcaRuntime::start(
+            OrcaConfig::broadcast(processors),
+            crate::standard_registry(),
+        )
     }
 
     /// Number of processors in the pool.
@@ -206,8 +211,11 @@ impl OrcaRuntime {
         F: FnOnce(OrcaNode) -> R + Send + 'static,
     {
         let ctx = self.contexts[cpu % self.config.processors].clone();
-        self.pool
-            .spawn_on(NodeId::from(cpu % self.config.processors), name, move || body(ctx))
+        self.pool.spawn_on(
+            NodeId::from(cpu % self.config.processors),
+            name,
+            move || body(ctx),
+        )
     }
 
     /// Fork a process with default (round-robin) placement.

@@ -36,7 +36,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::objects::{IntOp, IntObject, JobQueue};
+    use crate::objects::{IntObject, IntOp, JobQueue};
     use crate::OrcaRuntime;
 
     #[test]

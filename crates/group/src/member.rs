@@ -113,7 +113,9 @@ pub struct GroupMember {
 
 impl std::fmt::Debug for GroupMember {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("GroupMember").field("node", &self.node).finish()
+        f.debug_struct("GroupMember")
+            .field("node", &self.node)
+            .finish()
     }
 }
 
@@ -174,10 +176,12 @@ impl GroupMember {
 
     /// Blocking receive with a timeout.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Delivered, GroupError> {
-        self.delivery_rx.recv_timeout(timeout).map_err(|err| match err {
-            crossbeam::channel::RecvTimeoutError::Timeout => GroupError::Timeout,
-            crossbeam::channel::RecvTimeoutError::Disconnected => GroupError::Terminated,
-        })
+        self.delivery_rx
+            .recv_timeout(timeout)
+            .map_err(|err| match err {
+                crossbeam::channel::RecvTimeoutError::Timeout => GroupError::Timeout,
+                crossbeam::channel::RecvTimeoutError::Disconnected => GroupError::Terminated,
+            })
     }
 
     /// Non-blocking receive.
@@ -414,7 +418,8 @@ impl ProtocolState {
         }
         let global_seq = self.next_global_seq;
         self.next_global_seq += 1;
-        self.history.insert(global_seq, HistoryEntry { id, payload });
+        self.history
+            .insert(global_seq, HistoryEntry { id, payload });
         self.sequenced_ids.insert(id, global_seq);
         GroupStats::bump(&self.stats.sequenced);
         let msg = GroupMsg::Accept { global_seq, id };
@@ -455,7 +460,10 @@ impl ProtocolState {
             GroupMsg::RetransmitRequest { from, to } => {
                 self.serve_retransmission(src, from, to);
             }
-            GroupMsg::NewSequencer { sequencer, next_seq } => {
+            GroupMsg::NewSequencer {
+                sequencer,
+                next_seq,
+            } => {
                 self.sequencer = sequencer;
                 if next_seq > self.next_global_seq {
                     self.next_global_seq = next_seq;
@@ -652,12 +660,7 @@ impl ProtocolState {
         if since.elapsed() < self.config.retransmit_timeout {
             return;
         }
-        let highest_buffered = self
-            .pending_order
-            .keys()
-            .next_back()
-            .copied()
-            .unwrap_or(0);
+        let highest_buffered = self.pending_order.keys().next_back().copied().unwrap_or(0);
         let highest = highest_buffered.max(self.known_highest);
         if highest < self.next_deliver {
             self.gap_since = None;
@@ -682,7 +685,9 @@ impl ProtocolState {
             from: self.next_deliver,
             to: highest,
         };
-        let _ = self.handle.send(self.sequencer, ports::GROUP, msg.to_bytes());
+        let _ = self
+            .handle
+            .send(self.sequencer, ports::GROUP, msg.to_bytes());
         self.gap_since = Some(Instant::now());
     }
 }
@@ -702,7 +707,11 @@ mod tests {
 
     fn collect(member: &GroupMember, count: usize, per_msg: Duration) -> Vec<Delivered> {
         (0..count)
-            .map(|_| member.recv_timeout(per_msg).expect("delivery within timeout"))
+            .map(|_| {
+                member
+                    .recv_timeout(per_msg)
+                    .expect("delivery within timeout")
+            })
             .collect()
     }
 
@@ -726,9 +735,7 @@ mod tests {
         let per_member = 20usize;
         for (i, member) in members.iter().enumerate() {
             for k in 0..per_member {
-                member
-                    .broadcast(format!("{i}:{k}").into_bytes())
-                    .unwrap();
+                member.broadcast(format!("{i}:{k}").into_bytes()).unwrap();
             }
         }
         let total = per_member * members.len();
@@ -772,8 +779,10 @@ mod tests {
             seed: 7,
         };
         let net = Network::new(NetworkConfig::with_fault(4, fault));
-        let mut config = GroupConfig::default();
-        config.retransmit_timeout = Duration::from_millis(40);
+        let config = GroupConfig {
+            retransmit_timeout: Duration::from_millis(40),
+            ..GroupConfig::default()
+        };
         let members = start_members(&net, &config);
         let per_member = 15usize;
         for (i, member) in members.iter().enumerate() {
@@ -799,8 +808,10 @@ mod tests {
     #[test]
     fn sequencer_crash_elects_new_sequencer_and_traffic_continues() {
         let net = Network::reliable(3);
-        let mut config = GroupConfig::default();
-        config.retransmit_timeout = Duration::from_millis(30);
+        let config = GroupConfig {
+            retransmit_timeout: Duration::from_millis(30),
+            ..GroupConfig::default()
+        };
         let members = start_members(&net, &config);
         // Quiesce: one message through the original sequencer first.
         members[1].broadcast(b"before".to_vec()).unwrap();
@@ -819,7 +830,10 @@ mod tests {
 
     #[test]
     fn forced_pb_and_bb_policies_are_respected() {
-        for (config, expect_pb) in [(GroupConfig::always_pb(), true), (GroupConfig::always_bb(), false)] {
+        for (config, expect_pb) in [
+            (GroupConfig::always_pb(), true),
+            (GroupConfig::always_bb(), false),
+        ] {
             let net = Network::reliable(2);
             let members = start_members(&net, &config);
             members[1].broadcast(vec![0u8; 20_000]).unwrap();

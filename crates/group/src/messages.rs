@@ -167,7 +167,10 @@ impl Wire for GroupMsg {
                 from.encode(enc);
                 to.encode(enc);
             }
-            GroupMsg::NewSequencer { sequencer, next_seq } => {
+            GroupMsg::NewSequencer {
+                sequencer,
+                next_seq,
+            } => {
                 enc.put_u8(Self::TAG_NEW_SEQUENCER);
                 sequencer.encode(enc);
                 next_seq.encode(enc);

@@ -96,6 +96,9 @@ mod tests {
             type_name: "IntObject".into(),
             state: vec![1, 2, 3],
         };
-        assert_eq!(ObjectDescriptor::from_bytes(&desc.to_bytes()).unwrap(), desc);
+        assert_eq!(
+            ObjectDescriptor::from_bytes(&desc.to_bytes()).unwrap(),
+            desc
+        );
     }
 }

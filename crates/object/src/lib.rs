@@ -154,6 +154,8 @@ mod tests {
         assert!(ObjectError::UnknownType("Foo".into())
             .to_string()
             .contains("Foo"));
-        assert!(ObjectError::NoSuchObject(ObjectId(4)).to_string().contains('4'));
+        assert!(ObjectError::NoSuchObject(ObjectId(4))
+            .to_string()
+            .contains('4'));
     }
 }

@@ -83,7 +83,9 @@ mod tests {
         assert_eq!(registry.type_names(), vec![Accumulator::TYPE_NAME]);
 
         let state = 5i64.to_bytes();
-        let mut replica = registry.instantiate(Accumulator::TYPE_NAME, &state).unwrap();
+        let mut replica = registry
+            .instantiate(Accumulator::TYPE_NAME, &state)
+            .unwrap();
         assert_eq!(replica.type_name(), Accumulator::TYPE_NAME);
         let reply = replica
             .apply_encoded(&AccumulatorOp::Read.to_bytes())

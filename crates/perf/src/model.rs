@@ -128,8 +128,14 @@ mod tests {
     fn makespan_is_driven_by_the_busiest_node() {
         let model = CostModel::with_unit_seconds(1e-3);
         let loads = vec![
-            NodeLoad { work_units: 100, ..NodeLoad::default() },
-            NodeLoad { work_units: 500, ..NodeLoad::default() },
+            NodeLoad {
+                work_units: 100,
+                ..NodeLoad::default()
+            },
+            NodeLoad {
+                work_units: 500,
+                ..NodeLoad::default()
+            },
         ];
         let expected = model.startup_seconds + 0.5;
         assert!((model.makespan(&loads) - expected).abs() < 1e-9);
@@ -138,7 +144,10 @@ mod tests {
     #[test]
     fn speedup_of_a_single_node_run_is_below_one_due_to_startup() {
         let model = CostModel::default();
-        let loads = vec![NodeLoad { work_units: 1000, ..NodeLoad::default() }];
+        let loads = vec![NodeLoad {
+            work_units: 1000,
+            ..NodeLoad::default()
+        }];
         assert!(model.speedup(1000, &loads) < 1.0);
     }
 }

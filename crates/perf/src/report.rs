@@ -69,8 +69,16 @@ mod tests {
         SpeedupSeries::new(
             "TSP",
             vec![
-                SpeedupPoint { processors: 1, speedup: 0.98, seconds: 100.0 },
-                SpeedupPoint { processors: 16, speedup: 14.2, seconds: 7.0 },
+                SpeedupPoint {
+                    processors: 1,
+                    speedup: 0.98,
+                    seconds: 100.0,
+                },
+                SpeedupPoint {
+                    processors: 16,
+                    speedup: 14.2,
+                    seconds: 7.0,
+                },
             ],
         )
     }

@@ -275,9 +275,7 @@ impl BroadcastRts {
                     let version = entry.replica.lock().version();
                     let mut replica = entry.replica.lock();
                     if replica.version() == version {
-                        entry
-                            .changed
-                            .wait_for(&mut replica, GUARD_REISSUE_INTERVAL);
+                        entry.changed.wait_for(&mut replica, GUARD_REISSUE_INTERVAL);
                     }
                 }
             }

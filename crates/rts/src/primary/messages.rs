@@ -205,10 +205,7 @@ mod tests {
             PrimaryMsg::FetchCopy { object },
             PrimaryMsg::DropCopy { object },
             PrimaryMsg::Invalidate { object },
-            PrimaryMsg::UpdateOp {
-                object,
-                op: vec![],
-            },
+            PrimaryMsg::UpdateOp { object, op: vec![] },
             PrimaryMsg::Unlock { object },
         ];
         for msg in msgs {

@@ -36,9 +36,7 @@ use orca_amoeba::network::NetworkHandle;
 use orca_amoeba::node::ports;
 use orca_amoeba::rpc::{rpc_call, RpcServer};
 use orca_amoeba::NodeId;
-use orca_object::{
-    AnyReplica, AppliedOutcome, ObjectError, ObjectId, ObjectRegistry, OpKind,
-};
+use orca_object::{AnyReplica, AppliedOutcome, ObjectError, ObjectId, ObjectRegistry, OpKind};
 use orca_wire::Wire;
 use parking_lot::{Condvar, Mutex, RwLock};
 
@@ -172,9 +170,10 @@ impl PrimaryCopyRts {
             stats: RtsStats::new_shared(),
         });
         let service_inner = Arc::clone(&inner);
-        let server = RpcServer::serve_concurrent(handle, ports::RTS_PRIMARY, move |body, caller| {
-            serve_request(&service_inner, body, caller)
-        });
+        let server =
+            RpcServer::serve_concurrent(handle, ports::RTS_PRIMARY, move |body, caller| {
+                serve_request(&service_inner, body, caller)
+            });
         PrimaryCopyRts {
             inner,
             server: Arc::new(Mutex::new(Some(server))),
@@ -228,7 +227,12 @@ impl PrimaryCopyRts {
         }))
     }
 
-    fn invoke_at_primary_local(&self, object: ObjectId, op: &[u8], kind: OpKind) -> Result<Vec<u8>, RtsError> {
+    fn invoke_at_primary_local(
+        &self,
+        object: ObjectId,
+        op: &[u8],
+        kind: OpKind,
+    ) -> Result<Vec<u8>, RtsError> {
         loop {
             let outcome = match kind {
                 OpKind::Read => {
@@ -271,19 +275,25 @@ impl PrimaryCopyRts {
                     Ok(reply)
                 } else {
                     RtsStats::bump(&self.inner.stats.remote_reads);
-                    self.remote_op(primary, PrimaryMsg::ReadAt {
-                        object,
-                        op: op.to_vec(),
-                    })
+                    self.remote_op(
+                        primary,
+                        PrimaryMsg::ReadAt {
+                            object,
+                            op: op.to_vec(),
+                        },
+                    )
                 }
             }
             OpKind::Write => {
                 RtsStats::bump(&self.inner.stats.writes);
                 RtsStats::bump(&self.inner.stats.remote_writes);
-                self.remote_op(primary, PrimaryMsg::WriteAt {
-                    object,
-                    op: op.to_vec(),
-                })
+                self.remote_op(
+                    primary,
+                    PrimaryMsg::WriteAt {
+                        object,
+                        op: op.to_vec(),
+                    },
+                )
             }
         };
         self.maybe_adjust_replication(object, type_name, primary, &entry)?;
@@ -311,7 +321,9 @@ impl PrimaryCopyRts {
                     // arrive via the update protocol) or fall back to a
                     // periodic retry.
                     RtsStats::bump(&self.inner.stats.guard_retries);
-                    entry.unlocked.wait_for(&mut state, Duration::from_millis(100));
+                    entry
+                        .unlocked
+                        .wait_for(&mut state, Duration::from_millis(100));
                 }
             }
         }
@@ -453,7 +465,11 @@ impl RuntimeSystem for PrimaryCopyRts {
 }
 
 /// Execute a read operation at the primary copy.
-fn primary_read(inner: &Arc<Inner>, object: ObjectId, op: &[u8]) -> Result<AppliedOutcome, RtsError> {
+fn primary_read(
+    inner: &Arc<Inner>,
+    object: ObjectId,
+    op: &[u8],
+) -> Result<AppliedOutcome, RtsError> {
     let entry = {
         let primaries = inner.primaries.read();
         primaries
@@ -467,7 +483,11 @@ fn primary_read(inner: &Arc<Inner>, object: ObjectId, op: &[u8]) -> Result<Appli
 
 /// Execute a write at the primary copy and run the configured propagation
 /// protocol against all copy holders.
-fn primary_write(inner: &Arc<Inner>, object: ObjectId, op: &[u8]) -> Result<AppliedOutcome, RtsError> {
+fn primary_write(
+    inner: &Arc<Inner>,
+    object: ObjectId,
+    op: &[u8],
+) -> Result<AppliedOutcome, RtsError> {
     let entry = {
         let primaries = inner.primaries.read();
         primaries
@@ -484,7 +504,11 @@ fn primary_write(inner: &Arc<Inner>, object: ObjectId, op: &[u8]) -> Result<Appl
     };
     let holders: Vec<NodeId> = {
         let holders = entry.copy_holders.lock();
-        holders.iter().copied().filter(|h| *h != inner.node).collect()
+        holders
+            .iter()
+            .copied()
+            .filter(|h| *h != inner.node)
+            .collect()
     };
     match inner.write_policy {
         WritePolicy::Invalidate => {
@@ -626,7 +650,11 @@ mod tests {
         registry
     }
 
-    fn start_all(net: &Network, policy: WritePolicy, replication: ReplicationPolicy) -> Vec<PrimaryCopyRts> {
+    fn start_all(
+        net: &Network,
+        policy: WritePolicy,
+        replication: ReplicationPolicy,
+    ) -> Vec<PrimaryCopyRts> {
         net.node_ids()
             .into_iter()
             .map(|n| PrimaryCopyRts::start(net.handle(n), registry(), policy, replication))
@@ -788,7 +816,11 @@ mod tests {
     #[test]
     fn blocked_write_at_primary_retries_until_guard_true() {
         let net = Network::reliable(2);
-        let rtses = start_all(&net, WritePolicy::Update, ReplicationPolicy::never_replicate());
+        let rtses = start_all(
+            &net,
+            WritePolicy::Update,
+            ReplicationPolicy::never_replicate(),
+        );
         let id = rtses[0]
             .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
             .unwrap();

@@ -343,12 +343,21 @@ mod tests {
     fn option_and_result_round_trip() {
         let some: Option<String> = Some("x".into());
         let none: Option<String> = None;
-        assert_eq!(Option::<String>::from_bytes(&some.to_bytes()).unwrap(), some);
-        assert_eq!(Option::<String>::from_bytes(&none.to_bytes()).unwrap(), none);
+        assert_eq!(
+            Option::<String>::from_bytes(&some.to_bytes()).unwrap(),
+            some
+        );
+        assert_eq!(
+            Option::<String>::from_bytes(&none.to_bytes()).unwrap(),
+            none
+        );
 
         let ok: Result<u32, String> = Ok(7);
         let err: Result<u32, String> = Err("bad".into());
-        assert_eq!(Result::<u32, String>::from_bytes(&ok.to_bytes()).unwrap(), ok);
+        assert_eq!(
+            Result::<u32, String>::from_bytes(&ok.to_bytes()).unwrap(),
+            ok
+        );
         assert_eq!(
             Result::<u32, String>::from_bytes(&err.to_bytes()).unwrap(),
             err

@@ -102,7 +102,7 @@ mod tests {
         for v in [f64::MIN, -0.0, 0.5, 1e300] {
             assert_eq!(f64::from_bytes(&v.to_bytes()).unwrap(), v);
         }
-        assert_eq!(bool::from_bytes(&true.to_bytes()).unwrap(), true);
+        assert!(bool::from_bytes(&true.to_bytes()).unwrap());
     }
 
     #[test]

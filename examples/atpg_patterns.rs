@@ -24,8 +24,7 @@ fn main() {
         );
         for fault_simulation in [false, true] {
             let runtime = OrcaRuntime::standard(4);
-            let (result, report) =
-                atpg::solve_parallel(&runtime, &circuit, 4, fault_simulation);
+            let (result, report) = atpg::solve_parallel(&runtime, &circuit, 4, fault_simulation);
             println!(
                 "  fault simulation {:>5}: {} patterns, coverage {:.1}%, \
                  {} PODEM steps, load imbalance {:.2}",

@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use orca::core::objects::{IntOp, IntObject, JobQueue};
+use orca::core::objects::{IntObject, IntOp, JobQueue};
 use orca::core::{replicated_workers, OrcaRuntime};
 
 fn main() {

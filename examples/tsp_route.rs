@@ -29,7 +29,11 @@ fn main() {
     println!("best tour: {:?}", solution.best_tour);
     println!(
         "per-worker nodes: {:?} (imbalance {:.2})",
-        report.per_worker.iter().map(|w| w.units).collect::<Vec<_>>(),
+        report
+            .per_worker
+            .iter()
+            .map(|w| w.units)
+            .collect::<Vec<_>>(),
         report.imbalance()
     );
     assert_eq!(solution.best_length, sequential.best_length);

@@ -1,0 +1,111 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! `Criterion::bench_function`, `Bencher::iter`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery this shim runs a short
+//! warm-up, then times a fixed wall-clock window and reports mean
+//! nanoseconds per iteration on stdout. Good enough to keep the workspace's
+//! bench targets compiling and producing comparable numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a value or the computation behind it.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Timing loop handed to the closure of [`Criterion::bench_function`].
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record total time and iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: let caches, lazy init and thread pools settle.
+        let warmup_end = Instant::now() + Duration::from_millis(50);
+        while Instant::now() < warmup_end {
+            black_box(routine());
+        }
+        let measure_window = Duration::from_millis(300);
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        while start.elapsed() < measure_window {
+            black_box(routine());
+            iterations += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = iterations;
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Time `routine` and print a one-line report.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut routine: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        if bencher.iterations == 0 {
+            println!("{name:<44} (no iterations recorded)");
+        } else {
+            let nanos = bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64;
+            println!(
+                "{name:<44} {nanos:>12.1} ns/iter ({} iterations)",
+                bencher.iterations
+            );
+        }
+        self
+    }
+}
+
+/// Mirror of `criterion::criterion_group!`: bundle bench functions into one
+/// callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`: generate `main` running groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut criterion = Criterion::default();
+        let mut calls = 0u64;
+        criterion.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses:
+//! `channel::{unbounded, bounded, Sender, Receiver}` plus a polling
+//! `select!` macro covering the `recv(..) -> x => ..` / `default(timeout)`
+//! shape.
+//!
+//! The channel is a straightforward MPMC queue built on a mutex and a pair
+//! of condition variables. Both `Sender` and `Receiver` are cloneable and
+//! `Sync`, matching crossbeam's types; disconnection follows crossbeam's
+//! rule (a side is disconnected once all handles of the *other* side are
+//! gone).
+
+pub mod channel;

@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use orca::amoeba::{FaultConfig, NodeId};
 use orca::apps::{acp, tsp};
-use orca::core::objects::{BoolArray, IntOp, IntObject, JobQueue, SharedInt};
+use orca::core::objects::{BoolArray, IntObject, IntOp, JobQueue, SharedInt};
 use orca::core::{replicated_workers, OrcaConfig, OrcaRuntime, RtsStrategy};
 use orca::rts::WritePolicy;
 
@@ -81,8 +81,6 @@ fn primary_copy_runtime_survives_concurrent_mixed_load() {
     let flags = BoolArray::create(main, 4, false).unwrap();
     let mut handles = Vec::new();
     for node in 0..4 {
-        let counter = counter;
-        let flags = flags;
         handles.push(runtime.fork_on(node, "mixed", move |ctx| {
             for i in 0..25 {
                 ctx.invoke(counter, &IntOp::Add(1)).unwrap();
