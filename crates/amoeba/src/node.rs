@@ -66,6 +66,9 @@ pub mod ports {
     pub const RTS_COPY: Port = 3;
     /// Membership / election control traffic.
     pub const MEMBERSHIP: Port = 4;
+    /// RPC service port used by the sharded runtime system's partition
+    /// owners (shard routing, owner-shipped operations, migration).
+    pub const RTS_SHARD: Port = 5;
     /// First port usable by applications and tests.
     pub const USER_BASE: Port = 1000;
     /// First ephemeral port (allocated dynamically, e.g. for RPC replies).
@@ -97,6 +100,7 @@ mod tests {
             ports::RTS_PRIMARY,
             ports::RTS_COPY,
             ports::MEMBERSHIP,
+            ports::RTS_SHARD,
         ];
         for (i, a) in ports.iter().enumerate() {
             for b in &ports[i + 1..] {

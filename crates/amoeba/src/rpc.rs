@@ -150,10 +150,12 @@ pub fn rpc_call_timeout(
 }
 
 /// A running RPC service on one node. Stops and joins its dispatch thread
-/// when [`RpcServer::shutdown`] is called or the server is dropped.
+/// (and worker pool, if any) when [`RpcServer::shutdown`] is called or the
+/// server is dropped.
 pub struct RpcServer {
     stop: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
     node: NodeId,
     port: Port,
 }
@@ -191,6 +193,82 @@ impl RpcServer {
         F: Fn(&[u8], NodeId) -> Vec<u8> + Send + Sync + 'static,
     {
         Self::serve_inner(handle, service_port, handler, true)
+    }
+
+    /// Like [`RpcServer::serve_concurrent`], but requests are handled by a
+    /// fixed pool of `workers` threads created once at start-up, instead of
+    /// one freshly spawned thread per request. Thread creation serializes
+    /// process-wide, so a high-rate service (the sharded runtime system's
+    /// owner-shipped operations) must not pay it per request. Handlers may
+    /// still perform nested RPCs — they occupy one pool worker for the
+    /// duration — so size the pool for the expected concurrency of such
+    /// handlers.
+    pub fn serve_pooled<F>(
+        handle: NetworkHandle,
+        service_port: Port,
+        handler: F,
+        workers: usize,
+    ) -> RpcServer
+    where
+        F: Fn(&[u8], NodeId) -> Vec<u8> + Send + Sync + 'static,
+    {
+        assert!(workers > 0, "worker pool must not be empty");
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let node = handle.node();
+        let rx = handle.bind(service_port);
+        let handler = Arc::new(handler);
+        let (work_tx, work_rx) = crossbeam::channel::unbounded::<(RpcRequest, NodeId)>();
+        let worker_threads: Vec<JoinHandle<()>> = (0..workers)
+            .map(|w| {
+                let work_rx = work_rx.clone();
+                let handler = Arc::clone(&handler);
+                let handle = handle.clone();
+                std::thread::Builder::new()
+                    .name(format!("rpc-pool-{node}-{service_port}-{w}"))
+                    .spawn(move || {
+                        while let Ok((request, src)) = work_rx.recv() {
+                            let reply = RpcReply {
+                                request_id: request.request_id,
+                                body: handler(&request.body, src),
+                            };
+                            let _ = handle.send_reliable(src, request.reply_port, reply.to_bytes());
+                        }
+                    })
+                    .expect("spawn rpc pool worker")
+            })
+            .collect();
+        let thread = std::thread::Builder::new()
+            .name(format!("rpc-{node}-{service_port}"))
+            .spawn(move || {
+                // work_tx lives (only) here: returning drops it, which
+                // disconnects the pool and lets the workers exit.
+                loop {
+                    if stop_flag.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let msg = match rx.recv_timeout(Duration::from_millis(25)) {
+                        Ok(msg) => msg,
+                        Err(NetError::Timeout) => continue,
+                        Err(_) => return,
+                    };
+                    let request: RpcRequest = match msg.decode_payload() {
+                        Ok(req) => req,
+                        Err(_) => continue, // malformed request: drop it
+                    };
+                    if work_tx.send((request, msg.src)).is_err() {
+                        return;
+                    }
+                }
+            })
+            .expect("spawn rpc dispatch thread");
+        RpcServer {
+            stop,
+            thread: Some(thread),
+            workers: worker_threads,
+            node,
+            port: service_port,
+        }
     }
 
     fn serve_inner<F>(
@@ -253,6 +331,7 @@ impl RpcServer {
         RpcServer {
             stop,
             thread: Some(thread),
+            workers: Vec::new(),
             node,
             port: service_port,
         }
@@ -277,6 +356,11 @@ impl RpcServer {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
+        }
+        // The dispatch thread held the work sender; with it gone the pool
+        // drains and disconnects.
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
     }
 }
@@ -329,6 +413,40 @@ mod tests {
         for thread in threads {
             thread.join().unwrap();
         }
+    }
+
+    #[test]
+    fn pooled_server_answers_concurrent_clients() {
+        let net = Network::reliable(4);
+        let served = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&served);
+        let server = RpcServer::serve_pooled(
+            net.handle(NodeId(0)),
+            ports::USER_BASE,
+            move |body, _| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                let value = u64::from_bytes(body).unwrap();
+                (value + 1).to_bytes()
+            },
+            3,
+        );
+        let mut threads = Vec::new();
+        for node in 1..4u16 {
+            let handle = net.handle(NodeId(node));
+            threads.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let reply =
+                        rpc_call(&handle, NodeId(0), ports::USER_BASE, i.to_bytes()).unwrap();
+                    assert_eq!(u64::from_bytes(&reply).unwrap(), i + 1);
+                }
+            }));
+        }
+        for thread in threads {
+            thread.join().unwrap();
+        }
+        assert_eq!(served.load(Ordering::Relaxed), 150);
+        // Shutdown joins the dispatch thread and the whole pool.
+        server.shutdown();
     }
 
     #[test]

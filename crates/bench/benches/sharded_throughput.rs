@@ -1,0 +1,23 @@
+//! Sharded-RTS write throughput vs partition count (JobQueue workload).
+//!
+//! Sweeps {1, 2, 4, 8} partitions on 8 simulated nodes, prints the
+//! throughput table, and writes the `BENCH_sharded.json` trajectory file so
+//! future changes have a baseline to beat. Override the shape with
+//! `ORCA_BENCH_NODES` / `ORCA_BENCH_OPS_PER_NODE`.
+
+fn main() {
+    let nodes = orca_bench::env_usize("NODES", 8);
+    let ops_per_node = orca_bench::env_usize("OPS_PER_NODE", 400);
+    let rows = orca_bench::sharded::sharded_throughput(nodes, ops_per_node, &[1, 2, 4, 8]);
+    print!("{}", orca_bench::sharded::format_table(&rows));
+    let json = orca_bench::sharded::to_json(&rows);
+    // Anchor at the workspace root (cargo runs benches from the package
+    // directory), so the trajectory file lands next to the README.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_sharded.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("trajectory written to {}", path.display()),
+        Err(err) => eprintln!("could not write {}: {err}", path.display()),
+    }
+}

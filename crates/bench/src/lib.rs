@@ -12,6 +12,7 @@
 //! | ATPG speedup + fault simulation | §4.4 | [`speedup::atpg_speedup`] |
 //! | PB vs BB broadcast protocols | §3.1 | [`protocols::pb_vs_bb`] |
 //! | Invalidation vs update vs broadcast RTS | §3.2.2 | [`rtscompare::rts_comparison`] |
+//! | Sharded RTS write throughput vs partitions | beyond the paper | [`sharded::sharded_throughput`] |
 //!
 //! All experiments run the real protocol stack in-process and feed the
 //! measured work and communication counts into the calibrated cost model of
@@ -21,6 +22,7 @@
 pub mod loads;
 pub mod protocols;
 pub mod rtscompare;
+pub mod sharded;
 pub mod speedup;
 
 /// Processor counts used for the speedup sweeps (the paper's figures go up

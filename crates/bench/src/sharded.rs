@@ -1,0 +1,242 @@
+//! Sharded-RTS write-throughput sweep.
+//!
+//! The point of the sharded runtime system is that writes to *different
+//! partitions of the same object* proceed in parallel on different owner
+//! nodes, so aggregate write throughput should scale with the partition
+//! count. This experiment drives the replicated-worker JobQueue workload —
+//! every node concurrently `AddJob`s distinct jobs into one shared queue —
+//! and sweeps the partition count; with one partition every write funnels
+//! through a single owner (the primary-copy regime), with more partitions
+//! the same offered load spreads over more owners.
+//!
+//! Like every other experiment in this harness, the run uses the real
+//! protocol stack and feeds the measured per-node work and communication
+//! counts into the calibrated cost model of `orca-perf` (wall-clock time on
+//! the build machine is not used — see DESIGN.md §3; in particular a
+//! single-core builder cannot exhibit owner-side parallelism that real
+//! hardware would). Throughput is `total writes / modeled time of the
+//! busiest node`: the bottleneck owner's protocol-handling time is exactly
+//! what sharding attacks. Results land in `BENCH_sharded.json` so future
+//! changes have a trajectory to compare against.
+
+use std::time::{Duration, Instant};
+
+use orca_amoeba::NodeId;
+use orca_core::objects::JobQueue;
+use orca_core::{standard_registry, OrcaConfig, OrcaRuntime};
+use orca_perf::{CostModel, NodeLoad};
+
+/// Writer processes forked per node, so several requests per node are
+/// outstanding at once (as they would be with multiple application
+/// processes per processor).
+pub const WRITERS_PER_NODE: usize = 4;
+
+/// One point of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedRow {
+    /// Partition count of the job queue.
+    pub partitions: u32,
+    /// Simulated nodes (each runs [`WRITERS_PER_NODE`] writer processes).
+    pub nodes: usize,
+    /// `AddJob` operations performed per node (split over its writers).
+    pub ops_per_node: usize,
+    /// Distinct nodes that owned at least one queue partition.
+    pub owner_nodes: usize,
+    /// Modeled protocol-handling time of the busiest node — the bottleneck
+    /// the partition count is supposed to shrink.
+    pub bottleneck_seconds: f64,
+    /// Modeled aggregate write throughput (`total ops / bottleneck`).
+    pub ops_per_sec: f64,
+    /// Wall-clock time of the measurement run on the build machine
+    /// (reported for orientation only; see the module docs).
+    pub elapsed: Duration,
+}
+
+/// Run the JobQueue write workload once per partition count.
+pub fn sharded_throughput(
+    nodes: usize,
+    ops_per_node: usize,
+    partition_counts: &[u32],
+) -> Vec<ShardedRow> {
+    partition_counts
+        .iter()
+        .map(|&partitions| run_one(nodes, ops_per_node, partitions))
+        .collect()
+}
+
+fn run_one(nodes: usize, ops_per_node: usize, partitions: u32) -> ShardedRow {
+    let runtime = OrcaRuntime::start(OrcaConfig::sharded(nodes, partitions), standard_registry());
+    let queue: JobQueue<u64> = JobQueue::create(runtime.main()).unwrap();
+    let owner_nodes = {
+        let owners = runtime
+            .shard_owners(queue.handle().id())
+            .expect("sharded strategy");
+        let distinct: std::collections::BTreeSet<_> = owners.into_iter().collect();
+        distinct.len()
+    };
+    // Warm every node's route cache so the measurement captures steady-state
+    // write shipping, not the one-time route fetches.
+    let warmup: Vec<_> = (0..nodes)
+        .map(|n| {
+            runtime.fork_on(n, "warmup", move |ctx| {
+                queue.add(&ctx, &u64::MAX).unwrap();
+            })
+        })
+        .collect();
+    for handle in warmup {
+        handle.join();
+    }
+    let net_before = runtime.network_stats();
+    let rts_before = runtime.rts_stats();
+
+    let ops_per_writer = (ops_per_node / WRITERS_PER_NODE).max(1);
+    let started = Instant::now();
+    let writers: Vec<_> = (0..nodes * WRITERS_PER_NODE)
+        .map(|w| {
+            let node = w % nodes;
+            runtime.fork_on(node, "writer", move |ctx| {
+                // Distinct payloads per writer: jobs hash across partitions.
+                let base = (w as u64) << 32;
+                for i in 0..ops_per_writer as u64 {
+                    queue.add(&ctx, &(base | i)).unwrap();
+                }
+            })
+        })
+        .collect();
+    for handle in writers {
+        handle.join();
+    }
+    let elapsed = started.elapsed();
+
+    // Feed the measured protocol counts into the calibrated cost model,
+    // exactly as the paper-figure experiments do (no application work, so
+    // unit cost is zero: we model pure protocol handling).
+    let net_delta = runtime.network_stats().since(&net_before);
+    let rts_after = runtime.rts_stats();
+    let model = CostModel::with_unit_seconds(0.0);
+    let loads: Vec<NodeLoad> = (0..nodes)
+        .map(|n| {
+            let before = rts_before[n];
+            let after = rts_after[n];
+            let node_net = net_delta.node(NodeId::from(n));
+            NodeLoad {
+                work_units: 0,
+                updates_handled: after.updates_applied - before.updates_applied,
+                ops_shipped: (after.broadcast_writes + after.remote_writes)
+                    - (before.broadcast_writes + before.remote_writes),
+                rpcs: (after.remote_reads + after.remote_writes)
+                    - (before.remote_reads + before.remote_writes),
+                interrupts: node_net.interrupts,
+                wire_bytes: node_net.bytes_sent,
+            }
+        })
+        .collect();
+    let bottleneck_seconds = loads
+        .iter()
+        .map(|load| model.node_time(load))
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let ops_per_node = ops_per_writer * WRITERS_PER_NODE;
+    let total_ops = (nodes * ops_per_node) as f64;
+    let row = ShardedRow {
+        partitions,
+        nodes,
+        ops_per_node,
+        owner_nodes,
+        bottleneck_seconds,
+        ops_per_sec: total_ops / bottleneck_seconds,
+        elapsed,
+    };
+    runtime.shutdown();
+    row
+}
+
+/// Throughput ratio between the runs with `to` and `from` partitions
+/// (`None` if either point is missing from the sweep).
+pub fn speedup(rows: &[ShardedRow], from: u32, to: u32) -> Option<f64> {
+    let base = rows.iter().find(|r| r.partitions == from)?;
+    let target = rows.iter().find(|r| r.partitions == to)?;
+    Some(target.ops_per_sec / base.ops_per_sec)
+}
+
+/// Format the sweep as a text table.
+pub fn format_table(rows: &[ShardedRow]) -> String {
+    let mut out = String::from("# Sharded RTS: JobQueue write throughput vs partition count\n");
+    out.push_str("partitions  owner_nodes  total_ops  bottleneck_ms  ops/sec  wall_ms\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{:>10}  {:>11}  {:>9}  {:>13.1}  {:>7.0}  {:>7.1}\n",
+            row.partitions,
+            row.owner_nodes,
+            row.nodes * row.ops_per_node,
+            row.bottleneck_seconds * 1000.0,
+            row.ops_per_sec,
+            row.elapsed.as_secs_f64() * 1000.0,
+        ));
+    }
+    if let Some(ratio) = speedup(rows, 1, 4) {
+        out.push_str(&format!(
+            "write-throughput speedup 1 -> 4 partitions: {ratio:.2}x\n"
+        ));
+    }
+    out
+}
+
+/// Serialize the sweep as the `BENCH_sharded.json` trajectory record
+/// (hand-rolled: the workspace has no JSON dependency).
+pub fn to_json(rows: &[ShardedRow]) -> String {
+    let mut out = String::from(
+        "{\n  \"bench\": \"sharded_throughput\",\n  \"workload\": \"jobqueue_add\",\n  \"results\": [\n",
+    );
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"partitions\": {}, \"nodes\": {}, \"ops_per_node\": {}, \"owner_nodes\": {}, \"bottleneck_ms\": {:.3}, \"ops_per_sec\": {:.1}, \"wall_ms\": {:.3}}}{}\n",
+            row.partitions,
+            row.nodes,
+            row.ops_per_node,
+            row.owner_nodes,
+            row.bottleneck_seconds * 1000.0,
+            row.ops_per_sec,
+            row.elapsed.as_secs_f64() * 1000.0,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    let ratio = speedup(rows, 1, 4).unwrap_or(0.0);
+    out.push_str(&format!("  \"speedup_1_to_4\": {ratio:.3}\n}}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_and_serializes() {
+        // Small configuration: correctness of the harness, not performance.
+        let rows = sharded_throughput(2, 16, &[1, 2]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.ops_per_sec > 0.0));
+        assert!(rows.iter().all(|r| r.bottleneck_seconds > 0.0));
+        assert_eq!(rows[0].owner_nodes, 1);
+        let json = to_json(&rows);
+        assert!(json.contains("\"bench\": \"sharded_throughput\""));
+        assert!(json.contains("\"partitions\": 2"));
+        assert!(json.contains("speedup_1_to_4"));
+        let table = format_table(&rows);
+        assert!(table.contains("partitions"));
+        assert!(speedup(&rows, 1, 4).is_none());
+    }
+
+    #[test]
+    fn partitioning_shrinks_the_bottleneck_owner() {
+        // The core claim, at small scale: the modeled bottleneck time with
+        // four partitions is below the single-owner bottleneck.
+        let rows = sharded_throughput(4, 32, &[1, 4]);
+        assert!(
+            rows[1].bottleneck_seconds < rows[0].bottleneck_seconds,
+            "4 partitions {:?} must beat 1 partition {:?}",
+            rows[1],
+            rows[0]
+        );
+    }
+}

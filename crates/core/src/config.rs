@@ -2,7 +2,7 @@
 
 use orca_amoeba::FaultConfig;
 use orca_group::GroupConfig;
-use orca_rts::{ReplicationPolicy, RtsKind, WritePolicy};
+use orca_rts::{ReplicationPolicy, RtsKind, ShardPolicy, WritePolicy};
 
 /// Which runtime system each node runs.
 #[derive(Debug, Clone)]
@@ -17,6 +17,13 @@ pub enum RtsStrategy {
         policy: WritePolicy,
         /// Dynamic replication thresholds.
         replication: ReplicationPolicy,
+    },
+    /// The sharded runtime system (partitioned shardable objects with
+    /// owner-shipped operations; non-shardable objects fall back to
+    /// primary-copy semantics at their creating node).
+    Sharded {
+        /// Partition count, placement, deadlines and rebalancing knobs.
+        policy: ShardPolicy,
     },
 }
 
@@ -43,6 +50,14 @@ impl RtsStrategy {
         }
     }
 
+    /// Sharded strategy with `partitions` partitions per shardable object
+    /// and default placement/deadline knobs.
+    pub fn sharded(partitions: u32) -> Self {
+        RtsStrategy::Sharded {
+            policy: ShardPolicy::with_partitions(partitions),
+        }
+    }
+
     /// The [`RtsKind`] this strategy produces.
     pub fn kind(&self) -> RtsKind {
         match self {
@@ -55,6 +70,7 @@ impl RtsStrategy {
                 policy: WritePolicy::Update,
                 ..
             } => RtsKind::PrimaryUpdate,
+            RtsStrategy::Sharded { .. } => RtsKind::Sharded,
         }
     }
 }
@@ -94,6 +110,16 @@ impl OrcaConfig {
         }
     }
 
+    /// Sharded runtime system with `partitions` partitions per shardable
+    /// object.
+    pub fn sharded(processors: usize, partitions: u32) -> Self {
+        OrcaConfig {
+            processors,
+            fault: FaultConfig::reliable(),
+            strategy: RtsStrategy::sharded(partitions),
+        }
+    }
+
     /// Replace the fault configuration.
     pub fn with_fault(mut self, fault: FaultConfig) -> Self {
         self.fault = fault;
@@ -113,6 +139,23 @@ mod tests {
             RtsStrategy::primary_invalidate().kind(),
             RtsKind::PrimaryInvalidate
         );
+        assert_eq!(RtsStrategy::sharded(4).kind(), RtsKind::Sharded);
+    }
+
+    #[test]
+    fn sharded_config_builder() {
+        let config = OrcaConfig::sharded(8, 4);
+        assert_eq!(config.processors, 8);
+        assert_eq!(config.strategy.kind(), RtsKind::Sharded);
+        let RtsStrategy::Sharded { policy } = config.strategy else {
+            panic!("expected sharded strategy");
+        };
+        assert_eq!(policy.partitions, 4);
+        // Partition counts are clamped to at least one.
+        let RtsStrategy::Sharded { policy } = RtsStrategy::sharded(0) else {
+            panic!("expected sharded strategy");
+        };
+        assert_eq!(policy.partitions, 1);
     }
 
     #[test]

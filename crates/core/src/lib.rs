@@ -40,16 +40,22 @@ pub type OrcaResult<T> = Result<T, OrcaError>;
 
 /// Build an [`orca_object::ObjectRegistry`] pre-loaded with every standard
 /// object type in [`objects`]. Applications add their own types on top.
+///
+/// The job queue, boolean array, set and key-value table are registered
+/// with partitioning logic, so the sharded runtime system splits them
+/// across nodes; the scalar types (integer, boolean flag, barrier) are
+/// single atomic values and run with primary-copy fallback semantics under
+/// the sharded RTS.
 pub fn standard_registry() -> orca_object::ObjectRegistry {
     let mut registry = orca_object::ObjectRegistry::new();
     registry
         .register::<objects::IntObject>()
         .register::<objects::BoolObject>()
-        .register::<objects::BoolArrayObject>()
-        .register::<objects::JobQueueObject>()
+        .register_sharded::<objects::BoolArrayObject>()
+        .register_sharded::<objects::JobQueueObject>()
         .register::<objects::BarrierObject>()
-        .register::<objects::SetObject>()
-        .register::<objects::KvTableObject>();
+        .register_sharded::<objects::SetObject>()
+        .register_sharded::<objects::KvTableObject>();
     registry
 }
 

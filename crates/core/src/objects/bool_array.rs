@@ -6,6 +6,7 @@
 //! all entries of `result` are true") maps onto the indivisible `AllFalse`
 //! and `AllTrue` read operations.
 
+use orca_object::shard::{ShardRoute, ShardableType};
 use orca_object::{ObjectType, OpKind, OpOutcome};
 use orca_wire::{Decoder, Encoder, Wire, WireError, WireResult};
 
@@ -131,6 +132,63 @@ impl ObjectType for BoolArrayObject {
     }
 }
 
+/// Partitioning: the array is split round-robin — global entry `i` lives in
+/// partition `i % parts` at local position `i / parts` — so `Set`/`Get` are
+/// single-partition operations (with the index remapped by `op_for`) and
+/// the aggregate reads (`AllFalse`, `AllTrue`, `CountTrue`) gather over all
+/// partitions.
+impl ShardableType for BoolArrayObject {
+    fn split_state(state: &Self::State, parts: u32) -> Vec<Self::State> {
+        let parts = parts.max(1) as usize;
+        let mut split = vec![Vec::new(); parts];
+        for (index, &value) in state.iter().enumerate() {
+            split[index % parts].push(value);
+        }
+        split
+    }
+
+    fn route(op: &Self::Op, parts: u32) -> ShardRoute {
+        match op {
+            BoolArrayOp::Set { index, .. } => ShardRoute::One(index % parts.max(1)),
+            BoolArrayOp::Get(index) => ShardRoute::One(index % parts.max(1)),
+            BoolArrayOp::SetAllOf { .. }
+            | BoolArrayOp::AllFalse
+            | BoolArrayOp::AllTrue
+            | BoolArrayOp::CountTrue => ShardRoute::All,
+        }
+    }
+
+    fn op_for(op: &Self::Op, partition: u32, parts: u32) -> Self::Op {
+        let parts = parts.max(1);
+        match op {
+            BoolArrayOp::Set { index, value } => BoolArrayOp::Set {
+                index: index / parts,
+                value: *value,
+            },
+            BoolArrayOp::Get(index) => BoolArrayOp::Get(index / parts),
+            BoolArrayOp::SetAllOf { indices } => BoolArrayOp::SetAllOf {
+                indices: indices
+                    .iter()
+                    .filter(|index| *index % parts == partition)
+                    .map(|index| index / parts)
+                    .collect(),
+            },
+            other => other.clone(),
+        }
+    }
+
+    fn combine(op: &Self::Op, replies: Vec<Self::Reply>) -> Self::Reply {
+        match op {
+            BoolArrayOp::AllFalse | BoolArrayOp::AllTrue => {
+                u64::from(replies.iter().all(|reply| *reply != 0))
+            }
+            BoolArrayOp::CountTrue => replies.iter().sum(),
+            BoolArrayOp::SetAllOf { .. } => 1,
+            _ => replies.into_iter().next().unwrap_or(0),
+        }
+    }
+}
+
 /// Typed convenience wrapper around a [`BoolArrayObject`] handle.
 #[derive(Debug, Clone, Copy)]
 pub struct BoolArray {
@@ -241,6 +299,68 @@ mod tests {
             OpOutcome::Done(0)
         );
         assert_eq!(state.len(), 2);
+    }
+
+    #[test]
+    fn shard_split_and_index_remap_agree_with_flat_semantics() {
+        // Apply the same operations to a flat array and to a 3-way split;
+        // the observables must agree.
+        let len = 10usize;
+        let parts = 3u32;
+        let mut flat = vec![false; len];
+        let mut split = BoolArrayObject::split_state(&flat, parts);
+        assert_eq!(split.iter().map(Vec::len).sum::<usize>(), len);
+
+        let ops = [
+            BoolArrayOp::Set {
+                index: 4,
+                value: true,
+            },
+            BoolArrayOp::SetAllOf {
+                indices: vec![0, 5, 9, 42],
+            },
+            BoolArrayOp::Set {
+                index: 42,
+                value: true,
+            },
+        ];
+        for op in &ops {
+            BoolArrayObject::apply(&mut flat, op);
+            match BoolArrayObject::route(op, parts) {
+                ShardRoute::One(p) => {
+                    let local = BoolArrayObject::op_for(op, p, parts);
+                    BoolArrayObject::apply(&mut split[p as usize], &local);
+                }
+                ShardRoute::All => {
+                    for p in 0..parts {
+                        let local = BoolArrayObject::op_for(op, p, parts);
+                        BoolArrayObject::apply(&mut split[p as usize], &local);
+                    }
+                }
+                ShardRoute::Any => panic!("no Any ops on BoolArray"),
+            }
+        }
+        for (index, &value) in flat.iter().enumerate() {
+            let p = index as u32 % parts;
+            let local = BoolArrayObject::op_for(&BoolArrayOp::Get(index as u32), p, parts);
+            assert_eq!(
+                BoolArrayObject::apply(&mut split[p as usize], &local),
+                OpOutcome::Done(u64::from(value)),
+                "index {index}"
+            );
+        }
+        for op in [
+            BoolArrayOp::AllFalse,
+            BoolArrayOp::AllTrue,
+            BoolArrayOp::CountTrue,
+        ] {
+            let flat_reply = BoolArrayObject::apply(&mut flat, &op).unwrap();
+            let replies: Vec<u64> = split
+                .iter_mut()
+                .map(|s| BoolArrayObject::apply(s, &op).unwrap())
+                .collect();
+            assert_eq!(BoolArrayObject::combine(&op, replies), flat_reply, "{op:?}");
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 
+use orca_object::shard::{shard_of_bytes, ShardRoute, ShardableType};
 use orca_object::{ObjectType, OpKind, OpOutcome};
 use orca_wire::{Decoder, Encoder, Wire, WireError, WireResult};
 
@@ -186,6 +187,79 @@ impl ObjectType for JobQueueObject {
     }
 }
 
+/// Partitioning: each partition is an independent sub-queue. Jobs are
+/// hashed (by their encoded bytes) onto a partition, so concurrent `AddJob`s
+/// of different jobs proceed in parallel at different owners; `GetJob` scans
+/// partitions until one yields a job and reports exhaustion only when every
+/// partition is closed and drained. FIFO order holds within a partition but
+/// not across partitions — the replicated worker paradigm never relied on
+/// global FIFO order anyway (workers race for jobs).
+impl ShardableType for JobQueueObject {
+    fn split_state(state: &Self::State, parts: u32) -> Vec<Self::State> {
+        let parts = parts.max(1);
+        let mut split: Vec<JobQueueState> = (0..parts)
+            .map(|_| JobQueueState {
+                closed: state.closed,
+                ..JobQueueState::default()
+            })
+            .collect();
+        for job in &state.jobs {
+            let sub = &mut split[shard_of_bytes(job, parts) as usize];
+            sub.jobs.push_back(job.clone());
+            sub.total_added += 1;
+        }
+        // Preserve the total_added sum even when it exceeds the pending
+        // jobs (already-taken jobs are accounted to partition 0).
+        let distributed: u64 = split.iter().map(|s| s.total_added).sum();
+        split[0].total_added += state.total_added.saturating_sub(distributed);
+        split
+    }
+
+    fn route(op: &Self::Op, parts: u32) -> ShardRoute {
+        match op {
+            JobQueueOp::AddJob(job) => ShardRoute::One(shard_of_bytes(job, parts)),
+            JobQueueOp::AddJobs(_) | JobQueueOp::Close | JobQueueOp::Len => ShardRoute::All,
+            JobQueueOp::GetJob => ShardRoute::Any,
+        }
+    }
+
+    fn op_for(op: &Self::Op, partition: u32, parts: u32) -> Self::Op {
+        match op {
+            JobQueueOp::AddJobs(jobs) => JobQueueOp::AddJobs(
+                jobs.iter()
+                    .filter(|job| shard_of_bytes(job, parts) == partition)
+                    .cloned()
+                    .collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+
+    fn combine(op: &Self::Op, replies: Vec<Self::Reply>) -> Self::Reply {
+        match op {
+            JobQueueOp::AddJobs(_) | JobQueueOp::Close | JobQueueOp::Len => JobQueueReply::Len(
+                replies
+                    .iter()
+                    .map(|reply| match reply {
+                        JobQueueReply::Len(n) => *n,
+                        _ => 0,
+                    })
+                    .sum(),
+            ),
+            _ => replies
+                .into_iter()
+                .next()
+                .unwrap_or(JobQueueReply::NoMoreJobs),
+        }
+    }
+
+    fn accepts(op: &Self::Op, reply: &Self::Reply) -> bool {
+        // A partition that answers NoMoreJobs is merely drained; another
+        // partition may still hold jobs, so the scan continues.
+        !matches!((op, reply), (JobQueueOp::GetJob, JobQueueReply::NoMoreJobs))
+    }
+}
+
 /// Typed job queue over an application-defined job type `J`.
 #[derive(Debug)]
 pub struct JobQueue<J: Wire> {
@@ -349,5 +423,85 @@ mod tests {
     fn classification() {
         assert_eq!(JobQueueObject::kind(&JobQueueOp::GetJob), OpKind::Write);
         assert_eq!(JobQueueObject::kind(&JobQueueOp::Len), OpKind::Read);
+    }
+
+    #[test]
+    fn shard_split_preserves_jobs_and_routes_consistently() {
+        let mut state = JobQueueState::default();
+        for job in 0..20u8 {
+            JobQueueObject::apply(&mut state, &JobQueueOp::AddJob(vec![job]));
+        }
+        // Two jobs already taken: total_added exceeds the pending count.
+        JobQueueObject::apply(&mut state, &JobQueueOp::GetJob);
+        JobQueueObject::apply(&mut state, &JobQueueOp::GetJob);
+        JobQueueObject::apply(&mut state, &JobQueueOp::Close);
+
+        let split = JobQueueObject::split_state(&state, 4);
+        assert_eq!(split.len(), 4);
+        assert_eq!(
+            split.iter().map(|s| s.jobs.len()).sum::<usize>(),
+            state.jobs.len()
+        );
+        assert_eq!(
+            split.iter().map(|s| s.total_added).sum::<u64>(),
+            state.total_added
+        );
+        assert!(split.iter().all(|s| s.closed));
+        // Every pending job sits in the partition AddJob would route it to.
+        for (p, sub) in split.iter().enumerate() {
+            for job in &sub.jobs {
+                assert_eq!(
+                    JobQueueObject::route(&JobQueueOp::AddJob(job.clone()), 4),
+                    ShardRoute::One(p as u32)
+                );
+            }
+        }
+
+        // Single-partition split is the identity.
+        assert_eq!(JobQueueObject::split_state(&state, 1), vec![state]);
+    }
+
+    #[test]
+    fn shard_routes_and_combine() {
+        assert_eq!(
+            JobQueueObject::route(&JobQueueOp::GetJob, 4),
+            ShardRoute::Any
+        );
+        assert_eq!(
+            JobQueueObject::route(&JobQueueOp::Close, 4),
+            ShardRoute::All
+        );
+        assert_eq!(JobQueueObject::route(&JobQueueOp::Len, 4), ShardRoute::All);
+
+        // Batch adds are narrowed to each partition's share.
+        let jobs: Vec<Vec<u8>> = (0..16u8).map(|j| vec![j]).collect();
+        let batch = JobQueueOp::AddJobs(jobs.clone());
+        let mut seen = 0;
+        for p in 0..4 {
+            let JobQueueOp::AddJobs(share) = JobQueueObject::op_for(&batch, p, 4) else {
+                panic!("op_for must stay AddJobs");
+            };
+            seen += share.len();
+        }
+        assert_eq!(seen, jobs.len());
+
+        // Lengths sum across partitions.
+        assert_eq!(
+            JobQueueObject::combine(
+                &JobQueueOp::Len,
+                vec![JobQueueReply::Len(2), JobQueueReply::Len(3)]
+            ),
+            JobQueueReply::Len(5)
+        );
+
+        // A drained partition does not end the GetJob scan; a job does.
+        assert!(!JobQueueObject::accepts(
+            &JobQueueOp::GetJob,
+            &JobQueueReply::NoMoreJobs
+        ));
+        assert!(JobQueueObject::accepts(
+            &JobQueueOp::GetJob,
+            &JobQueueReply::Job(vec![1])
+        ));
     }
 }

@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 
+use orca_object::shard::{shard_of_u64, ShardRoute, ShardableType};
 use orca_object::{ObjectType, OpKind, OpOutcome};
 use orca_wire::{Decoder, Encoder, Wire, WireError, WireResult};
 
@@ -176,6 +177,43 @@ impl ObjectType for KvTableObject {
     }
 }
 
+/// Partitioning: keys are hashed onto partitions, so the partitions hold
+/// disjoint key ranges and `Put`/`Get` are single-partition operations —
+/// writes to different keys proceed in parallel at different owners.
+impl ShardableType for KvTableObject {
+    fn split_state(state: &Self::State, parts: u32) -> Vec<Self::State> {
+        let mut split = vec![Self::State::new(); parts.max(1) as usize];
+        for (&key, &entry) in state {
+            split[shard_of_u64(key, parts) as usize].insert(key, entry);
+        }
+        split
+    }
+
+    fn route(op: &Self::Op, parts: u32) -> ShardRoute {
+        match op {
+            KvTableOp::Put { key, .. } => ShardRoute::One(shard_of_u64(*key, parts)),
+            KvTableOp::Get(key) => ShardRoute::One(shard_of_u64(*key, parts)),
+            KvTableOp::Len | KvTableOp::Clear => ShardRoute::All,
+        }
+    }
+
+    fn combine(op: &Self::Op, replies: Vec<Self::Reply>) -> Self::Reply {
+        match op {
+            KvTableOp::Len => KvTableReply::Count(
+                replies
+                    .iter()
+                    .map(|reply| match reply {
+                        KvTableReply::Count(n) => *n,
+                        _ => 0,
+                    })
+                    .sum(),
+            ),
+            KvTableOp::Clear => KvTableReply::Count(0),
+            _ => replies.into_iter().next().unwrap_or(KvTableReply::Missing),
+        }
+    }
+}
+
 /// Typed convenience wrapper around a [`KvTableObject`] handle.
 #[derive(Debug, Clone, Copy)]
 pub struct KvTable {
@@ -277,6 +315,44 @@ mod tests {
         );
         KvTableObject::apply(&mut state, &KvTableOp::Clear);
         assert!(state.is_empty());
+    }
+
+    #[test]
+    fn shard_split_is_disjoint_and_route_consistent() {
+        let entry = TableEntry::default();
+        let state: BTreeMap<u64, TableEntry> = (0..32u64).map(|k| (k, entry)).collect();
+        let split = KvTableObject::split_state(&state, 4);
+        assert_eq!(split.len(), 4);
+        assert_eq!(split.iter().map(BTreeMap::len).sum::<usize>(), 32);
+        for (p, sub) in split.iter().enumerate() {
+            for &key in sub.keys() {
+                assert_eq!(
+                    KvTableObject::route(&KvTableOp::Get(key), 4),
+                    ShardRoute::One(p as u32)
+                );
+                assert_eq!(
+                    KvTableObject::route(&KvTableOp::Put { key, entry }, 4),
+                    ShardRoute::One(p as u32)
+                );
+            }
+        }
+        assert_eq!(KvTableObject::route(&KvTableOp::Len, 4), ShardRoute::All);
+        assert_eq!(
+            KvTableObject::combine(
+                &KvTableOp::Len,
+                vec![KvTableReply::Count(7), KvTableReply::Count(9)]
+            ),
+            KvTableReply::Count(16)
+        );
+        assert_eq!(
+            KvTableObject::combine(
+                &KvTableOp::Clear,
+                vec![KvTableReply::Count(0), KvTableReply::Count(0)]
+            ),
+            KvTableReply::Count(0)
+        );
+        // Single-partition split is the identity.
+        assert_eq!(KvTableObject::split_state(&state, 1), vec![state]);
     }
 
     #[test]

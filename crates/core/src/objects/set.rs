@@ -6,6 +6,7 @@
 
 use std::collections::BTreeSet;
 
+use orca_object::shard::{shard_of_u64, ShardRoute, ShardableType};
 use orca_object::{ObjectType, OpKind, OpOutcome};
 use orca_wire::{Decoder, Encoder, Wire, WireError, WireResult};
 
@@ -128,6 +129,66 @@ impl ObjectType for SetObject {
     }
 }
 
+/// Partitioning: elements are hashed onto partitions (disjoint sub-sets),
+/// so `Add`/`Contains` are single-partition operations; `Len` and
+/// `Snapshot` gather over all partitions.
+impl ShardableType for SetObject {
+    fn split_state(state: &Self::State, parts: u32) -> Vec<Self::State> {
+        let mut split = vec![Self::State::new(); parts.max(1) as usize];
+        for &value in state {
+            split[shard_of_u64(value, parts) as usize].insert(value);
+        }
+        split
+    }
+
+    fn route(op: &Self::Op, parts: u32) -> ShardRoute {
+        match op {
+            SetOp::Add(v) => ShardRoute::One(shard_of_u64(*v, parts)),
+            SetOp::Contains(v) => ShardRoute::One(shard_of_u64(*v, parts)),
+            SetOp::AddAll(_) | SetOp::Len | SetOp::Snapshot => ShardRoute::All,
+        }
+    }
+
+    fn op_for(op: &Self::Op, partition: u32, parts: u32) -> Self::Op {
+        match op {
+            SetOp::AddAll(values) => SetOp::AddAll(
+                values
+                    .iter()
+                    .filter(|v| shard_of_u64(**v, parts) == partition)
+                    .copied()
+                    .collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+
+    fn combine(op: &Self::Op, replies: Vec<Self::Reply>) -> Self::Reply {
+        match op {
+            SetOp::AddAll(_) | SetOp::Len => SetReply::Count(
+                replies
+                    .iter()
+                    .map(|reply| match reply {
+                        SetReply::Count(n) => *n,
+                        _ => 0,
+                    })
+                    .sum(),
+            ),
+            SetOp::Snapshot => {
+                let mut all: Vec<u64> = replies
+                    .into_iter()
+                    .flat_map(|reply| match reply {
+                        SetReply::Elements(v) => v,
+                        _ => Vec::new(),
+                    })
+                    .collect();
+                all.sort_unstable();
+                SetReply::Elements(all)
+            }
+            _ => replies.into_iter().next().unwrap_or(SetReply::Count(0)),
+        }
+    }
+}
+
 /// Typed convenience wrapper around a [`SetObject`] handle.
 #[derive(Debug, Clone, Copy)]
 pub struct SharedSet {
@@ -224,6 +285,53 @@ mod tests {
         assert_eq!(
             SetObject::apply(&mut state, &SetOp::Snapshot),
             OpOutcome::Done(SetReply::Elements(vec![5, 6, 7]))
+        );
+    }
+
+    #[test]
+    fn shard_split_routes_and_gathers() {
+        let state: BTreeSet<u64> = (0..32).collect();
+        let split = SetObject::split_state(&state, 4);
+        assert_eq!(split.iter().map(BTreeSet::len).sum::<usize>(), 32);
+        for (p, sub) in split.iter().enumerate() {
+            for &value in sub {
+                assert_eq!(
+                    SetObject::route(&SetOp::Add(value), 4),
+                    ShardRoute::One(p as u32)
+                );
+                assert_eq!(
+                    SetObject::route(&SetOp::Contains(value), 4),
+                    ShardRoute::One(p as u32)
+                );
+            }
+        }
+        // AddAll narrows to each partition's share; the shares cover the
+        // batch exactly once.
+        let batch: Vec<u64> = (100..120).collect();
+        let mut covered = Vec::new();
+        for p in 0..4 {
+            let SetOp::AddAll(share) = SetObject::op_for(&SetOp::AddAll(batch.clone()), p, 4)
+            else {
+                panic!("op_for must stay AddAll");
+            };
+            covered.extend(share);
+        }
+        covered.sort_unstable();
+        assert_eq!(covered, batch);
+        // Snapshot merges sorted; Len sums.
+        assert_eq!(
+            SetObject::combine(
+                &SetOp::Snapshot,
+                vec![
+                    SetReply::Elements(vec![5, 9]),
+                    SetReply::Elements(vec![2, 7])
+                ]
+            ),
+            SetReply::Elements(vec![2, 5, 7, 9])
+        );
+        assert_eq!(
+            SetObject::combine(&SetOp::Len, vec![SetReply::Count(2), SetReply::Count(3)]),
+            SetReply::Count(5)
         );
     }
 

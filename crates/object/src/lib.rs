@@ -20,15 +20,20 @@
 //! * [`ObjectRegistry`] — maps type names to replica factories so that a
 //!   node can instantiate a replica from a network message (type name +
 //!   encoded state).
+//! * [`shard`] — partitioning logic for shardable types: how a state splits
+//!   into partitions, how operations route to them, and how per-partition
+//!   replies combine. Used by the sharded runtime system of `orca-rts`.
 
 pub mod id;
 pub mod registry;
 pub mod replica;
+pub mod shard;
 pub mod testing;
 
 pub use id::{ObjectDescriptor, ObjectId};
 pub use registry::ObjectRegistry;
 pub use replica::{AnyReplica, AppliedOutcome, Replica};
+pub use shard::{ShardAdapter, ShardLogic, ShardRoute, ShardableType};
 
 use orca_wire::Wire;
 

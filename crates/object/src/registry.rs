@@ -10,14 +10,17 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::replica::{AnyReplica, Replica};
+use crate::shard::{ShardAdapter, ShardLogic, ShardableType};
 use crate::{ObjectError, ObjectType};
 
 type Factory = Arc<dyn Fn(&[u8]) -> Result<Box<dyn AnyReplica>, ObjectError> + Send + Sync>;
 
-/// Maps registered type names to replica factories.
+/// Maps registered type names to replica factories and, for shardable
+/// types, their partitioning logic.
 #[derive(Clone, Default)]
 pub struct ObjectRegistry {
     factories: HashMap<&'static str, Factory>,
+    shard_logic: HashMap<&'static str, Arc<dyn ShardLogic>>,
 }
 
 impl std::fmt::Debug for ObjectRegistry {
@@ -45,9 +48,25 @@ impl ObjectRegistry {
         self
     }
 
+    /// Register a shardable object type: the replica factory plus the
+    /// partitioning logic the sharded runtime system needs. Types registered
+    /// with plain [`ObjectRegistry::register`] fall back to primary-copy
+    /// semantics under the sharded runtime system.
+    pub fn register_sharded<T: ShardableType>(&mut self) -> &mut Self {
+        self.register::<T>();
+        self.shard_logic
+            .insert(T::TYPE_NAME, ShardAdapter::<T>::shared());
+        self
+    }
+
     /// True if `type_name` has been registered.
     pub fn contains(&self, type_name: &str) -> bool {
         self.factories.contains_key(type_name)
+    }
+
+    /// Partitioning logic of `type_name`, if it was registered as shardable.
+    pub fn shard_logic(&self, type_name: &str) -> Option<Arc<dyn ShardLogic>> {
+        self.shard_logic.get(type_name).cloned()
     }
 
     /// Names of all registered types (unordered).
@@ -122,5 +141,25 @@ mod tests {
         let mut registry = ObjectRegistry::new();
         registry.register::<Accumulator>().register::<Accumulator>();
         assert_eq!(registry.type_names().len(), 1);
+    }
+
+    #[test]
+    fn sharded_registration_exposes_logic() {
+        use crate::testing::{Bank, BankOp};
+        use crate::ShardRoute;
+        use orca_wire::Wire;
+        let mut registry = ObjectRegistry::new();
+        registry
+            .register::<Accumulator>()
+            .register_sharded::<Bank>();
+        assert!(registry.shard_logic(Accumulator::TYPE_NAME).is_none());
+        let logic = registry.shard_logic(Bank::TYPE_NAME).expect("bank shards");
+        assert_eq!(
+            logic.route(&BankOp::Sum.to_bytes(), 4).unwrap(),
+            ShardRoute::All
+        );
+        // The factory is registered too.
+        let state = <Bank as crate::ObjectType>::State::new().to_bytes();
+        assert!(registry.instantiate(Bank::TYPE_NAME, &state).is_ok());
     }
 }

@@ -256,3 +256,152 @@ mod tests {
         }
     }
 }
+
+/// A shardable bank of keyed counters, used to exercise partitioning logic
+/// and the sharded runtime system without pulling in the standard object
+/// library of `orca-core` (which sits above this crate).
+///
+/// * `Deposit { key, amount }` adds to one account (write, one partition).
+/// * `Get(key)` reads one account (read, one partition).
+/// * `Sum` totals every account (read, all partitions).
+/// * `Clear` empties the bank (write, all partitions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bank;
+
+/// Operations of [`Bank`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankOp {
+    /// Add `amount` to account `key`, returning the new balance (write).
+    Deposit {
+        /// Account key.
+        key: u64,
+        /// Amount to add.
+        amount: i64,
+    },
+    /// Return the balance of account `key`, 0 if absent (read).
+    Get(u64),
+    /// Return the total over all accounts (read).
+    Sum,
+    /// Remove every account (write); returns 0.
+    Clear,
+}
+
+impl Wire for BankOp {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            BankOp::Deposit { key, amount } => {
+                enc.put_u8(0);
+                key.encode(enc);
+                amount.encode(enc);
+            }
+            BankOp::Get(key) => {
+                enc.put_u8(1);
+                key.encode(enc);
+            }
+            BankOp::Sum => enc.put_u8(2),
+            BankOp::Clear => enc.put_u8(3),
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        match dec.get_u8()? {
+            0 => Ok(BankOp::Deposit {
+                key: Wire::decode(dec)?,
+                amount: Wire::decode(dec)?,
+            }),
+            1 => Ok(BankOp::Get(Wire::decode(dec)?)),
+            2 => Ok(BankOp::Sum),
+            3 => Ok(BankOp::Clear),
+            tag => Err(WireError::InvalidTag {
+                type_name: "BankOp",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+/// Reply type of [`Bank`] operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankReply {
+    /// A balance or a sum.
+    Value(i64),
+}
+
+impl Wire for BankReply {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            BankReply::Value(v) => {
+                enc.put_u8(0);
+                v.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        match dec.get_u8()? {
+            0 => Ok(BankReply::Value(Wire::decode(dec)?)),
+            tag => Err(WireError::InvalidTag {
+                type_name: "BankReply",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+impl ObjectType for Bank {
+    type State = std::collections::BTreeMap<u64, i64>;
+    type Op = BankOp;
+    type Reply = BankReply;
+
+    const TYPE_NAME: &'static str = "test.Bank";
+
+    fn kind(op: &Self::Op) -> OpKind {
+        match op {
+            BankOp::Deposit { .. } | BankOp::Clear => OpKind::Write,
+            BankOp::Get(_) | BankOp::Sum => OpKind::Read,
+        }
+    }
+
+    fn apply(state: &mut Self::State, op: &Self::Op) -> OpOutcome<Self::Reply> {
+        match op {
+            BankOp::Deposit { key, amount } => {
+                let balance = state.entry(*key).or_insert(0);
+                *balance += amount;
+                OpOutcome::Done(BankReply::Value(*balance))
+            }
+            BankOp::Get(key) => {
+                OpOutcome::Done(BankReply::Value(state.get(key).copied().unwrap_or(0)))
+            }
+            BankOp::Sum => OpOutcome::Done(BankReply::Value(state.values().sum())),
+            BankOp::Clear => {
+                state.clear();
+                OpOutcome::Done(BankReply::Value(0))
+            }
+        }
+    }
+}
+
+impl crate::shard::ShardableType for Bank {
+    fn split_state(state: &Self::State, parts: u32) -> Vec<Self::State> {
+        let mut split = vec![Self::State::new(); parts.max(1) as usize];
+        for (&key, &balance) in state {
+            split[crate::shard::shard_of_u64(key, parts) as usize].insert(key, balance);
+        }
+        split
+    }
+
+    fn route(op: &Self::Op, parts: u32) -> crate::shard::ShardRoute {
+        use crate::shard::{shard_of_u64, ShardRoute};
+        match op {
+            BankOp::Deposit { key, .. } => ShardRoute::One(shard_of_u64(*key, parts)),
+            BankOp::Get(key) => ShardRoute::One(shard_of_u64(*key, parts)),
+            BankOp::Sum | BankOp::Clear => ShardRoute::All,
+        }
+    }
+
+    fn combine(op: &Self::Op, replies: Vec<Self::Reply>) -> Self::Reply {
+        match op {
+            BankOp::Sum => BankReply::Value(replies.iter().map(|BankReply::Value(v)| v).sum()),
+            // Deposit/Get are single-partition; Clear replies 0 everywhere.
+            _ => replies.into_iter().next().unwrap_or(BankReply::Value(0)),
+        }
+    }
+}

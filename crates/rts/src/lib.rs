@@ -2,7 +2,7 @@
 //!
 //! The runtime system (RTS) is the piece of system software that makes
 //! replicated shared data-objects look like they live in one big shared
-//! memory (§3.2 of the paper). Two very different runtime systems are
+//! memory (§3.2 of the paper). Three very different runtime systems are
 //! implemented here behind one common interface:
 //!
 //! * [`BroadcastRts`] — used when the network supports (hardware)
@@ -19,16 +19,41 @@
 //!   ([`WritePolicy`]). Secondary copies are created and discarded
 //!   dynamically, driven by each node's read/write ratio for the object
 //!   ([`ReplicationPolicy`]).
+//! * [`ShardedRts`] — scales *writes*. Shardable objects are split into `N`
+//!   partitions hashed across nodes, each partition owned by one node;
+//!   operations are shipped point-to-point to the partition owner, so
+//!   writes to different partitions of the same object proceed in parallel
+//!   on different nodes. Hot partitions can migrate between owners. Types
+//!   without partitioning logic transparently fall back to primary-copy
+//!   semantics.
 //!
-//! Both implement [`RuntimeSystem`], which is what the Orca layer
+//! The three trade consistency machinery against communication very
+//! differently:
+//!
+//! | RTS | Replication | Write path | Consistency |
+//! |-----|-------------|-----------|-------------|
+//! | broadcast | full (every node) | totally-ordered broadcast, applied everywhere | sequential, object-wide |
+//! | primary copy (invalidate / update) | primary + dynamic secondaries | RPC to primary, then invalidate or 2-phase update of secondaries | sequential, object-wide |
+//! | sharded | partitioned, one owner per partition | point-to-point RPC to the partition owner | sequential *per partition* |
+//!
+//! Of the standard object library, the job queue, key-value table, set and
+//! boolean array shard; the integer, boolean flag and barrier do not (they
+//! are single atomic values) and run under the sharded RTS with
+//! primary-copy fallback semantics. With one partition the sharded RTS is
+//! observationally identical to the primary-copy RTS — the cross-RTS
+//! conformance suite (`tests/conformance.rs`) checks all of this.
+//!
+//! All three implement [`RuntimeSystem`], which is what the Orca layer
 //! (`orca-core`) programs against.
 
 pub mod broadcast_rts;
 pub mod primary;
+pub mod sharded;
 pub mod stats;
 
 pub use broadcast_rts::BroadcastRts;
 pub use primary::{PrimaryCopyRts, ReplicationPolicy, WritePolicy};
+pub use sharded::{ShardPlacement, ShardPolicy, ShardedRts};
 pub use stats::{AccessStats, RtsStats, RtsStatsSnapshot};
 
 use orca_amoeba::NodeId;
@@ -77,6 +102,8 @@ pub enum RtsKind {
     PrimaryInvalidate,
     /// Primary copy with two-phase updates of secondaries on writes.
     PrimaryUpdate,
+    /// Partitioned objects with owner-shipped operations.
+    Sharded,
 }
 
 impl RtsKind {
@@ -86,6 +113,7 @@ impl RtsKind {
             RtsKind::Broadcast => "broadcast",
             RtsKind::PrimaryInvalidate => "invalidate",
             RtsKind::PrimaryUpdate => "update",
+            RtsKind::Sharded => "sharded",
         }
     }
 }
@@ -138,6 +166,7 @@ mod tests {
         assert_eq!(RtsKind::Broadcast.name(), "broadcast");
         assert_eq!(RtsKind::PrimaryInvalidate.name(), "invalidate");
         assert_eq!(RtsKind::PrimaryUpdate.name(), "update");
+        assert_eq!(RtsKind::Sharded.name(), "sharded");
     }
 
     #[test]

@@ -34,7 +34,7 @@ use std::time::Duration;
 
 use orca_amoeba::network::NetworkHandle;
 use orca_amoeba::node::ports;
-use orca_amoeba::rpc::{rpc_call, RpcServer};
+use orca_amoeba::rpc::{rpc_call_timeout, RpcError, RpcServer};
 use orca_amoeba::NodeId;
 use orca_object::{AnyReplica, AppliedOutcome, ObjectError, ObjectId, ObjectRegistry, OpKind};
 use orca_wire::Wire;
@@ -94,6 +94,10 @@ impl ReplicationPolicy {
 /// false at the primary.
 const BLOCKED_RETRY_DELAY: Duration = Duration::from_millis(20);
 
+/// Default per-invocation RPC deadline; see
+/// [`PrimaryCopyRts::set_op_timeout`].
+const DEFAULT_OP_TIMEOUT: Duration = Duration::from_secs(10);
+
 /// Primary-side record of one object.
 struct PrimaryObject {
     /// The authoritative replica. The mutex doubles as the object lock held
@@ -130,7 +134,15 @@ struct Inner {
     primaries: RwLock<HashMap<ObjectId, Arc<PrimaryObject>>>,
     secondaries: RwLock<HashMap<ObjectId, Arc<SecondaryObject>>>,
     next_object: AtomicU64,
+    /// Per-invocation RPC deadline in milliseconds.
+    op_timeout_ms: AtomicU64,
     stats: Arc<RtsStats>,
+}
+
+impl Inner {
+    fn op_timeout(&self) -> Duration {
+        Duration::from_millis(self.op_timeout_ms.load(Ordering::Relaxed))
+    }
 }
 
 /// Handle to one node's primary-copy runtime system. Cheap to clone.
@@ -167,6 +179,7 @@ impl PrimaryCopyRts {
             primaries: RwLock::new(HashMap::new()),
             secondaries: RwLock::new(HashMap::new()),
             next_object: AtomicU64::new(1),
+            op_timeout_ms: AtomicU64::new(DEFAULT_OP_TIMEOUT.as_millis() as u64),
             stats: RtsStats::new_shared(),
         });
         let service_inner = Arc::clone(&inner);
@@ -187,6 +200,18 @@ impl PrimaryCopyRts {
         }
     }
 
+    /// Set the per-invocation deadline of operations shipped to other
+    /// nodes. An RPC whose reply does not arrive within this duration (for
+    /// example because the primary crashed and the reply was dropped)
+    /// surfaces [`RtsError::Timeout`] instead of blocking the invoking
+    /// process forever. Guard retries (a `Blocked` reply *is* a reply)
+    /// restart the deadline.
+    pub fn set_op_timeout(&self, timeout: Duration) {
+        self.inner
+            .op_timeout_ms
+            .store(timeout.as_millis() as u64, Ordering::Relaxed);
+    }
+
     /// True if this node currently holds a valid secondary copy of `object`.
     pub fn has_local_copy(&self, object: ObjectId) -> bool {
         if self.primary_node(object) == self.inner.node {
@@ -204,8 +229,17 @@ impl PrimaryCopyRts {
     }
 
     fn rpc(&self, dst: NodeId, msg: &PrimaryMsg) -> Result<PrimaryReply, RtsError> {
-        let reply = rpc_call(&self.inner.handle, dst, ports::RTS_PRIMARY, msg.to_bytes())
-            .map_err(|err| RtsError::Communication(err.to_string()))?;
+        let reply = rpc_call_timeout(
+            &self.inner.handle,
+            dst,
+            ports::RTS_PRIMARY,
+            msg.to_bytes(),
+            self.inner.op_timeout(),
+        )
+        .map_err(|err| match err {
+            RpcError::Timeout => RtsError::Timeout,
+            other => RtsError::Communication(other.to_string()),
+        })?;
         PrimaryReply::from_bytes(&reply)
             .map_err(|err| RtsError::Communication(format!("bad reply: {err}")))
     }
@@ -543,8 +577,17 @@ fn send_to_secondary(
     dst: NodeId,
     msg: &PrimaryMsg,
 ) -> Result<PrimaryReply, RtsError> {
-    let reply = rpc_call(&inner.handle, dst, ports::RTS_PRIMARY, msg.to_bytes())
-        .map_err(|err| RtsError::Communication(err.to_string()))?;
+    let reply = rpc_call_timeout(
+        &inner.handle,
+        dst,
+        ports::RTS_PRIMARY,
+        msg.to_bytes(),
+        inner.op_timeout(),
+    )
+    .map_err(|err| match err {
+        RpcError::Timeout => RtsError::Timeout,
+        other => RtsError::Communication(other.to_string()),
+    })?;
     PrimaryReply::from_bytes(&reply).map_err(|err| RtsError::Communication(err.to_string()))
 }
 
@@ -808,6 +851,99 @@ mod tests {
             handle.join().unwrap();
         }
         assert_eq!(read(&rtses[3], id), 100);
+        for rts in &rtses {
+            rts.shutdown();
+        }
+    }
+
+    #[test]
+    fn replication_policy_fetches_then_drops_copy_across_both_transitions() {
+        let net = Network::reliable(2);
+        let replication = ReplicationPolicy {
+            fetch_ratio: 2.0,
+            drop_ratio: 0.5,
+            window: 8,
+            enabled: true,
+        };
+        let rtses = start_all(&net, WritePolicy::Update, replication);
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+            .unwrap();
+
+        // Transition 1: a read-heavy window pushes the read/write ratio
+        // over fetch_ratio and a secondary copy is created.
+        for _ in 0..8 {
+            read(&rtses[1], id);
+        }
+        assert!(rtses[1].has_local_copy(id), "read-heavy window must fetch");
+        assert_eq!(rtses[1].stats().copies_fetched, 1);
+        assert_eq!(rtses[1].stats().copies_dropped, 0);
+
+        // Transition 2: a write-heavy window drags the ratio under
+        // drop_ratio and the copy is discarded again.
+        for n in 0..8 {
+            add(&rtses[1], id, n);
+        }
+        assert!(
+            !rtses[1].has_local_copy(id),
+            "write-heavy window must drop the copy"
+        );
+        assert_eq!(rtses[1].stats().copies_dropped, 1);
+
+        // And the cycle restarts: reads re-fetch.
+        for _ in 0..8 {
+            read(&rtses[1], id);
+        }
+        assert!(rtses[1].has_local_copy(id));
+        assert_eq!(rtses[1].stats().copies_fetched, 2);
+        for rts in &rtses {
+            rts.shutdown();
+        }
+    }
+
+    #[test]
+    fn dropped_reply_from_crashed_primary_surfaces_timeout() {
+        let net = Network::reliable(2);
+        let rtses = start_all(
+            &net,
+            WritePolicy::Update,
+            ReplicationPolicy::never_replicate(),
+        );
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+            .unwrap();
+        assert_eq!(add(&rtses[1], id, 3), 3);
+
+        // The primary crashes; its replies are dropped. The write must
+        // surface Timeout within the configured deadline, not hang.
+        net.crash(NodeId(0));
+        rtses[1].set_op_timeout(Duration::from_millis(150));
+        let started = std::time::Instant::now();
+        let err = rtses[1]
+            .invoke(
+                id,
+                Accumulator::TYPE_NAME,
+                OpKind::Write,
+                &AccumulatorOp::Add(1).to_bytes(),
+            )
+            .unwrap_err();
+        assert_eq!(err, RtsError::Timeout);
+        assert!(started.elapsed() < Duration::from_secs(5));
+
+        // Remote reads hit the same deadline.
+        let err = rtses[1]
+            .invoke(
+                id,
+                Accumulator::TYPE_NAME,
+                OpKind::Read,
+                &AccumulatorOp::Read.to_bytes(),
+            )
+            .unwrap_err();
+        assert_eq!(err, RtsError::Timeout);
+
+        // After recovery the system keeps working.
+        net.recover(NodeId(0));
+        assert_eq!(add(&rtses[1], id, 4), 7);
         for rts in &rtses {
             rts.shutdown();
         }

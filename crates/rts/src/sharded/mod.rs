@@ -1,0 +1,1287 @@
+//! The sharded runtime system: partitioned shared objects with
+//! owner-shipped operations.
+//!
+//! Both runtime systems of the paper serialize every write to an object
+//! through one global ordering point — the sequencer for the broadcast RTS,
+//! the primary copy for the point-to-point RTS — which caps write throughput
+//! no matter how many processors participate. This third runtime system
+//! splits each *shardable* object (job queue, key-value table, set, boolean
+//! array) into `N` partitions, each owned by exactly one node:
+//!
+//! * **Routing.** Operations are classified by the type's partitioning
+//!   logic ([`orca_object::shard`]): key-addressed operations go
+//!   point-to-point to the one partition owner responsible for the key;
+//!   whole-object operations fan out to every partition and the replies are
+//!   combined; dequeue-style blocking operations scan partitions until one
+//!   accepts. The object's *home node* (its creator) holds the
+//!   authoritative [`ShardRouteTable`]; every node caches it read-through
+//!   (type name and partition count are immutable, owner assignments are
+//!   invalidated by `StaleRoute` replies).
+//! * **Consistency.** Each partition is sequentially consistent — its
+//!   owner's replica mutex serializes all operations on it — but no order is
+//!   enforced *across* partitions of one object: two writes to different
+//!   partitions proceed in parallel on different nodes. This per-partition
+//!   sequential consistency is exactly what makes write throughput scale
+//!   with the partition count; with `N = 1` it degenerates to the
+//!   primary-copy system's semantics (the conformance suite checks this).
+//! * **Fallback.** Non-shardable types (integer, boolean, barrier) get a
+//!   single "partition" at their home node and behave like primary-copy
+//!   objects without secondary copies, so the full object-type surface
+//!   keeps working.
+//! * **Migration.** Owners track per-partition [`AccessStats`]; a hot
+//!   partition can be handed to another owner ([`ShardedRts::migrate`],
+//!   [`ShardedRts::rebalance`]) — the home node coordinates the hand-off,
+//!   bumps the table version, and stale caches recover via
+//!   `StaleRoute`-triggered re-fetches.
+//! * **Deadlines.** Every owner-shipped RPC carries a per-invocation
+//!   deadline ([`ShardPolicy::op_timeout`]); a dropped reply (crashed or
+//!   partitioned owner) surfaces [`RtsError::Timeout`] instead of hanging
+//!   the invoking process.
+
+pub(crate) mod messages;
+mod routing;
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use orca_amoeba::network::NetworkHandle;
+use orca_amoeba::node::ports;
+use orca_amoeba::rpc::{rpc_call_timeout, RpcError, RpcServer};
+use orca_amoeba::NodeId;
+use orca_object::shard::mix64;
+use orca_object::{AnyReplica, AppliedOutcome, ObjectError, ObjectId, ObjectRegistry, OpKind};
+use orca_object::{ShardLogic, ShardRoute};
+use orca_wire::Wire;
+use parking_lot::{Mutex, RwLock};
+
+use crate::stats::{AccessStats, RtsStats, RtsStatsSnapshot};
+use crate::{RtsError, RtsKind, RuntimeSystem};
+use messages::{part, part_object, ShardMsg, ShardPartId, ShardReply, ShardRouteTable};
+use routing::RouteCache;
+
+/// How partitions of a new object are placed on nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPlacement {
+    /// Deterministic hashed spread: partition `p` of an object lands on
+    /// node `(mix64(id) + p) mod nodes`, so consecutive partitions of one
+    /// object go to distinct nodes and different objects start at different
+    /// offsets. Deterministic given the object id — every node computes the
+    /// same placement without coordination.
+    Spread,
+    /// All partitions start on the creating (home) node; migration is then
+    /// the only way load spreads. Useful for experiments and for testing
+    /// the rebalancer.
+    Home,
+}
+
+/// Configuration of the sharded runtime system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardPolicy {
+    /// Number of partitions per shardable object (non-shardable objects
+    /// always get one).
+    pub partitions: u32,
+    /// Initial partition placement.
+    pub placement: ShardPlacement,
+    /// Per-invocation deadline for owner-shipped operations: an RPC whose
+    /// reply does not arrive within this duration surfaces
+    /// [`RtsError::Timeout`]. Guard retries (a `Blocked` reply *is* a
+    /// reply) restart the deadline.
+    pub op_timeout: Duration,
+    /// Minimum recorded accesses before [`ShardedRts::rebalance`] considers
+    /// a partition hot.
+    pub rebalance_threshold: u64,
+}
+
+impl Default for ShardPolicy {
+    fn default() -> Self {
+        ShardPolicy {
+            partitions: 4,
+            placement: ShardPlacement::Spread,
+            op_timeout: Duration::from_secs(10),
+            rebalance_threshold: 64,
+        }
+    }
+}
+
+impl ShardPolicy {
+    /// Policy with `partitions` partitions and defaults otherwise.
+    pub fn with_partitions(partitions: u32) -> Self {
+        ShardPolicy {
+            partitions: partitions.max(1),
+            ..ShardPolicy::default()
+        }
+    }
+}
+
+/// How long a caller sleeps before retrying an operation whose guard was
+/// false at the owner.
+const BLOCKED_RETRY_DELAY: Duration = Duration::from_millis(20);
+
+/// How long a caller sleeps before re-fetching a route that turned out
+/// stale (a migration is in flight).
+const STALE_RETRY_DELAY: Duration = Duration::from_millis(5);
+
+/// Size of the per-node RPC worker pool. Owner-shipped operations are
+/// short and never block a worker (guard failures answer `Blocked`
+/// immediately), so the pool mainly sizes how many co-located partitions
+/// serve in parallel; migration coordination (`Migrate`/`HandOff`) holds a
+/// worker across a nested RPC, and the pool leaves headroom for that.
+const SERVICE_POOL_WORKERS: usize = 4;
+
+/// One partition replica held by its owner node.
+struct PartitionSlot {
+    replica: Mutex<Box<dyn AnyReplica>>,
+    /// Set (under the replica mutex) when a hand-off has serialized this
+    /// replica's state for transfer. An operation may have cloned the slot
+    /// `Arc` out of `owned` before the hand-off removed it; without this
+    /// flag such an operation would apply to the orphaned replica *after*
+    /// the state snapshot, be acknowledged `Done`, and silently miss the
+    /// new owner — a lost write. Readers check it after acquiring the
+    /// replica mutex and answer `StaleRoute` instead.
+    withdrawn: AtomicBool,
+    access: AccessStats,
+}
+
+impl PartitionSlot {
+    fn new(replica: Box<dyn AnyReplica>) -> Arc<Self> {
+        Arc::new(PartitionSlot {
+            replica: Mutex::new(replica),
+            withdrawn: AtomicBool::new(false),
+            access: AccessStats::default(),
+        })
+    }
+}
+
+/// Outcome of one attempt to execute an operation on one partition.
+enum PartOutcome {
+    Done(Vec<u8>),
+    Blocked,
+    Stale,
+}
+
+/// Home-node record of one object this node created.
+struct HomeObject {
+    /// The authoritative routing table. Held only for reads and short
+    /// updates — never across an RPC, so `Route` requests cannot pile up
+    /// on a worker that is mid-migration.
+    table: Mutex<ShardRouteTable>,
+    /// Serializes migrations of this object. Held across the hand-off RPC
+    /// (occupying one pool worker), which is why it is separate from
+    /// `table`.
+    migration: Mutex<()>,
+}
+
+struct Inner {
+    node: NodeId,
+    num_nodes: usize,
+    handle: NetworkHandle,
+    registry: ObjectRegistry,
+    policy: ShardPolicy,
+    /// Partitions this node currently owns.
+    owned: RwLock<HashMap<(ObjectId, u32), Arc<PartitionSlot>>>,
+    /// Authoritative routing tables of objects this node created.
+    homes: RwLock<HashMap<ObjectId, Arc<HomeObject>>>,
+    /// Read-through cache of other objects' routing tables.
+    routes: RouteCache,
+    next_object: AtomicU64,
+    /// Rotates the scan start of `Any`-routed operations so concurrent
+    /// consumers do not all hammer partition 0.
+    any_seq: AtomicU64,
+    stats: Arc<RtsStats>,
+}
+
+/// Handle to one node's sharded runtime system. Cheap to clone.
+#[derive(Clone)]
+pub struct ShardedRts {
+    inner: Arc<Inner>,
+    server: Arc<Mutex<Option<RpcServer>>>,
+}
+
+impl std::fmt::Debug for ShardedRts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedRts")
+            .field("node", &self.inner.node)
+            .field("partitions", &self.inner.policy.partitions)
+            .finish()
+    }
+}
+
+impl ShardedRts {
+    /// Start the sharded runtime system on the node owning `handle`.
+    pub fn start(handle: NetworkHandle, registry: ObjectRegistry, policy: ShardPolicy) -> Self {
+        let inner = Arc::new(Inner {
+            node: handle.node(),
+            num_nodes: handle.num_nodes(),
+            handle: handle.clone(),
+            registry,
+            policy,
+            owned: RwLock::new(HashMap::new()),
+            homes: RwLock::new(HashMap::new()),
+            routes: RouteCache::default(),
+            next_object: AtomicU64::new(1),
+            any_seq: AtomicU64::new(0),
+            stats: RtsStats::new_shared(),
+        });
+        let service_inner = Arc::clone(&inner);
+        // Pooled (not spawn-per-request) service: owner-shipped operations
+        // arrive at a high rate and thread creation serializes
+        // process-wide, which would cap throughput regardless of how many
+        // partition owners exist.
+        let server = RpcServer::serve_pooled(
+            handle,
+            ports::RTS_SHARD,
+            move |body, caller| serve_request(&service_inner, body, caller),
+            SERVICE_POOL_WORKERS,
+        );
+        ShardedRts {
+            inner,
+            server: Arc::new(Mutex::new(Some(server))),
+        }
+    }
+
+    /// Stop the RPC service of this node. Idempotent.
+    pub fn shutdown(&self) {
+        if let Some(server) = self.server.lock().take() {
+            server.shutdown();
+        }
+    }
+
+    /// Initial owner of partition `partition` of `object`.
+    fn place(&self, object: ObjectId, partition: u32) -> u16 {
+        match self.inner.policy.placement {
+            ShardPlacement::Spread => {
+                ((mix64(object.0) + u64::from(partition)) % self.inner.num_nodes as u64) as u16
+            }
+            ShardPlacement::Home => object.creator_index(),
+        }
+    }
+
+    /// Partition indices of `object` this node currently owns.
+    pub fn owned_partitions(&self, object: ObjectId) -> Vec<u32> {
+        let mut partitions: Vec<u32> = self
+            .inner
+            .owned
+            .read()
+            .keys()
+            .filter(|(obj, _)| *obj == object)
+            .map(|(_, p)| *p)
+            .collect();
+        partitions.sort_unstable();
+        partitions
+    }
+
+    /// Access totals of the partitions of `object` this node owns, as
+    /// `(partition, recorded operations)` pairs sorted by partition.
+    pub fn partition_access(&self, object: ObjectId) -> Vec<(u32, u64)> {
+        let mut totals: Vec<(u32, u64)> = self
+            .inner
+            .owned
+            .read()
+            .iter()
+            .filter(|((obj, _), _)| *obj == object)
+            .map(|((_, p), slot)| (*p, slot.access.total()))
+            .collect();
+        totals.sort_unstable();
+        totals
+    }
+
+    /// Current owner of every partition of `object`, freshly fetched from
+    /// the home node (bypassing this node's cache).
+    pub fn route_owners(&self, object: ObjectId) -> Result<Vec<NodeId>, RtsError> {
+        self.inner.routes.invalidate(object);
+        let deadline = Instant::now() + self.inner.policy.op_timeout;
+        let table = self.route_for(object, deadline)?;
+        Ok(table.owners.iter().map(|&o| NodeId(o)).collect())
+    }
+
+    /// Move one partition of `object` to node `dst`. The object's home node
+    /// coordinates the hand-off; callers on any node may request it.
+    pub fn migrate(&self, object: ObjectId, partition: u32, dst: NodeId) -> Result<(), RtsError> {
+        let msg = ShardMsg::Migrate {
+            shard: part(object, partition),
+            dst: dst.0,
+        };
+        let home = NodeId(object.creator_index());
+        let reply = if home == self.inner.node {
+            dispatch(&self.inner, msg, self.inner.node)
+        } else {
+            let deadline = Instant::now() + self.inner.policy.op_timeout;
+            self.rpc(home, &msg, deadline)?
+        };
+        match reply {
+            ShardReply::Ack => Ok(()),
+            ShardReply::Error(msg) => Err(RtsError::Communication(msg)),
+            other => Err(RtsError::Communication(format!(
+                "unexpected Migrate reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Rebalance `object` from this node's point of view: if its hottest
+    /// locally-owned partition has seen at least
+    /// [`ShardPolicy::rebalance_threshold`] operations and some node owns
+    /// at least two partitions fewer than this node, migrate the hot
+    /// partition there. Returns the move that was made, if any.
+    pub fn rebalance(&self, object: ObjectId) -> Result<Option<(u32, NodeId)>, RtsError> {
+        let hot = self
+            .partition_access(object)
+            .into_iter()
+            .max_by_key(|(_, total)| *total);
+        let Some((partition, total)) = hot else {
+            return Ok(None);
+        };
+        if total < self.inner.policy.rebalance_threshold {
+            return Ok(None);
+        }
+        let owners = self.route_owners(object)?;
+        let mut counts = vec![0usize; self.inner.num_nodes];
+        for owner in &owners {
+            counts[owner.index()] += 1;
+        }
+        let mine = counts[self.inner.node.index()];
+        let (best, best_count) = counts
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by_key(|(_, count)| *count)
+            .expect("at least one node");
+        if best_count + 1 >= mine {
+            return Ok(None);
+        }
+        let dst = NodeId::from(best);
+        self.migrate(object, partition, dst)?;
+        Ok(Some((partition, dst)))
+    }
+
+    /// Routing table for `object`, from the cache or read through from the
+    /// home node.
+    fn route_for(
+        &self,
+        object: ObjectId,
+        deadline: Instant,
+    ) -> Result<Arc<ShardRouteTable>, RtsError> {
+        if let Some(table) = self.inner.routes.get(object) {
+            return Ok(table);
+        }
+        let home = NodeId(object.creator_index());
+        let table = if home == self.inner.node {
+            let entry = self.inner.homes.read().get(&object).cloned();
+            entry
+                .ok_or(RtsError::Object(ObjectError::NoSuchObject(object)))?
+                .table
+                .lock()
+                .clone()
+        } else {
+            match self.rpc(home, &ShardMsg::Route { object: object.0 }, deadline)? {
+                ShardReply::Route(table) => table,
+                ShardReply::Error(msg) => return Err(RtsError::Communication(msg)),
+                other => {
+                    return Err(RtsError::Communication(format!(
+                        "unexpected Route reply {other:?}"
+                    )))
+                }
+            }
+        };
+        let table = Arc::new(table);
+        self.inner.routes.insert(object, Arc::clone(&table));
+        Ok(table)
+    }
+
+    /// Send a shard request to `dst`, bounded by `deadline`.
+    fn rpc(&self, dst: NodeId, msg: &ShardMsg, deadline: Instant) -> Result<ShardReply, RtsError> {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(RtsError::Timeout);
+        }
+        let reply = rpc_call_timeout(
+            &self.inner.handle,
+            dst,
+            ports::RTS_SHARD,
+            msg.to_bytes(),
+            remaining,
+        )
+        .map_err(|err| match err {
+            RpcError::Timeout => RtsError::Timeout,
+            other => RtsError::Communication(other.to_string()),
+        })?;
+        ShardReply::from_bytes(&reply)
+            .map_err(|err| RtsError::Communication(format!("bad reply: {err}")))
+    }
+
+    /// Execute an encoded operation on one partition (locally if this node
+    /// owns it, otherwise shipped to the owner).
+    fn partition_op(
+        &self,
+        table: &ShardRouteTable,
+        partition: u32,
+        op: &[u8],
+        kind: OpKind,
+        deadline: Instant,
+    ) -> Result<PartOutcome, RtsError> {
+        let owner = NodeId(table.owners[partition as usize]);
+        let object = ObjectId(table.object);
+        if owner == self.inner.node {
+            let slot = self.inner.owned.read().get(&(object, partition)).cloned();
+            let Some(slot) = slot else {
+                // We believed we own this partition but it has migrated
+                // away; the caller re-fetches the route.
+                return Ok(PartOutcome::Stale);
+            };
+            let mut replica = slot.replica.lock();
+            if slot.withdrawn.load(Ordering::Relaxed) {
+                // A hand-off serialized this replica's state while we were
+                // waiting for the lock; applying now would lose the write.
+                return Ok(PartOutcome::Stale);
+            }
+            match kind {
+                OpKind::Read => slot.access.record_read(),
+                OpKind::Write => slot.access.record_write(),
+            }
+            match replica.apply_encoded(op)? {
+                AppliedOutcome::Done(reply) => Ok(PartOutcome::Done(reply)),
+                AppliedOutcome::Blocked => Ok(PartOutcome::Blocked),
+            }
+        } else {
+            let msg = ShardMsg::Op {
+                shard: part(object, partition),
+                op: op.to_vec(),
+            };
+            match self.rpc(owner, &msg, deadline)? {
+                ShardReply::Done(reply) => Ok(PartOutcome::Done(reply)),
+                ShardReply::Blocked => Ok(PartOutcome::Blocked),
+                ShardReply::StaleRoute => Ok(PartOutcome::Stale),
+                ShardReply::Error(msg) => Err(RtsError::Communication(msg)),
+                other => Err(RtsError::Communication(format!(
+                    "unexpected Op reply {other:?}"
+                ))),
+            }
+        }
+    }
+
+    /// Run an `All`-routed operation: every partition executes its share,
+    /// the replies are combined in partition order.
+    ///
+    /// `progress` records each partition's reply across retries of the same
+    /// invocation: a partition whose share already executed is *not*
+    /// re-sent when a later partition answers `Blocked` or `StaleRoute`
+    /// (migrations move state, they never undo applied operations).
+    /// Without this, a mid-scan route refresh would re-apply
+    /// non-idempotent shares — e.g. duplicate the jobs of an
+    /// `AddJobs` batch on the partitions that had already taken them.
+    fn all_partitions_op(
+        &self,
+        table: &ShardRouteTable,
+        logic: &dyn ShardLogic,
+        op: &[u8],
+        kind: OpKind,
+        deadline: Instant,
+        progress: &mut Vec<Option<Vec<u8>>>,
+    ) -> Result<PartOutcome, RtsError> {
+        let parts = table.partitions();
+        progress.resize(parts as usize, None);
+        for partition in 0..parts {
+            if progress[partition as usize].is_some() {
+                continue;
+            }
+            let part_op = logic.op_for(op, partition, parts)?;
+            match self.partition_op(table, partition, &part_op, kind, deadline)? {
+                PartOutcome::Done(reply) => progress[partition as usize] = Some(reply),
+                PartOutcome::Blocked => return Ok(PartOutcome::Blocked),
+                PartOutcome::Stale => return Ok(PartOutcome::Stale),
+            }
+        }
+        let replies = progress.iter().flatten().cloned().collect();
+        Ok(PartOutcome::Done(logic.combine(op, replies)?))
+    }
+
+    /// Run an `Any`-routed operation: scan partitions (starting at a
+    /// rotating offset) until one accepts. Blocks only if no partition
+    /// accepted and at least one partition's guard was false.
+    fn any_partition_op(
+        &self,
+        table: &ShardRouteTable,
+        logic: &dyn ShardLogic,
+        op: &[u8],
+        kind: OpKind,
+        deadline: Instant,
+    ) -> Result<PartOutcome, RtsError> {
+        let parts = table.partitions();
+        let start = (self.inner.node.index() as u64
+            + self.inner.any_seq.fetch_add(1, Ordering::Relaxed))
+            % u64::from(parts);
+        let mut last_pass = None;
+        let mut any_blocked = false;
+        for step in 0..parts {
+            let partition = ((start + u64::from(step)) % u64::from(parts)) as u32;
+            let part_op = logic.op_for(op, partition, parts)?;
+            match self.partition_op(table, partition, &part_op, kind, deadline)? {
+                PartOutcome::Done(reply) => {
+                    if logic.accepts(op, &reply)? {
+                        return Ok(PartOutcome::Done(reply));
+                    }
+                    last_pass = Some(reply);
+                }
+                PartOutcome::Blocked => any_blocked = true,
+                PartOutcome::Stale => return Ok(PartOutcome::Stale),
+            }
+        }
+        if any_blocked {
+            Ok(PartOutcome::Blocked)
+        } else {
+            Ok(PartOutcome::Done(
+                last_pass.expect("scan visited at least one partition"),
+            ))
+        }
+    }
+
+    /// Record invocation-level statistics once the routing decision is
+    /// known: reads that never left this node are local, everything else is
+    /// remote.
+    fn record_invocation(&self, table: &ShardRouteTable, route: &ShardRoute, kind: OpKind) {
+        let stats = &self.inner.stats;
+        let me = self.inner.node.0;
+        let all_local = match route {
+            ShardRoute::One(p) => table.owners[*p as usize] == me,
+            ShardRoute::All | ShardRoute::Any => table.owners.iter().all(|&o| o == me),
+        };
+        match kind {
+            OpKind::Read => {
+                if all_local {
+                    RtsStats::bump(&stats.local_reads);
+                } else {
+                    RtsStats::bump(&stats.remote_reads);
+                }
+            }
+            OpKind::Write => {
+                RtsStats::bump(&stats.writes);
+                if !all_local {
+                    RtsStats::bump(&stats.remote_writes);
+                }
+            }
+        }
+    }
+}
+
+impl RuntimeSystem for ShardedRts {
+    fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.inner.num_nodes
+    }
+
+    fn create_object(&self, type_name: &str, initial_state: &[u8]) -> Result<ObjectId, RtsError> {
+        let counter = self.inner.next_object.fetch_add(1, Ordering::Relaxed);
+        let id = ObjectId::compose(self.inner.node.0, counter);
+        let (sharded, owners, states) = match self.inner.registry.shard_logic(type_name) {
+            Some(logic) => {
+                let parts = self.inner.policy.partitions.max(1);
+                let owners: Vec<u16> = (0..parts).map(|p| self.place(id, p)).collect();
+                let states = logic.split_state(initial_state, parts)?;
+                (true, owners, states)
+            }
+            // Non-shardable fallback: one partition at the home node,
+            // primary-copy semantics without secondary copies.
+            None => (false, vec![self.inner.node.0], vec![initial_state.to_vec()]),
+        };
+        let deadline = Instant::now() + self.inner.policy.op_timeout;
+        for (partition, state) in states.iter().enumerate() {
+            let partition = partition as u32;
+            let owner = NodeId(owners[partition as usize]);
+            if owner == self.inner.node {
+                let replica = self.inner.registry.instantiate(type_name, state)?;
+                self.inner
+                    .owned
+                    .write()
+                    .insert((id, partition), PartitionSlot::new(replica));
+            } else {
+                let msg = ShardMsg::Install {
+                    shard: part(id, partition),
+                    type_name: type_name.to_string(),
+                    state: state.clone(),
+                };
+                match self.rpc(owner, &msg, deadline)? {
+                    ShardReply::Ack => {}
+                    ShardReply::Error(msg) => return Err(RtsError::Communication(msg)),
+                    other => {
+                        return Err(RtsError::Communication(format!(
+                            "unexpected Install reply {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        let table = ShardRouteTable {
+            object: id.0,
+            type_name: type_name.to_string(),
+            sharded,
+            version: 0,
+            owners,
+        };
+        self.inner.homes.write().insert(
+            id,
+            Arc::new(HomeObject {
+                table: Mutex::new(table.clone()),
+                migration: Mutex::new(()),
+            }),
+        );
+        self.inner.routes.insert(id, Arc::new(table));
+        RtsStats::bump(&self.inner.stats.objects_created);
+        Ok(id)
+    }
+
+    fn invoke(
+        &self,
+        object: ObjectId,
+        _type_name: &str,
+        kind: OpKind,
+        op: &[u8],
+    ) -> Result<Vec<u8>, RtsError> {
+        let mut deadline = Instant::now() + self.inner.policy.op_timeout;
+        // Per-partition replies of an All-routed operation, preserved
+        // across Blocked/Stale retries so no partition's share executes
+        // twice (the route is a pure function of the op, so the same
+        // invocation routes identically on every retry).
+        let mut all_progress: Vec<Option<Vec<u8>>> = Vec::new();
+        loop {
+            let table = self.route_for(object, deadline)?;
+            let outcome = if !table.sharded {
+                let route = ShardRoute::One(0);
+                self.record_invocation(&table, &route, kind);
+                self.partition_op(&table, 0, op, kind, deadline)?
+            } else {
+                let logic = self
+                    .inner
+                    .registry
+                    .shard_logic(&table.type_name)
+                    .ok_or_else(|| {
+                        RtsError::Object(ObjectError::UnknownType(table.type_name.clone()))
+                    })?;
+                let route = logic.route(op, table.partitions())?;
+                self.record_invocation(&table, &route, kind);
+                match route {
+                    ShardRoute::One(partition) => {
+                        let part_op = logic.op_for(op, partition, table.partitions())?;
+                        self.partition_op(&table, partition, &part_op, kind, deadline)?
+                    }
+                    ShardRoute::All => self.all_partitions_op(
+                        &table,
+                        logic.as_ref(),
+                        op,
+                        kind,
+                        deadline,
+                        &mut all_progress,
+                    )?,
+                    ShardRoute::Any => {
+                        self.any_partition_op(&table, logic.as_ref(), op, kind, deadline)?
+                    }
+                }
+            };
+            match outcome {
+                PartOutcome::Done(reply) => return Ok(reply),
+                PartOutcome::Blocked => {
+                    // The guard was false: the owner answered, so the
+                    // transport is alive — restart the deadline and retry.
+                    RtsStats::bump(&self.inner.stats.guard_retries);
+                    std::thread::sleep(BLOCKED_RETRY_DELAY);
+                    deadline = Instant::now() + self.inner.policy.op_timeout;
+                }
+                PartOutcome::Stale => {
+                    // A migration is (or was) in flight; re-fetch the route.
+                    // The deadline is *not* restarted: a route that never
+                    // settles surfaces Timeout.
+                    self.inner.routes.invalidate(object);
+                    if Instant::now() >= deadline {
+                        return Err(RtsError::Timeout);
+                    }
+                    std::thread::sleep(STALE_RETRY_DELAY);
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> RtsStatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    fn kind(&self) -> RtsKind {
+        RtsKind::Sharded
+    }
+}
+
+/// RPC dispatch: the service side of the shard protocol, on every node.
+fn serve_request(inner: &Arc<Inner>, body: &[u8], caller: NodeId) -> Vec<u8> {
+    let reply = match ShardMsg::from_bytes(body) {
+        Ok(msg) => dispatch(inner, msg, caller),
+        Err(err) => ShardReply::Error(format!("bad request: {err}")),
+    };
+    reply.to_bytes()
+}
+
+fn dispatch(inner: &Arc<Inner>, msg: ShardMsg, caller: NodeId) -> ShardReply {
+    match msg {
+        ShardMsg::Route { object } => {
+            let entry = inner.homes.read().get(&ObjectId(object)).cloned();
+            match entry {
+                Some(entry) => ShardReply::Route(entry.table.lock().clone()),
+                None => ShardReply::Error(format!("not home of {}", ObjectId(object))),
+            }
+        }
+        ShardMsg::Op { shard, op } => serve_op(inner, &shard, &op, caller),
+        ShardMsg::Install {
+            shard,
+            type_name,
+            state,
+        } => match inner.registry.instantiate(&type_name, &state) {
+            Ok(replica) => {
+                inner.owned.write().insert(
+                    (part_object(&shard), shard.partition),
+                    PartitionSlot::new(replica),
+                );
+                RtsStats::bump(&inner.stats.copies_fetched);
+                ShardReply::Ack
+            }
+            Err(err) => ShardReply::Error(err.to_string()),
+        },
+        ShardMsg::Migrate { shard, dst } => migrate_at_home(inner, &shard, dst),
+        ShardMsg::HandOff { shard, dst } => hand_off(inner, &shard, dst),
+    }
+}
+
+/// Execute an owner-shipped operation on a locally-owned partition.
+fn serve_op(inner: &Arc<Inner>, shard: &ShardPartId, op: &[u8], caller: NodeId) -> ShardReply {
+    let key = (part_object(shard), shard.partition);
+    let slot = inner.owned.read().get(&key).cloned();
+    let Some(slot) = slot else {
+        return ShardReply::StaleRoute;
+    };
+    let mut replica = slot.replica.lock();
+    if slot.withdrawn.load(Ordering::Relaxed) {
+        // A hand-off serialized this replica's state while we were waiting
+        // for the lock; applying now would lose the write.
+        return ShardReply::StaleRoute;
+    }
+    match replica.op_kind(op) {
+        Ok(OpKind::Read) => slot.access.record_read(),
+        Ok(OpKind::Write) => slot.access.record_write(),
+        Err(err) => return ShardReply::Error(err.to_string()),
+    }
+    match replica.apply_encoded(op) {
+        Ok(AppliedOutcome::Done(reply)) => {
+            if caller != inner.node {
+                RtsStats::bump(&inner.stats.updates_applied);
+            }
+            ShardReply::Done(reply)
+        }
+        Ok(AppliedOutcome::Blocked) => ShardReply::Blocked,
+        Err(err) => ShardReply::Error(err.to_string()),
+    }
+}
+
+/// Home-node side of a migration: serialize on the object's migration
+/// mutex, ask the current owner to hand the partition over, then publish
+/// the new owner assignment. The routing-table mutex itself is held only
+/// for the reads and the final publish — never across the hand-off RPC —
+/// so concurrent `Route` requests are answered immediately instead of
+/// piling up on pool workers behind an in-flight migration.
+fn migrate_at_home(inner: &Arc<Inner>, shard: &ShardPartId, dst: u16) -> ShardReply {
+    if usize::from(dst) >= inner.num_nodes {
+        return ShardReply::Error(format!("no such node {}", NodeId(dst)));
+    }
+    let object = part_object(shard);
+    let entry = inner.homes.read().get(&object).cloned();
+    let Some(entry) = entry else {
+        return ShardReply::Error(format!("not home of {object}"));
+    };
+    let _migration = entry.migration.lock();
+    let current = {
+        let table = entry.table.lock();
+        let Some(&current) = table.owners.get(shard.partition as usize) else {
+            return ShardReply::Error(format!("no partition {} of {object}", shard.partition));
+        };
+        current
+    };
+    if current == dst {
+        return ShardReply::Ack;
+    }
+    let reply = if NodeId(current) == inner.node {
+        hand_off(inner, shard, dst)
+    } else {
+        match shard_rpc(
+            inner,
+            NodeId(current),
+            &ShardMsg::HandOff { shard: *shard, dst },
+        ) {
+            Ok(reply) => reply,
+            Err(err) => return ShardReply::Error(err.to_string()),
+        }
+    };
+    match reply {
+        ShardReply::Ack => {
+            let mut table = entry.table.lock();
+            table.owners[shard.partition as usize] = dst;
+            table.version += 1;
+            inner.routes.insert(object, Arc::new(table.clone()));
+            ShardReply::Ack
+        }
+        ShardReply::Error(msg) => ShardReply::Error(msg),
+        other => ShardReply::Error(format!("unexpected HandOff reply {other:?}")),
+    }
+}
+
+/// Owner side of a migration: withdraw the partition (in-flight operations
+/// start answering `StaleRoute`), transfer its state to the new owner, and
+/// only discard it once the transfer is acknowledged.
+fn hand_off(inner: &Arc<Inner>, shard: &ShardPartId, dst: u16) -> ShardReply {
+    let key = (part_object(shard), shard.partition);
+    let slot = inner.owned.write().remove(&key);
+    let Some(slot) = slot else {
+        return ShardReply::StaleRoute;
+    };
+    if NodeId(dst) == inner.node {
+        inner.owned.write().insert(key, slot);
+        return ShardReply::Ack;
+    }
+    let (type_name, state) = {
+        // Mark the slot withdrawn in the same critical section that
+        // snapshots the state: an operation that cloned the slot out of
+        // `owned` before the removal above will acquire this mutex later,
+        // see the flag and answer StaleRoute instead of applying to (and
+        // being acknowledged against) the orphaned replica.
+        let replica = slot.replica.lock();
+        slot.withdrawn.store(true, Ordering::Relaxed);
+        (replica.type_name().to_string(), replica.state_bytes())
+    };
+    let install = ShardMsg::Install {
+        shard: *shard,
+        type_name,
+        state,
+    };
+    match shard_rpc(inner, NodeId(dst), &install) {
+        Ok(ShardReply::Ack) => {
+            RtsStats::bump(&inner.stats.copies_dropped);
+            ShardReply::Ack
+        }
+        Ok(other) => {
+            restore_slot(inner, key, slot);
+            ShardReply::Error(format!("install at {} failed: {other:?}", NodeId(dst)))
+        }
+        Err(err) => {
+            restore_slot(inner, key, slot);
+            ShardReply::Error(format!("install at {} failed: {err}", NodeId(dst)))
+        }
+    }
+}
+
+/// Put a partition back after a failed transfer, clearing the withdrawn
+/// mark (under the replica mutex) so operations are served again.
+fn restore_slot(inner: &Arc<Inner>, key: (ObjectId, u32), slot: Arc<PartitionSlot>) {
+    {
+        let _replica = slot.replica.lock();
+        slot.withdrawn.store(false, Ordering::Relaxed);
+    }
+    inner.owned.write().insert(key, slot);
+}
+
+/// Server-side shard RPC (migration traffic), bounded by the policy
+/// deadline.
+fn shard_rpc(inner: &Arc<Inner>, dst: NodeId, msg: &ShardMsg) -> Result<ShardReply, RtsError> {
+    let reply = rpc_call_timeout(
+        &inner.handle,
+        dst,
+        ports::RTS_SHARD,
+        msg.to_bytes(),
+        inner.policy.op_timeout,
+    )
+    .map_err(|err| match err {
+        RpcError::Timeout => RtsError::Timeout,
+        other => RtsError::Communication(other.to_string()),
+    })?;
+    ShardReply::from_bytes(&reply)
+        .map_err(|err| RtsError::Communication(format!("bad reply: {err}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orca_amoeba::network::Network;
+    use orca_object::testing::{Accumulator, AccumulatorOp, Bank, BankOp, BankReply};
+    use orca_object::{shard::shard_of_u64, ObjectType};
+
+    fn registry() -> ObjectRegistry {
+        let mut registry = ObjectRegistry::new();
+        registry.register::<Accumulator>();
+        registry.register_sharded::<Bank>();
+        registry
+    }
+
+    fn start_all(net: &Network, policy: ShardPolicy) -> Vec<ShardedRts> {
+        net.node_ids()
+            .into_iter()
+            .map(|n| ShardedRts::start(net.handle(n), registry(), policy))
+            .collect()
+    }
+
+    fn shutdown_all(rtses: &[ShardedRts]) {
+        for rts in rtses {
+            rts.shutdown();
+        }
+    }
+
+    fn deposit(rts: &ShardedRts, id: ObjectId, key: u64, amount: i64) -> i64 {
+        let reply = rts
+            .invoke(
+                id,
+                Bank::TYPE_NAME,
+                OpKind::Write,
+                &BankOp::Deposit { key, amount }.to_bytes(),
+            )
+            .unwrap();
+        let BankReply::Value(v) = BankReply::from_bytes(&reply).unwrap();
+        v
+    }
+
+    fn bank_sum(rts: &ShardedRts, id: ObjectId) -> i64 {
+        let reply = rts
+            .invoke(id, Bank::TYPE_NAME, OpKind::Read, &BankOp::Sum.to_bytes())
+            .unwrap();
+        let BankReply::Value(v) = BankReply::from_bytes(&reply).unwrap();
+        v
+    }
+
+    #[test]
+    fn sharded_bank_spreads_partitions_and_agrees() {
+        let net = Network::reliable(4);
+        let rtses = start_all(&net, ShardPolicy::with_partitions(4));
+        let id = rtses[0]
+            .create_object(
+                Bank::TYPE_NAME,
+                &<Bank as ObjectType>::State::new().to_bytes(),
+            )
+            .unwrap();
+        // With 4 partitions spread over 4 nodes, every node owns exactly
+        // one partition.
+        let owners = rtses[1].route_owners(id).unwrap();
+        assert_eq!(owners.len(), 4);
+        let owned_total: usize = rtses.iter().map(|rts| rts.owned_partitions(id).len()).sum();
+        assert_eq!(owned_total, 4);
+
+        // Writes from every node, keys spanning all partitions.
+        for (n, rts) in rtses.iter().enumerate() {
+            for key in 0..8u64 {
+                deposit(rts, id, key, (n + 1) as i64);
+            }
+        }
+        let expected: i64 = (1..=4i64).sum::<i64>() * 8;
+        for rts in &rtses {
+            assert_eq!(bank_sum(rts, id), expected);
+        }
+        // Different writes really executed on different nodes: every node
+        // that owns a partition served operations for others.
+        assert!(rtses.iter().any(|rts| rts.stats().updates_applied > 0));
+        assert!(rtses[1].stats().remote_writes > 0);
+        shutdown_all(&rtses);
+    }
+
+    #[test]
+    fn single_partition_behaves_like_primary_copy() {
+        let net = Network::reliable(3);
+        let rtses = start_all(&net, ShardPolicy::with_partitions(1));
+        let id = rtses[0]
+            .create_object(
+                Bank::TYPE_NAME,
+                &<Bank as ObjectType>::State::new().to_bytes(),
+            )
+            .unwrap();
+        assert_eq!(rtses[2].route_owners(id).unwrap().len(), 1);
+        assert_eq!(deposit(&rtses[1], id, 9, 5), 5);
+        assert_eq!(deposit(&rtses[2], id, 9, 7), 12);
+        assert_eq!(bank_sum(&rtses[0], id), 12);
+        shutdown_all(&rtses);
+    }
+
+    #[test]
+    fn non_shardable_type_falls_back_to_home_copy() {
+        let net = Network::reliable(3);
+        let rtses = start_all(&net, ShardPolicy::with_partitions(4));
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+            .unwrap();
+        // The fallback keeps the single replica at the creating node.
+        assert_eq!(rtses[0].owned_partitions(id), vec![0]);
+        assert_eq!(
+            rtses[1].route_owners(id).unwrap(),
+            vec![NodeId(0)],
+            "fallback must stay at the home node"
+        );
+        let add = |rts: &ShardedRts, n: i64| {
+            let reply = rts
+                .invoke(
+                    id,
+                    Accumulator::TYPE_NAME,
+                    OpKind::Write,
+                    &AccumulatorOp::Add(n).to_bytes(),
+                )
+                .unwrap();
+            i64::from_bytes(&reply).unwrap()
+        };
+        assert_eq!(add(&rtses[1], 5), 5);
+        assert_eq!(add(&rtses[2], 7), 12);
+
+        // Guarded (blocking) operations work through the retry protocol.
+        let waiter = {
+            let rts = rtses[2].clone();
+            std::thread::spawn(move || {
+                let reply = rts
+                    .invoke(
+                        id,
+                        Accumulator::TYPE_NAME,
+                        OpKind::Read,
+                        &AccumulatorOp::AwaitAtLeast(100).to_bytes(),
+                    )
+                    .unwrap();
+                i64::from_bytes(&reply).unwrap()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(60));
+        add(&rtses[0], 100);
+        assert_eq!(waiter.join().unwrap(), 112);
+        shutdown_all(&rtses);
+    }
+
+    #[test]
+    fn concurrent_writers_to_different_partitions_agree() {
+        let net = Network::reliable(4);
+        let rtses = start_all(&net, ShardPolicy::with_partitions(8));
+        let id = rtses[0]
+            .create_object(
+                Bank::TYPE_NAME,
+                &<Bank as ObjectType>::State::new().to_bytes(),
+            )
+            .unwrap();
+        let mut handles = Vec::new();
+        for (n, rts) in rtses.iter().enumerate() {
+            let rts = rts.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    deposit(&rts, id, (n as u64) * 64 + i, 1);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(bank_sum(&rtses[3], id), 200);
+        shutdown_all(&rtses);
+    }
+
+    #[test]
+    fn migration_moves_partition_and_stale_caches_recover() {
+        let net = Network::reliable(2);
+        let policy = ShardPolicy {
+            partitions: 2,
+            placement: ShardPlacement::Home,
+            ..ShardPolicy::default()
+        };
+        let rtses = start_all(&net, policy);
+        let id = rtses[0]
+            .create_object(
+                Bank::TYPE_NAME,
+                &<Bank as ObjectType>::State::new().to_bytes(),
+            )
+            .unwrap();
+        assert_eq!(rtses[0].owned_partitions(id), vec![0, 1]);
+
+        // Prime data and node 1's route cache before the move.
+        let key: u64 = (0..64).find(|k| shard_of_u64(*k, 2) == 1).unwrap();
+        assert_eq!(deposit(&rtses[1], id, key, 10), 10);
+
+        rtses[1].migrate(id, 1, NodeId(1)).unwrap();
+        assert_eq!(
+            rtses[0].route_owners(id).unwrap(),
+            vec![NodeId(0), NodeId(1)]
+        );
+        assert_eq!(rtses[0].owned_partitions(id), vec![0]);
+        assert_eq!(rtses[1].owned_partitions(id), vec![1]);
+
+        // Node 1's cached route is stale; the next operation recovers
+        // transparently and the data survived the move.
+        assert_eq!(deposit(&rtses[1], id, key, 5), 15);
+        assert_eq!(bank_sum(&rtses[0], id), 15);
+
+        // Migrating to the current owner is a no-op.
+        rtses[0].migrate(id, 1, NodeId(1)).unwrap();
+        assert_eq!(deposit(&rtses[0], id, key, 1), 16);
+        shutdown_all(&rtses);
+    }
+
+    #[test]
+    fn migration_under_concurrent_writes_loses_nothing() {
+        // Writers hammer a partition while it migrates back and forth.
+        // Every acknowledged deposit must survive: an op that races the
+        // hand-off either lands before the state snapshot (and is part of
+        // the transferred state) or is answered StaleRoute and retried at
+        // the new owner — never applied to the orphaned replica.
+        let net = Network::reliable(2);
+        let policy = ShardPolicy {
+            partitions: 2,
+            placement: ShardPlacement::Home,
+            ..ShardPolicy::default()
+        };
+        let rtses = start_all(&net, policy);
+        let id = rtses[0]
+            .create_object(
+                Bank::TYPE_NAME,
+                &<Bank as ObjectType>::State::new().to_bytes(),
+            )
+            .unwrap();
+        let hot_key: u64 = (0..64).find(|k| shard_of_u64(*k, 2) == 1).unwrap();
+        const DEPOSITS: i64 = 150;
+        let writers: Vec<_> = rtses
+            .iter()
+            .map(|rts| {
+                let rts = rts.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..DEPOSITS {
+                        deposit(&rts, id, hot_key, 1);
+                    }
+                })
+            })
+            .collect();
+        // Bounce the hot partition between the two nodes while the
+        // writers run.
+        for _ in 0..6 {
+            rtses[0].migrate(id, 1, NodeId(1)).unwrap();
+            std::thread::sleep(Duration::from_millis(5));
+            rtses[0].migrate(id, 1, NodeId(0)).unwrap();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for writer in writers {
+            writer.join().unwrap();
+        }
+        assert_eq!(
+            bank_sum(&rtses[0], id),
+            DEPOSITS * rtses.len() as i64,
+            "acknowledged writes were lost across migrations"
+        );
+        shutdown_all(&rtses);
+    }
+
+    #[test]
+    fn rebalance_moves_hot_partition_off_overloaded_node() {
+        let net = Network::reliable(2);
+        let policy = ShardPolicy {
+            partitions: 2,
+            placement: ShardPlacement::Home,
+            rebalance_threshold: 16,
+            ..ShardPolicy::default()
+        };
+        let rtses = start_all(&net, policy);
+        let id = rtses[0]
+            .create_object(
+                Bank::TYPE_NAME,
+                &<Bank as ObjectType>::State::new().to_bytes(),
+            )
+            .unwrap();
+        // Below the threshold nothing moves.
+        assert_eq!(rtses[0].rebalance(id).unwrap(), None);
+
+        // Hammer one partition from the remote node.
+        let hot_key: u64 = (0..64).find(|k| shard_of_u64(*k, 2) == 0).unwrap();
+        for _ in 0..32 {
+            deposit(&rtses[1], id, hot_key, 1);
+        }
+        let access = rtses[0].partition_access(id);
+        assert!(access.iter().any(|(p, total)| *p == 0 && *total >= 32));
+
+        let moved = rtses[0].rebalance(id).unwrap();
+        assert_eq!(moved, Some((0, NodeId(1))));
+        assert_eq!(
+            rtses[1].route_owners(id).unwrap(),
+            vec![NodeId(1), NodeId(0)]
+        );
+        // Balanced now: a second rebalance has nothing to do.
+        assert_eq!(rtses[0].rebalance(id).unwrap(), None);
+        assert_eq!(deposit(&rtses[0], id, hot_key, 1), 33);
+        shutdown_all(&rtses);
+    }
+
+    #[test]
+    fn dropped_reply_surfaces_timeout_not_hang() {
+        let net = Network::reliable(2);
+        let policy = ShardPolicy {
+            op_timeout: Duration::from_millis(150),
+            ..ShardPolicy::with_partitions(2)
+        };
+        let rtses = start_all(&net, policy);
+        // Fallback object at node 0; crash node 0 and invoke from node 1.
+        let acc = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+            .unwrap();
+        // Sharded object with a partition owned by node 1, home at node 0;
+        // prime node 0's cache, then crash node 1 and write to its
+        // partition.
+        let bank = rtses[0]
+            .create_object(
+                Bank::TYPE_NAME,
+                &<Bank as ObjectType>::State::new().to_bytes(),
+            )
+            .unwrap();
+        let owners = rtses[0].route_owners(bank).unwrap();
+        let remote_partition = owners.iter().position(|o| *o == NodeId(1));
+
+        net.crash(NodeId(1));
+        if let Some(p) = remote_partition {
+            let key = (0..64).find(|k| shard_of_u64(*k, 2) == p as u32).unwrap();
+            let started = Instant::now();
+            let err = rtses[0]
+                .invoke(
+                    bank,
+                    Bank::TYPE_NAME,
+                    OpKind::Write,
+                    &BankOp::Deposit { key, amount: 1 }.to_bytes(),
+                )
+                .unwrap_err();
+            assert_eq!(err, RtsError::Timeout);
+            assert!(started.elapsed() < Duration::from_secs(5));
+        }
+        net.recover(NodeId(1));
+
+        net.crash(NodeId(0));
+        let started = Instant::now();
+        let err = rtses[1]
+            .invoke(
+                acc,
+                Accumulator::TYPE_NAME,
+                OpKind::Write,
+                &AccumulatorOp::Add(1).to_bytes(),
+            )
+            .unwrap_err();
+        assert_eq!(err, RtsError::Timeout);
+        assert!(started.elapsed() < Duration::from_secs(5));
+        shutdown_all(&rtses);
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let net = Network::reliable(4);
+        let rtses = start_all(&net, ShardPolicy::with_partitions(4));
+        let id = rtses[0]
+            .create_object(
+                Bank::TYPE_NAME,
+                &<Bank as ObjectType>::State::new().to_bytes(),
+            )
+            .unwrap();
+        let owners = rtses[0].route_owners(id).unwrap();
+        // Every node computes the identical placement for the same object
+        // id without coordination.
+        for rts in &rtses {
+            let computed: Vec<NodeId> = (0..4).map(|p| NodeId(rts.place(id, p))).collect();
+            assert_eq!(computed, owners);
+        }
+        shutdown_all(&rtses);
+    }
+}

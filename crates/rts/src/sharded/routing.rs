@@ -1,0 +1,62 @@
+//! Per-node cache of shard-routing tables.
+//!
+//! Every node keeps a read-through cache of the routing tables it has
+//! fetched from objects' home nodes. The immutable parts of a table (type
+//! name, partition count) are valid forever; the owner assignments change
+//! only on migration, which is detected when an owner answers
+//! [`ShardReply::StaleRoute`](super::messages::ShardReply::StaleRoute) — the
+//! cache entry is then invalidated and re-fetched.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use orca_object::ObjectId;
+use parking_lot::RwLock;
+
+use super::messages::ShardRouteTable;
+
+/// Cache of [`ShardRouteTable`]s keyed by object.
+#[derive(Default)]
+pub(crate) struct RouteCache {
+    tables: RwLock<HashMap<ObjectId, Arc<ShardRouteTable>>>,
+}
+
+impl RouteCache {
+    /// Cached table for `object`, if any.
+    pub(crate) fn get(&self, object: ObjectId) -> Option<Arc<ShardRouteTable>> {
+        self.tables.read().get(&object).cloned()
+    }
+
+    /// Insert or replace the cached table for `object`.
+    pub(crate) fn insert(&self, object: ObjectId, table: Arc<ShardRouteTable>) {
+        self.tables.write().insert(object, table);
+    }
+
+    /// Drop the cached table for `object` (after a stale-route reply).
+    pub(crate) fn invalidate(&self, object: ObjectId) {
+        self.tables.write().remove(&object);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_invalidate() {
+        let cache = RouteCache::default();
+        let object = ObjectId::compose(0, 1);
+        assert!(cache.get(object).is_none());
+        let table = Arc::new(ShardRouteTable {
+            object: object.0,
+            type_name: "t".into(),
+            sharded: true,
+            version: 0,
+            owners: vec![0, 1],
+        });
+        cache.insert(object, Arc::clone(&table));
+        assert_eq!(cache.get(object).unwrap().owners, vec![0, 1]);
+        cache.invalidate(object);
+        assert!(cache.get(object).is_none());
+    }
+}

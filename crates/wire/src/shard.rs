@@ -1,0 +1,326 @@
+//! Wire messages of the sharded runtime system.
+//!
+//! The sharded RTS (see `orca-rts`) splits a shardable object into `N`
+//! partitions, each owned by exactly one node, and ships operations
+//! point-to-point to the partition owner. The message vocabulary lives here,
+//! at the bottom of the stack, so the codecs are property-tested together
+//! with every other wire type and so the byte counts the network statistics
+//! accumulate for shard traffic are real.
+//!
+//! This crate sits below the object layer, so object identifiers are carried
+//! as their raw `u64` representation (exactly the encoding `ObjectId` in
+//! `orca-object` uses on the wire).
+
+use crate::{Decoder, Encoder, Wire, WireError, WireResult};
+
+/// Identifies one partition of one sharded object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardPartId {
+    /// Raw object id (the `u64` inside `ObjectId`).
+    pub object: u64,
+    /// Partition index, `0 .. partitions`.
+    pub partition: u32,
+}
+
+impl Wire for ShardPartId {
+    fn encode(&self, enc: &mut Encoder) {
+        self.object.encode(enc);
+        self.partition.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        Ok(ShardPartId {
+            object: Wire::decode(dec)?,
+            partition: Wire::decode(dec)?,
+        })
+    }
+}
+
+/// The routing table of one object: which node owns each partition.
+///
+/// The creating node ("home node", recoverable from the object id) holds the
+/// authoritative table; every other node caches it read-through. The
+/// `type_name` and the partition count are immutable for the lifetime of the
+/// object and may be cached forever; `owners` changes on migration, which
+/// bumps `version` — a node acting on a stale table is answered with
+/// [`ShardReply::StaleRoute`] and re-fetches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRouteTable {
+    /// Raw object id.
+    pub object: u64,
+    /// Registered object type name (immutable metadata).
+    pub type_name: String,
+    /// True if the object is partitioned; false for the primary-copy
+    /// fallback of non-shardable types (a single "partition" at the home
+    /// node).
+    pub sharded: bool,
+    /// Bumped by every migration.
+    pub version: u64,
+    /// Owner node index per partition; `owners.len()` is the partition
+    /// count (immutable metadata).
+    pub owners: Vec<u16>,
+}
+
+impl ShardRouteTable {
+    /// Number of partitions of the object.
+    pub fn partitions(&self) -> u32 {
+        self.owners.len() as u32
+    }
+}
+
+impl Wire for ShardRouteTable {
+    fn encode(&self, enc: &mut Encoder) {
+        self.object.encode(enc);
+        self.type_name.encode(enc);
+        self.sharded.encode(enc);
+        self.version.encode(enc);
+        self.owners.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        Ok(ShardRouteTable {
+            object: Wire::decode(dec)?,
+            type_name: Wire::decode(dec)?,
+            sharded: Wire::decode(dec)?,
+            version: Wire::decode(dec)?,
+            owners: Wire::decode(dec)?,
+        })
+    }
+}
+
+/// Requests of the sharded runtime-system service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardMsg {
+    /// Client → home node: return the routing table of `object`.
+    Route {
+        /// Raw object id.
+        object: u64,
+    },
+    /// Client → partition owner: execute an encoded operation on the
+    /// partition. The owner replies [`ShardReply::Done`] or, if the
+    /// operation's guard is false, [`ShardReply::Blocked`]; if the owner no
+    /// longer holds the partition it replies [`ShardReply::StaleRoute`].
+    Op {
+        /// Target partition.
+        shard: ShardPartId,
+        /// Encoded operation.
+        op: Vec<u8>,
+    },
+    /// Creator/old owner → new owner: install a partition replica (initial
+    /// placement and the final step of a migration).
+    Install {
+        /// Target partition.
+        shard: ShardPartId,
+        /// Registered object type name, so the receiver can instantiate a
+        /// replica.
+        type_name: String,
+        /// Encoded partition state.
+        state: Vec<u8>,
+    },
+    /// Client → home node: migrate a partition to node `dst`. The home node
+    /// coordinates the hand-off and updates the authoritative routing table.
+    Migrate {
+        /// Partition to move.
+        shard: ShardPartId,
+        /// Destination node index.
+        dst: u16,
+    },
+    /// Home node → current owner: hand your partition replica to `dst`
+    /// (migration, phase 1). The owner transfers the state with
+    /// [`ShardMsg::Install`] and discards its copy.
+    HandOff {
+        /// Partition to move.
+        shard: ShardPartId,
+        /// Destination node index.
+        dst: u16,
+    },
+}
+
+impl Wire for ShardMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            ShardMsg::Route { object } => {
+                enc.put_u8(0);
+                object.encode(enc);
+            }
+            ShardMsg::Op { shard, op } => {
+                enc.put_u8(1);
+                shard.encode(enc);
+                enc.put_bytes(op);
+            }
+            ShardMsg::Install {
+                shard,
+                type_name,
+                state,
+            } => {
+                enc.put_u8(2);
+                shard.encode(enc);
+                type_name.encode(enc);
+                enc.put_bytes(state);
+            }
+            ShardMsg::Migrate { shard, dst } => {
+                enc.put_u8(3);
+                shard.encode(enc);
+                dst.encode(enc);
+            }
+            ShardMsg::HandOff { shard, dst } => {
+                enc.put_u8(4);
+                shard.encode(enc);
+                dst.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        match dec.get_u8()? {
+            0 => Ok(ShardMsg::Route {
+                object: Wire::decode(dec)?,
+            }),
+            1 => Ok(ShardMsg::Op {
+                shard: Wire::decode(dec)?,
+                op: dec.get_bytes()?,
+            }),
+            2 => Ok(ShardMsg::Install {
+                shard: Wire::decode(dec)?,
+                type_name: Wire::decode(dec)?,
+                state: dec.get_bytes()?,
+            }),
+            3 => Ok(ShardMsg::Migrate {
+                shard: Wire::decode(dec)?,
+                dst: Wire::decode(dec)?,
+            }),
+            4 => Ok(ShardMsg::HandOff {
+                shard: Wire::decode(dec)?,
+                dst: Wire::decode(dec)?,
+            }),
+            tag => Err(WireError::InvalidTag {
+                type_name: "ShardMsg",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+/// Replies of the sharded runtime-system service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardReply {
+    /// Encoded reply of a completed operation.
+    Done(Vec<u8>),
+    /// The operation's guard was false; the caller should retry later.
+    Blocked,
+    /// Routing table (reply to [`ShardMsg::Route`]).
+    Route(ShardRouteTable),
+    /// The receiver does not (or no longer) hold the addressed partition;
+    /// the caller must re-fetch the routing table from the home node.
+    StaleRoute,
+    /// Acknowledgement with no payload.
+    Ack,
+    /// The request failed.
+    Error(String),
+}
+
+impl Wire for ShardReply {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            ShardReply::Done(bytes) => {
+                enc.put_u8(0);
+                enc.put_bytes(bytes);
+            }
+            ShardReply::Blocked => enc.put_u8(1),
+            ShardReply::Route(table) => {
+                enc.put_u8(2);
+                table.encode(enc);
+            }
+            ShardReply::StaleRoute => enc.put_u8(3),
+            ShardReply::Ack => enc.put_u8(4),
+            ShardReply::Error(msg) => {
+                enc.put_u8(5);
+                msg.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        match dec.get_u8()? {
+            0 => Ok(ShardReply::Done(dec.get_bytes()?)),
+            1 => Ok(ShardReply::Blocked),
+            2 => Ok(ShardReply::Route(Wire::decode(dec)?)),
+            3 => Ok(ShardReply::StaleRoute),
+            4 => Ok(ShardReply::Ack),
+            5 => Ok(ShardReply::Error(Wire::decode(dec)?)),
+            tag => Err(WireError::InvalidTag {
+                type_name: "ShardReply",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard() -> ShardPartId {
+        ShardPartId {
+            object: (7u64 << 48) | 42,
+            partition: 3,
+        }
+    }
+
+    #[test]
+    fn all_requests_round_trip() {
+        let msgs = vec![
+            ShardMsg::Route { object: 9 },
+            ShardMsg::Op {
+                shard: shard(),
+                op: vec![1, 2, 3],
+            },
+            ShardMsg::Install {
+                shard: shard(),
+                type_name: "orca.KvTable".into(),
+                state: vec![0; 10],
+            },
+            ShardMsg::Migrate {
+                shard: shard(),
+                dst: 5,
+            },
+            ShardMsg::HandOff {
+                shard: shard(),
+                dst: 0,
+            },
+        ];
+        for msg in msgs {
+            assert_eq!(ShardMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn all_replies_round_trip() {
+        let table = ShardRouteTable {
+            object: 4,
+            type_name: "orca.Set".into(),
+            sharded: true,
+            version: 2,
+            owners: vec![0, 1, 2, 1],
+        };
+        assert_eq!(table.partitions(), 4);
+        let replies = vec![
+            ShardReply::Done(vec![9]),
+            ShardReply::Blocked,
+            ShardReply::Route(table),
+            ShardReply::StaleRoute,
+            ShardReply::Ack,
+            ShardReply::Error("nope".into()),
+        ];
+        for reply in replies {
+            assert_eq!(ShardReply::from_bytes(&reply.to_bytes()).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn truncated_messages_are_errors() {
+        let bytes = ShardMsg::Op {
+            shard: shard(),
+            op: vec![1, 2, 3],
+        }
+        .to_bytes();
+        assert!(ShardMsg::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(ShardReply::from_bytes(&[0xff]).is_err());
+    }
+}

@@ -337,3 +337,61 @@ fn truncated_scalar_reports_unexpected_eof() {
     assert!(String::from_bytes(&s[..s.len() - 3]).is_err());
     assert!(f64::from_bytes(&[0u8; 7]).is_err());
 }
+
+fn random_route_table(gen: &mut Gen) -> orca_wire::ShardRouteTable {
+    orca_wire::ShardRouteTable {
+        object: gen.next_u64(),
+        type_name: gen.string(),
+        sharded: gen.below(2) == 0,
+        version: gen.next_u64(),
+        owners: (0..gen.below(16)).map(|_| gen.next_u64() as u16).collect(),
+    }
+}
+
+#[test]
+fn shard_messages_round_trip() {
+    use orca_wire::{ShardMsg, ShardPartId, ShardReply};
+    let mut gen = Gen::new(0xDEC0DE0C);
+    for case in 0..CASES {
+        let shard = ShardPartId {
+            object: gen.next_u64(),
+            partition: gen.next_u64() as u32,
+        };
+        let msg = match gen.below(5) {
+            0 => ShardMsg::Route {
+                object: gen.next_u64(),
+            },
+            1 => ShardMsg::Op {
+                shard,
+                op: gen.bytes(48),
+            },
+            2 => ShardMsg::Install {
+                shard,
+                type_name: gen.string(),
+                state: gen.bytes(48),
+            },
+            3 => ShardMsg::Migrate {
+                shard,
+                dst: gen.next_u64() as u16,
+            },
+            _ => ShardMsg::HandOff {
+                shard,
+                dst: gen.next_u64() as u16,
+            },
+        };
+        assert_roundtrip(&msg, case);
+        let reply = match gen.below(6) {
+            0 => ShardReply::Done(gen.bytes(48)),
+            1 => ShardReply::Blocked,
+            2 => ShardReply::Route(random_route_table(&mut gen)),
+            3 => ShardReply::StaleRoute,
+            4 => ShardReply::Ack,
+            _ => ShardReply::Error(gen.string()),
+        };
+        assert_roundtrip(&reply, case);
+        // Garbage decoding must error out, never panic.
+        let bytes = gen.bytes(32);
+        let _ = ShardMsg::from_bytes(&bytes);
+        let _ = ShardReply::from_bytes(&bytes);
+    }
+}

@@ -2,13 +2,16 @@
 //!
 //! The Orca model promises that an application observes the *same* behavior
 //! regardless of which runtime system keeps its replicas consistent: the
-//! broadcast RTS (full replication, operation shipping) and the
-//! primary-copy RTS in both its update and invalidate variants are
-//! interchangeable implementations of sequentially-consistent shared
-//! objects. This suite runs one replicated-worker program under all three
-//! strategies — with network fault injection enabled — and asserts that
-//! every observable (job coverage, final sums, table contents) is
-//! identical.
+//! broadcast RTS (full replication, operation shipping), the primary-copy
+//! RTS in both its update and invalidate variants, and the sharded RTS
+//! (partitioned objects, owner-shipped operations) are interchangeable
+//! implementations of consistent shared objects. This suite runs one
+//! replicated-worker program under all strategies — with network fault
+//! injection enabled — and asserts that every observable (job coverage,
+//! final sums, table contents) is identical.
+//!
+//! Set `ORCA_RTS=<name-prefix>` to restrict the suite to matching
+//! strategies (CI runs a dedicated `ORCA_RTS=sharded` matrix entry).
 
 use orca::amoeba::FaultConfig;
 use orca::core::objects::{BoolArray, JobQueue, KvTable, SharedInt, TableEntry};
@@ -33,11 +36,27 @@ struct Observables {
 }
 
 fn strategies() -> Vec<(&'static str, RtsStrategy)> {
-    vec![
+    let all = vec![
         ("broadcast", RtsStrategy::broadcast()),
         ("primary_update", RtsStrategy::primary_update()),
         ("primary_invalidate", RtsStrategy::primary_invalidate()),
-    ]
+        // Single-partition sharding must be observationally identical to
+        // primary-copy; multi-partition sharding parallelizes writes but
+        // must not change any observable either.
+        ("sharded", RtsStrategy::sharded(1)),
+        ("sharded_multi", RtsStrategy::sharded(4)),
+    ];
+    match std::env::var("ORCA_RTS") {
+        Ok(only) if !only.is_empty() => {
+            let filtered: Vec<_> = all
+                .into_iter()
+                .filter(|(name, _)| name.starts_with(&only))
+                .collect();
+            assert!(!filtered.is_empty(), "ORCA_RTS={only} matches no strategy");
+            filtered
+        }
+        _ => all,
+    }
 }
 
 /// The reference program: a shared job queue feeds workers that accumulate
@@ -144,6 +163,91 @@ fn all_strategies_agree_under_fault_injection() {
             "strategy {name} diverged under faults"
         );
     }
+}
+
+#[test]
+fn sharded_single_partition_matches_primary_update_exactly() {
+    // The acceptance bar for the sharded runtime system: with N = 1 every
+    // shardable object degenerates to one owner-held copy and the program
+    // must observe exactly what the primary-copy (update) system produces.
+    let sharded = run_program(RtsStrategy::sharded(1), FaultConfig::reliable());
+    let primary = run_program(RtsStrategy::primary_update(), FaultConfig::reliable());
+    assert_eq!(sharded, primary);
+}
+
+/// Per-object partition placements (owner node index per partition).
+type Placements = Vec<Vec<u16>>;
+
+/// Per-node message-delivery counts:
+/// `(p2p sent, broadcasts sent, interrupts taken, drops)`.
+type DeliveryCounts = Vec<(u64, u64, u64, u64)>;
+
+/// Trace of one deterministic single-threaded sharded run: partition
+/// placements of every object plus the per-node message-delivery counts.
+/// Byte counts are deliberately excluded: RPC request ids come from a
+/// process-global counter, so their varint encodings (and nothing else)
+/// differ between two runs in one test process.
+fn sharded_trace(partitions: u32) -> (Placements, DeliveryCounts) {
+    let runtime = OrcaRuntime::start(OrcaConfig::sharded(4, partitions), standard_registry());
+    let main = runtime.main();
+    let queue: JobQueue<u32> = JobQueue::create(main).unwrap();
+    let squares = KvTable::create(main).unwrap();
+    for job in 1..=24u32 {
+        queue.add(main, &job).unwrap();
+    }
+    queue.close(main).unwrap();
+    // Drain single-threadedly from a non-creating node so every operation
+    // sequence (and thus every message sequence) is fully determined.
+    let ctx = runtime.context(2);
+    while let Some(job) = queue.get(ctx).unwrap() {
+        let entry = TableEntry {
+            depth: 0,
+            value: i64::from(job) * i64::from(job),
+            aux: 0,
+        };
+        squares.put(ctx, u64::from(job), entry).unwrap();
+    }
+    let placements = [queue.handle().id(), squares.handle().id()]
+        .into_iter()
+        .map(|object| {
+            runtime
+                .shard_owners(object)
+                .unwrap()
+                .into_iter()
+                .map(|node| node.0)
+                .collect()
+        })
+        .collect();
+    let deliveries = runtime
+        .network_stats()
+        .per_node
+        .iter()
+        .map(|node| {
+            (
+                node.p2p_sent,
+                node.broadcasts_sent,
+                node.interrupts,
+                node.dropped,
+            )
+        })
+        .collect();
+    runtime.shutdown();
+    (placements, deliveries)
+}
+
+#[test]
+fn sharded_placement_and_delivery_are_deterministic() {
+    // Two runs of the same configuration must place every partition on the
+    // same owner and exchange byte-identical traffic: shard placement is a
+    // pure function of the object id, and routing decisions (including the
+    // GetJob partition scan order) contain no hidden nondeterminism.
+    let (placements_a, stats_a) = sharded_trace(4);
+    let (placements_b, stats_b) = sharded_trace(4);
+    assert_eq!(placements_a, placements_b, "shard placement changed");
+    assert_eq!(stats_a, stats_b, "delivery sequences changed");
+    // The queue really is spread: its partitions have more than one owner.
+    let queue_owners: std::collections::BTreeSet<u16> = placements_a[0].iter().copied().collect();
+    assert!(queue_owners.len() > 1, "expected a multi-owner placement");
 }
 
 #[test]
