@@ -69,6 +69,9 @@ pub mod ports {
     /// RPC service port used by the sharded runtime system's partition
     /// owners (shard routing, owner-shipped operations, migration).
     pub const RTS_SHARD: Port = 5;
+    /// RPC service port used by the adaptive runtime system (regime
+    /// routing, operations, regime-switch drain/install, mirror updates).
+    pub const RTS_ADAPTIVE: Port = 6;
     /// First port usable by applications and tests.
     pub const USER_BASE: Port = 1000;
     /// First ephemeral port (allocated dynamically, e.g. for RPC replies).
@@ -101,6 +104,7 @@ mod tests {
             ports::RTS_COPY,
             ports::MEMBERSHIP,
             ports::RTS_SHARD,
+            ports::RTS_ADAPTIVE,
         ];
         for (i, a) in ports.iter().enumerate() {
             for b in &ports[i + 1..] {

@@ -1,0 +1,24 @@
+//! Adaptive RTS vs every fixed regime on pure and mixed workloads.
+//!
+//! Runs the read-heavy, write-hot and mixed KvTable/JobQueue workloads on
+//! 6 simulated nodes under `broadcast`, `primary_update`, `sharded` and
+//! `adaptive`, prints the comparison table, and writes the
+//! `BENCH_adaptive.json` trajectory file. Override the shape with
+//! `ORCA_BENCH_NODES` / `ORCA_BENCH_OPS_PER_NODE`.
+
+fn main() {
+    let nodes = orca_bench::env_usize("NODES", 6);
+    let ops_per_node = orca_bench::env_usize("OPS_PER_NODE", 192);
+    let rows = orca_bench::adaptive::adaptive_comparison(nodes, ops_per_node);
+    print!("{}", orca_bench::adaptive::format_table(&rows));
+    let json = orca_bench::adaptive::to_json(&rows);
+    // Anchor at the workspace root (cargo runs benches from the package
+    // directory), so the trajectory file lands next to the README.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_adaptive.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("trajectory written to {}", path.display()),
+        Err(err) => eprintln!("could not write {}: {err}", path.display()),
+    }
+}

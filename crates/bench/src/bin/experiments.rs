@@ -5,7 +5,7 @@
 //! cargo run --release -p orca-bench --bin experiments
 //! ```
 
-use orca_bench::{protocols, rtscompare, speedup};
+use orca_bench::{adaptive, protocols, rtscompare, speedup};
 use orca_perf::format_speedup_table;
 
 fn main() {
@@ -23,6 +23,11 @@ fn main() {
     println!(
         "{}",
         rtscompare::format_table(&rtscompare::rts_comparison(4, 150, &[0.5, 0.9, 0.99]))
+    );
+
+    println!(
+        "{}",
+        adaptive::format_table(&adaptive::adaptive_comparison(6, 192))
     );
 
     println!("{}", format_speedup_table(&speedup::tsp_speedup()));

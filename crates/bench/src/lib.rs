@@ -13,12 +13,14 @@
 //! | PB vs BB broadcast protocols | §3.1 | [`protocols::pb_vs_bb`] |
 //! | Invalidation vs update vs broadcast RTS | §3.2.2 | [`rtscompare::rts_comparison`] |
 //! | Sharded RTS write throughput vs partitions | beyond the paper | [`sharded::sharded_throughput`] |
+//! | Adaptive RTS vs every fixed regime | beyond the paper | [`adaptive::adaptive_comparison`] |
 //!
 //! All experiments run the real protocol stack in-process and feed the
 //! measured work and communication counts into the calibrated cost model of
 //! `orca-perf` (see DESIGN.md §3 for why wall-clock time on the build machine
 //! is not used).
 
+pub mod adaptive;
 pub mod loads;
 pub mod protocols;
 pub mod rtscompare;

@@ -2,7 +2,7 @@
 
 use orca_amoeba::FaultConfig;
 use orca_group::GroupConfig;
-use orca_rts::{ReplicationPolicy, RtsKind, ShardPolicy, WritePolicy};
+use orca_rts::{AdaptivePolicy, ReplicationPolicy, RtsKind, ShardPolicy, WritePolicy};
 
 /// Which runtime system each node runs.
 #[derive(Debug, Clone)]
@@ -24,6 +24,13 @@ pub enum RtsStrategy {
     Sharded {
         /// Partition count, placement, deadlines and rebalancing knobs.
         policy: ShardPolicy,
+    },
+    /// The adaptive runtime system: each object's regime (replicated /
+    /// primary / sharded) is picked and changed at runtime from its
+    /// observed read/write mix.
+    Adaptive {
+        /// Thresholds, reporting cadence, leases and partition count.
+        policy: AdaptivePolicy,
     },
 }
 
@@ -58,6 +65,13 @@ impl RtsStrategy {
         }
     }
 
+    /// Adaptive strategy with default thresholds.
+    pub fn adaptive() -> Self {
+        RtsStrategy::Adaptive {
+            policy: AdaptivePolicy::default(),
+        }
+    }
+
     /// The [`RtsKind`] this strategy produces.
     pub fn kind(&self) -> RtsKind {
         match self {
@@ -71,6 +85,7 @@ impl RtsStrategy {
                 ..
             } => RtsKind::PrimaryUpdate,
             RtsStrategy::Sharded { .. } => RtsKind::Sharded,
+            RtsStrategy::Adaptive { .. } => RtsKind::Adaptive,
         }
     }
 }
@@ -120,6 +135,15 @@ impl OrcaConfig {
         }
     }
 
+    /// Adaptive runtime system with default thresholds.
+    pub fn adaptive(processors: usize) -> Self {
+        OrcaConfig {
+            processors,
+            fault: FaultConfig::reliable(),
+            strategy: RtsStrategy::adaptive(),
+        }
+    }
+
     /// Replace the fault configuration.
     pub fn with_fault(mut self, fault: FaultConfig) -> Self {
         self.fault = fault;
@@ -140,6 +164,8 @@ mod tests {
             RtsKind::PrimaryInvalidate
         );
         assert_eq!(RtsStrategy::sharded(4).kind(), RtsKind::Sharded);
+        assert_eq!(RtsStrategy::adaptive().kind(), RtsKind::Adaptive);
+        assert_eq!(OrcaConfig::adaptive(4).strategy.kind(), RtsKind::Adaptive);
     }
 
     #[test]

@@ -147,6 +147,16 @@ impl ShardableType for BoolArrayObject {
         split
     }
 
+    fn merge_states(parts: Vec<Self::State>) -> Self::State {
+        // Inverse of the round-robin split: global entry `i` lives in
+        // partition `i % parts` at local position `i / parts`.
+        let n = parts.len().max(1);
+        let len: usize = parts.iter().map(Vec::len).sum();
+        (0..len)
+            .map(|i| parts[i % n].get(i / n).copied().unwrap_or(false))
+            .collect()
+    }
+
     fn route(op: &Self::Op, parts: u32) -> ShardRoute {
         match op {
             BoolArrayOp::Set { index, .. } => ShardRoute::One(index % parts.max(1)),
@@ -310,6 +320,8 @@ mod tests {
         let mut flat = vec![false; len];
         let mut split = BoolArrayObject::split_state(&flat, parts);
         assert_eq!(split.iter().map(Vec::len).sum::<usize>(), len);
+        // merge_states is the exact inverse of the round-robin split.
+        assert_eq!(BoolArrayObject::merge_states(split.clone()), flat);
 
         let ops = [
             BoolArrayOp::Set {

@@ -215,6 +215,22 @@ impl ShardableType for JobQueueObject {
         split
     }
 
+    fn merge_states(parts: Vec<Self::State>) -> Self::State {
+        // Sub-queues hold disjoint jobs; concatenate them in partition
+        // order. Global FIFO order across partitions was never promised
+        // (workers race for jobs), so any deterministic interleaving is a
+        // valid merge.
+        let mut merged = JobQueueState::default();
+        let mut any_open = false;
+        for part in parts {
+            merged.jobs.extend(part.jobs);
+            merged.total_added += part.total_added;
+            any_open |= !part.closed;
+        }
+        merged.closed = !any_open;
+        merged
+    }
+
     fn route(op: &Self::Op, parts: u32) -> ShardRoute {
         match op {
             JobQueueOp::AddJob(job) => ShardRoute::One(shard_of_bytes(job, parts)),
@@ -456,6 +472,17 @@ mod tests {
                 );
             }
         }
+
+        // Merging the split recovers the queue up to job order across
+        // partitions (which GetJob never promised anyway).
+        let merged = JobQueueObject::merge_states(split);
+        let mut merged_jobs: Vec<_> = merged.jobs.iter().cloned().collect();
+        let mut original_jobs: Vec<_> = state.jobs.iter().cloned().collect();
+        merged_jobs.sort();
+        original_jobs.sort();
+        assert_eq!(merged_jobs, original_jobs);
+        assert_eq!(merged.total_added, state.total_added);
+        assert!(merged.closed);
 
         // Single-partition split is the identity.
         assert_eq!(JobQueueObject::split_state(&state, 1), vec![state]);

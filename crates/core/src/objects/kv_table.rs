@@ -189,6 +189,11 @@ impl ShardableType for KvTableObject {
         split
     }
 
+    fn merge_states(parts: Vec<Self::State>) -> Self::State {
+        // Partitions hold disjoint key sets, so a plain union recombines.
+        parts.into_iter().flatten().collect()
+    }
+
     fn route(op: &Self::Op, parts: u32) -> ShardRoute {
         match op {
             KvTableOp::Put { key, .. } => ShardRoute::One(shard_of_u64(*key, parts)),
@@ -324,6 +329,7 @@ mod tests {
         let split = KvTableObject::split_state(&state, 4);
         assert_eq!(split.len(), 4);
         assert_eq!(split.iter().map(BTreeMap::len).sum::<usize>(), 32);
+        assert_eq!(KvTableObject::merge_states(split.clone()), state);
         for (p, sub) in split.iter().enumerate() {
             for &key in sub.keys() {
                 assert_eq!(

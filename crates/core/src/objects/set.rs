@@ -141,6 +141,11 @@ impl ShardableType for SetObject {
         split
     }
 
+    fn merge_states(parts: Vec<Self::State>) -> Self::State {
+        // Partitions hold disjoint sub-sets, so a plain union recombines.
+        parts.into_iter().flatten().collect()
+    }
+
     fn route(op: &Self::Op, parts: u32) -> ShardRoute {
         match op {
             SetOp::Add(v) => ShardRoute::One(shard_of_u64(*v, parts)),
@@ -293,6 +298,7 @@ mod tests {
         let state: BTreeSet<u64> = (0..32).collect();
         let split = SetObject::split_state(&state, 4);
         assert_eq!(split.iter().map(BTreeSet::len).sum::<usize>(), 32);
+        assert_eq!(SetObject::merge_states(split.clone()), state);
         for (p, sub) in split.iter().enumerate() {
             for &value in sub {
                 assert_eq!(

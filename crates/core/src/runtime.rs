@@ -6,7 +6,10 @@ use orca_amoeba::network::{Network, NetworkConfig};
 use orca_amoeba::process::{ProcessHandle, ProcessorPool};
 use orca_amoeba::{NetStatsSnapshot, NodeId};
 use orca_object::{ObjectId, ObjectRegistry, ObjectType, OpKind};
-use orca_rts::{BroadcastRts, PrimaryCopyRts, RtsStatsSnapshot, RuntimeSystem, ShardedRts};
+use orca_rts::{
+    AdaptiveRts, BroadcastRts, PrimaryCopyRts, RegimeKind, RtsStatsSnapshot, RuntimeSystem,
+    ShardedRts,
+};
 use orca_wire::Wire;
 
 use crate::config::{OrcaConfig, RtsStrategy};
@@ -17,6 +20,7 @@ enum NodeRts {
     Broadcast(BroadcastRts),
     Primary(PrimaryCopyRts),
     Sharded(ShardedRts),
+    Adaptive(AdaptiveRts),
 }
 
 impl NodeRts {
@@ -25,6 +29,7 @@ impl NodeRts {
             NodeRts::Broadcast(rts) => Arc::new(rts.clone()),
             NodeRts::Primary(rts) => Arc::new(rts.clone()),
             NodeRts::Sharded(rts) => Arc::new(rts.clone()),
+            NodeRts::Adaptive(rts) => Arc::new(rts.clone()),
         }
     }
 
@@ -33,6 +38,7 @@ impl NodeRts {
             NodeRts::Broadcast(rts) => rts.shutdown(),
             NodeRts::Primary(rts) => rts.shutdown(),
             NodeRts::Sharded(rts) => rts.shutdown(),
+            NodeRts::Adaptive(rts) => rts.shutdown(),
         }
     }
 }
@@ -151,6 +157,9 @@ impl OrcaRuntime {
                 RtsStrategy::Sharded { policy } => {
                     NodeRts::Sharded(ShardedRts::start(handle, registry.clone(), *policy))
                 }
+                RtsStrategy::Adaptive { policy } => {
+                    NodeRts::Adaptive(AdaptiveRts::start(handle, registry.clone(), *policy))
+                }
             };
             rtses.push(rts);
         }
@@ -260,6 +269,32 @@ impl OrcaRuntime {
         }
     }
 
+    /// The regime currently serving `object` under the adaptive runtime
+    /// system (freshly read from the object's home node), or `None` when
+    /// another strategy is running. Used by tests and the benchmark
+    /// harness to observe adaptation.
+    pub fn object_regime(&self, object: ObjectId) -> Option<RegimeKind> {
+        match &self.rtses[0] {
+            NodeRts::Adaptive(rts) => rts.regime_of(object).ok().map(|(regime, _)| regime),
+            _ => None,
+        }
+    }
+
+    /// Ask the home node of `object` to re-evaluate its regime now, after
+    /// flushing every node's unreported usage (adaptive strategy only).
+    /// Returns the — possibly freshly switched — regime.
+    pub fn propose_regime(&self, object: ObjectId) -> Option<RegimeKind> {
+        for rts in &self.rtses {
+            if let NodeRts::Adaptive(rts) = rts {
+                rts.flush_usage(object);
+            }
+        }
+        match &self.rtses[0] {
+            NodeRts::Adaptive(rts) => rts.propose(object).ok(),
+            _ => None,
+        }
+    }
+
     /// Shut down every node's runtime system. Called automatically on drop.
     pub fn shutdown(&self) {
         for rts in &self.rtses {
@@ -350,6 +385,59 @@ mod tests {
         );
         assert!(runtime.shard_owners(counter.id()).is_some());
         assert_eq!(runtime.config().strategy.kind(), orca_rts::RtsKind::Sharded);
+    }
+
+    #[test]
+    fn adaptive_strategy_works_end_to_end() {
+        use crate::objects::JobQueue;
+        use orca_rts::AdaptivePolicy;
+        let config = OrcaConfig {
+            strategy: crate::RtsStrategy::Adaptive {
+                policy: AdaptivePolicy::eager(),
+            },
+            ..OrcaConfig::adaptive(3)
+        };
+        let runtime = OrcaRuntime::start(config, crate::standard_registry());
+        let queue: JobQueue<u32> = JobQueue::create(runtime.main()).unwrap();
+        for job in 0..30 {
+            queue.add(runtime.main(), &job).unwrap();
+        }
+        queue.close(runtime.main()).unwrap();
+        // Every object starts primary; the write-hot queue is proposed
+        // into the sharded regime once the evidence is in.
+        let proposed = runtime.propose_regime(queue.handle().id()).unwrap();
+        assert_eq!(proposed, orca_rts::RegimeKind::Sharded);
+        assert_eq!(
+            runtime.object_regime(queue.handle().id()),
+            Some(orca_rts::RegimeKind::Sharded)
+        );
+        let mut workers = Vec::new();
+        for w in 0..3 {
+            workers.push(runtime.fork_on(w, "drain", move |ctx| {
+                let mut got = Vec::new();
+                while let Some(job) = queue.get(&ctx).unwrap() {
+                    got.push(job);
+                }
+                got
+            }));
+        }
+        let mut all: Vec<u32> = workers.into_iter().flat_map(|w| w.join()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..30).collect::<Vec<_>>());
+
+        // Non-shardable types keep working (primary or replicated regime).
+        let counter = runtime.create::<IntObject>(&0).unwrap();
+        runtime.main().invoke(counter, &IntOp::Add(5)).unwrap();
+        assert_eq!(
+            runtime.context(1).invoke(counter, &IntOp::Value).unwrap(),
+            5
+        );
+        assert!(runtime.object_regime(counter.id()).is_some());
+        assert!(runtime.shard_owners(counter.id()).is_none());
+        assert_eq!(
+            runtime.config().strategy.kind(),
+            orca_rts::RtsKind::Adaptive
+        );
     }
 
     #[test]

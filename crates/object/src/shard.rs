@@ -60,6 +60,13 @@ pub trait ShardableType: ObjectType {
     /// exactly `parts` elements whose union is the original state.
     fn split_state(state: &Self::State, parts: u32) -> Vec<Self::State>;
 
+    /// Recombine partition states (given in partition order) into one
+    /// whole-object state — the inverse of [`ShardableType::split_state`]:
+    /// `merge_states(split_state(s, n))` must be semantically equal to `s`.
+    /// Used when a runtime system collapses a sharded object back into a
+    /// single replica (e.g. an adaptive regime switch).
+    fn merge_states(parts: Vec<Self::State>) -> Self::State;
+
     /// Classify an operation's partition routing.
     fn route(op: &Self::Op, parts: u32) -> ShardRoute;
 
@@ -88,6 +95,10 @@ pub trait ShardableType: ObjectType {
 pub trait ShardLogic: Send + Sync {
     /// Split an encoded state into `parts` encoded partition states.
     fn split_state(&self, state: &[u8], parts: u32) -> Result<Vec<Vec<u8>>, ObjectError>;
+
+    /// Recombine encoded partition states (partition order) into one
+    /// encoded whole-object state.
+    fn merge_states(&self, parts: Vec<Vec<u8>>) -> Result<Vec<u8>, ObjectError>;
 
     /// Route an encoded operation.
     fn route(&self, op: &[u8], parts: u32) -> Result<ShardRoute, ObjectError>;
@@ -142,6 +153,14 @@ impl<T: ShardableType> ShardLogic for ShardAdapter<T> {
         Ok(split.iter().map(Wire::to_bytes).collect())
     }
 
+    fn merge_states(&self, parts: Vec<Vec<u8>>) -> Result<Vec<u8>, ObjectError> {
+        let states = parts
+            .iter()
+            .map(|bytes| T::State::from_bytes(bytes).map_err(codec::<T::State>))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(T::merge_states(states).to_bytes())
+    }
+
     fn route(&self, op: &[u8], parts: u32) -> Result<ShardRoute, ObjectError> {
         let op = T::Op::from_bytes(op).map_err(codec::<T::Op>)?;
         Ok(T::route(&op, parts))
@@ -192,6 +211,16 @@ pub fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Deterministic hashed-spread placement: the owner node of partition
+/// `partition` of the object with raw id `object` on a pool of `nodes`
+/// nodes. Consecutive partitions of one object land on distinct nodes and
+/// different objects start at different offsets; every node computes the
+/// same placement without coordination. Shared by the sharded and
+/// adaptive runtime systems so the two always agree.
+pub fn spread_owner(object: u64, partition: u32, nodes: usize) -> u16 {
+    ((mix64(object) + u64::from(partition)) % nodes.max(1) as u64) as u16
+}
+
 /// Partition of an integer key.
 pub fn shard_of_u64(key: u64, parts: u32) -> u32 {
     if parts <= 1 {
@@ -240,6 +269,13 @@ mod tests {
             seen.insert(shard_of_u64(key, 4));
         }
         assert_eq!(seen.len(), 4);
+        // Placement spreads consecutive partitions over distinct nodes.
+        for object in [1u64, 7, 1 << 48] {
+            let owners: std::collections::BTreeSet<u16> =
+                (0..4).map(|p| spread_owner(object, p, 4)).collect();
+            assert_eq!(owners.len(), 4);
+            assert!(owners.iter().all(|&o| usize::from(o) < 4));
+        }
     }
 
     #[test]
@@ -249,6 +285,10 @@ mod tests {
             (0..8u64).map(|k| (k, i64::try_from(k).unwrap())).collect();
         let parts = logic.split_state(&state.to_bytes(), 4).unwrap();
         assert_eq!(parts.len(), 4);
+
+        // merge_states is the inverse of split_state (BTreeMap encoding is
+        // canonical, so byte equality holds).
+        assert_eq!(logic.merge_states(parts.clone()).unwrap(), state.to_bytes());
 
         // Every key lands in the partition its routed op targets.
         for key in 0..8u64 {

@@ -388,6 +388,11 @@ impl crate::shard::ShardableType for Bank {
         split
     }
 
+    fn merge_states(parts: Vec<Self::State>) -> Self::State {
+        // Partitions hold disjoint key sets, so a plain union recombines.
+        parts.into_iter().flatten().collect()
+    }
+
     fn route(op: &Self::Op, parts: u32) -> crate::shard::ShardRoute {
         use crate::shard::{shard_of_u64, ShardRoute};
         match op {

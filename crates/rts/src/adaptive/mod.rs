@@ -1,0 +1,1959 @@
+//! The adaptive runtime system: per-object synchronization regimes chosen
+//! — and changed — at runtime from each object's observed access mix.
+//!
+//! The paper's point-to-point RTS already adapts *within* one regime (it
+//! fetches and drops secondary copies from each node's read/write ratio,
+//! §3.2.2), but which runtime system serves an application is a static,
+//! process-wide choice: a read-dominated table and a write-hot job queue in
+//! the same run are stuck with the same machinery. This fourth runtime
+//! system makes the regime a *per-object, dynamic* property:
+//!
+//! * **Replicated** — one authoritative copy at the object's home node plus
+//!   a read mirror on every node. Writes execute at home, which pushes
+//!   sequence-numbered updates to all mirrors (two-phase lock/unlock, like
+//!   the primary-copy update protocol); reads are local. For
+//!   read-dominated objects.
+//! * **Primary** — a single copy at the home node, all remote operations
+//!   shipped by RPC. For mixed or low-traffic objects (and the regime
+//!   every object starts in).
+//! * **Sharded** — the object is split with its type's partitioning logic
+//!   ([`orca_object::shard`]) into hash-partitioned slices spread over the
+//!   nodes, operations shipped point-to-point to partition owners. For
+//!   write-hot shardable objects.
+//!
+//! ## Who decides, and how nodes agree
+//!
+//! Every node counts its own reads/writes per object and reports them to
+//! the object's home node every [`AdaptivePolicy::report_every`] accesses.
+//! The home folds the reports into a *decayed* per-node aggregate
+//! ([`crate::AccessStats::decay_halve`] — stale bursts lose half their
+//! weight per evaluation window, so they cannot pin a regime) and
+//! re-evaluates the regime every [`AdaptivePolicy::evaluate_every`]
+//! reported accesses. The home's [`RegimeTable`] is authoritative; other
+//! nodes cache it with a lease ([`AdaptivePolicy::regime_lease`]) and carry
+//! its epoch in every shipped operation — a server that sees an outdated
+//! epoch answers `StaleRegime` and the client re-fetches.
+//!
+//! ## The switch protocol (drain → merge → install → publish)
+//!
+//! A regime switch reuses the sharded RTS's withdrawn-mark discipline so no
+//! write is lost or double-applied across the change:
+//!
+//! 1. **Drain.** The home withdraws every authoritative replica of the old
+//!    regime (its own directly, remote partition owners via
+//!    [`RegimeMsg::Drain`]). Withdrawal marks the slot under its replica
+//!    mutex and removes it: an in-flight operation that already cloned the
+//!    slot acquires the mutex, sees the mark, and is answered `StaleRegime`
+//!    instead of being applied to (and acknowledged against) an orphaned
+//!    replica — the caller retries under the new regime. Mirrors of a
+//!    retiring replicated regime are dropped first ([`RegimeMsg::DropMirror`])
+//!    so no node keeps serving pre-switch reads; the lease bounds the
+//!    staleness window if a drop notification is lost to a crash.
+//! 2. **Merge.** Partition states of a retiring sharded regime are
+//!    recombined with the type's [`orca_object::ShardLogic::merge_states`].
+//! 3. **Install.** The new regime's replicas are installed under
+//!    `epoch + 1` ([`RegimeMsg::Install`] / [`RegimeMsg::Mirror`]). If a
+//!    remote install fails (crashed node), the switch falls back to a
+//!    primary copy at home under a further epoch — the merged state is in
+//!    hand, so the fallback cannot fail and no state is lost.
+//! 4. **Publish.** The home's table gets the new epoch; stale caches
+//!    recover through `StaleRegime` replies or lease expiry.
+//!
+//! Multi-partition (`All`-routed) operations are forwarded to the home and
+//! executed under its switch lock ([`RegimeMsg::OpAll`]), so a switch can
+//!   never interleave with the per-partition shares of a non-idempotent
+//! batch (which a client-side retry would re-apply).
+//!
+//! ## Residual windows
+//!
+//! Update pushes to mirrors and mirror drops are best-effort under node
+//! crashes (exactly like the primary-copy RTS's invalidation/update
+//! fan-out): a mirror that misses an update detects the sequence gap on the
+//! next update and re-syncs, and the regime lease bounds how long a node
+//! can act on a retired table. On a live network both paths are reliable.
+
+pub(crate) mod messages;
+mod policy;
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use orca_amoeba::network::NetworkHandle;
+use orca_amoeba::node::ports;
+use orca_amoeba::rpc::{rpc_call_timeout, RpcError, RpcServer};
+use orca_amoeba::NodeId;
+use orca_object::shard::spread_owner;
+use orca_object::ShardRoute;
+use orca_object::{AnyReplica, AppliedOutcome, ObjectError, ObjectId, ObjectRegistry, OpKind};
+use orca_wire::Wire;
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::stats::{AccessStats, RtsStats, RtsStatsSnapshot};
+use crate::{RtsError, RtsKind, RuntimeSystem};
+use messages::{table_object, RegimeKind, RegimeMsg, RegimeReply, RegimeTable};
+use policy::{pick_regime, UsageAggregate};
+
+pub use policy::AdaptivePolicy;
+
+/// How long a caller sleeps before retrying an operation whose guard was
+/// false.
+const BLOCKED_RETRY_DELAY: Duration = Duration::from_millis(20);
+
+/// How long a caller sleeps before re-fetching a regime table that turned
+/// out stale (a switch is in flight).
+const STALE_RETRY_DELAY: Duration = Duration::from_millis(5);
+
+/// How long a guarded read parks on a mirror before re-validating the
+/// regime (protects against missed wake-ups and retired mirrors).
+const MIRROR_GUARD_WAIT: Duration = Duration::from_millis(100);
+
+/// How long a mirror read waits for an in-flight two-phase update to
+/// unlock before re-checking.
+const MIRROR_LOCK_WAIT: Duration = Duration::from_millis(50);
+
+/// One authoritative replica (the home copy under the primary/replicated
+/// regimes, or one partition under the sharded regime) held by this node.
+struct Slot {
+    replica: Mutex<Box<dyn AnyReplica>>,
+    /// Epoch of the regime this slot serves; operations stamped with any
+    /// other epoch are answered `StaleRegime`.
+    epoch: u64,
+    /// Set (under the replica mutex) when a regime switch has serialized
+    /// this replica's state for transfer. An operation may have cloned the
+    /// slot `Arc` before the drain removed it; without this mark it would
+    /// apply to the orphaned replica *after* the state snapshot and be
+    /// silently lost across the switch.
+    withdrawn: AtomicBool,
+    /// True for the home copy of a replicated-regime object: completed
+    /// writes are pushed to every mirror as sequence-numbered updates.
+    push_updates: bool,
+    /// Owner-side access counters (diagnostics; decisions use the reported
+    /// per-node aggregate at the home).
+    access: AccessStats,
+}
+
+/// One node's read mirror of a replicated-regime object.
+#[derive(Default)]
+struct MirrorState {
+    copy: Option<Box<dyn AnyReplica>>,
+    /// Epoch the mirror belongs to.
+    epoch: u64,
+    /// Sequence number of the last update applied to `copy`.
+    seq: u64,
+    /// Highest update sequence number *observed* for this epoch, applied
+    /// or not. A fetch that returns state older than this raced a
+    /// concurrent update and is retried instead of installed.
+    seen_seq: u64,
+    /// True between the update and unlock phases of a push; reads wait.
+    locked: bool,
+}
+
+struct Mirror {
+    state: Mutex<MirrorState>,
+    unlocked: Condvar,
+}
+
+/// Home-node record of one object this node created.
+struct HomeObject {
+    /// The authoritative regime table, swapped wholesale by regime
+    /// switches so the hot path hands out `Arc` clones instead of deep
+    /// copies. Held only for reads and short updates — never across an
+    /// RPC.
+    table: Mutex<Arc<RegimeTable>>,
+    /// Serializes regime switches and `All`-routed fan-outs of this
+    /// object. Held across the drain/install RPCs.
+    switch: Mutex<()>,
+    /// Decayed per-node usage aggregate driving regime decisions.
+    usage: Mutex<UsageAggregate>,
+}
+
+struct Inner {
+    node: NodeId,
+    num_nodes: usize,
+    handle: NetworkHandle,
+    registry: ObjectRegistry,
+    policy: AdaptivePolicy,
+    /// Authoritative replicas this node currently serves.
+    slots: RwLock<HashMap<(ObjectId, u32), Arc<Slot>>>,
+    /// Read mirrors of replicated-regime objects.
+    mirrors: RwLock<HashMap<ObjectId, Arc<Mirror>>>,
+    /// Authoritative tables of objects this node created.
+    homes: RwLock<HashMap<ObjectId, Arc<HomeObject>>>,
+    /// Leased cache of other objects' regime tables.
+    routes: Mutex<HashMap<ObjectId, (Arc<RegimeTable>, Instant)>>,
+    /// This node's unreported read/write counts per object.
+    pending_usage: Mutex<HashMap<ObjectId, (u64, u64)>>,
+    next_object: AtomicU64,
+    /// Rotates the scan start of `Any`-routed operations.
+    any_seq: AtomicU64,
+    stats: Arc<RtsStats>,
+    /// Set by [`AdaptiveRts::shutdown`]; invocation retry loops observe it
+    /// and return [`RtsError::Terminated`] instead of spinning forever
+    /// (home-local guarded operations never touch the RPC server, so
+    /// stopping the server alone would not wake them).
+    stopped: AtomicBool,
+}
+
+/// Handle to one node's adaptive runtime system. Cheap to clone.
+#[derive(Clone)]
+pub struct AdaptiveRts {
+    inner: Arc<Inner>,
+    server: Arc<Mutex<Option<RpcServer>>>,
+}
+
+impl std::fmt::Debug for AdaptiveRts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveRts")
+            .field("node", &self.inner.node)
+            .finish()
+    }
+}
+
+/// Outcome of one attempt to execute (part of) an operation.
+enum PartOutcome {
+    Done(Vec<u8>),
+    Blocked,
+    Stale,
+}
+
+impl AdaptiveRts {
+    /// Start the adaptive runtime system on the node owning `handle`.
+    pub fn start(handle: NetworkHandle, registry: ObjectRegistry, policy: AdaptivePolicy) -> Self {
+        let inner = Arc::new(Inner {
+            node: handle.node(),
+            num_nodes: handle.num_nodes(),
+            handle: handle.clone(),
+            registry,
+            policy,
+            slots: RwLock::new(HashMap::new()),
+            mirrors: RwLock::new(HashMap::new()),
+            homes: RwLock::new(HashMap::new()),
+            routes: Mutex::new(HashMap::new()),
+            pending_usage: Mutex::new(HashMap::new()),
+            next_object: AtomicU64::new(1),
+            any_seq: AtomicU64::new(0),
+            stats: RtsStats::new_shared(),
+            stopped: AtomicBool::new(false),
+        });
+        let service_inner = Arc::clone(&inner);
+        // Spawn-per-request service: regime switches and `All` fan-outs
+        // hold a handler across nested RPCs, which would deadlock a small
+        // fixed pool.
+        let server =
+            RpcServer::serve_concurrent(handle, ports::RTS_ADAPTIVE, move |body, caller| {
+                serve_request(&service_inner, body, caller)
+            });
+        AdaptiveRts {
+            inner,
+            server: Arc::new(Mutex::new(Some(server))),
+        }
+    }
+
+    /// Stop the RPC service of this node and fail any invocation still in
+    /// its retry loop with [`RtsError::Terminated`] (all waits in the loop
+    /// are bounded, so blocked guards observe the flag promptly).
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.stopped.store(true, Ordering::SeqCst);
+        if let Some(server) = self.server.lock().take() {
+            server.shutdown();
+        }
+    }
+
+    /// The regime currently serving `object` and its epoch, freshly fetched
+    /// from the home node (bypassing this node's cache).
+    pub fn regime_of(&self, object: ObjectId) -> Result<(RegimeKind, u64), RtsError> {
+        self.inner.routes.lock().remove(&object);
+        let deadline = Instant::now() + self.inner.policy.op_timeout;
+        let table = self.route_for(object, deadline)?;
+        Ok((table.regime, table.epoch))
+    }
+
+    /// Ask the object's home node to re-evaluate its regime right now from
+    /// the usage evidence reported so far (a regime-change proposal).
+    /// Returns the — possibly freshly switched — regime.
+    pub fn propose(&self, object: ObjectId) -> Result<RegimeKind, RtsError> {
+        let home = NodeId(object.creator_index());
+        if home == self.inner.node {
+            let entry = self.inner.homes.read().get(&object).cloned();
+            let entry = entry.ok_or(RtsError::Object(ObjectError::NoSuchObject(object)))?;
+            evaluate_object(&self.inner, object, &entry);
+            return Ok(entry.table.lock().regime);
+        }
+        let deadline = Instant::now() + self.inner.policy.op_timeout;
+        match self.rpc(home, &RegimeMsg::Propose { object: object.0 }, deadline)? {
+            RegimeReply::Route(table) => Ok(table.regime),
+            RegimeReply::Error(msg) => Err(RtsError::Communication(msg)),
+            other => Err(RtsError::Communication(format!(
+                "unexpected Propose reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Flush this node's unreported usage counters for `object` to its
+    /// home (tests and benchmarks use this before [`AdaptiveRts::propose`]
+    /// so decisions see all the evidence).
+    pub fn flush_usage(&self, object: ObjectId) {
+        let taken = self.inner.pending_usage.lock().remove(&object);
+        if let Some((reads, writes)) = taken {
+            if reads + writes > 0 {
+                self.send_report(object, reads, writes);
+            }
+        }
+    }
+
+    /// Send a regime request to `dst`, bounded by `deadline`.
+    fn rpc(
+        &self,
+        dst: NodeId,
+        msg: &RegimeMsg,
+        deadline: Instant,
+    ) -> Result<RegimeReply, RtsError> {
+        regime_rpc_deadline(&self.inner, dst, msg, deadline)
+    }
+
+    /// Regime table for `object`: authoritative at home, leased cache
+    /// elsewhere.
+    fn route_for(&self, object: ObjectId, deadline: Instant) -> Result<Arc<RegimeTable>, RtsError> {
+        let home = NodeId(object.creator_index());
+        if home == self.inner.node {
+            let entry = self.inner.homes.read().get(&object).cloned();
+            let entry = entry.ok_or(RtsError::Object(ObjectError::NoSuchObject(object)))?;
+            return Ok(Arc::clone(&entry.table.lock()));
+        }
+        if let Some((table, fetched)) = self.inner.routes.lock().get(&object) {
+            if fetched.elapsed() < self.inner.policy.regime_lease {
+                return Ok(Arc::clone(table));
+            }
+        }
+        match self.rpc(home, &RegimeMsg::Route { object: object.0 }, deadline)? {
+            RegimeReply::Route(table) => {
+                let table = Arc::new(table);
+                self.inner
+                    .routes
+                    .lock()
+                    .insert(object, (Arc::clone(&table), Instant::now()));
+                Ok(table)
+            }
+            RegimeReply::Error(msg) => Err(RtsError::Communication(msg)),
+            other => Err(RtsError::Communication(format!(
+                "unexpected Route reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Count a local access and ship a usage report to the home every
+    /// [`AdaptivePolicy::report_every`] accesses.
+    fn note_access(&self, object: ObjectId, kind: OpKind) {
+        let taken = {
+            let mut pending = self.inner.pending_usage.lock();
+            let entry = pending.entry(object).or_insert((0, 0));
+            match kind {
+                OpKind::Read => entry.0 += 1,
+                OpKind::Write => entry.1 += 1,
+            }
+            if entry.0 + entry.1 >= self.inner.policy.report_every {
+                pending.remove(&object)
+            } else {
+                None
+            }
+        };
+        if let Some((reads, writes)) = taken {
+            self.send_report(object, reads, writes);
+        }
+    }
+
+    /// Deliver a usage report to the home (directly when this node is the
+    /// home). Failures are ignored: a lost report only delays adaptation.
+    fn send_report(&self, object: ObjectId, reads: u64, writes: u64) {
+        let home = NodeId(object.creator_index());
+        let msg = RegimeMsg::Report {
+            object: object.0,
+            node: self.inner.node.0,
+            reads,
+            writes,
+        };
+        if home == self.inner.node {
+            let _ = dispatch(&self.inner, msg, self.inner.node);
+        } else {
+            let deadline = Instant::now() + self.inner.policy.op_timeout;
+            let _ = self.rpc(home, &msg, deadline);
+        }
+    }
+
+    /// Record invocation-level statistics once the routing decision is
+    /// known.
+    fn record_invocation(&self, all_local: bool, kind: OpKind) {
+        let stats = &self.inner.stats;
+        match kind {
+            OpKind::Read => {
+                if all_local {
+                    RtsStats::bump(&stats.local_reads);
+                } else {
+                    RtsStats::bump(&stats.remote_reads);
+                }
+            }
+            OpKind::Write => {
+                RtsStats::bump(&stats.writes);
+                if !all_local {
+                    RtsStats::bump(&stats.remote_writes);
+                }
+            }
+        }
+    }
+
+    /// Execute an (already partition-narrowed) operation on one
+    /// authoritative slot — locally if this node serves it, otherwise
+    /// shipped to the owner.
+    fn slot_op(
+        &self,
+        table: &RegimeTable,
+        partition: u32,
+        op: &[u8],
+        deadline: Instant,
+    ) -> Result<PartOutcome, RtsError> {
+        let owner = NodeId(table.owners[partition as usize]);
+        let object = table_object(table);
+        let reply = if owner == self.inner.node {
+            apply_at_slot(
+                &self.inner,
+                object,
+                partition,
+                table.epoch,
+                op,
+                self.inner.node,
+            )
+        } else {
+            self.rpc(
+                owner,
+                &RegimeMsg::Op {
+                    object: object.0,
+                    epoch: table.epoch,
+                    partition,
+                    op: op.to_vec(),
+                },
+                deadline,
+            )?
+        };
+        match reply {
+            RegimeReply::Done(bytes) => Ok(PartOutcome::Done(bytes)),
+            RegimeReply::Blocked => Ok(PartOutcome::Blocked),
+            RegimeReply::StaleRegime => Ok(PartOutcome::Stale),
+            RegimeReply::Error(msg) => Err(RtsError::Communication(msg)),
+            other => Err(RtsError::Communication(format!(
+                "unexpected Op reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Serve a replicated-regime read from the local mirror, fetching or
+    /// re-syncing it from the home when needed.
+    fn mirror_read(
+        &self,
+        table: &RegimeTable,
+        op: &[u8],
+        deadline: Instant,
+    ) -> Result<PartOutcome, RtsError> {
+        let object = table_object(table);
+        loop {
+            let mirror = mirror_entry(&self.inner, object);
+            let mut state = mirror.state.lock();
+            if state.epoch != table.epoch || state.copy.is_none() {
+                drop(state);
+                if !self.fetch_mirror(object, table, &mirror, deadline)? {
+                    return Ok(PartOutcome::Stale);
+                }
+                continue;
+            }
+            if state.locked {
+                // A two-phase update is in flight; wait for its unlock. A
+                // lock that never clears (the unlock was lost to a crash
+                // mid-push) must not wedge this mirror forever: once the
+                // deadline passes, discard the copy — the next read
+                // re-syncs a fresh, unlocked state from the home — and
+                // hand back Stale so the caller's deadline check fails
+                // this invocation instead of hanging.
+                if Instant::now() >= deadline {
+                    state.copy = None;
+                    return Ok(PartOutcome::Stale);
+                }
+                mirror.unlocked.wait_for(&mut state, MIRROR_LOCK_WAIT);
+                continue;
+            }
+            let copy = state.copy.as_mut().expect("checked above");
+            match copy.apply_encoded(op)? {
+                AppliedOutcome::Done(reply) => {
+                    RtsStats::bump(&self.inner.stats.local_reads);
+                    return Ok(PartOutcome::Done(reply));
+                }
+                AppliedOutcome::Blocked => {
+                    // Guarded read: wait for an update to change the mirror,
+                    // then hand control back so the caller re-validates the
+                    // regime (the guard's write may commit under a new one).
+                    // The caller accounts the guard retry.
+                    mirror.unlocked.wait_for(&mut state, MIRROR_GUARD_WAIT);
+                    return Ok(PartOutcome::Blocked);
+                }
+            }
+        }
+    }
+
+    /// Fetch a fresh mirror state from the home. Returns false when the
+    /// home says the epoch is stale (caller re-fetches the table).
+    fn fetch_mirror(
+        &self,
+        object: ObjectId,
+        table: &RegimeTable,
+        mirror: &Mirror,
+        deadline: Instant,
+    ) -> Result<bool, RtsError> {
+        let msg = RegimeMsg::FetchMirror {
+            object: object.0,
+            epoch: table.epoch,
+        };
+        let home = NodeId(object.creator_index());
+        match self.rpc(home, &msg, deadline)? {
+            RegimeReply::MirrorState { state, seq } => {
+                let replica = self.inner.registry.instantiate(&table.type_name, &state)?;
+                let mut guard = mirror.state.lock();
+                if guard.epoch > table.epoch {
+                    // The mirror moved on to a newer regime while this
+                    // fetch was in flight; installing the retired snapshot
+                    // would regress it. Treat the fetch as stale.
+                    return Ok(false);
+                }
+                if guard.epoch == table.epoch && guard.seen_seq > seq {
+                    // An update raced ahead of this snapshot; fetch again.
+                    return Ok(true);
+                }
+                if guard.epoch != table.epoch {
+                    guard.seen_seq = seq;
+                }
+                guard.epoch = table.epoch;
+                guard.copy = Some(replica);
+                guard.seq = seq;
+                guard.seen_seq = guard.seen_seq.max(seq);
+                guard.locked = false;
+                RtsStats::bump(&self.inner.stats.copies_fetched);
+                Ok(true)
+            }
+            RegimeReply::StaleRegime => Ok(false),
+            RegimeReply::Error(msg) => Err(RtsError::Communication(msg)),
+            other => Err(RtsError::Communication(format!(
+                "unexpected FetchMirror reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Run an `Any`-routed operation: scan partitions (rotating start)
+    /// until one accepts. Safe to restart after a `StaleRegime`: every
+    /// non-accepted partition reply was a no-op.
+    fn any_partition_op(
+        &self,
+        table: &RegimeTable,
+        logic: &dyn orca_object::ShardLogic,
+        op: &[u8],
+        deadline: Instant,
+    ) -> Result<PartOutcome, RtsError> {
+        let parts = table.partitions();
+        let start = (self.inner.node.index() as u64
+            + self.inner.any_seq.fetch_add(1, Ordering::Relaxed))
+            % u64::from(parts);
+        let mut last_pass = None;
+        let mut any_blocked = false;
+        for step in 0..parts {
+            let partition = ((start + u64::from(step)) % u64::from(parts)) as u32;
+            let part_op = logic.op_for(op, partition, parts)?;
+            match self.slot_op(table, partition, &part_op, deadline)? {
+                PartOutcome::Done(reply) => {
+                    if logic.accepts(op, &reply)? {
+                        return Ok(PartOutcome::Done(reply));
+                    }
+                    last_pass = Some(reply);
+                }
+                PartOutcome::Blocked => any_blocked = true,
+                PartOutcome::Stale => return Ok(PartOutcome::Stale),
+            }
+        }
+        if any_blocked {
+            Ok(PartOutcome::Blocked)
+        } else {
+            Ok(PartOutcome::Done(
+                last_pass.expect("scan visited at least one partition"),
+            ))
+        }
+    }
+
+    /// Run an `All`-routed operation through the home node, which fans it
+    /// out under its switch lock so no regime change can interleave with
+    /// the per-partition shares.
+    fn all_partitions_op(
+        &self,
+        table: &RegimeTable,
+        op: &[u8],
+        deadline: Instant,
+    ) -> Result<PartOutcome, RtsError> {
+        let object = table_object(table);
+        let home = NodeId(object.creator_index());
+        let reply = if home == self.inner.node {
+            serve_op_all(&self.inner, object, op, self.inner.node)
+        } else {
+            self.rpc(
+                home,
+                &RegimeMsg::OpAll {
+                    object: object.0,
+                    op: op.to_vec(),
+                },
+                deadline,
+            )?
+        };
+        match reply {
+            RegimeReply::Done(bytes) => Ok(PartOutcome::Done(bytes)),
+            RegimeReply::Blocked => Ok(PartOutcome::Blocked),
+            RegimeReply::StaleRegime => Ok(PartOutcome::Stale),
+            RegimeReply::Error(msg) => Err(RtsError::Communication(msg)),
+            other => Err(RtsError::Communication(format!(
+                "unexpected OpAll reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Route one invocation under the current regime table.
+    fn dispatch_client_op(
+        &self,
+        table: &RegimeTable,
+        kind: OpKind,
+        op: &[u8],
+        deadline: Instant,
+    ) -> Result<PartOutcome, RtsError> {
+        let me = self.inner.node.0;
+        match table.regime {
+            RegimeKind::Primary => {
+                self.record_invocation(table.owners[0] == me, kind);
+                self.slot_op(table, 0, op, deadline)
+            }
+            RegimeKind::Replicated => match kind {
+                OpKind::Read => {
+                    if table.owners[0] == me {
+                        // The home reads its authoritative copy directly.
+                        RtsStats::bump(&self.inner.stats.local_reads);
+                        self.slot_op(table, 0, op, deadline)
+                    } else {
+                        self.mirror_read(table, op, deadline)
+                    }
+                }
+                OpKind::Write => {
+                    self.record_invocation(table.owners[0] == me, kind);
+                    self.slot_op(table, 0, op, deadline)
+                }
+            },
+            RegimeKind::Sharded => {
+                let logic = self
+                    .inner
+                    .registry
+                    .shard_logic(&table.type_name)
+                    .ok_or_else(|| {
+                        RtsError::Object(ObjectError::UnknownType(table.type_name.clone()))
+                    })?;
+                let route = logic.route(op, table.partitions())?;
+                let all_local = match route {
+                    ShardRoute::One(p) => table.owners[p as usize] == me,
+                    ShardRoute::All | ShardRoute::Any => table.owners.iter().all(|&o| o == me),
+                };
+                self.record_invocation(all_local, kind);
+                match route {
+                    ShardRoute::One(partition) => {
+                        let part_op = logic.op_for(op, partition, table.partitions())?;
+                        self.slot_op(table, partition, &part_op, deadline)
+                    }
+                    ShardRoute::Any => self.any_partition_op(table, logic.as_ref(), op, deadline),
+                    ShardRoute::All => self.all_partitions_op(table, op, deadline),
+                }
+            }
+        }
+    }
+}
+
+impl RuntimeSystem for AdaptiveRts {
+    fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.inner.num_nodes
+    }
+
+    fn create_object(&self, type_name: &str, initial_state: &[u8]) -> Result<ObjectId, RtsError> {
+        let replica = self.inner.registry.instantiate(type_name, initial_state)?;
+        let counter = self.inner.next_object.fetch_add(1, Ordering::Relaxed);
+        let id = ObjectId::compose(self.inner.node.0, counter);
+        // Every object starts in the primary regime: a single copy at home
+        // is the cheapest regime to leave once the access mix is known.
+        self.inner.slots.write().insert(
+            (id, 0),
+            Arc::new(Slot {
+                replica: Mutex::new(replica),
+                epoch: 0,
+                withdrawn: AtomicBool::new(false),
+                push_updates: false,
+                access: AccessStats::default(),
+            }),
+        );
+        self.inner.homes.write().insert(
+            id,
+            Arc::new(HomeObject {
+                table: Mutex::new(Arc::new(RegimeTable {
+                    object: id.0,
+                    type_name: type_name.to_string(),
+                    epoch: 0,
+                    regime: RegimeKind::Primary,
+                    owners: vec![self.inner.node.0],
+                })),
+                switch: Mutex::new(()),
+                usage: Mutex::new(UsageAggregate::default()),
+            }),
+        );
+        RtsStats::bump(&self.inner.stats.objects_created);
+        Ok(id)
+    }
+
+    fn invoke(
+        &self,
+        object: ObjectId,
+        _type_name: &str,
+        kind: OpKind,
+        op: &[u8],
+    ) -> Result<Vec<u8>, RtsError> {
+        let mut deadline = Instant::now() + self.inner.policy.op_timeout;
+        // Counted once per logical invocation, before the retry loop:
+        // guard-blocked and stale-regime retries must not masquerade as
+        // fresh accesses in the usage evidence driving regime decisions.
+        self.note_access(object, kind);
+        loop {
+            if self.inner.stopped.load(Ordering::SeqCst) {
+                return Err(RtsError::Terminated);
+            }
+            let table = self.route_for(object, deadline)?;
+            match self.dispatch_client_op(&table, kind, op, deadline)? {
+                PartOutcome::Done(reply) => return Ok(reply),
+                PartOutcome::Blocked => {
+                    // The guard was false: the replica answered, so the
+                    // transport is alive — restart the deadline and retry.
+                    RtsStats::bump(&self.inner.stats.guard_retries);
+                    std::thread::sleep(BLOCKED_RETRY_DELAY);
+                    deadline = Instant::now() + self.inner.policy.op_timeout;
+                }
+                PartOutcome::Stale => {
+                    // A regime switch is (or was) in flight; re-fetch the
+                    // table. The deadline is *not* restarted: a regime that
+                    // never settles surfaces Timeout.
+                    self.inner.routes.lock().remove(&object);
+                    if Instant::now() >= deadline {
+                        return Err(RtsError::Timeout);
+                    }
+                    std::thread::sleep(STALE_RETRY_DELAY);
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> RtsStatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    fn kind(&self) -> RtsKind {
+        RtsKind::Adaptive
+    }
+}
+
+/// RPC dispatch: the service side of the regime protocol, on every node.
+fn serve_request(inner: &Arc<Inner>, body: &[u8], caller: NodeId) -> Vec<u8> {
+    let reply = match RegimeMsg::from_bytes(body) {
+        Ok(msg) => dispatch(inner, msg, caller),
+        Err(err) => RegimeReply::Error(format!("bad request: {err}")),
+    };
+    reply.to_bytes()
+}
+
+fn dispatch(inner: &Arc<Inner>, msg: RegimeMsg, caller: NodeId) -> RegimeReply {
+    match msg {
+        RegimeMsg::Route { object } => {
+            let entry = inner.homes.read().get(&ObjectId(object)).cloned();
+            match entry {
+                Some(entry) => RegimeReply::Route(RegimeTable::clone(&entry.table.lock())),
+                None => RegimeReply::Error(format!("not home of {}", ObjectId(object))),
+            }
+        }
+        RegimeMsg::Op {
+            object,
+            epoch,
+            partition,
+            op,
+        } => apply_at_slot(inner, ObjectId(object), partition, epoch, &op, caller),
+        RegimeMsg::OpAll { object, op } => serve_op_all(inner, ObjectId(object), &op, caller),
+        RegimeMsg::Propose { object } => {
+            let object = ObjectId(object);
+            let entry = inner.homes.read().get(&object).cloned();
+            match entry {
+                Some(entry) => {
+                    evaluate_object(inner, object, &entry);
+                    RegimeReply::Route(RegimeTable::clone(&entry.table.lock()))
+                }
+                None => RegimeReply::Error(format!("not home of {object}")),
+            }
+        }
+        RegimeMsg::Report {
+            object,
+            node,
+            reads,
+            writes,
+        } => {
+            let object = ObjectId(object);
+            let entry = inner.homes.read().get(&object).cloned();
+            if let Some(entry) = entry {
+                let due =
+                    entry
+                        .usage
+                        .lock()
+                        .report(node, reads, writes, inner.policy.evaluate_every);
+                if due {
+                    evaluate_object(inner, object, &entry);
+                }
+            }
+            RegimeReply::Ack
+        }
+        RegimeMsg::Drain {
+            object,
+            epoch,
+            partition,
+        } => match drain_local(inner, ObjectId(object), partition, epoch) {
+            Some(state) => RegimeReply::State(state),
+            None => RegimeReply::StaleRegime,
+        },
+        RegimeMsg::Install {
+            object,
+            epoch,
+            partition,
+            type_name,
+            state,
+        } => match install_slot(
+            inner,
+            ObjectId(object),
+            partition,
+            epoch,
+            &type_name,
+            &state,
+            false,
+        ) {
+            Ok(()) => RegimeReply::Ack,
+            Err(err) => RegimeReply::Error(err.to_string()),
+        },
+        RegimeMsg::Mirror {
+            object,
+            epoch,
+            type_name,
+            state,
+            seq,
+        } => install_mirror(inner, ObjectId(object), epoch, &type_name, &state, seq),
+        RegimeMsg::FetchMirror { object, epoch } => {
+            serve_fetch_mirror(inner, ObjectId(object), epoch)
+        }
+        RegimeMsg::DropMirror { object, epoch } => {
+            let mirror = inner.mirrors.read().get(&ObjectId(object)).cloned();
+            if let Some(mirror) = mirror {
+                let mut state = mirror.state.lock();
+                if state.epoch <= epoch {
+                    state.copy = None;
+                    state.locked = false;
+                    mirror.unlocked.notify_all();
+                }
+            }
+            RegimeReply::Ack
+        }
+        RegimeMsg::Update {
+            object,
+            epoch,
+            seq,
+            op,
+        } => apply_update(inner, ObjectId(object), epoch, seq, &op),
+        RegimeMsg::Unlock { object, epoch, seq } => {
+            let mirror = inner.mirrors.read().get(&ObjectId(object)).cloned();
+            if let Some(mirror) = mirror {
+                let mut state = mirror.state.lock();
+                if state.epoch == epoch && state.seq <= seq {
+                    state.locked = false;
+                }
+                mirror.unlocked.notify_all();
+            }
+            RegimeReply::Ack
+        }
+    }
+}
+
+/// Execute an operation on a locally-served authoritative slot, honoring
+/// the epoch and withdrawn-mark discipline. For the home copy of a
+/// replicated-regime object, completed writes are pushed to every mirror
+/// while the replica mutex is still held, which keeps the update stream in
+/// sequence order.
+fn apply_at_slot(
+    inner: &Arc<Inner>,
+    object: ObjectId,
+    partition: u32,
+    epoch: u64,
+    op: &[u8],
+    caller: NodeId,
+) -> RegimeReply {
+    let slot = inner.slots.read().get(&(object, partition)).cloned();
+    let Some(slot) = slot else {
+        return RegimeReply::StaleRegime;
+    };
+    if slot.epoch != epoch {
+        return RegimeReply::StaleRegime;
+    }
+    let mut replica = slot.replica.lock();
+    if slot.withdrawn.load(Ordering::Relaxed) {
+        // A regime switch serialized this replica's state while we were
+        // waiting for the lock; applying now would lose the write.
+        return RegimeReply::StaleRegime;
+    }
+    let kind = match replica.op_kind(op) {
+        Ok(kind) => kind,
+        Err(err) => return RegimeReply::Error(err.to_string()),
+    };
+    match kind {
+        OpKind::Read => slot.access.record_read(),
+        OpKind::Write => slot.access.record_write(),
+    }
+    match replica.apply_encoded(op) {
+        Ok(AppliedOutcome::Done(reply)) => {
+            if caller != inner.node {
+                RtsStats::bump(&inner.stats.updates_applied);
+            }
+            if slot.push_updates && kind == OpKind::Write {
+                let seq = replica.version();
+                push_update(inner, object, epoch, seq, op);
+            }
+            RegimeReply::Done(reply)
+        }
+        Ok(AppliedOutcome::Blocked) => RegimeReply::Blocked,
+        Err(err) => RegimeReply::Error(err.to_string()),
+    }
+}
+
+/// Push one committed write to every mirror (two-phase: update-and-lock,
+/// then unlock). Best-effort under crashes: a mirror that misses an update
+/// detects the sequence gap on the next one and re-syncs from the home.
+///
+/// The whole fan-out runs under a budget of half the operation deadline
+/// (the replica mutex is held throughout, and the writer is waiting on
+/// this reply): a crashed node eats the remaining budget at most once,
+/// the rest of the push is skipped, and the home still answers the
+/// writer before *its* deadline expires — a committed write must not be
+/// reported as a timeout just because a mirror is unreachable.
+fn push_update(inner: &Arc<Inner>, object: ObjectId, epoch: u64, seq: u64, op: &[u8]) {
+    let deadline = Instant::now() + inner.policy.op_timeout / 2;
+    let others: Vec<NodeId> = (0..inner.num_nodes)
+        .map(NodeId::from)
+        .filter(|n| *n != inner.node)
+        .collect();
+    let update = RegimeMsg::Update {
+        object: object.0,
+        epoch,
+        seq,
+        op: op.to_vec(),
+    };
+    for node in &others {
+        let _ = regime_rpc_deadline(inner, *node, &update, deadline);
+    }
+    let unlock = RegimeMsg::Unlock {
+        object: object.0,
+        epoch,
+        seq,
+    };
+    for node in &others {
+        let _ = regime_rpc_deadline(inner, *node, &unlock, deadline);
+    }
+}
+
+/// This node's mirror entry for `object`, created empty on first use.
+fn mirror_entry(inner: &Arc<Inner>, object: ObjectId) -> Arc<Mirror> {
+    if let Some(entry) = inner.mirrors.read().get(&object) {
+        return Arc::clone(entry);
+    }
+    let mut mirrors = inner.mirrors.write();
+    Arc::clone(mirrors.entry(object).or_insert_with(|| {
+        Arc::new(Mirror {
+            state: Mutex::new(MirrorState::default()),
+            unlocked: Condvar::new(),
+        })
+    }))
+}
+
+/// Apply one sequence-numbered update to the local mirror. Out-of-order
+/// or raced updates invalidate the copy, which re-syncs lazily. An update
+/// that beats the mirror install creates the (empty) entry, so its
+/// sequence number is remembered and a concurrent fetch cannot install an
+/// older snapshot as current.
+fn apply_update(
+    inner: &Arc<Inner>,
+    object: ObjectId,
+    epoch: u64,
+    seq: u64,
+    op: &[u8],
+) -> RegimeReply {
+    let mirror = mirror_entry(inner, object);
+    let mut state = mirror.state.lock();
+    if epoch < state.epoch {
+        return RegimeReply::Ack;
+    }
+    if epoch > state.epoch {
+        state.epoch = epoch;
+        state.copy = None;
+        state.seq = 0;
+        state.seen_seq = 0;
+    }
+    state.seen_seq = state.seen_seq.max(seq);
+    let applied_seq = state.seq;
+    if state.copy.is_some() {
+        if seq == applied_seq + 1 {
+            let outcome = state
+                .copy
+                .as_mut()
+                .expect("checked above")
+                .apply_encoded(op);
+            match outcome {
+                Ok(_) => {
+                    state.seq = seq;
+                    state.locked = true;
+                    RtsStats::bump(&inner.stats.updates_applied);
+                }
+                Err(_) => state.copy = None,
+            }
+        } else if seq > applied_seq + 1 {
+            // Gap: an update was lost; drop the copy and re-sync on the
+            // next read.
+            state.copy = None;
+        }
+        // seq <= state.seq: duplicate, ignore.
+    }
+    RegimeReply::Ack
+}
+
+fn install_mirror(
+    inner: &Arc<Inner>,
+    object: ObjectId,
+    epoch: u64,
+    type_name: &str,
+    state_bytes: &[u8],
+    seq: u64,
+) -> RegimeReply {
+    let replica = match inner.registry.instantiate(type_name, state_bytes) {
+        Ok(replica) => replica,
+        Err(err) => return RegimeReply::Error(err.to_string()),
+    };
+    let mirror = mirror_entry(inner, object);
+    let mut state = mirror.state.lock();
+    if epoch < state.epoch {
+        return RegimeReply::Ack;
+    }
+    if epoch > state.epoch {
+        state.epoch = epoch;
+        state.seq = 0;
+        state.seen_seq = 0;
+    }
+    if state.seen_seq > seq {
+        // An update for this epoch raced ahead of the snapshot; leave the
+        // copy absent so the first read fetches a fresh one.
+        state.copy = None;
+        return RegimeReply::Ack;
+    }
+    state.copy = Some(replica);
+    state.seq = seq;
+    state.seen_seq = state.seen_seq.max(seq);
+    state.locked = false;
+    mirror.unlocked.notify_all();
+    RtsStats::bump(&inner.stats.copies_fetched);
+    RegimeReply::Ack
+}
+
+fn serve_fetch_mirror(inner: &Arc<Inner>, object: ObjectId, epoch: u64) -> RegimeReply {
+    let entry = inner.homes.read().get(&object).cloned();
+    let Some(entry) = entry else {
+        return RegimeReply::Error(format!("not home of {object}"));
+    };
+    {
+        let table = entry.table.lock();
+        if table.epoch != epoch || table.regime != RegimeKind::Replicated {
+            return RegimeReply::StaleRegime;
+        }
+    }
+    let slot = inner.slots.read().get(&(object, 0)).cloned();
+    let Some(slot) = slot else {
+        return RegimeReply::StaleRegime;
+    };
+    if slot.epoch != epoch {
+        return RegimeReply::StaleRegime;
+    }
+    let replica = slot.replica.lock();
+    if slot.withdrawn.load(Ordering::Relaxed) {
+        return RegimeReply::StaleRegime;
+    }
+    RegimeReply::MirrorState {
+        state: replica.state_bytes(),
+        seq: replica.version(),
+    }
+}
+
+/// Execute an `All`-routed operation at the home, under the switch lock,
+/// so its per-partition shares can never interleave with a regime change.
+fn serve_op_all(inner: &Arc<Inner>, object: ObjectId, op: &[u8], caller: NodeId) -> RegimeReply {
+    let entry = inner.homes.read().get(&object).cloned();
+    let Some(entry) = entry else {
+        return RegimeReply::Error(format!("not home of {object}"));
+    };
+    let _switch = entry.switch.lock();
+    let table = entry.table.lock().clone();
+    match table.regime {
+        RegimeKind::Primary | RegimeKind::Replicated => {
+            // Single authoritative copy at home: the whole-object op
+            // applies directly.
+            apply_at_slot(inner, object, 0, table.epoch, op, caller)
+        }
+        RegimeKind::Sharded => {
+            let Some(logic) = inner.registry.shard_logic(&table.type_name) else {
+                return RegimeReply::Error(format!("no shard logic for {}", table.type_name));
+            };
+            let parts = table.partitions();
+            let mut replies = Vec::with_capacity(parts as usize);
+            for partition in 0..parts {
+                let share = match logic.op_for(op, partition, parts) {
+                    Ok(share) => share,
+                    Err(err) => return RegimeReply::Error(err.to_string()),
+                };
+                let owner = NodeId(table.owners[partition as usize]);
+                let reply = if owner == inner.node {
+                    apply_at_slot(inner, object, partition, table.epoch, &share, caller)
+                } else {
+                    match regime_rpc(
+                        inner,
+                        owner,
+                        &RegimeMsg::Op {
+                            object: object.0,
+                            epoch: table.epoch,
+                            partition,
+                            op: share,
+                        },
+                    ) {
+                        Ok(reply) => reply,
+                        Err(err) => return RegimeReply::Error(err.to_string()),
+                    }
+                };
+                match reply {
+                    RegimeReply::Done(bytes) => replies.push(bytes),
+                    // None of the standard All-routed operations carries a
+                    // guard; partial application of a blocking batch could
+                    // not be rolled back, so it is rejected outright.
+                    RegimeReply::Blocked => {
+                        return RegimeReply::Error(
+                            "blocking all-partition operations are not supported".into(),
+                        )
+                    }
+                    RegimeReply::StaleRegime => {
+                        // Cannot happen while the switch lock is held unless
+                        // an owner lost its slot to a crash.
+                        return RegimeReply::Error(format!(
+                            "partition {partition} of {object} unavailable"
+                        ));
+                    }
+                    RegimeReply::Error(msg) => return RegimeReply::Error(msg),
+                    other => return RegimeReply::Error(format!("unexpected Op reply {other:?}")),
+                }
+            }
+            match logic.combine(op, replies) {
+                Ok(reply) => RegimeReply::Done(reply),
+                Err(err) => RegimeReply::Error(err.to_string()),
+            }
+        }
+    }
+}
+
+/// Withdraw a locally-served slot for a regime switch and return its
+/// serialized state. Returns `None` when the slot is absent or belongs to
+/// a different epoch (duplicate or late drain).
+fn drain_local(
+    inner: &Arc<Inner>,
+    object: ObjectId,
+    partition: u32,
+    epoch: u64,
+) -> Option<Vec<u8>> {
+    let slot = {
+        let mut slots = inner.slots.write();
+        match slots.get(&(object, partition)) {
+            Some(slot) if slot.epoch == epoch => slots.remove(&(object, partition)),
+            _ => None,
+        }
+    }?;
+    // Mark the slot withdrawn in the same critical section that snapshots
+    // the state: an operation that cloned the slot out of `slots` before
+    // the removal above will acquire this mutex later, see the mark and
+    // answer StaleRegime instead of applying to the orphaned replica.
+    let replica = slot.replica.lock();
+    slot.withdrawn.store(true, Ordering::Relaxed);
+    RtsStats::bump(&inner.stats.copies_dropped);
+    Some(replica.state_bytes())
+}
+
+/// Install an authoritative slot on this node.
+fn install_slot(
+    inner: &Arc<Inner>,
+    object: ObjectId,
+    partition: u32,
+    epoch: u64,
+    type_name: &str,
+    state: &[u8],
+    push_updates: bool,
+) -> Result<(), RtsError> {
+    let replica = inner.registry.instantiate(type_name, state)?;
+    inner.slots.write().insert(
+        (object, partition),
+        Arc::new(Slot {
+            replica: Mutex::new(replica),
+            epoch,
+            withdrawn: AtomicBool::new(false),
+            push_updates,
+            access: AccessStats::default(),
+        }),
+    );
+    Ok(())
+}
+
+/// Server-side regime RPC (switch and fan-out traffic), bounded by the
+/// policy deadline.
+fn regime_rpc(inner: &Arc<Inner>, dst: NodeId, msg: &RegimeMsg) -> Result<RegimeReply, RtsError> {
+    regime_rpc_deadline(inner, dst, msg, Instant::now() + inner.policy.op_timeout)
+}
+
+/// Server-side regime RPC bounded by an explicit shared deadline: a
+/// fan-out whose early legs stall (crashed peer) skips the remaining
+/// legs instead of multiplying the stall.
+fn regime_rpc_deadline(
+    inner: &Arc<Inner>,
+    dst: NodeId,
+    msg: &RegimeMsg,
+    deadline: Instant,
+) -> Result<RegimeReply, RtsError> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(RtsError::Timeout);
+    }
+    let reply = rpc_call_timeout(
+        &inner.handle,
+        dst,
+        ports::RTS_ADAPTIVE,
+        msg.to_bytes(),
+        remaining,
+    )
+    .map_err(|err| match err {
+        RpcError::Timeout => RtsError::Timeout,
+        other => RtsError::Communication(other.to_string()),
+    })?;
+    RegimeReply::from_bytes(&reply)
+        .map_err(|err| RtsError::Communication(format!("bad reply: {err}")))
+}
+
+/// Close a usage window at the home and switch the regime if the decayed
+/// evidence says a different one fits.
+fn evaluate_object(inner: &Arc<Inner>, object: ObjectId, entry: &Arc<HomeObject>) {
+    let (reads, writes) = {
+        let mut usage = entry.usage.lock();
+        let totals = usage.totals();
+        usage.end_window();
+        totals
+    };
+    if reads + writes < inner.policy.min_accesses {
+        return;
+    }
+    let (current, type_name) = {
+        let table = entry.table.lock();
+        (table.regime, table.type_name.clone())
+    };
+    let shardable = inner.registry.shard_logic(&type_name).is_some();
+    let target = pick_regime(reads, writes, shardable, inner.num_nodes, &inner.policy);
+    if target != current {
+        // A failed switch (crashed peer) leaves the old regime in place;
+        // the next evaluation window simply proposes it again.
+        let _ = switch_regime(inner, object, entry, target);
+    }
+}
+
+/// Execute a regime switch: drain the old regime's replicas, merge their
+/// states, install the new regime under the next epoch, publish the table.
+fn switch_regime(
+    inner: &Arc<Inner>,
+    object: ObjectId,
+    entry: &Arc<HomeObject>,
+    target: RegimeKind,
+) -> Result<(), RtsError> {
+    let _switch = entry.switch.lock();
+    let old = RegimeTable::clone(&entry.table.lock());
+    if old.regime == target {
+        return Ok(());
+    }
+    let logic = inner.registry.shard_logic(&old.type_name);
+    if target == RegimeKind::Sharded && logic.is_none() {
+        return Ok(());
+    }
+    let others: Vec<NodeId> = (0..inner.num_nodes)
+        .map(NodeId::from)
+        .filter(|n| *n != inner.node)
+        .collect();
+
+    // Phase 1: drain every authoritative replica of the old regime.
+    let mut states: Vec<Vec<u8>> = Vec::with_capacity(old.owners.len());
+    for (partition, &owner) in old.owners.iter().enumerate() {
+        let partition = partition as u32;
+        let drained = if NodeId(owner) == inner.node {
+            drain_local(inner, object, partition, old.epoch)
+                .ok_or_else(|| RtsError::Communication(format!("slot {partition} already gone")))
+        } else {
+            match regime_rpc(
+                inner,
+                NodeId(owner),
+                &RegimeMsg::Drain {
+                    object: object.0,
+                    epoch: old.epoch,
+                    partition,
+                },
+            ) {
+                Ok(RegimeReply::State(state)) => Ok(state),
+                Ok(other) => Err(RtsError::Communication(format!(
+                    "unexpected Drain reply {other:?}"
+                ))),
+                Err(err) => Err(err),
+            }
+        };
+        match drained {
+            Ok(state) => states.push(state),
+            Err(err) => {
+                // Reinstall what was drained under the old epoch so the old
+                // regime keeps serving, and report the failed switch.
+                undo_drain(inner, object, &old, &states);
+                return Err(err);
+            }
+        }
+    }
+
+    // Retire mirrors of a replicated regime *after* the drain: with the
+    // home slot withdrawn, a racing FetchMirror is answered StaleRegime
+    // and cannot resurrect a mirror; existing mirrors serve the last
+    // committed state until their drop arrives, and no write can commit
+    // anywhere until the new regime publishes, so those reads stay
+    // consistent (best-effort under crashes; the regime lease bounds the
+    // window for a node whose drop was lost).
+    if old.regime == RegimeKind::Replicated {
+        for node in &others {
+            let _ = regime_rpc(
+                inner,
+                *node,
+                &RegimeMsg::DropMirror {
+                    object: object.0,
+                    epoch: old.epoch,
+                },
+            );
+        }
+    }
+
+    // Phase 2: merge the drained states into one whole-object state
+    // (`states` stays alive so any later failure can re-install the old
+    // regime — a drained object must never be lost).
+    let full = if states.len() == 1 {
+        states[0].clone()
+    } else {
+        let logic = logic
+            .as_ref()
+            .expect("multi-partition regime implies shard logic");
+        match logic.merge_states(states.clone()) {
+            Ok(full) => full,
+            Err(err) => {
+                undo_drain(inner, object, &old, &states);
+                return Err(err.into());
+            }
+        }
+    };
+
+    // Phase 3: install the new regime. Any failure here re-installs the
+    // old regime from the drained states, so evaluate_object's invariant —
+    // a failed switch leaves the old regime in place — holds on every
+    // error path.
+    let (new_epoch, regime, owners) = match install_new_regime(
+        inner,
+        object,
+        &old,
+        target,
+        logic.as_deref(),
+        &others,
+        &full,
+    ) {
+        Ok(published) => published,
+        Err(err) => {
+            undo_drain(inner, object, &old, &states);
+            return Err(err);
+        }
+    };
+
+    // Phase 4: publish.
+    *entry.table.lock() = Arc::new(RegimeTable {
+        object: object.0,
+        type_name: old.type_name,
+        epoch: new_epoch,
+        regime,
+        owners,
+    });
+    RtsStats::bump(&inner.stats.regime_switches);
+    Ok(())
+}
+
+/// Install the target regime's replicas under the next epoch and return
+/// what to publish. Remote install failures fall back to a primary copy
+/// at home under a further epoch — the merged state is in hand, so the
+/// fallback cannot fail remotely; an error return means nothing usable
+/// was installed and the caller re-installs the old regime.
+fn install_new_regime(
+    inner: &Arc<Inner>,
+    object: ObjectId,
+    old: &RegimeTable,
+    target: RegimeKind,
+    logic: Option<&dyn orca_object::ShardLogic>,
+    others: &[NodeId],
+    full: &[u8],
+) -> Result<(u64, RegimeKind, Vec<u16>), RtsError> {
+    let new_epoch = old.epoch + 1;
+    match target {
+        RegimeKind::Primary => {
+            install_slot(inner, object, 0, new_epoch, &old.type_name, full, false)?;
+            Ok((new_epoch, target, vec![inner.node.0]))
+        }
+        RegimeKind::Replicated => {
+            install_slot(inner, object, 0, new_epoch, &old.type_name, full, true)?;
+            // Best-effort eager mirrors; a node that misses its install
+            // fetches lazily on its first read.
+            for node in others {
+                let _ = regime_rpc(
+                    inner,
+                    *node,
+                    &RegimeMsg::Mirror {
+                        object: object.0,
+                        epoch: new_epoch,
+                        type_name: old.type_name.clone(),
+                        state: full.to_vec(),
+                        seq: 0,
+                    },
+                );
+            }
+            Ok((new_epoch, target, vec![inner.node.0]))
+        }
+        RegimeKind::Sharded => {
+            let logic = logic.expect("sharded target implies shard logic");
+            let parts = inner.policy.partitions.max(1);
+            let split = logic.split_state(full, parts)?;
+            let owners: Vec<u16> = (0..parts).map(|p| place(inner, object, p)).collect();
+            let mut remote_installed: Vec<(u32, NodeId)> = Vec::new();
+            let mut failed = false;
+            for (partition, state) in split.iter().enumerate() {
+                let partition = partition as u32;
+                let owner = NodeId(owners[partition as usize]);
+                if owner == inner.node {
+                    install_slot(
+                        inner,
+                        object,
+                        partition,
+                        new_epoch,
+                        &old.type_name,
+                        state,
+                        false,
+                    )?;
+                } else {
+                    let installed = regime_rpc(
+                        inner,
+                        owner,
+                        &RegimeMsg::Install {
+                            object: object.0,
+                            epoch: new_epoch,
+                            partition,
+                            type_name: old.type_name.clone(),
+                            state: state.clone(),
+                        },
+                    );
+                    if matches!(installed, Ok(RegimeReply::Ack)) {
+                        remote_installed.push((partition, owner));
+                    } else {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            if !failed {
+                return Ok((new_epoch, target, owners));
+            }
+            // Discard the partial install — local slots directly, remote
+            // ones with a best-effort drain (the epoch is never published,
+            // so an unreachable node's leftover slot can take no
+            // operation; it is only memory) — and fall back to a primary
+            // copy at home under a fresh epoch.
+            {
+                let mut slots = inner.slots.write();
+                for partition in 0..parts {
+                    if let Some(slot) = slots.get(&(object, partition)) {
+                        if slot.epoch == new_epoch {
+                            slots.remove(&(object, partition));
+                        }
+                    }
+                }
+            }
+            for (partition, owner) in remote_installed {
+                let _ = regime_rpc(
+                    inner,
+                    owner,
+                    &RegimeMsg::Drain {
+                        object: object.0,
+                        epoch: new_epoch,
+                        partition,
+                    },
+                );
+            }
+            let fallback_epoch = new_epoch + 1;
+            install_slot(
+                inner,
+                object,
+                0,
+                fallback_epoch,
+                &old.type_name,
+                full,
+                false,
+            )?;
+            Ok((fallback_epoch, RegimeKind::Primary, vec![inner.node.0]))
+        }
+    }
+}
+
+/// Owner of partition `partition` of `object` under the sharded regime:
+/// the same deterministic hashed spread the sharded RTS uses
+/// ([`orca_object::shard::spread_owner`]), so every node could compute
+/// the placement without coordination.
+fn place(inner: &Arc<Inner>, object: ObjectId, partition: u32) -> u16 {
+    spread_owner(object.0, partition, inner.num_nodes)
+}
+
+/// Put drained partitions back at their old owners (failed switch), so the
+/// old regime keeps serving without any lost state.
+fn undo_drain(inner: &Arc<Inner>, object: ObjectId, old: &RegimeTable, states: &[Vec<u8>]) {
+    for (partition, state) in states.iter().enumerate() {
+        let partition = partition as u32;
+        let owner = NodeId(old.owners[partition as usize]);
+        let push = old.regime == RegimeKind::Replicated;
+        if owner == inner.node {
+            let _ = install_slot(
+                inner,
+                object,
+                partition,
+                old.epoch,
+                &old.type_name,
+                state,
+                push,
+            );
+        } else {
+            let _ = regime_rpc(
+                inner,
+                owner,
+                &RegimeMsg::Install {
+                    object: object.0,
+                    epoch: old.epoch,
+                    partition,
+                    type_name: old.type_name.clone(),
+                    state: state.clone(),
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orca_amoeba::network::Network;
+    use orca_object::testing::{Accumulator, AccumulatorOp, Bank, BankOp, BankReply};
+    use orca_object::ObjectType;
+
+    fn registry() -> ObjectRegistry {
+        let mut registry = ObjectRegistry::new();
+        registry.register::<Accumulator>();
+        registry.register_sharded::<Bank>();
+        registry
+    }
+
+    fn start_all(net: &Network, policy: AdaptivePolicy) -> Vec<AdaptiveRts> {
+        net.node_ids()
+            .into_iter()
+            .map(|n| AdaptiveRts::start(net.handle(n), registry(), policy))
+            .collect()
+    }
+
+    fn shutdown_all(rtses: &[AdaptiveRts]) {
+        for rts in rtses {
+            rts.shutdown();
+        }
+    }
+
+    fn add(rts: &AdaptiveRts, id: ObjectId, n: i64) -> i64 {
+        let reply = rts
+            .invoke(
+                id,
+                Accumulator::TYPE_NAME,
+                OpKind::Write,
+                &AccumulatorOp::Add(n).to_bytes(),
+            )
+            .unwrap();
+        i64::from_bytes(&reply).unwrap()
+    }
+
+    fn read(rts: &AdaptiveRts, id: ObjectId) -> i64 {
+        let reply = rts
+            .invoke(
+                id,
+                Accumulator::TYPE_NAME,
+                OpKind::Read,
+                &AccumulatorOp::Read.to_bytes(),
+            )
+            .unwrap();
+        i64::from_bytes(&reply).unwrap()
+    }
+
+    fn deposit(rts: &AdaptiveRts, id: ObjectId, key: u64, amount: i64) -> i64 {
+        let reply = rts
+            .invoke(
+                id,
+                Bank::TYPE_NAME,
+                OpKind::Write,
+                &BankOp::Deposit { key, amount }.to_bytes(),
+            )
+            .unwrap();
+        let BankReply::Value(v) = BankReply::from_bytes(&reply).unwrap();
+        v
+    }
+
+    fn bank_sum(rts: &AdaptiveRts, id: ObjectId) -> i64 {
+        let reply = rts
+            .invoke(id, Bank::TYPE_NAME, OpKind::Read, &BankOp::Sum.to_bytes())
+            .unwrap();
+        let BankReply::Value(v) = BankReply::from_bytes(&reply).unwrap();
+        v
+    }
+
+    #[test]
+    fn starts_primary_and_round_trips_across_nodes() {
+        let net = Network::reliable(3);
+        let rtses = start_all(&net, AdaptivePolicy::default());
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+            .unwrap();
+        assert_eq!(rtses[1].regime_of(id).unwrap(), (RegimeKind::Primary, 0));
+        assert_eq!(add(&rtses[1], id, 5), 5);
+        assert_eq!(add(&rtses[2], id, 7), 12);
+        assert_eq!(read(&rtses[0], id), 12);
+        assert_eq!(read(&rtses[2], id), 12);
+        assert!(rtses[2].stats().remote_reads >= 1);
+        assert!(rtses[1].stats().remote_writes >= 1);
+        shutdown_all(&rtses);
+    }
+
+    #[test]
+    fn read_heavy_object_switches_to_replicated_and_reads_go_local() {
+        let net = Network::reliable(3);
+        let rtses = start_all(&net, AdaptivePolicy::eager());
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &1i64.to_bytes())
+            .unwrap();
+        // A read burst from every node pushes the ratio over the
+        // replicate threshold.
+        for rts in &rtses {
+            for _ in 0..24 {
+                assert_eq!(read(rts, id), 1);
+            }
+            rts.flush_usage(id);
+        }
+        assert_eq!(rtses[1].propose(id).unwrap(), RegimeKind::Replicated);
+        let (regime, epoch) = rtses[2].regime_of(id).unwrap();
+        assert_eq!(regime, RegimeKind::Replicated);
+        assert_eq!(epoch, 1);
+
+        // Reads now hit the local mirror.
+        let before = rtses[1].stats().local_reads;
+        for _ in 0..10 {
+            assert_eq!(read(&rtses[1], id), 1);
+        }
+        assert!(rtses[1].stats().local_reads >= before + 10);
+
+        // A write at a non-home node propagates to every mirror before it
+        // completes (two-phase update push).
+        assert_eq!(add(&rtses[2], id, 9), 10);
+        assert_eq!(read(&rtses[1], id), 10);
+        assert_eq!(read(&rtses[0], id), 10);
+        assert!(rtses[1].stats().updates_applied >= 1);
+        shutdown_all(&rtses);
+    }
+
+    #[test]
+    fn write_hot_shardable_object_switches_to_sharded() {
+        let net = Network::reliable(4);
+        let rtses = start_all(&net, AdaptivePolicy::eager());
+        let id = rtses[0]
+            .create_object(
+                Bank::TYPE_NAME,
+                &<Bank as ObjectType>::State::new().to_bytes(),
+            )
+            .unwrap();
+        for (n, rts) in rtses.iter().enumerate() {
+            for key in 0..16u64 {
+                deposit(rts, id, key, (n + 1) as i64);
+            }
+            rts.flush_usage(id);
+        }
+        assert_eq!(rtses[0].propose(id).unwrap(), RegimeKind::Sharded);
+        // Writes keep working and spread over partition owners.
+        for key in 0..16u64 {
+            deposit(&rtses[1], id, key, 1);
+        }
+        let expected: i64 = (1..=4i64).sum::<i64>() * 16 + 16;
+        for rts in &rtses {
+            assert_eq!(bank_sum(rts, id), expected);
+        }
+        assert!(rtses.iter().any(|rts| rts.stats().updates_applied > 0));
+        // The sharded slots really are distributed.
+        let distinct: std::collections::BTreeSet<u16> = rtses
+            .iter()
+            .flat_map(|rts| {
+                let slots = rts.inner.slots.read();
+                slots
+                    .keys()
+                    .filter(|(obj, _)| *obj == id)
+                    .map(|_| rts.inner.node.0)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        assert!(distinct.len() > 1, "partitions should span nodes");
+        shutdown_all(&rtses);
+    }
+
+    #[test]
+    fn write_hot_non_shardable_object_stays_primary() {
+        let net = Network::reliable(2);
+        let rtses = start_all(&net, AdaptivePolicy::eager());
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+            .unwrap();
+        for rts in &rtses {
+            for _ in 0..24 {
+                add(rts, id, 1);
+            }
+            rts.flush_usage(id);
+        }
+        assert_eq!(rtses[0].propose(id).unwrap(), RegimeKind::Primary);
+        assert_eq!(read(&rtses[1], id), 48);
+        shutdown_all(&rtses);
+    }
+
+    #[test]
+    fn regime_switches_under_concurrent_writers_lose_nothing() {
+        // Writers hammer a bank while its regime is forced back and forth
+        // between every pair of regimes. Every acknowledged deposit must
+        // survive: an op that races a drain either lands before the state
+        // snapshot (and is part of the merged state) or is answered
+        // StaleRegime and retried under the new regime.
+        let net = Network::reliable(3);
+        let policy = AdaptivePolicy {
+            // Manual switching only: evaluations never fire on their own.
+            report_every: u64::MAX,
+            ..AdaptivePolicy::eager()
+        };
+        let rtses = start_all(&net, policy);
+        let id = rtses[0]
+            .create_object(
+                Bank::TYPE_NAME,
+                &<Bank as ObjectType>::State::new().to_bytes(),
+            )
+            .unwrap();
+        const DEPOSITS: i64 = 120;
+        let writers: Vec<_> = rtses
+            .iter()
+            .map(|rts| {
+                let rts = rts.clone();
+                std::thread::spawn(move || {
+                    for i in 0..DEPOSITS {
+                        deposit(&rts, id, (i % 16) as u64, 1);
+                    }
+                })
+            })
+            .collect();
+        // Force switches through every regime while the writers run.
+        let home = rtses[0].inner.homes.read().get(&id).cloned().unwrap();
+        for target in [
+            RegimeKind::Sharded,
+            RegimeKind::Replicated,
+            RegimeKind::Primary,
+            RegimeKind::Sharded,
+            RegimeKind::Primary,
+            RegimeKind::Replicated,
+            RegimeKind::Sharded,
+        ] {
+            switch_regime(&rtses[0].inner, id, &home, target).unwrap();
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        for writer in writers {
+            writer.join().unwrap();
+        }
+        assert_eq!(
+            bank_sum(&rtses[1], id),
+            DEPOSITS * rtses.len() as i64,
+            "acknowledged writes were lost across regime switches"
+        );
+        assert!(rtses[0].stats().regime_switches >= 7);
+        shutdown_all(&rtses);
+    }
+
+    #[test]
+    fn blocked_guarded_read_survives_a_regime_switch() {
+        let net = Network::reliable(2);
+        let policy = AdaptivePolicy {
+            report_every: u64::MAX,
+            ..AdaptivePolicy::eager()
+        };
+        let rtses = start_all(&net, policy);
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+            .unwrap();
+        let waiter = {
+            let rts = rtses[1].clone();
+            std::thread::spawn(move || {
+                let reply = rts
+                    .invoke(
+                        id,
+                        Accumulator::TYPE_NAME,
+                        OpKind::Read,
+                        &AccumulatorOp::AwaitAtLeast(50).to_bytes(),
+                    )
+                    .unwrap();
+                i64::from_bytes(&reply).unwrap()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        // Switch to replicated while the reader is parked, then satisfy
+        // the guard from the other node.
+        let home = rtses[0].inner.homes.read().get(&id).cloned().unwrap();
+        switch_regime(&rtses[0].inner, id, &home, RegimeKind::Replicated).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(add(&rtses[0], id, 60), 60);
+        assert_eq!(waiter.join().unwrap(), 60);
+        assert!(rtses[1].stats().guard_retries >= 1);
+        shutdown_all(&rtses);
+    }
+
+    #[test]
+    fn workload_shift_reverses_a_regime_decision() {
+        let net = Network::reliable(2);
+        let rtses = start_all(&net, AdaptivePolicy::eager());
+        let id = rtses[0]
+            .create_object(
+                Bank::TYPE_NAME,
+                &<Bank as ObjectType>::State::new().to_bytes(),
+            )
+            .unwrap();
+        // Phase 1: read-heavy → replicated.
+        for rts in &rtses {
+            for _ in 0..24 {
+                bank_sum(rts, id);
+            }
+            rts.flush_usage(id);
+        }
+        assert_eq!(rtses[0].propose(id).unwrap(), RegimeKind::Replicated);
+        // Phase 2: a sustained write burst decays the read history and
+        // flips the object to sharded.
+        let mut deposits = 0i64;
+        for round in 0..6 {
+            for rts in &rtses {
+                for key in 0..16u64 {
+                    deposit(rts, id, key + round * 16, 1);
+                    deposits += 1;
+                }
+                rts.flush_usage(id);
+            }
+            if rtses[0].propose(id).unwrap() == RegimeKind::Sharded {
+                break;
+            }
+        }
+        assert_eq!(rtses[0].propose(id).unwrap(), RegimeKind::Sharded);
+        // Nothing was lost across either switch.
+        assert_eq!(bank_sum(&rtses[1], id), deposits);
+        shutdown_all(&rtses);
+    }
+
+    #[test]
+    fn shutdown_wakes_blocked_invocation() {
+        let net = Network::reliable(2);
+        let rtses = start_all(&net, AdaptivePolicy::default());
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+            .unwrap();
+        // Home-local guarded read: never touches the RPC server, so only
+        // the stopped flag can wake it.
+        let waiter = {
+            let rts = rtses[0].clone();
+            std::thread::spawn(move || {
+                rts.invoke(
+                    id,
+                    Accumulator::TYPE_NAME,
+                    OpKind::Read,
+                    &AccumulatorOp::AwaitAtLeast(10_000).to_bytes(),
+                )
+            })
+        };
+        std::thread::sleep(Duration::from_millis(100));
+        let started = Instant::now();
+        rtses[0].shutdown();
+        assert_eq!(waiter.join().unwrap().unwrap_err(), RtsError::Terminated);
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "blocked invocation was not woken promptly"
+        );
+        shutdown_all(&rtses);
+    }
+
+    #[test]
+    fn dropped_reply_surfaces_timeout_not_hang() {
+        let net = Network::reliable(2);
+        let policy = AdaptivePolicy {
+            op_timeout: Duration::from_millis(150),
+            ..AdaptivePolicy::default()
+        };
+        let rtses = start_all(&net, policy);
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+            .unwrap();
+        net.crash(NodeId(0));
+        let started = Instant::now();
+        let err = rtses[1]
+            .invoke(
+                id,
+                Accumulator::TYPE_NAME,
+                OpKind::Write,
+                &AccumulatorOp::Add(1).to_bytes(),
+            )
+            .unwrap_err();
+        assert_eq!(err, RtsError::Timeout);
+        assert!(started.elapsed() < Duration::from_secs(5));
+        net.recover(NodeId(0));
+        assert_eq!(add(&rtses[1], id, 4), 4);
+        shutdown_all(&rtses);
+    }
+}

@@ -1,0 +1,214 @@
+//! Regime decisions: when does an object replicate, stay primary, or shard?
+//!
+//! Each object's home node accumulates per-node read/write counts (from the
+//! usage reports every node sends) into a decayed aggregate and, every
+//! [`AdaptivePolicy::evaluate_every`] reported accesses, re-derives the
+//! regime that fits the observed mix:
+//!
+//! * read-dominated (read/write ratio at or above
+//!   [`AdaptivePolicy::replicate_ratio`]) → **replicated** — reads become
+//!   local on every node, writes pay the update fan-out;
+//! * write-hot (write fraction at or above
+//!   [`AdaptivePolicy::shard_write_fraction`]) *and* the type shards →
+//!   **sharded** — writes spread over partition owners;
+//! * anything else → **primary** — one copy at home, the cheapest regime to
+//!   be wrong in.
+//!
+//! The aggregate is decayed (halved) after every evaluation
+//! ([`crate::AccessStats::decay_halve`]), so a stale burst loses half its
+//! weight per window and cannot pin a regime after the workload shifts.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use orca_wire::RegimeKind;
+
+use crate::stats::AccessStats;
+
+/// Configuration of the adaptive runtime system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptivePolicy {
+    /// Number of partitions a shardable object is split into when it enters
+    /// the sharded regime.
+    pub partitions: u32,
+    /// Per-invocation deadline for shipped operations; a dropped reply
+    /// surfaces [`crate::RtsError::Timeout`]. Guard retries restart it.
+    pub op_timeout: Duration,
+    /// How long a cached regime table stays fresh. The lease bounds how
+    /// long a node can act on a retired regime when the explicit
+    /// drop/drain notifications were lost.
+    pub regime_lease: Duration,
+    /// A node reports its per-object read/write counts to the object's
+    /// home after this many local accesses.
+    pub report_every: u64,
+    /// The home re-evaluates an object's regime after this many newly
+    /// reported accesses.
+    pub evaluate_every: u64,
+    /// Minimum decayed evidence (reads + writes) before a switch is
+    /// considered at all.
+    pub min_accesses: u64,
+    /// Read/write ratio at or above which an object becomes replicated.
+    pub replicate_ratio: f64,
+    /// Write fraction (writes / total) at or above which a shardable
+    /// object becomes sharded.
+    pub shard_write_fraction: f64,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        AdaptivePolicy {
+            partitions: 4,
+            op_timeout: Duration::from_secs(10),
+            regime_lease: Duration::from_millis(200),
+            report_every: 64,
+            evaluate_every: 128,
+            min_accesses: 64,
+            replicate_ratio: 3.0,
+            shard_write_fraction: 0.5,
+        }
+    }
+}
+
+impl AdaptivePolicy {
+    /// An eager variant that reports, evaluates and switches after very
+    /// little evidence — used by tests and the conformance suite so short
+    /// runs actually exercise regime switches.
+    pub fn eager() -> Self {
+        AdaptivePolicy {
+            report_every: 8,
+            evaluate_every: 16,
+            min_accesses: 12,
+            regime_lease: Duration::from_millis(50),
+            ..AdaptivePolicy::default()
+        }
+    }
+}
+
+/// Pick the regime that fits an observed read/write mix.
+pub(crate) fn pick_regime(
+    reads: u64,
+    writes: u64,
+    shardable: bool,
+    num_nodes: usize,
+    policy: &AdaptivePolicy,
+) -> RegimeKind {
+    let total = reads + writes;
+    if total == 0 {
+        return RegimeKind::Primary;
+    }
+    let ratio = if writes == 0 {
+        f64::INFINITY
+    } else {
+        reads as f64 / writes as f64
+    };
+    if ratio >= policy.replicate_ratio {
+        RegimeKind::Replicated
+    } else if shardable
+        && num_nodes > 1
+        && policy.partitions > 1
+        && writes as f64 >= policy.shard_write_fraction * total as f64
+    {
+        RegimeKind::Sharded
+    } else {
+        RegimeKind::Primary
+    }
+}
+
+/// The home node's decayed per-node usage aggregate for one object.
+#[derive(Default)]
+pub(crate) struct UsageAggregate {
+    /// Decayed read/write counts per reporting node.
+    per_node: HashMap<u16, AccessStats>,
+    /// Accesses reported since the last evaluation.
+    since_eval: u64,
+}
+
+impl UsageAggregate {
+    /// Fold one usage report in. Returns true if enough new evidence has
+    /// accumulated for an evaluation.
+    pub(crate) fn report(
+        &mut self,
+        node: u16,
+        reads: u64,
+        writes: u64,
+        evaluate_every: u64,
+    ) -> bool {
+        let stats = self.per_node.entry(node).or_default();
+        stats.record_reads(reads);
+        stats.record_writes(writes);
+        self.since_eval += reads + writes;
+        self.since_eval >= evaluate_every
+    }
+
+    /// Total decayed (reads, writes) over all reporting nodes.
+    pub(crate) fn totals(&self) -> (u64, u64) {
+        self.per_node.values().fold((0, 0), |(r, w), stats| {
+            (r + stats.reads(), w + stats.writes())
+        })
+    }
+
+    /// Close the evaluation window: decay every node's counters and reset
+    /// the evaluation trigger.
+    pub(crate) fn end_window(&mut self) {
+        for stats in self.per_node.values() {
+            stats.decay_halve();
+        }
+        self.since_eval = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regime_decision_rules() {
+        let policy = AdaptivePolicy::default();
+        // Read-dominated: replicate (shardable or not).
+        assert_eq!(
+            pick_regime(90, 10, true, 4, &policy),
+            RegimeKind::Replicated
+        );
+        assert_eq!(
+            pick_regime(90, 10, false, 4, &policy),
+            RegimeKind::Replicated
+        );
+        assert_eq!(
+            pick_regime(50, 0, false, 4, &policy),
+            RegimeKind::Replicated
+        );
+        // Write-hot shardable: shard.
+        assert_eq!(pick_regime(10, 90, true, 4, &policy), RegimeKind::Sharded);
+        assert_eq!(pick_regime(50, 50, true, 4, &policy), RegimeKind::Sharded);
+        // Write-hot but not shardable (or nothing to spread over): primary.
+        assert_eq!(pick_regime(10, 90, false, 4, &policy), RegimeKind::Primary);
+        assert_eq!(pick_regime(10, 90, true, 1, &policy), RegimeKind::Primary);
+        // Mixed: primary.
+        assert_eq!(pick_regime(60, 40, true, 4, &policy), RegimeKind::Primary);
+        // No evidence: primary.
+        assert_eq!(pick_regime(0, 0, true, 4, &policy), RegimeKind::Primary);
+    }
+
+    #[test]
+    fn usage_aggregate_windows_and_decays() {
+        let policy = AdaptivePolicy::default();
+        let mut usage = UsageAggregate::default();
+        assert!(!usage.report(0, 30, 2, policy.evaluate_every));
+        assert!(!usage.report(1, 60, 4, policy.evaluate_every));
+        assert!(usage.report(2, 30, 2, policy.evaluate_every));
+        assert_eq!(usage.totals(), (120, 8));
+        usage.end_window();
+        assert_eq!(usage.totals(), (60, 4));
+        // A workload shift overturns the decayed history within a couple of
+        // windows.
+        for _ in 0..2 {
+            usage.report(0, 0, 128, u64::MAX);
+            usage.end_window();
+        }
+        let (reads, writes) = usage.totals();
+        assert!(
+            writes > reads * 4,
+            "fresh writes must dominate: {reads}/{writes}"
+        );
+    }
+}

@@ -14,7 +14,7 @@
 //! since they are all in the same state — and the invoking node re-issues the
 //! operation when its local replica changes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -52,6 +52,15 @@ enum RtsBroadcastMsg {
         /// Encoded operation.
         op: Vec<u8>,
     },
+    /// Withdraw a timed-out invocation of the sending node. Rides the same
+    /// total order as the operation it cancels, so every manager makes the
+    /// identical drop/apply decision: if the withdraw is delivered first,
+    /// the operation is dropped *everywhere* when (if ever) it arrives —
+    /// the at-most-once guarantee behind [`RtsError::Timeout`].
+    Withdraw {
+        /// Invocation id being withdrawn.
+        invocation: u64,
+    },
 }
 
 impl Wire for RtsBroadcastMsg {
@@ -75,6 +84,10 @@ impl Wire for RtsBroadcastMsg {
                 object.encode(enc);
                 enc.put_bytes(op);
             }
+            RtsBroadcastMsg::Withdraw { invocation } => {
+                enc.put_u8(2);
+                invocation.encode(enc);
+            }
         }
     }
     fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
@@ -87,6 +100,9 @@ impl Wire for RtsBroadcastMsg {
                 invocation: Wire::decode(dec)?,
                 object: Wire::decode(dec)?,
                 op: dec.get_bytes()?,
+            }),
+            2 => Ok(RtsBroadcastMsg::Withdraw {
+                invocation: Wire::decode(dec)?,
             }),
             tag => Err(WireError::InvalidTag {
                 type_name: "RtsBroadcastMsg",
@@ -103,6 +119,42 @@ enum InvocationResult {
     Done(Vec<u8>),
     Blocked,
     Failed(ObjectError),
+    /// The invocation's withdraw was ordered before the operation itself:
+    /// the operation will be dropped by every manager, so it is guaranteed
+    /// never to take effect.
+    Withdrawn,
+}
+
+/// Withdrawn invocation ids ((origin, invocation) pairs), as seen by this
+/// node's manager in total order. Bounded: an entry whose operation was
+/// delivered *before* its withdraw can never match again (invocation ids
+/// are unique per origin) and is eventually pruned by the cap.
+#[derive(Default)]
+struct WithdrawnOps {
+    set: HashSet<(u16, u64)>,
+    order: VecDeque<(u16, u64)>,
+}
+
+/// Upper bound on remembered withdrawn invocations. Withdraws only happen
+/// after timeouts, so reaching the cap takes thousands of timed-out writes.
+const WITHDRAWN_CAP: usize = 1024;
+
+impl WithdrawnOps {
+    fn mark(&mut self, key: (u16, u64)) {
+        if self.set.insert(key) {
+            self.order.push_back(key);
+            if self.order.len() > WITHDRAWN_CAP {
+                if let Some(oldest) = self.order.pop_front() {
+                    self.set.remove(&oldest);
+                }
+            }
+        }
+    }
+
+    /// True (consuming the mark) if `key` was withdrawn before delivery.
+    fn take(&mut self, key: &(u16, u64)) -> bool {
+        self.set.remove(key)
+    }
 }
 
 struct ObjectEntry {
@@ -120,10 +172,20 @@ struct Inner {
     objects: Mutex<HashMap<ObjectId, Arc<ObjectEntry>>>,
     object_created: Condvar,
     pending: Mutex<HashMap<u64, Sender<InvocationResult>>>,
+    withdrawn: Mutex<WithdrawnOps>,
     next_invocation: AtomicU64,
     next_object: AtomicU64,
+    /// Per-invocation deadline in milliseconds (see
+    /// [`BroadcastRts::set_op_timeout`]).
+    op_timeout_ms: AtomicU64,
     stats: Arc<RtsStats>,
     stopped: AtomicBool,
+}
+
+impl Inner {
+    fn op_timeout(&self) -> Duration {
+        Duration::from_millis(self.op_timeout_ms.load(Ordering::Relaxed))
+    }
 }
 
 /// Handle to one node's broadcast runtime system. Cheap to clone.
@@ -141,10 +203,11 @@ impl std::fmt::Debug for BroadcastRts {
     }
 }
 
-/// How long an invocation waits for its own broadcast to come back before
-/// giving up. Generous: under heavy fault injection the group layer may need
-/// several retransmission rounds.
-const INVOCATION_TIMEOUT: Duration = Duration::from_secs(60);
+/// Default deadline an invocation waits for its own broadcast to come back
+/// before withdrawing it (see [`BroadcastRts::set_op_timeout`]). Generous:
+/// under heavy fault injection the group layer may need several
+/// retransmission rounds.
+const DEFAULT_INVOCATION_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// How long `invoke` waits for an object created elsewhere to appear locally.
 const OBJECT_WAIT_TIMEOUT: Duration = Duration::from_secs(30);
@@ -171,8 +234,10 @@ impl BroadcastRts {
             objects: Mutex::new(HashMap::new()),
             object_created: Condvar::new(),
             pending: Mutex::new(HashMap::new()),
+            withdrawn: Mutex::new(WithdrawnOps::default()),
             next_invocation: AtomicU64::new(1),
             next_object: AtomicU64::new(1),
+            op_timeout_ms: AtomicU64::new(DEFAULT_INVOCATION_TIMEOUT.as_millis() as u64),
             stats: RtsStats::new_shared(),
             stopped: AtomicBool::new(false),
         });
@@ -195,12 +260,46 @@ impl BroadcastRts {
         self.inner.stats.snapshot()
     }
 
-    /// Stop the object-manager thread and the group member. Idempotent.
+    /// Stop the object-manager thread and the group member, then wake every
+    /// blocked invocation so it can observe the shutdown and return
+    /// [`RtsError::Terminated`] instead of parking forever. Idempotent.
     pub fn shutdown(&self) {
         self.inner.stopped.store(true, Ordering::SeqCst);
+        // Fail fast any invocations still parked on their pending-map
+        // channel — their broadcasts can never complete now, and with
+        // `stopped` set they surface Terminated instead of waiting out
+        // their full deadline.
+        let parked: Vec<Sender<InvocationResult>> = self
+            .inner
+            .pending
+            .lock()
+            .drain()
+            .map(|(_, tx)| tx)
+            .collect();
+        for tx in parked {
+            let _ = tx.send(InvocationResult::Withdrawn);
+        }
         if let Some(handle) = self.manager.lock().take() {
             let _ = handle.join();
         }
+        // Wake readers parked on `wait_for_object` and on per-object guard
+        // condvars; their wait loops re-check `stopped`.
+        self.inner.object_created.notify_all();
+        let entries: Vec<Arc<ObjectEntry>> = self.inner.objects.lock().values().cloned().collect();
+        for entry in entries {
+            entry.changed.notify_all();
+        }
+    }
+
+    /// Set the per-invocation deadline: how long a write (or create) waits
+    /// for its own broadcast to come back before it is withdrawn and
+    /// [`RtsError::Timeout`] is surfaced. Mirrors
+    /// `PrimaryCopyRts::set_op_timeout` and `ShardPolicy::op_timeout`, so
+    /// the conformance suite can exercise short deadlines on every backend.
+    pub fn set_op_timeout(&self, timeout: Duration) {
+        self.inner
+            .op_timeout_ms
+            .store(timeout.as_millis() as u64, Ordering::Relaxed);
     }
 
     fn next_invocation(&self) -> (u64, crossbeam::channel::Receiver<InvocationResult>) {
@@ -224,6 +323,9 @@ impl BroadcastRts {
             if let Some(entry) = objects.get(&object) {
                 return Ok(Arc::clone(entry));
             }
+            if self.inner.stopped.load(Ordering::SeqCst) {
+                return Err(RtsError::Terminated);
+            }
             let now = Instant::now();
             if now >= deadline {
                 return Err(RtsError::Object(ObjectError::NoSuchObject(object)));
@@ -243,10 +345,46 @@ impl BroadcastRts {
                     return Ok(reply);
                 }
                 AppliedOutcome::Blocked => {
+                    // After shutdown no write can ever make the guard true;
+                    // fail instead of parking forever.
+                    if self.inner.stopped.load(Ordering::SeqCst) {
+                        return Err(RtsError::Terminated);
+                    }
                     RtsStats::bump(&self.inner.stats.guard_retries);
                     entry.changed.wait_for(&mut replica, GUARD_REISSUE_INTERVAL);
                 }
             }
+        }
+    }
+
+    /// A first wait for `invocation` timed out: broadcast a withdraw and
+    /// wait for the race to resolve in total order. Exactly one of three
+    /// things comes back: the operation's own (late) result — the write
+    /// happened, so it is returned instead of a lying timeout; `Withdrawn`
+    /// — every manager will drop the operation, so `Timeout` is truthful;
+    /// or nothing within the grace period — the group layer itself is dead
+    /// (crashed/partitioned node), the entry is removed so the pending map
+    /// cannot leak, and the residual is documented at the call site.
+    fn withdraw_invocation(
+        &self,
+        invocation: u64,
+        rx: &crossbeam::channel::Receiver<InvocationResult>,
+    ) -> InvocationResult {
+        let give_up = |inner: &Inner| {
+            inner.pending.lock().remove(&invocation);
+            // A completion that raced the removal still sits in the
+            // channel; honor it rather than discarding a real result.
+            rx.try_recv().unwrap_or(InvocationResult::Withdrawn)
+        };
+        if self
+            .broadcast(&RtsBroadcastMsg::Withdraw { invocation })
+            .is_err()
+        {
+            return give_up(&self.inner);
+        }
+        match rx.recv_timeout(self.inner.op_timeout()) {
+            Ok(result) => result,
+            Err(_) => give_up(&self.inner),
         }
     }
 
@@ -255,6 +393,14 @@ impl BroadcastRts {
         let entry = self.wait_for_object(object)?;
         loop {
             let (invocation, rx) = self.next_invocation();
+            // Checked *after* the pending-map insert: a shutdown that
+            // raced the insert has already drained the map, so without
+            // this re-check the invocation would park for its full
+            // deadline instead of being woken promptly.
+            if self.inner.stopped.load(Ordering::SeqCst) {
+                self.inner.pending.lock().remove(&invocation);
+                return Err(RtsError::Terminated);
+            }
             let msg = RtsBroadcastMsg::Write {
                 invocation,
                 object,
@@ -262,15 +408,34 @@ impl BroadcastRts {
             };
             RtsStats::bump(&self.inner.stats.broadcast_writes);
             self.broadcast(&msg)?;
-            let result = rx
-                .recv_timeout(INVOCATION_TIMEOUT)
-                .map_err(|_| RtsError::Timeout)?;
+            let result = match rx.recv_timeout(self.inner.op_timeout()) {
+                Ok(result) => result,
+                Err(_) => {
+                    if self.inner.stopped.load(Ordering::SeqCst) {
+                        self.inner.pending.lock().remove(&invocation);
+                        return Err(RtsError::Terminated);
+                    }
+                    self.withdraw_invocation(invocation, &rx)
+                }
+            };
             match result {
                 InvocationResult::Done(reply) => return Ok(reply),
                 InvocationResult::Failed(err) => return Err(err.into()),
+                InvocationResult::Withdrawn => {
+                    // Shutdown drains pending invocations with Withdrawn;
+                    // report the true cause.
+                    return Err(if self.inner.stopped.load(Ordering::SeqCst) {
+                        RtsError::Terminated
+                    } else {
+                        RtsError::Timeout
+                    });
+                }
                 InvocationResult::Blocked => {
                     // Guard false everywhere. Wait until the local replica
                     // changes (or a timeout elapses) and re-issue.
+                    if self.inner.stopped.load(Ordering::SeqCst) {
+                        return Err(RtsError::Terminated);
+                    }
                     RtsStats::bump(&self.inner.stats.guard_retries);
                     let version = entry.replica.lock().version();
                     let mut replica = entry.replica.lock();
@@ -301,6 +466,12 @@ impl RuntimeSystem for BroadcastRts {
         let counter = self.inner.next_object.fetch_add(1, Ordering::Relaxed);
         let id = ObjectId::compose(self.inner.node.0, counter);
         let (invocation, rx) = self.next_invocation();
+        // Re-checked after the pending-map insert so a racing shutdown's
+        // drain cannot strand this invocation for its full deadline.
+        if self.inner.stopped.load(Ordering::SeqCst) {
+            self.inner.pending.lock().remove(&invocation);
+            return Err(RtsError::Terminated);
+        }
         let msg = RtsBroadcastMsg::Create {
             invocation,
             descriptor: ObjectDescriptor {
@@ -310,14 +481,26 @@ impl RuntimeSystem for BroadcastRts {
             },
         };
         self.broadcast(&msg)?;
-        match rx
-            .recv_timeout(INVOCATION_TIMEOUT)
-            .map_err(|_| RtsError::Timeout)?
-        {
+        let result = match rx.recv_timeout(self.inner.op_timeout()) {
+            Ok(result) => result,
+            Err(_) => {
+                if self.inner.stopped.load(Ordering::SeqCst) {
+                    self.inner.pending.lock().remove(&invocation);
+                    return Err(RtsError::Terminated);
+                }
+                self.withdraw_invocation(invocation, &rx)
+            }
+        };
+        match result {
             InvocationResult::Done(_) | InvocationResult::Blocked => {
                 RtsStats::bump(&self.inner.stats.objects_created);
                 Ok(id)
             }
+            InvocationResult::Withdrawn => Err(if self.inner.stopped.load(Ordering::SeqCst) {
+                RtsError::Terminated
+            } else {
+                RtsError::Timeout
+            }),
             InvocationResult::Failed(err) => Err(err.into()),
         }
     }
@@ -374,6 +557,10 @@ fn handle_delivery(inner: &Arc<Inner>, delivered: Delivered) {
             invocation,
             descriptor,
         } => {
+            if inner.withdrawn.lock().take(&(origin.0, invocation)) {
+                // Withdrawn before delivery: dropped by every manager.
+                return;
+            }
             let result = install_object(inner, &descriptor);
             if origin == inner.node {
                 complete(inner, invocation, result);
@@ -384,9 +571,23 @@ fn handle_delivery(inner: &Arc<Inner>, delivered: Delivered) {
             object,
             op,
         } => {
+            if inner.withdrawn.lock().take(&(origin.0, invocation)) {
+                // Withdrawn before delivery: dropped by every manager, so
+                // the Timeout the origin reported stays truthful.
+                return;
+            }
             let result = apply_write(inner, origin, object, &op);
             if origin == inner.node {
                 complete(inner, invocation, result);
+            }
+        }
+        RtsBroadcastMsg::Withdraw { invocation } => {
+            // The decision is a pure function of the delivery order, which
+            // is identical on every node: whichever of the operation and
+            // its withdraw is delivered first wins everywhere.
+            inner.withdrawn.lock().mark((origin.0, invocation));
+            if origin == inner.node {
+                complete(inner, invocation, InvocationResult::Withdrawn);
             }
         }
     }
@@ -674,9 +875,176 @@ mod tests {
                 object: ObjectId::compose(0, 7),
                 op: vec![1, 2, 3],
             },
+            RtsBroadcastMsg::Withdraw { invocation: 11 },
         ];
         for msg in msgs {
             assert_eq!(RtsBroadcastMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
         }
+    }
+
+    /// Satellite regression: a write whose deadline expires must remove its
+    /// pending-map entry (the map used to leak one sender per timeout) and
+    /// surface `Timeout` within the configured deadline, not after 60 s.
+    #[test]
+    fn timed_out_write_cleans_up_pending_invocations() {
+        let net = Network::reliable(2);
+        let rtses = start_all(&net);
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+            .unwrap();
+        // Crash the writing node: its broadcasts (and withdraws) go
+        // nowhere, so the invocation can only time out.
+        rtses[0].set_op_timeout(Duration::from_millis(120));
+        net.crash(NodeId(0));
+        let started = Instant::now();
+        let err = rtses[0]
+            .invoke(
+                id,
+                Accumulator::TYPE_NAME,
+                OpKind::Write,
+                &AccumulatorOp::Add(100).to_bytes(),
+            )
+            .unwrap_err();
+        assert_eq!(err, RtsError::Timeout);
+        assert!(started.elapsed() < Duration::from_secs(5));
+        assert!(
+            rtses[0].inner.pending.lock().is_empty(),
+            "timed-out invocation leaked its pending-map entry"
+        );
+        // The dropped write took no effect on the local replica.
+        let reply = rtses[0]
+            .invoke(
+                id,
+                Accumulator::TYPE_NAME,
+                OpKind::Read,
+                &AccumulatorOp::Read.to_bytes(),
+            )
+            .unwrap();
+        assert_eq!(i64::from_bytes(&reply).unwrap(), 0);
+        // Creates through a dead network clean up the same way.
+        let err = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+            .unwrap_err();
+        assert_eq!(err, RtsError::Timeout);
+        assert!(rtses[0].inner.pending.lock().is_empty());
+        net.recover(NodeId(0));
+        shutdown_all(rtses);
+    }
+
+    /// Satellite regression: the manager-side withdrawn marks. A write
+    /// whose withdraw was ordered before it in the broadcast total order
+    /// must be dropped on delivery (at-most-once for timed-out writes); a
+    /// write ordered before its withdraw applies normally.
+    #[test]
+    fn withdrawn_write_is_not_applied_on_late_delivery() {
+        use orca_group::MsgId;
+        let net = Network::reliable(1);
+        let rtses = start_all(&net);
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+            .unwrap();
+        let inner = &rtses[0].inner;
+        let deliver = |seq: u64, msg: &RtsBroadcastMsg| {
+            handle_delivery(
+                inner,
+                Delivered {
+                    global_seq: seq,
+                    id: MsgId {
+                        origin: NodeId(0),
+                        origin_seq: seq,
+                    },
+                    payload: msg.to_bytes(),
+                },
+            );
+        };
+        let read = || {
+            let reply = rtses[0]
+                .invoke(
+                    id,
+                    Accumulator::TYPE_NAME,
+                    OpKind::Read,
+                    &AccumulatorOp::Read.to_bytes(),
+                )
+                .unwrap();
+            i64::from_bytes(&reply).unwrap()
+        };
+        // Withdraw ordered before its write: the write must be dropped.
+        deliver(100, &RtsBroadcastMsg::Withdraw { invocation: 777 });
+        deliver(
+            101,
+            &RtsBroadcastMsg::Write {
+                invocation: 777,
+                object: id,
+                op: AccumulatorOp::Add(100).to_bytes(),
+            },
+        );
+        assert_eq!(read(), 0, "withdrawn write was reapplied (ghost write)");
+        // The consumed mark does not affect a fresh invocation of the same
+        // operation.
+        deliver(
+            102,
+            &RtsBroadcastMsg::Write {
+                invocation: 778,
+                object: id,
+                op: AccumulatorOp::Add(5).to_bytes(),
+            },
+        );
+        assert_eq!(read(), 5);
+        // Write ordered before its (late) withdraw applies normally; the
+        // stale mark can never match invocation 778 again.
+        deliver(103, &RtsBroadcastMsg::Withdraw { invocation: 778 });
+        deliver(
+            104,
+            &RtsBroadcastMsg::Write {
+                invocation: 779,
+                object: id,
+                op: AccumulatorOp::Add(2).to_bytes(),
+            },
+        );
+        assert_eq!(read(), 7);
+        shutdown_all(rtses);
+    }
+
+    /// Satellite regression: shutdown must wake a reader parked in
+    /// `local_read`'s guard loop and surface `Terminated` instead of
+    /// letting it spin forever.
+    #[test]
+    fn shutdown_wakes_blocked_guarded_reader() {
+        let net = Network::reliable(2);
+        let rtses = start_all(&net);
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+            .unwrap();
+        let waiter = {
+            let rts = rtses[1].clone();
+            std::thread::spawn(move || {
+                rts.invoke(
+                    id,
+                    Accumulator::TYPE_NAME,
+                    OpKind::Read,
+                    &AccumulatorOp::AwaitAtLeast(10_000).to_bytes(),
+                )
+            })
+        };
+        std::thread::sleep(Duration::from_millis(100));
+        let started = Instant::now();
+        rtses[1].shutdown();
+        let result = waiter.join().unwrap();
+        assert_eq!(result.unwrap_err(), RtsError::Terminated);
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "blocked reader was not woken promptly"
+        );
+        // New blocked operations fail fast after shutdown too.
+        let err = rtses[1]
+            .invoke(
+                id,
+                Accumulator::TYPE_NAME,
+                OpKind::Read,
+                &AccumulatorOp::AwaitAtLeast(10_000).to_bytes(),
+            )
+            .unwrap_err();
+        assert_eq!(err, RtsError::Terminated);
+        shutdown_all(rtses);
     }
 }

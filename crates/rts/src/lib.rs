@@ -26,8 +26,19 @@
 //!   on different nodes. Hot partitions can migrate between owners. Types
 //!   without partitioning logic transparently fall back to primary-copy
 //!   semantics.
+//! * [`AdaptiveRts`] — makes the regime a *per-object, dynamic* property.
+//!   Each object is served, at any moment, in one of three regimes —
+//!   replicated with ordered updates (read-dominated), primary copy
+//!   (mixed), sharded (write-hot shardable) — and the object's home node
+//!   switches regimes at runtime from the decayed per-node read/write
+//!   counts every node reports. Nodes agree on the serving regime through
+//!   an epoch in the home's regime table (leased caches, `StaleRegime`
+//!   replies); a switch drains the old regime's replicas with the sharded
+//!   hand-off's withdrawn-mark discipline, merges partition states where
+//!   needed, and installs the new regime under the next epoch, so no
+//!   write is lost or double-applied across a change.
 //!
-//! The three trade consistency machinery against communication very
+//! The four trade consistency machinery against communication very
 //! differently:
 //!
 //! | RTS | Replication | Write path | Consistency |
@@ -35,23 +46,30 @@
 //! | broadcast | full (every node) | totally-ordered broadcast, applied everywhere | sequential, object-wide |
 //! | primary copy (invalidate / update) | primary + dynamic secondaries | RPC to primary, then invalidate or 2-phase update of secondaries | sequential, object-wide |
 //! | sharded | partitioned, one owner per partition | point-to-point RPC to the partition owner | sequential *per partition* |
+//! | adaptive | per object: full mirrors, home copy, or partitions | per object: RPC to home (+ ordered update push to mirrors) or RPC to partition owner | sequential per object (per partition while sharded) |
 //!
 //! Of the standard object library, the job queue, key-value table, set and
 //! boolean array shard; the integer, boolean flag and barrier do not (they
 //! are single atomic values) and run under the sharded RTS with
-//! primary-copy fallback semantics. With one partition the sharded RTS is
-//! observationally identical to the primary-copy RTS — the cross-RTS
-//! conformance suite (`tests/conformance.rs`) checks all of this.
+//! primary-copy fallback semantics (the adaptive RTS only ever offers them
+//! the replicated and primary regimes). With one partition the sharded RTS
+//! is observationally identical to the primary-copy RTS — the cross-RTS
+//! conformance suite (`tests/conformance.rs`) checks all of this, and runs
+//! the adaptive system with eager thresholds so regimes switch *during*
+//! the conformance workload.
 //!
-//! All three implement [`RuntimeSystem`], which is what the Orca layer
+//! All four implement [`RuntimeSystem`], which is what the Orca layer
 //! (`orca-core`) programs against.
 
+pub mod adaptive;
 pub mod broadcast_rts;
 pub mod primary;
 pub mod sharded;
 pub mod stats;
 
+pub use adaptive::{AdaptivePolicy, AdaptiveRts};
 pub use broadcast_rts::BroadcastRts;
+pub use orca_wire::RegimeKind;
 pub use primary::{PrimaryCopyRts, ReplicationPolicy, WritePolicy};
 pub use sharded::{ShardPlacement, ShardPolicy, ShardedRts};
 pub use stats::{AccessStats, RtsStats, RtsStatsSnapshot};
@@ -104,6 +122,9 @@ pub enum RtsKind {
     PrimaryUpdate,
     /// Partitioned objects with owner-shipped operations.
     Sharded,
+    /// Per-object regimes (replicated / primary / sharded) picked and
+    /// changed at runtime from each object's observed access mix.
+    Adaptive,
 }
 
 impl RtsKind {
@@ -114,6 +135,7 @@ impl RtsKind {
             RtsKind::PrimaryInvalidate => "invalidate",
             RtsKind::PrimaryUpdate => "update",
             RtsKind::Sharded => "sharded",
+            RtsKind::Adaptive => "adaptive",
         }
     }
 }
@@ -167,6 +189,7 @@ mod tests {
         assert_eq!(RtsKind::PrimaryInvalidate.name(), "invalidate");
         assert_eq!(RtsKind::PrimaryUpdate.name(), "update");
         assert_eq!(RtsKind::Sharded.name(), "sharded");
+        assert_eq!(RtsKind::Adaptive.name(), "adaptive");
     }
 
     #[test]

@@ -603,12 +603,27 @@ fn serve_request(inner: &Arc<Inner>, body: &[u8], caller: NodeId) -> Vec<u8> {
 fn dispatch(inner: &Arc<Inner>, msg: PrimaryMsg, caller: NodeId) -> PrimaryReply {
     match msg {
         PrimaryMsg::ReadAt { object, op } => match primary_read(inner, object, &op) {
-            Ok(AppliedOutcome::Done(reply)) => PrimaryReply::Reply(reply),
+            Ok(AppliedOutcome::Done(reply)) => {
+                if caller != inner.node {
+                    // Serving another node's operation against the local
+                    // primary replica is the same protocol-handling work
+                    // the broadcast and sharded systems account under
+                    // `updates_applied`; counting it here keeps the
+                    // cross-RTS cost comparisons honest.
+                    RtsStats::bump(&inner.stats.updates_applied);
+                }
+                PrimaryReply::Reply(reply)
+            }
             Ok(AppliedOutcome::Blocked) => PrimaryReply::Blocked,
             Err(err) => PrimaryReply::Error(err.to_string()),
         },
         PrimaryMsg::WriteAt { object, op } => match primary_write(inner, object, &op) {
-            Ok(AppliedOutcome::Done(reply)) => PrimaryReply::Reply(reply),
+            Ok(AppliedOutcome::Done(reply)) => {
+                if caller != inner.node {
+                    RtsStats::bump(&inner.stats.updates_applied);
+                }
+                PrimaryReply::Reply(reply)
+            }
             Ok(AppliedOutcome::Blocked) => PrimaryReply::Blocked,
             Err(err) => PrimaryReply::Error(err.to_string()),
         },

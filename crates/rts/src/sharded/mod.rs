@@ -50,7 +50,7 @@ use orca_amoeba::network::NetworkHandle;
 use orca_amoeba::node::ports;
 use orca_amoeba::rpc::{rpc_call_timeout, RpcError, RpcServer};
 use orca_amoeba::NodeId;
-use orca_object::shard::mix64;
+use orca_object::shard::spread_owner;
 use orca_object::{AnyReplica, AppliedOutcome, ObjectError, ObjectId, ObjectRegistry, OpKind};
 use orca_object::{ShardLogic, ShardRoute};
 use orca_wire::Wire;
@@ -251,9 +251,7 @@ impl ShardedRts {
     /// Initial owner of partition `partition` of `object`.
     fn place(&self, object: ObjectId, partition: u32) -> u16 {
         match self.inner.policy.placement {
-            ShardPlacement::Spread => {
-                ((mix64(object.0) + u64::from(partition)) % self.inner.num_nodes as u64) as u16
-            }
+            ShardPlacement::Spread => spread_owner(object.0, partition, self.inner.num_nodes),
             ShardPlacement::Home => object.creator_index(),
         }
     }

@@ -27,9 +27,12 @@ pub struct RtsStats {
     pub broadcast_writes: AtomicU64,
     /// Write operations sent to a primary copy by RPC.
     pub remote_writes: AtomicU64,
-    /// Operations (of other nodes) applied to local replicas by the object
-    /// manager — the "CPU overhead of handling incoming update messages" the
-    /// paper blames for the ACP slowdown.
+    /// Operations of other nodes applied to (or served against) local
+    /// replicas — broadcast updates handled by the object manager, remote
+    /// operations served at a primary copy or partition owner, and mirror
+    /// updates of the adaptive replicated regime. The "CPU overhead of
+    /// handling incoming update messages" the paper blames for the ACP
+    /// slowdown.
     pub updates_applied: AtomicU64,
     /// Invalidation messages processed (local copy discarded).
     pub invalidations_received: AtomicU64,
@@ -42,6 +45,9 @@ pub struct RtsStats {
     pub guard_retries: AtomicU64,
     /// Objects created by this node.
     pub objects_created: AtomicU64,
+    /// Regime switches coordinated by this node (adaptive runtime system
+    /// only; a node switches regimes only for objects it is home of).
+    pub regime_switches: AtomicU64,
 }
 
 impl RtsStats {
@@ -69,6 +75,7 @@ impl RtsStats {
             copies_dropped: self.copies_dropped.load(Ordering::Relaxed),
             guard_retries: self.guard_retries.load(Ordering::Relaxed),
             objects_created: self.objects_created.load(Ordering::Relaxed),
+            regime_switches: self.regime_switches.load(Ordering::Relaxed),
         }
     }
 }
@@ -98,6 +105,8 @@ pub struct RtsStatsSnapshot {
     pub guard_retries: u64,
     /// Objects created.
     pub objects_created: u64,
+    /// Regime switches coordinated (adaptive runtime system only).
+    pub regime_switches: u64,
 }
 
 impl RtsStatsSnapshot {
@@ -135,6 +144,31 @@ impl AccessStats {
     /// Record a write access by the local node.
     pub fn record_write(&self) {
         self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a batch of read accesses (e.g. a usage report from another
+    /// node).
+    pub fn record_reads(&self, count: u64) {
+        self.reads.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Record a batch of write accesses.
+    pub fn record_writes(&self, count: u64) {
+        self.writes.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Windowed decay: halve both counters. Called at each decision point
+    /// by policies that want a moving, recency-weighted view of the access
+    /// mix — a stale burst loses half its weight per window instead of
+    /// pinning the read/write ratio forever (which a plain running total
+    /// would) or being forgotten entirely (which [`AccessStats::reset`]
+    /// would do).
+    pub fn decay_halve(&self) {
+        // Load-and-store halving: callers serialize decay under their own
+        // decision lock; concurrent `record_*` increments may be halved or
+        // spared by the race, which is harmless for a heuristic.
+        self.reads.store(self.reads() / 2, Ordering::Relaxed);
+        self.writes.store(self.writes() / 2, Ordering::Relaxed);
     }
 
     /// Total accesses recorded.
@@ -211,5 +245,24 @@ mod tests {
         assert!((access.read_write_ratio() - 2.0).abs() < 1e-9);
         access.reset();
         assert_eq!(access.total(), 0);
+    }
+
+    #[test]
+    fn access_stats_windowed_decay() {
+        let access = AccessStats::default();
+        access.record_reads(40);
+        access.record_writes(10);
+        assert_eq!((access.reads(), access.writes()), (40, 10));
+        access.decay_halve();
+        assert_eq!((access.reads(), access.writes()), (20, 5));
+        // The ratio survives decay; the absolute weight of the old burst
+        // fades so fresh evidence can overturn it.
+        assert!((access.read_write_ratio() - 4.0).abs() < 1e-9);
+        access.decay_halve();
+        access.decay_halve();
+        access.decay_halve();
+        assert_eq!((access.reads(), access.writes()), (2, 0));
+        access.record_writes(16);
+        assert!(access.read_write_ratio() < 1.0, "fresh writes dominate");
     }
 }

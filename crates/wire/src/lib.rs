@@ -47,11 +47,13 @@ mod decode;
 mod encode;
 mod error;
 mod impls;
+pub mod regime;
 pub mod shard;
 
 pub use decode::{Decoder, MAX_LEN};
 pub use encode::{uvarint_len, Encoder};
 pub use error::{WireError, WireResult};
+pub use regime::{RegimeKind, RegimeMsg, RegimeReply, RegimeTable};
 pub use shard::{ShardMsg, ShardPartId, ShardReply, ShardRouteTable};
 
 /// A type that can be serialized to and deserialized from the wire format.

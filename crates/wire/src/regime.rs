@@ -1,0 +1,632 @@
+//! Wire messages of the adaptive runtime system's regime protocol.
+//!
+//! The adaptive RTS (see `orca-rts`) serves every shared object in one of
+//! three *regimes* — full replication with ordered updates, primary copy at
+//! the home node, or hash-partitioned sharding — and changes an object's
+//! regime at runtime from its observed read/write mix. The object's home
+//! node (its creator, recoverable from the object id) owns the authoritative
+//! [`RegimeTable`]; every other node caches it with a lease and is told
+//! [`RegimeReply::StaleRegime`] when it acts on an outdated epoch.
+//!
+//! The message vocabulary lives here, at the bottom of the stack, so the
+//! codecs are property-tested together with every other wire type and so the
+//! byte counts the network statistics accumulate for regime traffic are
+//! real. Object identifiers are carried as their raw `u64` representation
+//! (exactly the encoding `ObjectId` in `orca-object` uses on the wire).
+
+use crate::{Decoder, Encoder, Wire, WireError, WireResult};
+
+/// Which synchronization regime currently serves an object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegimeKind {
+    /// One authoritative copy at the home node plus a read mirror on every
+    /// node; writes execute at home, which pushes sequence-numbered updates
+    /// to the mirrors. Reads are local. Best for read-dominated objects.
+    Replicated,
+    /// A single copy at the home node; all remote operations are shipped by
+    /// RPC. Best for mixed or low-traffic objects.
+    Primary,
+    /// The object is split into hash-partitioned slices, each owned by one
+    /// node; operations ship point-to-point to the partition owner. Best
+    /// for write-hot shardable objects.
+    Sharded,
+}
+
+impl RegimeKind {
+    /// Human-readable name used in logs and benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            RegimeKind::Replicated => "replicated",
+            RegimeKind::Primary => "primary",
+            RegimeKind::Sharded => "sharded",
+        }
+    }
+}
+
+impl Wire for RegimeKind {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(match self {
+            RegimeKind::Replicated => 0,
+            RegimeKind::Primary => 1,
+            RegimeKind::Sharded => 2,
+        });
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        match dec.get_u8()? {
+            0 => Ok(RegimeKind::Replicated),
+            1 => Ok(RegimeKind::Primary),
+            2 => Ok(RegimeKind::Sharded),
+            tag => Err(WireError::InvalidTag {
+                type_name: "RegimeKind",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+/// The authoritative description of how one object is currently served.
+///
+/// Held by the object's home node; cached read-through (with a lease) by
+/// every other node. `epoch` is bumped by every regime switch — a server
+/// receiving an operation stamped with an outdated epoch answers
+/// [`RegimeReply::StaleRegime`] and the client re-fetches the table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegimeTable {
+    /// Raw object id.
+    pub object: u64,
+    /// Registered object type name (immutable metadata).
+    pub type_name: String,
+    /// Bumped by every regime switch.
+    pub epoch: u64,
+    /// The regime currently serving the object.
+    pub regime: RegimeKind,
+    /// Owner node index per partition. For [`RegimeKind::Primary`] and
+    /// [`RegimeKind::Replicated`] this is a single entry (the home node);
+    /// for [`RegimeKind::Sharded`] one entry per partition.
+    pub owners: Vec<u16>,
+}
+
+impl RegimeTable {
+    /// Number of authoritative partitions of the object under this regime.
+    pub fn partitions(&self) -> u32 {
+        self.owners.len() as u32
+    }
+}
+
+impl Wire for RegimeTable {
+    fn encode(&self, enc: &mut Encoder) {
+        self.object.encode(enc);
+        self.type_name.encode(enc);
+        self.epoch.encode(enc);
+        self.regime.encode(enc);
+        self.owners.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        Ok(RegimeTable {
+            object: Wire::decode(dec)?,
+            type_name: Wire::decode(dec)?,
+            epoch: Wire::decode(dec)?,
+            regime: Wire::decode(dec)?,
+            owners: Wire::decode(dec)?,
+        })
+    }
+}
+
+/// Requests of the adaptive runtime-system service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegimeMsg {
+    /// Client → home node: return the current [`RegimeTable`] of `object`.
+    Route {
+        /// Raw object id.
+        object: u64,
+    },
+    /// Client → authoritative owner: execute an encoded operation on one
+    /// partition (partition 0 under the primary/replicated regimes). The
+    /// epoch pins the regime the client routed under; a mismatch is
+    /// answered [`RegimeReply::StaleRegime`].
+    Op {
+        /// Raw object id.
+        object: u64,
+        /// Epoch of the regime table the client routed under.
+        epoch: u64,
+        /// Target partition.
+        partition: u32,
+        /// Encoded (already partition-narrowed) operation.
+        op: Vec<u8>,
+    },
+    /// Client → home node: execute an all-partition operation indivisibly.
+    /// The home fans the operation out under its switch lock, so a regime
+    /// change can never interleave with the per-partition shares (which
+    /// would re-apply non-idempotent shares on retry).
+    OpAll {
+        /// Raw object id.
+        object: u64,
+        /// Encoded whole-object operation.
+        op: Vec<u8>,
+    },
+    /// Any node → home node: re-evaluate the object's regime now from the
+    /// usage evidence accumulated so far (a regime-change *proposal*). The
+    /// reply carries the — possibly freshly switched — routing table.
+    Propose {
+        /// Raw object id.
+        object: u64,
+    },
+    /// Client → home node: report this node's read/write counts for the
+    /// object since its previous report. Feeds the decayed per-node usage
+    /// aggregate that drives regime decisions.
+    Report {
+        /// Raw object id.
+        object: u64,
+        /// Reporting node index.
+        node: u16,
+        /// Reads performed since the last report.
+        reads: u64,
+        /// Writes performed since the last report.
+        writes: u64,
+    },
+    /// Home → authoritative owner (regime switch, phase 1): withdraw the
+    /// partition and return its serialized state. In-flight operations that
+    /// raced the withdrawal are answered `StaleRegime` and retried by their
+    /// caller under the new regime — no write is lost or double-applied.
+    Drain {
+        /// Raw object id.
+        object: u64,
+        /// Epoch being drained (guards against duplicate/late drains).
+        epoch: u64,
+        /// Partition to withdraw.
+        partition: u32,
+    },
+    /// Home → new owner (regime switch, phase 2): install an authoritative
+    /// partition replica under the new epoch.
+    Install {
+        /// Raw object id.
+        object: u64,
+        /// Epoch of the new regime.
+        epoch: u64,
+        /// Partition index under the new regime.
+        partition: u32,
+        /// Registered object type name.
+        type_name: String,
+        /// Encoded partition state.
+        state: Vec<u8>,
+    },
+    /// Home → every node (switch into the replicated regime): install a
+    /// read mirror primed with the given state and update sequence number.
+    Mirror {
+        /// Raw object id.
+        object: u64,
+        /// Epoch of the replicated regime.
+        epoch: u64,
+        /// Registered object type name.
+        type_name: String,
+        /// Encoded full-object state.
+        state: Vec<u8>,
+        /// Update sequence number the state corresponds to.
+        seq: u64,
+    },
+    /// Client → home node: fetch a fresh mirror state (lazy re-sync after a
+    /// lost update or a missed mirror install).
+    FetchMirror {
+        /// Raw object id.
+        object: u64,
+        /// Epoch the client believes is current.
+        epoch: u64,
+    },
+    /// Home → every node (switch out of the replicated regime): discard the
+    /// read mirror so no node keeps serving pre-switch state.
+    DropMirror {
+        /// Raw object id.
+        object: u64,
+        /// Epoch being retired.
+        epoch: u64,
+    },
+    /// Home → mirror holder: apply one sequence-numbered update (a write
+    /// that executed at home) and keep the mirror locked until the matching
+    /// [`RegimeMsg::Unlock`] arrives (two-phase, for sequential
+    /// consistency).
+    Update {
+        /// Raw object id.
+        object: u64,
+        /// Epoch of the replicated regime.
+        epoch: u64,
+        /// Update sequence number (the home replica's write version).
+        seq: u64,
+        /// Encoded write operation.
+        op: Vec<u8>,
+    },
+    /// Home → mirror holder: release the mirror locked by `seq`.
+    Unlock {
+        /// Raw object id.
+        object: u64,
+        /// Epoch of the replicated regime.
+        epoch: u64,
+        /// Update sequence number being released.
+        seq: u64,
+    },
+}
+
+impl Wire for RegimeMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            RegimeMsg::Route { object } => {
+                enc.put_u8(0);
+                object.encode(enc);
+            }
+            RegimeMsg::Op {
+                object,
+                epoch,
+                partition,
+                op,
+            } => {
+                enc.put_u8(1);
+                object.encode(enc);
+                epoch.encode(enc);
+                partition.encode(enc);
+                enc.put_bytes(op);
+            }
+            RegimeMsg::OpAll { object, op } => {
+                enc.put_u8(2);
+                object.encode(enc);
+                enc.put_bytes(op);
+            }
+            RegimeMsg::Propose { object } => {
+                enc.put_u8(3);
+                object.encode(enc);
+            }
+            RegimeMsg::Report {
+                object,
+                node,
+                reads,
+                writes,
+            } => {
+                enc.put_u8(4);
+                object.encode(enc);
+                node.encode(enc);
+                reads.encode(enc);
+                writes.encode(enc);
+            }
+            RegimeMsg::Drain {
+                object,
+                epoch,
+                partition,
+            } => {
+                enc.put_u8(5);
+                object.encode(enc);
+                epoch.encode(enc);
+                partition.encode(enc);
+            }
+            RegimeMsg::Install {
+                object,
+                epoch,
+                partition,
+                type_name,
+                state,
+            } => {
+                enc.put_u8(6);
+                object.encode(enc);
+                epoch.encode(enc);
+                partition.encode(enc);
+                type_name.encode(enc);
+                enc.put_bytes(state);
+            }
+            RegimeMsg::Mirror {
+                object,
+                epoch,
+                type_name,
+                state,
+                seq,
+            } => {
+                enc.put_u8(7);
+                object.encode(enc);
+                epoch.encode(enc);
+                type_name.encode(enc);
+                enc.put_bytes(state);
+                seq.encode(enc);
+            }
+            RegimeMsg::FetchMirror { object, epoch } => {
+                enc.put_u8(8);
+                object.encode(enc);
+                epoch.encode(enc);
+            }
+            RegimeMsg::DropMirror { object, epoch } => {
+                enc.put_u8(9);
+                object.encode(enc);
+                epoch.encode(enc);
+            }
+            RegimeMsg::Update {
+                object,
+                epoch,
+                seq,
+                op,
+            } => {
+                enc.put_u8(10);
+                object.encode(enc);
+                epoch.encode(enc);
+                seq.encode(enc);
+                enc.put_bytes(op);
+            }
+            RegimeMsg::Unlock { object, epoch, seq } => {
+                enc.put_u8(11);
+                object.encode(enc);
+                epoch.encode(enc);
+                seq.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        match dec.get_u8()? {
+            0 => Ok(RegimeMsg::Route {
+                object: Wire::decode(dec)?,
+            }),
+            1 => Ok(RegimeMsg::Op {
+                object: Wire::decode(dec)?,
+                epoch: Wire::decode(dec)?,
+                partition: Wire::decode(dec)?,
+                op: dec.get_bytes()?,
+            }),
+            2 => Ok(RegimeMsg::OpAll {
+                object: Wire::decode(dec)?,
+                op: dec.get_bytes()?,
+            }),
+            3 => Ok(RegimeMsg::Propose {
+                object: Wire::decode(dec)?,
+            }),
+            4 => Ok(RegimeMsg::Report {
+                object: Wire::decode(dec)?,
+                node: Wire::decode(dec)?,
+                reads: Wire::decode(dec)?,
+                writes: Wire::decode(dec)?,
+            }),
+            5 => Ok(RegimeMsg::Drain {
+                object: Wire::decode(dec)?,
+                epoch: Wire::decode(dec)?,
+                partition: Wire::decode(dec)?,
+            }),
+            6 => Ok(RegimeMsg::Install {
+                object: Wire::decode(dec)?,
+                epoch: Wire::decode(dec)?,
+                partition: Wire::decode(dec)?,
+                type_name: Wire::decode(dec)?,
+                state: dec.get_bytes()?,
+            }),
+            7 => Ok(RegimeMsg::Mirror {
+                object: Wire::decode(dec)?,
+                epoch: Wire::decode(dec)?,
+                type_name: Wire::decode(dec)?,
+                state: dec.get_bytes()?,
+                seq: Wire::decode(dec)?,
+            }),
+            8 => Ok(RegimeMsg::FetchMirror {
+                object: Wire::decode(dec)?,
+                epoch: Wire::decode(dec)?,
+            }),
+            9 => Ok(RegimeMsg::DropMirror {
+                object: Wire::decode(dec)?,
+                epoch: Wire::decode(dec)?,
+            }),
+            10 => Ok(RegimeMsg::Update {
+                object: Wire::decode(dec)?,
+                epoch: Wire::decode(dec)?,
+                seq: Wire::decode(dec)?,
+                op: dec.get_bytes()?,
+            }),
+            11 => Ok(RegimeMsg::Unlock {
+                object: Wire::decode(dec)?,
+                epoch: Wire::decode(dec)?,
+                seq: Wire::decode(dec)?,
+            }),
+            tag => Err(WireError::InvalidTag {
+                type_name: "RegimeMsg",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+/// Replies of the adaptive runtime-system service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegimeReply {
+    /// Encoded reply of a completed operation.
+    Done(Vec<u8>),
+    /// The operation's guard was false; the caller should retry later.
+    Blocked,
+    /// Routing table (reply to [`RegimeMsg::Route`] and
+    /// [`RegimeMsg::Propose`]).
+    Route(RegimeTable),
+    /// The epoch in the request is no longer current (or the receiver does
+    /// not hold the addressed partition); the caller must re-fetch the
+    /// regime table from the home node.
+    StaleRegime,
+    /// Serialized partition state (reply to [`RegimeMsg::Drain`]).
+    State(Vec<u8>),
+    /// Serialized full state plus update sequence number (reply to
+    /// [`RegimeMsg::FetchMirror`]).
+    MirrorState {
+        /// Encoded full-object state.
+        state: Vec<u8>,
+        /// Update sequence number the state corresponds to.
+        seq: u64,
+    },
+    /// Acknowledgement with no payload.
+    Ack,
+    /// The request failed.
+    Error(String),
+}
+
+impl Wire for RegimeReply {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            RegimeReply::Done(bytes) => {
+                enc.put_u8(0);
+                enc.put_bytes(bytes);
+            }
+            RegimeReply::Blocked => enc.put_u8(1),
+            RegimeReply::Route(table) => {
+                enc.put_u8(2);
+                table.encode(enc);
+            }
+            RegimeReply::StaleRegime => enc.put_u8(3),
+            RegimeReply::State(bytes) => {
+                enc.put_u8(4);
+                enc.put_bytes(bytes);
+            }
+            RegimeReply::MirrorState { state, seq } => {
+                enc.put_u8(5);
+                enc.put_bytes(state);
+                seq.encode(enc);
+            }
+            RegimeReply::Ack => enc.put_u8(6),
+            RegimeReply::Error(msg) => {
+                enc.put_u8(7);
+                msg.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        match dec.get_u8()? {
+            0 => Ok(RegimeReply::Done(dec.get_bytes()?)),
+            1 => Ok(RegimeReply::Blocked),
+            2 => Ok(RegimeReply::Route(Wire::decode(dec)?)),
+            3 => Ok(RegimeReply::StaleRegime),
+            4 => Ok(RegimeReply::State(dec.get_bytes()?)),
+            5 => Ok(RegimeReply::MirrorState {
+                state: dec.get_bytes()?,
+                seq: Wire::decode(dec)?,
+            }),
+            6 => Ok(RegimeReply::Ack),
+            7 => Ok(RegimeReply::Error(Wire::decode(dec)?)),
+            tag => Err(WireError::InvalidTag {
+                type_name: "RegimeReply",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> RegimeTable {
+        RegimeTable {
+            object: (3u64 << 48) | 17,
+            type_name: "orca.KvTable".into(),
+            epoch: 5,
+            regime: RegimeKind::Sharded,
+            owners: vec![0, 1, 2, 1],
+        }
+    }
+
+    #[test]
+    fn all_requests_round_trip() {
+        let msgs = vec![
+            RegimeMsg::Route { object: 9 },
+            RegimeMsg::Op {
+                object: 9,
+                epoch: 2,
+                partition: 3,
+                op: vec![1, 2, 3],
+            },
+            RegimeMsg::OpAll {
+                object: 9,
+                op: vec![4, 5],
+            },
+            RegimeMsg::Propose { object: 9 },
+            RegimeMsg::Report {
+                object: 9,
+                node: 4,
+                reads: 100,
+                writes: 3,
+            },
+            RegimeMsg::Drain {
+                object: 9,
+                epoch: 2,
+                partition: 0,
+            },
+            RegimeMsg::Install {
+                object: 9,
+                epoch: 3,
+                partition: 1,
+                type_name: "orca.Set".into(),
+                state: vec![0; 8],
+            },
+            RegimeMsg::Mirror {
+                object: 9,
+                epoch: 3,
+                type_name: "orca.Int".into(),
+                state: vec![7],
+                seq: 12,
+            },
+            RegimeMsg::FetchMirror {
+                object: 9,
+                epoch: 3,
+            },
+            RegimeMsg::DropMirror {
+                object: 9,
+                epoch: 3,
+            },
+            RegimeMsg::Update {
+                object: 9,
+                epoch: 3,
+                seq: 13,
+                op: vec![1],
+            },
+            RegimeMsg::Unlock {
+                object: 9,
+                epoch: 3,
+                seq: 13,
+            },
+        ];
+        for msg in msgs {
+            assert_eq!(RegimeMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn all_replies_round_trip() {
+        let table = table();
+        assert_eq!(table.partitions(), 4);
+        let replies = vec![
+            RegimeReply::Done(vec![9]),
+            RegimeReply::Blocked,
+            RegimeReply::Route(table),
+            RegimeReply::StaleRegime,
+            RegimeReply::State(vec![1, 2]),
+            RegimeReply::MirrorState {
+                state: vec![3],
+                seq: 8,
+            },
+            RegimeReply::Ack,
+            RegimeReply::Error("nope".into()),
+        ];
+        for reply in replies {
+            assert_eq!(RegimeReply::from_bytes(&reply.to_bytes()).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn regime_kind_names_and_tags() {
+        for kind in [
+            RegimeKind::Replicated,
+            RegimeKind::Primary,
+            RegimeKind::Sharded,
+        ] {
+            assert_eq!(RegimeKind::from_bytes(&kind.to_bytes()).unwrap(), kind);
+            assert!(!kind.name().is_empty());
+        }
+        assert!(RegimeKind::from_bytes(&[9]).is_err());
+    }
+
+    #[test]
+    fn truncated_messages_are_errors() {
+        let bytes = RegimeMsg::Op {
+            object: 1,
+            epoch: 1,
+            partition: 1,
+            op: vec![1, 2, 3],
+        }
+        .to_bytes();
+        assert!(RegimeMsg::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(RegimeReply::from_bytes(&[0xff]).is_err());
+    }
+}

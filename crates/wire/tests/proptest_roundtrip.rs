@@ -395,3 +395,99 @@ fn shard_messages_round_trip() {
         let _ = ShardReply::from_bytes(&bytes);
     }
 }
+
+fn random_regime_table(gen: &mut Gen) -> orca_wire::RegimeTable {
+    use orca_wire::RegimeKind;
+    orca_wire::RegimeTable {
+        object: gen.next_u64(),
+        type_name: gen.string(),
+        epoch: gen.next_u64(),
+        regime: match gen.below(3) {
+            0 => RegimeKind::Replicated,
+            1 => RegimeKind::Primary,
+            _ => RegimeKind::Sharded,
+        },
+        owners: (0..gen.below(16)).map(|_| gen.next_u64() as u16).collect(),
+    }
+}
+
+#[test]
+fn regime_messages_round_trip() {
+    use orca_wire::{RegimeMsg, RegimeReply};
+    let mut gen = Gen::new(0xAD0BE0C5);
+    for case in 0..CASES {
+        let object = gen.next_u64();
+        let epoch = gen.next_u64();
+        let msg = match gen.below(12) {
+            0 => RegimeMsg::Route { object },
+            1 => RegimeMsg::Op {
+                object,
+                epoch,
+                partition: gen.next_u64() as u32,
+                op: gen.bytes(48),
+            },
+            2 => RegimeMsg::OpAll {
+                object,
+                op: gen.bytes(48),
+            },
+            3 => RegimeMsg::Propose { object },
+            4 => RegimeMsg::Report {
+                object,
+                node: gen.next_u64() as u16,
+                reads: gen.next_u64(),
+                writes: gen.next_u64(),
+            },
+            5 => RegimeMsg::Drain {
+                object,
+                epoch,
+                partition: gen.next_u64() as u32,
+            },
+            6 => RegimeMsg::Install {
+                object,
+                epoch,
+                partition: gen.next_u64() as u32,
+                type_name: gen.string(),
+                state: gen.bytes(48),
+            },
+            7 => RegimeMsg::Mirror {
+                object,
+                epoch,
+                type_name: gen.string(),
+                state: gen.bytes(48),
+                seq: gen.next_u64(),
+            },
+            8 => RegimeMsg::FetchMirror { object, epoch },
+            9 => RegimeMsg::DropMirror { object, epoch },
+            10 => RegimeMsg::Update {
+                object,
+                epoch,
+                seq: gen.next_u64(),
+                op: gen.bytes(48),
+            },
+            _ => RegimeMsg::Unlock {
+                object,
+                epoch,
+                seq: gen.next_u64(),
+            },
+        };
+        assert_roundtrip(&msg, case);
+        let reply = match gen.below(8) {
+            0 => RegimeReply::Done(gen.bytes(48)),
+            1 => RegimeReply::Blocked,
+            2 => RegimeReply::Route(random_regime_table(&mut gen)),
+            3 => RegimeReply::StaleRegime,
+            4 => RegimeReply::State(gen.bytes(48)),
+            5 => RegimeReply::MirrorState {
+                state: gen.bytes(48),
+                seq: gen.next_u64(),
+            },
+            6 => RegimeReply::Ack,
+            _ => RegimeReply::Error(gen.string()),
+        };
+        assert_roundtrip(&reply, case);
+        // Garbage decoding must error out, never panic.
+        let bytes = gen.bytes(32);
+        let _ = RegimeMsg::from_bytes(&bytes);
+        let _ = RegimeReply::from_bytes(&bytes);
+    }
+}
