@@ -72,6 +72,14 @@ pub mod ports {
     /// RPC service port used by the adaptive runtime system (regime
     /// routing, operations, regime-switch drain/install, mirror updates).
     pub const RTS_ADAPTIVE: Port = 6;
+    /// RPC service port of the crash-recovery protocol (copy queries,
+    /// promotions, re-home announcements).
+    pub const RECOVERY: Port = 7;
+    /// RPC service port for sharded-partition backup traffic. Separate
+    /// from [`RTS_SHARD`] so backup application — which never performs a
+    /// nested RPC — cannot be starved by (or deadlock with) the bounded
+    /// worker pool serving owner-shipped operations.
+    pub const RTS_SHARD_BACKUP: Port = 8;
     /// First port usable by applications and tests.
     pub const USER_BASE: Port = 1000;
     /// First ephemeral port (allocated dynamically, e.g. for RPC replies).
@@ -105,6 +113,8 @@ mod tests {
             ports::MEMBERSHIP,
             ports::RTS_SHARD,
             ports::RTS_ADAPTIVE,
+            ports::RECOVERY,
+            ports::RTS_SHARD_BACKUP,
         ];
         for (i, a) in ports.iter().enumerate() {
             for b in &ports[i + 1..] {

@@ -81,6 +81,10 @@ pub enum RpcError {
     Timeout,
     /// The reply could not be decoded.
     BadReply(String),
+    /// The caller's abort predicate fired while waiting for the reply
+    /// (see [`rpc_call_abortable`] — typically the destination was
+    /// declared dead by a failure detector).
+    Aborted,
 }
 
 impl std::fmt::Display for RpcError {
@@ -89,6 +93,7 @@ impl std::fmt::Display for RpcError {
             RpcError::Net(err) => write!(f, "network error: {err}"),
             RpcError::Timeout => write!(f, "rpc timed out"),
             RpcError::BadReply(msg) => write!(f, "bad rpc reply: {msg}"),
+            RpcError::Aborted => write!(f, "rpc aborted"),
         }
     }
 }
@@ -146,6 +151,56 @@ pub fn rpc_call_timeout(
         }
         // A stale reply for a previous (timed-out) call on a reused port;
         // ignore and keep waiting.
+    }
+}
+
+/// Like [`rpc_call_timeout`], but the wait is sliced into `poll`-sized
+/// chunks and `should_abort` is consulted between slices. The request is
+/// sent exactly **once** (so a non-idempotent operation is never
+/// re-executed by a slow server); aborting only gives up on the *reply*.
+/// Used by the recovery-aware runtime systems to stop waiting on a node
+/// the failure detector has since declared dead.
+pub fn rpc_call_abortable(
+    handle: &NetworkHandle,
+    dst: NodeId,
+    service_port: Port,
+    body: Vec<u8>,
+    timeout: Duration,
+    poll: Duration,
+    should_abort: &dyn Fn() -> bool,
+) -> Result<Vec<u8>, RpcError> {
+    let reply_port = handle.alloc_ephemeral_port();
+    let reply_rx = handle.bind(reply_port);
+    let request_id = NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed);
+    let request = RpcRequest {
+        request_id,
+        reply_port,
+        body,
+    };
+    handle.send_reliable(dst, service_port, request.to_bytes())?;
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        if should_abort() {
+            return Err(RpcError::Aborted);
+        }
+        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        if remaining.is_zero() {
+            return Err(RpcError::Timeout);
+        }
+        let slice = remaining.min(poll.max(Duration::from_millis(1)));
+        match reply_rx.recv_timeout(slice) {
+            Ok(msg) => {
+                let reply: RpcReply = msg
+                    .decode_payload()
+                    .map_err(|err| RpcError::BadReply(err.to_string()))?;
+                if reply.request_id == request_id {
+                    return Ok(reply.body);
+                }
+                // Stale reply for an earlier call on a reused port; ignore.
+            }
+            Err(NetError::Timeout) => continue,
+            Err(other) => return Err(RpcError::Net(other)),
+        }
     }
 }
 

@@ -1,0 +1,27 @@
+//! Crash-recovery latency sweep: kill 1 of 4 nodes mid-workload under the
+//! sharded RTS and measure time-to-detect, time-to-recover, and operations
+//! failed for several heartbeat/suspicion settings. Writes the
+//! `BENCH_recovery.json` trajectory file so future changes to the failure
+//! detector or the re-homing protocols have a baseline to beat.
+
+use std::time::Duration;
+
+fn main() {
+    let settings = [
+        (Duration::from_millis(10), 3u32),
+        (Duration::from_millis(25), 4),
+        (Duration::from_millis(50), 6),
+    ];
+    let rows = orca_bench::recovery::recovery_sweep(&settings);
+    print!("{}", orca_bench::recovery::format_table(&rows));
+    let json = orca_bench::recovery::to_json(&rows);
+    // Anchor at the workspace root (cargo runs benches from the package
+    // directory), so the trajectory file lands next to the README.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_recovery.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("trajectory written to {}", path.display()),
+        Err(err) => eprintln!("could not write {}: {err}", path.display()),
+    }
+}

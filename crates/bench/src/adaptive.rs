@@ -192,9 +192,8 @@ fn run_one(
     strategy: RtsStrategy,
 ) -> AdaptiveRow {
     let config = OrcaConfig {
-        processors: nodes,
-        fault: orca_amoeba::FaultConfig::reliable(),
         strategy,
+        ..OrcaConfig::broadcast(nodes)
     };
     let runtime = OrcaRuntime::start(config, standard_registry());
     let main = runtime.main();

@@ -14,6 +14,7 @@
 //! | Invalidation vs update vs broadcast RTS | §3.2.2 | [`rtscompare::rts_comparison`] |
 //! | Sharded RTS write throughput vs partitions | beyond the paper | [`sharded::sharded_throughput`] |
 //! | Adaptive RTS vs every fixed regime | beyond the paper | [`adaptive::adaptive_comparison`] |
+//! | Crash-recovery latency vs heartbeat settings | beyond the paper | [`recovery::recovery_sweep`] |
 //!
 //! All experiments run the real protocol stack in-process and feed the
 //! measured work and communication counts into the calibrated cost model of
@@ -23,6 +24,7 @@
 pub mod adaptive;
 pub mod loads;
 pub mod protocols;
+pub mod recovery;
 pub mod rtscompare;
 pub mod sharded;
 pub mod speedup;

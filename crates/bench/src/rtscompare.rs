@@ -56,9 +56,8 @@ pub fn rts_comparison(nodes: usize, ops_per_node: usize, read_fractions: &[f64])
 fn run_one(nodes: usize, ops_per_node: usize, read_fraction: f64, strategy: RtsStrategy) -> RtsRow {
     let kind = strategy.kind();
     let config = OrcaConfig {
-        processors: nodes,
-        fault: orca_amoeba::FaultConfig::reliable(),
         strategy,
+        ..OrcaConfig::broadcast(nodes)
     };
     let runtime = OrcaRuntime::start(config, orca_core::standard_registry());
     let counter = runtime.create::<IntObject>(&0).expect("create counter");

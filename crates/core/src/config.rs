@@ -2,7 +2,9 @@
 
 use orca_amoeba::FaultConfig;
 use orca_group::GroupConfig;
-use orca_rts::{AdaptivePolicy, ReplicationPolicy, RtsKind, ShardPolicy, WritePolicy};
+use orca_rts::{
+    AdaptivePolicy, RecoveryConfig, ReplicationPolicy, RtsKind, ShardPolicy, WritePolicy,
+};
 
 /// Which runtime system each node runs.
 #[derive(Debug, Clone)]
@@ -100,6 +102,11 @@ pub struct OrcaConfig {
     pub fault: FaultConfig,
     /// Runtime-system strategy used on every node.
     pub strategy: RtsStrategy,
+    /// Crash-recovery and membership knobs (disabled by default; see
+    /// [`RecoveryConfig`]). With recovery enabled, every node runs a
+    /// heartbeat failure detector and the runtime systems re-home objects
+    /// orphaned by a node failure onto survivors.
+    pub recovery: RecoveryConfig,
 }
 
 impl OrcaConfig {
@@ -110,6 +117,7 @@ impl OrcaConfig {
             processors,
             fault: FaultConfig::reliable(),
             strategy: RtsStrategy::broadcast(),
+            recovery: RecoveryConfig::disabled(),
         }
     }
 
@@ -122,6 +130,7 @@ impl OrcaConfig {
                 policy,
                 replication: ReplicationPolicy::default(),
             },
+            recovery: RecoveryConfig::disabled(),
         }
     }
 
@@ -132,6 +141,7 @@ impl OrcaConfig {
             processors,
             fault: FaultConfig::reliable(),
             strategy: RtsStrategy::sharded(partitions),
+            recovery: RecoveryConfig::disabled(),
         }
     }
 
@@ -141,12 +151,19 @@ impl OrcaConfig {
             processors,
             fault: FaultConfig::reliable(),
             strategy: RtsStrategy::adaptive(),
+            recovery: RecoveryConfig::disabled(),
         }
     }
 
     /// Replace the fault configuration.
     pub fn with_fault(mut self, fault: FaultConfig) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Replace the crash-recovery configuration.
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
         self
     }
 }

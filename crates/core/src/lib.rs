@@ -29,6 +29,7 @@ pub mod worker;
 
 pub use config::{OrcaConfig, RtsStrategy};
 pub use handle::ObjectHandle;
+pub use orca_rts::{RecoveryConfig, ViewSnapshot};
 pub use runtime::{OrcaNode, OrcaRuntime};
 pub use worker::replicated_workers;
 

@@ -7,8 +7,8 @@ use orca_amoeba::process::{ProcessHandle, ProcessorPool};
 use orca_amoeba::{NetStatsSnapshot, NodeId};
 use orca_object::{ObjectId, ObjectRegistry, ObjectType, OpKind};
 use orca_rts::{
-    AdaptiveRts, BroadcastRts, PrimaryCopyRts, RegimeKind, RtsStatsSnapshot, RuntimeSystem,
-    ShardedRts,
+    AdaptiveRts, BroadcastRts, FailureDetector, PrimaryCopyRts, RegimeKind, RtsStatsSnapshot,
+    RuntimeSystem, ShardedRts, ViewSnapshot,
 };
 use orca_wire::Wire;
 
@@ -118,6 +118,9 @@ pub struct OrcaRuntime {
     pool: ProcessorPool,
     rtses: Vec<NodeRts>,
     contexts: Vec<OrcaNode>,
+    /// Per-node heartbeat failure detectors (recovery enabled only),
+    /// shared with the runtime systems.
+    detectors: Vec<Arc<FailureDetector>>,
 }
 
 impl std::fmt::Debug for OrcaRuntime {
@@ -138,27 +141,58 @@ impl OrcaRuntime {
         assert!(config.processors > 0, "need at least one processor");
         let network = Network::new(NetworkConfig::with_fault(config.processors, config.fault));
         let pool = ProcessorPool::new(config.processors);
+        // With recovery enabled, one heartbeat failure detector per node is
+        // started here and shared with that node's runtime system, so the
+        // application (kill_node / membership_view) and the RTS see the
+        // same membership.
+        let detectors: Vec<Arc<FailureDetector>> = if config.recovery.enabled {
+            network
+                .node_ids()
+                .into_iter()
+                .map(|node| {
+                    FailureDetector::start(network.handle(node), config.recovery.failure_config())
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let mut rtses = Vec::with_capacity(config.processors);
         for node in network.node_ids() {
             let handle = network.handle(node);
+            let detector = detectors.get(node.index()).cloned();
             let rts = match &config.strategy {
                 RtsStrategy::Broadcast(group) => {
+                    // The broadcast RTS needs no per-object re-homing:
+                    // every replica is everywhere and sequencer failure is
+                    // handled inside the group layer.
                     NodeRts::Broadcast(BroadcastRts::start(handle, registry.clone(), group.clone()))
                 }
                 RtsStrategy::PrimaryCopy {
                     policy,
                     replication,
-                } => NodeRts::Primary(PrimaryCopyRts::start(
+                } => NodeRts::Primary(PrimaryCopyRts::start_recoverable(
                     handle,
                     registry.clone(),
                     *policy,
                     *replication,
+                    config.recovery,
+                    detector,
                 )),
-                RtsStrategy::Sharded { policy } => {
-                    NodeRts::Sharded(ShardedRts::start(handle, registry.clone(), *policy))
-                }
+                RtsStrategy::Sharded { policy } => NodeRts::Sharded(ShardedRts::start_recoverable(
+                    handle,
+                    registry.clone(),
+                    *policy,
+                    config.recovery,
+                    detector,
+                )),
                 RtsStrategy::Adaptive { policy } => {
-                    NodeRts::Adaptive(AdaptiveRts::start(handle, registry.clone(), *policy))
+                    NodeRts::Adaptive(AdaptiveRts::start_recoverable(
+                        handle,
+                        registry.clone(),
+                        *policy,
+                        config.recovery,
+                        detector,
+                    ))
                 }
             };
             rtses.push(rts);
@@ -177,6 +211,7 @@ impl OrcaRuntime {
             pool,
             rtses,
             contexts,
+            detectors,
         }
     }
 
@@ -258,12 +293,43 @@ impl OrcaRuntime {
         &self.network
     }
 
+    /// Kill `node`: its network traffic stops in both directions, exactly
+    /// as if the machine lost power (fail-stop — the kill is permanent for
+    /// the membership even if the network is later un-crashed). With
+    /// recovery enabled, survivors detect the silence, agree on a new
+    /// membership view, and re-home the node's objects.
+    pub fn kill_node(&self, node: NodeId) {
+        self.network.crash(node);
+    }
+
+    /// The membership view of the lowest live node's failure detector, or
+    /// `None` when recovery is disabled. Tests and benchmarks use this to
+    /// wait for a kill to be detected (`view.epoch` bumps once per death).
+    pub fn membership_view(&self) -> Option<ViewSnapshot> {
+        self.detectors
+            .iter()
+            .find(|d| !self.network.is_crashed(d.node()))
+            .map(|d| d.view())
+    }
+
+    /// The runtime system of the lowest *live* node, so introspection
+    /// helpers keep answering (instead of timing out against their own
+    /// dead transport) after `kill_node` took out node 0.
+    fn live_rts(&self) -> &NodeRts {
+        self.rtses
+            .iter()
+            .enumerate()
+            .find(|(index, _)| !self.network.is_crashed(NodeId::from(*index)))
+            .map(|(_, rts)| rts)
+            .unwrap_or(&self.rtses[0])
+    }
+
     /// Partition owners of `object` under the sharded runtime system (one
     /// entry per partition, freshly read from the object's home node), or
     /// `None` when another strategy is running. Used by tests and the
     /// benchmark harness to observe shard placement.
     pub fn shard_owners(&self, object: ObjectId) -> Option<Vec<NodeId>> {
-        match &self.rtses[0] {
+        match self.live_rts() {
             NodeRts::Sharded(rts) => rts.route_owners(object).ok(),
             _ => None,
         }
@@ -274,7 +340,7 @@ impl OrcaRuntime {
     /// another strategy is running. Used by tests and the benchmark
     /// harness to observe adaptation.
     pub fn object_regime(&self, object: ObjectId) -> Option<RegimeKind> {
-        match &self.rtses[0] {
+        match self.live_rts() {
             NodeRts::Adaptive(rts) => rts.regime_of(object).ok().map(|(regime, _)| regime),
             _ => None,
         }
@@ -284,12 +350,15 @@ impl OrcaRuntime {
     /// flushing every node's unreported usage (adaptive strategy only).
     /// Returns the — possibly freshly switched — regime.
     pub fn propose_regime(&self, object: ObjectId) -> Option<RegimeKind> {
-        for rts in &self.rtses {
+        for (index, rts) in self.rtses.iter().enumerate() {
+            if self.network.is_crashed(NodeId::from(index)) {
+                continue;
+            }
             if let NodeRts::Adaptive(rts) = rts {
                 rts.flush_usage(object);
             }
         }
-        match &self.rtses[0] {
+        match self.live_rts() {
             NodeRts::Adaptive(rts) => rts.propose(object).ok(),
             _ => None,
         }
@@ -299,6 +368,9 @@ impl OrcaRuntime {
     pub fn shutdown(&self) {
         for rts in &self.rtses {
             rts.shutdown();
+        }
+        for detector in &self.detectors {
+            detector.shutdown();
         }
     }
 }

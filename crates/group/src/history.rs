@@ -76,6 +76,13 @@ impl HistoryBuffer {
         self.entries.keys().next_back().copied().unwrap_or(0)
     }
 
+    /// Lowest sequence number still stored (0 if none). Numbers below this
+    /// may have been evicted by the size bound, so their absence proves
+    /// nothing about whether they ever existed.
+    pub fn lowest_seq(&self) -> u64 {
+        self.entries.keys().next().copied().unwrap_or(0)
+    }
+
     /// Entries in the inclusive range `from..=to` that are still available.
     pub fn range(&self, from: u64, to: u64) -> Vec<(u64, HistoryEntry)> {
         self.entries

@@ -30,12 +30,14 @@
 //! recovery caveats of this simulation).
 
 pub mod config;
+pub mod failure;
 pub mod history;
 pub mod member;
 pub mod messages;
 pub mod stats;
 
 pub use config::{GroupConfig, MethodPolicy};
+pub use failure::{FailureConfig, FailureDetector, ViewSnapshot};
 pub use member::{Delivered, GroupError, GroupMember, GroupSender};
 pub use messages::{BroadcastMethod, GroupMsg, MsgId};
 pub use stats::{GroupStats, GroupStatsSnapshot};

@@ -20,13 +20,23 @@
 //!   sequencer deduplicates by message id.
 //! * A crashed sequencer is detected either through the simulated kernel's
 //!   crash flag or after repeated fruitless retransmissions; the remaining
-//!   members elect the lowest-numbered live node, which resumes sequencing
-//!   after the highest number it has itself observed. (The full Amoeba
-//!   recovery protocol additionally reconciles the outgoing history of the
-//!   failed sequencer; this simulation documents that simplification in
-//!   DESIGN.md and its tests quiesce traffic before killing the sequencer.)
+//!   members elect the lowest-numbered live node as the new sequencer.
+//!   Every member keeps a history buffer of the messages it has *delivered*
+//!   (not just the ones it sequenced), so a newly elected sequencer can
+//!   serve retransmissions for the old sequencer's era. Because the new
+//!   sequencer may not have observed the failed sequencer's final
+//!   assignments, it announces itself (`NewSequencer`) and pauses
+//!   sequencing for one retransmission interval: members that have seen
+//!   higher sequence numbers replay those entries to it from their own
+//!   history, the new sequencer adopts them (advancing its numbering past
+//!   everything any survivor delivered), and only then does it resume
+//!   assigning fresh numbers. A message acknowledged to any *surviving*
+//!   origin is therefore never lost and never double-numbered across the
+//!   change-over. (Residual: under simultaneous heavy message loss the
+//!   replay itself can be dropped; the resync window bounds but does not
+//!   eliminate that race — see docs/ARCHITECTURE.md.)
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -235,6 +245,10 @@ struct ProtocolState {
     // Member-side ordering state.
     next_deliver: u64,
     pending_order: BTreeMap<u64, (MsgId, Option<Vec<u8>>)>,
+    /// Sequence numbers declared abandoned by a sequencer change-over
+    /// ([`GroupMsg::Skip`]) or consumed by a re-sequenced duplicate;
+    /// delivery advances past them without handing anything up.
+    skipped: BTreeSet<u64>,
     bb_data: HashMap<MsgId, Vec<u8>>,
     delivered_ids: HashSet<MsgId>,
     gap_since: Option<Instant>,
@@ -247,9 +261,27 @@ struct ProtocolState {
     unacked: HashMap<MsgId, PendingSend>,
     // Sequencer-side state.
     next_global_seq: u64,
+    /// Sequenced (as sequencer) *and* delivered (as member) messages, so a
+    /// newly elected sequencer can serve retransmissions and replay the old
+    /// sequencer's era.
     history: HistoryBuffer,
     sequenced_ids: HashMap<MsgId, u64>,
+    /// Set while a newly elected sequencer waits for survivors to replay
+    /// sequence numbers it may have missed; sequencing duties arriving in
+    /// the window are deferred to [`ProtocolState::deferred`].
+    resync_until: Option<Instant>,
+    /// Sequencing duties (id, payload, use-BB-accept) deferred by the
+    /// resync window.
+    deferred: Vec<(MsgId, Vec<u8>, bool)>,
+    /// Consecutive post-resync repair rounds in which the sequencer still
+    /// had holes in the failed sequencer's era; after a few fruitless
+    /// survivor probes the holes are declared abandoned and skipped.
+    hole_rounds: u32,
 }
+
+/// Fruitless survivor-probe rounds after which a newly elected sequencer
+/// declares a hole in its predecessor's era abandoned.
+const HOLE_PROBE_ROUNDS: u32 = 3;
 
 impl ProtocolState {
     fn new(
@@ -271,6 +303,7 @@ impl ProtocolState {
             sequencer,
             next_deliver: 1,
             pending_order: BTreeMap::new(),
+            skipped: BTreeSet::new(),
             bb_data: HashMap::new(),
             delivered_ids: HashSet::new(),
             gap_since: None,
@@ -281,6 +314,9 @@ impl ProtocolState {
             next_global_seq: 1,
             history: HistoryBuffer::new(history_limit),
             sequenced_ids: HashMap::new(),
+            resync_until: None,
+            deferred: Vec::new(),
+            hole_rounds: 0,
         }
     }
 
@@ -370,8 +406,19 @@ impl ProtocolState {
         }
     }
 
+    /// True while a newly elected sequencer is waiting out its resync
+    /// window (survivors may still be replaying the old sequencer's
+    /// assignments).
+    fn in_resync(&self) -> bool {
+        matches!(self.resync_until, Some(until) if Instant::now() < until)
+    }
+
     /// Sequencer duty: assign the next global number and announce the data.
     fn sequence_data(&mut self, id: MsgId, payload: Vec<u8>) {
+        if self.in_resync() {
+            self.deferred.push((id, payload, false));
+            return;
+        }
         if let Some(&existing) = self.sequenced_ids.get(&id) {
             // Duplicate request (origin retransmitted): re-announce.
             GroupStats::bump(&self.stats.duplicates_ignored);
@@ -407,6 +454,10 @@ impl ProtocolState {
     /// Sequencer duty for the BB protocol: bind an already-broadcast message
     /// to a global number with a short Accept.
     fn sequence_accept(&mut self, id: MsgId, payload: Vec<u8>) {
+        if self.in_resync() {
+            self.deferred.push((id, payload, true));
+            return;
+        }
         if let Some(&existing) = self.sequenced_ids.get(&id) {
             GroupStats::bump(&self.stats.duplicates_ignored);
             let msg = GroupMsg::Accept {
@@ -443,6 +494,14 @@ impl ProtocolState {
                 id,
                 payload,
             } => {
+                if self.is_sequencer() {
+                    // Replayed assignments of a previous sequencer's era
+                    // (handover after an election, or retransmissions in
+                    // flight across it): adopt them so our numbering
+                    // resumes past everything any survivor has seen and
+                    // duplicate requests stay deduplicated.
+                    self.adopt_sequenced(global_seq, id, &payload);
+                }
                 self.receive_sequenced(global_seq, id, Some(payload));
             }
             GroupMsg::BbData { id, payload } => {
@@ -459,6 +518,15 @@ impl ProtocolState {
             }
             GroupMsg::RetransmitRequest { from, to } => {
                 self.serve_retransmission(src, from, to);
+                // A requester (typically a newly elected sequencer probing
+                // the failed sequencer's era) that asks up to `to` has not
+                // heard of anything higher; if we have, tell it.
+                if self.known_highest > to {
+                    let msg = GroupMsg::Status {
+                        highest_seq: self.known_highest,
+                    };
+                    let _ = self.handle.send(src, ports::GROUP, msg.to_bytes());
+                }
             }
             GroupMsg::NewSequencer {
                 sequencer,
@@ -468,9 +536,43 @@ impl ProtocolState {
                 if next_seq > self.next_global_seq {
                     self.next_global_seq = next_seq;
                 }
+                // Handover: if this member has seen sequence numbers the
+                // new sequencer has not, replay them from local history
+                // (delivered) and the reorder buffer (received, not yet
+                // delivered) so the new sequencer adopts them before it
+                // assigns fresh numbers.
+                if sequencer != self.handle.node() && self.known_highest >= next_seq {
+                    for (global_seq, entry) in self.history.range(next_seq, self.known_highest) {
+                        let msg = GroupMsg::SeqData {
+                            global_seq,
+                            id: entry.id,
+                            payload: entry.payload,
+                        };
+                        let _ = self.handle.send(sequencer, ports::GROUP, msg.to_bytes());
+                    }
+                    for (&global_seq, (id, payload)) in self.pending_order.range(next_seq..) {
+                        if let Some(payload) = payload {
+                            let msg = GroupMsg::SeqData {
+                                global_seq,
+                                id: *id,
+                                payload: payload.clone(),
+                            };
+                            let _ = self.handle.send(sequencer, ports::GROUP, msg.to_bytes());
+                        }
+                    }
+                }
             }
             GroupMsg::Status { highest_seq } => {
                 self.note_highest(highest_seq);
+            }
+            GroupMsg::Skip { from, to } => {
+                // Bounded like retransmission bursts; numbers below the
+                // delivery point are already consumed.
+                let to = to.min(from.saturating_add(256));
+                for seq in from.max(self.next_deliver)..=to {
+                    self.skipped.insert(seq);
+                }
+                self.try_deliver();
             }
         }
     }
@@ -490,7 +592,9 @@ impl ProtocolState {
         // Any member that still has the entry in its history can serve it;
         // normally only the sequencer has one.
         let to = to.min(from.saturating_add(256)); // bound the burst
+        let mut present = BTreeSet::new();
         for (global_seq, entry) in self.history.range(from, to) {
+            present.insert(global_seq);
             GroupStats::bump(&self.stats.retransmissions_served);
             let msg = GroupMsg::SeqData {
                 global_seq,
@@ -498,6 +602,59 @@ impl ProtocolState {
                 payload: entry.payload,
             };
             let _ = self.handle.send(requester, ports::GROUP, msg.to_bytes());
+        }
+        // Sequencer authority: numbers this sequencer has itself already
+        // consumed (delivered or skipped — i.e. below its own delivery
+        // point) that are absent from its history were abandoned in a
+        // change-over; tell the requester to skip them, otherwise its
+        // delivery would stall forever. Two bounds keep Skip truthful:
+        // the *delivery* point (never skip a number we might still fill
+        // in), and the history buffer's lowest retained entry (a number
+        // below it may be a real delivered message the size bound
+        // evicted — absence proves nothing there, so the requester keeps
+        // retrying instead of silently diverging).
+        if !self.is_sequencer() || self.in_resync() {
+            return;
+        }
+        let floor = self.history.lowest_seq();
+        if floor == 0 {
+            return;
+        }
+        let mut seq = from.max(floor);
+        while seq <= to && seq < self.next_deliver {
+            if present.contains(&seq) {
+                seq += 1;
+                continue;
+            }
+            let run_start = seq;
+            while seq <= to && seq < self.next_deliver && !present.contains(&seq) {
+                seq += 1;
+            }
+            let msg = GroupMsg::Skip {
+                from: run_start,
+                to: seq - 1,
+            };
+            let _ = self.handle.send(requester, ports::GROUP, msg.to_bytes());
+        }
+    }
+
+    /// Sequencer duty after an election: fold a replayed assignment of a
+    /// previous era into our own sequencer state (history for
+    /// retransmissions, id map for request deduplication, numbering past
+    /// everything adopted).
+    fn adopt_sequenced(&mut self, global_seq: u64, id: MsgId, payload: &[u8]) {
+        if let std::collections::hash_map::Entry::Vacant(vacant) = self.sequenced_ids.entry(id) {
+            vacant.insert(global_seq);
+            self.history.insert(
+                global_seq,
+                HistoryEntry {
+                    id,
+                    payload: payload.to_vec(),
+                },
+            );
+        }
+        if global_seq >= self.next_global_seq {
+            self.next_global_seq = global_seq + 1;
         }
     }
 
@@ -507,6 +664,16 @@ impl ProtocolState {
         }
         if global_seq < self.next_deliver {
             GroupStats::bump(&self.stats.duplicates_ignored);
+            return;
+        }
+        // A message this member already delivered, re-sequenced under a new
+        // number (its origin retransmitted across a sequencer change-over
+        // that this member rode out with the *old* assignment): consume the
+        // new number without delivering twice.
+        if payload.is_some() && self.delivered_ids.contains(&id) {
+            GroupStats::bump(&self.stats.duplicates_ignored);
+            self.skipped.insert(global_seq);
+            self.try_deliver();
             return;
         }
         match self.pending_order.get_mut(&global_seq) {
@@ -535,13 +702,41 @@ impl ProtocolState {
                 Some((_, Some(_)))
             );
             if !ready {
+                // An abandoned number (sequencer change-over) with no real
+                // payload pending is consumed silently.
+                if self.skipped.contains(&self.next_deliver) {
+                    self.skipped.remove(&self.next_deliver);
+                    self.pending_order.remove(&self.next_deliver);
+                    self.next_deliver += 1;
+                    continue;
+                }
                 break;
             }
+            self.skipped.remove(&self.next_deliver);
             let (id, payload) = self
                 .pending_order
                 .remove(&self.next_deliver)
                 .expect("checked above");
             let payload = payload.expect("checked above");
+            if self.delivered_ids.contains(&id) {
+                // Already delivered under an earlier number (the message
+                // was re-sequenced across a sequencer change-over and the
+                // new assignment was buffered before the old one arrived):
+                // consume the number silently.
+                GroupStats::bump(&self.stats.duplicates_ignored);
+                self.next_deliver += 1;
+                continue;
+            }
+            // Every member (not just the sequencer) remembers what it
+            // delivered, so a newly elected sequencer can replay and serve
+            // the failed sequencer's era from its own buffer.
+            self.history.insert(
+                self.next_deliver,
+                HistoryEntry {
+                    id,
+                    payload: payload.clone(),
+                },
+            );
             let delivered = Delivered {
                 global_seq: self.next_deliver,
                 id,
@@ -566,9 +761,57 @@ impl ProtocolState {
 
     fn check_timers(&mut self) {
         self.check_sequencer_alive();
+        self.probe_predecessor_era();
+        self.flush_deferred();
         self.retry_unacked();
         self.repair_gaps();
         self.send_status();
+    }
+
+    /// During the post-election resync window, the new sequencer actively
+    /// asks every survivor to replay anything it is missing from the failed
+    /// sequencer's era (a single handover replay can be lost on a lossy
+    /// network). Members answer with history entries and with their own
+    /// highest known number, so by the end of the window the new
+    /// sequencer's numbering has moved past everything any survivor saw.
+    fn probe_predecessor_era(&mut self) {
+        if !self.is_sequencer() || !self.in_resync() {
+            return;
+        }
+        if self.known_highest >= self.next_deliver {
+            let msg = GroupMsg::RetransmitRequest {
+                from: self.next_deliver,
+                to: self.known_highest,
+            };
+            let _ = self.handle.broadcast(ports::GROUP, msg.to_bytes());
+        }
+    }
+
+    /// Sequencer duty: once the post-election resync window has passed,
+    /// sequence the requests that arrived during it.
+    fn flush_deferred(&mut self) {
+        if self.in_resync() {
+            return;
+        }
+        self.resync_until = None;
+        if self.deferred.is_empty() {
+            return;
+        }
+        if !self.is_sequencer() {
+            // Deferred entries only exist on a (former) sequencer; if
+            // leadership moved on, the origins retransmit to the new
+            // sequencer themselves.
+            self.deferred.clear();
+            return;
+        }
+        let deferred = std::mem::take(&mut self.deferred);
+        for (id, payload, accept) in deferred {
+            if accept {
+                self.sequence_accept(id, payload);
+            } else {
+                self.sequence_data(id, payload);
+            }
+        }
     }
 
     /// Sequencer duty: periodically announce the highest assigned sequence
@@ -608,17 +851,35 @@ impl ProtocolState {
         }
         self.sequencer = new_sequencer;
         if self.is_sequencer() {
-            // Resume numbering after everything this member has seen.
+            // Resume numbering after everything this member has seen:
+            // delivered history, the reorder buffer, and any number known
+            // to exist from status traffic.
             let highest_buffered = self
                 .pending_order
                 .keys()
                 .next_back()
                 .copied()
                 .unwrap_or(self.next_deliver.saturating_sub(1));
-            let resume = highest_buffered.max(self.next_deliver.saturating_sub(1)) + 1;
+            let resume = highest_buffered
+                .max(self.next_deliver.saturating_sub(1))
+                .max(self.history.highest_seq())
+                .max(self.known_highest)
+                + 1;
             if resume > self.next_global_seq {
                 self.next_global_seq = resume;
             }
+            // The new sequencer serves retransmissions for the old era
+            // from its delivery history; requests it merely delivered must
+            // dedup like requests it sequenced.
+            for (global_seq, entry) in self.history.range(1, self.history.highest_seq()) {
+                self.sequenced_ids.entry(entry.id).or_insert(global_seq);
+            }
+            // Announce, then hold off assigning fresh numbers for two
+            // retransmission intervals so survivors can replay assignments
+            // of the failed sequencer we never saw (they arrive as SeqData
+            // and are adopted, advancing next_global_seq past them; the
+            // resync probe re-asks every tick in case a replay is lost).
+            self.resync_until = Some(Instant::now() + self.config.retransmit_timeout * 2);
             let msg = GroupMsg::NewSequencer {
                 sequencer: self.sequencer,
                 next_seq: self.next_global_seq,
@@ -667,13 +928,47 @@ impl ProtocolState {
             return;
         }
         if self.is_sequencer() {
-            // We *are* the sequencer: the lost copies are in our own history
-            // buffer (we store every message we sequence), so re-inject them
-            // locally instead of asking anyone.
+            if self.in_resync() {
+                // Survivors may still be replaying the failed sequencer's
+                // assignments (probe_predecessor_era is asking for them);
+                // treat nothing as abandoned yet.
+                self.gap_since = Some(Instant::now());
+                return;
+            }
+            // We *are* the sequencer: lost copies of our own era are in our
+            // history buffer (we store every message we sequence or
+            // deliver), so re-inject them locally. Numbers below our
+            // assignment point that neither we nor — after a few more
+            // survivor probes — anyone else has were abandoned by the
+            // failed sequencer: skip them, or delivery would stall.
             let missing = self.history.range(self.next_deliver, highest);
+            let present: BTreeSet<u64> = missing.iter().map(|(seq, _)| *seq).collect();
             for (global_seq, entry) in missing {
                 self.receive_sequenced(global_seq, entry.id, Some(entry.payload));
             }
+            let ceiling = highest.min(self.next_global_seq.saturating_sub(1));
+            let holes: Vec<u64> = (self.next_deliver..=ceiling)
+                .filter(|seq| {
+                    let has_payload = matches!(self.pending_order.get(seq), Some((_, Some(_))));
+                    !present.contains(seq) && !has_payload
+                })
+                .collect();
+            if holes.is_empty() {
+                self.hole_rounds = 0;
+            } else if self.hole_rounds < HOLE_PROBE_ROUNDS {
+                self.hole_rounds += 1;
+                let msg = GroupMsg::RetransmitRequest {
+                    from: self.next_deliver,
+                    to: ceiling,
+                };
+                let _ = self.handle.broadcast(ports::GROUP, msg.to_bytes());
+            } else {
+                self.hole_rounds = 0;
+                for seq in holes {
+                    self.skipped.insert(seq);
+                }
+            }
+            self.try_deliver();
             self.gap_since = Some(Instant::now());
             return;
         }

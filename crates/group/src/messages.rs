@@ -122,6 +122,17 @@ pub enum GroupMsg {
         /// Highest global sequence number assigned so far.
         highest_seq: u64,
     },
+    /// Sequencer → member: the global sequence numbers `from..=to` were
+    /// abandoned in a sequencer change-over (the failed sequencer announced
+    /// them but no survivor ever received the data); deliver nothing for
+    /// them and advance past. Sent in response to a retransmission request
+    /// for numbers absent from every surviving history.
+    Skip {
+        /// First abandoned sequence number.
+        from: u64,
+        /// Last abandoned sequence number.
+        to: u64,
+    },
 }
 
 impl GroupMsg {
@@ -132,6 +143,7 @@ impl GroupMsg {
     const TAG_RETRANSMIT_REQ: u8 = 4;
     const TAG_NEW_SEQUENCER: u8 = 5;
     const TAG_STATUS: u8 = 6;
+    const TAG_SKIP: u8 = 7;
 }
 
 impl Wire for GroupMsg {
@@ -179,6 +191,11 @@ impl Wire for GroupMsg {
                 enc.put_u8(Self::TAG_STATUS);
                 highest_seq.encode(enc);
             }
+            GroupMsg::Skip { from, to } => {
+                enc.put_u8(Self::TAG_SKIP);
+                from.encode(enc);
+                to.encode(enc);
+            }
         }
     }
 
@@ -211,6 +228,10 @@ impl Wire for GroupMsg {
             }),
             Self::TAG_STATUS => Ok(GroupMsg::Status {
                 highest_seq: Wire::decode(dec)?,
+            }),
+            Self::TAG_SKIP => Ok(GroupMsg::Skip {
+                from: Wire::decode(dec)?,
+                to: Wire::decode(dec)?,
             }),
             tag => Err(WireError::InvalidTag {
                 type_name: "GroupMsg",
@@ -257,6 +278,7 @@ mod tests {
                 next_seq: 100,
             },
             GroupMsg::Status { highest_seq: 12 },
+            GroupMsg::Skip { from: 13, to: 15 },
         ];
         for msg in messages {
             assert_eq!(GroupMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);

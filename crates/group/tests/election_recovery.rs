@@ -1,0 +1,202 @@
+//! Sequencer election under crashes that happen *mid-traffic* — with and
+//! without message loss — the failure scenarios the original tests dodged
+//! by quiescing the group before killing the sequencer.
+
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+use orca_amoeba::network::{Network, NetworkConfig};
+use orca_amoeba::{FaultConfig, NodeId};
+use orca_group::{Delivered, GroupConfig, GroupMember, MsgId};
+
+fn start_members(net: &Network, config: &GroupConfig) -> Vec<GroupMember> {
+    net.node_ids()
+        .into_iter()
+        .map(|n| GroupMember::start(net.handle(n), config.clone()))
+        .collect()
+}
+
+fn fast_config() -> GroupConfig {
+    GroupConfig {
+        retransmit_timeout: Duration::from_millis(40),
+        ..GroupConfig::default()
+    }
+}
+
+/// Drain deliveries from `member` until `want` distinct ids from `origins`
+/// have arrived (or the deadline passes), returning the full in-order
+/// delivery sequence.
+fn collect_until(
+    member: &GroupMember,
+    origins: &[NodeId],
+    want: usize,
+    deadline: Duration,
+) -> Vec<Delivered> {
+    let until = Instant::now() + deadline;
+    let mut all = Vec::new();
+    let mut wanted_seen = BTreeSet::new();
+    while wanted_seen.len() < want {
+        let remaining = until.saturating_duration_since(Instant::now());
+        assert!(
+            !remaining.is_zero(),
+            "node{} delivered only {}/{want} expected messages",
+            member.node().0,
+            wanted_seen.len()
+        );
+        if let Ok(delivered) = member.recv_timeout(remaining.min(Duration::from_millis(200))) {
+            if origins.contains(&delivered.id.origin) {
+                wanted_seen.insert(delivered.id);
+            }
+            all.push(delivered);
+        }
+    }
+    all
+}
+
+/// Crash the sequencer while broadcasts are in full flight: survivors must
+/// elect a new sequencer, replay its era from their delivery histories, and
+/// deliver every survivor-originated message exactly once, in one identical
+/// total order.
+#[test]
+fn sequencer_crash_mid_traffic_loses_no_survivor_message() {
+    let net = Network::reliable(3);
+    let members = start_members(&net, &fast_config());
+    const PER_MEMBER: usize = 30;
+    // First half of the stream, no waiting — the sequencer dies with these
+    // in various stages of sequencing and delivery.
+    for k in 0..PER_MEMBER / 2 {
+        for member in &members[1..] {
+            member
+                .broadcast(vec![member.node().0 as u8, k as u8])
+                .unwrap();
+        }
+    }
+    std::thread::sleep(Duration::from_millis(10));
+    net.crash(NodeId(0));
+    // Second half rides the re-election.
+    for k in PER_MEMBER / 2..PER_MEMBER {
+        for member in &members[1..] {
+            member
+                .broadcast(vec![member.node().0 as u8, k as u8])
+                .unwrap();
+        }
+    }
+    let origins = [NodeId(1), NodeId(2)];
+    let want = PER_MEMBER * origins.len();
+    let orders: Vec<Vec<MsgId>> = members[1..]
+        .iter()
+        .map(|member| {
+            collect_until(member, &origins, want, Duration::from_secs(20))
+                .into_iter()
+                .map(|d| d.id)
+                .collect()
+        })
+        .collect();
+    // Exactly once: no id repeats on any member.
+    for order in &orders {
+        let unique: BTreeSet<&MsgId> = order.iter().collect();
+        assert_eq!(unique.len(), order.len(), "a message was delivered twice");
+    }
+    // Identical total order across survivors (the dead sequencer's own
+    // messages, if any were mid-flight, appear consistently or not at all).
+    assert_eq!(orders[0], orders[1], "survivors diverged after election");
+    for member in members {
+        drop(member);
+    }
+}
+
+/// A member crashes while the network is dropping, duplicating and
+/// reordering packets: the election machinery must not be confused by the
+/// combination — survivors still deliver one identical gapless order.
+#[test]
+fn election_survives_member_crash_under_message_loss() {
+    let fault = FaultConfig {
+        drop_prob: 0.10,
+        duplicate_prob: 0.05,
+        reorder_prob: 0.05,
+        seed: 0xC4A5_11ED,
+    };
+    let net = Network::new(NetworkConfig::with_fault(4, fault));
+    let members = start_members(&net, &fast_config());
+    const PER_MEMBER: usize = 20;
+    for k in 0..PER_MEMBER / 2 {
+        for member in &members[..3] {
+            member
+                .broadcast(vec![member.node().0 as u8, k as u8])
+                .unwrap();
+        }
+    }
+    // Node 3 dies mid-stream; nobody depends on its traffic, but its crash
+    // must not stall gap repair or confuse the (live) sequencer.
+    net.crash(NodeId(3));
+    for k in PER_MEMBER / 2..PER_MEMBER {
+        for member in &members[..3] {
+            member
+                .broadcast(vec![member.node().0 as u8, k as u8])
+                .unwrap();
+        }
+    }
+    let origins = [NodeId(0), NodeId(1), NodeId(2)];
+    let want = PER_MEMBER * origins.len();
+    let orders: Vec<Vec<MsgId>> = members[..3]
+        .iter()
+        .map(|member| {
+            collect_until(member, &origins, want, Duration::from_secs(30))
+                .into_iter()
+                .map(|d| d.id)
+                .collect()
+        })
+        .collect();
+    for order in &orders[1..] {
+        assert_eq!(order, &orders[0], "survivors diverged under loss + crash");
+    }
+}
+
+/// The nastier combination: the *sequencer* crashes while the network is
+/// lossy. Detection here rides the retransmission-suspicion path as well as
+/// the crash flag; survivors must converge on one order containing every
+/// survivor-originated message.
+#[test]
+fn sequencer_crash_under_message_loss_converges() {
+    let fault = FaultConfig {
+        drop_prob: 0.08,
+        duplicate_prob: 0.03,
+        reorder_prob: 0.03,
+        seed: 77,
+    };
+    let net = Network::new(NetworkConfig::with_fault(3, fault));
+    let members = start_members(&net, &fast_config());
+    const PER_MEMBER: usize = 15;
+    for k in 0..PER_MEMBER / 2 {
+        for member in &members[1..] {
+            member
+                .broadcast(vec![member.node().0 as u8, k as u8])
+                .unwrap();
+        }
+    }
+    std::thread::sleep(Duration::from_millis(15));
+    net.crash(NodeId(0));
+    for k in PER_MEMBER / 2..PER_MEMBER {
+        for member in &members[1..] {
+            member
+                .broadcast(vec![member.node().0 as u8, k as u8])
+                .unwrap();
+        }
+    }
+    let origins = [NodeId(1), NodeId(2)];
+    let want = PER_MEMBER * origins.len();
+    let orders: Vec<Vec<MsgId>> = members[1..]
+        .iter()
+        .map(|member| {
+            collect_until(member, &origins, want, Duration::from_secs(30))
+                .into_iter()
+                .map(|d| d.id)
+                .collect()
+        })
+        .collect();
+    for order in &orders {
+        let unique: BTreeSet<&MsgId> = order.iter().collect();
+        assert_eq!(unique.len(), order.len(), "a message was delivered twice");
+    }
+    assert_eq!(orders[0], orders[1], "survivors diverged");
+}

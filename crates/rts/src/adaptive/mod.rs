@@ -75,23 +75,25 @@
 pub(crate) mod messages;
 mod policy;
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use orca_amoeba::network::NetworkHandle;
 use orca_amoeba::node::ports;
-use orca_amoeba::rpc::{rpc_call_timeout, RpcError, RpcServer};
+use orca_amoeba::rpc::RpcServer;
 use orca_amoeba::NodeId;
+use orca_group::FailureDetector;
 use orca_object::shard::spread_owner;
 use orca_object::ShardRoute;
 use orca_object::{AnyReplica, AppliedOutcome, ObjectError, ObjectId, ObjectRegistry, OpKind};
 use orca_wire::Wire;
 use parking_lot::{Condvar, Mutex, RwLock};
 
+use crate::recovery::{is_dead, recovery_rpc, RecoveryConfig};
 use crate::stats::{AccessStats, RtsStats, RtsStatsSnapshot};
-use crate::{RtsError, RtsKind, RuntimeSystem};
+use crate::{RtsError, RtsKind, RuntimeSystem, ViewSnapshot};
 use messages::{table_object, RegimeKind, RegimeMsg, RegimeReply, RegimeTable};
 use policy::{pick_regime, UsageAggregate};
 
@@ -194,6 +196,20 @@ struct Inner {
     /// (home-local guarded operations never touch the RPC server, so
     /// stopping the server alone would not wake them).
     stopped: AtomicBool,
+    /// Crash-recovery knobs (see [`RecoveryConfig`]).
+    recovery: RecoveryConfig,
+    /// Heartbeat failure detector, present when recovery is enabled.
+    detector: Option<Arc<FailureDetector>>,
+    /// Objects declared lost (home died with no surviving mirror).
+    lost: RwLock<HashSet<ObjectId>>,
+    /// Serializes home adoptions on this node.
+    adoption: Mutex<()>,
+}
+
+impl Inner {
+    fn is_lost(&self, object: ObjectId) -> bool {
+        self.lost.read().contains(&object)
+    }
 }
 
 /// Handle to one node's adaptive runtime system. Cheap to clone.
@@ -219,8 +235,25 @@ enum PartOutcome {
 }
 
 impl AdaptiveRts {
-    /// Start the adaptive runtime system on the node owning `handle`.
+    /// Start the adaptive runtime system on the node owning `handle`
+    /// (without crash recovery — node failures surface as timeouts).
     pub fn start(handle: NetworkHandle, registry: ObjectRegistry, policy: AdaptivePolicy) -> Self {
+        Self::start_recoverable(handle, registry, policy, RecoveryConfig::disabled(), None)
+    }
+
+    /// Start the runtime system with crash recovery: when an object's home
+    /// node dies, the lowest live node adopts the object by regenerating
+    /// its state from the freshest surviving read mirror (replicated
+    /// regime); an object with no mirror is lost (see the `recovery`
+    /// module docs).
+    pub fn start_recoverable(
+        handle: NetworkHandle,
+        registry: ObjectRegistry,
+        policy: AdaptivePolicy,
+        recovery: RecoveryConfig,
+        detector: Option<Arc<FailureDetector>>,
+    ) -> Self {
+        let detector = crate::recovery::ensure_detector(&handle, &recovery, detector);
         let inner = Arc::new(Inner {
             node: handle.node(),
             num_nodes: handle.num_nodes(),
@@ -236,6 +269,10 @@ impl AdaptiveRts {
             any_seq: AtomicU64::new(0),
             stats: RtsStats::new_shared(),
             stopped: AtomicBool::new(false),
+            recovery,
+            detector,
+            lost: RwLock::new(HashSet::new()),
+            adoption: Mutex::new(()),
         });
         let service_inner = Arc::clone(&inner);
         // Spawn-per-request service: regime switches and `All` fan-outs
@@ -260,6 +297,14 @@ impl AdaptiveRts {
         if let Some(server) = self.server.lock().take() {
             server.shutdown();
         }
+        if let Some(detector) = &self.inner.detector {
+            detector.shutdown();
+        }
+    }
+
+    /// The current membership view, when recovery is enabled.
+    pub fn membership_view(&self) -> Option<ViewSnapshot> {
+        self.inner.detector.as_ref().map(|d| d.view())
     }
 
     /// The regime currently serving `object` and its epoch, freshly fetched
@@ -275,7 +320,7 @@ impl AdaptiveRts {
     /// the usage evidence reported so far (a regime-change proposal).
     /// Returns the — possibly freshly switched — regime.
     pub fn propose(&self, object: ObjectId) -> Result<RegimeKind, RtsError> {
-        let home = NodeId(object.creator_index());
+        let home = current_home(&self.inner, object);
         if home == self.inner.node {
             let entry = self.inner.homes.read().get(&object).cloned();
             let entry = entry.ok_or(RtsError::Object(ObjectError::NoSuchObject(object)))?;
@@ -315,16 +360,41 @@ impl AdaptiveRts {
     }
 
     /// Regime table for `object`: authoritative at home, leased cache
-    /// elsewhere.
+    /// elsewhere. When the creating node is dead, the home role falls to
+    /// the lowest live node, which regenerates the object from the
+    /// freshest surviving mirror on first contact.
     fn route_for(&self, object: ObjectId, deadline: Instant) -> Result<Arc<RegimeTable>, RtsError> {
-        let home = NodeId(object.creator_index());
+        if self.inner.is_lost(object) {
+            return Err(RtsError::ObjectLost(object));
+        }
+        let creator = NodeId(object.creator_index());
+        let home = if is_dead(&self.inner.detector, creator) && self.inner.recovery.rehome {
+            match self
+                .inner
+                .detector
+                .as_ref()
+                .and_then(|d| crate::recovery::recovery_home(&d.view()))
+            {
+                Some(adopter) => adopter,
+                None => return Err(RtsError::NodeDown(creator)),
+            }
+        } else {
+            creator
+        };
         if home == self.inner.node {
-            let entry = self.inner.homes.read().get(&object).cloned();
-            let entry = entry.ok_or(RtsError::Object(ObjectError::NoSuchObject(object)))?;
-            return Ok(Arc::clone(&entry.table.lock()));
+            if let Some(entry) = self.inner.homes.read().get(&object).cloned() {
+                return Ok(Arc::clone(&entry.table.lock()));
+            }
+            if home != creator {
+                let entry = adopt_object(&self.inner, object)?;
+                return Ok(Arc::clone(&entry.table.lock()));
+            }
+            return Err(RtsError::Object(ObjectError::NoSuchObject(object)));
         }
         if let Some((table, fetched)) = self.inner.routes.lock().get(&object) {
-            if fetched.elapsed() < self.inner.policy.regime_lease {
+            if fetched.elapsed() < self.inner.policy.regime_lease
+                && !is_dead(&self.inner.detector, NodeId(table.owners[0]))
+            {
                 return Ok(Arc::clone(table));
             }
         }
@@ -336,6 +406,16 @@ impl AdaptiveRts {
                     .lock()
                     .insert(object, (Arc::clone(&table), Instant::now()));
                 Ok(table)
+            }
+            RegimeReply::ObjectLost => {
+                self.inner.lost.write().insert(object);
+                Err(RtsError::ObjectLost(object))
+            }
+            RegimeReply::Error(msg) if home != creator => {
+                // The adopter may not have declared the creator dead yet;
+                // surface as NodeDown so the invocation loop retries.
+                let _ = msg;
+                Err(RtsError::NodeDown(creator))
             }
             RegimeReply::Error(msg) => Err(RtsError::Communication(msg)),
             other => Err(RtsError::Communication(format!(
@@ -368,7 +448,7 @@ impl AdaptiveRts {
     /// Deliver a usage report to the home (directly when this node is the
     /// home). Failures are ignored: a lost report only delays adaptation.
     fn send_report(&self, object: ObjectId, reads: u64, writes: u64) {
-        let home = NodeId(object.creator_index());
+        let home = current_home(&self.inner, object);
         let msg = RegimeMsg::Report {
             object: object.0,
             node: self.inner.node.0,
@@ -513,7 +593,7 @@ impl AdaptiveRts {
             object: object.0,
             epoch: table.epoch,
         };
-        let home = NodeId(object.creator_index());
+        let home = current_home(&self.inner, object);
         match self.rpc(home, &msg, deadline)? {
             RegimeReply::MirrorState { state, seq } => {
                 let replica = self.inner.registry.instantiate(&table.type_name, &state)?;
@@ -596,7 +676,7 @@ impl AdaptiveRts {
         deadline: Instant,
     ) -> Result<PartOutcome, RtsError> {
         let object = table_object(table);
-        let home = NodeId(object.creator_index());
+        let home = current_home(&self.inner, object);
         let reply = if home == self.inner.node {
             serve_op_all(&self.inner, object, op, self.inner.node)
         } else {
@@ -735,8 +815,26 @@ impl RuntimeSystem for AdaptiveRts {
             if self.inner.stopped.load(Ordering::SeqCst) {
                 return Err(RtsError::Terminated);
             }
-            let table = self.route_for(object, deadline)?;
-            match self.dispatch_client_op(&table, kind, op, deadline)? {
+            let attempt = self
+                .route_for(object, deadline)
+                .and_then(|table| self.dispatch_client_op(&table, kind, op, deadline));
+            let outcome = match attempt {
+                Ok(outcome) => outcome,
+                Err(RtsError::NodeDown(node)) if self.inner.recovery.rehome => {
+                    // The home (or a partition owner) is dead; adoption or
+                    // a regime fallback will re-home the object. Retry
+                    // until the deadline, then name the dead node. Ops
+                    // retried across a promotion are at-least-once.
+                    self.inner.routes.lock().remove(&object);
+                    if Instant::now() >= deadline {
+                        return Err(RtsError::NodeDown(node));
+                    }
+                    std::thread::sleep(BLOCKED_RETRY_DELAY);
+                    continue;
+                }
+                Err(err) => return Err(err),
+            };
+            match outcome {
                 PartOutcome::Done(reply) => return Ok(reply),
                 PartOutcome::Blocked => {
                     // The guard was false: the replica answered, so the
@@ -768,6 +866,25 @@ impl RuntimeSystem for AdaptiveRts {
     }
 }
 
+/// The node currently playing home for `object`: its creator while alive,
+/// the adopter (lowest live node) once the creator is dead and re-homing
+/// is enabled. Every home-addressed path (routing, proposals, usage
+/// reports, mirror fetches, `All` fan-outs) resolves through this, so a
+/// recovered object keeps adapting instead of RPC-ing its dead creator.
+fn current_home(inner: &Arc<Inner>, object: ObjectId) -> NodeId {
+    let creator = NodeId(object.creator_index());
+    if is_dead(&inner.detector, creator) && inner.recovery.rehome {
+        if let Some(adopter) = inner
+            .detector
+            .as_ref()
+            .and_then(|d| crate::recovery::recovery_home(&d.view()))
+        {
+            return adopter;
+        }
+    }
+    creator
+}
+
 /// RPC dispatch: the service side of the regime protocol, on every node.
 fn serve_request(inner: &Arc<Inner>, body: &[u8], caller: NodeId) -> Vec<u8> {
     let reply = match RegimeMsg::from_bytes(body) {
@@ -780,10 +897,35 @@ fn serve_request(inner: &Arc<Inner>, body: &[u8], caller: NodeId) -> Vec<u8> {
 fn dispatch(inner: &Arc<Inner>, msg: RegimeMsg, caller: NodeId) -> RegimeReply {
     match msg {
         RegimeMsg::Route { object } => {
-            let entry = inner.homes.read().get(&ObjectId(object)).cloned();
+            let object = ObjectId(object);
+            if inner.is_lost(object) {
+                return RegimeReply::ObjectLost;
+            }
+            let entry = inner.homes.read().get(&object).cloned();
             match entry {
                 Some(entry) => RegimeReply::Route(RegimeTable::clone(&entry.table.lock())),
-                None => RegimeReply::Error(format!("not home of {}", ObjectId(object))),
+                None => {
+                    // A dead creator's home role falls to the lowest live
+                    // node; if that is us, regenerate the object from the
+                    // freshest surviving mirror on first contact.
+                    let creator = NodeId(object.creator_index());
+                    let adopter = inner
+                        .detector
+                        .as_ref()
+                        .filter(|d| !d.is_alive(creator))
+                        .and_then(|d| crate::recovery::recovery_home(&d.view()));
+                    if inner.recovery.rehome && adopter == Some(inner.node) {
+                        match adopt_object(inner, object) {
+                            Ok(entry) => {
+                                RegimeReply::Route(RegimeTable::clone(&entry.table.lock()))
+                            }
+                            Err(RtsError::ObjectLost(_)) => RegimeReply::ObjectLost,
+                            Err(err) => RegimeReply::Error(err.to_string()),
+                        }
+                    } else {
+                        RegimeReply::Error(format!("not home of {object}"))
+                    }
+                }
             }
         }
         RegimeMsg::Op {
@@ -889,7 +1031,108 @@ fn dispatch(inner: &Arc<Inner>, msg: RegimeMsg, caller: NodeId) -> RegimeReply {
             }
             RegimeReply::Ack
         }
+        RegimeMsg::MirrorQuery { object } => serve_mirror_query(inner, ObjectId(object)),
     }
+}
+
+/// Report this node's freshest mirror of `object` to a recovering home.
+/// Locked mirrors report too: the lock only means an update's unlock phase
+/// is outstanding, and the applied update may be the freshest state alive.
+fn serve_mirror_query(inner: &Arc<Inner>, object: ObjectId) -> RegimeReply {
+    let mirror = inner.mirrors.read().get(&object).cloned();
+    let Some(mirror) = mirror else {
+        return RegimeReply::MirrorReport { mirror: None };
+    };
+    let state = mirror.state.lock();
+    match &state.copy {
+        Some(copy) => RegimeReply::MirrorReport {
+            mirror: Some((
+                state.epoch,
+                state.seq,
+                copy.type_name().to_string(),
+                copy.state_bytes(),
+            )),
+        },
+        None => RegimeReply::MirrorReport { mirror: None },
+    }
+}
+
+/// Regenerate a dead creator's object on this node (the adopter) from the
+/// freshest surviving read mirror, publishing it under the primary regime
+/// with a fresh epoch. An object with no mirror anywhere is lost.
+fn adopt_object(inner: &Arc<Inner>, object: ObjectId) -> Result<Arc<HomeObject>, RtsError> {
+    let _adoption = inner.adoption.lock();
+    if let Some(entry) = inner.homes.read().get(&object).cloned() {
+        return Ok(entry);
+    }
+    if inner.is_lost(object) {
+        return Err(RtsError::ObjectLost(object));
+    }
+    let Some(detector) = &inner.detector else {
+        return Err(RtsError::Communication("no failure detector".into()));
+    };
+    let view = detector.view();
+    // Collect every survivor's freshest mirror (our own included).
+    let mut best: Option<(u64, u64, String, Vec<u8>)> = None;
+    for survivor in &view.alive {
+        let report = if *survivor == inner.node {
+            serve_mirror_query(inner, object)
+        } else {
+            match regime_rpc(
+                inner,
+                *survivor,
+                &RegimeMsg::MirrorQuery { object: object.0 },
+            ) {
+                Ok(reply) => reply,
+                Err(_) => continue,
+            }
+        };
+        if let RegimeReply::MirrorReport {
+            mirror: Some(candidate),
+        } = report
+        {
+            let newer = best
+                .as_ref()
+                .map(|(epoch, seq, _, _)| (candidate.0, candidate.1) > (*epoch, *seq))
+                .unwrap_or(true);
+            if newer {
+                best = Some(candidate);
+            }
+        }
+    }
+    let Some((epoch, _seq, type_name, state)) = best else {
+        inner.lost.write().insert(object);
+        return Err(RtsError::ObjectLost(object));
+    };
+    let new_epoch = epoch + 1;
+    install_slot(inner, object, 0, new_epoch, &type_name, &state, false)?;
+    let entry = Arc::new(HomeObject {
+        table: Mutex::new(Arc::new(RegimeTable {
+            object: object.0,
+            type_name,
+            epoch: new_epoch,
+            regime: RegimeKind::Primary,
+            owners: vec![inner.node.0],
+        })),
+        switch: Mutex::new(()),
+        usage: Mutex::new(UsageAggregate::default()),
+    });
+    inner.homes.write().insert(object, Arc::clone(&entry));
+    // Retire surviving mirrors of the dead home's regime so nobody keeps
+    // serving pre-crash reads (best-effort; the regime lease bounds a
+    // missed drop).
+    let drop_msg = RegimeMsg::DropMirror {
+        object: object.0,
+        epoch,
+    };
+    for survivor in &view.alive {
+        if *survivor == inner.node {
+            let _ = dispatch(inner, drop_msg.clone(), inner.node);
+        } else {
+            let _ = regime_rpc(inner, *survivor, &drop_msg);
+        }
+    }
+    Ok(entry)
 }
 
 /// Execute an operation on a locally-served authoritative slot, honoring
@@ -956,7 +1199,7 @@ fn push_update(inner: &Arc<Inner>, object: ObjectId, epoch: u64, seq: u64, op: &
     let deadline = Instant::now() + inner.policy.op_timeout / 2;
     let others: Vec<NodeId> = (0..inner.num_nodes)
         .map(NodeId::from)
-        .filter(|n| *n != inner.node)
+        .filter(|n| *n != inner.node && !is_dead(&inner.detector, *n))
         .collect();
     let update = RegimeMsg::Update {
         object: object.0,
@@ -1244,21 +1487,15 @@ fn regime_rpc_deadline(
     msg: &RegimeMsg,
     deadline: Instant,
 ) -> Result<RegimeReply, RtsError> {
-    let remaining = deadline.saturating_duration_since(Instant::now());
-    if remaining.is_zero() {
-        return Err(RtsError::Timeout);
-    }
-    let reply = rpc_call_timeout(
+    let reply = recovery_rpc(
         &inner.handle,
+        &inner.detector,
+        &inner.recovery,
         dst,
         ports::RTS_ADAPTIVE,
         msg.to_bytes(),
-        remaining,
-    )
-    .map_err(|err| match err {
-        RpcError::Timeout => RtsError::Timeout,
-        other => RtsError::Communication(other.to_string()),
-    })?;
+        deadline,
+    )?;
     RegimeReply::from_bytes(&reply)
         .map_err(|err| RtsError::Communication(format!("bad reply: {err}")))
 }
@@ -1954,6 +2191,97 @@ mod tests {
         assert!(started.elapsed() < Duration::from_secs(5));
         net.recover(NodeId(0));
         assert_eq!(add(&rtses[1], id, 4), 4);
+        shutdown_all(&rtses);
+    }
+
+    fn start_all_recoverable(
+        net: &Network,
+        policy: AdaptivePolicy,
+        recovery: RecoveryConfig,
+    ) -> Vec<AdaptiveRts> {
+        net.node_ids()
+            .into_iter()
+            .map(|n| {
+                AdaptiveRts::start_recoverable(net.handle(n), registry(), policy, recovery, None)
+            })
+            .collect()
+    }
+
+    fn wait_for_view_epoch(rts: &AdaptiveRts, epoch: u64) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while rts.membership_view().expect("recovery enabled").epoch < epoch {
+            assert!(Instant::now() < deadline, "failure never detected");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Tentpole: the home of a replicated-regime object dies; the lowest
+    /// live node regenerates the object from the freshest surviving read
+    /// mirror, so every acknowledged write survives (the two-phase update
+    /// push put them on all mirrors before acknowledging).
+    #[test]
+    fn home_crash_regenerates_object_from_surviving_mirror() {
+        let net = Network::reliable(3);
+        let rtses = start_all_recoverable(&net, AdaptivePolicy::eager(), RecoveryConfig::fast());
+        // Created at node 2, so its death orphans the object while node 0
+        // (the adopter) and node 1 survive.
+        let id = rtses[2]
+            .create_object(Accumulator::TYPE_NAME, &1i64.to_bytes())
+            .unwrap();
+        for rts in &rtses {
+            for _ in 0..24 {
+                assert_eq!(read(rts, id), 1);
+            }
+            rts.flush_usage(id);
+        }
+        assert_eq!(rtses[0].propose(id).unwrap(), RegimeKind::Replicated);
+        // Mirror reads on the survivors, then an acknowledged write that
+        // the two-phase push replicates everywhere.
+        assert_eq!(read(&rtses[0], id), 1);
+        assert_eq!(read(&rtses[1], id), 1);
+        assert_eq!(add(&rtses[0], id, 9), 10);
+
+        net.crash(NodeId(2));
+        wait_for_view_epoch(&rtses[0], 1);
+        // Survivors re-route through the adopted home; the acknowledged
+        // write survived in the promoted mirror state.
+        assert_eq!(read(&rtses[1], id), 10);
+        assert_eq!(add(&rtses[1], id, 5), 15);
+        assert_eq!(read(&rtses[0], id), 15);
+        let (regime, _) = rtses[1].regime_of(id).unwrap();
+        assert_eq!(regime, RegimeKind::Primary, "adoption restarts primary");
+        // Adaptation stays alive after adoption: proposals (and usage
+        // reports) address the adopter, not the dead creator.
+        assert_eq!(rtses[1].propose(id).unwrap(), RegimeKind::Primary);
+        shutdown_all(&rtses);
+    }
+
+    /// A primary-regime object (single copy at home, no mirrors) cannot
+    /// survive its home: survivors get a fast, explicit `ObjectLost`.
+    #[test]
+    fn home_crash_without_mirror_reports_object_lost() {
+        let net = Network::reliable(2);
+        let rtses = start_all_recoverable(&net, AdaptivePolicy::default(), RecoveryConfig::fast());
+        let id = rtses[1]
+            .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+            .unwrap();
+        assert_eq!(add(&rtses[0], id, 3), 3);
+        net.crash(NodeId(1));
+        wait_for_view_epoch(&rtses[0], 1);
+        let started = Instant::now();
+        let err = rtses[0]
+            .invoke(
+                id,
+                Accumulator::TYPE_NAME,
+                OpKind::Read,
+                &AccumulatorOp::Read.to_bytes(),
+            )
+            .unwrap_err();
+        assert_eq!(err, RtsError::ObjectLost(id));
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "ObjectLost was not fast"
+        );
         shutdown_all(&rtses);
     }
 }

@@ -1005,6 +1005,90 @@ mod tests {
         shutdown_all(rtses);
     }
 
+    /// Crash recovery: the sequencer dies while writes are in flight from
+    /// every survivor. The group layer elects a new sequencer, replays its
+    /// predecessor's era from the members' delivery histories, and every
+    /// write completes — the surviving replicas converge on the identical
+    /// state with no acknowledged write lost.
+    #[test]
+    fn sequencer_crash_mid_writes_converges_on_survivors() {
+        let net = Network::reliable(3);
+        let group = GroupConfig {
+            retransmit_timeout: Duration::from_millis(40),
+            ..GroupConfig::default()
+        };
+        let rtses: Vec<BroadcastRts> = net
+            .node_ids()
+            .into_iter()
+            .map(|n| BroadcastRts::start(net.handle(n), registry(), group.clone()))
+            .collect();
+        let id = rtses[0]
+            .create_object(EventLog::TYPE_NAME, &Vec::<u32>::new().to_bytes())
+            .unwrap();
+        const APPENDS: u32 = 20;
+        let writers: Vec<_> = [1usize, 2]
+            .into_iter()
+            .map(|n| {
+                let rts = rtses[n].clone();
+                std::thread::spawn(move || {
+                    for k in 0..APPENDS {
+                        let value = (n as u32) * 100 + k;
+                        rts.invoke(
+                            id,
+                            EventLog::TYPE_NAME,
+                            OpKind::Write,
+                            &EventLogOp::Append(value).to_bytes(),
+                        )
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        // Kill the sequencer (node 0) while the append streams are live.
+        std::thread::sleep(Duration::from_millis(15));
+        net.crash(NodeId(0));
+        for writer in writers {
+            writer.join().unwrap();
+        }
+        // Both survivors converge on one log containing every acknowledged
+        // append exactly once.
+        let mut logs = Vec::new();
+        for rts in &rtses[1..] {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                let reply = rts
+                    .invoke(
+                        id,
+                        EventLog::TYPE_NAME,
+                        OpKind::Read,
+                        &EventLogOp::Snapshot.to_bytes(),
+                    )
+                    .unwrap();
+                let EventLogReply::Contents(log) = EventLogReply::from_bytes(&reply).unwrap()
+                else {
+                    panic!("unexpected reply variant");
+                };
+                if log.len() as u32 == APPENDS * 2 {
+                    logs.push(log);
+                    break;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "survivor missing acknowledged appends ({} of {})",
+                    log.len(),
+                    APPENDS * 2
+                );
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        assert_eq!(logs[0], logs[1], "survivors diverged after election");
+        let mut sorted = logs[0].clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len() as u32, APPENDS * 2, "an append was duplicated");
+        shutdown_all(rtses);
+    }
+
     /// Satellite regression: shutdown must wake a reader parked in
     /// `local_read`'s guard loop and surface `Terminated` instead of
     /// letting it spin forever.

@@ -61,16 +61,21 @@
 //! All four implement [`RuntimeSystem`], which is what the Orca layer
 //! (`orca-core`) programs against.
 
+#![warn(missing_docs)]
+
 pub mod adaptive;
 pub mod broadcast_rts;
 pub mod primary;
+pub mod recovery;
 pub mod sharded;
 pub mod stats;
 
 pub use adaptive::{AdaptivePolicy, AdaptiveRts};
 pub use broadcast_rts::BroadcastRts;
+pub use orca_group::{FailureConfig, FailureDetector, ViewSnapshot};
 pub use orca_wire::RegimeKind;
 pub use primary::{PrimaryCopyRts, ReplicationPolicy, WritePolicy};
+pub use recovery::RecoveryConfig;
 pub use sharded::{ShardPlacement, ShardPolicy, ShardedRts};
 pub use stats::{AccessStats, RtsStats, RtsStatsSnapshot};
 
@@ -88,6 +93,15 @@ pub enum RtsError {
     Terminated,
     /// An invocation did not complete within its deadline.
     Timeout,
+    /// The invocation depended on a node the failure detector has declared
+    /// dead (and, if re-homing is enabled, recovery did not produce a new
+    /// home within the caller's deadline). Distinguishable from
+    /// [`RtsError::Timeout`]: the node is *known killed*, not just slow.
+    NodeDown(NodeId),
+    /// The object's state did not survive a node failure: its
+    /// authoritative copy lived on a dead node and no replica, mirror or
+    /// backup survived anywhere. Operations on it can never succeed.
+    ObjectLost(ObjectId),
 }
 
 impl std::fmt::Display for RtsError {
@@ -97,6 +111,8 @@ impl std::fmt::Display for RtsError {
             RtsError::Communication(msg) => write!(f, "communication error: {msg}"),
             RtsError::Terminated => write!(f, "runtime system terminated"),
             RtsError::Timeout => write!(f, "operation timed out"),
+            RtsError::NodeDown(node) => write!(f, "node down: {node}"),
+            RtsError::ObjectLost(object) => write!(f, "object lost: {object}"),
         }
     }
 }

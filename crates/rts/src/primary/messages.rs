@@ -48,6 +48,12 @@ pub enum PrimaryMsg {
         object: ObjectId,
         /// Encoded operation.
         op: Vec<u8>,
+        /// The primary replica's version *after* applying the operation.
+        /// Secondaries apply updates strictly in version order; a gap (or
+        /// an update racing a state snapshot) discards the copy, which
+        /// re-syncs on the next access — the discipline that makes a copy
+        /// of version `v` provably contain every write up to `v`.
+        version: u64,
     },
     /// Primary → secondary: unlock the object (update protocol, phase 2).
     Unlock {
@@ -81,10 +87,15 @@ impl Wire for PrimaryMsg {
                 enc.put_u8(4);
                 object.encode(enc);
             }
-            PrimaryMsg::UpdateOp { object, op } => {
+            PrimaryMsg::UpdateOp {
+                object,
+                op,
+                version,
+            } => {
                 enc.put_u8(5);
                 object.encode(enc);
                 enc.put_bytes(op);
+                version.encode(enc);
             }
             PrimaryMsg::Unlock { object } => {
                 enc.put_u8(6);
@@ -115,6 +126,7 @@ impl Wire for PrimaryMsg {
             5 => Ok(PrimaryMsg::UpdateOp {
                 object: Wire::decode(dec)?,
                 op: dec.get_bytes()?,
+                version: Wire::decode(dec)?,
             }),
             6 => Ok(PrimaryMsg::Unlock {
                 object: Wire::decode(dec)?,
@@ -140,6 +152,9 @@ pub enum PrimaryReply {
         type_name: String,
         /// Encoded state.
         state: Vec<u8>,
+        /// The primary replica's version at the snapshot; the fetcher's
+        /// copy continues the update-version sequence from here.
+        version: u64,
     },
     /// Acknowledgement with no payload.
     Ack,
@@ -155,10 +170,15 @@ impl Wire for PrimaryReply {
                 enc.put_bytes(bytes);
             }
             PrimaryReply::Blocked => enc.put_u8(1),
-            PrimaryReply::State { type_name, state } => {
+            PrimaryReply::State {
+                type_name,
+                state,
+                version,
+            } => {
                 enc.put_u8(2);
                 type_name.encode(enc);
                 enc.put_bytes(state);
+                version.encode(enc);
             }
             PrimaryReply::Ack => enc.put_u8(3),
             PrimaryReply::Error(msg) => {
@@ -175,6 +195,7 @@ impl Wire for PrimaryReply {
             2 => Ok(PrimaryReply::State {
                 type_name: Wire::decode(dec)?,
                 state: dec.get_bytes()?,
+                version: Wire::decode(dec)?,
             }),
             3 => Ok(PrimaryReply::Ack),
             4 => Ok(PrimaryReply::Error(Wire::decode(dec)?)),
@@ -205,7 +226,11 @@ mod tests {
             PrimaryMsg::FetchCopy { object },
             PrimaryMsg::DropCopy { object },
             PrimaryMsg::Invalidate { object },
-            PrimaryMsg::UpdateOp { object, op: vec![] },
+            PrimaryMsg::UpdateOp {
+                object,
+                op: vec![],
+                version: 4,
+            },
             PrimaryMsg::Unlock { object },
         ];
         for msg in msgs {
@@ -221,6 +246,7 @@ mod tests {
             PrimaryReply::State {
                 type_name: "T".into(),
                 state: vec![0; 10],
+                version: 7,
             },
             PrimaryReply::Ack,
             PrimaryReply::Error("nope".into()),

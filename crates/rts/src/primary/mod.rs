@@ -30,16 +30,18 @@ pub mod messages;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use orca_amoeba::network::NetworkHandle;
 use orca_amoeba::node::ports;
-use orca_amoeba::rpc::{rpc_call_timeout, RpcError, RpcServer};
+use orca_amoeba::rpc::RpcServer;
 use orca_amoeba::NodeId;
+use orca_group::{FailureDetector, ViewSnapshot};
 use orca_object::{AnyReplica, AppliedOutcome, ObjectError, ObjectId, ObjectRegistry, OpKind};
-use orca_wire::Wire;
+use orca_wire::{CopyInfo, RecoveryMsg, RecoveryReply, Wire};
 use parking_lot::{Condvar, Mutex, RwLock};
 
+use crate::recovery::{is_dead, recovery_rpc, RecoveryConfig};
 use crate::stats::{AccessStats, RtsStats, RtsStatsSnapshot};
 use crate::{RtsError, RtsKind, RuntimeSystem};
 use messages::{PrimaryMsg, PrimaryReply};
@@ -116,6 +118,16 @@ struct SecondaryState {
     /// True between phase 1 (update applied) and phase 2 (unlock) of the
     /// update protocol; local reads wait while this is set.
     locked: bool,
+    /// Version of `copy`: the primary replica's version the state
+    /// corresponds to. Updates apply strictly in version order, so a copy
+    /// of version `v` provably contains every write up to `v` — the
+    /// property crash recovery's freshest-copy promotion relies on.
+    version: u64,
+    /// Highest update version *observed* for the object (applied or not).
+    /// A fetched snapshot older than this raced a concurrent update past
+    /// it and is discarded instead of installed — the fix for the stale
+    /// fetch/write race.
+    seen: u64,
 }
 
 struct SecondaryObject {
@@ -137,11 +149,35 @@ struct Inner {
     /// Per-invocation RPC deadline in milliseconds.
     op_timeout_ms: AtomicU64,
     stats: Arc<RtsStats>,
+    /// Crash-recovery knobs (see [`RecoveryConfig`]).
+    recovery: RecoveryConfig,
+    /// Heartbeat failure detector, present when recovery is enabled.
+    detector: Option<Arc<FailureDetector>>,
+    /// Re-homing overlay: objects whose primary died and was re-elected
+    /// onto a survivor. Consulted before the creator-derived default.
+    rehomed: RwLock<HashMap<ObjectId, NodeId>>,
+    /// Objects declared lost (primary died with no surviving copy).
+    lost: RwLock<HashSet<ObjectId>>,
+    /// Highest view epoch whose recovery round has completed on this node.
+    recovered_epoch: AtomicU64,
 }
 
 impl Inner {
     fn op_timeout(&self) -> Duration {
         Duration::from_millis(self.op_timeout_ms.load(Ordering::Relaxed))
+    }
+
+    /// Current primary of `object`: the re-homing overlay if recovery has
+    /// moved it, the creating node otherwise.
+    fn primary_node(&self, object: ObjectId) -> NodeId {
+        if let Some(&node) = self.rehomed.read().get(&object) {
+            return node;
+        }
+        NodeId(object.creator_index())
+    }
+
+    fn is_lost(&self, object: ObjectId) -> bool {
+        self.lost.read().contains(&object)
     }
 }
 
@@ -150,6 +186,7 @@ impl Inner {
 pub struct PrimaryCopyRts {
     inner: Arc<Inner>,
     server: Arc<Mutex<Option<RpcServer>>>,
+    recovery_server: Arc<Mutex<Option<RpcServer>>>,
 }
 
 impl std::fmt::Debug for PrimaryCopyRts {
@@ -162,13 +199,39 @@ impl std::fmt::Debug for PrimaryCopyRts {
 }
 
 impl PrimaryCopyRts {
-    /// Start the point-to-point runtime system on the node owning `handle`.
+    /// Start the point-to-point runtime system on the node owning `handle`
+    /// (without crash recovery — node failures surface as timeouts).
     pub fn start(
         handle: NetworkHandle,
         registry: ObjectRegistry,
         write_policy: WritePolicy,
         replication: ReplicationPolicy,
     ) -> Self {
+        Self::start_recoverable(
+            handle,
+            registry,
+            write_policy,
+            replication,
+            RecoveryConfig::disabled(),
+            None,
+        )
+    }
+
+    /// Start the runtime system with crash recovery: a heartbeat failure
+    /// detector (either `detector`, shared with other layers, or one
+    /// started internally) watches the membership; when a node dies, the
+    /// lowest live node coordinates the re-homing protocol that promotes
+    /// the freshest surviving secondary copy of every orphaned object to
+    /// the new primary (see the `recovery` module docs).
+    pub fn start_recoverable(
+        handle: NetworkHandle,
+        registry: ObjectRegistry,
+        write_policy: WritePolicy,
+        replication: ReplicationPolicy,
+        recovery: RecoveryConfig,
+        detector: Option<Arc<FailureDetector>>,
+    ) -> Self {
+        let detector = crate::recovery::ensure_detector(&handle, &recovery, detector);
         let inner = Arc::new(Inner {
             node: handle.node(),
             num_nodes: handle.num_nodes(),
@@ -181,23 +244,68 @@ impl PrimaryCopyRts {
             next_object: AtomicU64::new(1),
             op_timeout_ms: AtomicU64::new(DEFAULT_OP_TIMEOUT.as_millis() as u64),
             stats: RtsStats::new_shared(),
+            recovery,
+            detector,
+            rehomed: RwLock::new(HashMap::new()),
+            lost: RwLock::new(HashSet::new()),
+            recovered_epoch: AtomicU64::new(0),
         });
         let service_inner = Arc::clone(&inner);
         let server =
-            RpcServer::serve_concurrent(handle, ports::RTS_PRIMARY, move |body, caller| {
+            RpcServer::serve_concurrent(handle.clone(), ports::RTS_PRIMARY, move |body, caller| {
                 serve_request(&service_inner, body, caller)
             });
+        let recovery_server = if recovery.enabled {
+            let recovery_inner = Arc::clone(&inner);
+            Some(RpcServer::serve_concurrent(
+                handle,
+                ports::RECOVERY,
+                move |body, caller| serve_recovery(&recovery_inner, body, caller),
+            ))
+        } else {
+            None
+        };
+        if recovery.enabled && recovery.rehome {
+            if let Some(detector) = &inner.detector {
+                let coordinator_inner = Arc::clone(&inner);
+                detector.on_failure(Box::new(move |_dead, view| {
+                    // Real work happens off the detector thread.
+                    let inner = Arc::clone(&coordinator_inner);
+                    std::thread::Builder::new()
+                        .name(format!("primary-recovery-{}", inner.node))
+                        .spawn(move || coordinate_recovery(&inner, view))
+                        .expect("spawn recovery coordinator thread");
+                }));
+            }
+        }
         PrimaryCopyRts {
             inner,
             server: Arc::new(Mutex::new(Some(server))),
+            recovery_server: Arc::new(Mutex::new(recovery_server)),
         }
     }
 
-    /// Stop the RPC service of this node. Idempotent.
+    /// Stop the RPC services of this node. Idempotent.
     pub fn shutdown(&self) {
         if let Some(server) = self.server.lock().take() {
             server.shutdown();
         }
+        if let Some(server) = self.recovery_server.lock().take() {
+            server.shutdown();
+        }
+        if let Some(detector) = &self.inner.detector {
+            detector.shutdown();
+        }
+    }
+
+    /// The current membership view, when recovery is enabled.
+    pub fn membership_view(&self) -> Option<ViewSnapshot> {
+        self.inner.detector.as_ref().map(|d| d.view())
+    }
+
+    /// The node currently serving `object` as primary (re-homing aware).
+    pub fn primary_of(&self, object: ObjectId) -> NodeId {
+        self.inner.primary_node(object)
     }
 
     /// Set the per-invocation deadline of operations shipped to other
@@ -214,7 +322,7 @@ impl PrimaryCopyRts {
 
     /// True if this node currently holds a valid secondary copy of `object`.
     pub fn has_local_copy(&self, object: ObjectId) -> bool {
-        if self.primary_node(object) == self.inner.node {
+        if self.inner.primary_node(object) == self.inner.node {
             return true;
         }
         let secondaries = self.inner.secondaries.read();
@@ -224,22 +332,21 @@ impl PrimaryCopyRts {
             .unwrap_or(false)
     }
 
-    fn primary_node(&self, object: ObjectId) -> NodeId {
-        NodeId(object.creator_index())
-    }
-
-    fn rpc(&self, dst: NodeId, msg: &PrimaryMsg) -> Result<PrimaryReply, RtsError> {
-        let reply = rpc_call_timeout(
+    fn rpc(
+        &self,
+        dst: NodeId,
+        msg: &PrimaryMsg,
+        deadline: Instant,
+    ) -> Result<PrimaryReply, RtsError> {
+        let reply = recovery_rpc(
             &self.inner.handle,
+            &self.inner.detector,
+            &self.inner.recovery,
             dst,
             ports::RTS_PRIMARY,
             msg.to_bytes(),
-            self.inner.op_timeout(),
-        )
-        .map_err(|err| match err {
-            RpcError::Timeout => RtsError::Timeout,
-            other => RtsError::Communication(other.to_string()),
-        })?;
+            deadline,
+        )?;
         PrimaryReply::from_bytes(&reply)
             .map_err(|err| RtsError::Communication(format!("bad reply: {err}")))
     }
@@ -296,7 +403,51 @@ impl PrimaryCopyRts {
         kind: OpKind,
         op: &[u8],
     ) -> Result<Vec<u8>, RtsError> {
-        let primary = self.primary_node(object);
+        let deadline = Instant::now() + self.inner.op_timeout();
+        loop {
+            if self.inner.is_lost(object) {
+                return Err(RtsError::ObjectLost(object));
+            }
+            let primary = self.inner.primary_node(object);
+            if primary == self.inner.node {
+                // Recovery re-homed the object onto this very node.
+                return self.invoke_at_primary_local(object, op, kind);
+            }
+            if is_dead(&self.inner.detector, primary) {
+                // Wait (bounded) for the recovery coordinator to publish a
+                // new home, then retry there.
+                self.await_rehome(object, primary, deadline)?;
+                continue;
+            }
+            match self.invoke_remote_once(object, type_name, kind, op, primary, deadline) {
+                Err(RtsError::NodeDown(_))
+                    if self.inner.recovery.rehome && Instant::now() < deadline =>
+                {
+                    // The primary died mid-call; loop into the re-homing
+                    // wait. An operation retried this way is at-least-once
+                    // across the failure (the dead primary may have applied
+                    // it before crashing and the promoted copy may include
+                    // it) — like any RPC system, exactly-once across a
+                    // primary crash needs idempotent operations or
+                    // application-level dedup.
+                    continue;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// One attempt of a remote invocation against a specific (believed
+    /// live) primary.
+    fn invoke_remote_once(
+        &self,
+        object: ObjectId,
+        type_name: &str,
+        kind: OpKind,
+        op: &[u8],
+        primary: NodeId,
+        deadline: Instant,
+    ) -> Result<Vec<u8>, RtsError> {
         let entry = self.secondary_entry(object);
         match kind {
             OpKind::Read => entry.access.record_read(),
@@ -304,7 +455,7 @@ impl PrimaryCopyRts {
         }
         let result = match kind {
             OpKind::Read => {
-                if let Some(reply) = self.try_local_secondary_read(&entry, op)? {
+                if let Some(reply) = self.try_local_secondary_read(object, &entry, op)? {
                     RtsStats::bump(&self.inner.stats.local_reads);
                     Ok(reply)
                 } else {
@@ -315,6 +466,7 @@ impl PrimaryCopyRts {
                             object,
                             op: op.to_vec(),
                         },
+                        deadline,
                     )
                 }
             }
@@ -327,23 +479,77 @@ impl PrimaryCopyRts {
                         object,
                         op: op.to_vec(),
                     },
+                    deadline,
                 )
             }
         };
-        self.maybe_adjust_replication(object, type_name, primary, &entry)?;
+        self.maybe_adjust_replication(object, type_name, primary, &entry, deadline)?;
         result
+    }
+
+    /// Block (bounded by the invocation deadline and the configured
+    /// re-homing wait) until recovery has either published a new home for
+    /// `object`, declared it lost, or finished the epoch without a word —
+    /// which means no copy survived.
+    fn await_rehome(
+        &self,
+        object: ObjectId,
+        old_primary: NodeId,
+        deadline: Instant,
+    ) -> Result<(), RtsError> {
+        if !(self.inner.recovery.enabled && self.inner.recovery.rehome) {
+            return Err(RtsError::NodeDown(old_primary));
+        }
+        let wait_until = deadline.min(Instant::now() + self.inner.recovery.rehome_wait);
+        loop {
+            if self.inner.is_lost(object) {
+                return Err(RtsError::ObjectLost(object));
+            }
+            let current = self.inner.primary_node(object);
+            if current != old_primary && !is_dead(&self.inner.detector, current) {
+                return Ok(());
+            }
+            if let Some(detector) = &self.inner.detector {
+                let view = detector.view();
+                if self.inner.recovered_epoch.load(Ordering::SeqCst) >= view.epoch
+                    && self.inner.primary_node(object) == old_primary
+                {
+                    // The recovery round covering the primary's death is
+                    // complete and published no new home: nothing survived.
+                    self.inner.lost.write().insert(object);
+                    return Err(RtsError::ObjectLost(object));
+                }
+            }
+            if Instant::now() >= wait_until {
+                return Err(RtsError::NodeDown(old_primary));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
 
     /// Attempt a read on a valid, unlocked local secondary copy.
     fn try_local_secondary_read(
         &self,
+        object: ObjectId,
         entry: &SecondaryObject,
         op: &[u8],
     ) -> Result<Option<Vec<u8>>, RtsError> {
         let mut state = entry.state.lock();
         loop {
             while state.locked {
-                entry.unlocked.wait(&mut state);
+                entry
+                    .unlocked
+                    .wait_for(&mut state, Duration::from_millis(100));
+                // A lock that never clears means the primary died between
+                // the update and unlock phases; once the detector confirms
+                // it, discard the copy and fall through to the remote path
+                // (which rides the re-homing machinery) instead of waiting
+                // on a corpse forever.
+                if state.locked && is_dead(&self.inner.detector, self.inner.primary_node(object)) {
+                    state.copy = None;
+                    state.locked = false;
+                    return Ok(None);
+                }
             }
             let Some(copy) = state.copy.as_mut() else {
                 return Ok(None);
@@ -364,9 +570,14 @@ impl PrimaryCopyRts {
     }
 
     /// Send a read/write to the primary, retrying while the guard is false.
-    fn remote_op(&self, primary: NodeId, msg: PrimaryMsg) -> Result<Vec<u8>, RtsError> {
+    fn remote_op(
+        &self,
+        primary: NodeId,
+        msg: PrimaryMsg,
+        deadline: Instant,
+    ) -> Result<Vec<u8>, RtsError> {
         loop {
-            match self.rpc(primary, &msg)? {
+            match self.rpc(primary, &msg, deadline)? {
                 PrimaryReply::Reply(bytes) => return Ok(bytes),
                 PrimaryReply::Blocked => {
                     RtsStats::bump(&self.inner.stats.guard_retries);
@@ -391,6 +602,7 @@ impl PrimaryCopyRts {
         _type_name: &str,
         primary: NodeId,
         entry: &SecondaryObject,
+        deadline: Instant,
     ) -> Result<(), RtsError> {
         if !self.inner.replication.enabled {
             return Ok(());
@@ -401,9 +613,9 @@ impl PrimaryCopyRts {
         let ratio = entry.access.read_write_ratio();
         let has_copy = entry.state.lock().copy.is_some();
         if !has_copy && ratio >= self.inner.replication.fetch_ratio {
-            self.fetch_copy(object, primary, entry)?;
+            self.fetch_copy(object, primary, entry, deadline)?;
         } else if has_copy && ratio <= self.inner.replication.drop_ratio {
-            self.drop_copy(object, primary, entry)?;
+            self.drop_copy(object, primary, entry, deadline)?;
         }
         entry.access.reset();
         Ok(())
@@ -414,12 +626,26 @@ impl PrimaryCopyRts {
         object: ObjectId,
         primary: NodeId,
         entry: &SecondaryObject,
+        deadline: Instant,
     ) -> Result<(), RtsError> {
-        match self.rpc(primary, &PrimaryMsg::FetchCopy { object })? {
-            PrimaryReply::State { type_name, state } => {
+        match self.rpc(primary, &PrimaryMsg::FetchCopy { object }, deadline)? {
+            PrimaryReply::State {
+                type_name,
+                state,
+                version,
+            } => {
                 let replica = self.inner.registry.instantiate(&type_name, &state)?;
                 let mut guard = entry.state.lock();
+                if guard.seen > version {
+                    // An update overtook this snapshot in flight; holding
+                    // on to the older state would serve stale reads (and
+                    // could be promoted by recovery). Stay copyless; the
+                    // next access re-fetches.
+                    return Ok(());
+                }
                 guard.copy = Some(replica);
+                guard.version = version;
+                guard.seen = guard.seen.max(version);
                 guard.locked = false;
                 RtsStats::bump(&self.inner.stats.copies_fetched);
                 Ok(())
@@ -436,8 +662,9 @@ impl PrimaryCopyRts {
         object: ObjectId,
         primary: NodeId,
         entry: &SecondaryObject,
+        deadline: Instant,
     ) -> Result<(), RtsError> {
-        let _ = self.rpc(primary, &PrimaryMsg::DropCopy { object })?;
+        let _ = self.rpc(primary, &PrimaryMsg::DropCopy { object }, deadline)?;
         let mut guard = entry.state.lock();
         guard.copy = None;
         guard.locked = false;
@@ -479,7 +706,10 @@ impl RuntimeSystem for PrimaryCopyRts {
         kind: OpKind,
         op: &[u8],
     ) -> Result<Vec<u8>, RtsError> {
-        if self.primary_node(object) == self.inner.node {
+        if self.inner.is_lost(object) {
+            return Err(RtsError::ObjectLost(object));
+        }
+        if self.inner.primary_node(object) == self.inner.node {
             self.invoke_at_primary_local(object, op, kind)
         } else {
             self.invoke_remote(object, type_name, kind, op)
@@ -536,8 +766,13 @@ fn primary_write(
     let AppliedOutcome::Done(reply) = outcome else {
         return Ok(AppliedOutcome::Blocked);
     };
+    let version = replica.version();
+    // Copy holders the failure detector has declared dead are dropped from
+    // the protocol (and the holder set): waiting on them would stall every
+    // write at this primary for the full push deadline, forever.
     let holders: Vec<NodeId> = {
-        let holders = entry.copy_holders.lock();
+        let mut holders = entry.copy_holders.lock();
+        holders.retain(|h| !is_dead(&inner.detector, *h));
         holders
             .iter()
             .copied()
@@ -561,6 +796,7 @@ fn primary_write(
                     &PrimaryMsg::UpdateOp {
                         object,
                         op: op.to_vec(),
+                        version,
                     },
                 );
             }
@@ -577,17 +813,15 @@ fn send_to_secondary(
     dst: NodeId,
     msg: &PrimaryMsg,
 ) -> Result<PrimaryReply, RtsError> {
-    let reply = rpc_call_timeout(
+    let reply = recovery_rpc(
         &inner.handle,
+        &inner.detector,
+        &inner.recovery,
         dst,
         ports::RTS_PRIMARY,
         msg.to_bytes(),
-        inner.op_timeout(),
-    )
-    .map_err(|err| match err {
-        RpcError::Timeout => RtsError::Timeout,
-        other => RtsError::Communication(other.to_string()),
-    })?;
+        Instant::now() + inner.op_timeout(),
+    )?;
     PrimaryReply::from_bytes(&reply).map_err(|err| RtsError::Communication(err.to_string()))
 }
 
@@ -633,15 +867,21 @@ fn dispatch(inner: &Arc<Inner>, msg: PrimaryMsg, caller: NodeId) -> PrimaryReply
                 return PrimaryReply::Error(format!("no such object {object}"));
             };
             drop(primaries);
-            // Lock the replica so the state snapshot cannot interleave with a
-            // write protocol in progress.
+            // Lock the replica so the state snapshot cannot interleave with
+            // a write protocol in progress — and register the caller as a
+            // holder *inside* the same critical section: registering after
+            // the unlock used to let a write slip between snapshot and
+            // registration, reaching neither the snapshot nor the push
+            // list (a permanently stale copy).
             let replica = entry.replica.lock();
             let state = replica.state_bytes();
-            drop(replica);
+            let version = replica.version();
             entry.copy_holders.lock().insert(caller);
+            drop(replica);
             PrimaryReply::State {
                 type_name: entry.type_name.clone(),
                 state,
+                version,
             }
         }
         PrimaryMsg::DropCopy { object } => {
@@ -662,23 +902,42 @@ fn dispatch(inner: &Arc<Inner>, msg: PrimaryMsg, caller: NodeId) -> PrimaryReply
             }
             PrimaryReply::Ack
         }
-        PrimaryMsg::UpdateOp { object, op } => {
+        PrimaryMsg::UpdateOp {
+            object,
+            op,
+            version,
+        } => {
             let secondaries = inner.secondaries.read();
             if let Some(entry) = secondaries.get(&object) {
                 let mut state = entry.state.lock();
-                if let Some(copy) = state.copy.as_mut() {
-                    match copy.apply_encoded(&op) {
-                        Ok(_) => {
-                            state.locked = true;
-                            RtsStats::bump(&inner.stats.updates_applied);
+                state.seen = state.seen.max(version);
+                if state.copy.is_some() {
+                    if version == state.version + 1 {
+                        match state
+                            .copy
+                            .as_mut()
+                            .expect("checked above")
+                            .apply_encoded(&op)
+                        {
+                            Ok(_) => {
+                                state.version = version;
+                                state.locked = true;
+                                RtsStats::bump(&inner.stats.updates_applied);
+                            }
+                            Err(_) => {
+                                // A copy we cannot update is discarded; the
+                                // next access will fetch a fresh one.
+                                state.copy = None;
+                                state.locked = false;
+                            }
                         }
-                        Err(_) => {
-                            // A copy we cannot update is discarded; the next
-                            // access will fetch a fresh one.
-                            state.copy = None;
-                            state.locked = false;
-                        }
+                    } else if version > state.version + 1 {
+                        // Gap: an update went missing; drop the copy and
+                        // re-sync on the next access rather than diverge.
+                        state.copy = None;
+                        state.locked = false;
                     }
+                    // version <= state.version: duplicate push, ignore.
                 }
             }
             PrimaryReply::Ack
@@ -693,6 +952,241 @@ fn dispatch(inner: &Arc<Inner>, msg: PrimaryMsg, caller: NodeId) -> PrimaryReply
             PrimaryReply::Ack
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery: the re-homing protocol.
+//
+// When a node dies, the coordinator (lowest live node of the new view) asks
+// every survivor which secondary copies of orphaned objects it still holds,
+// promotes the freshest copy of each to the new primary, announces the
+// re-homing to every survivor, and closes the epoch. Survivors that held
+// other (possibly staler) copies drop them — the next access re-fetches from
+// the new primary — and objects nobody reported are lost.
+// ---------------------------------------------------------------------------
+
+/// RPC dispatch of the recovery protocol (port `RECOVERY`).
+fn serve_recovery(inner: &Arc<Inner>, body: &[u8], _caller: NodeId) -> Vec<u8> {
+    let reply = match RecoveryMsg::from_bytes(body) {
+        Ok(msg) => dispatch_recovery(inner, msg),
+        Err(err) => RecoveryReply::Error(format!("bad request: {err}")),
+    };
+    reply.to_bytes()
+}
+
+fn dispatch_recovery(inner: &Arc<Inner>, msg: RecoveryMsg) -> RecoveryReply {
+    match msg {
+        RecoveryMsg::CopyQuery { dead, .. } => RecoveryReply::Report(local_copy_report(
+            inner,
+            &dead.iter().map(|&d| NodeId(d)).collect::<Vec<_>>(),
+        )),
+        RecoveryMsg::Promote { object, .. } => promote_local(inner, ObjectId(object)),
+        RecoveryMsg::ReHome {
+            object,
+            new_home,
+            lost,
+            ..
+        } => {
+            apply_rehome(inner, ObjectId(object), NodeId(new_home), lost);
+            RecoveryReply::Ack
+        }
+        RecoveryMsg::Done { epoch } => {
+            inner.recovered_epoch.fetch_max(epoch, Ordering::SeqCst);
+            RecoveryReply::Ack
+        }
+        other => RecoveryReply::Error(format!("unexpected recovery message {other:?}")),
+    }
+}
+
+/// The secondary copies this node holds of objects whose current primary is
+/// in `dead`.
+fn local_copy_report(inner: &Arc<Inner>, dead: &[NodeId]) -> Vec<CopyInfo> {
+    let secondaries = inner.secondaries.read();
+    secondaries
+        .iter()
+        .filter(|(object, _)| dead.contains(&inner.primary_node(**object)))
+        .filter_map(|(object, entry)| {
+            let state = entry.state.lock();
+            state.copy.as_ref().map(|_| CopyInfo {
+                object: object.0,
+                // The update-version of the copy (primary-era absolute),
+                // not the replica-internal counter — two nodes' copies are
+                // only comparable on this scale.
+                version: state.version,
+            })
+        })
+        .collect()
+}
+
+/// Promote this node's secondary copy of `object` to the authoritative
+/// primary replica.
+fn promote_local(inner: &Arc<Inner>, object: ObjectId) -> RecoveryReply {
+    let entry = inner.secondaries.read().get(&object).cloned();
+    let Some(entry) = entry else {
+        return RecoveryReply::Error(format!("no copy of {object}"));
+    };
+    let copy = {
+        let mut state = entry.state.lock();
+        state.locked = false;
+        state.version = 0;
+        state.seen = 0;
+        state.copy.take()
+    };
+    let Some(copy) = copy else {
+        return RecoveryReply::Error(format!("no copy of {object}"));
+    };
+    let type_name = copy.type_name().to_string();
+    inner.primaries.write().insert(
+        object,
+        Arc::new(PrimaryObject {
+            replica: Mutex::new(copy),
+            copy_holders: Mutex::new(HashSet::new()),
+            type_name,
+        }),
+    );
+    RecoveryReply::Ack
+}
+
+/// Record a re-homing (or loss) published by the recovery coordinator.
+fn apply_rehome(inner: &Arc<Inner>, object: ObjectId, new_home: NodeId, lost: bool) {
+    if lost {
+        inner.lost.write().insert(object);
+        return;
+    }
+    inner.rehomed.write().insert(object, new_home);
+    if new_home != inner.node {
+        // Any surviving local copy is as stale as the moment of the crash
+        // and the new primary does not list us as a holder: drop it, the
+        // next access re-fetches. The version counters reset with it —
+        // the new primary starts a fresh version era.
+        if let Some(entry) = inner.secondaries.read().get(&object) {
+            let mut state = entry.state.lock();
+            state.copy = None;
+            state.locked = false;
+            state.version = 0;
+            state.seen = 0;
+            entry.unlocked.notify_all();
+        }
+    }
+}
+
+/// The coordinator side: runs on the lowest live node after every view
+/// change. Idempotent per epoch in effect — a re-run re-promotes the same
+/// freshest copies.
+fn coordinate_recovery(inner: &Arc<Inner>, view: ViewSnapshot) {
+    if view.coordinator() != Some(inner.node) {
+        return;
+    }
+    let dead: Vec<NodeId> = (0..inner.num_nodes)
+        .map(NodeId::from)
+        .filter(|n| !view.contains(*n))
+        .collect();
+    let deadline = Instant::now() + inner.recovery.rehome_wait;
+    // Phase 1: collect surviving copies from every survivor.
+    let mut best: HashMap<u64, (NodeId, u64)> = HashMap::new();
+    for survivor in &view.alive {
+        let report = if *survivor == inner.node {
+            local_copy_report(inner, &dead)
+        } else {
+            match coordinator_rpc(
+                inner,
+                *survivor,
+                &RecoveryMsg::CopyQuery {
+                    epoch: view.epoch,
+                    dead: dead.iter().map(|n| n.0).collect(),
+                },
+                deadline,
+            ) {
+                Ok(RecoveryReply::Report(report)) => report,
+                _ => Vec::new(), // a silent survivor just contributes nothing
+            }
+        };
+        for info in report {
+            let candidate = (*survivor, info.version);
+            best.entry(info.object)
+                .and_modify(|current| {
+                    // Freshest copy wins; ties break toward the lowest node
+                    // id so re-runs are deterministic.
+                    if info.version > current.1
+                        || (info.version == current.1 && *survivor < current.0)
+                    {
+                        *current = candidate;
+                    }
+                })
+                .or_insert(candidate);
+        }
+    }
+    // Phase 2 + 3: promote the freshest copy and publish the new home.
+    for (object, (holder, _version)) in best {
+        let object = ObjectId(object);
+        let promoted = if holder == inner.node {
+            matches!(promote_local(inner, object), RecoveryReply::Ack)
+        } else {
+            matches!(
+                coordinator_rpc(
+                    inner,
+                    holder,
+                    &RecoveryMsg::Promote {
+                        epoch: view.epoch,
+                        object: object.0,
+                    },
+                    deadline,
+                ),
+                Ok(RecoveryReply::Ack)
+            )
+        };
+        if !promoted {
+            continue; // a later epoch (holder died too) re-runs recovery
+        }
+        let announce = RecoveryMsg::ReHome {
+            epoch: view.epoch,
+            object: object.0,
+            new_home: holder.0,
+            lost: false,
+        };
+        for survivor in &view.alive {
+            if *survivor == inner.node {
+                apply_rehome(inner, object, holder, false);
+            } else {
+                let _ = coordinator_rpc(inner, *survivor, &announce, deadline);
+            }
+        }
+    }
+    // Phase 4: close the epoch. Survivors treat orphaned objects without a
+    // published re-homing as lost.
+    for survivor in &view.alive {
+        if *survivor == inner.node {
+            inner
+                .recovered_epoch
+                .fetch_max(view.epoch, Ordering::SeqCst);
+        } else {
+            let _ = coordinator_rpc(
+                inner,
+                *survivor,
+                &RecoveryMsg::Done { epoch: view.epoch },
+                deadline,
+            );
+        }
+    }
+}
+
+fn coordinator_rpc(
+    inner: &Arc<Inner>,
+    dst: NodeId,
+    msg: &RecoveryMsg,
+    deadline: Instant,
+) -> Result<RecoveryReply, RtsError> {
+    let reply = recovery_rpc(
+        &inner.handle,
+        &inner.detector,
+        &inner.recovery,
+        dst,
+        ports::RECOVERY,
+        msg.to_bytes(),
+        deadline,
+    )?;
+    RecoveryReply::from_bytes(&reply)
+        .map_err(|err| RtsError::Communication(format!("bad reply: {err}")))
 }
 
 #[cfg(test)]
@@ -959,6 +1453,165 @@ mod tests {
         // After recovery the system keeps working.
         net.recover(NodeId(0));
         assert_eq!(add(&rtses[1], id, 4), 7);
+        for rts in &rtses {
+            rts.shutdown();
+        }
+    }
+
+    fn start_all_recoverable(
+        net: &Network,
+        policy: WritePolicy,
+        replication: ReplicationPolicy,
+        recovery: RecoveryConfig,
+    ) -> Vec<PrimaryCopyRts> {
+        net.node_ids()
+            .into_iter()
+            .map(|n| {
+                PrimaryCopyRts::start_recoverable(
+                    net.handle(n),
+                    registry(),
+                    policy,
+                    replication,
+                    recovery,
+                    None,
+                )
+            })
+            .collect()
+    }
+
+    fn wait_for_view_epoch(rts: &PrimaryCopyRts, epoch: u64) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while rts.membership_view().expect("recovery enabled").epoch < epoch {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "failure never detected"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Tentpole: the primary dies; the freshest surviving secondary copy
+    /// is promoted, every acknowledged write survives, and survivors keep
+    /// reading and writing the object.
+    #[test]
+    fn primary_crash_rehomes_object_onto_survivor_copy() {
+        let net = Network::reliable(3);
+        let eager = ReplicationPolicy {
+            fetch_ratio: 0.0,
+            drop_ratio: -1.0,
+            window: 1,
+            enabled: true,
+        };
+        let rtses = start_all_recoverable(&net, WritePolicy::Update, eager, RecoveryConfig::fast());
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+            .unwrap();
+        // Prime secondary copies on both survivors, then write through the
+        // primary so the copies carry real state.
+        assert_eq!(read(&rtses[1], id), 0);
+        assert_eq!(read(&rtses[2], id), 0);
+        assert_eq!(add(&rtses[1], id, 5), 5);
+        assert_eq!(add(&rtses[2], id, 7), 12);
+        assert!(rtses[1].has_local_copy(id) && rtses[2].has_local_copy(id));
+
+        net.crash(NodeId(0));
+        wait_for_view_epoch(&rtses[1], 1);
+        // Survivors keep operating on the re-homed object; no acknowledged
+        // write is lost.
+        assert_eq!(add(&rtses[1], id, 1), 13);
+        assert_eq!(read(&rtses[2], id), 13);
+        let new_primary = rtses[1].primary_of(id);
+        assert_ne!(new_primary, NodeId(0), "object was not re-homed");
+        let view = rtses[1].membership_view().unwrap();
+        assert_eq!(view.alive, vec![NodeId(1), NodeId(2)]);
+        for rts in &rtses {
+            rts.shutdown();
+        }
+    }
+
+    /// With no secondary copy anywhere, a dead primary means the object is
+    /// gone: survivors get a fast, explicit `ObjectLost` — never a hang.
+    #[test]
+    fn primary_crash_without_copies_reports_object_lost() {
+        let net = Network::reliable(2);
+        let rtses = start_all_recoverable(
+            &net,
+            WritePolicy::Update,
+            ReplicationPolicy::never_replicate(),
+            RecoveryConfig::fast(),
+        );
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &3i64.to_bytes())
+            .unwrap();
+        assert_eq!(read(&rtses[1], id), 3);
+        net.crash(NodeId(0));
+        wait_for_view_epoch(&rtses[1], 1);
+        let started = std::time::Instant::now();
+        let err = rtses[1]
+            .invoke(
+                id,
+                Accumulator::TYPE_NAME,
+                OpKind::Write,
+                &AccumulatorOp::Add(1).to_bytes(),
+            )
+            .unwrap_err();
+        assert_eq!(err, RtsError::ObjectLost(id));
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "ObjectLost was not fast"
+        );
+        // The verdict is sticky and immediate afterwards.
+        let err = rtses[1]
+            .invoke(
+                id,
+                Accumulator::TYPE_NAME,
+                OpKind::Read,
+                &AccumulatorOp::Read.to_bytes(),
+            )
+            .unwrap_err();
+        assert_eq!(err, RtsError::ObjectLost(id));
+        for rts in &rtses {
+            rts.shutdown();
+        }
+    }
+
+    /// Satellite bugfix: with detection only (no re-homing), an invocation
+    /// aimed at a *killed* node fails fast with the distinguishable
+    /// `NodeDown` instead of waiting out the full operation timeout.
+    #[test]
+    fn detect_only_fails_fast_with_node_down() {
+        let net = Network::reliable(2);
+        let rtses = start_all_recoverable(
+            &net,
+            WritePolicy::Update,
+            ReplicationPolicy::never_replicate(),
+            RecoveryConfig {
+                heartbeat_every: Duration::from_millis(20),
+                suspect_after: 4,
+                ..RecoveryConfig::detect_only()
+            },
+        );
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+            .unwrap();
+        assert_eq!(add(&rtses[1], id, 2), 2);
+        // The default op timeout is 10 s; NodeDown must beat it by far.
+        net.crash(NodeId(0));
+        wait_for_view_epoch(&rtses[1], 1);
+        let started = std::time::Instant::now();
+        let err = rtses[1]
+            .invoke(
+                id,
+                Accumulator::TYPE_NAME,
+                OpKind::Write,
+                &AccumulatorOp::Add(1).to_bytes(),
+            )
+            .unwrap_err();
+        assert_eq!(err, RtsError::NodeDown(NodeId(0)));
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "NodeDown was not fail-fast"
+        );
         for rts in &rtses {
             rts.shutdown();
         }

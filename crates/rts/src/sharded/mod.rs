@@ -41,21 +41,23 @@
 pub(crate) mod messages;
 mod routing;
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use orca_amoeba::network::NetworkHandle;
 use orca_amoeba::node::ports;
-use orca_amoeba::rpc::{rpc_call_timeout, RpcError, RpcServer};
+use orca_amoeba::rpc::RpcServer;
 use orca_amoeba::NodeId;
+use orca_group::{FailureDetector, ViewSnapshot};
 use orca_object::shard::spread_owner;
 use orca_object::{AnyReplica, AppliedOutcome, ObjectError, ObjectId, ObjectRegistry, OpKind};
 use orca_object::{ShardLogic, ShardRoute};
 use orca_wire::Wire;
 use parking_lot::{Mutex, RwLock};
 
+use crate::recovery::{is_dead, recovery_rpc, RecoveryConfig};
 use crate::stats::{AccessStats, RtsStats, RtsStatsSnapshot};
 use crate::{RtsError, RtsKind, RuntimeSystem};
 use messages::{part, part_object, ShardMsg, ShardPartId, ShardReply, ShardRouteTable};
@@ -123,6 +125,10 @@ const BLOCKED_RETRY_DELAY: Duration = Duration::from_millis(20);
 /// stale (a migration is in flight).
 const STALE_RETRY_DELAY: Duration = Duration::from_millis(5);
 
+/// How long a caller sleeps between retries while a dead partition
+/// owner's backups are being promoted.
+const DEAD_OWNER_RETRY_DELAY: Duration = Duration::from_millis(20);
+
 /// Size of the per-node RPC worker pool. Owner-shipped operations are
 /// short and never block a worker (guard failures answer `Blocked`
 /// immediately), so the pool mainly sizes how many co-located partitions
@@ -141,17 +147,36 @@ struct PartitionSlot {
     /// new owner — a lost write. Readers check it after acquiring the
     /// replica mutex and answer `StaleRoute` instead.
     withdrawn: AtomicBool,
+    /// Completed-write count the partition had accumulated *before* this
+    /// replica instance was installed (migrations and promotions reset the
+    /// replica-internal counter). The partition's cumulative version —
+    /// what recovery compares — is `version_base + replica.version()`.
+    version_base: u64,
     access: AccessStats,
 }
 
 impl PartitionSlot {
     fn new(replica: Box<dyn AnyReplica>) -> Arc<Self> {
+        Self::with_base(replica, 0)
+    }
+
+    fn with_base(replica: Box<dyn AnyReplica>, version_base: u64) -> Arc<Self> {
         Arc::new(PartitionSlot {
             replica: Mutex::new(replica),
             withdrawn: AtomicBool::new(false),
+            version_base,
             access: AccessStats::default(),
         })
     }
+}
+
+/// A backup replica of a partition owned elsewhere: the owner ships every
+/// completed write here before acknowledging it, so a single owner failure
+/// loses no acknowledged write.
+struct BackupSlot {
+    replica: Mutex<Box<dyn AnyReplica>>,
+    /// Cumulative partition version of the backup state.
+    version: AtomicU64,
 }
 
 /// Outcome of one attempt to execute an operation on one partition.
@@ -181,7 +206,10 @@ struct Inner {
     policy: ShardPolicy,
     /// Partitions this node currently owns.
     owned: RwLock<HashMap<(ObjectId, u32), Arc<PartitionSlot>>>,
-    /// Authoritative routing tables of objects this node created.
+    /// Backup replicas of partitions owned elsewhere (recovery enabled).
+    backups: RwLock<HashMap<(ObjectId, u32), Arc<BackupSlot>>>,
+    /// Authoritative routing tables of objects this node created (or
+    /// adopted after their creator died).
     homes: RwLock<HashMap<ObjectId, Arc<HomeObject>>>,
     /// Read-through cache of other objects' routing tables.
     routes: RouteCache,
@@ -190,6 +218,20 @@ struct Inner {
     /// consumers do not all hammer partition 0.
     any_seq: AtomicU64,
     stats: Arc<RtsStats>,
+    /// Crash-recovery knobs (see [`RecoveryConfig`]).
+    recovery: RecoveryConfig,
+    /// Heartbeat failure detector, present when recovery is enabled.
+    detector: Option<Arc<FailureDetector>>,
+    /// Objects declared lost (a partition died with no backup left).
+    lost: RwLock<HashSet<ObjectId>>,
+    /// Serializes home adoptions on this node.
+    adoption: Mutex<()>,
+}
+
+impl Inner {
+    fn is_lost(&self, object: ObjectId) -> bool {
+        self.lost.read().contains(&object)
+    }
 }
 
 /// Handle to one node's sharded runtime system. Cheap to clone.
@@ -197,6 +239,7 @@ struct Inner {
 pub struct ShardedRts {
     inner: Arc<Inner>,
     server: Arc<Mutex<Option<RpcServer>>>,
+    backup_server: Arc<Mutex<Option<RpcServer>>>,
 }
 
 impl std::fmt::Debug for ShardedRts {
@@ -209,8 +252,25 @@ impl std::fmt::Debug for ShardedRts {
 }
 
 impl ShardedRts {
-    /// Start the sharded runtime system on the node owning `handle`.
+    /// Start the sharded runtime system on the node owning `handle`
+    /// (without crash recovery — node failures surface as timeouts).
     pub fn start(handle: NetworkHandle, registry: ObjectRegistry, policy: ShardPolicy) -> Self {
+        Self::start_recoverable(handle, registry, policy, RecoveryConfig::disabled(), None)
+    }
+
+    /// Start the runtime system with crash recovery: every partition gets a
+    /// synchronously maintained backup replica on a second node, a dead
+    /// owner's partitions are re-owned by promoting their backups, and a
+    /// dead *home* node's routing table is rebuilt by the lowest live node
+    /// from the survivors' reports (see the `recovery` module docs).
+    pub fn start_recoverable(
+        handle: NetworkHandle,
+        registry: ObjectRegistry,
+        policy: ShardPolicy,
+        recovery: RecoveryConfig,
+        detector: Option<Arc<FailureDetector>>,
+    ) -> Self {
+        let detector = crate::recovery::ensure_detector(&handle, &recovery, detector);
         let inner = Arc::new(Inner {
             node: handle.node(),
             num_nodes: handle.num_nodes(),
@@ -218,11 +278,16 @@ impl ShardedRts {
             registry,
             policy,
             owned: RwLock::new(HashMap::new()),
+            backups: RwLock::new(HashMap::new()),
             homes: RwLock::new(HashMap::new()),
             routes: RouteCache::default(),
             next_object: AtomicU64::new(1),
             any_seq: AtomicU64::new(0),
             stats: RtsStats::new_shared(),
+            recovery,
+            detector,
+            lost: RwLock::new(HashSet::new()),
+            adoption: Mutex::new(()),
         });
         let service_inner = Arc::clone(&inner);
         // Pooled (not spawn-per-request) service: owner-shipped operations
@@ -230,22 +295,60 @@ impl ShardedRts {
         // process-wide, which would cap throughput regardless of how many
         // partition owners exist.
         let server = RpcServer::serve_pooled(
-            handle,
+            handle.clone(),
             ports::RTS_SHARD,
             move |body, caller| serve_request(&service_inner, body, caller),
             SERVICE_POOL_WORKERS,
         );
+        // Backup and recovery traffic lives on its own spawn-per-request
+        // port: backup application never performs a nested RPC, so it can
+        // always be served — a pool-sized service here could deadlock with
+        // owners waiting on backup acks while serving operations.
+        let backup_server = if recovery.enabled {
+            let backup_inner = Arc::clone(&inner);
+            Some(RpcServer::serve_concurrent(
+                handle,
+                ports::RTS_SHARD_BACKUP,
+                move |body, caller| serve_backup_request(&backup_inner, body, caller),
+            ))
+        } else {
+            None
+        };
+        if recovery.enabled && recovery.rehome {
+            if let Some(detector) = &inner.detector {
+                let home_inner = Arc::clone(&inner);
+                detector.on_failure(Box::new(move |_dead, view| {
+                    let inner = Arc::clone(&home_inner);
+                    std::thread::Builder::new()
+                        .name(format!("shard-recovery-{}", inner.node))
+                        .spawn(move || recover_home_objects(&inner, view))
+                        .expect("spawn shard recovery thread");
+                }));
+            }
+        }
         ShardedRts {
             inner,
             server: Arc::new(Mutex::new(Some(server))),
+            backup_server: Arc::new(Mutex::new(backup_server)),
         }
     }
 
-    /// Stop the RPC service of this node. Idempotent.
+    /// Stop the RPC services of this node. Idempotent.
     pub fn shutdown(&self) {
         if let Some(server) = self.server.lock().take() {
             server.shutdown();
         }
+        if let Some(server) = self.backup_server.lock().take() {
+            server.shutdown();
+        }
+        if let Some(detector) = &self.inner.detector {
+            detector.shutdown();
+        }
+    }
+
+    /// The current membership view, when recovery is enabled.
+    pub fn membership_view(&self) -> Option<ViewSnapshot> {
+        self.inner.detector.as_ref().map(|d| d.view())
     }
 
     /// Initial owner of partition `partition` of `object`.
@@ -354,26 +457,65 @@ impl ShardedRts {
     }
 
     /// Routing table for `object`, from the cache or read through from the
-    /// home node.
+    /// home node. When the creating node is dead, the home role falls to
+    /// the lowest live node, which rebuilds the table from the survivors'
+    /// partition reports on first contact.
     fn route_for(
         &self,
         object: ObjectId,
         deadline: Instant,
     ) -> Result<Arc<ShardRouteTable>, RtsError> {
+        if self.inner.is_lost(object) {
+            return Err(RtsError::ObjectLost(object));
+        }
         if let Some(table) = self.inner.routes.get(object) {
             return Ok(table);
         }
-        let home = NodeId(object.creator_index());
+        let creator = NodeId(object.creator_index());
+        let home = if is_dead(&self.inner.detector, creator) && self.inner.recovery.rehome {
+            match self
+                .inner
+                .detector
+                .as_ref()
+                .and_then(|d| crate::recovery::recovery_home(&d.view()))
+            {
+                Some(adopter) => adopter,
+                None => return Err(RtsError::NodeDown(creator)),
+            }
+        } else {
+            creator
+        };
         let table = if home == self.inner.node {
-            let entry = self.inner.homes.read().get(&object).cloned();
-            entry
-                .ok_or(RtsError::Object(ObjectError::NoSuchObject(object)))?
-                .table
-                .lock()
-                .clone()
+            // Bound separately so the `homes` read guard drops before the
+            // adoption path below takes the write lock (an `if let` on the
+            // guard's temporary would keep it alive through the whole
+            // chain and self-deadlock).
+            let known = self.inner.homes.read().get(&object).cloned();
+            if let Some(entry) = known {
+                entry.table.lock().clone()
+            } else if home != creator {
+                // This node is the adopter of a dead creator's home role.
+                match adopt_home(&self.inner, object) {
+                    Ok(entry) => entry.table.lock().clone(),
+                    Err(reply) => return Err(adoption_error(&self.inner, object, reply)),
+                }
+            } else {
+                return Err(RtsError::Object(ObjectError::NoSuchObject(object)));
+            }
         } else {
             match self.rpc(home, &ShardMsg::Route { object: object.0 }, deadline)? {
                 ShardReply::Route(table) => table,
+                ShardReply::ObjectLost => {
+                    self.inner.lost.write().insert(object);
+                    return Err(RtsError::ObjectLost(object));
+                }
+                ShardReply::Error(msg) if home != creator => {
+                    // The adopter may not have declared the creator dead
+                    // yet; surface as NodeDown so the invocation loop
+                    // retries (bounded by its deadline).
+                    let _ = msg;
+                    return Err(RtsError::NodeDown(creator));
+                }
                 ShardReply::Error(msg) => return Err(RtsError::Communication(msg)),
                 other => {
                     return Err(RtsError::Communication(format!(
@@ -389,21 +531,15 @@ impl ShardedRts {
 
     /// Send a shard request to `dst`, bounded by `deadline`.
     fn rpc(&self, dst: NodeId, msg: &ShardMsg, deadline: Instant) -> Result<ShardReply, RtsError> {
-        let remaining = deadline.saturating_duration_since(Instant::now());
-        if remaining.is_zero() {
-            return Err(RtsError::Timeout);
-        }
-        let reply = rpc_call_timeout(
+        let reply = recovery_rpc(
             &self.inner.handle,
+            &self.inner.detector,
+            &self.inner.recovery,
             dst,
             ports::RTS_SHARD,
             msg.to_bytes(),
-            remaining,
-        )
-        .map_err(|err| match err {
-            RpcError::Timeout => RtsError::Timeout,
-            other => RtsError::Communication(other.to_string()),
-        })?;
+            deadline,
+        )?;
         ShardReply::from_bytes(&reply)
             .map_err(|err| RtsError::Communication(format!("bad reply: {err}")))
     }
@@ -438,7 +574,12 @@ impl ShardedRts {
                 OpKind::Write => slot.access.record_write(),
             }
             match replica.apply_encoded(op)? {
-                AppliedOutcome::Done(reply) => Ok(PartOutcome::Done(reply)),
+                AppliedOutcome::Done(reply) => {
+                    if kind == OpKind::Write {
+                        ship_backup(&self.inner, object, partition, &slot, &**replica, op);
+                    }
+                    Ok(PartOutcome::Done(reply))
+                }
                 AppliedOutcome::Blocked => Ok(PartOutcome::Blocked),
             }
         } else {
@@ -560,6 +701,41 @@ impl ShardedRts {
             }
         }
     }
+
+    /// One routing-and-execution attempt of an invocation under the
+    /// current route table.
+    fn invoke_once(
+        &self,
+        object: ObjectId,
+        kind: OpKind,
+        op: &[u8],
+        deadline: Instant,
+        all_progress: &mut Vec<Option<Vec<u8>>>,
+    ) -> Result<PartOutcome, RtsError> {
+        let table = self.route_for(object, deadline)?;
+        if !table.sharded {
+            let route = ShardRoute::One(0);
+            self.record_invocation(&table, &route, kind);
+            return self.partition_op(&table, 0, op, kind, deadline);
+        }
+        let logic = self
+            .inner
+            .registry
+            .shard_logic(&table.type_name)
+            .ok_or_else(|| RtsError::Object(ObjectError::UnknownType(table.type_name.clone())))?;
+        let route = logic.route(op, table.partitions())?;
+        self.record_invocation(&table, &route, kind);
+        match route {
+            ShardRoute::One(partition) => {
+                let part_op = logic.op_for(op, partition, table.partitions())?;
+                self.partition_op(&table, partition, &part_op, kind, deadline)
+            }
+            ShardRoute::All => {
+                self.all_partitions_op(&table, logic.as_ref(), op, kind, deadline, all_progress)
+            }
+            ShardRoute::Any => self.any_partition_op(&table, logic.as_ref(), op, kind, deadline),
+        }
+    }
 }
 
 impl RuntimeSystem for ShardedRts {
@@ -591,15 +767,18 @@ impl RuntimeSystem for ShardedRts {
             let owner = NodeId(owners[partition as usize]);
             if owner == self.inner.node {
                 let replica = self.inner.registry.instantiate(type_name, state)?;
-                self.inner
-                    .owned
-                    .write()
-                    .insert((id, partition), PartitionSlot::new(replica));
+                let slot = PartitionSlot::new(replica);
+                {
+                    let replica = slot.replica.lock();
+                    ship_backup_state(&self.inner, id, partition, &slot, &**replica);
+                }
+                self.inner.owned.write().insert((id, partition), slot);
             } else {
                 let msg = ShardMsg::Install {
                     shard: part(id, partition),
                     type_name: type_name.to_string(),
                     state: state.clone(),
+                    version: 0,
                 };
                 match self.rpc(owner, &msg, deadline)? {
                     ShardReply::Ack => {}
@@ -645,38 +824,25 @@ impl RuntimeSystem for ShardedRts {
         // invocation routes identically on every retry).
         let mut all_progress: Vec<Option<Vec<u8>>> = Vec::new();
         loop {
-            let table = self.route_for(object, deadline)?;
-            let outcome = if !table.sharded {
-                let route = ShardRoute::One(0);
-                self.record_invocation(&table, &route, kind);
-                self.partition_op(&table, 0, op, kind, deadline)?
-            } else {
-                let logic = self
-                    .inner
-                    .registry
-                    .shard_logic(&table.type_name)
-                    .ok_or_else(|| {
-                        RtsError::Object(ObjectError::UnknownType(table.type_name.clone()))
-                    })?;
-                let route = logic.route(op, table.partitions())?;
-                self.record_invocation(&table, &route, kind);
-                match route {
-                    ShardRoute::One(partition) => {
-                        let part_op = logic.op_for(op, partition, table.partitions())?;
-                        self.partition_op(&table, partition, &part_op, kind, deadline)?
+            let attempt = self.invoke_once(object, kind, op, deadline, &mut all_progress);
+            let outcome = match attempt {
+                Ok(outcome) => outcome,
+                Err(RtsError::NodeDown(node)) if self.inner.recovery.rehome => {
+                    // A partition owner (or the home) is dead; recovery is
+                    // re-homing its partitions. Re-fetch the route and
+                    // retry until the invocation deadline, then report the
+                    // dead node rather than a vague timeout. An operation
+                    // retried across a promotion is at-least-once: the
+                    // dead owner may have applied it and its backup may
+                    // include it.
+                    self.inner.routes.invalidate(object);
+                    if Instant::now() >= deadline {
+                        return Err(RtsError::NodeDown(node));
                     }
-                    ShardRoute::All => self.all_partitions_op(
-                        &table,
-                        logic.as_ref(),
-                        op,
-                        kind,
-                        deadline,
-                        &mut all_progress,
-                    )?,
-                    ShardRoute::Any => {
-                        self.any_partition_op(&table, logic.as_ref(), op, kind, deadline)?
-                    }
+                    std::thread::sleep(DEAD_OWNER_RETRY_DELAY);
+                    continue;
                 }
+                Err(err) => return Err(err),
             };
             match outcome {
                 PartOutcome::Done(reply) => return Ok(reply),
@@ -722,10 +888,32 @@ fn serve_request(inner: &Arc<Inner>, body: &[u8], caller: NodeId) -> Vec<u8> {
 fn dispatch(inner: &Arc<Inner>, msg: ShardMsg, caller: NodeId) -> ShardReply {
     match msg {
         ShardMsg::Route { object } => {
-            let entry = inner.homes.read().get(&ObjectId(object)).cloned();
+            let object = ObjectId(object);
+            if inner.is_lost(object) {
+                return ShardReply::ObjectLost;
+            }
+            let entry = inner.homes.read().get(&object).cloned();
             match entry {
                 Some(entry) => ShardReply::Route(entry.table.lock().clone()),
-                None => ShardReply::Error(format!("not home of {}", ObjectId(object))),
+                None => {
+                    // A dead creator's home role falls to the lowest live
+                    // node; if that is us, rebuild the table from the
+                    // survivors' reports on first contact.
+                    let creator = NodeId(object.creator_index());
+                    let adopter = inner
+                        .detector
+                        .as_ref()
+                        .filter(|d| !d.is_alive(creator))
+                        .and_then(|d| crate::recovery::recovery_home(&d.view()));
+                    if inner.recovery.rehome && adopter == Some(inner.node) {
+                        match adopt_home(inner, object) {
+                            Ok(entry) => ShardReply::Route(entry.table.lock().clone()),
+                            Err(reply) => reply,
+                        }
+                    } else {
+                        ShardReply::Error(format!("not home of {object}"))
+                    }
+                }
             }
         }
         ShardMsg::Op { shard, op } => serve_op(inner, &shard, &op, caller),
@@ -733,12 +921,24 @@ fn dispatch(inner: &Arc<Inner>, msg: ShardMsg, caller: NodeId) -> ShardReply {
             shard,
             type_name,
             state,
+            version,
         } => match inner.registry.instantiate(&type_name, &state) {
             Ok(replica) => {
-                inner.owned.write().insert(
-                    (part_object(&shard), shard.partition),
-                    PartitionSlot::new(replica),
-                );
+                let slot = PartitionSlot::with_base(replica, version);
+                {
+                    let replica = slot.replica.lock();
+                    ship_backup_state(
+                        inner,
+                        part_object(&shard),
+                        shard.partition,
+                        &slot,
+                        &**replica,
+                    );
+                }
+                inner
+                    .owned
+                    .write()
+                    .insert((part_object(&shard), shard.partition), slot);
                 RtsStats::bump(&inner.stats.copies_fetched);
                 ShardReply::Ack
             }
@@ -746,6 +946,15 @@ fn dispatch(inner: &Arc<Inner>, msg: ShardMsg, caller: NodeId) -> ShardReply {
         },
         ShardMsg::Migrate { shard, dst } => migrate_at_home(inner, &shard, dst),
         ShardMsg::HandOff { shard, dst } => hand_off(inner, &shard, dst),
+        // Backup and recovery traffic is served on its own port (see
+        // `serve_backup_request`); answering it here would tie up pooled
+        // operation workers behind nested backup RPCs.
+        ShardMsg::Backup { .. }
+        | ShardMsg::InstallBackup { .. }
+        | ShardMsg::PromoteBackup { .. }
+        | ShardMsg::ReportOwned { .. } => {
+            ShardReply::Error("backup traffic on the operation port".into())
+        }
     }
 }
 
@@ -762,15 +971,21 @@ fn serve_op(inner: &Arc<Inner>, shard: &ShardPartId, op: &[u8], caller: NodeId) 
         // for the lock; applying now would lose the write.
         return ShardReply::StaleRoute;
     }
-    match replica.op_kind(op) {
-        Ok(OpKind::Read) => slot.access.record_read(),
-        Ok(OpKind::Write) => slot.access.record_write(),
+    let kind = match replica.op_kind(op) {
+        Ok(kind) => kind,
         Err(err) => return ShardReply::Error(err.to_string()),
+    };
+    match kind {
+        OpKind::Read => slot.access.record_read(),
+        OpKind::Write => slot.access.record_write(),
     }
     match replica.apply_encoded(op) {
         Ok(AppliedOutcome::Done(reply)) => {
             if caller != inner.node {
                 RtsStats::bump(&inner.stats.updates_applied);
+            }
+            if kind == OpKind::Write {
+                ship_backup(inner, key.0, key.1, &slot, &**replica, op);
             }
             ShardReply::Done(reply)
         }
@@ -843,7 +1058,7 @@ fn hand_off(inner: &Arc<Inner>, shard: &ShardPartId, dst: u16) -> ShardReply {
         inner.owned.write().insert(key, slot);
         return ShardReply::Ack;
     }
-    let (type_name, state) = {
+    let (type_name, state, version) = {
         // Mark the slot withdrawn in the same critical section that
         // snapshots the state: an operation that cloned the slot out of
         // `owned` before the removal above will acquire this mutex later,
@@ -851,12 +1066,17 @@ fn hand_off(inner: &Arc<Inner>, shard: &ShardPartId, dst: u16) -> ShardReply {
         // being acknowledged against) the orphaned replica.
         let replica = slot.replica.lock();
         slot.withdrawn.store(true, Ordering::Relaxed);
-        (replica.type_name().to_string(), replica.state_bytes())
+        (
+            replica.type_name().to_string(),
+            replica.state_bytes(),
+            slot.version_base + replica.version(),
+        )
     };
     let install = ShardMsg::Install {
         shard: *shard,
         type_name,
         state,
+        version,
     };
     match shard_rpc(inner, NodeId(dst), &install) {
         Ok(ShardReply::Ack) => {
@@ -887,19 +1107,467 @@ fn restore_slot(inner: &Arc<Inner>, key: (ObjectId, u32), slot: Arc<PartitionSlo
 /// Server-side shard RPC (migration traffic), bounded by the policy
 /// deadline.
 fn shard_rpc(inner: &Arc<Inner>, dst: NodeId, msg: &ShardMsg) -> Result<ShardReply, RtsError> {
-    let reply = rpc_call_timeout(
+    let reply = recovery_rpc(
         &inner.handle,
+        &inner.detector,
+        &inner.recovery,
         dst,
         ports::RTS_SHARD,
         msg.to_bytes(),
-        inner.policy.op_timeout,
-    )
-    .map_err(|err| match err {
-        RpcError::Timeout => RtsError::Timeout,
-        other => RtsError::Communication(other.to_string()),
-    })?;
+        Instant::now() + inner.policy.op_timeout,
+    )?;
     ShardReply::from_bytes(&reply)
         .map_err(|err| RtsError::Communication(format!("bad reply: {err}")))
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery: partition backups, promotion, and home adoption.
+// ---------------------------------------------------------------------------
+
+/// RPC dispatch of backup and recovery traffic (port `RTS_SHARD_BACKUP`;
+/// spawn-per-request, never starved by the operation worker pool).
+fn serve_backup_request(inner: &Arc<Inner>, body: &[u8], caller: NodeId) -> Vec<u8> {
+    let reply = match ShardMsg::from_bytes(body) {
+        Ok(msg) => dispatch_backup(inner, msg, caller),
+        Err(err) => ShardReply::Error(format!("bad request: {err}")),
+    };
+    reply.to_bytes()
+}
+
+fn dispatch_backup(inner: &Arc<Inner>, msg: ShardMsg, _caller: NodeId) -> ShardReply {
+    match msg {
+        ShardMsg::Backup { shard, op, version } => {
+            let key = (part_object(&shard), shard.partition);
+            let slot = inner.backups.read().get(&key).cloned();
+            let Some(slot) = slot else {
+                return ShardReply::StaleRoute; // owner reinstalls the backup
+            };
+            let mut replica = slot.replica.lock();
+            if slot.version.load(Ordering::Relaxed) + 1 != version {
+                // An update went missing (or this backup predates a
+                // promotion): resync from a full state reinstall.
+                return ShardReply::StaleRoute;
+            }
+            match replica.apply_encoded(&op) {
+                Ok(AppliedOutcome::Done(_)) => {
+                    slot.version.store(version, Ordering::Relaxed);
+                    RtsStats::bump(&inner.stats.updates_applied);
+                    ShardReply::Ack
+                }
+                // A write that completed at the owner must complete on the
+                // identical backup state; anything else means divergence —
+                // ask for a reinstall.
+                Ok(AppliedOutcome::Blocked) | Err(_) => ShardReply::StaleRoute,
+            }
+        }
+        ShardMsg::InstallBackup {
+            shard,
+            type_name,
+            state,
+            version,
+        } => match inner.registry.instantiate(&type_name, &state) {
+            Ok(replica) => {
+                inner.backups.write().insert(
+                    (part_object(&shard), shard.partition),
+                    Arc::new(BackupSlot {
+                        replica: Mutex::new(replica),
+                        version: AtomicU64::new(version),
+                    }),
+                );
+                ShardReply::Ack
+            }
+            Err(err) => ShardReply::Error(err.to_string()),
+        },
+        ShardMsg::PromoteBackup { shard } => {
+            let key = (part_object(&shard), shard.partition);
+            let slot = inner.backups.write().remove(&key);
+            let Some(backup) = slot else {
+                return ShardReply::StaleRoute;
+            };
+            let version = backup.version.load(Ordering::Relaxed);
+            let replica = match Arc::try_unwrap(backup) {
+                Ok(backup) => backup.replica.into_inner(),
+                Err(shared) => {
+                    // Someone still holds the backup slot (a concurrent
+                    // Backup RPC); rebuild the replica from its state.
+                    let guard = shared.replica.lock();
+                    match inner
+                        .registry
+                        .instantiate(guard.type_name(), &guard.state_bytes())
+                    {
+                        Ok(replica) => replica,
+                        Err(err) => return ShardReply::Error(err.to_string()),
+                    }
+                }
+            };
+            let slot = PartitionSlot::with_base(replica, version);
+            {
+                // Re-establish a backup for the promoted partition on the
+                // next live node before serving any write.
+                let replica = slot.replica.lock();
+                ship_backup_state(inner, key.0, key.1, &slot, &**replica);
+            }
+            inner.owned.write().insert(key, slot);
+            ShardReply::Ack
+        }
+        ShardMsg::ReportOwned { object } => report_owned(inner, ObjectId(object)),
+        other => ShardReply::Error(format!("unexpected backup message {other:?}")),
+    }
+}
+
+/// What this node holds of `object`, for a recovering home.
+fn report_owned(inner: &Arc<Inner>, object: ObjectId) -> ShardReply {
+    let mut type_name = String::new();
+    let owned: Vec<(u32, u64)> = {
+        let owned = inner.owned.read();
+        owned
+            .iter()
+            .filter(|((obj, _), _)| *obj == object)
+            .map(|((_, partition), slot)| {
+                let replica = slot.replica.lock();
+                type_name = replica.type_name().to_string();
+                (*partition, slot.version_base + replica.version())
+            })
+            .collect()
+    };
+    let backups: Vec<(u32, u64)> = {
+        let backups = inner.backups.read();
+        backups
+            .iter()
+            .filter(|((obj, _), _)| *obj == object)
+            .map(|((_, partition), slot)| {
+                if type_name.is_empty() {
+                    type_name = slot.replica.lock().type_name().to_string();
+                }
+                (*partition, slot.version.load(Ordering::Relaxed))
+            })
+            .collect()
+    };
+    ShardReply::Owned {
+        type_name,
+        owned,
+        backups,
+    }
+}
+
+/// The node that currently backs up partitions owned by `owner`: the next
+/// live node after it in index order. `None` on a single-node pool.
+fn backup_target(inner: &Arc<Inner>, owner: NodeId) -> Option<NodeId> {
+    if inner.num_nodes <= 1 || !inner.recovery.enabled {
+        return None;
+    }
+    for step in 1..inner.num_nodes {
+        let candidate = NodeId(((usize::from(owner.0) + step) % inner.num_nodes) as u16);
+        if !is_dead(&inner.detector, candidate) {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+fn backup_rpc(inner: &Arc<Inner>, dst: NodeId, msg: &ShardMsg) -> Result<ShardReply, RtsError> {
+    let reply = recovery_rpc(
+        &inner.handle,
+        &inner.detector,
+        &inner.recovery,
+        dst,
+        ports::RTS_SHARD_BACKUP,
+        msg.to_bytes(),
+        Instant::now() + inner.recovery.attempt_timeout,
+    )?;
+    ShardReply::from_bytes(&reply)
+        .map_err(|err| RtsError::Communication(format!("bad reply: {err}")))
+}
+
+/// Ship one completed write to the partition's backup node, synchronously
+/// (the caller still holds the owner replica's mutex, so the backup sees
+/// writes in execution order and the write is not acknowledged until its
+/// backup exists). A backup that lost sync is reinstalled from full state;
+/// an unreachable backup node is skipped — the next write re-targets the
+/// then-next live node.
+fn ship_backup(
+    inner: &Arc<Inner>,
+    object: ObjectId,
+    partition: u32,
+    slot: &PartitionSlot,
+    replica: &dyn AnyReplica,
+    op: &[u8],
+) {
+    if !inner.recovery.enabled {
+        return;
+    }
+    let Some(target) = backup_target(inner, inner.node) else {
+        return;
+    };
+    let shard = part(object, partition);
+    let version = slot.version_base + replica.version();
+    let msg = ShardMsg::Backup {
+        shard,
+        op: op.to_vec(),
+        version,
+    };
+    match backup_rpc(inner, target, &msg) {
+        Ok(ShardReply::Ack) => {}
+        Ok(_) => {
+            let install = ShardMsg::InstallBackup {
+                shard,
+                type_name: replica.type_name().to_string(),
+                state: replica.state_bytes(),
+                version,
+            };
+            let _ = backup_rpc(inner, target, &install);
+        }
+        Err(_) => {}
+    }
+}
+
+/// Install (or refresh) the full backup state of a locally-owned partition
+/// on its backup node.
+fn ship_backup_state(
+    inner: &Arc<Inner>,
+    object: ObjectId,
+    partition: u32,
+    slot: &PartitionSlot,
+    replica: &dyn AnyReplica,
+) {
+    if !inner.recovery.enabled {
+        return;
+    }
+    let Some(target) = backup_target(inner, inner.node) else {
+        return;
+    };
+    let install = ShardMsg::InstallBackup {
+        shard: part(object, partition),
+        type_name: replica.type_name().to_string(),
+        state: replica.state_bytes(),
+        version: slot.version_base + replica.version(),
+    };
+    let _ = backup_rpc(inner, target, &install);
+}
+
+/// Home-side partition recovery, run on every view change for the objects
+/// this node is home of: partitions owned by dead nodes are re-owned by
+/// promoting their backups; a partition with no backup left loses the
+/// whole object.
+fn recover_home_objects(inner: &Arc<Inner>, view: ViewSnapshot) {
+    let objects: Vec<ObjectId> = inner.homes.read().keys().copied().collect();
+    for object in objects {
+        let entry = inner.homes.read().get(&object).cloned();
+        if let Some(entry) = entry {
+            recover_object_partitions(inner, object, &entry, &view);
+        }
+    }
+}
+
+fn recover_object_partitions(
+    inner: &Arc<Inner>,
+    object: ObjectId,
+    entry: &Arc<HomeObject>,
+    view: &ViewSnapshot,
+) {
+    let _migration = entry.migration.lock();
+    let table = entry.table.lock().clone();
+    let dead_partitions: Vec<u32> = table
+        .owners
+        .iter()
+        .enumerate()
+        .filter(|(_, owner)| !view.contains(NodeId(**owner)))
+        .map(|(partition, _)| partition as u32)
+        .collect();
+    if dead_partitions.is_empty() {
+        return;
+    }
+    // Ask every survivor what it holds of this object.
+    let reports = collect_reports(inner, object, view);
+    let mut new_owners = table.owners.clone();
+    for partition in dead_partitions {
+        match freshest_holder(&reports, partition) {
+            Some((holder, from_backup)) => {
+                let promoted = if from_backup {
+                    let msg = ShardMsg::PromoteBackup {
+                        shard: part(object, partition),
+                    };
+                    let reply = if holder == inner.node {
+                        dispatch_backup(inner, msg, inner.node)
+                    } else {
+                        match backup_rpc(inner, holder, &msg) {
+                            Ok(reply) => reply,
+                            Err(_) => ShardReply::StaleRoute,
+                        }
+                    };
+                    matches!(reply, ShardReply::Ack)
+                } else {
+                    true // a live node already owns it (e.g. prior promotion)
+                };
+                if promoted {
+                    new_owners[partition as usize] = holder.0;
+                } else {
+                    mark_lost(inner, object);
+                    return;
+                }
+            }
+            None => {
+                // No authoritative copy and no backup anywhere: the
+                // object's state is gone.
+                mark_lost(inner, object);
+                return;
+            }
+        }
+    }
+    let mut table_guard = entry.table.lock();
+    table_guard.owners = new_owners;
+    table_guard.version += 1;
+    inner.routes.insert(object, Arc::new(table_guard.clone()));
+}
+
+/// One survivor's `ReportOwned` answer: `(node, type name, owned
+/// partitions with versions, backed-up partitions with versions)`.
+type OwnedReport = (NodeId, String, Vec<(u32, u64)>, Vec<(u32, u64)>);
+
+/// Collect `ReportOwned` replies from every live node (self included).
+fn collect_reports(inner: &Arc<Inner>, object: ObjectId, view: &ViewSnapshot) -> Vec<OwnedReport> {
+    let mut reports = Vec::new();
+    for survivor in &view.alive {
+        let reply = if *survivor == inner.node {
+            report_owned(inner, object)
+        } else {
+            match backup_rpc(
+                inner,
+                *survivor,
+                &ShardMsg::ReportOwned { object: object.0 },
+            ) {
+                Ok(reply) => reply,
+                Err(_) => continue,
+            }
+        };
+        if let ShardReply::Owned {
+            type_name,
+            owned,
+            backups,
+        } = reply
+        {
+            if !type_name.is_empty() {
+                reports.push((*survivor, type_name, owned, backups));
+            }
+        }
+    }
+    reports
+}
+
+/// The freshest live holder of `partition`: a live owner wins outright (it
+/// is authoritative); otherwise the backup with the highest version.
+/// Returns `(node, promoted_from_backup)`.
+fn freshest_holder(reports: &[OwnedReport], partition: u32) -> Option<(NodeId, bool)> {
+    let mut best_owner: Option<(NodeId, u64)> = None;
+    let mut best_backup: Option<(NodeId, u64)> = None;
+    for (node, _, owned, backups) in reports {
+        for (p, version) in owned {
+            if *p == partition && best_owner.map(|(_, v)| *version > v).unwrap_or(true) {
+                best_owner = Some((*node, *version));
+            }
+        }
+        for (p, version) in backups {
+            if *p == partition && best_backup.map(|(_, v)| *version > v).unwrap_or(true) {
+                best_backup = Some((*node, *version));
+            }
+        }
+    }
+    match (best_owner, best_backup) {
+        (Some((node, _)), _) => Some((node, false)),
+        (None, Some((node, _))) => Some((node, true)),
+        (None, None) => None,
+    }
+}
+
+fn mark_lost(inner: &Arc<Inner>, object: ObjectId) {
+    inner.lost.write().insert(object);
+    inner.routes.invalidate(object);
+}
+
+/// Rebuild a dead creator's routing table on this node (the adopter) from
+/// the survivors' partition reports, promoting backups of partitions whose
+/// owner also died.
+fn adopt_home(inner: &Arc<Inner>, object: ObjectId) -> Result<Arc<HomeObject>, ShardReply> {
+    let _adoption = inner.adoption.lock();
+    if let Some(entry) = inner.homes.read().get(&object).cloned() {
+        return Ok(entry);
+    }
+    if inner.is_lost(object) {
+        return Err(ShardReply::ObjectLost);
+    }
+    let Some(detector) = &inner.detector else {
+        return Err(ShardReply::Error("no failure detector".into()));
+    };
+    let view = detector.view();
+    let reports = collect_reports(inner, object, &view);
+    if reports.is_empty() {
+        return Err(ShardReply::Error(format!("nothing known of {object}")));
+    }
+    let type_name = reports[0].1.clone();
+    let partitions = reports
+        .iter()
+        .flat_map(|(_, _, owned, backups)| owned.iter().chain(backups).map(|(p, _)| *p))
+        .max()
+        .map(|max| max + 1)
+        .unwrap_or(1);
+    let mut owners = Vec::with_capacity(partitions as usize);
+    for partition in 0..partitions {
+        match freshest_holder(&reports, partition) {
+            Some((holder, from_backup)) => {
+                if from_backup {
+                    let msg = ShardMsg::PromoteBackup {
+                        shard: part(object, partition),
+                    };
+                    let reply = if holder == inner.node {
+                        dispatch_backup(inner, msg, inner.node)
+                    } else {
+                        match backup_rpc(inner, holder, &msg) {
+                            Ok(reply) => reply,
+                            Err(_) => ShardReply::StaleRoute,
+                        }
+                    };
+                    if !matches!(reply, ShardReply::Ack) {
+                        mark_lost(inner, object);
+                        return Err(ShardReply::ObjectLost);
+                    }
+                }
+                owners.push(holder.0);
+            }
+            None => {
+                mark_lost(inner, object);
+                return Err(ShardReply::ObjectLost);
+            }
+        }
+    }
+    let sharded = inner.registry.shard_logic(&type_name).is_some();
+    let table = ShardRouteTable {
+        object: object.0,
+        type_name,
+        sharded,
+        // The adopter never saw the creator's migration history; any bump
+        // works because caches are refreshed wholesale, not compared.
+        version: 1,
+        owners,
+    };
+    let entry = Arc::new(HomeObject {
+        table: Mutex::new(table.clone()),
+        migration: Mutex::new(()),
+    });
+    inner.homes.write().insert(object, Arc::clone(&entry));
+    inner.routes.insert(object, Arc::new(table));
+    Ok(entry)
+}
+
+/// Translate an adoption failure into the client-facing error.
+fn adoption_error(inner: &Arc<Inner>, object: ObjectId, reply: ShardReply) -> RtsError {
+    match reply {
+        ShardReply::ObjectLost => {
+            inner.lost.write().insert(object);
+            RtsError::ObjectLost(object)
+        }
+        ShardReply::Error(msg) => RtsError::Communication(msg),
+        other => RtsError::Communication(format!("unexpected adoption reply {other:?}")),
+    }
 }
 
 #[cfg(test)]
@@ -1260,6 +1928,156 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, RtsError::Timeout);
         assert!(started.elapsed() < Duration::from_secs(5));
+        shutdown_all(&rtses);
+    }
+
+    fn start_all_recoverable(
+        net: &Network,
+        policy: ShardPolicy,
+        recovery: RecoveryConfig,
+    ) -> Vec<ShardedRts> {
+        net.node_ids()
+            .into_iter()
+            .map(|n| {
+                ShardedRts::start_recoverable(net.handle(n), registry(), policy, recovery, None)
+            })
+            .collect()
+    }
+
+    fn wait_for_view_epoch(rts: &ShardedRts, epoch: u64) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while rts.membership_view().expect("recovery enabled").epoch < epoch {
+            assert!(Instant::now() < deadline, "failure never detected");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Tentpole: a partition owner dies mid-stream. Every write it
+    /// acknowledged was synchronously backed up on a second node; the home
+    /// promotes the backup and survivors keep writing — nothing is lost.
+    #[test]
+    fn owner_crash_promotes_backup_without_losing_acked_writes() {
+        let net = Network::reliable(2);
+        let rtses = start_all_recoverable(
+            &net,
+            ShardPolicy::with_partitions(2),
+            RecoveryConfig::fast(),
+        );
+        let id = rtses[0]
+            .create_object(
+                Bank::TYPE_NAME,
+                &<Bank as ObjectType>::State::new().to_bytes(),
+            )
+            .unwrap();
+        let owners = rtses[0].route_owners(id).unwrap();
+        let Some(remote_partition) = owners.iter().position(|o| *o == NodeId(1)) else {
+            panic!("expected a partition owned by node 1 under spread placement");
+        };
+        let key = (0..64)
+            .find(|k| shard_of_u64(*k, 2) == remote_partition as u32)
+            .unwrap();
+        // Acknowledged writes against node 1's partition.
+        assert_eq!(deposit(&rtses[0], id, key, 10), 10);
+        assert_eq!(deposit(&rtses[0], id, key, 5), 15);
+
+        net.crash(NodeId(1));
+        wait_for_view_epoch(&rtses[0], 1);
+        // The partition is promoted from its backup on node 0; acknowledged
+        // state survived and writes keep working.
+        assert_eq!(deposit(&rtses[0], id, key, 1), 16);
+        assert_eq!(bank_sum(&rtses[0], id), 16);
+        let owners = rtses[0].route_owners(id).unwrap();
+        assert!(owners.iter().all(|o| *o == NodeId(0)), "{owners:?}");
+        shutdown_all(&rtses);
+    }
+
+    /// Tentpole: the *home* (creating) node dies. The lowest live node
+    /// adopts the home role, rebuilds the routing table from survivor
+    /// reports, promotes the dead node's partitions from their backups,
+    /// and clients re-route transparently.
+    #[test]
+    fn home_crash_is_adopted_by_lowest_survivor() {
+        let net = Network::reliable(3);
+        let rtses = start_all_recoverable(
+            &net,
+            ShardPolicy::with_partitions(3),
+            RecoveryConfig::fast(),
+        );
+        // Created at node 2: node 2 is both home and (under spread
+        // placement) owner of at least one partition.
+        let id = rtses[2]
+            .create_object(
+                Bank::TYPE_NAME,
+                &<Bank as ObjectType>::State::new().to_bytes(),
+            )
+            .unwrap();
+        let mut expected = 0i64;
+        for key in 0..12u64 {
+            deposit(&rtses[0], id, key, 3);
+            expected += 3;
+        }
+        assert_eq!(bank_sum(&rtses[1], id), expected);
+
+        net.crash(NodeId(2));
+        wait_for_view_epoch(&rtses[0], 1);
+        // Clients re-route through the adopted home (node 0) and no
+        // acknowledged deposit is missing.
+        for key in 0..12u64 {
+            deposit(&rtses[1], id, key, 1);
+            expected += 1;
+        }
+        assert_eq!(bank_sum(&rtses[0], id), expected);
+        assert_eq!(bank_sum(&rtses[1], id), expected);
+        let owners = rtses[1].route_owners(id).unwrap();
+        assert!(
+            owners.iter().all(|o| *o != NodeId(2)),
+            "dead node still owns partitions: {owners:?}"
+        );
+        shutdown_all(&rtses);
+    }
+
+    /// Satellite bugfix: with detection only (no re-homing), an operation
+    /// shipped to a *killed* owner fails fast with `NodeDown` instead of
+    /// waiting out the 10 s operation deadline.
+    #[test]
+    fn detect_only_fails_fast_with_node_down() {
+        let net = Network::reliable(2);
+        let rtses = start_all_recoverable(
+            &net,
+            ShardPolicy::with_partitions(2),
+            RecoveryConfig {
+                heartbeat_every: Duration::from_millis(20),
+                suspect_after: 4,
+                ..RecoveryConfig::detect_only()
+            },
+        );
+        let id = rtses[0]
+            .create_object(
+                Bank::TYPE_NAME,
+                &<Bank as ObjectType>::State::new().to_bytes(),
+            )
+            .unwrap();
+        let owners = rtses[0].route_owners(id).unwrap();
+        let remote_partition = owners.iter().position(|o| *o == NodeId(1)).unwrap();
+        let key = (0..64)
+            .find(|k| shard_of_u64(*k, 2) == remote_partition as u32)
+            .unwrap();
+        net.crash(NodeId(1));
+        wait_for_view_epoch(&rtses[0], 1);
+        let started = Instant::now();
+        let err = rtses[0]
+            .invoke(
+                id,
+                Bank::TYPE_NAME,
+                OpKind::Write,
+                &BankOp::Deposit { key, amount: 1 }.to_bytes(),
+            )
+            .unwrap_err();
+        assert_eq!(err, RtsError::NodeDown(NodeId(1)));
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "NodeDown was not fail-fast"
+        );
         shutdown_all(&rtses);
     }
 

@@ -43,16 +43,20 @@
 //! assert_eq!(Job::from_bytes(&bytes).unwrap(), job);
 //! ```
 
+#![warn(missing_docs)]
+
 mod decode;
 mod encode;
 mod error;
 mod impls;
+pub mod recovery;
 pub mod regime;
 pub mod shard;
 
 pub use decode::{Decoder, MAX_LEN};
 pub use encode::{uvarint_len, Encoder};
 pub use error::{WireError, WireResult};
+pub use recovery::{CopyInfo, MembershipView, RecoveryMsg, RecoveryReply};
 pub use regime::{RegimeKind, RegimeMsg, RegimeReply, RegimeTable};
 pub use shard::{ShardMsg, ShardPartId, ShardReply, ShardRouteTable};
 

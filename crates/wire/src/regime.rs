@@ -243,6 +243,13 @@ pub enum RegimeMsg {
         /// Update sequence number being released.
         seq: u64,
     },
+    /// Recovering home → survivor: report the freshest mirror state of
+    /// `object` you hold, so a node adopting the home role of a dead
+    /// creator can regenerate the object from a surviving mirror.
+    MirrorQuery {
+        /// Raw object id.
+        object: u64,
+    },
 }
 
 impl Wire for RegimeMsg {
@@ -351,6 +358,10 @@ impl Wire for RegimeMsg {
                 epoch.encode(enc);
                 seq.encode(enc);
             }
+            RegimeMsg::MirrorQuery { object } => {
+                enc.put_u8(12);
+                object.encode(enc);
+            }
         }
     }
     fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
@@ -415,6 +426,9 @@ impl Wire for RegimeMsg {
                 epoch: Wire::decode(dec)?,
                 seq: Wire::decode(dec)?,
             }),
+            12 => Ok(RegimeMsg::MirrorQuery {
+                object: Wire::decode(dec)?,
+            }),
             tag => Err(WireError::InvalidTag {
                 type_name: "RegimeMsg",
                 tag: u64::from(tag),
@@ -451,6 +465,15 @@ pub enum RegimeReply {
     Ack,
     /// The request failed.
     Error(String),
+    /// Reply to [`RegimeMsg::MirrorQuery`]: the freshest mirror this node
+    /// holds, or `None` when it has no copy of the object.
+    MirrorReport {
+        /// The mirror's `(epoch, seq, type_name, state)`, if one is held.
+        mirror: Option<(u64, u64, String, Vec<u8>)>,
+    },
+    /// The object's state did not survive the failure (no authoritative
+    /// copy and no mirror left); operations on it can never succeed.
+    ObjectLost,
 }
 
 impl Wire for RegimeReply {
@@ -480,6 +503,11 @@ impl Wire for RegimeReply {
                 enc.put_u8(7);
                 msg.encode(enc);
             }
+            RegimeReply::MirrorReport { mirror } => {
+                enc.put_u8(8);
+                mirror.encode(enc);
+            }
+            RegimeReply::ObjectLost => enc.put_u8(9),
         }
     }
     fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
@@ -495,6 +523,10 @@ impl Wire for RegimeReply {
             }),
             6 => Ok(RegimeReply::Ack),
             7 => Ok(RegimeReply::Error(Wire::decode(dec)?)),
+            8 => Ok(RegimeReply::MirrorReport {
+                mirror: Wire::decode(dec)?,
+            }),
+            9 => Ok(RegimeReply::ObjectLost),
             tag => Err(WireError::InvalidTag {
                 type_name: "RegimeReply",
                 tag: u64::from(tag),
@@ -576,6 +608,7 @@ mod tests {
                 epoch: 3,
                 seq: 13,
             },
+            RegimeMsg::MirrorQuery { object: 9 },
         ];
         for msg in msgs {
             assert_eq!(RegimeMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
@@ -598,6 +631,11 @@ mod tests {
             },
             RegimeReply::Ack,
             RegimeReply::Error("nope".into()),
+            RegimeReply::MirrorReport { mirror: None },
+            RegimeReply::MirrorReport {
+                mirror: Some((4, 17, "orca.Int".into(), vec![7])),
+            },
+            RegimeReply::ObjectLost,
         ];
         for reply in replies {
             assert_eq!(RegimeReply::from_bytes(&reply.to_bytes()).unwrap(), reply);

@@ -114,6 +114,10 @@ pub enum ShardMsg {
         type_name: String,
         /// Encoded partition state.
         state: Vec<u8>,
+        /// Cumulative version (completed-write count over the partition's
+        /// whole life) of the shipped state, preserved across migrations
+        /// and promotions so recovery can always pick the freshest copy.
+        version: u64,
     },
     /// Client → home node: migrate a partition to node `dst`. The home node
     /// coordinates the hand-off and updates the authoritative routing table.
@@ -131,6 +135,48 @@ pub enum ShardMsg {
         shard: ShardPartId,
         /// Destination node index.
         dst: u16,
+    },
+    /// Owner → backup node: apply one completed write operation to the
+    /// backup replica of the partition, keeping it current so it can be
+    /// promoted if the owner crashes. Shipped synchronously (under the
+    /// owner's replica mutex, before the write is acknowledged), so an
+    /// acknowledged write is never lost to a single node failure.
+    Backup {
+        /// Target partition.
+        shard: ShardPartId,
+        /// Encoded operation, exactly as applied at the owner.
+        op: Vec<u8>,
+        /// The owner replica's version *after* applying the operation; a
+        /// backup whose version does not line up detects a missed update
+        /// and asks for a full reinstall instead of diverging silently.
+        version: u64,
+    },
+    /// Owner → backup node: (re)install the full backup state of a
+    /// partition (initial placement, migration, promotion, and recovery
+    /// from a missed [`ShardMsg::Backup`]).
+    InstallBackup {
+        /// Target partition.
+        shard: ShardPartId,
+        /// Registered object type name.
+        type_name: String,
+        /// Encoded partition state.
+        state: Vec<u8>,
+        /// Version (completed-write count) of the shipped state.
+        version: u64,
+    },
+    /// Home node → backup holder: the partition's owner died; promote your
+    /// backup replica to the authoritative copy.
+    PromoteBackup {
+        /// Partition to promote.
+        shard: ShardPartId,
+    },
+    /// Recovering home → survivor: report which partitions of `object` you
+    /// own and which you hold backups of (with versions), so a node
+    /// adopting the home role of a dead creator can rebuild the routing
+    /// table.
+    ReportOwned {
+        /// Raw object id.
+        object: u64,
     },
 }
 
@@ -150,11 +196,13 @@ impl Wire for ShardMsg {
                 shard,
                 type_name,
                 state,
+                version,
             } => {
                 enc.put_u8(2);
                 shard.encode(enc);
                 type_name.encode(enc);
                 enc.put_bytes(state);
+                version.encode(enc);
             }
             ShardMsg::Migrate { shard, dst } => {
                 enc.put_u8(3);
@@ -165,6 +213,32 @@ impl Wire for ShardMsg {
                 enc.put_u8(4);
                 shard.encode(enc);
                 dst.encode(enc);
+            }
+            ShardMsg::Backup { shard, op, version } => {
+                enc.put_u8(5);
+                shard.encode(enc);
+                enc.put_bytes(op);
+                version.encode(enc);
+            }
+            ShardMsg::InstallBackup {
+                shard,
+                type_name,
+                state,
+                version,
+            } => {
+                enc.put_u8(6);
+                shard.encode(enc);
+                type_name.encode(enc);
+                enc.put_bytes(state);
+                version.encode(enc);
+            }
+            ShardMsg::PromoteBackup { shard } => {
+                enc.put_u8(7);
+                shard.encode(enc);
+            }
+            ShardMsg::ReportOwned { object } => {
+                enc.put_u8(8);
+                object.encode(enc);
             }
         }
     }
@@ -181,6 +255,7 @@ impl Wire for ShardMsg {
                 shard: Wire::decode(dec)?,
                 type_name: Wire::decode(dec)?,
                 state: dec.get_bytes()?,
+                version: Wire::decode(dec)?,
             }),
             3 => Ok(ShardMsg::Migrate {
                 shard: Wire::decode(dec)?,
@@ -189,6 +264,23 @@ impl Wire for ShardMsg {
             4 => Ok(ShardMsg::HandOff {
                 shard: Wire::decode(dec)?,
                 dst: Wire::decode(dec)?,
+            }),
+            5 => Ok(ShardMsg::Backup {
+                shard: Wire::decode(dec)?,
+                op: dec.get_bytes()?,
+                version: Wire::decode(dec)?,
+            }),
+            6 => Ok(ShardMsg::InstallBackup {
+                shard: Wire::decode(dec)?,
+                type_name: Wire::decode(dec)?,
+                state: dec.get_bytes()?,
+                version: Wire::decode(dec)?,
+            }),
+            7 => Ok(ShardMsg::PromoteBackup {
+                shard: Wire::decode(dec)?,
+            }),
+            8 => Ok(ShardMsg::ReportOwned {
+                object: Wire::decode(dec)?,
             }),
             tag => Err(WireError::InvalidTag {
                 type_name: "ShardMsg",
@@ -214,6 +306,20 @@ pub enum ShardReply {
     Ack,
     /// The request failed.
     Error(String),
+    /// Reply to [`ShardMsg::ReportOwned`]: the partitions of the object
+    /// this node owns and backs up, as `(partition, version)` pairs. The
+    /// type name is empty when the node holds nothing of the object.
+    Owned {
+        /// Registered object type name (empty when nothing is held).
+        type_name: String,
+        /// Partitions this node owns authoritatively.
+        owned: Vec<(u32, u64)>,
+        /// Partitions this node holds backup replicas of.
+        backups: Vec<(u32, u64)>,
+    },
+    /// The object's state did not survive the failure (no authoritative
+    /// copy and no backup left); operations on it can never succeed.
+    ObjectLost,
 }
 
 impl Wire for ShardReply {
@@ -234,6 +340,17 @@ impl Wire for ShardReply {
                 enc.put_u8(5);
                 msg.encode(enc);
             }
+            ShardReply::Owned {
+                type_name,
+                owned,
+                backups,
+            } => {
+                enc.put_u8(6);
+                type_name.encode(enc);
+                owned.encode(enc);
+                backups.encode(enc);
+            }
+            ShardReply::ObjectLost => enc.put_u8(7),
         }
     }
     fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
@@ -244,6 +361,12 @@ impl Wire for ShardReply {
             3 => Ok(ShardReply::StaleRoute),
             4 => Ok(ShardReply::Ack),
             5 => Ok(ShardReply::Error(Wire::decode(dec)?)),
+            6 => Ok(ShardReply::Owned {
+                type_name: Wire::decode(dec)?,
+                owned: Wire::decode(dec)?,
+                backups: Wire::decode(dec)?,
+            }),
+            7 => Ok(ShardReply::ObjectLost),
             tag => Err(WireError::InvalidTag {
                 type_name: "ShardReply",
                 tag: u64::from(tag),
@@ -275,6 +398,7 @@ mod tests {
                 shard: shard(),
                 type_name: "orca.KvTable".into(),
                 state: vec![0; 10],
+                version: 5,
             },
             ShardMsg::Migrate {
                 shard: shard(),
@@ -284,6 +408,19 @@ mod tests {
                 shard: shard(),
                 dst: 0,
             },
+            ShardMsg::Backup {
+                shard: shard(),
+                op: vec![4, 5],
+                version: 3,
+            },
+            ShardMsg::InstallBackup {
+                shard: shard(),
+                type_name: "orca.Set".into(),
+                state: vec![7; 4],
+                version: 12,
+            },
+            ShardMsg::PromoteBackup { shard: shard() },
+            ShardMsg::ReportOwned { object: 77 },
         ];
         for msg in msgs {
             assert_eq!(ShardMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
@@ -307,6 +444,12 @@ mod tests {
             ShardReply::StaleRoute,
             ShardReply::Ack,
             ShardReply::Error("nope".into()),
+            ShardReply::Owned {
+                type_name: "orca.KvTable".into(),
+                owned: vec![(0, 4), (2, 9)],
+                backups: vec![(1, 3)],
+            },
+            ShardReply::ObjectLost,
         ];
         for reply in replies {
             assert_eq!(ShardReply::from_bytes(&reply.to_bytes()).unwrap(), reply);

@@ -357,7 +357,7 @@ fn shard_messages_round_trip() {
             object: gen.next_u64(),
             partition: gen.next_u64() as u32,
         };
-        let msg = match gen.below(5) {
+        let msg = match gen.below(9) {
             0 => ShardMsg::Route {
                 object: gen.next_u64(),
             },
@@ -369,10 +369,26 @@ fn shard_messages_round_trip() {
                 shard,
                 type_name: gen.string(),
                 state: gen.bytes(48),
+                version: gen.next_u64(),
             },
             3 => ShardMsg::Migrate {
                 shard,
                 dst: gen.next_u64() as u16,
+            },
+            4 => ShardMsg::Backup {
+                shard,
+                op: gen.bytes(48),
+                version: gen.next_u64(),
+            },
+            5 => ShardMsg::InstallBackup {
+                shard,
+                type_name: gen.string(),
+                state: gen.bytes(48),
+                version: gen.next_u64(),
+            },
+            6 => ShardMsg::PromoteBackup { shard },
+            7 => ShardMsg::ReportOwned {
+                object: gen.next_u64(),
             },
             _ => ShardMsg::HandOff {
                 shard,
@@ -380,12 +396,22 @@ fn shard_messages_round_trip() {
             },
         };
         assert_roundtrip(&msg, case);
-        let reply = match gen.below(6) {
+        let reply = match gen.below(8) {
             0 => ShardReply::Done(gen.bytes(48)),
             1 => ShardReply::Blocked,
             2 => ShardReply::Route(random_route_table(&mut gen)),
             3 => ShardReply::StaleRoute,
             4 => ShardReply::Ack,
+            5 => ShardReply::Owned {
+                type_name: gen.string(),
+                owned: (0..gen.below(6))
+                    .map(|_| (gen.next_u64() as u32, gen.next_u64()))
+                    .collect(),
+                backups: (0..gen.below(6))
+                    .map(|_| (gen.next_u64() as u32, gen.next_u64()))
+                    .collect(),
+            },
+            6 => ShardReply::ObjectLost,
             _ => ShardReply::Error(gen.string()),
         };
         assert_roundtrip(&reply, case);
@@ -418,8 +444,9 @@ fn regime_messages_round_trip() {
     for case in 0..CASES {
         let object = gen.next_u64();
         let epoch = gen.next_u64();
-        let msg = match gen.below(12) {
+        let msg = match gen.below(13) {
             0 => RegimeMsg::Route { object },
+            12 => RegimeMsg::MirrorQuery { object },
             1 => RegimeMsg::Op {
                 object,
                 epoch,
@@ -471,7 +498,7 @@ fn regime_messages_round_trip() {
             },
         };
         assert_roundtrip(&msg, case);
-        let reply = match gen.below(8) {
+        let reply = match gen.below(10) {
             0 => RegimeReply::Done(gen.bytes(48)),
             1 => RegimeReply::Blocked,
             2 => RegimeReply::Route(random_regime_table(&mut gen)),
@@ -482,6 +509,14 @@ fn regime_messages_round_trip() {
                 seq: gen.next_u64(),
             },
             6 => RegimeReply::Ack,
+            7 => RegimeReply::MirrorReport {
+                mirror: if gen.below(2) == 0 {
+                    None
+                } else {
+                    Some((gen.next_u64(), gen.next_u64(), gen.string(), gen.bytes(48)))
+                },
+            },
+            8 => RegimeReply::ObjectLost,
             _ => RegimeReply::Error(gen.string()),
         };
         assert_roundtrip(&reply, case);
@@ -489,5 +524,65 @@ fn regime_messages_round_trip() {
         let bytes = gen.bytes(32);
         let _ = RegimeMsg::from_bytes(&bytes);
         let _ = RegimeReply::from_bytes(&bytes);
+    }
+}
+
+#[test]
+fn recovery_messages_round_trip() {
+    use orca_wire::{CopyInfo, MembershipView, RecoveryMsg, RecoveryReply};
+    let mut gen = Gen::new(0x0EC0_4E11);
+    for case in 0..CASES {
+        let view = MembershipView {
+            epoch: gen.next_u64(),
+            alive: (0..gen.below(16)).map(|_| gen.next_u64() as u16).collect(),
+        };
+        let msg = match gen.below(7) {
+            0 => RecoveryMsg::Heartbeat {
+                node: gen.next_u64() as u16,
+                epoch: gen.next_u64(),
+            },
+            1 => RecoveryMsg::ViewChange { view },
+            2 => RecoveryMsg::CopyQuery {
+                epoch: gen.next_u64(),
+                dead: (0..gen.below(8)).map(|_| gen.next_u64() as u16).collect(),
+            },
+            3 => RecoveryMsg::Promote {
+                epoch: gen.next_u64(),
+                object: gen.next_u64(),
+            },
+            4 => RecoveryMsg::StateTransfer {
+                object: gen.next_u64(),
+                type_name: gen.string(),
+                version: gen.next_u64(),
+                state: gen.bytes(48),
+            },
+            5 => RecoveryMsg::ReHome {
+                epoch: gen.next_u64(),
+                object: gen.next_u64(),
+                new_home: gen.next_u64() as u16,
+                lost: gen.below(2) == 0,
+            },
+            _ => RecoveryMsg::Done {
+                epoch: gen.next_u64(),
+            },
+        };
+        assert_roundtrip(&msg, case);
+        let reply = match gen.below(3) {
+            0 => RecoveryReply::Ack,
+            1 => RecoveryReply::Report(
+                (0..gen.below(8))
+                    .map(|_| CopyInfo {
+                        object: gen.next_u64(),
+                        version: gen.next_u64(),
+                    })
+                    .collect(),
+            ),
+            _ => RecoveryReply::Error(gen.string()),
+        };
+        assert_roundtrip(&reply, case);
+        // Garbage decoding must error out, never panic.
+        let bytes = gen.bytes(32);
+        let _ = RecoveryMsg::from_bytes(&bytes);
+        let _ = RecoveryReply::from_bytes(&bytes);
     }
 }

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Markdown link check: every relative link in the repo's markdown files
+must resolve to an existing file or directory.
+
+External (http/https/mailto) links are skipped — CI has no network and
+their liveness is not this repo's invariant. Anchors (`#...`) are
+stripped before resolution. Exits non-zero listing every dangling link,
+so the architecture handbook and README cannot rot silently.
+"""
+
+import os
+import re
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_DIRS = {".git", "target", ".cargo"}
+# Generated retrieval artifacts (pasted from external sources); their
+# figure references were never part of this repo.
+SKIP_FILES = {"PAPERS.md", "SNIPPETS.md"}
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md") and name not in SKIP_FILES:
+                yield os.path.join(dirpath, name)
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    broken = []
+    checked = 0
+    for path in markdown_files(root):
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            checked += 1
+            resolved = os.path.normpath(os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(resolved):
+                broken.append((os.path.relpath(path, root), match.group(1)))
+    if broken:
+        for source, target in broken:
+            print(f"dangling link in {source}: {target}")
+        sys.exit(1)
+    print(f"markdown link check: {checked} relative links resolve")
+
+
+if __name__ == "__main__":
+    main()

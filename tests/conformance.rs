@@ -77,9 +77,9 @@ fn strategies() -> Vec<(&'static str, RtsStrategy)> {
 /// raise a completion flag.
 fn run_program(strategy: RtsStrategy, fault: FaultConfig) -> Observables {
     let config = OrcaConfig {
-        processors: WORKERS,
         fault,
         strategy,
+        ..OrcaConfig::broadcast(WORKERS)
     };
     let runtime = OrcaRuntime::start(config, standard_registry());
     let main = runtime.main();

@@ -17,9 +17,8 @@ fn replicated_worker_program_runs_on_every_runtime_system() {
         RtsStrategy::primary_invalidate(),
     ] {
         let config = OrcaConfig {
-            processors: 3,
-            fault: FaultConfig::reliable(),
             strategy,
+            ..OrcaConfig::broadcast(3)
         };
         let runtime = OrcaRuntime::start(config, orca::core::standard_registry());
         let main = runtime.main();

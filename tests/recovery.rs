@@ -1,0 +1,291 @@
+//! Crash-recovery conformance: kill 1 of 4 nodes *mid-workload* under
+//! every runtime-system strategy.
+//!
+//! The scenario exercises the hardest placement: the shared table is
+//! created on the node that will be killed, so its death orphans the
+//! primary copy (primary strategy), the routing table plus the partitions
+//! it owned (sharded), and the authoritative home copy (adaptive). The
+//! broadcast strategy keeps full replicas everywhere and rides the group
+//! layer's sequencer machinery instead.
+//!
+//! Invariants checked for every strategy:
+//!
+//! * every write *acknowledged* to a surviving worker is present after
+//!   recovery (in-flight unacknowledged writes may or may not land);
+//! * all survivors converge on the identical table contents;
+//! * the membership view agrees the killed node is gone.
+//!
+//! Set `ORCA_RTS=<name-prefix>` to restrict to matching strategies, like
+//! the fault-injection conformance suite.
+
+use std::time::{Duration, Instant};
+
+use orca::amoeba::NodeId;
+use orca::core::objects::{KvTable, TableEntry};
+use orca::core::{standard_registry, OrcaConfig, OrcaRuntime, RecoveryConfig, RtsStrategy};
+use orca::rts::{AdaptivePolicy, RegimeKind, ReplicationPolicy, WritePolicy};
+
+const NODES: usize = 4;
+const KILLED: NodeId = NodeId(3);
+/// Worker nodes that survive the kill.
+const SURVIVORS: [usize; 3] = [0, 1, 2];
+const OPS_PER_WORKER: u64 = 120;
+/// The kill lands roughly a third of the way into the write streams.
+const KILL_AFTER: Duration = Duration::from_millis(60);
+
+fn recovery_knobs() -> RecoveryConfig {
+    RecoveryConfig {
+        heartbeat_every: Duration::from_millis(25),
+        // A generous silence limit (300 ms): the workload threads contend
+        // hard for the build machine's cores, and a heartbeat thread
+        // starved past the limit would *falsely* kill a survivor — which
+        // fail-stop membership cannot take back.
+        suspect_after: 12,
+        attempt_timeout: Duration::from_millis(250),
+        rehome_wait: Duration::from_secs(10),
+        ..RecoveryConfig::enabled()
+    }
+}
+
+/// Replication that fetches a copy on the first access and never drops it,
+/// so every survivor holds a promotable secondary when the primary dies.
+fn eager_replication() -> ReplicationPolicy {
+    ReplicationPolicy {
+        fetch_ratio: 0.0,
+        drop_ratio: -1.0,
+        window: 1,
+        enabled: true,
+    }
+}
+
+/// Adaptive policy that never switches regimes on its own (astronomical
+/// reporting thresholds) but accepts an explicit `propose_regime` once the
+/// priming reads are flushed — so the object is *deterministically* in the
+/// replicated regime (with mirrors to recover from) when the home dies.
+fn pinned_adaptive() -> AdaptivePolicy {
+    AdaptivePolicy {
+        report_every: u64::MAX / 4,
+        evaluate_every: u64::MAX / 4,
+        min_accesses: 16,
+        ..AdaptivePolicy::default()
+    }
+}
+
+fn strategies() -> Vec<(&'static str, RtsStrategy)> {
+    let all = vec![
+        ("broadcast", RtsStrategy::broadcast()),
+        (
+            "primary_update",
+            RtsStrategy::PrimaryCopy {
+                policy: WritePolicy::Update,
+                replication: eager_replication(),
+            },
+        ),
+        ("sharded", RtsStrategy::sharded(4)),
+        (
+            "adaptive",
+            RtsStrategy::Adaptive {
+                policy: pinned_adaptive(),
+            },
+        ),
+    ];
+    match std::env::var("ORCA_RTS") {
+        Ok(only) if !only.is_empty() => {
+            let filtered: Vec<_> = all
+                .into_iter()
+                .filter(|(name, _)| name.starts_with(&only))
+                .collect();
+            assert!(!filtered.is_empty(), "ORCA_RTS={only} matches no strategy");
+            filtered
+        }
+        _ => all,
+    }
+}
+
+fn entry_for(key: u64) -> TableEntry {
+    TableEntry {
+        depth: 0,
+        value: key as i64,
+        aux: 1,
+    }
+}
+
+/// Run the crash scenario under one strategy and check every invariant.
+fn run_crash_scenario(name: &str, strategy: RtsStrategy) {
+    let config = OrcaConfig {
+        strategy,
+        recovery: recovery_knobs(),
+        ..OrcaConfig::broadcast(NODES)
+    };
+    let adaptive = matches!(config.strategy, RtsStrategy::Adaptive { .. });
+    let runtime = OrcaRuntime::start(config, standard_registry());
+    // Created on the doomed node: its death orphans whatever authority the
+    // strategy placed there.
+    let table = KvTable::create(runtime.context(KILLED.index())).unwrap();
+
+    // Priming: every surviving node reads the table, which builds the
+    // secondary copies (primary strategy) and the usage evidence plus
+    // mirrors (adaptive, after the forced proposal below).
+    for _ in 0..24 {
+        for w in SURVIVORS {
+            assert_eq!(table.get(runtime.context(w), 0).unwrap(), None);
+        }
+    }
+    if adaptive {
+        let regime = runtime.propose_regime(table.handle().id()).unwrap();
+        assert_eq!(
+            regime,
+            RegimeKind::Replicated,
+            "{name}: priming reads must put the table in the replicated regime"
+        );
+        // One read per survivor installs the mirrors recovery will need.
+        for w in SURVIVORS {
+            assert_eq!(table.get(runtime.context(w), 0).unwrap(), None);
+        }
+    }
+
+    // The write streams: each surviving worker puts distinct keys and
+    // records exactly which ones were acknowledged.
+    let workers: Vec<_> = SURVIVORS
+        .map(|w| {
+            runtime.fork_on(w, "ledger", move |ctx| {
+                let mut acked = Vec::new();
+                for i in 0..OPS_PER_WORKER {
+                    let key = (w as u64) * 100_000 + i;
+                    // A NodeDown/Timeout while recovery settles means the
+                    // write may or may not have landed; it is simply not
+                    // acknowledged. Keep going.
+                    if table.put(&ctx, key, entry_for(key)).is_ok() {
+                        acked.push(key);
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                acked
+            })
+        })
+        .into_iter()
+        .collect();
+
+    std::thread::sleep(KILL_AFTER);
+    runtime.kill_node(KILLED);
+
+    let acked_per_worker: Vec<Vec<u64>> = workers.into_iter().map(|w| w.join()).collect();
+    let acked: Vec<u64> = acked_per_worker.iter().flatten().copied().collect();
+    assert!(
+        !acked.is_empty(),
+        "{name}: the workload produced no acknowledged writes"
+    );
+
+    // The membership view converges on the survivors.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let view = loop {
+        let view = runtime.membership_view().expect("recovery enabled");
+        if view.epoch >= 1 {
+            break view;
+        }
+        assert!(Instant::now() < deadline, "{name}: kill never detected");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert_eq!(
+        view.alive,
+        SURVIVORS.map(NodeId::from).to_vec(),
+        "{name}: wrong membership view at epoch {}",
+        view.epoch
+    );
+
+    // No acknowledged write is lost: every acked key becomes readable on
+    // every survivor (bounded wait covers re-homing plus, for broadcast,
+    // the propagation of the final appends).
+    let deadline = Instant::now() + Duration::from_secs(20);
+    for w in SURVIVORS {
+        let ctx = runtime.context(w);
+        for &key in &acked {
+            loop {
+                match table.get(ctx, key) {
+                    Ok(Some(entry)) => {
+                        assert_eq!(
+                            entry,
+                            entry_for(key),
+                            "{name}: node {w} sees a corrupted entry for {key}"
+                        );
+                        break;
+                    }
+                    Ok(None) | Err(_) => {
+                        assert!(
+                            Instant::now() < deadline,
+                            "{name}: acknowledged write {key} lost (node {w})"
+                        );
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                }
+            }
+        }
+    }
+
+    // Survivors converge on the identical table: same size everywhere once
+    // the state is quiescent (contents equality follows from the per-key
+    // checks above plus equal cardinality).
+    let sizes: Vec<u64> = SURVIVORS
+        .iter()
+        .map(|&w| {
+            let ctx = runtime.context(w);
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                let len = table.len(ctx).unwrap();
+                if len >= acked.len() as u64 {
+                    return len;
+                }
+                assert!(Instant::now() < deadline, "{name}: node {w} stuck short");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        })
+        .collect();
+    assert!(
+        sizes.windows(2).all(|pair| pair[0] == pair[1]),
+        "{name}: survivors diverged on table size: {sizes:?}"
+    );
+    runtime.shutdown();
+}
+
+#[test]
+fn crash_mid_workload_all_strategies_keep_every_acknowledged_write() {
+    for (name, strategy) in strategies() {
+        run_crash_scenario(name, strategy);
+    }
+}
+
+/// The detect-only mode satisfies the fail-fast contract at the Orca
+/// layer too: with re-homing disabled, an operation against the killed
+/// node's object reports `NodeDown` well inside the operation deadline.
+#[test]
+fn detect_only_surfaces_node_down_at_the_orca_layer() {
+    let config = OrcaConfig {
+        strategy: RtsStrategy::PrimaryCopy {
+            policy: WritePolicy::Update,
+            replication: ReplicationPolicy::never_replicate(),
+        },
+        recovery: RecoveryConfig {
+            heartbeat_every: Duration::from_millis(25),
+            suspect_after: 8,
+            ..RecoveryConfig::detect_only()
+        },
+        ..OrcaConfig::broadcast(2)
+    };
+    let runtime = OrcaRuntime::start(config, standard_registry());
+    let table = KvTable::create(runtime.context(1)).unwrap();
+    assert!(table.put(runtime.context(0), 7, entry_for(7)).unwrap());
+    runtime.kill_node(NodeId(1));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while runtime.membership_view().unwrap().epoch < 1 {
+        assert!(Instant::now() < deadline, "kill never detected");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let started = Instant::now();
+    let err = table.put(runtime.context(0), 8, entry_for(8)).unwrap_err();
+    assert_eq!(err, orca::rts::RtsError::NodeDown(NodeId(1)));
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "NodeDown was not fail-fast"
+    );
+    runtime.shutdown();
+}
