@@ -204,6 +204,112 @@ pub fn rpc_call_abortable(
     }
 }
 
+/// A client for *multiple outstanding* RPCs sharing one reply port.
+///
+/// The batched (pipelined) runtime-system paths ship one operation batch
+/// per destination and want all of a round's batches in flight at once.
+/// `MultiRpc` binds a single ephemeral reply port, issues any number of
+/// requests, and demultiplexes the interleaved replies by request id: a
+/// reply that arrives while the caller is waiting for a different request
+/// is stashed and handed out when its own `wait` comes around.
+pub struct MultiRpc {
+    handle: crate::network::NetworkHandle,
+    reply_port: Port,
+    rx: crate::network::PortReceiver,
+    stash: std::collections::HashMap<u64, Vec<u8>>,
+}
+
+impl std::fmt::Debug for MultiRpc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiRpc")
+            .field("node", &self.handle.node())
+            .field("reply_port", &self.reply_port)
+            .field("stashed", &self.stash.len())
+            .finish()
+    }
+}
+
+impl MultiRpc {
+    /// Bind a fresh reply port on the node owning `handle`.
+    pub fn new(handle: &crate::network::NetworkHandle) -> MultiRpc {
+        let reply_port = handle.alloc_ephemeral_port();
+        let rx = handle.bind(reply_port);
+        MultiRpc {
+            handle: handle.clone(),
+            reply_port,
+            rx,
+            stash: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Send one request; returns its id for a later [`MultiRpc::wait`].
+    /// The request goes out exactly once (never re-sent), so
+    /// non-idempotent bodies are safe.
+    pub fn send(&self, dst: NodeId, service_port: Port, body: Vec<u8>) -> Result<u64, RpcError> {
+        let request_id = NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed);
+        let request = RpcRequest {
+            request_id,
+            reply_port: self.reply_port,
+            body,
+        };
+        self.handle
+            .send_reliable(dst, service_port, request.to_bytes())?;
+        Ok(request_id)
+    }
+
+    /// Wait for the reply to `request_id`, slicing the wait into
+    /// `poll`-sized chunks and consulting `should_abort` between slices
+    /// (mirrors [`rpc_call_abortable`]). Replies to *other* outstanding
+    /// requests that arrive meanwhile are stashed, not lost.
+    pub fn wait_abortable(
+        &mut self,
+        request_id: u64,
+        deadline: std::time::Instant,
+        poll: Duration,
+        should_abort: &dyn Fn() -> bool,
+    ) -> Result<Vec<u8>, RpcError> {
+        if let Some(body) = self.stash.remove(&request_id) {
+            return Ok(body);
+        }
+        loop {
+            if should_abort() {
+                return Err(RpcError::Aborted);
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Err(RpcError::Timeout);
+            }
+            let slice = remaining.min(poll.max(Duration::from_millis(1)));
+            match self.rx.recv_timeout(slice) {
+                Ok(msg) => {
+                    let reply: RpcReply = match msg.decode_payload() {
+                        Ok(reply) => reply,
+                        Err(err) => return Err(RpcError::BadReply(err.to_string())),
+                    };
+                    if reply.request_id == request_id {
+                        return Ok(reply.body);
+                    }
+                    // A reply for another outstanding request of this
+                    // client (or a stale one from a timed-out call on the
+                    // reused port): stash it — `wait` for it may come later.
+                    self.stash.insert(reply.request_id, reply.body);
+                }
+                Err(NetError::Timeout) => continue,
+                Err(other) => return Err(RpcError::Net(other)),
+            }
+        }
+    }
+
+    /// Wait for the reply to `request_id` until `deadline`.
+    pub fn wait(
+        &mut self,
+        request_id: u64,
+        deadline: std::time::Instant,
+    ) -> Result<Vec<u8>, RpcError> {
+        self.wait_abortable(request_id, deadline, Duration::from_millis(25), &|| false)
+    }
+}
+
 /// A running RPC service on one node. Stops and joins its dispatch thread
 /// (and worker pool, if any) when [`RpcServer::shutdown`] is called or the
 /// server is dropped.
@@ -502,6 +608,44 @@ mod tests {
         assert_eq!(served.load(Ordering::Relaxed), 150);
         // Shutdown joins the dispatch thread and the whole pool.
         server.shutdown();
+    }
+
+    #[test]
+    fn multi_rpc_demultiplexes_interleaved_replies() {
+        let net = Network::reliable(3);
+        // Two services that echo their input with a distinguishing suffix;
+        // one of them answers slowly, so its reply arrives after replies
+        // to requests issued later.
+        let _slow = RpcServer::serve(net.handle(NodeId(1)), ports::USER_BASE, |body, _| {
+            std::thread::sleep(Duration::from_millis(60));
+            let mut reply = body.to_vec();
+            reply.push(1);
+            reply
+        });
+        let _fast = RpcServer::serve(net.handle(NodeId(2)), ports::USER_BASE, |body, _| {
+            let mut reply = body.to_vec();
+            reply.push(2);
+            reply
+        });
+        let client = net.handle(NodeId(0));
+        let mut multi = MultiRpc::new(&client);
+        let slow_id = multi.send(NodeId(1), ports::USER_BASE, vec![10]).unwrap();
+        let fast_id = multi.send(NodeId(2), ports::USER_BASE, vec![20]).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        // Wait for the slow reply first: the fast reply arrives in between
+        // and must be stashed, then handed out for its own wait.
+        assert_eq!(multi.wait(slow_id, deadline).unwrap(), vec![10, 1]);
+        assert_eq!(multi.wait(fast_id, deadline).unwrap(), vec![20, 2]);
+        // A wait on a crashed destination times out cleanly.
+        net.crash(NodeId(1));
+        let dead_id = multi.send(NodeId(1), ports::USER_BASE, vec![30]).unwrap();
+        let err = multi
+            .wait(
+                dead_id,
+                std::time::Instant::now() + Duration::from_millis(80),
+            )
+            .unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 pub mod adaptive;
 pub mod loads;
+pub mod pipeline;
 pub mod protocols;
 pub mod recovery;
 pub mod rtscompare;

@@ -1,0 +1,327 @@
+//! Pipelined-async invocation throughput sweep.
+//!
+//! The synchronous invocation path blocks the invoking process on every
+//! operation, so write throughput is bounded by round-trip latency. The
+//! asynchronous path (`OrcaNode::invoke_async` / `invoke_many`) keeps up to
+//! *pipeline depth* operations in flight per writer and lets the runtime
+//! system coalesce them into per-destination batches: one totally-ordered
+//! broadcast slot, or one RPC per primary/partition owner, carrying many
+//! operations. This experiment drives the JobQueue write workload at
+//! pipeline depths {1, 4, 16, 64} under the broadcast, primary-copy and
+//! sharded runtime systems and records the achieved coalescing factor and
+//! the modeled throughput.
+//!
+//! Like every other experiment in this harness, the run uses the real
+//! protocol stack and feeds the measured per-node work and communication
+//! counts into the calibrated cost model of `orca-perf` (wall-clock time on
+//! the build machine is not used — see DESIGN.md §3). Batching splits the
+//! destination-side cost in two, and the runtime systems account it that
+//! way: `updates_applied` counts one protocol-handling event **per
+//! message** (interrupt, protocol processing — the expensive part, modeled
+//! at the full update-handling cost) and `batch_ops_applied` counts the
+//! per-operation applies inside batches (lock + decode + apply, modeled at
+//! [`APPLY_SECONDS`]). At depth 1 every batch carries one operation and the
+//! model degenerates to the synchronous accounting; at depth 16 the
+//! per-message costs amortize over ~16 operations, which is where the
+//! throughput comes from. Results land in `BENCH_pipeline.json`.
+
+use std::time::{Duration, Instant};
+
+use orca_amoeba::NodeId;
+use orca_core::objects::{JobQueue, JobQueueOp};
+use orca_core::{standard_registry, BatchPolicy, OrcaConfig, OrcaRuntime, RtsStrategy};
+use orca_perf::{CostModel, NodeLoad};
+use orca_wire::Wire;
+
+/// Modeled CPU seconds for one batched per-operation apply at the
+/// destination (lock, decode, apply) — the marginal cost of one more
+/// operation in an already-received batch, a fraction of the 1.3 ms
+/// full update-handling cost that covers interrupt and protocol work.
+pub const APPLY_SECONDS: f64 = 0.06e-3;
+
+/// How long a flusher round waits for more submissions, so a depth-`D`
+/// window reliably coalesces into one batch instead of racing the flusher.
+const FLUSH_DELAY: Duration = Duration::from_micros(500);
+
+/// One point of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineRow {
+    /// Runtime-system strategy name.
+    pub strategy: &'static str,
+    /// Operations each writer keeps in flight before waiting.
+    pub depth: usize,
+    /// Simulated nodes (one writer process per node).
+    pub nodes: usize,
+    /// `AddJob` operations performed per node.
+    pub ops_per_node: usize,
+    /// Batch messages shipped in total (all nodes).
+    pub batches: u64,
+    /// Achieved coalescing factor (`ops batched / batches shipped`).
+    pub coalescing: f64,
+    /// Modeled protocol-handling time of the busiest node.
+    pub bottleneck_seconds: f64,
+    /// Modeled aggregate write throughput (`total ops / bottleneck`).
+    pub ops_per_sec: f64,
+    /// Wall-clock time of the measurement run on the build machine
+    /// (orientation only).
+    pub elapsed: Duration,
+}
+
+/// The strategies the sweep covers.
+pub fn strategies() -> Vec<(&'static str, RtsStrategy)> {
+    vec![
+        ("broadcast", RtsStrategy::broadcast()),
+        ("primary_update", RtsStrategy::primary_update()),
+        ("sharded", RtsStrategy::sharded(4)),
+    ]
+}
+
+/// Run the JobQueue write workload once per (strategy, depth).
+pub fn pipeline_throughput(
+    nodes: usize,
+    ops_per_node: usize,
+    depths: &[usize],
+) -> Vec<PipelineRow> {
+    let mut rows = Vec::new();
+    for (name, strategy) in strategies() {
+        for &depth in depths {
+            rows.push(run_one(name, strategy.clone(), nodes, ops_per_node, depth));
+        }
+    }
+    rows
+}
+
+fn run_one(
+    name: &'static str,
+    strategy: RtsStrategy,
+    nodes: usize,
+    ops_per_node: usize,
+    depth: usize,
+) -> PipelineRow {
+    let config = OrcaConfig {
+        strategy,
+        ..OrcaConfig::broadcast(nodes)
+    }
+    .with_batch(BatchPolicy {
+        max_batch: depth.max(1),
+        max_delay: FLUSH_DELAY,
+    });
+    let runtime = OrcaRuntime::start(config, standard_registry());
+    let queue: JobQueue<u64> = JobQueue::create(runtime.main()).unwrap();
+    // Warm route/regime caches so the measurement captures steady-state
+    // batched shipping, not one-time fetches.
+    let warmup: Vec<_> = (0..nodes)
+        .map(|n| {
+            runtime.fork_on(n, "warmup", move |ctx| {
+                ctx.invoke_async(queue.handle(), &JobQueueOp::AddJob(u64::MAX.to_bytes()))
+                    .wait()
+                    .unwrap();
+            })
+        })
+        .collect();
+    for handle in warmup {
+        handle.join();
+    }
+    let net_before = runtime.network_stats();
+    let rts_before = runtime.rts_stats();
+
+    let started = Instant::now();
+    let writers: Vec<_> = (0..nodes)
+        .map(|n| {
+            runtime.fork_on(n, "writer", move |ctx| {
+                let base = (n as u64) << 32;
+                let mut issued = 0u64;
+                while (issued as usize) < ops_per_node {
+                    let window = depth.min(ops_per_node - issued as usize);
+                    let ops: Vec<JobQueueOp> = (0..window as u64)
+                        .map(|i| JobQueueOp::AddJob((base | (issued + i)).to_bytes()))
+                        .collect();
+                    // Pipeline: the whole window is in flight before the
+                    // first wait.
+                    let futures = ctx.invoke_many(queue.handle(), &ops);
+                    for future in &futures {
+                        future.wait().unwrap();
+                    }
+                    issued += window as u64;
+                }
+            })
+        })
+        .collect();
+    for handle in writers {
+        handle.join();
+    }
+    let elapsed = started.elapsed();
+
+    let net_delta = runtime.network_stats().since(&net_before);
+    let rts_after = runtime.rts_stats();
+    let model = CostModel::with_unit_seconds(APPLY_SECONDS);
+    let mut batches = 0u64;
+    let mut ops_batched = 0u64;
+    let loads: Vec<NodeLoad> = (0..nodes)
+        .map(|n| {
+            let before = rts_before[n];
+            let after = rts_after[n];
+            let node_net = net_delta.node(NodeId::from(n));
+            batches += after.batches_sent - before.batches_sent;
+            ops_batched += after.ops_batched - before.ops_batched;
+            NodeLoad {
+                // Per-op applies out of batches, at the marginal apply cost.
+                work_units: after.batch_ops_applied - before.batch_ops_applied,
+                // Per-message protocol-handling events, at full cost.
+                updates_handled: after.updates_applied - before.updates_applied,
+                // Messages shipped (a batch counts once).
+                ops_shipped: (after.broadcast_writes + after.remote_writes)
+                    - (before.broadcast_writes + before.remote_writes),
+                rpcs: (after.remote_reads + after.remote_writes)
+                    - (before.remote_reads + before.remote_writes),
+                interrupts: node_net.interrupts,
+                wire_bytes: node_net.bytes_sent,
+            }
+        })
+        .collect();
+    let bottleneck_seconds = loads
+        .iter()
+        .map(|load| model.node_time(load))
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let total_ops = (nodes * ops_per_node) as f64;
+    let row = PipelineRow {
+        strategy: name,
+        depth,
+        nodes,
+        ops_per_node,
+        batches,
+        coalescing: if batches == 0 {
+            0.0
+        } else {
+            ops_batched as f64 / batches as f64
+        },
+        bottleneck_seconds,
+        ops_per_sec: total_ops / bottleneck_seconds,
+        elapsed,
+    };
+    runtime.shutdown();
+    row
+}
+
+/// Throughput ratio between the runs of `strategy` at depths `to` and
+/// `from` (`None` if either point is missing).
+pub fn speedup(rows: &[PipelineRow], strategy: &str, from: usize, to: usize) -> Option<f64> {
+    let base = rows
+        .iter()
+        .find(|r| r.strategy == strategy && r.depth == from)?;
+    let target = rows
+        .iter()
+        .find(|r| r.strategy == strategy && r.depth == to)?;
+    Some(target.ops_per_sec / base.ops_per_sec)
+}
+
+/// Format the sweep as a text table.
+pub fn format_table(rows: &[PipelineRow]) -> String {
+    let mut out =
+        String::from("# Pipelined async invocations: JobQueue write throughput vs depth\n");
+    out.push_str(
+        "strategy        depth  total_ops  batches  ops/batch  bottleneck_ms  ops/sec  wall_ms\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{:<15} {:>5}  {:>9}  {:>7}  {:>9.1}  {:>13.1}  {:>7.0}  {:>7.1}\n",
+            row.strategy,
+            row.depth,
+            row.nodes * row.ops_per_node,
+            row.batches,
+            row.coalescing,
+            row.bottleneck_seconds * 1000.0,
+            row.ops_per_sec,
+            row.elapsed.as_secs_f64() * 1000.0,
+        ));
+    }
+    for (name, _) in strategies() {
+        if let Some(ratio) = speedup(rows, name, 1, 16) {
+            out.push_str(&format!(
+                "write-throughput speedup depth 1 -> 16 ({name}): {ratio:.2}x\n"
+            ));
+        }
+    }
+    out
+}
+
+/// Serialize the sweep as the `BENCH_pipeline.json` trajectory record
+/// (hand-rolled: the workspace has no JSON dependency).
+pub fn to_json(rows: &[PipelineRow]) -> String {
+    let mut out = String::from(
+        "{\n  \"bench\": \"pipeline\",\n  \"workload\": \"jobqueue_add_async\",\n  \"results\": [\n",
+    );
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"strategy\": \"{}\", \"depth\": {}, \"nodes\": {}, \"ops_per_node\": {}, \"batches\": {}, \"ops_per_batch\": {:.2}, \"bottleneck_ms\": {:.3}, \"ops_per_sec\": {:.1}, \"wall_ms\": {:.3}}}{}\n",
+            row.strategy,
+            row.depth,
+            row.nodes,
+            row.ops_per_node,
+            row.batches,
+            row.coalescing,
+            row.bottleneck_seconds * 1000.0,
+            row.ops_per_sec,
+            row.elapsed.as_secs_f64() * 1000.0,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    let mut ratios = Vec::new();
+    for (name, _) in strategies() {
+        let ratio = speedup(rows, name, 1, 16).unwrap_or(0.0);
+        ratios.push(format!("    \"{name}\": {ratio:.3}"));
+    }
+    out.push_str("  \"speedup_depth_1_to_16\": {\n");
+    out.push_str(&ratios.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_and_serializes() {
+        // Small configuration: correctness of the harness, not performance.
+        let rows = pipeline_throughput(2, 16, &[1, 4]);
+        assert_eq!(rows.len(), strategies().len() * 2);
+        assert!(rows.iter().all(|r| r.ops_per_sec > 0.0));
+        assert!(rows.iter().all(|r| r.batches > 0));
+        let json = to_json(&rows);
+        assert!(json.contains("\"bench\": \"pipeline\""));
+        assert!(json.contains("speedup_depth_1_to_16"));
+        let table = format_table(&rows);
+        assert!(table.contains("strategy"));
+        assert!(speedup(&rows, "broadcast", 1, 16).is_none());
+        assert!(speedup(&rows, "broadcast", 1, 4).is_some());
+    }
+
+    #[test]
+    fn deeper_pipelines_coalesce_more_ops_per_batch() {
+        let rows = pipeline_throughput(2, 32, &[1, 16]);
+        for (name, _) in strategies() {
+            let shallow = rows
+                .iter()
+                .find(|r| r.strategy == name && r.depth == 1)
+                .unwrap();
+            let deep = rows
+                .iter()
+                .find(|r| r.strategy == name && r.depth == 16)
+                .unwrap();
+            assert!(
+                deep.coalescing > shallow.coalescing,
+                "{name}: depth 16 {:?} must coalesce more than depth 1 {:?}",
+                deep,
+                shallow
+            );
+            assert!(
+                deep.bottleneck_seconds < shallow.bottleneck_seconds,
+                "{name}: depth 16 {:?} must beat depth 1 {:?}",
+                deep,
+                shallow
+            );
+        }
+    }
+}

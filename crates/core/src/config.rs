@@ -3,7 +3,8 @@
 use orca_amoeba::FaultConfig;
 use orca_group::GroupConfig;
 use orca_rts::{
-    AdaptivePolicy, RecoveryConfig, ReplicationPolicy, RtsKind, ShardPolicy, WritePolicy,
+    AdaptivePolicy, BatchPolicy, RecoveryConfig, ReplicationPolicy, RtsKind, ShardPolicy,
+    WritePolicy,
 };
 
 /// Which runtime system each node runs.
@@ -107,6 +108,12 @@ pub struct OrcaConfig {
     /// heartbeat failure detector and the runtime systems re-home objects
     /// orphaned by a node failure onto survivors.
     pub recovery: RecoveryConfig,
+    /// Batching knobs of the pipelined asynchronous invocation path
+    /// ([`crate::OrcaNode::invoke_async`] / `invoke_many`): how many
+    /// pending operations one flusher round may coalesce per destination
+    /// message, and how long a round waits for more submissions.
+    /// Synchronous invocations are never batched.
+    pub batch: BatchPolicy,
 }
 
 impl OrcaConfig {
@@ -118,6 +125,7 @@ impl OrcaConfig {
             fault: FaultConfig::reliable(),
             strategy: RtsStrategy::broadcast(),
             recovery: RecoveryConfig::disabled(),
+            batch: BatchPolicy::default(),
         }
     }
 
@@ -131,6 +139,7 @@ impl OrcaConfig {
                 replication: ReplicationPolicy::default(),
             },
             recovery: RecoveryConfig::disabled(),
+            batch: BatchPolicy::default(),
         }
     }
 
@@ -142,6 +151,7 @@ impl OrcaConfig {
             fault: FaultConfig::reliable(),
             strategy: RtsStrategy::sharded(partitions),
             recovery: RecoveryConfig::disabled(),
+            batch: BatchPolicy::default(),
         }
     }
 
@@ -152,6 +162,7 @@ impl OrcaConfig {
             fault: FaultConfig::reliable(),
             strategy: RtsStrategy::adaptive(),
             recovery: RecoveryConfig::disabled(),
+            batch: BatchPolicy::default(),
         }
     }
 
@@ -164,6 +175,12 @@ impl OrcaConfig {
     /// Replace the crash-recovery configuration.
     pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Replace the asynchronous-path batching knobs.
+    pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
         self
     }
 }

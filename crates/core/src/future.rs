@@ -1,0 +1,58 @@
+//! Typed completion handles for pipelined asynchronous invocations.
+
+use std::marker::PhantomData;
+
+use orca_object::ObjectType;
+use orca_rts::PendingInvocation;
+use orca_wire::Wire;
+
+use crate::{OrcaError, OrcaResult};
+
+/// The completion handle of one asynchronous invocation
+/// ([`crate::OrcaNode::invoke_async`]).
+///
+/// Submission returns immediately; the operation is in flight (possibly
+/// coalesced with other pending operations into one batch on the wire)
+/// until [`InvocationFuture::wait`] observes its completion. Handles are
+/// cheap to move and `wait` may be called repeatedly (the result is
+/// cached).
+///
+/// **Ordering contract:** operations issued by one process on one object
+/// complete in issue order (see the `orca_rts::pipeline` module docs for
+/// the full contract, including the guarded-operation exception).
+pub struct InvocationFuture<T: ObjectType> {
+    pending: PendingInvocation,
+    _type: PhantomData<fn() -> T>,
+}
+
+impl<T: ObjectType> InvocationFuture<T> {
+    pub(crate) fn new(pending: PendingInvocation) -> Self {
+        InvocationFuture {
+            pending,
+            _type: PhantomData,
+        }
+    }
+
+    /// Block until the invocation completes and return its decoded reply.
+    pub fn wait(&self) -> OrcaResult<T::Reply> {
+        decode::<T>(self.pending.wait())
+    }
+
+    /// The decoded reply if the invocation has completed, `None` while it
+    /// is still in flight.
+    pub fn try_get(&self) -> Option<OrcaResult<T::Reply>> {
+        self.pending.try_get().map(decode::<T>)
+    }
+}
+
+impl<T: ObjectType> std::fmt::Debug for InvocationFuture<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "InvocationFuture<{}>({:?})", T::TYPE_NAME, self.pending)
+    }
+}
+
+fn decode<T: ObjectType>(result: Result<Vec<u8>, OrcaError>) -> OrcaResult<T::Reply> {
+    let bytes = result?;
+    T::Reply::from_bytes(&bytes)
+        .map_err(|err| OrcaError::Communication(format!("reply decode: {err}")))
+}

@@ -22,14 +22,16 @@
 //!   including the *replicated worker paradigm* helper in [`worker`].
 
 pub mod config;
+pub mod future;
 pub mod handle;
 pub mod objects;
 pub mod runtime;
 pub mod worker;
 
 pub use config::{OrcaConfig, RtsStrategy};
+pub use future::InvocationFuture;
 pub use handle::ObjectHandle;
-pub use orca_rts::{RecoveryConfig, ViewSnapshot};
+pub use orca_rts::{BatchPolicy, RecoveryConfig, ViewSnapshot};
 pub use runtime::{OrcaNode, OrcaRuntime};
 pub use worker::replicated_workers;
 

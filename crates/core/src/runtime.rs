@@ -41,6 +41,15 @@ impl NodeRts {
             NodeRts::Adaptive(rts) => rts.shutdown(),
         }
     }
+
+    fn set_batch_policy(&self, policy: orca_rts::BatchPolicy) {
+        match self {
+            NodeRts::Broadcast(rts) => rts.set_batch_policy(policy),
+            NodeRts::Primary(rts) => rts.set_batch_policy(policy),
+            NodeRts::Sharded(rts) => rts.set_batch_policy(policy),
+            NodeRts::Adaptive(rts) => rts.set_batch_policy(policy),
+        }
+    }
 }
 
 /// The per-process execution context: which node the process runs on and the
@@ -87,6 +96,41 @@ impl OrcaNode {
             .invoke(handle.id(), T::TYPE_NAME, kind, &op.to_bytes())?;
         T::Reply::from_bytes(&reply)
             .map_err(|err| OrcaError::Communication(format!("reply decode: {err}")))
+    }
+
+    /// Invoke an operation on a shared object *asynchronously*: submission
+    /// returns a completion handle immediately, letting this process keep
+    /// many operations in flight while the runtime system coalesces the
+    /// pending operations into per-destination batches on the wire.
+    ///
+    /// Operations issued by one process on one object complete in issue
+    /// order; a batch that dies with its destination reports a per-op
+    /// error on each handle, never silently dropping (or re-sending) an
+    /// operation. Guarded operations whose guard is false resolve through
+    /// the blocking path on [`crate::InvocationFuture::wait`] — use the
+    /// synchronous [`OrcaNode::invoke`] for synchronization points.
+    pub fn invoke_async<T: ObjectType>(
+        &self,
+        handle: ObjectHandle<T>,
+        op: &T::Op,
+    ) -> crate::InvocationFuture<T> {
+        let kind = T::kind(op);
+        let pending = self
+            .rts
+            .invoke_async(handle.id(), T::TYPE_NAME, kind, &op.to_bytes());
+        crate::InvocationFuture::new(pending)
+    }
+
+    /// Submit a whole slice of operations on one object asynchronously —
+    /// the bulk form of [`OrcaNode::invoke_async`]. The operations are
+    /// submitted (and complete) in slice order; under load they coalesce
+    /// into few wire batches.
+    pub fn invoke_many<T: ObjectType>(
+        &self,
+        handle: ObjectHandle<T>,
+        ops: &[T::Op],
+    ) -> Vec<crate::InvocationFuture<T>> {
+        ops.iter().map(|op| self.invoke_async(handle, op)).collect()
     }
 
     /// Create a new shared object from this process's node.
@@ -195,6 +239,7 @@ impl OrcaRuntime {
                     ))
                 }
             };
+            rts.set_batch_policy(config.batch);
             rtses.push(rts);
         }
         let contexts = rtses
@@ -510,6 +555,77 @@ mod tests {
             runtime.config().strategy.kind(),
             orca_rts::RtsKind::Adaptive
         );
+    }
+
+    #[test]
+    fn async_invocations_complete_in_issue_order_on_every_backend() {
+        use orca_rts::BatchPolicy;
+        let configs = [
+            OrcaConfig::broadcast(3),
+            OrcaConfig::primary_copy(3, orca_rts::WritePolicy::Update),
+            OrcaConfig::sharded(3, 4),
+            OrcaConfig::adaptive(3),
+        ];
+        for config in configs {
+            let kind = config.strategy.kind();
+            // A small flush delay so the bulk submission coalesces into
+            // few wire batches.
+            let config = config.with_batch(BatchPolicy {
+                max_batch: 64,
+                max_delay: std::time::Duration::from_millis(40),
+            });
+            let runtime = OrcaRuntime::start(config, crate::standard_registry());
+            let counter = runtime.create::<IntObject>(&0).unwrap();
+            let ctx = runtime.context(1);
+            let ops: Vec<IntOp> = (1..=20).map(IntOp::Add).collect();
+            let futures = ctx.invoke_many(counter, &ops);
+            // Completions resolve in issue order: at any instant the
+            // resolved futures form a prefix of the submission order.
+            loop {
+                // Snapshot back to front: resolution is monotone in time
+                // and in issue order, so a future seen resolved here
+                // guarantees every earlier-issued future (read afterwards)
+                // is resolved too — the prefix check cannot race the
+                // flusher resolving mid-sweep.
+                let mut resolved: Vec<bool> = futures
+                    .iter()
+                    .rev()
+                    .map(|f| f.try_get().is_some())
+                    .collect();
+                resolved.reverse();
+                let gap = resolved
+                    .iter()
+                    .position(|done| !done)
+                    .unwrap_or(resolved.len());
+                assert!(
+                    resolved[gap..].iter().all(|done| !done),
+                    "[{}] completions out of issue order: {resolved:?}",
+                    kind.name(),
+                );
+                if gap == resolved.len() {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            // Replies are the running sums of a single sequentially
+            // consistent execution in issue order.
+            let mut sum = 0i64;
+            for (i, future) in futures.iter().enumerate() {
+                sum += (i + 1) as i64;
+                assert_eq!(future.wait().unwrap(), sum, "[{}] op {i}", kind.name());
+            }
+            // The wire path really batched: 20 ops went out in (far)
+            // fewer than 20 destination messages.
+            let stats = ctx.rts_stats();
+            assert_eq!(stats.ops_batched, 20, "[{}]", kind.name());
+            assert!(
+                stats.batches_sent >= 1 && stats.batches_sent <= 5,
+                "[{}] expected coalescing, got {} batches for 20 ops",
+                kind.name(),
+                stats.batches_sent
+            );
+            runtime.shutdown();
+        }
     }
 
     #[test]

@@ -88,12 +88,13 @@ use orca_group::FailureDetector;
 use orca_object::shard::spread_owner;
 use orca_object::ShardRoute;
 use orca_object::{AnyReplica, AppliedOutcome, ObjectError, ObjectId, ObjectRegistry, OpKind};
-use orca_wire::Wire;
+use orca_wire::{BatchOp, BatchOutcome, Wire};
 use parking_lot::{Condvar, Mutex, RwLock};
 
+use crate::pipeline::{pending_pair, resolve_round, BatchPolicy, Pipeline, QueuedOp, RoundSlot};
 use crate::recovery::{is_dead, recovery_rpc, RecoveryConfig};
 use crate::stats::{AccessStats, RtsStats, RtsStatsSnapshot};
-use crate::{RtsError, RtsKind, RuntimeSystem, ViewSnapshot};
+use crate::{PendingInvocation, RtsError, RtsKind, RuntimeSystem, ViewSnapshot};
 use messages::{table_object, RegimeKind, RegimeMsg, RegimeReply, RegimeTable};
 use policy::{pick_regime, UsageAggregate};
 
@@ -204,6 +205,11 @@ struct Inner {
     lost: RwLock<HashSet<ObjectId>>,
     /// Serializes home adoptions on this node.
     adoption: Mutex<()>,
+    /// Ids for batched asynchronous operations (wire-level only; replies
+    /// are matched by batch order).
+    next_async: AtomicU64,
+    /// Batching knobs of the asynchronous path.
+    batch_policy: Arc<Mutex<BatchPolicy>>,
 }
 
 impl Inner {
@@ -217,6 +223,9 @@ impl Inner {
 pub struct AdaptiveRts {
     inner: Arc<Inner>,
     server: Arc<Mutex<Option<RpcServer>>>,
+    /// Asynchronous-invocation pipeline, started lazily on first use and
+    /// shared by all clones of this handle.
+    pipeline: Arc<Mutex<Option<Arc<Pipeline>>>>,
 }
 
 impl std::fmt::Debug for AdaptiveRts {
@@ -273,6 +282,8 @@ impl AdaptiveRts {
             detector,
             lost: RwLock::new(HashSet::new()),
             adoption: Mutex::new(()),
+            next_async: AtomicU64::new(1),
+            batch_policy: Arc::new(Mutex::new(BatchPolicy::default())),
         });
         let service_inner = Arc::clone(&inner);
         // Spawn-per-request service: regime switches and `All` fan-outs
@@ -285,6 +296,7 @@ impl AdaptiveRts {
         AdaptiveRts {
             inner,
             server: Arc::new(Mutex::new(Some(server))),
+            pipeline: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -294,6 +306,9 @@ impl AdaptiveRts {
     /// Idempotent.
     pub fn shutdown(&self) {
         self.inner.stopped.store(true, Ordering::SeqCst);
+        if let Some(pipeline) = self.pipeline.lock().take() {
+            pipeline.shutdown();
+        }
         if let Some(server) = self.server.lock().take() {
             server.shutdown();
         }
@@ -461,6 +476,251 @@ impl AdaptiveRts {
             let deadline = Instant::now() + self.inner.policy.op_timeout;
             let _ = self.rpc(home, &msg, deadline);
         }
+    }
+
+    /// Set the batching knobs of the asynchronous invocation path (takes
+    /// effect from the next flusher round).
+    pub fn set_batch_policy(&self, policy: BatchPolicy) {
+        *self.inner.batch_policy.lock() = policy;
+    }
+
+    /// A clone of this handle whose `pipeline` cell is fresh and empty, for
+    /// capture by the flusher and retry closures: capturing `self` directly
+    /// would create an `Arc` cycle (pipeline → closure → handle →
+    /// pipeline) and leak the runtime system.
+    fn detached(&self) -> AdaptiveRts {
+        AdaptiveRts {
+            inner: Arc::clone(&self.inner),
+            server: Arc::clone(&self.server),
+            pipeline: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// The asynchronous-invocation pipeline, started on first use.
+    fn ensure_pipeline(&self) -> Arc<Pipeline> {
+        let mut guard = self.pipeline.lock();
+        if let Some(pipeline) = guard.as_ref() {
+            return Arc::clone(pipeline);
+        }
+        let rts = self.detached();
+        let pipeline = Arc::new(Pipeline::start(
+            format!("rts-pipe-{}", self.inner.node),
+            Arc::clone(&self.inner.batch_policy),
+            move |ops| rts.run_round(ops),
+        ));
+        *guard = Some(Arc::clone(&pipeline));
+        pipeline
+    }
+
+    /// Execute one flusher round. The adaptive system *inherits* batching
+    /// through the regime each object currently delegates to: slot-addressed
+    /// operations (the primary regime's home copy, replicated-regime
+    /// writes, `One`-routed sharded operations) coalesce into one
+    /// epoch-stamped [`RegimeMsg::OpBatch`] per destination node; mirror
+    /// reads stay local; `All`/`Any` fan-outs act as barriers. Operations
+    /// bounced by a regime switch (`Stale`) retry in a follow-up pass.
+    /// Every handle resolves in issue order at the end of the round.
+    fn run_round(&self, ops: Vec<QueuedOp>) {
+        let deadline = Instant::now() + self.inner.policy.op_timeout;
+        let mut slots: Vec<RoundSlot> = ops.iter().map(|_| RoundSlot::Todo).collect();
+        let mut todo: Vec<usize> = (0..ops.len()).collect();
+        loop {
+            todo = self.execute_pass(&ops, &todo, &mut slots, deadline);
+            if todo.is_empty()
+                || Instant::now() >= deadline
+                || self.inner.stopped.load(Ordering::SeqCst)
+            {
+                break;
+            }
+            for &i in &todo {
+                self.inner.routes.lock().remove(&ops[i].object);
+            }
+            std::thread::sleep(STALE_RETRY_DELAY);
+        }
+        resolve_round(ops, slots);
+    }
+
+    /// One pass over the still-unexecuted operations of a round. Returns
+    /// the indices that must be retried (regime switch in flight), in
+    /// issue order.
+    fn execute_pass(
+        &self,
+        ops: &[QueuedOp],
+        todo: &[usize],
+        slots: &mut [RoundSlot],
+        deadline: Instant,
+    ) -> Vec<usize> {
+        let mut stale: Vec<usize> = Vec::new();
+        // Per-destination pending (index, op) batches, in first-touch order.
+        let mut batches: Vec<(NodeId, Vec<(usize, BatchOp)>)> = Vec::new();
+        for &i in todo {
+            let op = &ops[i];
+            // An earlier operation on this object bounced in this pass;
+            // executing a later one now would invert their effects.
+            if stale.iter().any(|&s| ops[s].object == op.object) {
+                stale.push(i);
+                continue;
+            }
+            let table = match self.route_for(op.object, deadline) {
+                Ok(table) => table,
+                Err(err) => {
+                    slots[i] = RoundSlot::Ready(Err(err));
+                    continue;
+                }
+            };
+            let me = self.inner.node.0;
+            match table.regime {
+                RegimeKind::Primary => {
+                    self.push_batched(&mut batches, &table, i, op, 0, &op.op);
+                }
+                RegimeKind::Replicated => {
+                    if op.kind == OpKind::Read && table.owners[0] != me {
+                        // Barrier before the local mirror read: this
+                        // process's earlier batched writes must be visible
+                        // to it (the home pushes mirror updates before it
+                        // acknowledges a batch, so flushing first gives
+                        // read-your-writes).
+                        self.flush_batches(&mut batches, &mut stale, slots, deadline);
+                        if stale.iter().any(|&s| ops[s].object == op.object) {
+                            stale.push(i);
+                            continue;
+                        }
+                        // Local mirror read (fetching/re-syncing as needed).
+                        slots[i] = match self.mirror_read(&table, &op.op, deadline) {
+                            Ok(PartOutcome::Done(reply)) => RoundSlot::Ready(Ok(reply)),
+                            Ok(PartOutcome::Blocked) => RoundSlot::Blocked,
+                            Ok(PartOutcome::Stale) => {
+                                stale.push(i);
+                                continue;
+                            }
+                            Err(err) => RoundSlot::Ready(Err(err)),
+                        };
+                    } else {
+                        self.push_batched(&mut batches, &table, i, op, 0, &op.op);
+                    }
+                }
+                RegimeKind::Sharded => {
+                    let logic = match self.inner.registry.shard_logic(&table.type_name) {
+                        Some(logic) => logic,
+                        None => {
+                            slots[i] = RoundSlot::Ready(Err(RtsError::Object(
+                                ObjectError::UnknownType(table.type_name.clone()),
+                            )));
+                            continue;
+                        }
+                    };
+                    let routed =
+                        logic
+                            .route(&op.op, table.partitions())
+                            .and_then(|route| match route {
+                                ShardRoute::One(partition) => logic
+                                    .op_for(&op.op, partition, table.partitions())
+                                    .map(|part_op| (route, Some((partition, part_op)))),
+                                _ => Ok((route, None)),
+                            });
+                    match routed {
+                        Ok((ShardRoute::One(_), Some((partition, part_op)))) => {
+                            self.push_batched(&mut batches, &table, i, op, partition, &part_op);
+                        }
+                        Ok((route, _)) => {
+                            // Barrier: whole-object operations must order
+                            // against every batched operation before them.
+                            self.flush_batches(&mut batches, &mut stale, slots, deadline);
+                            if stale.iter().any(|&s| ops[s].object == op.object) {
+                                stale.push(i);
+                                continue;
+                            }
+                            slots[i] = match route {
+                                ShardRoute::Any => {
+                                    match self.any_partition_op(
+                                        &table,
+                                        logic.as_ref(),
+                                        &op.op,
+                                        deadline,
+                                    ) {
+                                        Ok(PartOutcome::Done(reply)) => RoundSlot::Ready(Ok(reply)),
+                                        Ok(PartOutcome::Blocked) => RoundSlot::Blocked,
+                                        Ok(PartOutcome::Stale) => {
+                                            stale.push(i);
+                                            continue;
+                                        }
+                                        Err(err) => RoundSlot::Ready(Err(err)),
+                                    }
+                                }
+                                // `All`-routed operations run to completion
+                                // inline (the home's switch lock owns their
+                                // fan-out discipline).
+                                _ => RoundSlot::Ready(self.invoke(
+                                    op.object,
+                                    &table.type_name,
+                                    op.kind,
+                                    &op.op,
+                                )),
+                            };
+                        }
+                        Err(err) => slots[i] = RoundSlot::Ready(Err(err.into())),
+                    }
+                }
+            }
+        }
+        self.flush_batches(&mut batches, &mut stale, slots, deadline);
+        stale
+    }
+
+    /// Append one slot-addressed op to its serving node's pending batch,
+    /// stamped with the epoch the current table carries.
+    fn push_batched(
+        &self,
+        batches: &mut Vec<(NodeId, Vec<(usize, BatchOp)>)>,
+        table: &RegimeTable,
+        index: usize,
+        op: &QueuedOp,
+        partition: u32,
+        part_op: &[u8],
+    ) {
+        let owner = NodeId(table.owners[partition as usize]);
+        let batch_op = BatchOp {
+            id: self.inner.next_async.fetch_add(1, Ordering::Relaxed),
+            object: op.object.0,
+            partition,
+            epoch: table.epoch,
+            op: part_op.to_vec(),
+        };
+        match batches.iter_mut().find(|(dest, _)| *dest == owner) {
+            Some((_, list)) => list.push((index, batch_op)),
+            None => batches.push((owner, vec![(index, batch_op)])),
+        }
+    }
+
+    /// Ship every pending per-destination batch through the shared
+    /// reply-demultiplexing flusher (see
+    /// [`crate::pipeline::flush_op_batches`] for the failure contract).
+    fn flush_batches(
+        &self,
+        batches: &mut Vec<(NodeId, Vec<(usize, BatchOp)>)>,
+        stale: &mut Vec<usize>,
+        slots: &mut [RoundSlot],
+        deadline: Instant,
+    ) {
+        let inner = &self.inner;
+        crate::pipeline::flush_op_batches(
+            &inner.handle,
+            inner.node,
+            ports::RTS_ADAPTIVE,
+            &inner.stats,
+            &inner.detector,
+            batches,
+            stale,
+            slots,
+            deadline,
+            &|ops| apply_op_batch(inner, ops, inner.node),
+            &|ops| RegimeMsg::OpBatch { ops }.to_bytes(),
+            &|bytes| match RegimeReply::from_bytes(bytes) {
+                Ok(RegimeReply::Batch(outcomes)) => Ok(outcomes),
+                Ok(other) => Err(format!("unexpected OpBatch reply {other:?}")),
+                Err(err) => Err(format!("bad reply: {err}")),
+            },
+        );
     }
 
     /// Record invocation-level statistics once the routing decision is
@@ -857,6 +1117,41 @@ impl RuntimeSystem for AdaptiveRts {
         }
     }
 
+    fn invoke_async(
+        &self,
+        object: ObjectId,
+        type_name: &str,
+        kind: OpKind,
+        op: &[u8],
+    ) -> PendingInvocation {
+        if self.inner.stopped.load(Ordering::SeqCst) {
+            return PendingInvocation::ready(Err(RtsError::Terminated));
+        }
+        if self.inner.is_lost(object) {
+            return PendingInvocation::ready(Err(RtsError::ObjectLost(object)));
+        }
+        if kind == OpKind::Write {
+            RtsStats::bump(&self.inner.stats.writes);
+        }
+        // The access evidence driving regime decisions counts logical
+        // invocations, exactly like the synchronous path.
+        self.note_access(object, kind);
+        let retry = {
+            let rts = self.detached();
+            let type_name = type_name.to_string();
+            let op = op.to_vec();
+            Arc::new(move || rts.invoke(object, &type_name, kind, &op))
+        };
+        let (handle, completer) = pending_pair(retry);
+        self.ensure_pipeline().submit(QueuedOp {
+            object,
+            kind,
+            op: op.to_vec(),
+            completer,
+        });
+        handle
+    }
+
     fn stats(&self) -> RtsStatsSnapshot {
         self.inner.stats.snapshot()
     }
@@ -934,6 +1229,7 @@ fn dispatch(inner: &Arc<Inner>, msg: RegimeMsg, caller: NodeId) -> RegimeReply {
             partition,
             op,
         } => apply_at_slot(inner, ObjectId(object), partition, epoch, &op, caller),
+        RegimeMsg::OpBatch { ops } => RegimeReply::Batch(apply_op_batch(inner, &ops, caller)),
         RegimeMsg::OpAll { object, op } => serve_op_all(inner, ObjectId(object), &op, caller),
         RegimeMsg::Propose { object } => {
             let object = ObjectId(object);
@@ -1133,6 +1429,40 @@ fn adopt_object(inner: &Arc<Inner>, object: ObjectId) -> Result<Arc<HomeObject>,
         }
     }
     Ok(entry)
+}
+
+/// Apply one received operation batch, op by op in issue order, through
+/// the same epoch-checked slot path as single operations. Replicated-
+/// regime writes push their mirror updates per op (the slot's ordered
+/// update stream), so batching never reorders the mirror sequence.
+fn apply_op_batch(inner: &Arc<Inner>, ops: &[BatchOp], caller: NodeId) -> Vec<BatchOutcome> {
+    // One protocol-handling event for the whole message, one apply per op
+    // — the accounting split the cost model relies on.
+    if caller != inner.node {
+        RtsStats::bump(&inner.stats.updates_applied);
+    }
+    ops.iter()
+        .map(|op| {
+            RtsStats::bump(&inner.stats.batch_ops_applied);
+            // `caller = inner.node` suppresses the per-op
+            // `updates_applied` bump inside `apply_at_slot`; the
+            // per-message event was counted above.
+            match apply_at_slot(
+                inner,
+                ObjectId(op.object),
+                op.partition,
+                op.epoch,
+                &op.op,
+                inner.node,
+            ) {
+                RegimeReply::Done(reply) => BatchOutcome::Done(reply),
+                RegimeReply::Blocked => BatchOutcome::Blocked,
+                RegimeReply::StaleRegime => BatchOutcome::Stale,
+                RegimeReply::Error(msg) => BatchOutcome::Failed(msg),
+                other => BatchOutcome::Failed(format!("unexpected slot reply {other:?}")),
+            }
+        })
+        .collect()
 }
 
 /// Execute an operation on a locally-served authoritative slot, honoring

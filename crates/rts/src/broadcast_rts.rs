@@ -27,11 +27,12 @@ use orca_group::{Delivered, GroupConfig, GroupMember, GroupSender, GroupStatsSna
 use orca_object::{
     AnyReplica, AppliedOutcome, ObjectDescriptor, ObjectError, ObjectId, ObjectRegistry, OpKind,
 };
-use orca_wire::{Decoder, Encoder, Wire, WireError, WireResult};
+use orca_wire::{BatchOp, Decoder, Encoder, OpBatch, Wire, WireError, WireResult};
 use parking_lot::{Condvar, Mutex};
 
+use crate::pipeline::{pending_pair, BatchPolicy, Pipeline, QueuedOp};
 use crate::stats::{RtsStats, RtsStatsSnapshot};
-use crate::{RtsError, RtsKind, RuntimeSystem};
+use crate::{PendingInvocation, RtsError, RtsKind, RuntimeSystem};
 
 /// Message shipped through the totally-ordered broadcast by this RTS.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,11 +57,18 @@ enum RtsBroadcastMsg {
     /// total order as the operation it cancels, so every manager makes the
     /// identical drop/apply decision: if the withdraw is delivered first,
     /// the operation is dropped *everywhere* when (if ever) it arrives —
-    /// the at-most-once guarantee behind [`RtsError::Timeout`].
+    /// the at-most-once guarantee behind [`RtsError::Timeout`]. A batch id
+    /// may be withdrawn the same way, cancelling the whole batch
+    /// atomically.
     Withdraw {
-        /// Invocation id being withdrawn.
+        /// Invocation (or batch) id being withdrawn.
         invocation: u64,
     },
+    /// Apply a *batch* of write operations in one total-order slot: every
+    /// manager applies the ops in batch order, back to back, so the batch
+    /// occupies one slot of the global order and either applies as a whole
+    /// or (when its withdraw was ordered first) not at all.
+    WriteBatch(OpBatch),
 }
 
 impl Wire for RtsBroadcastMsg {
@@ -88,6 +96,10 @@ impl Wire for RtsBroadcastMsg {
                 enc.put_u8(2);
                 invocation.encode(enc);
             }
+            RtsBroadcastMsg::WriteBatch(batch) => {
+                enc.put_u8(3);
+                batch.encode(enc);
+            }
         }
     }
     fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
@@ -104,6 +116,7 @@ impl Wire for RtsBroadcastMsg {
             2 => Ok(RtsBroadcastMsg::Withdraw {
                 invocation: Wire::decode(dec)?,
             }),
+            3 => Ok(RtsBroadcastMsg::WriteBatch(Wire::decode(dec)?)),
             tag => Err(WireError::InvalidTag {
                 type_name: "RtsBroadcastMsg",
                 tag: u64::from(tag),
@@ -164,6 +177,15 @@ struct ObjectEntry {
     changed: Condvar,
 }
 
+/// What the local manager reports back to the flusher about one of its own
+/// batches, once the batch's total-order slot has been consumed.
+enum BatchDelivery {
+    /// The batch was applied; one result per op, in batch order.
+    Applied(Vec<InvocationResult>),
+    /// The batch's withdraw was ordered first: no op applied anywhere.
+    Withdrawn,
+}
+
 struct Inner {
     node: NodeId,
     num_nodes: usize,
@@ -172,12 +194,18 @@ struct Inner {
     objects: Mutex<HashMap<ObjectId, Arc<ObjectEntry>>>,
     object_created: Condvar,
     pending: Mutex<HashMap<u64, Sender<InvocationResult>>>,
+    /// In-flight batches of this node's asynchronous pipeline, keyed by
+    /// batch id (same namespace as invocation ids, so the withdraw
+    /// protocol covers batches).
+    pending_batches: Mutex<HashMap<u64, Sender<BatchDelivery>>>,
     withdrawn: Mutex<WithdrawnOps>,
     next_invocation: AtomicU64,
     next_object: AtomicU64,
     /// Per-invocation deadline in milliseconds (see
     /// [`BroadcastRts::set_op_timeout`]).
     op_timeout_ms: AtomicU64,
+    /// Batching knobs of the asynchronous path.
+    batch_policy: Arc<Mutex<BatchPolicy>>,
     stats: Arc<RtsStats>,
     stopped: AtomicBool,
 }
@@ -193,6 +221,9 @@ impl Inner {
 pub struct BroadcastRts {
     inner: Arc<Inner>,
     manager: Arc<Mutex<Option<JoinHandle<()>>>>,
+    /// Asynchronous-invocation pipeline, started lazily on first use and
+    /// shared by all clones of this handle.
+    pipeline: Arc<Mutex<Option<Arc<Pipeline>>>>,
 }
 
 impl std::fmt::Debug for BroadcastRts {
@@ -234,10 +265,12 @@ impl BroadcastRts {
             objects: Mutex::new(HashMap::new()),
             object_created: Condvar::new(),
             pending: Mutex::new(HashMap::new()),
+            pending_batches: Mutex::new(HashMap::new()),
             withdrawn: Mutex::new(WithdrawnOps::default()),
             next_invocation: AtomicU64::new(1),
             next_object: AtomicU64::new(1),
             op_timeout_ms: AtomicU64::new(DEFAULT_INVOCATION_TIMEOUT.as_millis() as u64),
+            batch_policy: Arc::new(Mutex::new(BatchPolicy::default())),
             stats: RtsStats::new_shared(),
             stopped: AtomicBool::new(false),
         });
@@ -249,6 +282,7 @@ impl BroadcastRts {
         BroadcastRts {
             inner,
             manager: Arc::new(Mutex::new(Some(manager))),
+            pipeline: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -279,6 +313,22 @@ impl BroadcastRts {
         for tx in parked {
             let _ = tx.send(InvocationResult::Withdrawn);
         }
+        // Same for in-flight batches of the asynchronous pipeline, then
+        // stop the flusher (its waits re-check `stopped`, so the join is
+        // prompt).
+        let parked_batches: Vec<Sender<BatchDelivery>> = self
+            .inner
+            .pending_batches
+            .lock()
+            .drain()
+            .map(|(_, tx)| tx)
+            .collect();
+        for tx in parked_batches {
+            let _ = tx.send(BatchDelivery::Withdrawn);
+        }
+        if let Some(pipeline) = self.pipeline.lock().take() {
+            pipeline.shutdown();
+        }
         if let Some(handle) = self.manager.lock().take() {
             let _ = handle.join();
         }
@@ -300,6 +350,12 @@ impl BroadcastRts {
         self.inner
             .op_timeout_ms
             .store(timeout.as_millis() as u64, Ordering::Relaxed);
+    }
+
+    /// Set the batching knobs of the asynchronous invocation path (takes
+    /// effect from the next flusher round).
+    pub fn set_batch_policy(&self, policy: BatchPolicy) {
+        *self.inner.batch_policy.lock() = policy;
     }
 
     fn next_invocation(&self) -> (u64, crossbeam::channel::Receiver<InvocationResult>) {
@@ -386,6 +442,184 @@ impl BroadcastRts {
             Ok(result) => result,
             Err(_) => give_up(&self.inner),
         }
+    }
+
+    /// A clone of this handle whose `pipeline` cell is fresh and empty, for
+    /// capture by the flusher and retry closures: capturing `self` directly
+    /// would create an `Arc` cycle (pipeline → closure → handle →
+    /// pipeline) and leak the runtime system.
+    fn detached(&self) -> BroadcastRts {
+        BroadcastRts {
+            inner: Arc::clone(&self.inner),
+            manager: Arc::clone(&self.manager),
+            pipeline: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// The asynchronous-invocation pipeline, started on first use.
+    fn ensure_pipeline(&self) -> Arc<Pipeline> {
+        let mut guard = self.pipeline.lock();
+        if let Some(pipeline) = guard.as_ref() {
+            return Arc::clone(pipeline);
+        }
+        let rts = self.detached();
+        let pipeline = Arc::new(Pipeline::start(
+            format!("rts-pipe-{}", self.inner.node),
+            Arc::clone(&self.inner.batch_policy),
+            move |ops| rts.run_round(ops),
+        ));
+        *guard = Some(Arc::clone(&pipeline));
+        pipeline
+    }
+
+    /// Execute one flusher round: consecutive writes coalesce into one
+    /// [`RtsBroadcastMsg::WriteBatch`] (one total-order slot); a read waits
+    /// for the preceding writes' slot to be consumed locally, then executes
+    /// on the local replica — so every operation of the round completes in
+    /// issue order.
+    fn run_round(&self, ops: Vec<QueuedOp>) {
+        let mut writes: Vec<QueuedOp> = Vec::new();
+        for op in ops {
+            match op.kind {
+                OpKind::Write => writes.push(op),
+                OpKind::Read => {
+                    if !writes.is_empty() {
+                        self.send_write_batch(std::mem::take(&mut writes));
+                    }
+                    self.async_local_read(op);
+                }
+            }
+        }
+        if !writes.is_empty() {
+            self.send_write_batch(writes);
+        }
+    }
+
+    /// One non-blocking local read on behalf of the asynchronous path; a
+    /// false guard resolves the handle `Blocked` (the caller's `wait()`
+    /// re-issues through the blocking path) instead of stalling the round.
+    fn async_local_read(&self, op: QueuedOp) {
+        let entry = match self.wait_for_object(op.object) {
+            Ok(entry) => entry,
+            Err(err) => return op.completer.complete(Err(err)),
+        };
+        let outcome = entry.replica.lock().apply_encoded(&op.op);
+        match outcome {
+            Ok(AppliedOutcome::Done(reply)) => {
+                RtsStats::bump(&self.inner.stats.local_reads);
+                op.completer.complete(Ok(reply));
+            }
+            Ok(AppliedOutcome::Blocked) => op.completer.complete_blocked(),
+            Err(err) => op.completer.complete(Err(err.into())),
+        }
+    }
+
+    /// Broadcast one batch of writes in one total-order slot and resolve
+    /// every handle (in batch order) once the local manager has applied —
+    /// or withdrawn — the batch.
+    fn send_write_batch(&self, writes: Vec<QueuedOp>) {
+        let fail_all = |writes: &[QueuedOp], err: RtsError| {
+            for write in writes {
+                write.completer.complete(Err(err.clone()));
+            }
+        };
+        if self.inner.stopped.load(Ordering::SeqCst) {
+            return fail_all(&writes, RtsError::Terminated);
+        }
+        let batch_id = self.inner.next_invocation.fetch_add(1, Ordering::Relaxed);
+        let ops: Vec<BatchOp> = writes
+            .iter()
+            .map(|write| BatchOp {
+                id: self.inner.next_invocation.fetch_add(1, Ordering::Relaxed),
+                object: write.object.0,
+                partition: 0,
+                epoch: 0,
+                op: write.op.clone(),
+            })
+            .collect();
+        let (tx, rx) = bounded(1);
+        self.inner.pending_batches.lock().insert(batch_id, tx);
+        // Re-check after the insert so a racing shutdown's drain cannot
+        // strand this batch (mirrors the single-write discipline).
+        if self.inner.stopped.load(Ordering::SeqCst) {
+            self.inner.pending_batches.lock().remove(&batch_id);
+            return fail_all(&writes, RtsError::Terminated);
+        }
+        RtsStats::bump(&self.inner.stats.broadcast_writes);
+        RtsStats::bump(&self.inner.stats.batches_sent);
+        self.inner
+            .stats
+            .ops_batched
+            .fetch_add(writes.len() as u64, Ordering::Relaxed);
+        let msg = RtsBroadcastMsg::WriteBatch(OpBatch {
+            batch: batch_id,
+            ops,
+        });
+        if let Err(err) = self.broadcast(&msg) {
+            self.inner.pending_batches.lock().remove(&batch_id);
+            return fail_all(&writes, err);
+        }
+        match self.await_batch(batch_id, &rx, true) {
+            BatchDelivery::Applied(results) => {
+                debug_assert_eq!(results.len(), writes.len());
+                for (write, result) in writes.iter().zip(results) {
+                    match result {
+                        InvocationResult::Done(reply) => write.completer.complete(Ok(reply)),
+                        InvocationResult::Failed(err) => write.completer.complete(Err(err.into())),
+                        InvocationResult::Blocked => write.completer.complete_blocked(),
+                        InvocationResult::Withdrawn => {
+                            write.completer.complete(Err(RtsError::Timeout))
+                        }
+                    }
+                }
+            }
+            BatchDelivery::Withdrawn => {
+                let err = if self.inner.stopped.load(Ordering::SeqCst) {
+                    RtsError::Terminated
+                } else {
+                    RtsError::Timeout
+                };
+                fail_all(&writes, err);
+            }
+        }
+    }
+
+    /// Wait (in shutdown-aware slices) for the local manager to consume the
+    /// batch's slot. On deadline expiry, withdraw the batch — the race
+    /// resolves in total order exactly as for single writes — and wait once
+    /// more; if the group layer stays silent the batch is abandoned as
+    /// withdrawn (per-op `Timeout`, the documented residual).
+    fn await_batch(
+        &self,
+        batch_id: u64,
+        rx: &crossbeam::channel::Receiver<BatchDelivery>,
+        withdraw_on_timeout: bool,
+    ) -> BatchDelivery {
+        let deadline = Instant::now() + self.inner.op_timeout();
+        loop {
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(delivery) => return delivery,
+                Err(_) => {
+                    if self.inner.stopped.load(Ordering::SeqCst) || Instant::now() >= deadline {
+                        break;
+                    }
+                }
+            }
+        }
+        if withdraw_on_timeout
+            && !self.inner.stopped.load(Ordering::SeqCst)
+            && self
+                .broadcast(&RtsBroadcastMsg::Withdraw {
+                    invocation: batch_id,
+                })
+                .is_ok()
+        {
+            return self.await_batch(batch_id, rx, false);
+        }
+        self.inner.pending_batches.lock().remove(&batch_id);
+        // A delivery that raced the removal still sits in the channel;
+        // honor it rather than discarding real results.
+        rx.try_recv().unwrap_or(BatchDelivery::Withdrawn)
     }
 
     fn broadcast_write(&self, object: ObjectId, op: &[u8]) -> Result<Vec<u8>, RtsError> {
@@ -521,6 +755,35 @@ impl RuntimeSystem for BroadcastRts {
         }
     }
 
+    fn invoke_async(
+        &self,
+        object: ObjectId,
+        type_name: &str,
+        kind: OpKind,
+        op: &[u8],
+    ) -> PendingInvocation {
+        if self.inner.stopped.load(Ordering::SeqCst) {
+            return PendingInvocation::ready(Err(RtsError::Terminated));
+        }
+        if kind == OpKind::Write {
+            RtsStats::bump(&self.inner.stats.writes);
+        }
+        let retry = {
+            let rts = self.detached();
+            let type_name = type_name.to_string();
+            let op = op.to_vec();
+            Arc::new(move || rts.invoke(object, &type_name, kind, &op))
+        };
+        let (handle, completer) = pending_pair(retry);
+        self.ensure_pipeline().submit(QueuedOp {
+            object,
+            kind,
+            op: op.to_vec(),
+            completer,
+        });
+        handle
+    }
+
     fn stats(&self) -> RtsStatsSnapshot {
         self.inner.stats.snapshot()
     }
@@ -588,6 +851,32 @@ fn handle_delivery(inner: &Arc<Inner>, delivered: Delivered) {
             inner.withdrawn.lock().mark((origin.0, invocation));
             if origin == inner.node {
                 complete(inner, invocation, InvocationResult::Withdrawn);
+                complete_batch(inner, invocation, BatchDelivery::Withdrawn);
+            }
+        }
+        RtsBroadcastMsg::WriteBatch(batch) => {
+            if inner.withdrawn.lock().take(&(origin.0, batch.batch)) {
+                // Withdrawn before delivery: the whole batch is dropped by
+                // every manager — no partial application anywhere.
+                if origin == inner.node {
+                    complete_batch(inner, batch.batch, BatchDelivery::Withdrawn);
+                }
+                return;
+            }
+            // One protocol-handling event for the whole slot, then one
+            // apply per op — the accounting split the cost model relies
+            // on (`updates_applied` per message, `batch_ops_applied` per
+            // op).
+            if origin != inner.node {
+                RtsStats::bump(&inner.stats.updates_applied);
+            }
+            let mut results = Vec::with_capacity(batch.ops.len());
+            for op in &batch.ops {
+                RtsStats::bump(&inner.stats.batch_ops_applied);
+                results.push(apply_batch_op(inner, ObjectId(op.object), &op.op));
+            }
+            if origin == inner.node {
+                complete_batch(inner, batch.batch, BatchDelivery::Applied(results));
             }
         }
     }
@@ -642,6 +931,33 @@ fn apply_write(
 fn complete(inner: &Arc<Inner>, invocation: u64, result: InvocationResult) {
     if let Some(tx) = inner.pending.lock().remove(&invocation) {
         let _ = tx.send(result);
+    }
+}
+
+fn complete_batch(inner: &Arc<Inner>, batch: u64, delivery: BatchDelivery) {
+    if let Some(tx) = inner.pending_batches.lock().remove(&batch) {
+        let _ = tx.send(delivery);
+    }
+}
+
+/// Apply one op of a delivered batch (the per-message accounting happened
+/// at the caller; this is the bare ordered apply).
+fn apply_batch_op(inner: &Arc<Inner>, object: ObjectId, op: &[u8]) -> InvocationResult {
+    let entry = {
+        let objects = inner.objects.lock();
+        match objects.get(&object) {
+            Some(entry) => Arc::clone(entry),
+            None => return InvocationResult::Failed(ObjectError::NoSuchObject(object)),
+        }
+    };
+    let mut replica = entry.replica.lock();
+    match replica.apply_encoded(op) {
+        Ok(AppliedOutcome::Done(reply)) => {
+            entry.changed.notify_all();
+            InvocationResult::Done(reply)
+        }
+        Ok(AppliedOutcome::Blocked) => InvocationResult::Blocked,
+        Err(err) => InvocationResult::Failed(err),
     }
 }
 

@@ -65,6 +65,7 @@
 
 pub mod adaptive;
 pub mod broadcast_rts;
+pub mod pipeline;
 pub mod primary;
 pub mod recovery;
 pub mod sharded;
@@ -74,6 +75,7 @@ pub use adaptive::{AdaptivePolicy, AdaptiveRts};
 pub use broadcast_rts::BroadcastRts;
 pub use orca_group::{FailureConfig, FailureDetector, ViewSnapshot};
 pub use orca_wire::RegimeKind;
+pub use pipeline::{BatchPolicy, PendingInvocation};
 pub use primary::{PrimaryCopyRts, ReplicationPolicy, WritePolicy};
 pub use recovery::RecoveryConfig;
 pub use sharded::{ShardPlacement, ShardPolicy, ShardedRts};
@@ -187,6 +189,25 @@ pub trait RuntimeSystem: Send + Sync {
         kind: OpKind,
         op: &[u8],
     ) -> Result<Vec<u8>, RtsError>;
+
+    /// Invoke an encoded operation *asynchronously*: submission returns a
+    /// completion handle immediately, letting one process keep many
+    /// operations in flight while the runtime system coalesces pending
+    /// operations into per-destination batches (see
+    /// [`pipeline`] module for the ordering and failure
+    /// contracts). The default implementation is the blocking fallback:
+    /// it executes the operation synchronously and returns an
+    /// already-resolved handle, which is correct (but unpipelined) for any
+    /// runtime system.
+    fn invoke_async(
+        &self,
+        object: ObjectId,
+        type_name: &str,
+        kind: OpKind,
+        op: &[u8],
+    ) -> PendingInvocation {
+        PendingInvocation::ready(self.invoke(object, type_name, kind, op))
+    }
 
     /// Snapshot of this node's runtime-system statistics.
     fn stats(&self) -> RtsStatsSnapshot;

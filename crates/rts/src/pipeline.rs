@@ -1,0 +1,568 @@
+//! Pipelined asynchronous invocations: completion handles, the per-node
+//! submission queue, and the batching knobs shared by all four runtime
+//! systems.
+//!
+//! The paper's runtime systems block the invoking process on every
+//! operation, so throughput is bounded by round-trip latency. The
+//! asynchronous path decouples *invocation* from *completion*: a process
+//! submits an operation and receives a [`PendingInvocation`] handle
+//! immediately; the node's runtime system keeps a FIFO of submitted
+//! operations and a flusher thread that ships them in *batches* — one
+//! totally-ordered broadcast slot, one RPC to a primary, one RPC per
+//! partition owner — coalescing up to [`BatchPolicy::max_batch`] operations
+//! per destination message (group commit: while one round is in flight, the
+//! next round accumulates).
+//!
+//! # Ordering contract
+//!
+//! Operations submitted by one node's processes are executed and their
+//! completions resolved in **issue order**: each flusher round takes a
+//! FIFO prefix of the queue, executes it (batches are applied in order at
+//! their destination), and resolves every handle of the round in issue
+//! order before the next round is cut. In particular, operations issued by
+//! one process on one object complete in the order they were issued. The
+//! single deliberate exception is a *guarded* operation whose guard is
+//! false at apply time: it takes no effect, its handle resolves on
+//! [`PendingInvocation::wait`] through the synchronous retry path, and
+//! later operations do not wait for its guard — pipelining is for
+//! non-blocking operations, synchronization points should use the
+//! synchronous API.
+//!
+//! # Failure contract
+//!
+//! A batch that dies with its destination reports a **per-operation**
+//! outcome: every handle of the batch resolves with
+//! [`RtsError::NodeDown`] / [`RtsError::Timeout`] — no operation is
+//! silently dropped, and the asynchronous path never re-sends an operation
+//! across a node failure on its own (the destination may have applied it
+//! before crashing), so no acknowledged operation is ever doubly applied.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use orca_amoeba::network::NetworkHandle;
+use orca_amoeba::rpc::{MultiRpc, RpcError};
+use orca_amoeba::{NodeId, Port};
+use orca_group::FailureDetector;
+use orca_object::{ObjectId, OpKind};
+use orca_wire::{BatchOp, BatchOutcome};
+use parking_lot::{Condvar, Mutex};
+
+use crate::recovery::is_dead;
+use crate::stats::RtsStats;
+use crate::RtsError;
+
+/// Batching knobs of the asynchronous invocation path (`OrcaConfig::batch`).
+///
+/// Synchronous invocations are never batched; these knobs only shape how
+/// the flusher cuts rounds out of the asynchronous submission queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Upper bound on operations taken per flusher round (and therefore on
+    /// operations coalesced into one destination message).
+    pub max_batch: usize,
+    /// How long a round waits for more submissions before it is cut when
+    /// fewer than `max_batch` operations are queued. Zero ships immediately
+    /// — under load the group-commit effect alone fills batches, because
+    /// submissions accumulate while the previous round is in flight.
+    pub max_delay: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 64,
+            max_delay: Duration::ZERO,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// Policy with the given round size and no delay.
+    pub fn with_max_batch(max_batch: usize) -> Self {
+        BatchPolicy {
+            max_batch: max_batch.max(1),
+            max_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Completion state of one asynchronous invocation.
+enum FutureState {
+    /// Not resolved yet.
+    Pending,
+    /// The operation's guard was false; it took no effect. Resolved through
+    /// the synchronous retry path on [`PendingInvocation::wait`].
+    Blocked,
+    /// Resolved.
+    Ready(Result<Vec<u8>, RtsError>),
+}
+
+struct FutureShared {
+    state: Mutex<FutureState>,
+    done: Condvar,
+}
+
+/// Synchronous fallback used to resolve a guard-blocked asynchronous
+/// invocation (re-issues the operation through the blocking path, which
+/// waits for the guard).
+type RetryFn = dyn Fn() -> Result<Vec<u8>, RtsError> + Send + Sync;
+
+/// Completion handle of one asynchronous invocation
+/// (`RuntimeSystem::invoke_async`).
+///
+/// Cheap to move; [`PendingInvocation::wait`] may be called any number of
+/// times (the result is cached).
+pub struct PendingInvocation {
+    shared: Arc<FutureShared>,
+    retry: Option<Arc<RetryFn>>,
+}
+
+impl std::fmt::Debug for PendingInvocation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match &*self.shared.state.lock() {
+            FutureState::Pending => "pending",
+            FutureState::Blocked => "blocked",
+            FutureState::Ready(_) => "ready",
+        };
+        f.debug_struct("PendingInvocation")
+            .field("state", &state)
+            .finish()
+    }
+}
+
+impl PendingInvocation {
+    /// An already-resolved handle (used by the synchronous fallback of
+    /// runtime systems without a native asynchronous path).
+    pub fn ready(result: Result<Vec<u8>, RtsError>) -> Self {
+        PendingInvocation {
+            shared: Arc::new(FutureShared {
+                state: Mutex::new(FutureState::Ready(result)),
+                done: Condvar::new(),
+            }),
+            retry: None,
+        }
+    }
+
+    /// Block until the invocation completes and return its result.
+    pub fn wait(&self) -> Result<Vec<u8>, RtsError> {
+        let mut state = self.shared.state.lock();
+        loop {
+            match &*state {
+                FutureState::Ready(result) => return result.clone(),
+                FutureState::Blocked => {
+                    let Some(retry) = self.retry.clone() else {
+                        return Err(RtsError::Communication(
+                            "blocked invocation has no retry path".into(),
+                        ));
+                    };
+                    drop(state);
+                    // The blocked operation took no effect anywhere;
+                    // re-issuing it through the synchronous path (which
+                    // waits for the guard) is exact.
+                    let result = retry();
+                    let mut state = self.shared.state.lock();
+                    *state = FutureState::Ready(result.clone());
+                    self.shared.done.notify_all();
+                    return result;
+                }
+                FutureState::Pending => self.shared.done.wait(&mut state),
+            }
+        }
+    }
+
+    /// The result if the invocation has completed, `None` while it is still
+    /// in flight (or guard-blocked — a blocked invocation resolves through
+    /// [`PendingInvocation::wait`]).
+    pub fn try_get(&self) -> Option<Result<Vec<u8>, RtsError>> {
+        match &*self.shared.state.lock() {
+            FutureState::Ready(result) => Some(result.clone()),
+            FutureState::Pending | FutureState::Blocked => None,
+        }
+    }
+}
+
+/// The resolving end of a [`PendingInvocation`], held by the runtime
+/// system until the operation's outcome is known.
+pub(crate) struct Completer {
+    shared: Arc<FutureShared>,
+}
+
+impl Completer {
+    /// Resolve the handle.
+    pub(crate) fn complete(&self, result: Result<Vec<u8>, RtsError>) {
+        let mut state = self.shared.state.lock();
+        if matches!(*state, FutureState::Pending | FutureState::Blocked) {
+            *state = FutureState::Ready(result);
+            self.shared.done.notify_all();
+        }
+    }
+
+    /// Mark the handle guard-blocked; `wait()` resolves it synchronously.
+    pub(crate) fn complete_blocked(&self) {
+        let mut state = self.shared.state.lock();
+        if matches!(*state, FutureState::Pending) {
+            *state = FutureState::Blocked;
+            self.shared.done.notify_all();
+        }
+    }
+}
+
+/// Create a linked handle/completer pair. `retry` is the synchronous
+/// fallback used when the operation comes back guard-blocked.
+pub(crate) fn pending_pair(retry: Arc<RetryFn>) -> (PendingInvocation, Completer) {
+    let shared = Arc::new(FutureShared {
+        state: Mutex::new(FutureState::Pending),
+        done: Condvar::new(),
+    });
+    (
+        PendingInvocation {
+            shared: Arc::clone(&shared),
+            retry: Some(retry),
+        },
+        Completer { shared },
+    )
+}
+
+/// Per-operation state a round executor fills in while it works through a
+/// FIFO prefix of the queue.
+pub(crate) enum RoundSlot {
+    /// Not executed (a round that ends with `Todo` slots resolves them as
+    /// timed out — every handle always resolves).
+    Todo,
+    /// Guard was false; resolves through the synchronous retry on `wait()`.
+    Blocked,
+    /// Executed.
+    Ready(Result<Vec<u8>, RtsError>),
+}
+
+/// Resolve every handle of a finished round, in issue order.
+pub(crate) fn resolve_round(ops: Vec<QueuedOp>, slots: Vec<RoundSlot>) {
+    debug_assert_eq!(ops.len(), slots.len());
+    for (op, slot) in ops.into_iter().zip(slots) {
+        match slot {
+            RoundSlot::Ready(result) => op.completer.complete(result),
+            RoundSlot::Blocked => op.completer.complete_blocked(),
+            RoundSlot::Todo => op.completer.complete(Err(RtsError::Timeout)),
+        }
+    }
+}
+
+/// Map the outcomes of one shipped batch back onto round slots; `Stale`
+/// outcomes queue their index for the next pass.
+pub(crate) fn record_batch_outcomes(
+    indices: &[usize],
+    outcomes: Vec<BatchOutcome>,
+    slots: &mut [RoundSlot],
+    stale: &mut Vec<usize>,
+) {
+    for (&i, outcome) in indices.iter().zip(outcomes) {
+        match outcome {
+            BatchOutcome::Done(reply) => slots[i] = RoundSlot::Ready(Ok(reply)),
+            BatchOutcome::Blocked => slots[i] = RoundSlot::Blocked,
+            BatchOutcome::Stale => stale.push(i),
+            BatchOutcome::Failed(msg) => {
+                slots[i] = RoundSlot::Ready(Err(RtsError::Communication(msg)))
+            }
+        }
+    }
+    stale.sort_unstable();
+}
+
+/// Decodes a backend reply into per-op batch outcomes (or an error text).
+pub(crate) type BatchDecodeFn<'a> = &'a dyn Fn(&[u8]) -> Result<Vec<BatchOutcome>, String>;
+
+fn fail_indices(slots: &mut [RoundSlot], indices: &[usize], err: RtsError) {
+    for &i in indices {
+        slots[i] = RoundSlot::Ready(Err(err.clone()));
+    }
+}
+
+/// Ship every pending per-destination batch — all in flight at once
+/// through one reply-demultiplexing RPC client — and record the per-op
+/// outcomes (`Stale` outcomes land in `stale` for the next pass). Generic
+/// over the backend's protocol: `apply_local` executes a batch addressed
+/// to this very node, `encode` wraps a batch into the backend's request
+/// message, `decode` extracts the per-op outcomes from its reply.
+///
+/// A batch whose destination dies reports a per-operation outcome
+/// (`NodeDown` once the failure detector confirms the death, `Timeout`
+/// otherwise) and is **never re-sent** — the destination may have applied
+/// any prefix before crashing, so a blind retry could double-apply.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn flush_op_batches(
+    handle: &NetworkHandle,
+    node: NodeId,
+    port: Port,
+    stats: &RtsStats,
+    detector: &Option<Arc<FailureDetector>>,
+    batches: &mut Vec<(NodeId, Vec<(usize, BatchOp)>)>,
+    stale: &mut Vec<usize>,
+    slots: &mut [RoundSlot],
+    deadline: Instant,
+    apply_local: &dyn Fn(&[BatchOp]) -> Vec<BatchOutcome>,
+    encode: &dyn Fn(Vec<BatchOp>) -> Vec<u8>,
+    decode: BatchDecodeFn<'_>,
+) {
+    if batches.is_empty() {
+        return;
+    }
+    let mut multi = MultiRpc::new(handle);
+    let mut waits: Vec<(NodeId, Vec<usize>, u64)> = Vec::new();
+    for (owner, list) in batches.drain(..) {
+        RtsStats::bump(&stats.batches_sent);
+        stats
+            .ops_batched
+            .fetch_add(list.len() as u64, Ordering::Relaxed);
+        let indices: Vec<usize> = list.iter().map(|(i, _)| *i).collect();
+        let wire_ops: Vec<BatchOp> = list.into_iter().map(|(_, op)| op).collect();
+        if owner == node {
+            let outcomes = apply_local(&wire_ops);
+            record_batch_outcomes(&indices, outcomes, slots, stale);
+        } else {
+            RtsStats::bump(&stats.remote_writes);
+            match multi.send(owner, port, encode(wire_ops)) {
+                Ok(request) => waits.push((owner, indices, request)),
+                Err(err) => fail_indices(slots, &indices, RtsError::Communication(err.to_string())),
+            }
+        }
+    }
+    for (owner, indices, request) in waits {
+        let should_abort = || is_dead(detector, owner);
+        let reply =
+            multi.wait_abortable(request, deadline, Duration::from_millis(10), &should_abort);
+        match reply.map_err(|err| match err {
+            RpcError::Aborted => RtsError::NodeDown(owner),
+            RpcError::Timeout => RtsError::Timeout,
+            other => RtsError::Communication(other.to_string()),
+        }) {
+            Ok(bytes) => match decode(&bytes) {
+                Ok(outcomes) if outcomes.len() == indices.len() => {
+                    record_batch_outcomes(&indices, outcomes, slots, stale)
+                }
+                Ok(outcomes) => fail_indices(
+                    slots,
+                    &indices,
+                    RtsError::Communication(format!(
+                        "batch reply arity mismatch: {} outcomes for {} ops",
+                        outcomes.len(),
+                        indices.len()
+                    )),
+                ),
+                Err(msg) => fail_indices(slots, &indices, RtsError::Communication(msg)),
+            },
+            Err(err) => fail_indices(slots, &indices, err),
+        }
+    }
+}
+
+/// One queued asynchronous operation.
+pub(crate) struct QueuedOp {
+    /// Target object.
+    pub object: ObjectId,
+    /// Read/write classification (as supplied by the caller).
+    pub kind: OpKind,
+    /// Encoded operation.
+    pub op: Vec<u8>,
+    /// Resolving end of the caller's handle.
+    pub completer: Completer,
+}
+
+struct PipelineInner {
+    queue: Mutex<VecDeque<QueuedOp>>,
+    available: Condvar,
+    policy: Arc<Mutex<BatchPolicy>>,
+    stopped: AtomicBool,
+}
+
+/// The per-node submission queue and its flusher thread. One per runtime
+/// system instance, started lazily on the first asynchronous invocation.
+pub(crate) struct Pipeline {
+    inner: Arc<PipelineInner>,
+    flusher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Pipeline {
+    /// Start the flusher. `round` executes one FIFO prefix of the queue —
+    /// it must resolve the completer of **every** operation it is handed,
+    /// in issue order.
+    pub(crate) fn start<F>(name: String, policy: Arc<Mutex<BatchPolicy>>, round: F) -> Pipeline
+    where
+        F: Fn(Vec<QueuedOp>) + Send + 'static,
+    {
+        let inner = Arc::new(PipelineInner {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            policy,
+            stopped: AtomicBool::new(false),
+        });
+        let flusher_inner = Arc::clone(&inner);
+        let flusher = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || flusher_loop(&flusher_inner, round))
+            .expect("spawn pipeline flusher thread");
+        Pipeline {
+            inner,
+            flusher: Mutex::new(Some(flusher)),
+        }
+    }
+
+    /// Enqueue one operation for the next round.
+    pub(crate) fn submit(&self, op: QueuedOp) {
+        if self.inner.stopped.load(Ordering::SeqCst) {
+            op.completer.complete(Err(RtsError::Terminated));
+            return;
+        }
+        self.inner.queue.lock().push_back(op);
+        self.inner.available.notify_one();
+    }
+
+    /// Stop the flusher, resolve everything still queued with
+    /// [`RtsError::Terminated`], and join. Idempotent.
+    pub(crate) fn shutdown(&self) {
+        self.inner.stopped.store(true, Ordering::SeqCst);
+        self.inner.available.notify_all();
+        if let Some(flusher) = self.flusher.lock().take() {
+            let _ = flusher.join();
+        }
+        for op in self.inner.queue.lock().drain(..) {
+            op.completer.complete(Err(RtsError::Terminated));
+        }
+    }
+}
+
+fn flusher_loop<F>(inner: &Arc<PipelineInner>, round: F)
+where
+    F: Fn(Vec<QueuedOp>),
+{
+    loop {
+        let ops = {
+            let mut queue = inner.queue.lock();
+            loop {
+                if inner.stopped.load(Ordering::SeqCst) {
+                    for op in queue.drain(..) {
+                        op.completer.complete(Err(RtsError::Terminated));
+                    }
+                    return;
+                }
+                if !queue.is_empty() {
+                    break;
+                }
+                inner.available.wait(&mut queue);
+            }
+            let policy = *inner.policy.lock();
+            let max_batch = policy.max_batch.max(1);
+            if queue.len() < max_batch && !policy.max_delay.is_zero() {
+                // Let a bulk submission finish arriving before the round
+                // is cut (bounded by max_delay in total, not per wake-up,
+                // so a trickle of early notifies cannot shrink rounds).
+                let cut_at = std::time::Instant::now() + policy.max_delay;
+                while queue.len() < max_batch && !inner.stopped.load(Ordering::SeqCst) {
+                    let now = std::time::Instant::now();
+                    if now >= cut_at {
+                        break;
+                    }
+                    inner.available.wait_for(&mut queue, cut_at - now);
+                }
+            }
+            let take = queue.len().min(max_batch);
+            queue.drain(..take).collect::<Vec<_>>()
+        };
+        round(ops);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn no_retry() -> Arc<RetryFn> {
+        Arc::new(|| Err(RtsError::Terminated))
+    }
+
+    #[test]
+    fn ready_handle_resolves_immediately() {
+        let handle = PendingInvocation::ready(Ok(vec![7]));
+        assert_eq!(handle.try_get(), Some(Ok(vec![7])));
+        assert_eq!(handle.wait(), Ok(vec![7]));
+        // wait() is repeatable.
+        assert_eq!(handle.wait(), Ok(vec![7]));
+    }
+
+    #[test]
+    fn completer_resolves_waiting_handle() {
+        let (handle, completer) = pending_pair(no_retry());
+        assert_eq!(handle.try_get(), None);
+        let waiter = std::thread::spawn(move || handle.wait());
+        std::thread::sleep(Duration::from_millis(20));
+        completer.complete(Ok(vec![1, 2]));
+        assert_eq!(waiter.join().unwrap(), Ok(vec![1, 2]));
+    }
+
+    #[test]
+    fn blocked_handle_resolves_through_retry() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let retry_calls = Arc::clone(&calls);
+        let retry: Arc<RetryFn> = Arc::new(move || {
+            retry_calls.fetch_add(1, Ordering::SeqCst);
+            Ok(vec![9])
+        });
+        let (handle, completer) = pending_pair(retry);
+        completer.complete_blocked();
+        // try_get does not trigger the retry (it cannot block).
+        assert_eq!(handle.try_get(), None);
+        assert_eq!(handle.wait(), Ok(vec![9]));
+        assert_eq!(handle.wait(), Ok(vec![9]));
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "retry ran exactly once");
+    }
+
+    #[test]
+    fn pipeline_rounds_are_fifo_prefixes() {
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let rounds: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let (seen_w, rounds_w) = (Arc::clone(&seen), Arc::clone(&rounds));
+        let policy = Arc::new(Mutex::new(BatchPolicy {
+            max_batch: 4,
+            max_delay: Duration::from_millis(10),
+        }));
+        let pipeline = Pipeline::start("test-pipe".into(), policy, move |ops| {
+            rounds_w.lock().push(ops.len());
+            for op in ops {
+                seen_w
+                    .lock()
+                    .push(u64::from_le_bytes(op.op.try_into().unwrap()));
+                op.completer.complete(Ok(Vec::new()));
+            }
+        });
+        let mut handles = Vec::new();
+        for i in 0..10u64 {
+            let (handle, completer) = pending_pair(no_retry());
+            pipeline.submit(QueuedOp {
+                object: ObjectId::compose(0, 1),
+                kind: OpKind::Write,
+                op: i.to_le_bytes().to_vec(),
+                completer,
+            });
+            handles.push(handle);
+        }
+        for handle in &handles {
+            assert_eq!(handle.wait(), Ok(Vec::new()));
+        }
+        assert_eq!(*seen.lock(), (0..10).collect::<Vec<u64>>());
+        assert!(rounds.lock().iter().all(|len| *len <= 4));
+        pipeline.shutdown();
+        // Submissions after shutdown fail fast.
+        let (handle, completer) = pending_pair(no_retry());
+        pipeline.submit(QueuedOp {
+            object: ObjectId::compose(0, 1),
+            kind: OpKind::Write,
+            op: vec![],
+            completer,
+        });
+        assert_eq!(handle.wait(), Err(RtsError::Terminated));
+    }
+}

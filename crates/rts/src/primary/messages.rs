@@ -1,7 +1,7 @@
 //! RPC messages of the point-to-point (primary-copy) runtime system.
 
 use orca_object::ObjectId;
-use orca_wire::{Decoder, Encoder, Wire, WireError, WireResult};
+use orca_wire::{BatchOp, BatchOutcome, Decoder, Encoder, Wire, WireError, WireResult};
 
 /// Requests sent to a node's primary-copy RTS service.
 ///
@@ -60,6 +60,31 @@ pub enum PrimaryMsg {
         /// Target object.
         object: ObjectId,
     },
+    /// Client → primary: execute a *batch* of write operations, in order
+    /// (the pipelined asynchronous path). Each operation runs the full
+    /// write protocol semantics; consecutive operations on one object are
+    /// applied under one object lock and their update pushes to each
+    /// secondary coalesce into a single [`PrimaryMsg::UpdateBatch`].
+    WriteBatch {
+        /// The operations, in issue order (`partition`/`epoch` unused).
+        ops: Vec<BatchOp>,
+    },
+    /// Primary → secondary: apply a run of consecutive update operations to
+    /// your copy, in order, and keep the object locked until
+    /// [`PrimaryMsg::Unlock`] — the batched form of
+    /// [`PrimaryMsg::UpdateOp`], one message per secondary per batch
+    /// instead of one per write.
+    UpdateBatch {
+        /// Target object.
+        object: ObjectId,
+        /// Encoded operations, in primary application order.
+        ops: Vec<Vec<u8>>,
+        /// The primary replica's version after applying `ops[0]`; the run
+        /// covers versions `first_version ..= first_version + ops.len() - 1`
+        /// and a secondary applies exactly the suffix it has not seen yet
+        /// (same strict version ordering as single updates).
+        first_version: u64,
+    },
 }
 
 impl Wire for PrimaryMsg {
@@ -101,6 +126,20 @@ impl Wire for PrimaryMsg {
                 enc.put_u8(6);
                 object.encode(enc);
             }
+            PrimaryMsg::WriteBatch { ops } => {
+                enc.put_u8(7);
+                ops.encode(enc);
+            }
+            PrimaryMsg::UpdateBatch {
+                object,
+                ops,
+                first_version,
+            } => {
+                enc.put_u8(8);
+                object.encode(enc);
+                ops.encode(enc);
+                first_version.encode(enc);
+            }
         }
     }
 
@@ -131,6 +170,14 @@ impl Wire for PrimaryMsg {
             6 => Ok(PrimaryMsg::Unlock {
                 object: Wire::decode(dec)?,
             }),
+            7 => Ok(PrimaryMsg::WriteBatch {
+                ops: Wire::decode(dec)?,
+            }),
+            8 => Ok(PrimaryMsg::UpdateBatch {
+                object: Wire::decode(dec)?,
+                ops: Wire::decode(dec)?,
+                first_version: Wire::decode(dec)?,
+            }),
             tag => Err(WireError::InvalidTag {
                 type_name: "PrimaryMsg",
                 tag: u64::from(tag),
@@ -160,6 +207,9 @@ pub enum PrimaryReply {
     Ack,
     /// The request failed.
     Error(String),
+    /// Per-operation outcomes of a [`PrimaryMsg::WriteBatch`], in batch
+    /// order.
+    Batch(Vec<BatchOutcome>),
 }
 
 impl Wire for PrimaryReply {
@@ -185,6 +235,10 @@ impl Wire for PrimaryReply {
                 enc.put_u8(4);
                 msg.encode(enc);
             }
+            PrimaryReply::Batch(outcomes) => {
+                enc.put_u8(5);
+                outcomes.encode(enc);
+            }
         }
     }
 
@@ -199,6 +253,7 @@ impl Wire for PrimaryReply {
             }),
             3 => Ok(PrimaryReply::Ack),
             4 => Ok(PrimaryReply::Error(Wire::decode(dec)?)),
+            5 => Ok(PrimaryReply::Batch(Wire::decode(dec)?)),
             tag => Err(WireError::InvalidTag {
                 type_name: "PrimaryReply",
                 tag: u64::from(tag),
@@ -232,6 +287,20 @@ mod tests {
                 version: 4,
             },
             PrimaryMsg::Unlock { object },
+            PrimaryMsg::WriteBatch {
+                ops: vec![BatchOp {
+                    id: 8,
+                    object: object.0,
+                    partition: 0,
+                    epoch: 0,
+                    op: vec![1, 2],
+                }],
+            },
+            PrimaryMsg::UpdateBatch {
+                object,
+                ops: vec![vec![1], vec![2, 3]],
+                first_version: 9,
+            },
         ];
         for msg in msgs {
             assert_eq!(PrimaryMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
@@ -250,6 +319,11 @@ mod tests {
             },
             PrimaryReply::Ack,
             PrimaryReply::Error("nope".into()),
+            PrimaryReply::Batch(vec![
+                BatchOutcome::Done(vec![1]),
+                BatchOutcome::Blocked,
+                BatchOutcome::Failed("no".into()),
+            ]),
         ];
         for reply in replies {
             assert_eq!(PrimaryReply::from_bytes(&reply.to_bytes()).unwrap(), reply);

@@ -38,12 +38,13 @@ use orca_amoeba::rpc::RpcServer;
 use orca_amoeba::NodeId;
 use orca_group::{FailureDetector, ViewSnapshot};
 use orca_object::{AnyReplica, AppliedOutcome, ObjectError, ObjectId, ObjectRegistry, OpKind};
-use orca_wire::{CopyInfo, RecoveryMsg, RecoveryReply, Wire};
+use orca_wire::{BatchOp, BatchOutcome, CopyInfo, RecoveryMsg, RecoveryReply, Wire};
 use parking_lot::{Condvar, Mutex, RwLock};
 
+use crate::pipeline::{pending_pair, resolve_round, BatchPolicy, Pipeline, QueuedOp, RoundSlot};
 use crate::recovery::{is_dead, recovery_rpc, RecoveryConfig};
 use crate::stats::{AccessStats, RtsStats, RtsStatsSnapshot};
-use crate::{RtsError, RtsKind, RuntimeSystem};
+use crate::{PendingInvocation, RtsError, RtsKind, RuntimeSystem};
 use messages::{PrimaryMsg, PrimaryReply};
 
 /// How a write at the primary propagates to secondary copies.
@@ -146,8 +147,13 @@ struct Inner {
     primaries: RwLock<HashMap<ObjectId, Arc<PrimaryObject>>>,
     secondaries: RwLock<HashMap<ObjectId, Arc<SecondaryObject>>>,
     next_object: AtomicU64,
+    /// Ids for batched asynchronous operations (wire-level only; replies
+    /// are matched by batch order).
+    next_async: AtomicU64,
     /// Per-invocation RPC deadline in milliseconds.
     op_timeout_ms: AtomicU64,
+    /// Batching knobs of the asynchronous path.
+    batch_policy: Arc<Mutex<BatchPolicy>>,
     stats: Arc<RtsStats>,
     /// Crash-recovery knobs (see [`RecoveryConfig`]).
     recovery: RecoveryConfig,
@@ -187,6 +193,9 @@ pub struct PrimaryCopyRts {
     inner: Arc<Inner>,
     server: Arc<Mutex<Option<RpcServer>>>,
     recovery_server: Arc<Mutex<Option<RpcServer>>>,
+    /// Asynchronous-invocation pipeline, started lazily on first use and
+    /// shared by all clones of this handle.
+    pipeline: Arc<Mutex<Option<Arc<Pipeline>>>>,
 }
 
 impl std::fmt::Debug for PrimaryCopyRts {
@@ -242,7 +251,9 @@ impl PrimaryCopyRts {
             primaries: RwLock::new(HashMap::new()),
             secondaries: RwLock::new(HashMap::new()),
             next_object: AtomicU64::new(1),
+            next_async: AtomicU64::new(1),
             op_timeout_ms: AtomicU64::new(DEFAULT_OP_TIMEOUT.as_millis() as u64),
+            batch_policy: Arc::new(Mutex::new(BatchPolicy::default())),
             stats: RtsStats::new_shared(),
             recovery,
             detector,
@@ -282,11 +293,15 @@ impl PrimaryCopyRts {
             inner,
             server: Arc::new(Mutex::new(Some(server))),
             recovery_server: Arc::new(Mutex::new(recovery_server)),
+            pipeline: Arc::new(Mutex::new(None)),
         }
     }
 
     /// Stop the RPC services of this node. Idempotent.
     pub fn shutdown(&self) {
+        if let Some(pipeline) = self.pipeline.lock().take() {
+            pipeline.shutdown();
+        }
         if let Some(server) = self.server.lock().take() {
             server.shutdown();
         }
@@ -318,6 +333,202 @@ impl PrimaryCopyRts {
         self.inner
             .op_timeout_ms
             .store(timeout.as_millis() as u64, Ordering::Relaxed);
+    }
+
+    /// Set the batching knobs of the asynchronous invocation path (takes
+    /// effect from the next flusher round).
+    pub fn set_batch_policy(&self, policy: BatchPolicy) {
+        *self.inner.batch_policy.lock() = policy;
+    }
+
+    /// A clone of this handle whose `pipeline` cell is fresh and empty, for
+    /// capture by the flusher and retry closures: capturing `self` directly
+    /// would create an `Arc` cycle (pipeline → closure → handle →
+    /// pipeline) and leak the runtime system.
+    fn detached(&self) -> PrimaryCopyRts {
+        PrimaryCopyRts {
+            inner: Arc::clone(&self.inner),
+            server: Arc::clone(&self.server),
+            recovery_server: Arc::clone(&self.recovery_server),
+            pipeline: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// The asynchronous-invocation pipeline, started on first use.
+    fn ensure_pipeline(&self) -> Arc<Pipeline> {
+        let mut guard = self.pipeline.lock();
+        if let Some(pipeline) = guard.as_ref() {
+            return Arc::clone(pipeline);
+        }
+        let rts = self.detached();
+        let pipeline = Arc::new(Pipeline::start(
+            format!("rts-pipe-{}", self.inner.node),
+            Arc::clone(&self.inner.batch_policy),
+            move |ops| rts.run_round(ops),
+        ));
+        *guard = Some(Arc::clone(&pipeline));
+        pipeline
+    }
+
+    /// Execute one flusher round: writes coalesce into one
+    /// [`PrimaryMsg::WriteBatch`] per destination primary; a read flushes
+    /// its destination's pending writes first (its object's earlier writes
+    /// all sit there), then executes once. Every handle resolves in issue
+    /// order at the end of the round.
+    fn run_round(&self, ops: Vec<QueuedOp>) {
+        let deadline = Instant::now() + self.inner.op_timeout();
+        let mut slots: Vec<RoundSlot> = ops.iter().map(|_| RoundSlot::Todo).collect();
+        // Pending write indices per destination, in first-touch order.
+        let mut batches: Vec<(NodeId, Vec<usize>)> = Vec::new();
+        for i in 0..ops.len() {
+            let op = &ops[i];
+            if self.inner.is_lost(op.object) {
+                slots[i] = RoundSlot::Ready(Err(RtsError::ObjectLost(op.object)));
+                continue;
+            }
+            let primary = self.inner.primary_node(op.object);
+            match op.kind {
+                OpKind::Write => match batches.iter_mut().find(|(dest, _)| *dest == primary) {
+                    Some((_, list)) => list.push(i),
+                    None => batches.push((primary, vec![i])),
+                },
+                OpKind::Read => {
+                    if let Some(pos) = batches.iter().position(|(dest, _)| *dest == primary) {
+                        let (dest, list) = batches.remove(pos);
+                        self.flush_write_batch(dest, &ops, &list, &mut slots, deadline);
+                    }
+                    slots[i] = self.async_read_once(op, primary, deadline);
+                }
+            }
+        }
+        for (dest, list) in batches {
+            self.flush_write_batch(dest, &ops, &list, &mut slots, deadline);
+        }
+        resolve_round(ops, slots);
+    }
+
+    /// Ship one destination's pending writes as a single
+    /// [`PrimaryMsg::WriteBatch`] (or apply them locally when this node is
+    /// the primary) and record the per-op outcomes.
+    fn flush_write_batch(
+        &self,
+        dest: NodeId,
+        ops: &[QueuedOp],
+        indices: &[usize],
+        slots: &mut [RoundSlot],
+        deadline: Instant,
+    ) {
+        RtsStats::bump(&self.inner.stats.batches_sent);
+        self.inner
+            .stats
+            .ops_batched
+            .fetch_add(indices.len() as u64, Ordering::Relaxed);
+        if dest == self.inner.node {
+            // Local primary: apply per consecutive same-object run, with
+            // one coalesced update push per run.
+            let mut k = 0;
+            while k < indices.len() {
+                let object = ops[indices[k]].object;
+                let mut j = k;
+                while j < indices.len() && ops[indices[j]].object == object {
+                    j += 1;
+                }
+                let run: Vec<&[u8]> = indices[k..j]
+                    .iter()
+                    .map(|&i| ops[i].op.as_slice())
+                    .collect();
+                let outcomes = primary_write_many(&self.inner, object, &run);
+                for (offset, outcome) in outcomes.into_iter().enumerate() {
+                    slots[indices[k + offset]] = outcome_slot(outcome);
+                }
+                k = j;
+            }
+            return;
+        }
+        RtsStats::bump(&self.inner.stats.remote_writes);
+        let msg = PrimaryMsg::WriteBatch {
+            ops: indices
+                .iter()
+                .map(|&i| BatchOp {
+                    id: self.inner.next_async.fetch_add(1, Ordering::Relaxed),
+                    object: ops[i].object.0,
+                    partition: 0,
+                    epoch: 0,
+                    op: ops[i].op.clone(),
+                })
+                .collect(),
+        };
+        match self.rpc(dest, &msg, deadline) {
+            Ok(PrimaryReply::Batch(outcomes)) if outcomes.len() == indices.len() => {
+                for (&i, outcome) in indices.iter().zip(outcomes) {
+                    slots[i] = outcome_slot(outcome);
+                }
+            }
+            Ok(other) => {
+                let err = RtsError::Communication(format!("unexpected WriteBatch reply {other:?}"));
+                for &i in indices {
+                    slots[i] = RoundSlot::Ready(Err(err.clone()));
+                }
+            }
+            Err(err) => {
+                // The batch died with its destination: report a
+                // per-operation outcome. No automatic re-send — the
+                // primary may have applied any prefix before crashing, so
+                // a blind retry could double-apply.
+                for &i in indices {
+                    slots[i] = RoundSlot::Ready(Err(err.clone()));
+                }
+            }
+        }
+    }
+
+    /// One non-blocking read on behalf of the asynchronous path: local copy
+    /// when one is valid and unlocked, otherwise one `ReadAt` RPC. A false
+    /// guard resolves the handle `Blocked` instead of stalling the round.
+    fn async_read_once(&self, op: &QueuedOp, primary: NodeId, deadline: Instant) -> RoundSlot {
+        if primary == self.inner.node {
+            return match primary_read(&self.inner, op.object, &op.op) {
+                Ok(AppliedOutcome::Done(reply)) => {
+                    RtsStats::bump(&self.inner.stats.local_reads);
+                    RoundSlot::Ready(Ok(reply))
+                }
+                Ok(AppliedOutcome::Blocked) => RoundSlot::Blocked,
+                Err(err) => RoundSlot::Ready(Err(err)),
+            };
+        }
+        let entry = self.secondary_entry(op.object);
+        entry.access.record_read();
+        {
+            let mut state = entry.state.lock();
+            if !state.locked {
+                if let Some(copy) = state.copy.as_mut() {
+                    match copy.apply_encoded(&op.op) {
+                        Ok(AppliedOutcome::Done(reply)) => {
+                            RtsStats::bump(&self.inner.stats.local_reads);
+                            return RoundSlot::Ready(Ok(reply));
+                        }
+                        Ok(AppliedOutcome::Blocked) => return RoundSlot::Blocked,
+                        Err(err) => return RoundSlot::Ready(Err(err.into())),
+                    }
+                }
+            }
+            // Locked (an update push is in flight) or no copy: read at the
+            // primary, whose object lock serializes against the push.
+        }
+        RtsStats::bump(&self.inner.stats.remote_reads);
+        let msg = PrimaryMsg::ReadAt {
+            object: op.object,
+            op: op.op.clone(),
+        };
+        match self.rpc(primary, &msg, deadline) {
+            Ok(PrimaryReply::Reply(bytes)) => RoundSlot::Ready(Ok(bytes)),
+            Ok(PrimaryReply::Blocked) => RoundSlot::Blocked,
+            Ok(PrimaryReply::Error(msg)) => RoundSlot::Ready(Err(RtsError::Communication(msg))),
+            Ok(other) => RoundSlot::Ready(Err(RtsError::Communication(format!(
+                "unexpected ReadAt reply {other:?}"
+            )))),
+            Err(err) => RoundSlot::Ready(Err(err)),
+        }
     }
 
     /// True if this node currently holds a valid secondary copy of `object`.
@@ -716,6 +927,35 @@ impl RuntimeSystem for PrimaryCopyRts {
         }
     }
 
+    fn invoke_async(
+        &self,
+        object: ObjectId,
+        type_name: &str,
+        kind: OpKind,
+        op: &[u8],
+    ) -> PendingInvocation {
+        if self.inner.is_lost(object) {
+            return PendingInvocation::ready(Err(RtsError::ObjectLost(object)));
+        }
+        if kind == OpKind::Write {
+            RtsStats::bump(&self.inner.stats.writes);
+        }
+        let retry = {
+            let rts = self.detached();
+            let type_name = type_name.to_string();
+            let op = op.to_vec();
+            Arc::new(move || rts.invoke(object, &type_name, kind, &op))
+        };
+        let (handle, completer) = pending_pair(retry);
+        self.ensure_pipeline().submit(QueuedOp {
+            object,
+            kind,
+            op: op.to_vec(),
+            completer,
+        });
+        handle
+    }
+
     fn stats(&self) -> RtsStatsSnapshot {
         self.inner.stats.snapshot()
     }
@@ -725,6 +965,18 @@ impl RuntimeSystem for PrimaryCopyRts {
             WritePolicy::Invalidate => RtsKind::PrimaryInvalidate,
             WritePolicy::Update => RtsKind::PrimaryUpdate,
         }
+    }
+}
+
+/// Map a wire-level batch outcome onto a round slot.
+fn outcome_slot(outcome: BatchOutcome) -> RoundSlot {
+    match outcome {
+        BatchOutcome::Done(reply) => RoundSlot::Ready(Ok(reply)),
+        BatchOutcome::Blocked => RoundSlot::Blocked,
+        BatchOutcome::Stale => RoundSlot::Ready(Err(RtsError::Communication(
+            "stale batch destination".into(),
+        ))),
+        BatchOutcome::Failed(msg) => RoundSlot::Ready(Err(RtsError::Communication(msg))),
     }
 }
 
@@ -806,6 +1058,80 @@ fn primary_write(
         }
     }
     Ok(AppliedOutcome::Done(reply))
+}
+
+/// Apply a run of consecutive writes on one object at the primary, under
+/// one hold of the object lock, and run the propagation protocol **once**
+/// for the whole run: update-policy secondaries receive a single
+/// [`PrimaryMsg::UpdateBatch`] (plus one unlock) instead of one
+/// update/unlock pair per write — the per-secondary coalescing of the
+/// pipelined path.
+fn primary_write_many(inner: &Arc<Inner>, object: ObjectId, ops: &[&[u8]]) -> Vec<BatchOutcome> {
+    let entry = {
+        let primaries = inner.primaries.read();
+        match primaries.get(&object).cloned() {
+            Some(entry) => entry,
+            None => {
+                let msg = format!("no such object {object}");
+                return ops
+                    .iter()
+                    .map(|_| BatchOutcome::Failed(msg.clone()))
+                    .collect();
+            }
+        }
+    };
+    // The primary replica's mutex is the object lock: held for the entire
+    // run and its propagation, exactly like a single write's protocol.
+    let mut replica = entry.replica.lock();
+    let mut outcomes = Vec::with_capacity(ops.len());
+    let mut applied: Vec<Vec<u8>> = Vec::new();
+    let mut first_version = 0;
+    for op in ops {
+        match replica.apply_encoded(op) {
+            Ok(AppliedOutcome::Done(reply)) => {
+                if applied.is_empty() {
+                    first_version = replica.version();
+                }
+                applied.push(op.to_vec());
+                outcomes.push(BatchOutcome::Done(reply));
+            }
+            Ok(AppliedOutcome::Blocked) => outcomes.push(BatchOutcome::Blocked),
+            Err(err) => outcomes.push(BatchOutcome::Failed(err.to_string())),
+        }
+    }
+    if !applied.is_empty() {
+        let holders: Vec<NodeId> = {
+            let mut holders = entry.copy_holders.lock();
+            holders.retain(|h| !is_dead(&inner.detector, *h));
+            holders
+                .iter()
+                .copied()
+                .filter(|h| *h != inner.node)
+                .collect()
+        };
+        match inner.write_policy {
+            WritePolicy::Invalidate => {
+                for holder in &holders {
+                    let _ = send_to_secondary(inner, *holder, &PrimaryMsg::Invalidate { object });
+                }
+                entry.copy_holders.lock().clear();
+            }
+            WritePolicy::Update => {
+                let update = PrimaryMsg::UpdateBatch {
+                    object,
+                    ops: applied,
+                    first_version,
+                };
+                for holder in &holders {
+                    let _ = send_to_secondary(inner, *holder, &update);
+                }
+                for holder in &holders {
+                    let _ = send_to_secondary(inner, *holder, &PrimaryMsg::Unlock { object });
+                }
+            }
+        }
+    }
+    outcomes
 }
 
 fn send_to_secondary(
@@ -948,6 +1274,83 @@ fn dispatch(inner: &Arc<Inner>, msg: PrimaryMsg, caller: NodeId) -> PrimaryReply
                 let mut state = entry.state.lock();
                 state.locked = false;
                 entry.unlocked.notify_all();
+            }
+            PrimaryReply::Ack
+        }
+        PrimaryMsg::WriteBatch { ops } => {
+            // One protocol-handling event for the whole message, one apply
+            // per op — the accounting split the cost model relies on.
+            if caller != inner.node {
+                RtsStats::bump(&inner.stats.updates_applied);
+            }
+            let mut outcomes = Vec::with_capacity(ops.len());
+            let mut i = 0;
+            while i < ops.len() {
+                let object = ObjectId(ops[i].object);
+                let mut j = i;
+                while j < ops.len() && ops[j].object == ops[i].object {
+                    j += 1;
+                }
+                for _ in i..j {
+                    RtsStats::bump(&inner.stats.batch_ops_applied);
+                }
+                let run: Vec<&[u8]> = ops[i..j].iter().map(|op| op.op.as_slice()).collect();
+                outcomes.extend(primary_write_many(inner, object, &run));
+                i = j;
+            }
+            PrimaryReply::Batch(outcomes)
+        }
+        PrimaryMsg::UpdateBatch {
+            object,
+            ops,
+            first_version,
+        } => {
+            if ops.is_empty() {
+                return PrimaryReply::Ack;
+            }
+            let last_version = first_version + ops.len() as u64 - 1;
+            let secondaries = inner.secondaries.read();
+            if let Some(entry) = secondaries.get(&object) {
+                let mut state = entry.state.lock();
+                state.seen = state.seen.max(last_version);
+                if state.copy.is_some() {
+                    if first_version > state.version + 1 {
+                        // Gap before the run: an earlier update went
+                        // missing; drop the copy and re-sync on the next
+                        // access rather than diverge.
+                        state.copy = None;
+                        state.locked = false;
+                    } else if last_version > state.version {
+                        // Apply exactly the unseen suffix, in order (the
+                        // prefix up to `state.version` is a duplicate).
+                        let start = (state.version + 1 - first_version) as usize;
+                        RtsStats::bump(&inner.stats.updates_applied);
+                        for op in &ops[start..] {
+                            match state
+                                .copy
+                                .as_mut()
+                                .expect("checked above")
+                                .apply_encoded(op)
+                            {
+                                Ok(_) => {
+                                    state.version += 1;
+                                    RtsStats::bump(&inner.stats.batch_ops_applied);
+                                }
+                                Err(_) => {
+                                    // A copy we cannot update is discarded;
+                                    // the next access fetches a fresh one.
+                                    state.copy = None;
+                                    state.locked = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if state.copy.is_some() {
+                            state.locked = true;
+                        }
+                    }
+                    // last_version <= state.version: whole run duplicate.
+                }
             }
             PrimaryReply::Ack
         }

@@ -54,12 +54,13 @@ use orca_group::{FailureDetector, ViewSnapshot};
 use orca_object::shard::spread_owner;
 use orca_object::{AnyReplica, AppliedOutcome, ObjectError, ObjectId, ObjectRegistry, OpKind};
 use orca_object::{ShardLogic, ShardRoute};
-use orca_wire::Wire;
+use orca_wire::{BatchOp, BatchOutcome, Wire};
 use parking_lot::{Mutex, RwLock};
 
+use crate::pipeline::{pending_pair, resolve_round, BatchPolicy, Pipeline, QueuedOp, RoundSlot};
 use crate::recovery::{is_dead, recovery_rpc, RecoveryConfig};
 use crate::stats::{AccessStats, RtsStats, RtsStatsSnapshot};
-use crate::{RtsError, RtsKind, RuntimeSystem};
+use crate::{PendingInvocation, RtsError, RtsKind, RuntimeSystem};
 use messages::{part, part_object, ShardMsg, ShardPartId, ShardReply, ShardRouteTable};
 use routing::RouteCache;
 
@@ -226,6 +227,15 @@ struct Inner {
     lost: RwLock<HashSet<ObjectId>>,
     /// Serializes home adoptions on this node.
     adoption: Mutex<()>,
+    /// Ids for batched asynchronous operations (wire-level only; replies
+    /// are matched by batch order).
+    next_async: AtomicU64,
+    /// Batching knobs of the asynchronous path.
+    batch_policy: Arc<Mutex<BatchPolicy>>,
+    /// Set by [`ShardedRts::shutdown`]; the asynchronous round executor's
+    /// stale-retry loop observes it so `Pipeline::shutdown`'s join stays
+    /// prompt instead of riding out the full round deadline.
+    stopped: AtomicBool,
 }
 
 impl Inner {
@@ -240,6 +250,9 @@ pub struct ShardedRts {
     inner: Arc<Inner>,
     server: Arc<Mutex<Option<RpcServer>>>,
     backup_server: Arc<Mutex<Option<RpcServer>>>,
+    /// Asynchronous-invocation pipeline, started lazily on first use and
+    /// shared by all clones of this handle.
+    pipeline: Arc<Mutex<Option<Arc<Pipeline>>>>,
 }
 
 impl std::fmt::Debug for ShardedRts {
@@ -288,6 +301,9 @@ impl ShardedRts {
             detector,
             lost: RwLock::new(HashSet::new()),
             adoption: Mutex::new(()),
+            next_async: AtomicU64::new(1),
+            batch_policy: Arc::new(Mutex::new(BatchPolicy::default())),
+            stopped: AtomicBool::new(false),
         });
         let service_inner = Arc::clone(&inner);
         // Pooled (not spawn-per-request) service: owner-shipped operations
@@ -330,11 +346,16 @@ impl ShardedRts {
             inner,
             server: Arc::new(Mutex::new(Some(server))),
             backup_server: Arc::new(Mutex::new(backup_server)),
+            pipeline: Arc::new(Mutex::new(None)),
         }
     }
 
     /// Stop the RPC services of this node. Idempotent.
     pub fn shutdown(&self) {
+        self.inner.stopped.store(true, Ordering::SeqCst);
+        if let Some(pipeline) = self.pipeline.lock().take() {
+            pipeline.shutdown();
+        }
         if let Some(server) = self.server.lock().take() {
             server.shutdown();
         }
@@ -675,6 +696,225 @@ impl ShardedRts {
         }
     }
 
+    /// Set the batching knobs of the asynchronous invocation path (takes
+    /// effect from the next flusher round).
+    pub fn set_batch_policy(&self, policy: BatchPolicy) {
+        *self.inner.batch_policy.lock() = policy;
+    }
+
+    /// A clone of this handle whose `pipeline` cell is fresh and empty, for
+    /// capture by the flusher and retry closures: capturing `self` directly
+    /// would create an `Arc` cycle (pipeline → closure → handle →
+    /// pipeline) and leak the runtime system.
+    fn detached(&self) -> ShardedRts {
+        ShardedRts {
+            inner: Arc::clone(&self.inner),
+            server: Arc::clone(&self.server),
+            backup_server: Arc::clone(&self.backup_server),
+            pipeline: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// The asynchronous-invocation pipeline, started on first use.
+    fn ensure_pipeline(&self) -> Arc<Pipeline> {
+        let mut guard = self.pipeline.lock();
+        if let Some(pipeline) = guard.as_ref() {
+            return Arc::clone(pipeline);
+        }
+        let rts = self.detached();
+        let pipeline = Arc::new(Pipeline::start(
+            format!("rts-pipe-{}", self.inner.node),
+            Arc::clone(&self.inner.batch_policy),
+            move |ops| rts.run_round(ops),
+        ));
+        *guard = Some(Arc::clone(&pipeline));
+        pipeline
+    }
+
+    /// Execute one flusher round: partition-narrowed (`One`-routed)
+    /// operations coalesce into one [`ShardMsg::OpBatch`] per owner node,
+    /// shipped concurrently through one reply-demultiplexing client;
+    /// `All`/`Any`-routed operations act as barriers (their effects must
+    /// order against earlier batched operations on the same object).
+    /// Operations bounced by a migration (`Stale`) are retried in a
+    /// follow-up pass, in issue order, until the round deadline. Every
+    /// handle resolves in issue order at the end of the round.
+    fn run_round(&self, ops: Vec<QueuedOp>) {
+        let deadline = Instant::now() + self.inner.policy.op_timeout;
+        let mut slots: Vec<RoundSlot> = ops.iter().map(|_| RoundSlot::Todo).collect();
+        let mut todo: Vec<usize> = (0..ops.len()).collect();
+        loop {
+            todo = self.execute_pass(&ops, &todo, &mut slots, deadline);
+            if todo.is_empty()
+                || Instant::now() >= deadline
+                || self.inner.stopped.load(Ordering::SeqCst)
+            {
+                // Leftover `Todo` slots resolve as Timeout (a route that
+                // never settles), mirroring the synchronous path.
+                break;
+            }
+            for &i in &todo {
+                self.inner.routes.invalidate(ops[i].object);
+            }
+            std::thread::sleep(STALE_RETRY_DELAY);
+        }
+        resolve_round(ops, slots);
+    }
+
+    /// One pass over the still-unexecuted operations of a round. Returns
+    /// the indices that must be retried (migration in flight), in issue
+    /// order.
+    fn execute_pass(
+        &self,
+        ops: &[QueuedOp],
+        todo: &[usize],
+        slots: &mut [RoundSlot],
+        deadline: Instant,
+    ) -> Vec<usize> {
+        let mut stale: Vec<usize> = Vec::new();
+        // Per-owner pending (index, op) batches, in first-touch order.
+        let mut batches: Vec<(NodeId, Vec<(usize, BatchOp)>)> = Vec::new();
+        for &i in todo {
+            let op = &ops[i];
+            // An earlier operation on this object bounced in this pass;
+            // executing a later one now would invert their effects.
+            if stale.iter().any(|&s| ops[s].object == op.object) {
+                stale.push(i);
+                continue;
+            }
+            let table = match self.route_for(op.object, deadline) {
+                Ok(table) => table,
+                Err(err) => {
+                    slots[i] = RoundSlot::Ready(Err(err));
+                    continue;
+                }
+            };
+            if !table.sharded {
+                let owner = NodeId(table.owners[0]);
+                self.push_batched(&mut batches, owner, i, op, 0, &op.op);
+                continue;
+            }
+            let logic = match self.inner.registry.shard_logic(&table.type_name) {
+                Some(logic) => logic,
+                None => {
+                    slots[i] = RoundSlot::Ready(Err(RtsError::Object(ObjectError::UnknownType(
+                        table.type_name.clone(),
+                    ))));
+                    continue;
+                }
+            };
+            let routed = logic
+                .route(&op.op, table.partitions())
+                .and_then(|route| match route {
+                    ShardRoute::One(partition) => logic
+                        .op_for(&op.op, partition, table.partitions())
+                        .map(|part_op| (route, Some((partition, part_op)))),
+                    _ => Ok((route, None)),
+                });
+            match routed {
+                Ok((ShardRoute::One(_), Some((partition, part_op)))) => {
+                    let owner = NodeId(table.owners[partition as usize]);
+                    self.push_batched(&mut batches, owner, i, op, partition, &part_op);
+                }
+                Ok((route, _)) => {
+                    // Barrier: whole-object operations must order against
+                    // every batched operation issued before them.
+                    self.flush_batches(&mut batches, &mut stale, slots, deadline);
+                    if stale.iter().any(|&s| ops[s].object == op.object) {
+                        stale.push(i);
+                        continue;
+                    }
+                    slots[i] = match route {
+                        ShardRoute::Any => {
+                            match self.any_partition_op(
+                                &table,
+                                logic.as_ref(),
+                                &op.op,
+                                op.kind,
+                                deadline,
+                            ) {
+                                Ok(PartOutcome::Done(reply)) => RoundSlot::Ready(Ok(reply)),
+                                Ok(PartOutcome::Blocked) => RoundSlot::Blocked,
+                                Ok(PartOutcome::Stale) => {
+                                    stale.push(i);
+                                    continue;
+                                }
+                                Err(err) => RoundSlot::Ready(Err(err)),
+                            }
+                        }
+                        // `All`-routed operations run to completion inline
+                        // (their per-partition progress must never be
+                        // discarded and re-sent — the synchronous path owns
+                        // that discipline).
+                        _ => RoundSlot::Ready(self.invoke(
+                            op.object,
+                            &table.type_name,
+                            op.kind,
+                            &op.op,
+                        )),
+                    };
+                }
+                Err(err) => slots[i] = RoundSlot::Ready(Err(err.into())),
+            }
+        }
+        self.flush_batches(&mut batches, &mut stale, slots, deadline);
+        stale
+    }
+
+    /// Append one partition-narrowed op to its owner's pending batch.
+    fn push_batched(
+        &self,
+        batches: &mut Vec<(NodeId, Vec<(usize, BatchOp)>)>,
+        owner: NodeId,
+        index: usize,
+        op: &QueuedOp,
+        partition: u32,
+        part_op: &[u8],
+    ) {
+        let batch_op = BatchOp {
+            id: self.inner.next_async.fetch_add(1, Ordering::Relaxed),
+            object: op.object.0,
+            partition,
+            epoch: 0,
+            op: part_op.to_vec(),
+        };
+        match batches.iter_mut().find(|(dest, _)| *dest == owner) {
+            Some((_, list)) => list.push((index, batch_op)),
+            None => batches.push((owner, vec![(index, batch_op)])),
+        }
+    }
+
+    /// Ship every pending per-owner batch through the shared
+    /// reply-demultiplexing flusher (see
+    /// [`crate::pipeline::flush_op_batches`] for the failure contract).
+    fn flush_batches(
+        &self,
+        batches: &mut Vec<(NodeId, Vec<(usize, BatchOp)>)>,
+        stale: &mut Vec<usize>,
+        slots: &mut [RoundSlot],
+        deadline: Instant,
+    ) {
+        let inner = &self.inner;
+        crate::pipeline::flush_op_batches(
+            &inner.handle,
+            inner.node,
+            ports::RTS_SHARD,
+            &inner.stats,
+            &inner.detector,
+            batches,
+            stale,
+            slots,
+            deadline,
+            &|ops| apply_op_batch(inner, ops, inner.node),
+            &|ops| ShardMsg::OpBatch { ops }.to_bytes(),
+            &|bytes| match ShardReply::from_bytes(bytes) {
+                Ok(ShardReply::Batch(outcomes)) => Ok(outcomes),
+                Ok(other) => Err(format!("unexpected OpBatch reply {other:?}")),
+                Err(err) => Err(format!("bad reply: {err}")),
+            },
+        );
+    }
+
     /// Record invocation-level statistics once the routing decision is
     /// known: reads that never left this node are local, everything else is
     /// remote.
@@ -867,6 +1107,35 @@ impl RuntimeSystem for ShardedRts {
         }
     }
 
+    fn invoke_async(
+        &self,
+        object: ObjectId,
+        type_name: &str,
+        kind: OpKind,
+        op: &[u8],
+    ) -> PendingInvocation {
+        if self.inner.is_lost(object) {
+            return PendingInvocation::ready(Err(RtsError::ObjectLost(object)));
+        }
+        if kind == OpKind::Write {
+            RtsStats::bump(&self.inner.stats.writes);
+        }
+        let retry = {
+            let rts = self.detached();
+            let type_name = type_name.to_string();
+            let op = op.to_vec();
+            Arc::new(move || rts.invoke(object, &type_name, kind, &op))
+        };
+        let (handle, completer) = pending_pair(retry);
+        self.ensure_pipeline().submit(QueuedOp {
+            object,
+            kind,
+            op: op.to_vec(),
+            completer,
+        });
+        handle
+    }
+
     fn stats(&self) -> RtsStatsSnapshot {
         self.inner.stats.snapshot()
     }
@@ -917,6 +1186,7 @@ fn dispatch(inner: &Arc<Inner>, msg: ShardMsg, caller: NodeId) -> ShardReply {
             }
         }
         ShardMsg::Op { shard, op } => serve_op(inner, &shard, &op, caller),
+        ShardMsg::OpBatch { ops } => ShardReply::Batch(apply_op_batch(inner, &ops, caller)),
         ShardMsg::Install {
             shard,
             type_name,
@@ -950,11 +1220,137 @@ fn dispatch(inner: &Arc<Inner>, msg: ShardMsg, caller: NodeId) -> ShardReply {
         // `serve_backup_request`); answering it here would tie up pooled
         // operation workers behind nested backup RPCs.
         ShardMsg::Backup { .. }
+        | ShardMsg::BackupBatch { .. }
         | ShardMsg::InstallBackup { .. }
         | ShardMsg::PromoteBackup { .. }
         | ShardMsg::ReportOwned { .. } => {
             ShardReply::Error("backup traffic on the operation port".into())
         }
+    }
+}
+
+/// Apply one received operation batch: runs of consecutive ops on one
+/// partition execute under a single hold of that partition's replica lock,
+/// and each run's completed writes ship to the backup as **one**
+/// [`ShardMsg::BackupBatch`] before the run is acknowledged.
+fn apply_op_batch(inner: &Arc<Inner>, ops: &[BatchOp], caller: NodeId) -> Vec<BatchOutcome> {
+    // One protocol-handling event for the whole message, one apply per op
+    // — the accounting split the cost model relies on.
+    if caller != inner.node {
+        RtsStats::bump(&inner.stats.updates_applied);
+    }
+    let mut outcomes = Vec::with_capacity(ops.len());
+    let mut i = 0;
+    while i < ops.len() {
+        let mut j = i;
+        while j < ops.len()
+            && ops[j].object == ops[i].object
+            && ops[j].partition == ops[i].partition
+        {
+            j += 1;
+        }
+        outcomes.extend(apply_partition_run(inner, &ops[i..j], caller));
+        i = j;
+    }
+    outcomes
+}
+
+/// Apply a run of consecutive batch ops addressed to one partition.
+fn apply_partition_run(inner: &Arc<Inner>, run: &[BatchOp], _caller: NodeId) -> Vec<BatchOutcome> {
+    let key = (ObjectId(run[0].object), run[0].partition);
+    let slot = inner.owned.read().get(&key).cloned();
+    let Some(slot) = slot else {
+        return run.iter().map(|_| BatchOutcome::Stale).collect();
+    };
+    let mut replica = slot.replica.lock();
+    if slot.withdrawn.load(Ordering::Relaxed) {
+        // A hand-off serialized this replica's state while we were waiting
+        // for the lock; applying now would lose the writes.
+        return run.iter().map(|_| BatchOutcome::Stale).collect();
+    }
+    let mut outcomes = Vec::with_capacity(run.len());
+    let mut applied: Vec<Vec<u8>> = Vec::new();
+    let mut first_version = 0;
+    for op in run {
+        let kind = match replica.op_kind(&op.op) {
+            Ok(kind) => kind,
+            Err(err) => {
+                outcomes.push(BatchOutcome::Failed(err.to_string()));
+                continue;
+            }
+        };
+        match kind {
+            OpKind::Read => slot.access.record_read(),
+            OpKind::Write => slot.access.record_write(),
+        }
+        RtsStats::bump(&inner.stats.batch_ops_applied);
+        match replica.apply_encoded(&op.op) {
+            Ok(AppliedOutcome::Done(reply)) => {
+                if kind == OpKind::Write {
+                    if applied.is_empty() {
+                        first_version = slot.version_base + replica.version();
+                    }
+                    applied.push(op.op.clone());
+                }
+                outcomes.push(BatchOutcome::Done(reply));
+            }
+            Ok(AppliedOutcome::Blocked) => outcomes.push(BatchOutcome::Blocked),
+            Err(err) => outcomes.push(BatchOutcome::Failed(err.to_string())),
+        }
+    }
+    if !applied.is_empty() {
+        // Still under the replica mutex, before any ack leaves this node:
+        // the batched form of the synchronous `ship_backup` discipline.
+        ship_backup_batch(
+            inner,
+            key.0,
+            key.1,
+            &slot,
+            &**replica,
+            applied,
+            first_version,
+        );
+    }
+    outcomes
+}
+
+/// Ship a run of completed writes to the partition's backup node as one
+/// message. A backup that lost sync is reinstalled from full state; an
+/// unreachable backup node is skipped (the next write re-targets the
+/// then-next live node), exactly like the single-op path.
+fn ship_backup_batch(
+    inner: &Arc<Inner>,
+    object: ObjectId,
+    partition: u32,
+    slot: &PartitionSlot,
+    replica: &dyn AnyReplica,
+    ops: Vec<Vec<u8>>,
+    first_version: u64,
+) {
+    if !inner.recovery.enabled {
+        return;
+    }
+    let Some(target) = backup_target(inner, inner.node) else {
+        return;
+    };
+    let shard = part(object, partition);
+    let msg = ShardMsg::BackupBatch {
+        shard,
+        ops,
+        first_version,
+    };
+    match backup_rpc(inner, target, &msg) {
+        Ok(ShardReply::Ack) => {}
+        Ok(_) => {
+            let install = ShardMsg::InstallBackup {
+                shard,
+                type_name: replica.type_name().to_string(),
+                state: replica.state_bytes(),
+                version: slot.version_base + replica.version(),
+            };
+            let _ = backup_rpc(inner, target, &install);
+        }
+        Err(_) => {}
     }
 }
 
@@ -1159,6 +1555,47 @@ fn dispatch_backup(inner: &Arc<Inner>, msg: ShardMsg, _caller: NodeId) -> ShardR
                 // ask for a reinstall.
                 Ok(AppliedOutcome::Blocked) | Err(_) => ShardReply::StaleRoute,
             }
+        }
+        ShardMsg::BackupBatch {
+            shard,
+            ops,
+            first_version,
+        } => {
+            if ops.is_empty() {
+                return ShardReply::Ack;
+            }
+            let key = (part_object(&shard), shard.partition);
+            let slot = inner.backups.read().get(&key).cloned();
+            let Some(slot) = slot else {
+                return ShardReply::StaleRoute; // owner reinstalls the backup
+            };
+            let mut replica = slot.replica.lock();
+            let current = slot.version.load(Ordering::Relaxed);
+            let last_version = first_version + ops.len() as u64 - 1;
+            if first_version > current + 1 {
+                // A run went missing before this one: resync from a full
+                // state reinstall.
+                return ShardReply::StaleRoute;
+            }
+            if last_version <= current {
+                return ShardReply::Ack; // whole run duplicate
+            }
+            // Apply exactly the unseen suffix, in owner order.
+            RtsStats::bump(&inner.stats.updates_applied);
+            let start = (current + 1 - first_version) as usize;
+            for op in &ops[start..] {
+                match replica.apply_encoded(op) {
+                    Ok(AppliedOutcome::Done(_)) => {
+                        slot.version.fetch_add(1, Ordering::Relaxed);
+                        RtsStats::bump(&inner.stats.batch_ops_applied);
+                    }
+                    // A write that completed at the owner must complete on
+                    // the identical backup state; anything else means
+                    // divergence — ask for a reinstall.
+                    Ok(AppliedOutcome::Blocked) | Err(_) => return ShardReply::StaleRoute,
+                }
+            }
+            ShardReply::Ack
         }
         ShardMsg::InstallBackup {
             shard,

@@ -48,6 +48,18 @@ pub struct RtsStats {
     /// Regime switches coordinated by this node (adaptive runtime system
     /// only; a node switches regimes only for objects it is home of).
     pub regime_switches: AtomicU64,
+    /// Operation batches this node shipped on behalf of its pipelined
+    /// asynchronous invocations (one broadcast slot or one RPC each).
+    pub batches_sent: AtomicU64,
+    /// Operations carried inside those batches. `ops_batched /
+    /// batches_sent` is the achieved coalescing factor.
+    pub ops_batched: AtomicU64,
+    /// Operations this node applied *out of incoming batches*. For batch
+    /// traffic the per-message protocol-handling event is counted in
+    /// [`RtsStats::updates_applied`] (once per batch) and the per-operation
+    /// applies land here, so the cost model can charge interrupt/protocol
+    /// cost per message and apply cost per operation.
+    pub batch_ops_applied: AtomicU64,
 }
 
 impl RtsStats {
@@ -76,6 +88,9 @@ impl RtsStats {
             guard_retries: self.guard_retries.load(Ordering::Relaxed),
             objects_created: self.objects_created.load(Ordering::Relaxed),
             regime_switches: self.regime_switches.load(Ordering::Relaxed),
+            batches_sent: self.batches_sent.load(Ordering::Relaxed),
+            ops_batched: self.ops_batched.load(Ordering::Relaxed),
+            batch_ops_applied: self.batch_ops_applied.load(Ordering::Relaxed),
         }
     }
 }
@@ -107,6 +122,13 @@ pub struct RtsStatsSnapshot {
     pub objects_created: u64,
     /// Regime switches coordinated (adaptive runtime system only).
     pub regime_switches: u64,
+    /// Operation batches shipped by the asynchronous invocation path.
+    pub batches_sent: u64,
+    /// Operations carried inside shipped batches.
+    pub ops_batched: u64,
+    /// Operations applied out of incoming batches (per-op applies; the
+    /// per-message handling event is in `updates_applied`).
+    pub batch_ops_applied: u64,
 }
 
 impl RtsStatsSnapshot {

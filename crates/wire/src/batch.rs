@@ -1,0 +1,200 @@
+//! Batched-operation vocabulary of the pipelined asynchronous invocation
+//! path.
+//!
+//! Every runtime system accepts *operation batches*: a process that keeps
+//! many invocations in flight (`invoke_async` / `invoke_many` in
+//! `orca-core`) lets its node's runtime system coalesce the pending
+//! operations per destination — one broadcast slot, one RPC to a primary,
+//! one RPC per partition owner — instead of paying a full round trip per
+//! operation. The shared shapes live here, at the bottom of the stack, so
+//! the codecs are property-tested with every other wire type and the byte
+//! counts the network statistics accumulate for batch traffic are real.
+//!
+//! A batch carries its operations **in issue order** and the receiver
+//! applies them in exactly that order; the reply echoes one outcome per
+//! operation, keyed by the per-operation id, so the origin can resolve each
+//! invocation's completion handle individually (reply demultiplexing). A
+//! batch that fails as a whole (timeout, dead destination) therefore still
+//! reports a *per-operation* outcome at the origin — no operation is
+//! silently dropped.
+
+use crate::{Decoder, Encoder, Wire, WireError, WireResult};
+
+/// One operation inside an [`OpBatch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOp {
+    /// Origin-unique invocation id, echoed in the matching
+    /// [`BatchReply`] outcome.
+    pub id: u64,
+    /// Raw object id (the `u64` inside `ObjectId`).
+    pub object: u64,
+    /// Partition the (possibly narrowed) operation addresses. `0` for
+    /// unpartitioned runtime systems (broadcast, primary copy).
+    pub partition: u32,
+    /// Regime epoch the sender believes current (adaptive runtime system);
+    /// `0` elsewhere.
+    pub epoch: u64,
+    /// Encoded operation.
+    pub op: Vec<u8>,
+}
+
+impl Wire for BatchOp {
+    fn encode(&self, enc: &mut Encoder) {
+        self.id.encode(enc);
+        self.object.encode(enc);
+        self.partition.encode(enc);
+        self.epoch.encode(enc);
+        enc.put_bytes(&self.op);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        Ok(BatchOp {
+            id: Wire::decode(dec)?,
+            object: Wire::decode(dec)?,
+            partition: Wire::decode(dec)?,
+            epoch: Wire::decode(dec)?,
+            op: dec.get_bytes()?,
+        })
+    }
+}
+
+/// A batch of operations shipped to one destination in one message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpBatch {
+    /// Origin-unique batch id (shares the invocation-id namespace, so the
+    /// broadcast runtime system's withdraw protocol covers whole batches).
+    pub batch: u64,
+    /// The operations, in the exact order they were issued at the origin;
+    /// the receiver applies them in this order.
+    pub ops: Vec<BatchOp>,
+}
+
+impl Wire for OpBatch {
+    fn encode(&self, enc: &mut Encoder) {
+        self.batch.encode(enc);
+        self.ops.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        Ok(OpBatch {
+            batch: Wire::decode(dec)?,
+            ops: Wire::decode(dec)?,
+        })
+    }
+}
+
+/// Outcome of one operation of a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// The operation completed; the encoded reply follows.
+    Done(Vec<u8>),
+    /// The operation's guard was false; it took no effect and the origin
+    /// retries it out of band.
+    Blocked,
+    /// The receiver no longer serves the addressed replica (migration or
+    /// regime switch in flight); the operation took no effect and the
+    /// origin re-routes it.
+    Stale,
+    /// The operation failed; it may not be retried blindly.
+    Failed(String),
+}
+
+impl Wire for BatchOutcome {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            BatchOutcome::Done(reply) => {
+                enc.put_u8(0);
+                enc.put_bytes(reply);
+            }
+            BatchOutcome::Blocked => enc.put_u8(1),
+            BatchOutcome::Stale => enc.put_u8(2),
+            BatchOutcome::Failed(msg) => {
+                enc.put_u8(3);
+                msg.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        match dec.get_u8()? {
+            0 => Ok(BatchOutcome::Done(dec.get_bytes()?)),
+            1 => Ok(BatchOutcome::Blocked),
+            2 => Ok(BatchOutcome::Stale),
+            3 => Ok(BatchOutcome::Failed(Wire::decode(dec)?)),
+            tag => Err(WireError::InvalidTag {
+                type_name: "BatchOutcome",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+/// Per-operation outcomes of one [`OpBatch`], in batch order, each keyed by
+/// the operation's id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReply {
+    /// Echo of the batch id.
+    pub batch: u64,
+    /// `(operation id, outcome)` per operation, in batch order.
+    pub outcomes: Vec<(u64, BatchOutcome)>,
+}
+
+impl Wire for BatchReply {
+    fn encode(&self, enc: &mut Encoder) {
+        self.batch.encode(enc);
+        self.outcomes.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        Ok(BatchReply {
+            batch: Wire::decode(dec)?,
+            outcomes: Wire::decode(dec)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> OpBatch {
+        OpBatch {
+            batch: 41,
+            ops: vec![
+                BatchOp {
+                    id: 42,
+                    object: (3u64 << 48) | 7,
+                    partition: 2,
+                    epoch: 1,
+                    op: vec![1, 2, 3],
+                },
+                BatchOp {
+                    id: 43,
+                    object: 9,
+                    partition: 0,
+                    epoch: 0,
+                    op: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn batch_round_trips() {
+        let b = batch();
+        assert_eq!(OpBatch::from_bytes(&b.to_bytes()).unwrap(), b);
+        let reply = BatchReply {
+            batch: 41,
+            outcomes: vec![
+                (42, BatchOutcome::Done(vec![9])),
+                (43, BatchOutcome::Blocked),
+                (44, BatchOutcome::Stale),
+                (45, BatchOutcome::Failed("nope".into())),
+            ],
+        };
+        assert_eq!(BatchReply::from_bytes(&reply.to_bytes()).unwrap(), reply);
+    }
+
+    #[test]
+    fn truncated_batches_are_errors() {
+        let bytes = batch().to_bytes();
+        assert!(OpBatch::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(BatchOutcome::from_bytes(&[0xee]).is_err());
+    }
+}

@@ -45,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 mod decode;
 mod encode;
 mod error;
@@ -53,6 +54,7 @@ pub mod recovery;
 pub mod regime;
 pub mod shard;
 
+pub use batch::{BatchOp, BatchOutcome, BatchReply, OpBatch};
 pub use decode::{Decoder, MAX_LEN};
 pub use encode::{uvarint_len, Encoder};
 pub use error::{WireError, WireResult};

@@ -250,6 +250,15 @@ pub enum RegimeMsg {
         /// Raw object id.
         object: u64,
     },
+    /// Client → slot server: execute a *batch* of operations, in order —
+    /// the pipelined asynchronous path. Each op carries the epoch its
+    /// sender believed current and the partition it addresses
+    /// ([`crate::batch::BatchOp`]); an op whose epoch is stale answers
+    /// `Stale` in its outcome without affecting the rest of the batch.
+    OpBatch {
+        /// The operations, in issue order.
+        ops: Vec<crate::batch::BatchOp>,
+    },
 }
 
 impl Wire for RegimeMsg {
@@ -358,6 +367,10 @@ impl Wire for RegimeMsg {
                 epoch.encode(enc);
                 seq.encode(enc);
             }
+            RegimeMsg::OpBatch { ops } => {
+                enc.put_u8(13);
+                ops.encode(enc);
+            }
             RegimeMsg::MirrorQuery { object } => {
                 enc.put_u8(12);
                 object.encode(enc);
@@ -426,6 +439,9 @@ impl Wire for RegimeMsg {
                 epoch: Wire::decode(dec)?,
                 seq: Wire::decode(dec)?,
             }),
+            13 => Ok(RegimeMsg::OpBatch {
+                ops: Wire::decode(dec)?,
+            }),
             12 => Ok(RegimeMsg::MirrorQuery {
                 object: Wire::decode(dec)?,
             }),
@@ -474,6 +490,8 @@ pub enum RegimeReply {
     /// The object's state did not survive the failure (no authoritative
     /// copy and no mirror left); operations on it can never succeed.
     ObjectLost,
+    /// Per-operation outcomes of a [`RegimeMsg::OpBatch`], in batch order.
+    Batch(Vec<crate::batch::BatchOutcome>),
 }
 
 impl Wire for RegimeReply {
@@ -508,6 +526,10 @@ impl Wire for RegimeReply {
                 mirror.encode(enc);
             }
             RegimeReply::ObjectLost => enc.put_u8(9),
+            RegimeReply::Batch(outcomes) => {
+                enc.put_u8(10);
+                outcomes.encode(enc);
+            }
         }
     }
     fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
@@ -527,6 +549,7 @@ impl Wire for RegimeReply {
                 mirror: Wire::decode(dec)?,
             }),
             9 => Ok(RegimeReply::ObjectLost),
+            10 => Ok(RegimeReply::Batch(Wire::decode(dec)?)),
             tag => Err(WireError::InvalidTag {
                 type_name: "RegimeReply",
                 tag: u64::from(tag),
@@ -609,6 +632,15 @@ mod tests {
                 seq: 13,
             },
             RegimeMsg::MirrorQuery { object: 9 },
+            RegimeMsg::OpBatch {
+                ops: vec![crate::batch::BatchOp {
+                    id: 4,
+                    object: 9,
+                    partition: 1,
+                    epoch: 3,
+                    op: vec![2],
+                }],
+            },
         ];
         for msg in msgs {
             assert_eq!(RegimeMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
@@ -636,6 +668,10 @@ mod tests {
                 mirror: Some((4, 17, "orca.Int".into(), vec![7])),
             },
             RegimeReply::ObjectLost,
+            RegimeReply::Batch(vec![
+                crate::batch::BatchOutcome::Done(vec![1]),
+                crate::batch::BatchOutcome::Stale,
+            ]),
         ];
         for reply in replies {
             assert_eq!(RegimeReply::from_bytes(&reply.to_bytes()).unwrap(), reply);

@@ -11,6 +11,7 @@
 //! as their raw `u64` representation (exactly the encoding `ObjectId` in
 //! `orca-object` uses on the wire).
 
+use crate::batch::{BatchOp, BatchOutcome};
 use crate::{Decoder, Encoder, Wire, WireError, WireResult};
 
 /// Identifies one partition of one sharded object.
@@ -178,6 +179,31 @@ pub enum ShardMsg {
         /// Raw object id.
         object: u64,
     },
+    /// Client → partition owner: execute a *batch* of (already
+    /// partition-narrowed) operations, in order, on the partitions named
+    /// per op — the pipelined asynchronous path's one-RPC-per-owner
+    /// shipping. The owner answers [`ShardReply::Batch`] with one outcome
+    /// per op, and ships each partition's applied writes to its backup as
+    /// a single [`ShardMsg::BackupBatch`].
+    OpBatch {
+        /// The operations, in issue order (`BatchOp::partition` addresses
+        /// the partition; `epoch` unused).
+        ops: Vec<BatchOp>,
+    },
+    /// Owner → backup node: apply a run of consecutive completed write
+    /// operations to the backup replica of the partition — the batched
+    /// form of [`ShardMsg::Backup`], one message per partition per batch.
+    BackupBatch {
+        /// Target partition.
+        shard: ShardPartId,
+        /// Encoded operations, in owner application order.
+        ops: Vec<Vec<u8>>,
+        /// The owner's cumulative partition version after applying
+        /// `ops[0]`; the run covers `first_version ..= first_version +
+        /// ops.len() - 1` and the backup applies exactly the unseen
+        /// suffix, or asks for a reinstall on a gap.
+        first_version: u64,
+    },
 }
 
 impl Wire for ShardMsg {
@@ -240,6 +266,20 @@ impl Wire for ShardMsg {
                 enc.put_u8(8);
                 object.encode(enc);
             }
+            ShardMsg::OpBatch { ops } => {
+                enc.put_u8(9);
+                ops.encode(enc);
+            }
+            ShardMsg::BackupBatch {
+                shard,
+                ops,
+                first_version,
+            } => {
+                enc.put_u8(10);
+                shard.encode(enc);
+                ops.encode(enc);
+                first_version.encode(enc);
+            }
         }
     }
     fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
@@ -282,6 +322,14 @@ impl Wire for ShardMsg {
             8 => Ok(ShardMsg::ReportOwned {
                 object: Wire::decode(dec)?,
             }),
+            9 => Ok(ShardMsg::OpBatch {
+                ops: Wire::decode(dec)?,
+            }),
+            10 => Ok(ShardMsg::BackupBatch {
+                shard: Wire::decode(dec)?,
+                ops: Wire::decode(dec)?,
+                first_version: Wire::decode(dec)?,
+            }),
             tag => Err(WireError::InvalidTag {
                 type_name: "ShardMsg",
                 tag: u64::from(tag),
@@ -320,6 +368,8 @@ pub enum ShardReply {
     /// The object's state did not survive the failure (no authoritative
     /// copy and no backup left); operations on it can never succeed.
     ObjectLost,
+    /// Per-operation outcomes of a [`ShardMsg::OpBatch`], in batch order.
+    Batch(Vec<BatchOutcome>),
 }
 
 impl Wire for ShardReply {
@@ -351,6 +401,10 @@ impl Wire for ShardReply {
                 backups.encode(enc);
             }
             ShardReply::ObjectLost => enc.put_u8(7),
+            ShardReply::Batch(outcomes) => {
+                enc.put_u8(8);
+                outcomes.encode(enc);
+            }
         }
     }
     fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
@@ -367,6 +421,7 @@ impl Wire for ShardReply {
                 backups: Wire::decode(dec)?,
             }),
             7 => Ok(ShardReply::ObjectLost),
+            8 => Ok(ShardReply::Batch(Wire::decode(dec)?)),
             tag => Err(WireError::InvalidTag {
                 type_name: "ShardReply",
                 tag: u64::from(tag),
@@ -421,6 +476,20 @@ mod tests {
             },
             ShardMsg::PromoteBackup { shard: shard() },
             ShardMsg::ReportOwned { object: 77 },
+            ShardMsg::OpBatch {
+                ops: vec![BatchOp {
+                    id: 5,
+                    object: 9,
+                    partition: 2,
+                    epoch: 0,
+                    op: vec![1],
+                }],
+            },
+            ShardMsg::BackupBatch {
+                shard: shard(),
+                ops: vec![vec![1], vec![2, 3]],
+                first_version: 8,
+            },
         ];
         for msg in msgs {
             assert_eq!(ShardMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
@@ -450,6 +519,11 @@ mod tests {
                 backups: vec![(1, 3)],
             },
             ShardReply::ObjectLost,
+            ShardReply::Batch(vec![
+                BatchOutcome::Done(vec![2]),
+                BatchOutcome::Stale,
+                BatchOutcome::Blocked,
+            ]),
         ];
         for reply in replies {
             assert_eq!(ShardReply::from_bytes(&reply.to_bytes()).unwrap(), reply);

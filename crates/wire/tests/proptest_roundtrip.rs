@@ -357,9 +357,19 @@ fn shard_messages_round_trip() {
             object: gen.next_u64(),
             partition: gen.next_u64() as u32,
         };
-        let msg = match gen.below(9) {
+        let msg = match gen.below(11) {
             0 => ShardMsg::Route {
                 object: gen.next_u64(),
+            },
+            9 => ShardMsg::OpBatch {
+                ops: (0..gen.below(6))
+                    .map(|_| random_batch_op(&mut gen))
+                    .collect(),
+            },
+            10 => ShardMsg::BackupBatch {
+                shard,
+                ops: (0..gen.below(6)).map(|_| gen.bytes(24)).collect(),
+                first_version: gen.next_u64(),
             },
             1 => ShardMsg::Op {
                 shard,
@@ -396,9 +406,19 @@ fn shard_messages_round_trip() {
             },
         };
         assert_roundtrip(&msg, case);
-        let reply = match gen.below(8) {
+        let reply = match gen.below(9) {
             0 => ShardReply::Done(gen.bytes(48)),
             1 => ShardReply::Blocked,
+            8 => ShardReply::Batch(
+                (0..gen.below(6))
+                    .map(|_| match gen.below(4) {
+                        0 => orca_wire::BatchOutcome::Done(gen.bytes(24)),
+                        1 => orca_wire::BatchOutcome::Blocked,
+                        2 => orca_wire::BatchOutcome::Stale,
+                        _ => orca_wire::BatchOutcome::Failed(gen.string()),
+                    })
+                    .collect(),
+            ),
             2 => ShardReply::Route(random_route_table(&mut gen)),
             3 => ShardReply::StaleRoute,
             4 => ShardReply::Ack,
@@ -444,9 +464,14 @@ fn regime_messages_round_trip() {
     for case in 0..CASES {
         let object = gen.next_u64();
         let epoch = gen.next_u64();
-        let msg = match gen.below(13) {
+        let msg = match gen.below(14) {
             0 => RegimeMsg::Route { object },
             12 => RegimeMsg::MirrorQuery { object },
+            13 => RegimeMsg::OpBatch {
+                ops: (0..gen.below(6))
+                    .map(|_| random_batch_op(&mut gen))
+                    .collect(),
+            },
             1 => RegimeMsg::Op {
                 object,
                 epoch,
@@ -498,7 +523,17 @@ fn regime_messages_round_trip() {
             },
         };
         assert_roundtrip(&msg, case);
-        let reply = match gen.below(10) {
+        let reply = match gen.below(11) {
+            10 => RegimeReply::Batch(
+                (0..gen.below(6))
+                    .map(|_| match gen.below(4) {
+                        0 => orca_wire::BatchOutcome::Done(gen.bytes(24)),
+                        1 => orca_wire::BatchOutcome::Blocked,
+                        2 => orca_wire::BatchOutcome::Stale,
+                        _ => orca_wire::BatchOutcome::Failed(gen.string()),
+                    })
+                    .collect(),
+            ),
             0 => RegimeReply::Done(gen.bytes(48)),
             1 => RegimeReply::Blocked,
             2 => RegimeReply::Route(random_regime_table(&mut gen)),
@@ -584,5 +619,59 @@ fn recovery_messages_round_trip() {
         let bytes = gen.bytes(32);
         let _ = RecoveryMsg::from_bytes(&bytes);
         let _ = RecoveryReply::from_bytes(&bytes);
+    }
+}
+
+fn random_batch_op(gen: &mut Gen) -> orca_wire::BatchOp {
+    orca_wire::BatchOp {
+        id: gen.next_u64(),
+        object: gen.next_u64(),
+        partition: gen.next_u64() as u32,
+        epoch: gen.next_u64(),
+        op: gen.bytes(48),
+    }
+}
+
+#[test]
+fn batch_messages_round_trip() {
+    use orca_wire::{BatchOutcome, BatchReply, OpBatch};
+    let mut gen = Gen::new(0xBA7C_4ED0);
+    for case in 0..CASES {
+        let batch = OpBatch {
+            batch: gen.next_u64(),
+            ops: (0..gen.below(8))
+                .map(|_| random_batch_op(&mut gen))
+                .collect(),
+        };
+        assert_roundtrip(&batch, case);
+        let reply = BatchReply {
+            batch: batch.batch,
+            outcomes: batch
+                .ops
+                .iter()
+                .map(|op| {
+                    let outcome = match gen.below(4) {
+                        0 => BatchOutcome::Done(gen.bytes(32)),
+                        1 => BatchOutcome::Blocked,
+                        2 => BatchOutcome::Stale,
+                        _ => BatchOutcome::Failed(gen.string()),
+                    };
+                    (op.id, outcome)
+                })
+                .collect(),
+        };
+        assert_roundtrip(&reply, case);
+        // Truncation is an error, never a silently shortened batch.
+        let bytes = batch.to_bytes();
+        if bytes.len() > 1 {
+            let cut = 1 + gen.below(bytes.len() - 1);
+            if let Ok(decoded) = OpBatch::from_bytes(&bytes[..bytes.len() - cut]) {
+                assert_ne!(decoded, batch, "case {case}: truncated decode == original");
+            }
+        }
+        // Garbage decoding must error out, never panic.
+        let garbage = gen.bytes(32);
+        let _ = OpBatch::from_bytes(&garbage);
+        let _ = BatchReply::from_bytes(&garbage);
     }
 }

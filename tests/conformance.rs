@@ -11,14 +11,35 @@
 //! final sums, table contents) is identical.
 //!
 //! Set `ORCA_RTS=<name-prefix>` to restrict the suite to matching
-//! strategies (CI runs a dedicated `ORCA_RTS=sharded` matrix entry).
+//! strategies (CI runs a dedicated `ORCA_RTS=sharded` matrix entry), and
+//! `ORCA_SEED=<n>` to override every fault-injection seed — the seed a
+//! failure reports reproduces that failure with this one variable.
+//!
+//! Beyond the fixed-workload observable comparison, the suite records
+//! per-process *invocation histories* (operation, reply, issue order) on a
+//! shared counter and feeds them to a sequential-consistency checker that
+//! searches for one legal total order explaining every process's
+//! observations — across all five strategy families, on both the
+//! synchronous and the pipelined asynchronous invocation paths, with and
+//! without fault injection.
 
 use orca::amoeba::FaultConfig;
-use orca::core::objects::{BoolArray, JobQueue, KvTable, SharedInt, TableEntry};
-use orca::core::{replicated_workers, standard_registry, OrcaConfig, OrcaRuntime, RtsStrategy};
+use orca::core::objects::{BoolArray, IntObject, IntOp, JobQueue, KvTable, SharedInt, TableEntry};
+use orca::core::{
+    replicated_workers, standard_registry, BatchPolicy, OrcaConfig, OrcaRuntime, RtsStrategy,
+};
 
 const WORKERS: usize = 3;
 const JOBS: u32 = 40;
+
+/// Fault seed, overridable with `ORCA_SEED` so a reported failure
+/// reproduces with one environment variable.
+fn fault_seed(default: u64) -> u64 {
+    std::env::var("ORCA_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 /// Everything the replicated-worker program can observe at the end of a
 /// run. Sorted so scheduling nondeterminism (which worker gets which job)
@@ -153,7 +174,11 @@ fn expected() -> Observables {
 fn all_strategies_agree_on_a_reliable_network() {
     for (name, strategy) in strategies() {
         let observed = run_program(strategy, FaultConfig::reliable());
-        assert_eq!(observed, expected(), "strategy {name} diverged");
+        assert_eq!(
+            observed,
+            expected(),
+            "strategy {name} diverged (reliable network; reproduce with ORCA_RTS={name})"
+        );
     }
 }
 
@@ -166,14 +191,15 @@ fn all_strategies_agree_under_fault_injection() {
         drop_prob: 0.1,
         duplicate_prob: 0.05,
         reorder_prob: 0.05,
-        seed: 0x5EED,
+        seed: fault_seed(0x5EED),
     };
     for (name, strategy) in strategies() {
         let observed = run_program(strategy, fault);
         assert_eq!(
             observed,
             expected(),
-            "strategy {name} diverged under faults"
+            "strategy {name} diverged under faults (reproduce with ORCA_RTS={name} ORCA_SEED={})",
+            fault.seed
         );
     }
 }
@@ -272,9 +298,255 @@ fn fault_schedule_seed_does_not_leak_into_observables() {
             drop_prob: 0.15,
             duplicate_prob: 0.05,
             reorder_prob: 0.05,
-            seed,
+            seed: fault_seed(seed),
         };
         let observed = run_program(RtsStrategy::broadcast(), fault);
-        assert_eq!(observed, expected(), "seed {seed} changed observables");
+        assert_eq!(
+            observed,
+            expected(),
+            "seed {} changed observables (reproduce with ORCA_SEED={})",
+            fault.seed,
+            fault.seed
+        );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Sequential-consistency history checking.
+//
+// Workers hammer one shared counter with `Add` operations (each returns the
+// post-operation sum) and occasional `Value` reads, recording their own
+// history in issue order. Sequential consistency demands ONE total order of
+// all operations, consistent with every process's issue order, in which
+// each reply equals the running prefix sum — the checker below searches for
+// it by depth-first search over process frontiers (memoized: the consumed
+// prefix determines the running sum, so a revisited frontier vector can be
+// cut off).
+// ---------------------------------------------------------------------------
+
+/// One recorded invocation: the delta it added (0 for a read) and the sum
+/// the runtime system replied with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HistOp {
+    delta: i64,
+    reply: i64,
+}
+
+/// True if some total order consistent with every per-process history
+/// explains every reply (sequential consistency of a counter register).
+fn sequentially_consistent(histories: &[Vec<HistOp>]) -> bool {
+    fn dfs(
+        frontier: &mut Vec<usize>,
+        sum: i64,
+        histories: &[Vec<HistOp>],
+        seen: &mut std::collections::HashSet<Vec<usize>>,
+    ) -> bool {
+        if frontier
+            .iter()
+            .zip(histories)
+            .all(|(&done, history)| done == history.len())
+        {
+            return true;
+        }
+        if !seen.insert(frontier.clone()) {
+            return false;
+        }
+        for process in 0..histories.len() {
+            let next = frontier[process];
+            if next == histories[process].len() {
+                continue;
+            }
+            let op = histories[process][next];
+            if op.reply == sum + op.delta {
+                frontier[process] += 1;
+                if dfs(frontier, sum + op.delta, histories, seen) {
+                    return true;
+                }
+                frontier[process] -= 1;
+            }
+        }
+        false
+    }
+    let mut frontier = vec![0; histories.len()];
+    dfs(
+        &mut frontier,
+        0,
+        histories,
+        &mut std::collections::HashSet::new(),
+    )
+}
+
+const HIST_WORKERS: usize = 3;
+const HIST_OPS: usize = 12;
+
+/// Run the counter workload under one strategy and record every worker's
+/// history. `async_path` drives the pipelined asynchronous invocations
+/// (windows of 4 kept in flight, waited in issue order) instead of the
+/// blocking path.
+fn run_history_program(
+    label: &str,
+    strategy: RtsStrategy,
+    fault: FaultConfig,
+    async_path: bool,
+) -> Vec<Vec<HistOp>> {
+    let config = OrcaConfig {
+        fault,
+        strategy,
+        ..OrcaConfig::broadcast(HIST_WORKERS)
+    }
+    .with_batch(BatchPolicy {
+        max_batch: 8,
+        max_delay: std::time::Duration::from_millis(2),
+    });
+    let runtime = OrcaRuntime::start(config, standard_registry());
+    let counter = runtime.create::<IntObject>(&0).unwrap();
+    let seed = fault.seed;
+    let workers: Vec<_> = (0..HIST_WORKERS)
+        .map(|w| {
+            let label = format!("{label} (ORCA_SEED={seed})");
+            runtime.fork_on(w, "historian", move |ctx| {
+                // Distinct deltas per (worker, op) make replies maximally
+                // discriminating; every 4th op is a read.
+                let ops: Vec<IntOp> = (0..HIST_OPS)
+                    .map(|i| {
+                        if i % 4 == 3 {
+                            IntOp::Value
+                        } else {
+                            IntOp::Add((w * HIST_OPS + i + 1) as i64)
+                        }
+                    })
+                    .collect();
+                let deltas: Vec<i64> = ops
+                    .iter()
+                    .map(|op| match op {
+                        IntOp::Add(d) => *d,
+                        _ => 0,
+                    })
+                    .collect();
+                let replies: Vec<i64> = if async_path {
+                    let mut replies = Vec::new();
+                    for window in ops.chunks(4) {
+                        let futures = ctx.invoke_many(counter, window);
+                        for future in &futures {
+                            replies.push(future.wait().unwrap_or_else(|err| {
+                                panic!("{label}: async invocation failed: {err}")
+                            }));
+                        }
+                    }
+                    replies
+                } else {
+                    ops.iter()
+                        .map(|op| {
+                            ctx.invoke(counter, op).unwrap_or_else(|err| {
+                                panic!("{label}: sync invocation failed: {err}")
+                            })
+                        })
+                        .collect()
+                };
+                deltas
+                    .into_iter()
+                    .zip(replies)
+                    .map(|(delta, reply)| HistOp { delta, reply })
+                    .collect::<Vec<HistOp>>()
+            })
+        })
+        .collect();
+    let histories: Vec<Vec<HistOp>> = workers.into_iter().map(|w| w.join()).collect();
+    runtime.shutdown();
+    histories
+}
+
+/// The strategy families the history checker sweeps (one representative
+/// per family — five in all).
+fn history_strategies() -> Vec<(&'static str, RtsStrategy)> {
+    strategies()
+        .into_iter()
+        .filter(|(name, _)| {
+            matches!(
+                *name,
+                "broadcast"
+                    | "primary_update"
+                    | "primary_invalidate"
+                    | "sharded_multi"
+                    | "adaptive_eager"
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn histories_are_sequentially_consistent_on_sync_and_async_paths() {
+    let faults = [
+        ("reliable", FaultConfig::reliable()),
+        (
+            "faulty",
+            FaultConfig {
+                drop_prob: 0.08,
+                duplicate_prob: 0.04,
+                reorder_prob: 0.04,
+                seed: fault_seed(0xC0FFEE),
+            },
+        ),
+    ];
+    for (name, strategy) in history_strategies() {
+        for (fault_name, fault) in faults {
+            for async_path in [false, true] {
+                let path = if async_path { "async" } else { "sync" };
+                let label = format!("strategy {name}, {fault_name} network, {path} path");
+                let histories = run_history_program(&label, strategy.clone(), fault, async_path);
+                // Per-process per-object issue-order completion: with all
+                // deltas positive, a later-issued write must return a
+                // strictly larger sum than an earlier one. An RTS that
+                // reordered or dropped a pipelined write breaks this
+                // before the full checker even runs.
+                for (w, history) in histories.iter().enumerate() {
+                    let write_replies: Vec<i64> = history
+                        .iter()
+                        .filter(|op| op.delta != 0)
+                        .map(|op| op.reply)
+                        .collect();
+                    assert!(
+                        write_replies.windows(2).all(|pair| pair[0] < pair[1]),
+                        "{label} (ORCA_SEED={}): worker {w} writes completed out of \
+                         issue order: {write_replies:?}",
+                        fault.seed
+                    );
+                }
+                assert!(
+                    sequentially_consistent(&histories),
+                    "{label} (ORCA_SEED={}): no sequentially consistent total order \
+                     explains the histories {histories:?}",
+                    fault.seed
+                );
+            }
+        }
+    }
+}
+
+/// Checker self-test: legal interleavings pass, deliberately broken
+/// orderings are caught.
+#[test]
+fn history_checker_catches_broken_orderings() {
+    let op = |delta, reply| HistOp { delta, reply };
+    // Two legal serializations of two single-op processes.
+    assert!(sequentially_consistent(&[vec![op(1, 1)], vec![op(2, 3)]]));
+    assert!(sequentially_consistent(&[vec![op(1, 3)], vec![op(2, 2)]]));
+    // Both processes claim to have run first: no total order explains it.
+    assert!(!sequentially_consistent(&[vec![op(1, 1)], vec![op(2, 2)]]));
+    // A read observing a sum no prefix can produce.
+    assert!(!sequentially_consistent(&[vec![op(1, 1), op(0, 99)]]));
+    // Issue-order violation inside one process: the replies of its two
+    // writes are swapped relative to a legal execution.
+    assert!(sequentially_consistent(&[
+        vec![op(1, 3), op(4, 7)],
+        vec![op(2, 2)],
+    ]));
+    assert!(!sequentially_consistent(&[
+        vec![op(1, 7), op(4, 3)],
+        vec![op(2, 2)],
+    ]));
+    // A lost write: the second op's reply misses the first one's delta.
+    assert!(!sequentially_consistent(&[vec![op(1, 1), op(2, 2)]]));
+    // The empty history is trivially consistent.
+    assert!(sequentially_consistent(&[vec![], vec![]]));
 }
