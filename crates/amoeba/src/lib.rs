@@ -34,6 +34,7 @@ pub mod node;
 pub mod process;
 pub mod rng;
 pub mod rpc;
+pub mod sched;
 pub mod segment;
 pub mod stats;
 
@@ -41,4 +42,5 @@ pub use fault::FaultConfig;
 pub use message::NetMessage;
 pub use network::{Network, NetworkConfig, NetworkHandle, PortReceiver};
 pub use node::{ports, NodeId, Port};
+pub use sched::{HeldDescriptor, MsgId, SchedulerConfig};
 pub use stats::{NetStats, NetStatsSnapshot};

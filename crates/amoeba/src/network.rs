@@ -29,6 +29,7 @@ use parking_lot::Mutex;
 use crate::fault::{FaultAction, FaultConfig, FaultInjector};
 use crate::message::{Delivery, NetMessage, WIRE_HEADER_BYTES};
 use crate::node::{ports, NodeId, Port};
+use crate::sched::{HeldDescriptor, MsgId, SchedState, SchedulerConfig};
 use crate::stats::{NetStats, NetStatsSnapshot};
 
 /// Configuration of a simulated network.
@@ -118,6 +119,44 @@ struct NetworkCore {
     stats: NetStats,
     injector: Mutex<FaultInjector>,
     next_ephemeral: AtomicU64,
+    /// Installed schedule driver (model checking); `None` in normal runs.
+    sched: Mutex<Option<SchedState>>,
+    /// Monotone counter of delivery events (enqueues, holds, drops), used
+    /// by schedule drivers to detect quiescence.
+    activity: AtomicU64,
+}
+
+impl NetworkCore {
+    fn enqueue(&self, dst: NodeId, msg: NetMessage) {
+        self.activity.fetch_add(1, Ordering::SeqCst);
+        let inbox = &self.inboxes[dst.index()];
+        let wire_bytes = msg.wire_size();
+        self.stats.record_delivery(dst, wire_bytes);
+        let bound = inbox.bound.lock();
+        let msg = if let Some(tx) = bound.get(&msg.port) {
+            match tx.send(msg) {
+                Ok(()) => return,
+                Err(err) => err.0,
+            }
+        } else {
+            msg
+        };
+        drop(bound);
+        // Port not bound (yet) or receiver dropped concurrently: buffer it.
+        inbox.pending.lock().entry(msg.port).or_default().push(msg);
+    }
+
+    /// Deliver a message released from the held pool: a release models a
+    /// packet that was already on the wire, so a crash of the *source* after
+    /// the send does not stop it, but a crashed *destination* discards it.
+    fn deliver_released(&self, dst: NodeId, msg: NetMessage) {
+        if self.inboxes[dst.index()].crashed.load(Ordering::SeqCst) {
+            self.activity.fetch_add(1, Ordering::SeqCst);
+            self.stats.record_drop(dst);
+            return;
+        }
+        self.enqueue(dst, msg);
+    }
 }
 
 /// A simulated broadcast network shared by all nodes of the processor pool.
@@ -153,6 +192,8 @@ impl Network {
                 stats,
                 injector,
                 next_ephemeral: AtomicU64::new(ports::EPHEMERAL_BASE),
+                sched: Mutex::new(None),
+                activity: AtomicU64::new(0),
             }),
         }
     }
@@ -225,6 +266,89 @@ impl Network {
     /// wire (header included, at least one packet).
     pub fn packets_for(&self, payload_len: usize) -> usize {
         packets_for(payload_len, self.core.config.packet_payload)
+    }
+
+    /// Install (`Some`) or uninstall (`None`) a schedule driver.
+    ///
+    /// While installed, every message sent to a non-passthrough port is
+    /// *held* instead of delivered, and the driver releases or drops held
+    /// messages explicitly ([`Network::sched_release`],
+    /// [`Network::sched_drop`]); passthrough traffic is delivered
+    /// immediately and reliably. Uninstalling flushes all still-held
+    /// messages in send order.
+    pub fn set_scheduler(&self, config: Option<SchedulerConfig>) {
+        let previous = {
+            let mut sched = self.core.sched.lock();
+            std::mem::replace(&mut *sched, config.map(SchedState::new))
+        };
+        if let Some(state) = previous {
+            for entry in state.held {
+                self.core.deliver_released(entry.dst, entry.msg);
+            }
+        }
+    }
+
+    /// True while a schedule driver is installed.
+    pub fn scheduler_installed(&self) -> bool {
+        self.core.sched.lock().is_some()
+    }
+
+    /// Descriptors of all currently held messages, in canonical order.
+    /// Empty when no scheduler is installed.
+    pub fn sched_pending(&self) -> Vec<HeldDescriptor> {
+        self.core
+            .sched
+            .lock()
+            .as_ref()
+            .map(|s| s.descriptors())
+            .unwrap_or_default()
+    }
+
+    /// Release the held message `id` for delivery. Returns false if no such
+    /// message is held. A crash of the source after the send does not stop
+    /// the release (the packet was in flight); a crashed destination
+    /// discards it.
+    pub fn sched_release(&self, id: MsgId) -> bool {
+        let entry = {
+            let mut sched = self.core.sched.lock();
+            sched.as_mut().and_then(|s| s.take(id))
+        };
+        match entry {
+            Some(entry) => {
+                self.core.deliver_released(entry.dst, entry.msg);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drop the held message `id` (models packet loss). Only unreliable
+    /// traffic may be dropped; returns false for reliable messages or
+    /// unknown ids, leaving them held.
+    pub fn sched_drop(&self, id: MsgId) -> bool {
+        let mut sched = self.core.sched.lock();
+        let Some(state) = sched.as_mut() else {
+            return false;
+        };
+        let reliable = match state.held.iter().find(|e| e.id == id) {
+            Some(entry) => entry.reliable,
+            None => return false,
+        };
+        if reliable {
+            return false;
+        }
+        let entry = state.take(id).expect("entry just found");
+        drop(sched);
+        self.core.activity.fetch_add(1, Ordering::SeqCst);
+        self.core.stats.record_drop(entry.dst);
+        true
+    }
+
+    /// Monotone counter of delivery events (enqueues, holds, drops). A
+    /// schedule driver polls this to detect quiescence: when the counter is
+    /// stable for a while, no message is being processed or produced.
+    pub fn activity(&self) -> u64 {
+        self.core.activity.load(Ordering::SeqCst)
     }
 }
 
@@ -375,8 +499,25 @@ impl NetworkHandle {
     fn deliver(&self, dst: NodeId, msg: NetMessage, reliable: bool) {
         let inbox = &self.core.inboxes[dst.index()];
         if inbox.crashed.load(Ordering::SeqCst) {
+            self.core.activity.fetch_add(1, Ordering::SeqCst);
             self.core.stats.record_drop(dst);
             return;
+        }
+        // Schedule-driver seam: while a scheduler is installed, hold
+        // everything except passthrough traffic, and never consult the
+        // fault injector (the driver makes the drop decisions).
+        {
+            let mut sched = self.core.sched.lock();
+            if let Some(state) = sched.as_mut() {
+                if !state.is_passthrough(msg.port) {
+                    state.hold(dst, msg, reliable);
+                    self.core.activity.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+                drop(sched);
+                self.core.enqueue(dst, msg);
+                return;
+            }
         }
         let action = if reliable {
             FaultAction::Deliver
@@ -385,18 +526,20 @@ impl NetworkHandle {
         };
         match action {
             FaultAction::Drop => {
+                self.core.activity.fetch_add(1, Ordering::SeqCst);
                 self.core.stats.record_drop(dst);
             }
             FaultAction::Deliver => {
-                self.enqueue(dst, msg);
+                self.core.enqueue(dst, msg);
                 self.release_holdback(dst);
             }
             FaultAction::Duplicate => {
-                self.enqueue(dst, msg.clone());
-                self.enqueue(dst, msg);
+                self.core.enqueue(dst, msg.clone());
+                self.core.enqueue(dst, msg);
                 self.release_holdback(dst);
             }
             FaultAction::HoldBack => {
+                self.core.activity.fetch_add(1, Ordering::SeqCst);
                 inbox.holdback.lock().push(msg);
             }
         }
@@ -408,26 +551,8 @@ impl NetworkHandle {
             std::mem::take(&mut *holdback)
         };
         for msg in held {
-            self.enqueue(dst, msg);
+            self.core.enqueue(dst, msg);
         }
-    }
-
-    fn enqueue(&self, dst: NodeId, msg: NetMessage) {
-        let inbox = &self.core.inboxes[dst.index()];
-        let wire_bytes = msg.wire_size();
-        self.core.stats.record_delivery(dst, wire_bytes);
-        let bound = inbox.bound.lock();
-        let msg = if let Some(tx) = bound.get(&msg.port) {
-            match tx.send(msg) {
-                Ok(()) => return,
-                Err(err) => err.0,
-            }
-        } else {
-            msg
-        };
-        drop(bound);
-        // Port not bound (yet) or receiver dropped concurrently: buffer it.
-        inbox.pending.lock().entry(msg.port).or_default().push(msg);
     }
 }
 
@@ -611,6 +736,107 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(b, c);
         assert!(a >= ports::EPHEMERAL_BASE);
+    }
+
+    #[test]
+    fn scheduler_holds_and_releases_in_chosen_order() {
+        let net = Network::reliable(2);
+        let rx = net.handle(NodeId(1)).bind(5);
+        net.set_scheduler(Some(SchedulerConfig::default_for_mc()));
+        let handle = net.handle(NodeId(0));
+        handle.send_reliable(NodeId(1), 5, vec![1]).unwrap();
+        handle.send_reliable(NodeId(1), 5, vec![2]).unwrap();
+        assert!(rx.recv_timeout(Duration::from_millis(30)).is_err());
+        let pending = net.sched_pending();
+        assert_eq!(pending.len(), 2);
+        assert_eq!(pending[0].id.seq, 0);
+        assert_eq!(pending[1].id.seq, 1);
+        // Release out of send order: the driver decides.
+        assert!(net.sched_release(pending[1].id));
+        assert!(net.sched_release(pending[0].id));
+        assert!(!net.sched_release(pending[0].id));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(1)).unwrap().payload,
+            vec![2]
+        );
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(1)).unwrap().payload,
+            vec![1]
+        );
+        net.set_scheduler(None);
+    }
+
+    #[test]
+    fn scheduler_drop_only_for_unreliable_traffic() {
+        let net = Network::reliable(2);
+        let rx = net.handle(NodeId(1)).bind(5);
+        net.set_scheduler(Some(SchedulerConfig::default_for_mc()));
+        let handle = net.handle(NodeId(0));
+        handle.send_reliable(NodeId(1), 5, vec![1]).unwrap();
+        handle.send(NodeId(1), 5, vec![2]).unwrap();
+        let pending = net.sched_pending();
+        let reliable = pending.iter().find(|d| d.reliable).unwrap().id;
+        let unreliable = pending.iter().find(|d| !d.reliable).unwrap().id;
+        assert!(!net.sched_drop(reliable), "reliable must not be droppable");
+        assert!(net.sched_drop(unreliable));
+        assert_eq!(net.sched_pending().len(), 1);
+        // Uninstalling flushes the still-held reliable message.
+        net.set_scheduler(None);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(1)).unwrap().payload,
+            vec![1]
+        );
+        assert!(rx.recv_timeout(Duration::from_millis(30)).is_err());
+        assert!(net.stats().total_dropped() >= 1);
+    }
+
+    #[test]
+    fn scheduler_passthrough_and_crash_semantics() {
+        let net = Network::new(NetworkConfig::with_fault(3, FaultConfig::lossy(1.0, 7)));
+        let hb = net.handle(NodeId(1)).bind(ports::MEMBERSHIP);
+        let rx = net.handle(NodeId(2)).bind(5);
+        net.set_scheduler(Some(SchedulerConfig::default_for_mc()));
+        let handle = net.handle(NodeId(0));
+        // Passthrough traffic flows immediately even though the fault config
+        // would drop everything: the injector is bypassed under a scheduler.
+        handle.send(NodeId(1), ports::MEMBERSHIP, vec![9]).unwrap();
+        assert_eq!(
+            hb.recv_timeout(Duration::from_secs(1)).unwrap().payload,
+            vec![9]
+        );
+        // A held message released after its source crashed still arrives (it
+        // was in flight); one released to a crashed destination is dropped.
+        handle.send_reliable(NodeId(2), 5, vec![1]).unwrap();
+        handle.send_reliable(NodeId(2), 5, vec![2]).unwrap();
+        let pending = net.sched_pending();
+        net.crash(NodeId(0));
+        assert!(net.sched_release(pending[0].id));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(1)).unwrap().payload,
+            vec![1]
+        );
+        net.crash(NodeId(2));
+        assert!(net.sched_release(pending[1].id));
+        assert!(rx.recv_timeout(Duration::from_millis(30)).is_err());
+        net.set_scheduler(None);
+    }
+
+    #[test]
+    fn activity_counter_tracks_delivery_events() {
+        let net = Network::reliable(2);
+        let _rx = net.handle(NodeId(1)).bind(5);
+        let before = net.activity();
+        net.handle(NodeId(0))
+            .send_reliable(NodeId(1), 5, vec![1])
+            .unwrap();
+        assert!(net.activity() > before);
+        net.set_scheduler(Some(SchedulerConfig::default_for_mc()));
+        let held_before = net.activity();
+        net.handle(NodeId(0))
+            .send_reliable(NodeId(1), 5, vec![2])
+            .unwrap();
+        assert!(net.activity() > held_before, "holding counts as activity");
+        net.set_scheduler(None);
     }
 
     #[test]

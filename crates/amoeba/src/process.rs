@@ -46,6 +46,15 @@ impl<T> ProcessHandle<T> {
         self.node
     }
 
+    /// Whether the process has finished running (its result is ready and
+    /// [`ProcessHandle::join`] will not block). Used by drivers that
+    /// multiplex over several processes — notably the model checker's
+    /// schedule loop, which must keep choosing deliveries until every
+    /// worker process is done.
+    pub fn is_finished(&self) -> bool {
+        self.thread.is_finished()
+    }
+
     /// Wait for the process to finish and return its result.
     ///
     /// Panics if the process itself panicked, propagating the failure to the

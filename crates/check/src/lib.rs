@@ -1,0 +1,216 @@
+//! Shared correctness checkers for the Orca runtime systems.
+//!
+//! One implementation of the sequential-consistency checker (and the
+//! exactly-once invariants that go with it) serves three harnesses: the
+//! cross-RTS conformance suite (`tests/conformance.rs`), the seed-sweep
+//! determinism lane (`tests/seed_sweep.rs`), and the bounded model checker
+//! (`orca-mc`). Keeping them on one checker means a checker bug — or a
+//! checker improvement — cannot silently diverge between the lanes.
+//!
+//! The object under test is always a shared *counter*: processes issue
+//! `Add(delta)` operations (the reply is the post-operation sum) and
+//! `Value` reads (`delta == 0`). A counter makes replies maximally
+//! discriminating while keeping the checker simple: an execution is
+//! sequentially consistent iff some total order of all operations,
+//! consistent with every process's issue order, explains every reply as a
+//! running prefix sum.
+
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+
+/// One recorded invocation on the shared counter: the delta it added
+/// (0 for a read) and the sum the runtime system replied with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistOp {
+    /// The amount the operation added (0 for a pure read).
+    pub delta: i64,
+    /// The post-operation sum the runtime replied with.
+    pub reply: i64,
+}
+
+impl HistOp {
+    /// Convenience constructor.
+    pub fn new(delta: i64, reply: i64) -> Self {
+        HistOp { delta, reply }
+    }
+}
+
+/// True if some total order consistent with every per-process history
+/// explains every reply (sequential consistency of a counter register).
+///
+/// Depth-first search over process frontiers, memoized: the consumed
+/// prefix determines the running sum, so a revisited frontier vector can
+/// be cut off.
+pub fn sequentially_consistent(histories: &[Vec<HistOp>]) -> bool {
+    sequentially_consistent_with_phantoms(histories, &[])
+}
+
+/// Sequential consistency in the presence of *maybe-applied* operations.
+///
+/// A crashed or errored invocation may or may not have taken effect (the
+/// reply was lost, not the operation). Each `phantom` delta may be
+/// inserted into the total order at most once, anywhere, with no reply
+/// constraint. Phantom placement is deliberately unconstrained by issue
+/// order, which makes the check *sound* (a history this function rejects
+/// is genuinely inconsistent) at the price of some completeness.
+pub fn sequentially_consistent_with_phantoms(histories: &[Vec<HistOp>], phantoms: &[i64]) -> bool {
+    assert!(
+        phantoms.len() <= 63,
+        "phantom set too large for the bitmask memo"
+    );
+    struct Search<'a> {
+        histories: &'a [Vec<HistOp>],
+        phantoms: &'a [i64],
+        seen: HashSet<(Vec<usize>, u64)>,
+    }
+    impl Search<'_> {
+        fn dfs(&mut self, frontier: &mut Vec<usize>, used: u64, sum: i64) -> bool {
+            if frontier
+                .iter()
+                .zip(self.histories)
+                .all(|(&done, history)| done == history.len())
+            {
+                // Leftover phantoms simply never took effect.
+                return true;
+            }
+            if !self.seen.insert((frontier.clone(), used)) {
+                return false;
+            }
+            for process in 0..self.histories.len() {
+                let next = frontier[process];
+                if next == self.histories[process].len() {
+                    continue;
+                }
+                let op = self.histories[process][next];
+                if op.reply == sum + op.delta {
+                    frontier[process] += 1;
+                    if self.dfs(frontier, used, sum + op.delta) {
+                        return true;
+                    }
+                    frontier[process] -= 1;
+                }
+            }
+            for (i, &delta) in self.phantoms.iter().enumerate() {
+                if used & (1 << i) == 0 && self.dfs(frontier, used | (1 << i), sum + delta) {
+                    return true;
+                }
+            }
+            false
+        }
+    }
+    let mut search = Search {
+        histories,
+        phantoms,
+        seen: HashSet::new(),
+    };
+    let mut frontier = vec![0; histories.len()];
+    search.dfs(&mut frontier, 0, 0)
+}
+
+/// Exactly-once / no-acked-write-lost check for counter workloads whose
+/// deltas are *distinct powers of two*: adding such deltas never carries,
+/// so the final counter value is exactly the bitwise OR of the deltas that
+/// took effect. The final value must contain every acknowledged write
+/// (nothing acked may be lost) and nothing outside the acked and
+/// maybe-applied sets (nothing may be invented or double-applied — a
+/// double-applied power of two carries into a bit outside both masks).
+pub fn counter_value_explained(final_value: i64, acked_mask: i64, maybe_mask: i64) -> bool {
+    final_value & acked_mask == acked_mask && final_value & !(acked_mask | maybe_mask) == 0
+}
+
+/// Exactly-once check for bag-like workloads (e.g. a job queue): every
+/// acknowledged item must be observed exactly once, a maybe-applied item
+/// (errored insert) at most once, and nothing else may appear. Items must
+/// be distinct across `acked` and `maybe` for the multiplicity check to be
+/// meaningful.
+pub fn exactly_once_bag(acked: &[i64], maybe: &[i64], observed: &[i64]) -> Result<(), String> {
+    let mut counts: HashMap<i64, usize> = HashMap::new();
+    for &item in observed {
+        *counts.entry(item).or_default() += 1;
+    }
+    for &item in acked {
+        match counts.remove(&item) {
+            Some(1) => {}
+            Some(n) => return Err(format!("acked item {item} observed {n} times")),
+            None => return Err(format!("acked item {item} lost")),
+        }
+    }
+    for &item in maybe {
+        match counts.remove(&item) {
+            None | Some(1) => {}
+            Some(n) => return Err(format!("maybe-applied item {item} observed {n} times")),
+        }
+    }
+    if let Some((&item, &n)) = counts.iter().next() {
+        return Err(format!("unexplained item {item} observed {n} times"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(delta: i64, reply: i64) -> HistOp {
+        HistOp::new(delta, reply)
+    }
+
+    #[test]
+    fn accepts_legal_serializations() {
+        assert!(sequentially_consistent(&[vec![op(1, 1)], vec![op(2, 3)]]));
+        assert!(sequentially_consistent(&[vec![op(1, 3)], vec![op(2, 2)]]));
+        assert!(sequentially_consistent(&[vec![], vec![]]));
+    }
+
+    #[test]
+    fn rejects_impossible_histories() {
+        // Both processes claim to have run first.
+        assert!(!sequentially_consistent(&[vec![op(1, 1)], vec![op(2, 2)]]));
+        // A read observing a sum no prefix can produce.
+        assert!(!sequentially_consistent(&[vec![op(1, 1), op(0, 99)]]));
+        // A lost write: the second reply misses the first delta.
+        assert!(!sequentially_consistent(&[vec![op(1, 1), op(2, 2)]]));
+    }
+
+    #[test]
+    fn phantoms_explain_maybe_applied_writes() {
+        // The read sees 5 = 1 + a phantom 4 whose ack was lost.
+        assert!(!sequentially_consistent(&[vec![op(1, 1), op(0, 5)]]));
+        assert!(sequentially_consistent_with_phantoms(
+            &[vec![op(1, 1), op(0, 5)]],
+            &[4]
+        ));
+        // A phantom is applied at most once: 9 would need 4 twice.
+        assert!(!sequentially_consistent_with_phantoms(
+            &[vec![op(1, 1), op(0, 9)]],
+            &[4]
+        ));
+        // Unused phantoms are fine.
+        assert!(sequentially_consistent_with_phantoms(
+            &[vec![op(1, 1)]],
+            &[4, 8]
+        ));
+    }
+
+    #[test]
+    fn bitmask_invariant() {
+        assert!(counter_value_explained(0b101, 0b101, 0));
+        assert!(counter_value_explained(0b111, 0b101, 0b010));
+        assert!(counter_value_explained(0b101, 0b101, 0b010));
+        // An acked write is missing.
+        assert!(!counter_value_explained(0b001, 0b101, 0));
+        // A bit nobody wrote (e.g. a double-applied delta carried).
+        assert!(!counter_value_explained(0b1101, 0b101, 0));
+    }
+
+    #[test]
+    fn bag_invariant() {
+        assert!(exactly_once_bag(&[1, 2], &[3], &[2, 1, 3]).is_ok());
+        assert!(exactly_once_bag(&[1, 2], &[3], &[2, 1]).is_ok());
+        assert!(exactly_once_bag(&[1, 2], &[], &[1]).is_err());
+        assert!(exactly_once_bag(&[1], &[], &[1, 1]).is_err());
+        assert!(exactly_once_bag(&[1], &[3], &[1, 3, 3]).is_err());
+        assert!(exactly_once_bag(&[1], &[], &[1, 9]).is_err());
+    }
+}

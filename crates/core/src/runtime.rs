@@ -380,6 +380,34 @@ impl OrcaRuntime {
         }
     }
 
+    /// Nodes registered as secondary-copy holders at `node`'s primary
+    /// record of `object` (primary-copy strategy only; `None` otherwise,
+    /// empty when `node` is not the object's primary). Used by tests and
+    /// the model checker to time workloads against the fetch protocol's
+    /// registration point.
+    pub fn copy_holders(&self, node: usize, object: ObjectId) -> Option<Vec<NodeId>> {
+        match &self.rtses[node] {
+            NodeRts::Primary(rts) => Some(rts.copy_holders(object)),
+            _ => None,
+        }
+    }
+
+    /// Move one partition of `object` to node `dst` (sharded strategy
+    /// only; `None` when another strategy is running). The object's home
+    /// node coordinates the hand-off. Used by tests and the model checker
+    /// to force a shard hand-off at a chosen point in a workload.
+    pub fn migrate_shard(
+        &self,
+        object: ObjectId,
+        partition: u32,
+        dst: NodeId,
+    ) -> Option<Result<(), orca_rts::RtsError>> {
+        match self.live_rts() {
+            NodeRts::Sharded(rts) => Some(rts.migrate(object, partition, dst)),
+            _ => None,
+        }
+    }
+
     /// The regime currently serving `object` under the adaptive runtime
     /// system (freshly read from the object's home node), or `None` when
     /// another strategy is running. Used by tests and the benchmark

@@ -34,6 +34,8 @@ pub mod failure;
 pub mod history;
 pub mod member;
 pub mod messages;
+#[doc(hidden)]
+pub mod sabotage;
 pub mod stats;
 
 pub use config::{GroupConfig, MethodPolicy};

@@ -416,7 +416,7 @@ impl ProtocolState {
     /// Sequencer duty: assign the next global number and announce the data.
     fn sequence_data(&mut self, id: MsgId, payload: Vec<u8>) {
         if self.in_resync() {
-            self.deferred.push((id, payload, false));
+            self.defer(id, payload, false);
             return;
         }
         if let Some(&existing) = self.sequenced_ids.get(&id) {
@@ -451,11 +451,22 @@ impl ProtocolState {
         let _ = self.handle.broadcast(ports::GROUP, msg.to_bytes());
     }
 
+    /// Park a request that arrived during the resync window. Origins keep
+    /// retransmitting while we defer (they cannot see the window), so dedup
+    /// by id or the backlog grows one copy per retry.
+    fn defer(&mut self, id: MsgId, payload: Vec<u8>, accept: bool) {
+        if self.deferred.iter().any(|(existing, _, _)| *existing == id) {
+            GroupStats::bump(&self.stats.duplicates_ignored);
+            return;
+        }
+        self.deferred.push((id, payload, accept));
+    }
+
     /// Sequencer duty for the BB protocol: bind an already-broadcast message
     /// to a global number with a short Accept.
     fn sequence_accept(&mut self, id: MsgId, payload: Vec<u8>) {
         if self.in_resync() {
-            self.deferred.push((id, payload, true));
+            self.defer(id, payload, true);
             return;
         }
         if let Some(&existing) = self.sequenced_ids.get(&id) {
@@ -487,6 +498,16 @@ impl ProtocolState {
             GroupMsg::RequestForBroadcast { id, payload } => {
                 if self.is_sequencer() {
                     self.sequence_data(id, payload);
+                } else {
+                    // Stale view: the origin thinks we are the sequencer
+                    // (it rode out an election we saw first, or vice
+                    // versa). Point it at the real one so its retries
+                    // converge instead of vanishing into a non-sequencer.
+                    let msg = GroupMsg::NewSequencer {
+                        sequencer: self.sequencer,
+                        next_seq: self.next_global_seq,
+                    };
+                    let _ = self.handle.send(src, ports::GROUP, msg.to_bytes());
                 }
             }
             GroupMsg::SeqData {
@@ -494,12 +515,15 @@ impl ProtocolState {
                 id,
                 payload,
             } => {
-                if self.is_sequencer() {
+                if self.is_sequencer() && !crate::sabotage::skip_era_replay() {
                     // Replayed assignments of a previous sequencer's era
                     // (handover after an election, or retransmissions in
                     // flight across it): adopt them so our numbering
                     // resumes past everything any survivor has seen and
-                    // duplicate requests stay deduplicated.
+                    // duplicate requests stay deduplicated. (The sabotaged
+                    // failover also ignores these survivor-pushed replays —
+                    // otherwise they silently compensate for the skipped
+                    // replay and the mutation is unobservable.)
                     self.adopt_sequenced(global_seq, id, &payload);
                 }
                 self.receive_sequenced(global_seq, id, Some(payload));
@@ -541,7 +565,14 @@ impl ProtocolState {
                 // (delivered) and the reorder buffer (received, not yet
                 // delivered) so the new sequencer adopts them before it
                 // assigns fresh numbers.
-                if sequencer != self.handle.node() && self.known_highest >= next_seq {
+                // (The sabotaged build has no era-replay code on either
+                // side — survivors do not push old assignments at the new
+                // sequencer, so nothing repairs a resumed-too-low
+                // numbering.)
+                if sequencer != self.handle.node()
+                    && self.known_highest >= next_seq
+                    && !crate::sabotage::skip_era_replay()
+                {
                     for (global_seq, entry) in self.history.range(next_seq, self.known_highest) {
                         let msg = GroupMsg::SeqData {
                             global_seq,
@@ -760,6 +791,23 @@ impl ProtocolState {
     }
 
     fn check_timers(&mut self) {
+        // `ORCA_GROUP_TRACE=1` dumps per-tick member state to stderr — the
+        // fastest way to see an election livelock or a stuck resync window
+        // when a model-checker trace replays but the cause is not obvious.
+        static TRACE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        if *TRACE.get_or_init(|| std::env::var_os("ORCA_GROUP_TRACE").is_some()) {
+            eprintln!(
+                "group-trace node={} seq={} next_global={} next_deliver={} unacked={} deferred={} resync={} pending={}",
+                self.handle.node().index(),
+                self.sequencer.index(),
+                self.next_global_seq,
+                self.next_deliver,
+                self.unacked.len(),
+                self.deferred.len(),
+                self.in_resync(),
+                self.pending_order.len(),
+            );
+        }
         self.check_sequencer_alive();
         self.probe_predecessor_era();
         self.flush_deferred();
@@ -834,8 +882,9 @@ impl ProtocolState {
 
     fn check_sequencer_alive(&mut self) {
         // The simulated kernel exposes crash state directly (a perfect
-        // failure detector); the retry path below also suspects the
-        // sequencer after repeated fruitless retransmissions.
+        // failure detector); the retry path below raises suspicion after
+        // repeated fruitless retransmissions but also defers to this
+        // crash state before deposing anyone.
         if self.handle.network().is_crashed(self.sequencer) {
             self.fail_sequencer();
         }
@@ -850,7 +899,28 @@ impl ProtocolState {
             return;
         }
         self.sequencer = new_sequencer;
+        // Fruitless-retry counts were evidence against the old incumbent;
+        // the new sequencer starts with a clean slate (otherwise it is
+        // suspected on its very first unacked retry).
+        for pending in self.unacked.values_mut() {
+            pending.attempts = 0;
+        }
         if self.is_sequencer() {
+            if crate::sabotage::skip_era_replay() {
+                // Sabotaged failover (model-checker self-test): resume from
+                // this member's own delivery point with no history dedup
+                // and no resync window — the dead sequencer's unseen
+                // assignments are reused and retries re-sequenced.
+                if self.next_deliver > self.next_global_seq {
+                    self.next_global_seq = self.next_deliver;
+                }
+                let msg = GroupMsg::NewSequencer {
+                    sequencer: self.sequencer,
+                    next_seq: self.next_global_seq,
+                };
+                let _ = self.handle.broadcast(ports::GROUP, msg.to_bytes());
+                return;
+            }
             // Resume numbering after everything this member has seen:
             // delivered history, the reorder buffer, and any number known
             // to exist from status traffic.
@@ -911,7 +981,16 @@ impl ProtocolState {
             }
             self.transmit(id, &payload, method);
         }
-        if suspect_sequencer && !self.is_sequencer() {
+        // Fruitless retransmissions raise *suspicion*; the failure
+        // detector decides. Failing over on suspicion alone marks a live
+        // node failed in the local membership — which is sticky, so two
+        // members that each suspect the other's (live, merely resyncing)
+        // sequencer elect each other in a cycle and livelock the group.
+        // Under fail-stop semantics only a confirmed crash deposes.
+        if suspect_sequencer
+            && !self.is_sequencer()
+            && self.handle.network().is_crashed(self.sequencer)
+        {
             self.fail_sequencer();
         }
     }

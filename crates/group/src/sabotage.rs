@@ -1,0 +1,20 @@
+//! Deliberate protocol mutations for model-checker self-tests (see
+//! `orca_rts::sabotage` for the rationale). Process-global, off by
+//! default, zero effect on production paths while off.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A newly elected sequencer skips era replay entirely: it resumes
+/// numbering from its *own* delivery point instead of the highest number
+/// known to exist, seeds no dedup state from its history, and opens no
+/// resync window for the failed sequencer's unseen assignments, and it
+/// ignores old-era assignments that survivors push at it on handover
+/// (otherwise that replay silently repairs the skipped recovery and the
+/// mutation is unobservable). Sequence numbers assigned by the dead
+/// sequencer can then be silently reused and retransmitted requests
+/// re-sequenced — members diverge or apply an operation twice.
+pub static SKIP_ERA_REPLAY: AtomicBool = AtomicBool::new(false);
+
+pub(crate) fn skip_era_replay() -> bool {
+    SKIP_ERA_REPLAY.load(Ordering::SeqCst)
+}

@@ -1,0 +1,222 @@
+//! Invariant checks scenarios run on joined worker histories.
+//!
+//! The heavy lifting (memoized sequential-consistency search, phantom
+//! extension for maybe-applied operations, exactly-once bags) lives in
+//! `orca-check`; this module packages it into the shapes the scenarios
+//! produce: one [`WorkerOutcome`] per worker process, plus the final
+//! converged values read from each live node after the schedule ends.
+
+use orca_check::{
+    counter_value_explained, exactly_once_bag, sequentially_consistent_with_phantoms, HistOp,
+};
+
+/// What one worker process observed over a shared-counter workload.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerOutcome {
+    /// The worker's operation history in issue order (writes record their
+    /// delta and the returned sum; reads record delta 0).
+    pub ops: Vec<HistOp>,
+    /// OR of the deltas of writes that *acked* (returned `Ok`). Scenarios
+    /// use distinct even-bit deltas (`1 << (2*k)`) so no sum of legal
+    /// deltas aliases another and a double-applied write sets an illegal
+    /// bit.
+    pub acked: i64,
+    /// OR of the deltas of writes that errored (timeout / node down): each
+    /// may or may not have been applied, exactly the ambiguity the
+    /// phantom-extension SC check models.
+    pub maybe: i64,
+    /// OR of the deltas of writes that may have been applied one *extra*
+    /// time. The primary-copy runtime is documented at-least-once across a
+    /// primary crash (the dead primary may have applied and replicated an
+    /// operation whose reply the crash ate; the client retry then applies
+    /// it again at the promoted copy), so crash scenarios record writes
+    /// whose invocation window spanned the crash here.
+    pub maybe_twice: i64,
+}
+
+impl WorkerOutcome {
+    /// Record a write of `delta` that returned `reply`.
+    pub fn acked_write(&mut self, delta: i64, reply: i64) {
+        self.ops.push(HistOp::new(delta, reply));
+        self.acked |= delta;
+    }
+
+    /// Record a write of `delta` whose outcome is unknown (errored).
+    pub fn maybe_write(&mut self, delta: i64) {
+        self.maybe |= delta;
+    }
+
+    /// Record an acked write of `delta` whose invocation spanned a node
+    /// crash: guaranteed applied, possibly twice (retried across a
+    /// promotion).
+    pub fn acked_spanning_write(&mut self, delta: i64, reply: i64) {
+        self.ops.push(HistOp::new(delta, reply));
+        self.acked |= delta;
+        self.maybe_twice |= delta;
+    }
+
+    /// Record an errored write of `delta` whose invocation spanned a node
+    /// crash: applied zero, one or two times.
+    pub fn maybe_spanning_write(&mut self, delta: i64) {
+        self.maybe |= delta;
+        self.maybe_twice |= delta;
+    }
+
+    /// Record a read that returned `value`.
+    pub fn read(&mut self, value: i64) {
+        self.ops.push(HistOp::new(0, value));
+    }
+}
+
+/// Check every counter invariant over the joined outcomes:
+///
+/// 1. **Convergence** — after quiescence every live node reads the same
+///    final value.
+/// 2. **No acked write lost, none invented** — the final value contains
+///    every acked delta and nothing outside acked ∪ maybe
+///    ([`counter_value_explained`]); a `maybe_twice` delta may additionally
+///    appear one extra time (the at-least-once window around a primary
+///    crash).
+/// 3. **Sequential consistency** — some interleaving of the per-worker
+///    histories (with maybe-applied writes insertable anywhere at most
+///    once) explains every recorded reply.
+pub fn check_counter(outcomes: &[WorkerOutcome], finals: &[i64]) -> Result<(), String> {
+    let first = *finals
+        .first()
+        .ok_or_else(|| "no live node produced a final read".to_string())?;
+    if finals.iter().any(|&v| v != first) {
+        return Err(format!("live nodes diverged: final reads {finals:?}"));
+    }
+    let acked = outcomes.iter().fold(0i64, |m, o| m | o.acked);
+    let maybe = outcomes.iter().fold(0i64, |m, o| m | o.maybe);
+    let maybe_twice = outcomes.iter().fold(0i64, |m, o| m | o.maybe_twice);
+    let explained = if maybe_twice == 0 {
+        counter_value_explained(first, acked, maybe)
+    } else {
+        // A second application of `1 << k` carries into bit k+1, so the
+        // purely bitwise check no longer applies. Deltas are distinct
+        // powers of two, so `final - acked` is explained iff it is the sum
+        // of a subset of the optional contributions: each maybe delta once,
+        // each maybe_twice delta one extra time, and — for deltas in both
+        // sets (errored *and* crash-spanning) — possibly doubled.
+        let extra = first.wrapping_sub(acked);
+        let allowed = maybe | maybe_twice | ((maybe & maybe_twice) << 1);
+        extra >= 0 && extra & !allowed == 0
+    };
+    if !explained {
+        return Err(format!(
+            "final value {first:#x} not explained by acked {acked:#x} + maybe {maybe:#x} \
+             + extra {maybe_twice:#x} (an acked write was lost, or a write applied twice)"
+        ));
+    }
+    let histories: Vec<Vec<HistOp>> = outcomes.iter().map(|o| o.ops.clone()).collect();
+    let mut phantoms: Vec<i64> = (0..63)
+        .map(|bit| 1i64 << bit)
+        .filter(|bit| maybe & bit != 0)
+        .collect();
+    phantoms.extend(
+        (0..63)
+            .map(|bit| 1i64 << bit)
+            .filter(|bit| maybe_twice & bit != 0),
+    );
+    if !sequentially_consistent_with_phantoms(&histories, &phantoms) {
+        return Err(format!(
+            "histories are not sequentially consistent (phantom deltas {phantoms:?}): \
+             {histories:?}"
+        ));
+    }
+    Ok(())
+}
+
+/// Check a job-queue workload: every acked job drained exactly once, every
+/// maybe job at most once, nothing invented.
+pub fn check_jobs(acked: &[i64], maybe: &[i64], observed: &[i64]) -> Result<(), String> {
+    exactly_once_bag(acked, maybe, observed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convergent_honest_outcomes_pass() {
+        let mut a = WorkerOutcome::default();
+        a.acked_write(1, 1);
+        a.read(1);
+        let mut b = WorkerOutcome::default();
+        b.acked_write(4, 5);
+        b.read(5);
+        assert!(check_counter(&[a, b], &[5, 5]).is_ok());
+    }
+
+    #[test]
+    fn divergent_finals_fail() {
+        let mut a = WorkerOutcome::default();
+        a.acked_write(1, 1);
+        let err = check_counter(&[a], &[1, 5]).unwrap_err();
+        assert!(err.contains("diverged"), "{err}");
+    }
+
+    #[test]
+    fn lost_acked_write_fails() {
+        let mut a = WorkerOutcome::default();
+        a.acked_write(1, 1);
+        a.acked_write(4, 5);
+        let err = check_counter(&[a], &[4, 4]).unwrap_err();
+        assert!(err.contains("not explained"), "{err}");
+    }
+
+    #[test]
+    fn double_applied_write_fails() {
+        // Delta 1 applied twice shows up as an illegal bit (0b10).
+        let mut a = WorkerOutcome::default();
+        a.acked_write(1, 1);
+        let err = check_counter(&[a], &[2, 2]).unwrap_err();
+        assert!(err.contains("not explained"), "{err}");
+    }
+
+    #[test]
+    fn maybe_write_explains_either_final() {
+        let mut a = WorkerOutcome::default();
+        a.acked_write(1, 1);
+        a.maybe_write(4);
+        assert!(check_counter(&[a.clone()], &[1]).is_ok());
+        assert!(check_counter(&[a.clone()], &[5]).is_ok());
+        assert!(check_counter(&[a], &[4]).is_err());
+    }
+
+    #[test]
+    fn crash_spanning_write_may_apply_twice() {
+        // The interleaving the checker found in the promotion scenario:
+        // all four writes acked (0x55), but 0x40 spanned the crash and was
+        // retried across the promotion — final 0x95 = 0x55 + one extra
+        // 0x40. Legal only because the write is marked crash-spanning.
+        let mut a = WorkerOutcome::default();
+        a.acked_write(1, 1);
+        a.acked_write(4, 5);
+        let mut b = WorkerOutcome::default();
+        b.acked_write(0x10, 0x15);
+        b.acked_spanning_write(0x40, 0x95);
+        assert!(check_counter(&[a.clone(), b.clone()], &[0x95]).is_ok());
+        // Applied once is equally fine...
+        b.ops.last_mut().unwrap().reply = 0x55;
+        assert!(check_counter(&[a.clone(), b.clone()], &[0x55]).is_ok());
+        // ...but losing the write entirely is still a violation, and so is
+        // a third application.
+        assert!(check_counter(&[a.clone(), b.clone()], &[0x15]).is_err());
+        assert!(check_counter(&[a, b], &[0xd5]).is_err());
+    }
+
+    #[test]
+    fn stale_read_after_fresh_write_fails_sc() {
+        // One worker writes (sees the other's write in its reply) then
+        // reads an older value: no interleaving explains it.
+        let mut a = WorkerOutcome::default();
+        a.acked_write(1, 1);
+        let mut b = WorkerOutcome::default();
+        b.acked_write(4, 5); // reply shows a's write applied first
+        b.read(4); // ...but the local read misses it
+        let err = check_counter(&[a, b], &[5, 5]).unwrap_err();
+        assert!(err.contains("sequentially consistent"), "{err}");
+    }
+}

@@ -1,0 +1,806 @@
+//! Model-checking scenarios for the four hairy protocols.
+//!
+//! Each scenario is a tiny distributed workload (2–3 nodes, a handful of
+//! operations) engineered so the interesting protocol machinery — total
+//! ordering, sequencer hand-over, dynamic replication races, crash
+//! promotion, shard hand-off, regime switching — runs *inside* the
+//! scheduled window, where the engine enumerates every delivery order.
+//! Workloads use distinct even-bit write deltas (`1 << (2*k)`) so the final
+//! counter value is a bitmask of applied writes: a lost acked write clears
+//! a required bit, a double-applied write sets an illegal one (see
+//! [`crate::invariants`]).
+//!
+//! Scenario-design rules learned the hard way (see each type's docs):
+//!
+//! * **One worker per node.** Canonical message identities number each
+//!   (src, dst, lane) stream; two application threads on one node would
+//!   race for sequence numbers and make schedules non-replayable.
+//! * **Object creation and priming run before the scheduler installs.**
+//!   Creation traffic is not what we're checking, and priming (fetching
+//!   secondary copies, accruing usage counts) sets up the protocol state
+//!   the scenario wants to attack.
+//! * **Timers are tuned way up or folded into the scenario.** A wall-clock
+//!   retransmit firing mid-schedule adds spurious choices; scenarios that
+//!   don't need retransmission push those timeouts past the schedule
+//!   horizon, and the one that does (sequencer failover) switches to
+//!   real-time passthrough at the crash.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use orca_amoeba::process::ProcessHandle;
+use orca_amoeba::NodeId;
+use orca_core::objects::{IntObject, IntOp, JobQueue};
+use orca_core::{standard_registry, ObjectHandle, OrcaConfig, OrcaNode, OrcaRuntime, RtsStrategy};
+use orca_group::GroupConfig;
+use orca_rts::{AdaptivePolicy, RecoveryConfig, ReplicationPolicy, WritePolicy};
+
+use crate::engine::{Execution, McConfig, Scenario};
+use crate::invariants::{check_counter, check_jobs, WorkerOutcome};
+
+/// One step of a counter worker's program.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// `Add(delta)`; an error records the delta as maybe-applied.
+    Write(i64),
+    /// `Value`; errors are skipped (a failed read constrains nothing).
+    Read,
+}
+
+fn counter_worker(
+    ctx: OrcaNode,
+    handle: ObjectHandle<IntObject>,
+    steps: Vec<Step>,
+) -> WorkerOutcome {
+    counter_worker_watching(ctx, handle, steps, None)
+}
+
+/// Like [`counter_worker`], but when `crash_watch` names a crashable node,
+/// a write whose invocation window spans that node's crash is recorded as
+/// possibly-applied-twice: the primary-copy runtime is *at-least-once*
+/// across a primary crash (the old primary may have applied and replicated
+/// the write before dying; the client retry applies it again at the
+/// promoted copy), and the invariants must not call that legal outcome a
+/// violation.
+fn counter_worker_watching(
+    ctx: OrcaNode,
+    handle: ObjectHandle<IntObject>,
+    steps: Vec<Step>,
+    crash_watch: Option<(orca_amoeba::Network, NodeId)>,
+) -> WorkerOutcome {
+    let crashed = |watch: &Option<(orca_amoeba::Network, NodeId)>| {
+        watch
+            .as_ref()
+            .is_some_and(|(net, node)| net.is_crashed(*node))
+    };
+    let mut out = WorkerOutcome::default();
+    for step in steps {
+        match step {
+            Step::Write(delta) => {
+                let before = crashed(&crash_watch);
+                let result = ctx.invoke(handle, &IntOp::Add(delta));
+                let spanned = !before && crashed(&crash_watch);
+                match (result, spanned) {
+                    (Ok(sum), false) => out.acked_write(delta, sum),
+                    (Ok(sum), true) => out.acked_spanning_write(delta, sum),
+                    (Err(_), false) => out.maybe_write(delta),
+                    (Err(_), true) => out.maybe_spanning_write(delta),
+                }
+            }
+            Step::Read => {
+                if let Ok(value) = ctx.invoke(handle, &IntOp::Value) {
+                    out.read(value);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Read the final value on every live node, polling until they agree (or a
+/// convergence budget runs out, in which case the last disagreeing set is
+/// returned and the divergence check fails). Polling matters: once the
+/// scheduler uninstalls, stragglers catch up through wall-clock machinery —
+/// gap repair after a dropped broadcast, post-election era replay, a
+/// promotion completing — so "not converged *yet*" is not a violation, but
+/// "not converged within the budget" is.
+fn read_finals(
+    rt: &OrcaRuntime,
+    handle: ObjectHandle<IntObject>,
+    live: &[usize],
+) -> Result<Vec<i64>, String> {
+    let deadline = Instant::now() + Duration::from_secs(8);
+    let mut last: Vec<i64> = Vec::new();
+    let mut last_err: Option<String>;
+    loop {
+        let mut vals = Vec::with_capacity(live.len());
+        let mut err: Option<String> = None;
+        for &node in live {
+            match rt.context(node).invoke(handle, &IntOp::Value) {
+                Ok(value) => vals.push(value),
+                Err(e) => {
+                    err = Some(format!("final read on node {node} failed: {e}"));
+                    break;
+                }
+            }
+        }
+        match err {
+            None => {
+                if vals.windows(2).all(|w| w[0] == w[1]) {
+                    return Ok(vals);
+                }
+                last = vals;
+                last_err = None;
+            }
+            some => last_err = some,
+        }
+        if Instant::now() >= deadline {
+            return match last_err {
+                Some(e) => Err(format!("{e} (and kept failing until the deadline)")),
+                None => Ok(last),
+            };
+        }
+        std::thread::sleep(Duration::from_millis(40));
+    }
+}
+
+fn all_finished<T>(workers: &[ProcessHandle<T>]) -> bool {
+    workers.iter().all(|w| w.is_finished())
+}
+
+/// Shared tail of every counter scenario: uninstall the scheduler, wait for
+/// the workers (a hang is a liveness violation), join, read finals on live
+/// nodes, run the counter invariants.
+fn finish_counter(
+    exec: &Execution<'_>,
+    rt: &OrcaRuntime,
+    workers: Vec<ProcessHandle<WorkerOutcome>>,
+    handle: ObjectHandle<IntObject>,
+) -> Result<(), String> {
+    rt.network().set_scheduler(None);
+    if !exec.settle(|| all_finished(&workers)) {
+        // Unblock the stuck invocations so the joins below return, then
+        // report the hang itself as the violation.
+        rt.shutdown();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        return Err("liveness violation: workers still blocked after the settle budget".into());
+    }
+    let outcomes: Vec<WorkerOutcome> = workers.into_iter().map(|w| w.join()).collect();
+    let live: Vec<usize> = (0..rt.processors())
+        .filter(|&n| !rt.network().is_crashed(NodeId::from(n)))
+        .collect();
+    let finals = read_finals(rt, handle, &live)?;
+    check_counter(&outcomes, &finals)
+}
+
+fn eager_replication() -> ReplicationPolicy {
+    ReplicationPolicy {
+        fetch_ratio: 0.0,
+        drop_ratio: -1.0,
+        window: 1,
+        enabled: true,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 1. Broadcast: total-order delivery.
+// ---------------------------------------------------------------------------
+
+/// Two nodes write and read a fully replicated counter through the PB/BB
+/// sequencer protocol. Exhaustively checks that every delivery order of
+/// requests and sequenced broadcasts yields one sequentially consistent
+/// total order with no write lost or duplicated.
+///
+/// Group timers are pushed past the schedule horizon: on a reliable,
+/// crash-free run the protocol must not *need* retransmission, and a timer
+/// firing mid-schedule would add spurious choices.
+pub struct BroadcastOrdering {
+    /// Exploration budgets.
+    pub budget: McConfig,
+}
+
+impl Default for BroadcastOrdering {
+    fn default() -> Self {
+        BroadcastOrdering {
+            budget: McConfig {
+                max_schedules: 2048,
+                max_depth: 48,
+                quiesce_idle: Duration::from_millis(10),
+                ..McConfig::default()
+            },
+        }
+    }
+}
+
+impl Scenario for BroadcastOrdering {
+    fn name(&self) -> &'static str {
+        "broadcast_ordering"
+    }
+
+    fn config(&self) -> McConfig {
+        self.budget.clone()
+    }
+
+    fn run(&self, exec: &mut Execution<'_>) -> Result<(), String> {
+        let mut cfg = OrcaConfig::broadcast(2);
+        cfg.strategy = RtsStrategy::Broadcast(GroupConfig {
+            retransmit_timeout: Duration::from_secs(5),
+            suspect_after: 10_000,
+            ..GroupConfig::default()
+        });
+        let rt = OrcaRuntime::start(cfg, standard_registry());
+        let handle = rt.create::<IntObject>(&0).map_err(|e| e.to_string())?;
+        rt.network().set_scheduler(Some(exec.scheduler()));
+        let workers: Vec<_> = (0..2)
+            .map(|node| {
+                let steps = vec![
+                    Step::Write(1 << (4 * node)),
+                    Step::Read,
+                    Step::Write(1 << (4 * node + 2)),
+                    Step::Read,
+                ];
+                rt.fork_on(node, &format!("mc-w{node}"), move |ctx| {
+                    counter_worker(ctx, handle, steps)
+                })
+            })
+            .collect();
+        let driven = exec.drive(rt.network(), || all_finished(&workers));
+        if let Err(violation) = driven {
+            rt.network().set_scheduler(None);
+            return Err(violation);
+        }
+        finish_counter(exec, &rt, workers, handle)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Broadcast: sequencer crash and era replay.
+// ---------------------------------------------------------------------------
+
+/// Three nodes; workers run on nodes 1 and 2 while node 0 is the
+/// sequencer. The search may drop one (unreliable) broadcast packet and
+/// crash the sequencer at any point; the crash switches the run to
+/// real-time passthrough, where retransmission, election and the new
+/// sequencer's era replay must converge every survivor on one history —
+/// no sequence number reused, no acked write lost, no double apply.
+pub struct BroadcastEraReplay {
+    /// Exploration budgets.
+    pub budget: McConfig,
+}
+
+impl Default for BroadcastEraReplay {
+    fn default() -> Self {
+        BroadcastEraReplay {
+            budget: McConfig {
+                max_schedules: 56,
+                max_depth: 40,
+                quiesce_idle: Duration::from_millis(10),
+                crash_candidates: vec![NodeId(0)],
+                max_crashes: 1,
+                after_crash_passthrough: true,
+                max_drops: 1,
+                // Budget-capped: failover bugs live in the shallow
+                // early-crash/early-drop branches DFS would reach last.
+                shallow_first: true,
+                ..McConfig::default()
+            },
+        }
+    }
+}
+
+impl Scenario for BroadcastEraReplay {
+    fn name(&self) -> &'static str {
+        "broadcast_era_replay"
+    }
+
+    fn config(&self) -> McConfig {
+        self.budget.clone()
+    }
+
+    fn run(&self, exec: &mut Execution<'_>) -> Result<(), String> {
+        let mut cfg = OrcaConfig::broadcast(3);
+        // Post-crash recovery runs in real time: retransmission kicks in
+        // after 250 ms and two silent rounds trigger the election, so a
+        // failover completes in well under the settle budget.
+        cfg.strategy = RtsStrategy::Broadcast(GroupConfig {
+            retransmit_timeout: Duration::from_millis(250),
+            suspect_after: 2,
+            ..GroupConfig::default()
+        });
+        let rt = OrcaRuntime::start(cfg, standard_registry());
+        let handle = rt.create::<IntObject>(&0).map_err(|e| e.to_string())?;
+        rt.network().set_scheduler(Some(exec.scheduler()));
+        // One write + one read per worker, not two: the schedules that
+        // expose failover bugs crash the sequencer *early*, while its
+        // SeqData broadcast has reached one survivor but not the other —
+        // and DFS backtracks from the deepest choice points first, so a
+        // deeper tree spends the whole budget on late-crash schedules
+        // before ever reaching the early ones.
+        let workers: Vec<_> = [1usize, 2]
+            .iter()
+            .map(|&node| {
+                let base = 4 * (node - 1) as i64;
+                let steps = vec![Step::Write(1 << base), Step::Read];
+                rt.fork_on(node, &format!("mc-w{node}"), move |ctx| {
+                    counter_worker(ctx, handle, steps)
+                })
+            })
+            .collect();
+        let driven = exec.drive(rt.network(), || all_finished(&workers));
+        if let Err(violation) = driven {
+            rt.network().set_scheduler(None);
+            return Err(violation);
+        }
+        finish_counter(exec, &rt, workers, handle)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Primary copy: fetch / two-phase-update race.
+// ---------------------------------------------------------------------------
+
+/// Two nodes, primary-copy with two-phase updates and *eager* dynamic
+/// replication: node 1's first read fetches a secondary copy while node 0
+/// (the primary) is pushing updates — the classic install-over-newer race.
+/// Version gating must keep every copy on the primary's version line; the
+/// `NO_VERSION_GATING` mutation makes node 1 install a stale snapshot over
+/// a fresher copy and blindly apply gapped updates, which surfaces here as
+/// a worker reading a value older than its own acked write.
+pub struct PrimaryFetchRace {
+    /// Exploration budgets.
+    pub budget: McConfig,
+}
+
+impl Default for PrimaryFetchRace {
+    fn default() -> Self {
+        PrimaryFetchRace {
+            budget: McConfig {
+                max_schedules: 512,
+                max_depth: 56,
+                quiesce_idle: Duration::from_millis(10),
+                ..McConfig::default()
+            },
+        }
+    }
+}
+
+impl Scenario for PrimaryFetchRace {
+    fn name(&self) -> &'static str {
+        "primary_fetch_race"
+    }
+
+    fn config(&self) -> McConfig {
+        self.budget.clone()
+    }
+
+    fn run(&self, exec: &mut Execution<'_>) -> Result<(), String> {
+        let mut cfg = OrcaConfig::primary_copy(2, WritePolicy::Update);
+        cfg.strategy = RtsStrategy::PrimaryCopy {
+            policy: WritePolicy::Update,
+            replication: eager_replication(),
+        };
+        let rt = Arc::new(OrcaRuntime::start(cfg, standard_registry()));
+        let handle = rt.create::<IntObject>(&0).map_err(|e| e.to_string())?;
+        rt.network().set_scheduler(Some(exec.scheduler()));
+        // Node 0's writes are local applies until node 1 holds a copy, so
+        // an unconstrained worker 0 finishes before the fetch even starts
+        // and the schedule degenerates to node 1's sequential RPCs. Gate
+        // worker 0 on the fetch being *served*: the primary registers
+        // node 1 as a copyholder while answering the fetch, so from here
+        // the snapshot install is still in flight and the writes push
+        // updates that race it.
+        let probe = Arc::clone(&rt);
+        let w0 = rt.fork_on(0, "mc-w0", move |ctx| {
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while probe
+                .copy_holders(0, handle.id())
+                .is_some_and(|holders| holders.is_empty())
+                && Instant::now() < deadline
+            {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            counter_worker(ctx, handle, vec![Step::Write(1), Step::Write(1 << 2)])
+        });
+        // Node 1: the first read triggers the eager fetch; the write then
+        // rides the update push; the final read must see it.
+        let w1 = rt.fork_on(1, "mc-w1", move |ctx| {
+            counter_worker(
+                ctx,
+                handle,
+                vec![Step::Read, Step::Write(1 << 4), Step::Read],
+            )
+        });
+        let workers = vec![w0, w1];
+        let driven = exec.drive(rt.network(), || all_finished(&workers));
+        if let Err(violation) = driven {
+            rt.network().set_scheduler(None);
+            return Err(violation);
+        }
+        finish_counter(exec, &rt, workers, handle)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4. Primary copy: promotion after a crash.
+// ---------------------------------------------------------------------------
+
+/// Three nodes with crash recovery: the object's primary lives on node 0,
+/// nodes 1 and 2 hold eagerly fetched secondaries (primed before the
+/// scheduler installs). The search crashes node 0 at any point — including
+/// mid-two-phase-push — and keeps scheduling while the survivors detect the
+/// death, agree on the freshest surviving copy and promote it. Writes that
+/// errored during the failover are maybe-applied; everything acked must
+/// survive, and survivors' copies must stay on the new primary's version
+/// line (the `REHOME_KEEPS_STALE_COPIES` mutation leaves an orphaned stale
+/// secondary behind, which a later local read exposes).
+pub struct PrimaryPromotion {
+    /// Exploration budgets.
+    pub budget: McConfig,
+}
+
+impl Default for PrimaryPromotion {
+    fn default() -> Self {
+        PrimaryPromotion {
+            budget: McConfig {
+                max_schedules: 72,
+                max_depth: 72,
+                quiesce_idle: Duration::from_millis(10),
+                crash_candidates: vec![NodeId(0)],
+                max_crashes: 1,
+                // Budget-capped: promotion bugs need the crash *early*,
+                // while writes and update pushes are still in flight.
+                shallow_first: true,
+                ..McConfig::default()
+            },
+        }
+    }
+}
+
+impl Scenario for PrimaryPromotion {
+    fn name(&self) -> &'static str {
+        "primary_promotion"
+    }
+
+    fn config(&self) -> McConfig {
+        self.budget.clone()
+    }
+
+    fn run(&self, exec: &mut Execution<'_>) -> Result<(), String> {
+        let mut cfg = OrcaConfig::primary_copy(3, WritePolicy::Update);
+        cfg.strategy = RtsStrategy::PrimaryCopy {
+            policy: WritePolicy::Update,
+            replication: eager_replication(),
+        };
+        cfg.recovery = RecoveryConfig {
+            heartbeat_every: Duration::from_millis(25),
+            suspect_after: 12,
+            attempt_timeout: Duration::from_millis(250),
+            rehome_wait: Duration::from_secs(10),
+            ..RecoveryConfig::enabled()
+        };
+        let rt = OrcaRuntime::start(cfg, standard_registry());
+        let handle = rt.create::<IntObject>(&0).map_err(|e| e.to_string())?;
+        // Prime: both survivors fetch a secondary copy *before* scheduling
+        // starts, so the failover always has copies to choose from.
+        for node in [1, 2] {
+            rt.context(node)
+                .invoke(handle, &IntOp::Value)
+                .map_err(|e| format!("priming read failed: {e}"))?;
+        }
+        rt.network().set_scheduler(Some(exec.scheduler()));
+        let workers: Vec<_> = [1usize, 2]
+            .iter()
+            .map(|&node| {
+                let base = 4 * (node - 1) as i64;
+                let steps = vec![
+                    Step::Write(1 << base),
+                    Step::Read,
+                    Step::Write(1 << (base + 2)),
+                    Step::Read,
+                ];
+                // Writes whose invocation spans the primary's crash are
+                // at-least-once (the retry after promotion may re-apply a
+                // write the dead primary had already replicated), so they
+                // are recorded as possibly-applied-twice, not exactly-once.
+                let watch = Some((rt.network().clone(), NodeId(0)));
+                rt.fork_on(node, &format!("mc-w{node}"), move |ctx| {
+                    counter_worker_watching(ctx, handle, steps, watch)
+                })
+            })
+            .collect();
+        let driven = exec.drive(rt.network(), || all_finished(&workers));
+        if let Err(violation) = driven {
+            rt.network().set_scheduler(None);
+            return Err(violation);
+        }
+        finish_counter(exec, &rt, workers, handle)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 5. Sharded: partition hand-off under concurrent operations.
+// ---------------------------------------------------------------------------
+
+/// Two nodes, a job queue split over two partitions (one per node). While
+/// node 1 keeps adding jobs, partition 0 migrates from node 0 to node 1 —
+/// the withdrawn-mark hand-off the sharded runtime uses to guarantee no
+/// operation is lost or applied twice while ownership moves. After the
+/// dust settles the queue is closed and drained: every acked add must come
+/// out exactly once.
+///
+/// Node 0's worker triggers the migration and *waits* for it, so node 0
+/// never has two threads sending concurrently (which would break canonical
+/// message identities); node 1's adds stay concurrent with the hand-off.
+pub struct ShardedHandoff {
+    /// Exploration budgets.
+    pub budget: McConfig,
+}
+
+impl Default for ShardedHandoff {
+    fn default() -> Self {
+        ShardedHandoff {
+            budget: McConfig {
+                max_schedules: 256,
+                max_depth: 72,
+                quiesce_idle: Duration::from_millis(10),
+                ..McConfig::default()
+            },
+        }
+    }
+}
+
+impl Scenario for ShardedHandoff {
+    fn name(&self) -> &'static str {
+        "sharded_handoff"
+    }
+
+    fn config(&self) -> McConfig {
+        self.budget.clone()
+    }
+
+    fn run(&self, exec: &mut Execution<'_>) -> Result<(), String> {
+        let cfg = OrcaConfig::sharded(2, 2);
+        let rt = OrcaRuntime::start(cfg, standard_registry());
+        let queue = JobQueue::<i64>::create(rt.main()).map_err(|e| e.to_string())?;
+        rt.network().set_scheduler(Some(exec.scheduler()));
+
+        let migrate_start = Arc::new(AtomicBool::new(false));
+        let migrate_done = Arc::new(AtomicBool::new(false));
+        let abort = Arc::new(AtomicBool::new(false));
+        let adds_done = Arc::new(AtomicBool::new(false));
+        let migrate_result: Mutex<Option<Result<(), String>>> = Mutex::new(None);
+
+        // Job values are chosen by their shard hash: 5, 9, 21, 22 and 25
+        // all land in partition 0 (the one that migrates from node 0 to
+        // node 1), so every add in the scenario races the hand-off itself.
+        //
+        // Worker 0 (on the migration-source node): add, hand off, add,
+        // then close and drain once worker 1 is done adding.
+        let w0 = {
+            let start = migrate_start.clone();
+            let done = migrate_done.clone();
+            let w1_done = adds_done.clone();
+            let abort = abort.clone();
+            rt.fork_on(0, "mc-w0", move |ctx| {
+                let mut acked = Vec::new();
+                let mut maybe = Vec::new();
+                let mut observed = Vec::new();
+                let mut add = |ctx: &OrcaNode, job: i64| match queue.add(ctx, &job) {
+                    Ok(()) => acked.push(job),
+                    Err(_) => maybe.push(job),
+                };
+                add(&ctx, 5);
+                start.store(true, Ordering::SeqCst);
+                while !done.load(Ordering::SeqCst) && !abort.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                // Partition 0 now lives on node 1: this add goes remote.
+                add(&ctx, 9);
+                while !w1_done.load(Ordering::SeqCst) && !abort.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                if !abort.load(Ordering::SeqCst) && queue.close(&ctx).is_ok() {
+                    while let Ok(Some(job)) = queue.get(&ctx) {
+                        observed.push(job);
+                    }
+                }
+                (acked, maybe, observed)
+            })
+        };
+        // Worker 1: waits for the hand-off to start, then fires adds at the
+        // *moving* partition — each one lands before the withdraw, between
+        // withdraw and install, or after the new owner is live, and the
+        // scheduler enumerates all of it.
+        let w1 = {
+            let start = migrate_start.clone();
+            let w1_done = adds_done.clone();
+            let abort = abort.clone();
+            rt.fork_on(1, "mc-w1", move |ctx| {
+                while !start.load(Ordering::SeqCst) && !abort.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                let mut acked = Vec::new();
+                let mut maybe = Vec::new();
+                for job in [21i64, 22, 25] {
+                    match queue.add(&ctx, &job) {
+                        Ok(()) => acked.push(job),
+                        Err(_) => maybe.push(job),
+                    }
+                }
+                w1_done.store(true, Ordering::SeqCst);
+                (acked, maybe, Vec::<i64>::new())
+            })
+        };
+
+        let driven = std::thread::scope(|scope| {
+            let migrator = scope.spawn(|| {
+                while !migrate_start.load(Ordering::SeqCst) {
+                    if abort.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let outcome = rt
+                    .migrate_shard(queue.handle().id(), 0, NodeId(1))
+                    .expect("sharded strategy")
+                    .map_err(|e| e.to_string());
+                *migrate_result.lock().unwrap() = Some(outcome);
+                migrate_done.store(true, Ordering::SeqCst);
+            });
+            let driven = exec.drive(rt.network(), || {
+                w0.is_finished() && w1.is_finished() && migrate_done.load(Ordering::SeqCst)
+            });
+            if driven.is_err() {
+                abort.store(true, Ordering::SeqCst);
+                rt.network().set_scheduler(None);
+            }
+            migrator.join().expect("migrator panicked");
+            driven
+        });
+        driven?;
+
+        rt.network().set_scheduler(None);
+        if !exec.settle(|| w0.is_finished() && w1.is_finished()) {
+            abort.store(true, Ordering::SeqCst);
+            rt.shutdown();
+            let _ = w0.join();
+            let _ = w1.join();
+            return Err("liveness violation: workers still blocked after the settle budget".into());
+        }
+        let (mut acked, mut maybe, observed) = w0.join();
+        let (acked1, maybe1, _) = w1.join();
+        acked.extend(acked1);
+        maybe.extend(maybe1);
+        match migrate_result.into_inner().unwrap() {
+            Some(Ok(())) => {}
+            Some(Err(err)) => return Err(format!("migration failed: {err}")),
+            None => return Err("migration never ran".into()),
+        }
+        let owners = rt
+            .shard_owners(queue.handle().id())
+            .ok_or("no shard owners")?;
+        if owners.first() != Some(&NodeId(1)) {
+            return Err(format!(
+                "hand-off did not take effect: partition owners {owners:?}"
+            ));
+        }
+        check_jobs(&acked, &maybe, &observed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 6. Adaptive: regime switch under concurrent operations.
+// ---------------------------------------------------------------------------
+
+/// Two nodes under the adaptive runtime with hair-trigger thresholds: the
+/// read-dominated workload makes the home re-evaluate the counter's regime
+/// *during* the schedule and switch primary → replicated, draining the old
+/// regime and installing mirrors under the next epoch while both workers
+/// keep reading and writing. Every interleaving of the drain/install
+/// hand-shake against in-flight operations must preserve sequential
+/// consistency — no write swallowed by a retiring regime, none applied in
+/// both.
+pub struct AdaptiveRegimeSwitch {
+    /// Exploration budgets.
+    pub budget: McConfig,
+}
+
+impl Default for AdaptiveRegimeSwitch {
+    fn default() -> Self {
+        AdaptiveRegimeSwitch {
+            budget: McConfig {
+                max_schedules: 256,
+                max_depth: 64,
+                quiesce_idle: Duration::from_millis(10),
+                ..McConfig::default()
+            },
+        }
+    }
+}
+
+impl Scenario for AdaptiveRegimeSwitch {
+    fn name(&self) -> &'static str {
+        "adaptive_regime_switch"
+    }
+
+    fn config(&self) -> McConfig {
+        self.budget.clone()
+    }
+
+    fn run(&self, exec: &mut Execution<'_>) -> Result<(), String> {
+        let mut cfg = OrcaConfig::adaptive(2);
+        cfg.strategy = RtsStrategy::Adaptive {
+            policy: AdaptivePolicy {
+                report_every: 2,
+                // Evaluate on the same cadence evidence becomes sufficient:
+                // with `evaluate_every` below `min_accesses` every window
+                // closes (and halves the decayed aggregate) before it can
+                // reach the threshold and the switch never fires.
+                evaluate_every: 4,
+                min_accesses: 4,
+                replicate_ratio: 1.5,
+                // The integer is not shardable, but keep the door shut
+                // explicitly: this scenario is about the primary →
+                // replicated switch.
+                shard_write_fraction: 0.95,
+                regime_lease: Duration::from_secs(5),
+                // Stretch the bounce-retry cadence: while the switch holds
+                // an op Stale, a 5 ms retry loop floods the pool with table
+                // re-fetches (a fresh message each time — an infinite
+                // interleaving tree). At 300 ms a bounced op waits out the
+                // switch, yet still fires well inside the engine's
+                // progress-wait cap if it is the only activity left.
+                stale_retry_delay: Duration::from_millis(300),
+                blocked_retry_delay: Duration::from_millis(300),
+                ..AdaptivePolicy::default()
+            },
+        };
+        let rt = OrcaRuntime::start(cfg, standard_registry());
+        let handle = rt.create::<IntObject>(&0).map_err(|e| e.to_string())?;
+        rt.network().set_scheduler(Some(exec.scheduler()));
+        let workers: Vec<_> = (0..2)
+            .map(|node| {
+                let base = 4 * node as i64;
+                // Read-heavy: the accumulated reports push the home over
+                // the replicate threshold mid-schedule (3:1 stays above
+                // `replicate_ratio` in every later window too, so the
+                // regime switches exactly once — no flapping, which would
+                // blow the interleaving tree past any budget).
+                let steps = vec![Step::Read, Step::Read, Step::Write(1 << base), Step::Read];
+                rt.fork_on(node, &format!("mc-w{node}"), move |ctx| {
+                    counter_worker(ctx, handle, steps)
+                })
+            })
+            .collect();
+        let driven = exec.drive(rt.network(), || all_finished(&workers));
+        if let Err(violation) = driven {
+            rt.network().set_scheduler(None);
+            return Err(violation);
+        }
+        finish_counter(exec, &rt, workers, handle)?;
+        // The scenario is pointless if the switch silently stopped firing
+        // (a policy-tuning regression would degenerate every schedule to
+        // plain primary-copy traffic) — fail loudly instead.
+        match rt.object_regime(handle.id()) {
+            Some(orca_rts::RegimeKind::Replicated) => Ok(()),
+            other => Err(format!(
+                "regime switch never happened: object ended in {other:?}, expected Replicated"
+            )),
+        }
+    }
+}
+
+/// All six scenarios, one per protocol family plus the two crash lanes.
+pub fn all_scenarios() -> Vec<Box<dyn Scenario>> {
+    vec![
+        Box::new(BroadcastOrdering::default()),
+        Box::new(BroadcastEraReplay::default()),
+        Box::new(PrimaryFetchRace::default()),
+        Box::new(PrimaryPromotion::default()),
+        Box::new(ShardedHandoff::default()),
+        Box::new(AdaptiveRegimeSwitch::default()),
+    ]
+}

@@ -100,14 +100,6 @@ use policy::{pick_regime, UsageAggregate};
 
 pub use policy::AdaptivePolicy;
 
-/// How long a caller sleeps before retrying an operation whose guard was
-/// false.
-const BLOCKED_RETRY_DELAY: Duration = Duration::from_millis(20);
-
-/// How long a caller sleeps before re-fetching a regime table that turned
-/// out stale (a switch is in flight).
-const STALE_RETRY_DELAY: Duration = Duration::from_millis(5);
-
 /// How long a guarded read parks on a mirror before re-validating the
 /// regime (protects against missed wake-ups and retired mirrors).
 const MIRROR_GUARD_WAIT: Duration = Duration::from_millis(100);
@@ -535,7 +527,7 @@ impl AdaptiveRts {
             for &i in &todo {
                 self.inner.routes.lock().remove(&ops[i].object);
             }
-            std::thread::sleep(STALE_RETRY_DELAY);
+            std::thread::sleep(self.inner.policy.stale_retry_delay);
         }
         resolve_round(ops, slots);
     }
@@ -1089,7 +1081,7 @@ impl RuntimeSystem for AdaptiveRts {
                     if Instant::now() >= deadline {
                         return Err(RtsError::NodeDown(node));
                     }
-                    std::thread::sleep(BLOCKED_RETRY_DELAY);
+                    std::thread::sleep(self.inner.policy.blocked_retry_delay);
                     continue;
                 }
                 Err(err) => return Err(err),
@@ -1100,7 +1092,7 @@ impl RuntimeSystem for AdaptiveRts {
                     // The guard was false: the replica answered, so the
                     // transport is alive — restart the deadline and retry.
                     RtsStats::bump(&self.inner.stats.guard_retries);
-                    std::thread::sleep(BLOCKED_RETRY_DELAY);
+                    std::thread::sleep(self.inner.policy.blocked_retry_delay);
                     deadline = Instant::now() + self.inner.policy.op_timeout;
                 }
                 PartOutcome::Stale => {
@@ -1111,7 +1103,7 @@ impl RuntimeSystem for AdaptiveRts {
                     if Instant::now() >= deadline {
                         return Err(RtsError::Timeout);
                     }
-                    std::thread::sleep(STALE_RETRY_DELAY);
+                    std::thread::sleep(self.inner.policy.stale_retry_delay);
                 }
             }
         }

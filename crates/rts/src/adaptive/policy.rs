@@ -52,6 +52,15 @@ pub struct AdaptivePolicy {
     /// Write fraction (writes / total) at or above which a shardable
     /// object becomes sharded.
     pub shard_write_fraction: f64,
+    /// How long a caller sleeps before retrying an operation whose guard
+    /// was false at the replica, or whose destination is being re-homed.
+    pub blocked_retry_delay: Duration,
+    /// How long a caller sleeps before re-fetching the regime table after
+    /// an operation bounced off a regime switch in flight. Model-checking
+    /// scenarios stretch this past their schedule horizon so a bounced
+    /// operation waits out the switch instead of flooding the network
+    /// with table re-fetches.
+    pub stale_retry_delay: Duration,
 }
 
 impl Default for AdaptivePolicy {
@@ -65,6 +74,8 @@ impl Default for AdaptivePolicy {
             min_accesses: 64,
             replicate_ratio: 3.0,
             shard_write_fraction: 0.5,
+            blocked_retry_delay: Duration::from_millis(20),
+            stale_retry_delay: Duration::from_millis(5),
         }
     }
 }

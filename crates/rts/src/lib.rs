@@ -68,6 +68,8 @@ pub mod broadcast_rts;
 pub mod pipeline;
 pub mod primary;
 pub mod recovery;
+#[doc(hidden)]
+pub mod sabotage;
 pub mod sharded;
 pub mod stats;
 

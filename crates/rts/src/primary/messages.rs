@@ -39,6 +39,13 @@ pub enum PrimaryMsg {
     Invalidate {
         /// Target object.
         object: ObjectId,
+        /// The primary replica's version after the write that triggered the
+        /// invalidation. The secondary records it as *seen* even when it
+        /// holds no copy yet: an invalidation can overtake the fetch reply
+        /// it races (the fetch snapshot predates this write), and the
+        /// version floor makes the late install discard that stale
+        /// snapshot instead of serving it forever.
+        version: u64,
     },
     /// Primary → secondary: apply this operation to your copy and keep the
     /// object locked until [`PrimaryMsg::Unlock`] arrives (update protocol,
@@ -108,9 +115,10 @@ impl Wire for PrimaryMsg {
                 enc.put_u8(3);
                 object.encode(enc);
             }
-            PrimaryMsg::Invalidate { object } => {
+            PrimaryMsg::Invalidate { object, version } => {
                 enc.put_u8(4);
                 object.encode(enc);
+                version.encode(enc);
             }
             PrimaryMsg::UpdateOp {
                 object,
@@ -161,6 +169,7 @@ impl Wire for PrimaryMsg {
             }),
             4 => Ok(PrimaryMsg::Invalidate {
                 object: Wire::decode(dec)?,
+                version: Wire::decode(dec)?,
             }),
             5 => Ok(PrimaryMsg::UpdateOp {
                 object: Wire::decode(dec)?,
@@ -280,7 +289,7 @@ mod tests {
             },
             PrimaryMsg::FetchCopy { object },
             PrimaryMsg::DropCopy { object },
-            PrimaryMsg::Invalidate { object },
+            PrimaryMsg::Invalidate { object, version: 6 },
             PrimaryMsg::UpdateOp {
                 object,
                 op: vec![],

@@ -531,6 +531,22 @@ impl PrimaryCopyRts {
         }
     }
 
+    /// Nodes registered at this node's primary record of `object` as
+    /// secondary-copy holders (empty when this node is not the primary).
+    /// Diagnostic: model-checking scenarios use it to time workloads
+    /// against the fetch protocol's registration point.
+    pub fn copy_holders(&self, object: ObjectId) -> Vec<NodeId> {
+        let primaries = self.inner.primaries.read();
+        primaries
+            .get(&object)
+            .map(|entry| {
+                let mut holders: Vec<NodeId> = entry.copy_holders.lock().iter().copied().collect();
+                holders.sort_by_key(|n| n.index());
+                holders
+            })
+            .unwrap_or_default()
+    }
+
     /// True if this node currently holds a valid secondary copy of `object`.
     pub fn has_local_copy(&self, object: ObjectId) -> bool {
         if self.inner.primary_node(object) == self.inner.node {
@@ -753,12 +769,22 @@ impl PrimaryCopyRts {
                     .wait_for(&mut state, Duration::from_millis(100));
                 // A lock that never clears means the primary died between
                 // the update and unlock phases; once the detector confirms
-                // it, discard the copy and fall through to the remote path
-                // (which rides the re-homing machinery) instead of waiting
-                // on a corpse forever.
+                // it, fall through to the remote path (which rides the
+                // re-homing machinery) instead of waiting on a corpse
+                // forever. With re-homing enabled the copy itself must
+                // survive: a mid-push copy is the freshest one alive and
+                // the recovery coordinator may be about to promote it —
+                // discarding it here races Promote into "no copy" and
+                // turns a recoverable object into a lost one. Recovery
+                // resolves the dangling lock either way (promote_local
+                // clears it, apply_rehome drops the copy). Without
+                // re-homing nothing ever would, so drop the copy rather
+                // than leave a permanently locked zombie behind.
                 if state.locked && is_dead(&self.inner.detector, self.inner.primary_node(object)) {
-                    state.copy = None;
-                    state.locked = false;
+                    if !(self.inner.recovery.enabled && self.inner.recovery.rehome) {
+                        state.copy = None;
+                        state.locked = false;
+                    }
                     return Ok(None);
                 }
             }
@@ -847,7 +873,7 @@ impl PrimaryCopyRts {
             } => {
                 let replica = self.inner.registry.instantiate(&type_name, &state)?;
                 let mut guard = entry.state.lock();
-                if guard.seen > version {
+                if guard.seen > version && !crate::sabotage::no_version_gating() {
                     // An update overtook this snapshot in flight; holding
                     // on to the older state would serve stale reads (and
                     // could be promoted by recovery). Stay copyless; the
@@ -1034,7 +1060,8 @@ fn primary_write(
     match inner.write_policy {
         WritePolicy::Invalidate => {
             for holder in &holders {
-                let _ = send_to_secondary(inner, *holder, &PrimaryMsg::Invalidate { object });
+                let _ =
+                    send_to_secondary(inner, *holder, &PrimaryMsg::Invalidate { object, version });
             }
             entry.copy_holders.lock().clear();
         }
@@ -1111,8 +1138,13 @@ fn primary_write_many(inner: &Arc<Inner>, object: ObjectId, ops: &[&[u8]]) -> Ve
         };
         match inner.write_policy {
             WritePolicy::Invalidate => {
+                let version = replica.version();
                 for holder in &holders {
-                    let _ = send_to_secondary(inner, *holder, &PrimaryMsg::Invalidate { object });
+                    let _ = send_to_secondary(
+                        inner,
+                        *holder,
+                        &PrimaryMsg::Invalidate { object, version },
+                    );
                 }
                 entry.copy_holders.lock().clear();
             }
@@ -1217,10 +1249,16 @@ fn dispatch(inner: &Arc<Inner>, msg: PrimaryMsg, caller: NodeId) -> PrimaryReply
             }
             PrimaryReply::Ack
         }
-        PrimaryMsg::Invalidate { object } => {
+        PrimaryMsg::Invalidate { object, version } => {
             let secondaries = inner.secondaries.read();
             if let Some(entry) = secondaries.get(&object) {
                 let mut state = entry.state.lock();
+                // Record the version floor even when no copy is installed
+                // yet: an invalidation that overtakes the fetch reply it
+                // races must still poison that older snapshot, or the late
+                // install would serve stale reads forever (the primary has
+                // already deregistered this holder).
+                state.seen = state.seen.max(version);
                 state.copy = None;
                 state.locked = false;
                 entry.unlocked.notify_all();
@@ -1238,7 +1276,7 @@ fn dispatch(inner: &Arc<Inner>, msg: PrimaryMsg, caller: NodeId) -> PrimaryReply
                 let mut state = entry.state.lock();
                 state.seen = state.seen.max(version);
                 if state.copy.is_some() {
-                    if version == state.version + 1 {
+                    if version == state.version + 1 || crate::sabotage::no_version_gating() {
                         match state
                             .copy
                             .as_mut()
@@ -1457,7 +1495,7 @@ fn apply_rehome(inner: &Arc<Inner>, object: ObjectId, new_home: NodeId, lost: bo
         return;
     }
     inner.rehomed.write().insert(object, new_home);
-    if new_home != inner.node {
+    if new_home != inner.node && !crate::sabotage::rehome_keeps_stale_copies() {
         // Any surviving local copy is as stale as the moment of the crash
         // and the new primary does not list us as a holder: drop it, the
         // next access re-fetches. The version counters reset with it —
@@ -1486,7 +1524,7 @@ fn coordinate_recovery(inner: &Arc<Inner>, view: ViewSnapshot) {
         .collect();
     let deadline = Instant::now() + inner.recovery.rehome_wait;
     // Phase 1: collect surviving copies from every survivor.
-    let mut best: HashMap<u64, (NodeId, u64)> = HashMap::new();
+    let mut candidates: HashMap<u64, Vec<(NodeId, u64)>> = HashMap::new();
     for survivor in &view.alive {
         let report = if *survivor == inner.node {
             local_copy_report(inner, &dead)
@@ -1505,42 +1543,52 @@ fn coordinate_recovery(inner: &Arc<Inner>, view: ViewSnapshot) {
             }
         };
         for info in report {
-            let candidate = (*survivor, info.version);
-            best.entry(info.object)
-                .and_modify(|current| {
-                    // Freshest copy wins; ties break toward the lowest node
-                    // id so re-runs are deterministic.
-                    if info.version > current.1
-                        || (info.version == current.1 && *survivor < current.0)
-                    {
-                        *current = candidate;
-                    }
-                })
-                .or_insert(candidate);
+            candidates
+                .entry(info.object)
+                .or_default()
+                .push((*survivor, info.version));
         }
     }
-    // Phase 2 + 3: promote the freshest copy and publish the new home.
-    for (object, (holder, _version)) in best {
+    // Phase 2 + 3: promote the freshest surviving copy and publish the new
+    // home. Every *acked* write reached every copy holder (the primary
+    // replies only after all pushes are acknowledged), so any surviving
+    // copy is safe to promote — freshness only decides how many unacked
+    // in-flight writes ride along. That is also why a failed Promote falls
+    // back to the next-freshest candidate instead of abandoning the
+    // object: a holder may have discarded its copy between the query and
+    // the promotion (or died), while a staler copy elsewhere still holds
+    // everything ever acknowledged.
+    for (object, mut holders) in candidates {
         let object = ObjectId(object);
-        let promoted = if holder == inner.node {
-            matches!(promote_local(inner, object), RecoveryReply::Ack)
-        } else {
-            matches!(
-                coordinator_rpc(
-                    inner,
-                    holder,
-                    &RecoveryMsg::Promote {
-                        epoch: view.epoch,
-                        object: object.0,
-                    },
-                    deadline,
-                ),
-                Ok(RecoveryReply::Ack)
-            )
-        };
-        if !promoted {
-            continue; // a later epoch (holder died too) re-runs recovery
+        // Freshest first; ties break toward the lowest node id so re-runs
+        // are deterministic.
+        holders.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut promoted_holder = None;
+        for (holder, _version) in holders {
+            let promoted = if holder == inner.node {
+                matches!(promote_local(inner, object), RecoveryReply::Ack)
+            } else {
+                matches!(
+                    coordinator_rpc(
+                        inner,
+                        holder,
+                        &RecoveryMsg::Promote {
+                            epoch: view.epoch,
+                            object: object.0,
+                        },
+                        deadline,
+                    ),
+                    Ok(RecoveryReply::Ack)
+                )
+            };
+            if promoted {
+                promoted_holder = Some(holder);
+                break;
+            }
         }
+        let Some(holder) = promoted_holder else {
+            continue; // a later epoch (holder died too) re-runs recovery
+        };
         let announce = RecoveryMsg::ReHome {
             epoch: view.epoch,
             object: object.0,

@@ -316,65 +316,13 @@ fn fault_schedule_seed_does_not_leak_into_observables() {
 //
 // Workers hammer one shared counter with `Add` operations (each returns the
 // post-operation sum) and occasional `Value` reads, recording their own
-// history in issue order. Sequential consistency demands ONE total order of
-// all operations, consistent with every process's issue order, in which
-// each reply equals the running prefix sum — the checker below searches for
-// it by depth-first search over process frontiers (memoized: the consumed
-// prefix determines the running sum, so a revisited frontier vector can be
-// cut off).
+// history in issue order. The checker itself lives in `orca-check` (shared
+// with the seed sweep and the `orca-mc` bounded model checker): it searches
+// for ONE total order of all operations, consistent with every process's
+// issue order, in which each reply equals the running prefix sum.
 // ---------------------------------------------------------------------------
 
-/// One recorded invocation: the delta it added (0 for a read) and the sum
-/// the runtime system replied with.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct HistOp {
-    delta: i64,
-    reply: i64,
-}
-
-/// True if some total order consistent with every per-process history
-/// explains every reply (sequential consistency of a counter register).
-fn sequentially_consistent(histories: &[Vec<HistOp>]) -> bool {
-    fn dfs(
-        frontier: &mut Vec<usize>,
-        sum: i64,
-        histories: &[Vec<HistOp>],
-        seen: &mut std::collections::HashSet<Vec<usize>>,
-    ) -> bool {
-        if frontier
-            .iter()
-            .zip(histories)
-            .all(|(&done, history)| done == history.len())
-        {
-            return true;
-        }
-        if !seen.insert(frontier.clone()) {
-            return false;
-        }
-        for process in 0..histories.len() {
-            let next = frontier[process];
-            if next == histories[process].len() {
-                continue;
-            }
-            let op = histories[process][next];
-            if op.reply == sum + op.delta {
-                frontier[process] += 1;
-                if dfs(frontier, sum + op.delta, histories, seen) {
-                    return true;
-                }
-                frontier[process] -= 1;
-            }
-        }
-        false
-    }
-    let mut frontier = vec![0; histories.len()];
-    dfs(
-        &mut frontier,
-        0,
-        histories,
-        &mut std::collections::HashSet::new(),
-    )
-}
+use orca_check::{sequentially_consistent, HistOp};
 
 const HIST_WORKERS: usize = 3;
 const HIST_OPS: usize = 12;

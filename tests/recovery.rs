@@ -20,10 +20,20 @@
 
 use std::time::{Duration, Instant};
 
-use orca::amoeba::NodeId;
+use orca::amoeba::{FaultConfig, NodeId};
 use orca::core::objects::{KvTable, TableEntry};
 use orca::core::{standard_registry, OrcaConfig, OrcaRuntime, RecoveryConfig, RtsStrategy};
 use orca::rts::{AdaptivePolicy, RegimeKind, ReplicationPolicy, WritePolicy};
+
+/// Fault seed, overridable with `ORCA_SEED` so a reported failure
+/// reproduces with one environment variable (same plumbing as the
+/// conformance suite).
+fn fault_seed(default: u64) -> u64 {
+    std::env::var("ORCA_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 const NODES: usize = 4;
 const KILLED: NodeId = NodeId(3);
@@ -71,8 +81,22 @@ fn pinned_adaptive() -> AdaptivePolicy {
     }
 }
 
+fn filter_strategies(all: Vec<(&'static str, RtsStrategy)>) -> Vec<(&'static str, RtsStrategy)> {
+    match std::env::var("ORCA_RTS") {
+        Ok(only) if !only.is_empty() => {
+            let filtered: Vec<_> = all
+                .into_iter()
+                .filter(|(name, _)| name.starts_with(&only))
+                .collect();
+            assert!(!filtered.is_empty(), "ORCA_RTS={only} matches no strategy");
+            filtered
+        }
+        _ => all,
+    }
+}
+
 fn strategies() -> Vec<(&'static str, RtsStrategy)> {
-    let all = vec![
+    filter_strategies(vec![
         ("broadcast", RtsStrategy::broadcast()),
         (
             "primary_update",
@@ -88,18 +112,7 @@ fn strategies() -> Vec<(&'static str, RtsStrategy)> {
                 policy: pinned_adaptive(),
             },
         ),
-    ];
-    match std::env::var("ORCA_RTS") {
-        Ok(only) if !only.is_empty() => {
-            let filtered: Vec<_> = all
-                .into_iter()
-                .filter(|(name, _)| name.starts_with(&only))
-                .collect();
-            assert!(!filtered.is_empty(), "ORCA_RTS={only} matches no strategy");
-            filtered
-        }
-        _ => all,
-    }
+    ])
 }
 
 fn entry_for(key: u64) -> TableEntry {
@@ -111,17 +124,22 @@ fn entry_for(key: u64) -> TableEntry {
 }
 
 /// Run the crash scenario under one strategy and check every invariant.
-fn run_crash_scenario(name: &str, strategy: RtsStrategy) {
+/// `fault` perturbs all unreliable traffic for the whole run (the chaotic
+/// lane combines it with the kill); `create_on` picks the node whose death
+/// the object must survive — every strategy but primary-invalidate places
+/// the object on the doomed node.
+fn run_crash_scenario_on(name: &str, strategy: RtsStrategy, fault: FaultConfig, create_on: usize) {
     let config = OrcaConfig {
         strategy,
         recovery: recovery_knobs(),
+        fault,
         ..OrcaConfig::broadcast(NODES)
     };
     let adaptive = matches!(config.strategy, RtsStrategy::Adaptive { .. });
     let runtime = OrcaRuntime::start(config, standard_registry());
-    // Created on the doomed node: its death orphans whatever authority the
-    // strategy placed there.
-    let table = KvTable::create(runtime.context(KILLED.index())).unwrap();
+    // Usually created on the doomed node: its death orphans whatever
+    // authority the strategy placed there.
+    let table = KvTable::create(runtime.context(create_on)).unwrap();
 
     // Priming: every surviving node reads the table, which builds the
     // secondary copies (primary strategy) and the usage evidence plus
@@ -250,7 +268,61 @@ fn run_crash_scenario(name: &str, strategy: RtsStrategy) {
 #[test]
 fn crash_mid_workload_all_strategies_keep_every_acknowledged_write() {
     for (name, strategy) in strategies() {
-        run_crash_scenario(name, strategy);
+        run_crash_scenario_on(name, strategy, FaultConfig::reliable(), KILLED.index());
+    }
+}
+
+/// The chaotic conformance lane: `FaultConfig::chaotic` *and* a mid-workload
+/// kill, across all five strategy families. Loss, duplication and
+/// reordering stress the very protocols recovery rides on (heartbeats,
+/// group retransmission, re-homing RPC) while a node dies under them.
+///
+/// Primary-invalidate is the one family whose crash recovery legitimately
+/// cannot promise promotion: writes invalidate every secondary, so at the
+/// moment of death no survivor may hold a promotable copy. Its lane
+/// therefore keeps the object on a surviving node and exercises loss +
+/// crash around it (membership churn, aborted RPCs) rather than
+/// promotion-after-crash.
+#[test]
+fn chaotic_lane_crash_plus_loss_across_all_strategy_families() {
+    let seed = fault_seed(0xC4A05);
+    let fault = FaultConfig::chaotic(seed);
+    let all = filter_strategies(vec![
+        ("broadcast", RtsStrategy::broadcast()),
+        (
+            "primary_update",
+            RtsStrategy::PrimaryCopy {
+                policy: WritePolicy::Update,
+                replication: eager_replication(),
+            },
+        ),
+        ("sharded", RtsStrategy::sharded(4)),
+        (
+            "adaptive",
+            RtsStrategy::Adaptive {
+                policy: pinned_adaptive(),
+            },
+        ),
+        (
+            "primary_invalidate",
+            RtsStrategy::PrimaryCopy {
+                policy: WritePolicy::Invalidate,
+                replication: eager_replication(),
+            },
+        ),
+    ]);
+    for (name, strategy) in all {
+        let create_on = if name == "primary_invalidate" {
+            SURVIVORS[0]
+        } else {
+            KILLED.index()
+        };
+        run_crash_scenario_on(
+            &format!("{name} (chaotic, ORCA_SEED={seed})"),
+            strategy,
+            fault,
+            create_on,
+        );
     }
 }
 

@@ -16,6 +16,7 @@
 use orca::amoeba::FaultConfig;
 use orca::core::objects::{JobQueue, SharedInt};
 use orca::core::{replicated_workers, standard_registry, OrcaConfig, OrcaRuntime, RtsStrategy};
+use orca_check::{sequentially_consistent, HistOp};
 
 const WORKERS: usize = 3;
 const JOBS: u32 = 24;
@@ -28,7 +29,7 @@ struct Outcome {
     sum: i64,
 }
 
-fn run_once(strategy: RtsStrategy, fault: FaultConfig) -> Outcome {
+fn run_once(name: &str, strategy: RtsStrategy, fault: FaultConfig) -> Outcome {
     let config = OrcaConfig {
         fault,
         strategy,
@@ -42,15 +43,28 @@ fn run_once(strategy: RtsStrategy, fault: FaultConfig) -> Outcome {
         queue.add(main, &job).unwrap();
     }
     queue.close(main).unwrap();
-    let per_worker: Vec<Vec<u32>> = replicated_workers(&runtime, WORKERS, move |_worker, ctx| {
-        let mut mine = Vec::new();
-        while let Some(job) = queue.get(&ctx).unwrap() {
-            sum.add(&ctx, i64::from(job)).unwrap();
-            mine.push(job);
-        }
-        mine
-    });
-    let mut jobs: Vec<u32> = per_worker.into_iter().flatten().collect();
+    let per_worker: Vec<(Vec<u32>, Vec<HistOp>)> =
+        replicated_workers(&runtime, WORKERS, move |_worker, ctx| {
+            let mut mine = Vec::new();
+            let mut history = Vec::new();
+            while let Some(job) = queue.get(&ctx).unwrap() {
+                let delta = i64::from(job);
+                let reply = sum.add(&ctx, delta).unwrap();
+                history.push(HistOp::new(delta, reply));
+                mine.push(job);
+            }
+            (mine, history)
+        });
+    // Every sweep run also feeds the shared sequential-consistency checker
+    // (the same implementation the conformance suite and `orca-mc` use):
+    // determinism alone would also faithfully replay a consistency bug.
+    let histories: Vec<Vec<HistOp>> = per_worker.iter().map(|(_, h)| h.clone()).collect();
+    assert!(
+        sequentially_consistent(&histories),
+        "{name} (ORCA_SEED={}): histories not sequentially consistent: {histories:?}",
+        fault.seed
+    );
+    let mut jobs: Vec<u32> = per_worker.into_iter().flat_map(|(jobs, _)| jobs).collect();
     jobs.sort_unstable();
     // The final sum write may still be propagating on lossy networks;
     // writes above were acknowledged, so poll the local replica briefly.
@@ -90,8 +104,8 @@ fn same_seed_twice_produces_identical_outcomes_across_strategies() {
             reorder_prob: 0.05,
             seed,
         };
-        let first = run_once(strategy.clone(), fault);
-        let second = run_once(strategy.clone(), fault);
+        let first = run_once(name, strategy.clone(), fault);
+        let second = run_once(name, strategy.clone(), fault);
         assert_eq!(
             first, second,
             "strategy {name}, seed {seed}: two runs of one seed diverged \
