@@ -24,6 +24,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use orca_telemetry::{FlightKind, Telemetry};
 use parking_lot::Mutex;
 
 use crate::fault::{FaultAction, FaultConfig, FaultInjector};
@@ -116,7 +117,8 @@ impl NodeInbox {
 struct NetworkCore {
     config: NetworkConfig,
     inboxes: Vec<NodeInbox>,
-    stats: NetStats,
+    stats: Arc<NetStats>,
+    telemetry: Arc<Telemetry>,
     injector: Mutex<FaultInjector>,
     next_ephemeral: AtomicU64,
     /// Installed schedule driver (model checking); `None` in normal runs.
@@ -132,6 +134,12 @@ impl NetworkCore {
         let inbox = &self.inboxes[dst.index()];
         let wire_bytes = msg.wire_size();
         self.stats.record_delivery(dst, wire_bytes);
+        self.telemetry.record_traced(
+            dst.0,
+            FlightKind::Deliver,
+            u64::from(msg.src.0),
+            wire_bytes as u64,
+        );
         let bound = inbox.bound.lock();
         let msg = if let Some(tx) = bound.get(&msg.port) {
             match tx.send(msg) {
@@ -153,6 +161,12 @@ impl NetworkCore {
         if self.inboxes[dst.index()].crashed.load(Ordering::SeqCst) {
             self.activity.fetch_add(1, Ordering::SeqCst);
             self.stats.record_drop(dst);
+            self.telemetry.record_traced(
+                dst.0,
+                FlightKind::Drop,
+                u64::from(msg.src.0),
+                msg.wire_size() as u64,
+            );
             return;
         }
         self.enqueue(dst, msg);
@@ -183,13 +197,32 @@ impl Network {
         assert!(config.nodes > 0, "network needs at least one node");
         assert!(config.packet_payload > 0, "packet payload must be positive");
         let inboxes = (0..config.nodes).map(|_| NodeInbox::new()).collect();
-        let stats = NetStats::new(config.nodes);
+        let stats = Arc::new(NetStats::new(config.nodes));
+        let telemetry = Telemetry::new(config.nodes);
+        // Absorb the raw network counters into the unified metrics
+        // namespace: one collector walks the per-node stats at snapshot
+        // time (it holds the counters, not the network, so no Arc cycle
+        // through the registry).
+        let collected = Arc::clone(&stats);
+        telemetry.registry().register_collector(move |c| {
+            for (index, snap) in collected.snapshot().per_node.iter().enumerate() {
+                let prefix = format!("net.node{index}");
+                c.counter(format!("{prefix}.p2p_sent"), snap.p2p_sent);
+                c.counter(format!("{prefix}.broadcasts_sent"), snap.broadcasts_sent);
+                c.counter(format!("{prefix}.bytes_sent"), snap.bytes_sent);
+                c.counter(format!("{prefix}.packets_sent"), snap.packets_sent);
+                c.counter(format!("{prefix}.interrupts"), snap.interrupts);
+                c.counter(format!("{prefix}.bytes_received"), snap.bytes_received);
+                c.counter(format!("{prefix}.dropped"), snap.dropped);
+            }
+        });
         let injector = Mutex::new(FaultInjector::new(config.fault));
         Network {
             core: Arc::new(NetworkCore {
                 config,
                 inboxes,
                 stats,
+                telemetry,
                 injector,
                 next_ephemeral: AtomicU64::new(ports::EPHEMERAL_BASE),
                 sched: Mutex::new(None),
@@ -232,12 +265,21 @@ impl Network {
         self.core.stats.snapshot()
     }
 
+    /// The observability hub shared by every layer running on this
+    /// network: metrics registry, flight recorders, trace minting.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.core.telemetry
+    }
+
     /// Simulate a crash of `node`: all traffic to and from it is discarded
     /// until [`Network::recover`] is called.
     pub fn crash(&self, node: NodeId) {
         self.core.inboxes[node.index()]
             .crashed
             .store(true, Ordering::SeqCst);
+        self.core
+            .telemetry
+            .record_traced(node.0, FlightKind::Crash, 0, 0);
     }
 
     /// Undo a simulated crash.
@@ -245,6 +287,9 @@ impl Network {
         self.core.inboxes[node.index()]
             .crashed
             .store(false, Ordering::SeqCst);
+        self.core
+            .telemetry
+            .record_traced(node.0, FlightKind::Recover, 0, 0);
     }
 
     /// True if `node` is currently simulated as crashed.
@@ -341,6 +386,12 @@ impl Network {
         drop(sched);
         self.core.activity.fetch_add(1, Ordering::SeqCst);
         self.core.stats.record_drop(entry.dst);
+        self.core.telemetry.record_traced(
+            entry.dst.0,
+            FlightKind::Drop,
+            u64::from(entry.msg.src.0),
+            entry.msg.wire_size() as u64,
+        );
         true
     }
 
@@ -395,6 +446,11 @@ impl NetworkHandle {
         Network {
             core: Arc::clone(&self.core),
         }
+    }
+
+    /// The network's observability hub (see [`Network::telemetry`]).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.core.telemetry
     }
 
     /// Allocate a fresh ephemeral port (unique network-wide).
@@ -452,6 +508,11 @@ impl NetworkHandle {
         self.core
             .stats
             .record_broadcast_send(src, wire_bytes, packets);
+        // One Send event for the whole broadcast (a = u64::MAX marks "all
+        // nodes"), matching the once-on-the-wire accounting above.
+        self.core
+            .telemetry
+            .record_traced(src.0, FlightKind::Send, u64::MAX, wire_bytes as u64);
         for dst_index in 0..self.core.config.nodes {
             let dst = NodeId::from(dst_index);
             let msg = NetMessage {
@@ -486,6 +547,12 @@ impl NetworkHandle {
         let wire_bytes = payload.len() + WIRE_HEADER_BYTES;
         let packets = packets_for(payload.len(), self.core.config.packet_payload);
         self.core.stats.record_p2p_send(src, wire_bytes, packets);
+        self.core.telemetry.record_traced(
+            src.0,
+            FlightKind::Send,
+            u64::from(dst.0),
+            wire_bytes as u64,
+        );
         let msg = NetMessage {
             src,
             port,
@@ -501,6 +568,12 @@ impl NetworkHandle {
         if inbox.crashed.load(Ordering::SeqCst) {
             self.core.activity.fetch_add(1, Ordering::SeqCst);
             self.core.stats.record_drop(dst);
+            self.core.telemetry.record_traced(
+                dst.0,
+                FlightKind::Drop,
+                u64::from(msg.src.0),
+                msg.wire_size() as u64,
+            );
             return;
         }
         // Schedule-driver seam: while a scheduler is installed, hold
@@ -528,6 +601,12 @@ impl NetworkHandle {
             FaultAction::Drop => {
                 self.core.activity.fetch_add(1, Ordering::SeqCst);
                 self.core.stats.record_drop(dst);
+                self.core.telemetry.record_traced(
+                    dst.0,
+                    FlightKind::Drop,
+                    u64::from(msg.src.0),
+                    msg.wire_size() as u64,
+                );
             }
             FaultAction::Deliver => {
                 self.core.enqueue(dst, msg);

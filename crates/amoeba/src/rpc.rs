@@ -19,7 +19,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use orca_wire::{Decoder, Encoder, Wire, WireResult};
+use orca_telemetry::trace;
+use orca_wire::{Decoder, Encoder, TraceId, Wire, WireResult};
 
 use crate::network::{NetError, NetworkHandle};
 use crate::node::{NodeId, Port};
@@ -33,6 +34,10 @@ pub struct RpcRequest {
     pub reply_port: Port,
     /// Serialized request body (interpreted by the service).
     pub body: Vec<u8>,
+    /// Causal trace of the invocation this request belongs to, captured
+    /// from the calling thread and re-installed around the handler — so
+    /// nested RPCs issued from inside a handler inherit it.
+    pub trace: TraceId,
 }
 
 impl Wire for RpcRequest {
@@ -40,12 +45,14 @@ impl Wire for RpcRequest {
         self.request_id.encode(enc);
         self.reply_port.encode(enc);
         enc.put_bytes(&self.body);
+        self.trace.encode(enc);
     }
     fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
         Ok(RpcRequest {
             request_id: Wire::decode(dec)?,
             reply_port: Wire::decode(dec)?,
             body: dec.get_bytes()?,
+            trace: Wire::decode(dec)?,
         })
     }
 }
@@ -136,6 +143,7 @@ pub fn rpc_call_timeout(
         request_id,
         reply_port,
         body,
+        trace: trace::current(),
     };
     handle.send_reliable(dst, service_port, request.to_bytes())?;
     loop {
@@ -176,6 +184,7 @@ pub fn rpc_call_abortable(
         request_id,
         reply_port,
         body,
+        trace: trace::current(),
     };
     handle.send_reliable(dst, service_port, request.to_bytes())?;
     let deadline = std::time::Instant::now() + timeout;
@@ -251,6 +260,7 @@ impl MultiRpc {
             request_id,
             reply_port: self.reply_port,
             body,
+            trace: trace::current(),
         };
         self.handle
             .send_reliable(dst, service_port, request.to_bytes())?;
@@ -389,6 +399,7 @@ impl RpcServer {
                     .name(format!("rpc-pool-{node}-{service_port}-{w}"))
                     .spawn(move || {
                         while let Ok((request, src)) = work_rx.recv() {
+                            let _span = trace::enter(request.trace);
                             let reply = RpcReply {
                                 request_id: request.request_id,
                                 body: handler(&request.body, src),
@@ -469,6 +480,7 @@ impl RpcServer {
                         std::thread::Builder::new()
                             .name(format!("rpc-worker-{node}-{service_port}"))
                             .spawn(move || {
+                                let _span = trace::enter(request.trace);
                                 let reply_body = handler(&request.body, src);
                                 let reply = RpcReply {
                                     request_id: request.request_id,
@@ -479,6 +491,7 @@ impl RpcServer {
                             })
                             .expect("spawn rpc worker thread");
                     } else {
+                        let _span = trace::enter(request.trace);
                         let reply_body = handler(&request.body, msg.src);
                         let reply = RpcReply {
                             request_id: request.request_id,
@@ -677,6 +690,7 @@ mod tests {
             request_id: 9,
             reply_port: 1 << 40,
             body: vec![1, 2, 3],
+            trace: TraceId::mint(3, 41),
         };
         assert_eq!(RpcRequest::from_bytes(&req.to_bytes()).unwrap(), req);
         let rep = RpcReply {

@@ -1,0 +1,58 @@
+//! Emit a metrics-registry snapshot from a tiny real workload, for the CI
+//! telemetry lane.
+//!
+//! Drives a handful of synchronous and pipelined-asynchronous invocations
+//! through the full stack so every always-on instrument records something —
+//! network counters, per-node RTS counters, the invoke/queue/service
+//! latency histograms — then writes `Registry::snapshot().to_json()` to the
+//! given path (default `target/telemetry_smoke.json`).
+//! `scripts/check_telemetry.py` validates the emitted document.
+//!
+//! Usage: `telemetry_smoke [output.json]`
+
+use orca_core::objects::{JobQueue, JobQueueOp};
+use orca_core::{standard_registry, BatchPolicy, OrcaConfig, OrcaRuntime};
+use orca_wire::Wire;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/telemetry_smoke.json".to_string());
+    let config = OrcaConfig::broadcast(2).with_batch(BatchPolicy {
+        max_batch: 4,
+        max_delay: std::time::Duration::from_micros(500),
+    });
+    let runtime = OrcaRuntime::start(config, standard_registry());
+    let queue: JobQueue<u64> = JobQueue::create(runtime.main()).unwrap();
+    let ctx = runtime.context(1);
+    // The pipelined path feeds the queue-wait and service histograms.
+    for window in 0..4u64 {
+        let ops: Vec<JobQueueOp> = (0..4u64)
+            .map(|i| JobQueueOp::AddJob((window * 4 + i).to_bytes()))
+            .collect();
+        for future in &ctx.invoke_many(queue.handle(), &ops) {
+            future.wait().unwrap();
+        }
+    }
+    // The synchronous path feeds the invoke histogram. Close first so the
+    // final `get` returns `None` instead of blocking on an open queue.
+    queue.close(runtime.main()).unwrap();
+    let mut drained = 0u32;
+    while queue.get(ctx).unwrap().is_some() {
+        drained += 1;
+    }
+    assert_eq!(drained, 16, "smoke workload lost jobs");
+    let snapshot = runtime.telemetry().registry().snapshot();
+    let events = runtime.telemetry().flight_events().len();
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).unwrap();
+    }
+    std::fs::write(&out, snapshot.to_json()).unwrap_or_else(|err| panic!("writing {out}: {err}"));
+    println!(
+        "wrote {out}: {} counters, {} gauges, {} histograms; flight recorder holds {events} events",
+        snapshot.counters.len(),
+        snapshot.gauges.len(),
+        snapshot.hists.len(),
+    );
+    runtime.shutdown();
+}

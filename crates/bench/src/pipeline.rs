@@ -65,6 +65,20 @@ pub struct PipelineRow {
     /// Wall-clock time of the measurement run on the build machine
     /// (orientation only).
     pub elapsed: Duration,
+    /// Recorded queue-wait latency percentiles (submission → round cut),
+    /// nanoseconds, from the `rts.pipeline.queue_ns` telemetry histogram.
+    pub queue_p50_ns: u64,
+    /// Queue-wait p99 (ns).
+    pub queue_p99_ns: u64,
+    /// Queue-wait p99.9 (ns).
+    pub queue_p999_ns: u64,
+    /// Recorded flusher-round service-time percentiles (round cut →
+    /// resolution), nanoseconds, from `rts.pipeline.service_ns`.
+    pub service_p50_ns: u64,
+    /// Service-time p99 (ns).
+    pub service_p99_ns: u64,
+    /// Service-time p99.9 (ns).
+    pub service_p999_ns: u64,
 }
 
 /// The strategies the sweep covers.
@@ -184,6 +198,21 @@ fn run_one(
         .map(|load| model.node_time(load))
         .fold(f64::MIN_POSITIVE, f64::max);
     let total_ops = (nodes * ops_per_node) as f64;
+    // Recorded (not modeled) latency split of the asynchronous path: how
+    // long submissions sat in the queue before their round was cut, and
+    // how long the round took to execute. The telemetry hub is per-run, so
+    // these histograms cover exactly this (strategy, depth) point.
+    let telemetry = runtime.telemetry().registry().snapshot();
+    let queue = telemetry
+        .hists
+        .get("rts.pipeline.queue_ns")
+        .cloned()
+        .unwrap_or_else(orca_telemetry::HistSnapshot::empty);
+    let service = telemetry
+        .hists
+        .get("rts.pipeline.service_ns")
+        .cloned()
+        .unwrap_or_else(orca_telemetry::HistSnapshot::empty);
     let row = PipelineRow {
         strategy: name,
         depth,
@@ -198,6 +227,12 @@ fn run_one(
         bottleneck_seconds,
         ops_per_sec: total_ops / bottleneck_seconds,
         elapsed,
+        queue_p50_ns: queue.p50(),
+        queue_p99_ns: queue.p99(),
+        queue_p999_ns: queue.p999(),
+        service_p50_ns: service.p50(),
+        service_p99_ns: service.p99(),
+        service_p999_ns: service.p999(),
     };
     runtime.shutdown();
     row
@@ -220,11 +255,12 @@ pub fn format_table(rows: &[PipelineRow]) -> String {
     let mut out =
         String::from("# Pipelined async invocations: JobQueue write throughput vs depth\n");
     out.push_str(
-        "strategy        depth  total_ops  batches  ops/batch  bottleneck_ms  ops/sec  wall_ms\n",
+        "strategy        depth  total_ops  batches  ops/batch  bottleneck_ms  ops/sec  \
+         queue_p50_us  queue_p99_us  svc_p50_us  svc_p99_us  wall_ms\n",
     );
     for row in rows {
         out.push_str(&format!(
-            "{:<15} {:>5}  {:>9}  {:>7}  {:>9.1}  {:>13.1}  {:>7.0}  {:>7.1}\n",
+            "{:<15} {:>5}  {:>9}  {:>7}  {:>9.1}  {:>13.1}  {:>7.0}  {:>12.1}  {:>12.1}  {:>10.1}  {:>10.1}  {:>7.1}\n",
             row.strategy,
             row.depth,
             row.nodes * row.ops_per_node,
@@ -232,6 +268,10 @@ pub fn format_table(rows: &[PipelineRow]) -> String {
             row.coalescing,
             row.bottleneck_seconds * 1000.0,
             row.ops_per_sec,
+            row.queue_p50_ns as f64 / 1000.0,
+            row.queue_p99_ns as f64 / 1000.0,
+            row.service_p50_ns as f64 / 1000.0,
+            row.service_p99_ns as f64 / 1000.0,
             row.elapsed.as_secs_f64() * 1000.0,
         ));
     }
@@ -253,7 +293,7 @@ pub fn to_json(rows: &[PipelineRow]) -> String {
     );
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"strategy\": \"{}\", \"depth\": {}, \"nodes\": {}, \"ops_per_node\": {}, \"batches\": {}, \"ops_per_batch\": {:.2}, \"bottleneck_ms\": {:.3}, \"ops_per_sec\": {:.1}, \"wall_ms\": {:.3}}}{}\n",
+            "    {{\"strategy\": \"{}\", \"depth\": {}, \"nodes\": {}, \"ops_per_node\": {}, \"batches\": {}, \"ops_per_batch\": {:.2}, \"bottleneck_ms\": {:.3}, \"ops_per_sec\": {:.1}, \"queue_p50_ns\": {}, \"queue_p99_ns\": {}, \"queue_p999_ns\": {}, \"service_p50_ns\": {}, \"service_p99_ns\": {}, \"service_p999_ns\": {}, \"wall_ms\": {:.3}}}{}\n",
             row.strategy,
             row.depth,
             row.nodes,
@@ -262,6 +302,12 @@ pub fn to_json(rows: &[PipelineRow]) -> String {
             row.coalescing,
             row.bottleneck_seconds * 1000.0,
             row.ops_per_sec,
+            row.queue_p50_ns,
+            row.queue_p99_ns,
+            row.queue_p999_ns,
+            row.service_p50_ns,
+            row.service_p99_ns,
+            row.service_p999_ns,
             row.elapsed.as_secs_f64() * 1000.0,
             if i + 1 < rows.len() { "," } else { "" },
         ));
@@ -292,6 +338,14 @@ mod tests {
         let json = to_json(&rows);
         assert!(json.contains("\"bench\": \"pipeline\""));
         assert!(json.contains("speedup_depth_1_to_16"));
+        assert!(json.contains("queue_p99_ns"));
+        assert!(json.contains("service_p999_ns"));
+        // Percentiles are recorded, not modeled: the histograms saw the
+        // run's real submissions, so the counts cannot be all-zero.
+        assert!(
+            rows.iter().all(|r| r.service_p50_ns > 0),
+            "service histogram never recorded: {rows:?}"
+        );
         let table = format_table(&rows);
         assert!(table.contains("strategy"));
         assert!(speedup(&rows, "broadcast", 1, 16).is_none());

@@ -38,6 +38,20 @@ pub struct RecoveryRow {
     pub ops_failed: u64,
     /// Invocations acknowledged over the whole run (survivor-side).
     pub ops_ok: u64,
+    /// Recovery phase timeline, recorded by the flight recorder's
+    /// coordinator instrumentation: report-collection phase duration
+    /// (`rts.recovery.coordinate_ns`, detect → reports in hand).
+    pub coordinate_ns: u64,
+    /// Promotion/publication phase duration (`rts.recovery.rehome_ns`,
+    /// reports in hand → new owners published).
+    pub rehome_ns: u64,
+    /// Recorded synchronous invocation latency percentiles over the whole
+    /// run (`rts.invoke.sync_ns`) — the outage shows up in the tail.
+    pub invoke_p50_ns: u64,
+    /// Synchronous invocation p99 (ns).
+    pub invoke_p99_ns: u64,
+    /// Synchronous invocation p99.9 (ns).
+    pub invoke_p999_ns: u64,
 }
 
 /// Simulated nodes (node `nodes - 1` is killed).
@@ -122,6 +136,12 @@ fn run_once(heartbeat: Duration, suspect_after: u32) -> RecoveryRow {
     for writer in writers {
         writer.join();
     }
+    // The recovery phase split and the run's recorded invoke latencies,
+    // straight from the telemetry histograms (one recovery per run, so
+    // the histogram max is that recovery's duration).
+    let telemetry = runtime.telemetry().registry().snapshot();
+    let hist_max = |name: &str| telemetry.hists.get(name).map_or(0, |h| h.max);
+    let invoke = telemetry.hists.get("rts.invoke.sync_ns").cloned();
     let row = RecoveryRow {
         heartbeat,
         suspect_after,
@@ -129,6 +149,11 @@ fn run_once(heartbeat: Duration, suspect_after: u32) -> RecoveryRow {
         recover,
         ops_failed: failed.load(Ordering::Relaxed),
         ops_ok: ok.load(Ordering::Relaxed),
+        coordinate_ns: hist_max("rts.recovery.coordinate_ns"),
+        rehome_ns: hist_max("rts.recovery.rehome_ns"),
+        invoke_p50_ns: invoke.as_ref().map_or(0, |h| h.p50()),
+        invoke_p99_ns: invoke.as_ref().map_or(0, |h| h.p99()),
+        invoke_p999_ns: invoke.as_ref().map_or(0, |h| h.p999()),
     };
     runtime.shutdown();
     row
@@ -138,16 +163,23 @@ fn run_once(heartbeat: Duration, suspect_after: u32) -> RecoveryRow {
 pub fn format_table(rows: &[RecoveryRow]) -> String {
     let mut out = String::new();
     out.push_str("crash recovery: kill 1 of 4 nodes mid-workload (sharded RTS)\n");
-    out.push_str("heartbeat  suspect  detect(ms)  recover(ms)  ops-failed  ops-ok\n");
+    out.push_str(
+        "heartbeat  suspect  detect(ms)  coordinate(ms)  rehome(ms)  recover(ms)  \
+         ops-failed  ops-ok  put_p50(us)  put_p99(us)\n",
+    );
     for row in rows {
         out.push_str(&format!(
-            "{:>8.0?}  {:>7}  {:>10.1}  {:>11.1}  {:>10}  {:>6}\n",
+            "{:>8.0?}  {:>7}  {:>10.1}  {:>14.2}  {:>10.2}  {:>11.1}  {:>10}  {:>6}  {:>11.1}  {:>11.1}\n",
             row.heartbeat,
             row.suspect_after,
             row.detect.as_secs_f64() * 1e3,
+            row.coordinate_ns as f64 / 1e6,
+            row.rehome_ns as f64 / 1e6,
             row.recover.as_secs_f64() * 1e3,
             row.ops_failed,
             row.ops_ok,
+            row.invoke_p50_ns as f64 / 1e3,
+            row.invoke_p99_ns as f64 / 1e3,
         ));
     }
     out
@@ -158,13 +190,18 @@ pub fn to_json(rows: &[RecoveryRow]) -> String {
     let mut out = String::from("{\n  \"bench\": \"recovery\",\n  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"heartbeat_ms\": {:.1}, \"suspect_after\": {}, \"detect_ms\": {:.2}, \"recover_ms\": {:.2}, \"ops_failed\": {}, \"ops_ok\": {}}}{}\n",
+            "    {{\"heartbeat_ms\": {:.1}, \"suspect_after\": {}, \"detect_ms\": {:.2}, \"coordinate_ms\": {:.3}, \"rehome_ms\": {:.3}, \"recover_ms\": {:.2}, \"ops_failed\": {}, \"ops_ok\": {}, \"invoke_p50_ns\": {}, \"invoke_p99_ns\": {}, \"invoke_p999_ns\": {}}}{}\n",
             row.heartbeat.as_secs_f64() * 1e3,
             row.suspect_after,
             row.detect.as_secs_f64() * 1e3,
+            row.coordinate_ns as f64 / 1e6,
+            row.rehome_ns as f64 / 1e6,
             row.recover.as_secs_f64() * 1e3,
             row.ops_failed,
             row.ops_ok,
+            row.invoke_p50_ns,
+            row.invoke_p99_ns,
+            row.invoke_p999_ns,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -184,8 +221,20 @@ mod tests {
         assert!(row.detect >= Duration::from_millis(20));
         assert!(row.recover >= row.detect);
         assert!(row.ops_ok > 0);
+        // The killed node owned state, so the run's single recovery must
+        // have gone through both coordinator phases, and the recorded
+        // invocation histogram saw the survivors' writes.
+        assert!(
+            row.coordinate_ns > 0,
+            "coordinate phase unrecorded: {row:?}"
+        );
+        assert!(row.rehome_ns > 0, "rehome phase unrecorded: {row:?}");
+        assert!(row.invoke_p50_ns > 0);
+        assert!(row.invoke_p99_ns >= row.invoke_p50_ns);
         let json = to_json(&rows);
         assert!(json.contains("\"recover_ms\""));
+        assert!(json.contains("\"coordinate_ms\""));
+        assert!(json.contains("\"invoke_p999_ns\""));
         assert!(format_table(&rows).contains("ops-failed"));
     }
 }

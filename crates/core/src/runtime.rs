@@ -1,6 +1,7 @@
 //! The Orca runtime: processor pool, per-node runtime systems, processes.
 
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
+use std::time::Instant;
 
 use orca_amoeba::network::{Network, NetworkConfig};
 use orca_amoeba::process::{ProcessHandle, ProcessorPool};
@@ -10,6 +11,7 @@ use orca_rts::{
     AdaptiveRts, BroadcastRts, FailureDetector, PrimaryCopyRts, RegimeKind, RtsStatsSnapshot,
     RuntimeSystem, ShardedRts, ViewSnapshot,
 };
+use orca_telemetry::{trace, FlightKind, HistHandle, Telemetry};
 use orca_wire::Wire;
 
 use crate::config::{OrcaConfig, RtsStrategy};
@@ -59,6 +61,9 @@ impl NodeRts {
 pub struct OrcaNode {
     node: NodeId,
     rts: Arc<dyn RuntimeSystem>,
+    telemetry: Arc<Telemetry>,
+    /// Wall-clock latency of synchronous invocations (`rts.invoke.sync_ns`).
+    sync_hist: HistHandle,
 }
 
 impl std::fmt::Debug for OrcaNode {
@@ -91,9 +96,31 @@ impl OrcaNode {
         op: &T::Op,
     ) -> OrcaResult<T::Reply> {
         let kind = T::kind(op);
-        let reply = self
+        // Every invocation gets a fresh causal trace id; the guard makes
+        // it the thread's current trace so every RPC, batch op, and flight
+        // event this invocation triggers — on any node — carries it.
+        let trace_id = self.telemetry.mint_trace(self.node.0);
+        let _span = trace::enter(trace_id);
+        self.telemetry.record(
+            self.node.0,
+            FlightKind::InvokeStart,
+            trace_id,
+            handle.id().0,
+            kind as u64,
+        );
+        let started = Instant::now();
+        let result = self
             .rts
-            .invoke(handle.id(), T::TYPE_NAME, kind, &op.to_bytes())?;
+            .invoke(handle.id(), T::TYPE_NAME, kind, &op.to_bytes());
+        self.sync_hist.record(started.elapsed().as_nanos() as u64);
+        self.telemetry.record(
+            self.node.0,
+            FlightKind::InvokeEnd,
+            trace_id,
+            handle.id().0,
+            u64::from(result.is_err()),
+        );
+        let reply = result?;
         T::Reply::from_bytes(&reply)
             .map_err(|err| OrcaError::Communication(format!("reply decode: {err}")))
     }
@@ -115,6 +142,18 @@ impl OrcaNode {
         op: &T::Op,
     ) -> crate::InvocationFuture<T> {
         let kind = T::kind(op);
+        // The minted trace is current while the operation is submitted, so
+        // the queued op (and through it the wire batches and remote
+        // applies) inherits it; completion is recorded by the flusher.
+        let trace_id = self.telemetry.mint_trace(self.node.0);
+        let _span = trace::enter(trace_id);
+        self.telemetry.record(
+            self.node.0,
+            FlightKind::InvokeStart,
+            trace_id,
+            handle.id().0,
+            kind as u64,
+        );
         let pending = self
             .rts
             .invoke_async(handle.id(), T::TYPE_NAME, kind, &op.to_bytes());
@@ -242,14 +281,42 @@ impl OrcaRuntime {
             rts.set_batch_policy(config.batch);
             rtses.push(rts);
         }
-        let contexts = rtses
+        let telemetry = Arc::clone(network.telemetry());
+        let sync_hist = telemetry.registry().histogram("rts.invoke.sync_ns");
+        let contexts: Vec<OrcaNode> = rtses
             .iter()
             .enumerate()
             .map(|(index, rts)| OrcaNode {
                 node: NodeId::from(index),
                 rts: rts.as_runtime(),
+                telemetry: Arc::clone(&telemetry),
+                sync_hist: Arc::clone(&sync_hist),
             })
             .collect();
+        // Snapshot every node's RTS counters into the registry on demand.
+        // Weak references keep the collector from pinning the runtime
+        // systems alive past shutdown (registry → closure → rts → network
+        // → telemetry → registry would otherwise cycle).
+        let weak_rtses: Vec<Weak<dyn RuntimeSystem>> = contexts
+            .iter()
+            .map(|ctx| Arc::downgrade(&ctx.rts))
+            .collect();
+        telemetry.registry().register_collector(move |c| {
+            for (index, weak) in weak_rtses.iter().enumerate() {
+                let Some(rts) = weak.upgrade() else { continue };
+                let snap = rts.stats();
+                let prefix = format!("rts.node{index}");
+                c.counter(format!("{prefix}.local_reads"), snap.local_reads);
+                c.counter(format!("{prefix}.remote_reads"), snap.remote_reads);
+                c.counter(format!("{prefix}.writes"), snap.writes);
+                c.counter(format!("{prefix}.broadcast_writes"), snap.broadcast_writes);
+                c.counter(format!("{prefix}.remote_writes"), snap.remote_writes);
+                c.counter(format!("{prefix}.updates_applied"), snap.updates_applied);
+                c.counter(format!("{prefix}.batches_sent"), snap.batches_sent);
+                c.counter(format!("{prefix}.ops_batched"), snap.ops_batched);
+                c.counter(format!("{prefix}.regime_switches"), snap.regime_switches);
+            }
+        });
         OrcaRuntime {
             config,
             network,
@@ -326,6 +393,12 @@ impl OrcaRuntime {
     /// Network-level statistics (messages, bytes, interrupts per node).
     pub fn network_stats(&self) -> NetStatsSnapshot {
         self.network.stats()
+    }
+
+    /// The run's telemetry hub: metrics registry, flight recorder rings,
+    /// and trace minting — shared by the network and every runtime system.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        self.network.telemetry()
     }
 
     /// Runtime-system statistics of every node.

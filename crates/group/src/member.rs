@@ -899,6 +899,12 @@ impl ProtocolState {
             return;
         }
         self.sequencer = new_sequencer;
+        self.handle.telemetry().record_traced(
+            self.handle.node().0,
+            orca_telemetry::FlightKind::Election,
+            u64::from(new_sequencer.0),
+            self.next_global_seq,
+        );
         // Fruitless-retry counts were evidence against the old incumbent;
         // the new sequencer starts with a clean slate (otherwise it is
         // suspected on its very first unacked retry).

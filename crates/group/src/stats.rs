@@ -86,6 +86,31 @@ impl GroupStatsSnapshot {
     pub fn sent(&self) -> u64 {
         self.pb_sent + self.bb_sent
     }
+
+    /// Element-wise difference `self - earlier`, saturating at zero so a
+    /// swapped snapshot pair (or one taken around a reset) yields zeros
+    /// instead of wrapped near-`u64::MAX` values.
+    pub fn since(&self, earlier: &GroupStatsSnapshot) -> GroupStatsSnapshot {
+        GroupStatsSnapshot {
+            pb_sent: self.pb_sent.saturating_sub(earlier.pb_sent),
+            bb_sent: self.bb_sent.saturating_sub(earlier.bb_sent),
+            delivered: self.delivered.saturating_sub(earlier.delivered),
+            sequenced: self.sequenced.saturating_sub(earlier.sequenced),
+            retransmit_requests: self
+                .retransmit_requests
+                .saturating_sub(earlier.retransmit_requests),
+            retransmissions_served: self
+                .retransmissions_served
+                .saturating_sub(earlier.retransmissions_served),
+            send_retries: self.send_retries.saturating_sub(earlier.send_retries),
+            duplicates_ignored: self
+                .duplicates_ignored
+                .saturating_sub(earlier.duplicates_ignored),
+            buffered_out_of_order: self
+                .buffered_out_of_order
+                .saturating_sub(earlier.buffered_out_of_order),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -105,5 +130,19 @@ mod tests {
         assert_eq!(snap.sent(), 3);
         assert_eq!(snap.delivered, 1);
         assert_eq!(snap.retransmit_requests, 0);
+    }
+
+    #[test]
+    fn since_saturates_instead_of_underflowing() {
+        let stats = GroupStats::new_shared();
+        GroupStats::bump(&stats.pb_sent);
+        let before = stats.snapshot();
+        GroupStats::bump(&stats.bb_sent);
+        let after = stats.snapshot();
+        let delta = after.since(&before);
+        assert_eq!(delta.pb_sent, 0);
+        assert_eq!(delta.bb_sent, 1);
+        // Swapped order yields zeros, never wrapped values.
+        assert_eq!(before.since(&after), GroupStatsSnapshot::default());
     }
 }

@@ -64,6 +64,12 @@ fn main() {
                 "VIOLATION in {}: {}\n  replay: ORCA_MC_SCENARIO={} ORCA_MC_TRACE={}",
                 report.scenario, v.message, report.scenario, v.trace
             );
+            if let Some(flight) = &v.flight {
+                eprintln!("  flight recorder of the violating schedule:");
+                for line in flight.lines() {
+                    eprintln!("    {line}");
+                }
+            }
         }
         std::process::exit(1);
     }

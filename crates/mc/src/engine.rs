@@ -41,11 +41,13 @@
 use std::collections::HashSet;
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use orca_amoeba::network::Network;
 use orca_amoeba::sched::HeldDescriptor;
 use orca_amoeba::{MsgId, NodeId, SchedulerConfig};
+use orca_telemetry::Telemetry;
 
 /// One scheduling decision.
 ///
@@ -211,6 +213,10 @@ pub struct Execution<'a> {
     pub depth_exhausted: bool,
     /// Set when a crash choice switched the run to passthrough mode.
     pub passthrough_tail: bool,
+    /// Strong handle to the driven network's telemetry hub, captured by
+    /// `drive` so the flight recorder outlives the scenario's runtime and
+    /// a violation report can include the protocol events.
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 const FNV_OFFSET: u64 = 0xcbf29ce484222325;
@@ -249,6 +255,7 @@ impl<'a> Execution<'a> {
             divergence: None,
             depth_exhausted: false,
             passthrough_tail: false,
+            telemetry: None,
         }
     }
 
@@ -376,6 +383,7 @@ impl<'a> Execution<'a> {
     /// *stuck*: nothing pending, workers not finished, and nothing happened
     /// within the wait cap.
     pub fn drive<F: Fn() -> bool>(&mut self, net: &Network, finished: F) -> Result<(), String> {
+        self.telemetry = Some(Arc::clone(net.telemetry()));
         loop {
             if self.passthrough_tail {
                 return Ok(());
@@ -541,6 +549,9 @@ pub struct Violation {
     pub trace: String,
     /// Whether re-executing the trace reproduced a violation.
     pub replay_confirmed: bool,
+    /// Flight-recorder dump of the violating schedule (protocol events and
+    /// causal span trees), when the scenario's run reached `drive`.
+    pub flight: Option<String>,
 }
 
 /// Outcome of exploring one scenario.
@@ -612,6 +623,7 @@ pub fn replay_trace(scenario: &dyn Scenario, trace: &str) -> Report {
                     message: format!("unparseable trace: {err}"),
                     trace: trace.to_string(),
                     replay_confirmed: false,
+                    flight: None,
                 }),
             }
         }
@@ -622,6 +634,7 @@ pub fn replay_trace(scenario: &dyn Scenario, trace: &str) -> Report {
     let result = scenario.run(&mut exec);
     let steps = exec.steps.len();
     let diverged = exec.divergence.is_some();
+    let flight = exec.telemetry.take().map(|t| t.flight_dump());
     Report {
         scenario: scenario.name().to_string(),
         schedules: 1,
@@ -635,6 +648,7 @@ pub fn replay_trace(scenario: &dyn Scenario, trace: &str) -> Report {
             message,
             trace: trace.to_string(),
             replay_confirmed: true,
+            flight,
         }),
     }
 }
@@ -692,6 +706,7 @@ pub fn explore(scenario: &dyn Scenario) -> Report {
         }
         if let Err(message) = result {
             let trace = format_trace(&exec.steps.iter().map(|s| s.chosen).collect::<Vec<_>>());
+            let flight = exec.telemetry.take().map(|t| t.flight_dump());
             let replay_confirmed = {
                 let sub = replay_trace(scenario, &trace);
                 sub.violation.is_some()
@@ -709,6 +724,7 @@ pub fn explore(scenario: &dyn Scenario) -> Report {
                     message,
                     trace,
                     replay_confirmed,
+                    flight,
                 }),
             };
         }

@@ -88,6 +88,7 @@ use orca_group::FailureDetector;
 use orca_object::shard::spread_owner;
 use orca_object::ShardRoute;
 use orca_object::{AnyReplica, AppliedOutcome, ObjectError, ObjectId, ObjectRegistry, OpKind};
+use orca_telemetry::{trace, FlightKind};
 use orca_wire::{BatchOp, BatchOutcome, Wire};
 use parking_lot::{Condvar, Mutex, RwLock};
 
@@ -497,6 +498,8 @@ impl AdaptiveRts {
         let rts = self.detached();
         let pipeline = Arc::new(Pipeline::start(
             format!("rts-pipe-{}", self.inner.node),
+            self.inner.node.0,
+            Arc::clone(self.inner.handle.telemetry()),
             Arc::clone(&self.inner.batch_policy),
             move |ops| rts.run_round(ops),
         ));
@@ -676,6 +679,7 @@ impl AdaptiveRts {
             object: op.object.0,
             partition,
             epoch: table.epoch,
+            trace: op.trace,
             op: part_op.to_vec(),
         };
         match batches.iter_mut().find(|(dest, _)| *dest == owner) {
@@ -765,6 +769,7 @@ impl AdaptiveRts {
                     epoch: table.epoch,
                     partition,
                     op: op.to_vec(),
+                    trace: trace::current(),
                 },
                 deadline,
             )?
@@ -937,6 +942,7 @@ impl AdaptiveRts {
                 &RegimeMsg::OpAll {
                     object: object.0,
                     op: op.to_vec(),
+                    trace: trace::current(),
                 },
                 deadline,
             )?
@@ -1139,6 +1145,8 @@ impl RuntimeSystem for AdaptiveRts {
             object,
             kind,
             op: op.to_vec(),
+            trace: trace::current(),
+            submitted: Instant::now(),
             completer,
         });
         handle
@@ -1220,9 +1228,16 @@ fn dispatch(inner: &Arc<Inner>, msg: RegimeMsg, caller: NodeId) -> RegimeReply {
             epoch,
             partition,
             op,
-        } => apply_at_slot(inner, ObjectId(object), partition, epoch, &op, caller),
+            trace,
+        } => {
+            let _span = trace::enter(trace);
+            apply_at_slot(inner, ObjectId(object), partition, epoch, &op, caller)
+        }
         RegimeMsg::OpBatch { ops } => RegimeReply::Batch(apply_op_batch(inner, &ops, caller)),
-        RegimeMsg::OpAll { object, op } => serve_op_all(inner, ObjectId(object), &op, caller),
+        RegimeMsg::OpAll { object, op, trace } => {
+            let _span = trace::enter(trace);
+            serve_op_all(inner, ObjectId(object), &op, caller)
+        }
         RegimeMsg::Propose { object } => {
             let object = ObjectId(object);
             let entry = inner.homes.read().get(&object).cloned();
@@ -1436,6 +1451,13 @@ fn apply_op_batch(inner: &Arc<Inner>, ops: &[BatchOp], caller: NodeId) -> Vec<Ba
     ops.iter()
         .map(|op| {
             RtsStats::bump(&inner.stats.batch_ops_applied);
+            inner.handle.telemetry().record(
+                inner.node.0,
+                FlightKind::Apply,
+                op.trace,
+                op.object,
+                u64::from(op.partition),
+            );
             // `caller = inner.node` suppresses the per-op
             // `updates_applied` bump inside `apply_at_slot`; the
             // per-message event was counted above.
@@ -1709,6 +1731,7 @@ fn serve_op_all(inner: &Arc<Inner>, object: ObjectId, op: &[u8], caller: NodeId)
                             epoch: table.epoch,
                             partition,
                             op: share,
+                            trace: trace::current(),
                         },
                     ) {
                         Ok(reply) => reply,
@@ -1971,6 +1994,12 @@ fn switch_regime(
         owners,
     });
     RtsStats::bump(&inner.stats.regime_switches);
+    inner.handle.telemetry().record_traced(
+        inner.node.0,
+        FlightKind::RegimeSwitch,
+        object.0,
+        regime as u64,
+    );
     Ok(())
 }
 

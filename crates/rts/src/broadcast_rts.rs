@@ -27,6 +27,7 @@ use orca_group::{Delivered, GroupConfig, GroupMember, GroupSender, GroupStatsSna
 use orca_object::{
     AnyReplica, AppliedOutcome, ObjectDescriptor, ObjectError, ObjectId, ObjectRegistry, OpKind,
 };
+use orca_telemetry::{trace, Telemetry};
 use orca_wire::{BatchOp, Decoder, Encoder, OpBatch, Wire, WireError, WireResult};
 use parking_lot::{Condvar, Mutex};
 
@@ -207,6 +208,9 @@ struct Inner {
     /// Batching knobs of the asynchronous path.
     batch_policy: Arc<Mutex<BatchPolicy>>,
     stats: Arc<RtsStats>,
+    /// Network-wide telemetry hub, captured before the group member
+    /// consumed the network handle (the handle is not stored here).
+    telemetry: Arc<Telemetry>,
     stopped: AtomicBool,
 }
 
@@ -255,6 +259,7 @@ impl BroadcastRts {
     pub fn start(handle: NetworkHandle, registry: ObjectRegistry, group: GroupConfig) -> Self {
         let node = handle.node();
         let num_nodes = handle.num_nodes();
+        let telemetry = Arc::clone(handle.telemetry());
         let member = GroupMember::start(handle, group);
         let sender = member.sender();
         let inner = Arc::new(Inner {
@@ -272,6 +277,7 @@ impl BroadcastRts {
             op_timeout_ms: AtomicU64::new(DEFAULT_INVOCATION_TIMEOUT.as_millis() as u64),
             batch_policy: Arc::new(Mutex::new(BatchPolicy::default())),
             stats: RtsStats::new_shared(),
+            telemetry,
             stopped: AtomicBool::new(false),
         });
         let manager_inner = Arc::clone(&inner);
@@ -465,6 +471,8 @@ impl BroadcastRts {
         let rts = self.detached();
         let pipeline = Arc::new(Pipeline::start(
             format!("rts-pipe-{}", self.inner.node),
+            self.inner.node.0,
+            Arc::clone(&self.inner.telemetry),
             Arc::clone(&self.inner.batch_policy),
             move |ops| rts.run_round(ops),
         ));
@@ -534,6 +542,7 @@ impl BroadcastRts {
                 object: write.object.0,
                 partition: 0,
                 epoch: 0,
+                trace: write.trace,
                 op: write.op.clone(),
             })
             .collect();
@@ -779,6 +788,8 @@ impl RuntimeSystem for BroadcastRts {
             object,
             kind,
             op: op.to_vec(),
+            trace: trace::current(),
+            submitted: Instant::now(),
             completer,
         });
         handle

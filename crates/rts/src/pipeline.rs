@@ -48,7 +48,8 @@ use orca_amoeba::rpc::{MultiRpc, RpcError};
 use orca_amoeba::{NodeId, Port};
 use orca_group::FailureDetector;
 use orca_object::{ObjectId, OpKind};
-use orca_wire::{BatchOp, BatchOutcome};
+use orca_telemetry::{FlightKind, Telemetry};
+use orca_wire::{BatchOp, BatchOutcome, TraceId};
 use parking_lot::{Condvar, Mutex};
 
 use crate::recovery::is_dead;
@@ -367,6 +368,11 @@ pub(crate) struct QueuedOp {
     pub kind: OpKind,
     /// Encoded operation.
     pub op: Vec<u8>,
+    /// Causal trace of the submitting invocation, carried into the batch
+    /// messages so remote applies land in the same span.
+    pub trace: TraceId,
+    /// When the operation entered the queue (queue-wait latency anchor).
+    pub submitted: Instant,
     /// Resolving end of the caller's handle.
     pub completer: Completer,
 }
@@ -388,8 +394,15 @@ pub(crate) struct Pipeline {
 impl Pipeline {
     /// Start the flusher. `round` executes one FIFO prefix of the queue —
     /// it must resolve the completer of **every** operation it is handed,
-    /// in issue order.
-    pub(crate) fn start<F>(name: String, policy: Arc<Mutex<BatchPolicy>>, round: F) -> Pipeline
+    /// in issue order. `node`/`telemetry` feed the flight recorder
+    /// (batch-cut events) and the queue-wait/service latency histograms.
+    pub(crate) fn start<F>(
+        name: String,
+        node: u16,
+        telemetry: Arc<Telemetry>,
+        policy: Arc<Mutex<BatchPolicy>>,
+        round: F,
+    ) -> Pipeline
     where
         F: Fn(Vec<QueuedOp>) + Send + 'static,
     {
@@ -402,7 +415,7 @@ impl Pipeline {
         let flusher_inner = Arc::clone(&inner);
         let flusher = std::thread::Builder::new()
             .name(name)
-            .spawn(move || flusher_loop(&flusher_inner, round))
+            .spawn(move || flusher_loop(&flusher_inner, node, &telemetry, round))
             .expect("spawn pipeline flusher thread");
         Pipeline {
             inner,
@@ -434,12 +447,14 @@ impl Pipeline {
     }
 }
 
-fn flusher_loop<F>(inner: &Arc<PipelineInner>, round: F)
+fn flusher_loop<F>(inner: &Arc<PipelineInner>, node: u16, telemetry: &Arc<Telemetry>, round: F)
 where
     F: Fn(Vec<QueuedOp>),
 {
+    let queue_hist = telemetry.registry().histogram("rts.pipeline.queue_ns");
+    let service_hist = telemetry.registry().histogram("rts.pipeline.service_ns");
     loop {
-        let ops = {
+        let (ops, full) = {
             let mut queue = inner.queue.lock();
             loop {
                 if inner.stopped.load(Ordering::SeqCst) {
@@ -469,9 +484,24 @@ where
                 }
             }
             let take = queue.len().min(max_batch);
-            queue.drain(..take).collect::<Vec<_>>()
+            let full = take == max_batch;
+            (queue.drain(..take).collect::<Vec<_>>(), full)
         };
+        // b distinguishes why the round was cut: 0 = the batch filled up,
+        // 1 = the delay window expired with a partial batch.
+        telemetry.record(
+            node,
+            FlightKind::BatchCut,
+            TraceId::NONE,
+            ops.len() as u64,
+            u64::from(!full),
+        );
+        let cut_at = Instant::now();
+        for op in &ops {
+            queue_hist.record(cut_at.saturating_duration_since(op.submitted).as_nanos() as u64);
+        }
         round(ops);
+        service_hist.record(cut_at.elapsed().as_nanos() as u64);
     }
 }
 
@@ -529,7 +559,8 @@ mod tests {
             max_batch: 4,
             max_delay: Duration::from_millis(10),
         }));
-        let pipeline = Pipeline::start("test-pipe".into(), policy, move |ops| {
+        let telemetry = Telemetry::new(1);
+        let pipeline = Pipeline::start("test-pipe".into(), 0, telemetry, policy, move |ops| {
             rounds_w.lock().push(ops.len());
             for op in ops {
                 seen_w
@@ -545,6 +576,8 @@ mod tests {
                 object: ObjectId::compose(0, 1),
                 kind: OpKind::Write,
                 op: i.to_le_bytes().to_vec(),
+                trace: TraceId::NONE,
+                submitted: Instant::now(),
                 completer,
             });
             handles.push(handle);
@@ -561,6 +594,8 @@ mod tests {
             object: ObjectId::compose(0, 1),
             kind: OpKind::Write,
             op: vec![],
+            trace: TraceId::NONE,
+            submitted: Instant::now(),
             completer,
         });
         assert_eq!(handle.wait(), Err(RtsError::Terminated));

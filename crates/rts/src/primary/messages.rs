@@ -302,6 +302,7 @@ mod tests {
                     object: object.0,
                     partition: 0,
                     epoch: 0,
+                    trace: orca_wire::TraceId::mint(1, 9),
                     op: vec![1, 2],
                 }],
             },

@@ -38,6 +38,7 @@ use orca_amoeba::rpc::RpcServer;
 use orca_amoeba::NodeId;
 use orca_group::{FailureDetector, ViewSnapshot};
 use orca_object::{AnyReplica, AppliedOutcome, ObjectError, ObjectId, ObjectRegistry, OpKind};
+use orca_telemetry::{trace, FlightKind};
 use orca_wire::{BatchOp, BatchOutcome, CopyInfo, RecoveryMsg, RecoveryReply, Wire};
 use parking_lot::{Condvar, Mutex, RwLock};
 
@@ -363,6 +364,8 @@ impl PrimaryCopyRts {
         let rts = self.detached();
         let pipeline = Arc::new(Pipeline::start(
             format!("rts-pipe-{}", self.inner.node),
+            self.inner.node.0,
+            Arc::clone(self.inner.handle.telemetry()),
             Arc::clone(&self.inner.batch_policy),
             move |ops| rts.run_round(ops),
         ));
@@ -454,6 +457,7 @@ impl PrimaryCopyRts {
                     object: ops[i].object.0,
                     partition: 0,
                     epoch: 0,
+                    trace: ops[i].trace,
                     op: ops[i].op.clone(),
                 })
                 .collect(),
@@ -977,6 +981,8 @@ impl RuntimeSystem for PrimaryCopyRts {
             object,
             kind,
             op: op.to_vec(),
+            trace: trace::current(),
+            submitted: Instant::now(),
             completer,
         });
         handle
@@ -1329,8 +1335,15 @@ fn dispatch(inner: &Arc<Inner>, msg: PrimaryMsg, caller: NodeId) -> PrimaryReply
                 while j < ops.len() && ops[j].object == ops[i].object {
                     j += 1;
                 }
-                for _ in i..j {
+                for op in &ops[i..j] {
                     RtsStats::bump(&inner.stats.batch_ops_applied);
+                    inner.handle.telemetry().record(
+                        inner.node.0,
+                        FlightKind::Apply,
+                        op.trace,
+                        op.object,
+                        0,
+                    );
                 }
                 let run: Vec<&[u8]> = ops[i..j].iter().map(|op| op.op.as_slice()).collect();
                 outcomes.extend(primary_write_many(inner, object, &run));
@@ -1518,6 +1531,12 @@ fn coordinate_recovery(inner: &Arc<Inner>, view: ViewSnapshot) {
     if view.coordinator() != Some(inner.node) {
         return;
     }
+    let telemetry = Arc::clone(inner.handle.telemetry());
+    // Phase timeline: 0 = death detected (recovery starts), 1 = copy
+    // reports collected, 2 = re-homing published. The two histograms give
+    // the coordinate vs re-home split of every recovery epoch.
+    telemetry.record_traced(inner.node.0, FlightKind::RehomePhase, view.epoch, 0);
+    let started = Instant::now();
     let dead: Vec<NodeId> = (0..inner.num_nodes)
         .map(NodeId::from)
         .filter(|n| !view.contains(*n))
@@ -1549,6 +1568,12 @@ fn coordinate_recovery(inner: &Arc<Inner>, view: ViewSnapshot) {
                 .push((*survivor, info.version));
         }
     }
+    telemetry.record_traced(inner.node.0, FlightKind::RehomePhase, view.epoch, 1);
+    telemetry
+        .registry()
+        .histogram("rts.recovery.coordinate_ns")
+        .record(started.elapsed().as_nanos() as u64);
+    let rehome_started = Instant::now();
     // Phase 2 + 3: promote the freshest surviving copy and publish the new
     // home. Every *acked* write reached every copy holder (the primary
     // replies only after all pushes are acknowledged), so any surviving
@@ -1575,6 +1600,7 @@ fn coordinate_recovery(inner: &Arc<Inner>, view: ViewSnapshot) {
                         &RecoveryMsg::Promote {
                             epoch: view.epoch,
                             object: object.0,
+                            trace: trace::current(),
                         },
                         deadline,
                     ),
@@ -1594,6 +1620,7 @@ fn coordinate_recovery(inner: &Arc<Inner>, view: ViewSnapshot) {
             object: object.0,
             new_home: holder.0,
             lost: false,
+            trace: trace::current(),
         };
         for survivor in &view.alive {
             if *survivor == inner.node {
@@ -1619,6 +1646,11 @@ fn coordinate_recovery(inner: &Arc<Inner>, view: ViewSnapshot) {
             );
         }
     }
+    telemetry.record_traced(inner.node.0, FlightKind::RehomePhase, view.epoch, 2);
+    telemetry
+        .registry()
+        .histogram("rts.recovery.rehome_ns")
+        .record(rehome_started.elapsed().as_nanos() as u64);
 }
 
 fn coordinator_rpc(

@@ -54,6 +54,7 @@ use orca_group::{FailureDetector, ViewSnapshot};
 use orca_object::shard::spread_owner;
 use orca_object::{AnyReplica, AppliedOutcome, ObjectError, ObjectId, ObjectRegistry, OpKind};
 use orca_object::{ShardLogic, ShardRoute};
+use orca_telemetry::{trace, FlightKind};
 use orca_wire::{BatchOp, BatchOutcome, Wire};
 use parking_lot::{Mutex, RwLock};
 
@@ -607,6 +608,7 @@ impl ShardedRts {
             let msg = ShardMsg::Op {
                 shard: part(object, partition),
                 op: op.to_vec(),
+                trace: trace::current(),
             };
             match self.rpc(owner, &msg, deadline)? {
                 ShardReply::Done(reply) => Ok(PartOutcome::Done(reply)),
@@ -724,6 +726,8 @@ impl ShardedRts {
         let rts = self.detached();
         let pipeline = Arc::new(Pipeline::start(
             format!("rts-pipe-{}", self.inner.node),
+            self.inner.node.0,
+            Arc::clone(self.inner.handle.telemetry()),
             Arc::clone(&self.inner.batch_policy),
             move |ops| rts.run_round(ops),
         ));
@@ -876,6 +880,7 @@ impl ShardedRts {
             object: op.object.0,
             partition,
             epoch: 0,
+            trace: op.trace,
             op: part_op.to_vec(),
         };
         match batches.iter_mut().find(|(dest, _)| *dest == owner) {
@@ -1131,6 +1136,8 @@ impl RuntimeSystem for ShardedRts {
             object,
             kind,
             op: op.to_vec(),
+            trace: trace::current(),
+            submitted: Instant::now(),
             completer,
         });
         handle
@@ -1185,7 +1192,10 @@ fn dispatch(inner: &Arc<Inner>, msg: ShardMsg, caller: NodeId) -> ShardReply {
                 }
             }
         }
-        ShardMsg::Op { shard, op } => serve_op(inner, &shard, &op, caller),
+        ShardMsg::Op { shard, op, trace } => {
+            let _span = trace::enter(trace);
+            serve_op(inner, &shard, &op, caller)
+        }
         ShardMsg::OpBatch { ops } => ShardReply::Batch(apply_op_batch(inner, &ops, caller)),
         ShardMsg::Install {
             shard,
@@ -1248,6 +1258,15 @@ fn apply_op_batch(inner: &Arc<Inner>, ops: &[BatchOp], caller: NodeId) -> Vec<Ba
             && ops[j].partition == ops[i].partition
         {
             j += 1;
+        }
+        for op in &ops[i..j] {
+            inner.handle.telemetry().record(
+                inner.node.0,
+                FlightKind::Apply,
+                op.trace,
+                op.object,
+                u64::from(op.partition),
+            );
         }
         outcomes.extend(apply_partition_run(inner, &ops[i..j], caller));
         i = j;
@@ -1814,8 +1833,20 @@ fn recover_object_partitions(
     if dead_partitions.is_empty() {
         return;
     }
+    // Phase timeline mirroring the primary-copy coordinator: 0 = dead
+    // partitions detected, 1 = survivor reports collected, 2 = promotions
+    // published (the Apply/RehomePhase split of the recovery epoch).
+    let telemetry = Arc::clone(inner.handle.telemetry());
+    telemetry.record_traced(inner.node.0, FlightKind::RehomePhase, view.epoch, 0);
+    let started = Instant::now();
     // Ask every survivor what it holds of this object.
     let reports = collect_reports(inner, object, view);
+    telemetry.record_traced(inner.node.0, FlightKind::RehomePhase, view.epoch, 1);
+    telemetry
+        .registry()
+        .histogram("rts.recovery.coordinate_ns")
+        .record(started.elapsed().as_nanos() as u64);
+    let rehome_started = Instant::now();
     let mut new_owners = table.owners.clone();
     for partition in dead_partitions {
         match freshest_holder(&reports, partition) {
@@ -1855,6 +1886,12 @@ fn recover_object_partitions(
     table_guard.owners = new_owners;
     table_guard.version += 1;
     inner.routes.insert(object, Arc::new(table_guard.clone()));
+    drop(table_guard);
+    telemetry.record_traced(inner.node.0, FlightKind::RehomePhase, view.epoch, 2);
+    telemetry
+        .registry()
+        .histogram("rts.recovery.rehome_ns")
+        .record(rehome_started.elapsed().as_nanos() as u64);
 }
 
 /// One survivor's `ReportOwned` answer: `(node, type name, owned
@@ -1936,10 +1973,22 @@ fn adopt_home(inner: &Arc<Inner>, object: ObjectId) -> Result<Arc<HomeObject>, S
         return Err(ShardReply::Error("no failure detector".into()));
     };
     let view = detector.view();
+    // Same phase timeline as the home-side coordinator: 0 = dead home
+    // detected (adoption begins), 1 = survivor reports collected, 2 = new
+    // routing table published.
+    let telemetry = Arc::clone(inner.handle.telemetry());
+    telemetry.record_traced(inner.node.0, FlightKind::RehomePhase, view.epoch, 0);
+    let started = Instant::now();
     let reports = collect_reports(inner, object, &view);
     if reports.is_empty() {
         return Err(ShardReply::Error(format!("nothing known of {object}")));
     }
+    telemetry.record_traced(inner.node.0, FlightKind::RehomePhase, view.epoch, 1);
+    telemetry
+        .registry()
+        .histogram("rts.recovery.coordinate_ns")
+        .record(started.elapsed().as_nanos() as u64);
+    let rehome_started = Instant::now();
     let type_name = reports[0].1.clone();
     let partitions = reports
         .iter()
@@ -1992,6 +2041,11 @@ fn adopt_home(inner: &Arc<Inner>, object: ObjectId) -> Result<Arc<HomeObject>, S
     });
     inner.homes.write().insert(object, Arc::clone(&entry));
     inner.routes.insert(object, Arc::new(table));
+    telemetry.record_traced(inner.node.0, FlightKind::RehomePhase, view.epoch, 2);
+    telemetry
+        .registry()
+        .histogram("rts.recovery.rehome_ns")
+        .record(rehome_started.elapsed().as_nanos() as u64);
     Ok(entry)
 }
 

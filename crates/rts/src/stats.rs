@@ -132,6 +132,38 @@ pub struct RtsStatsSnapshot {
 }
 
 impl RtsStatsSnapshot {
+    /// Element-wise difference `self - earlier`, saturating at zero.
+    ///
+    /// Saturating, not wrapping: benchmark windows subtract a "before"
+    /// snapshot from an "after" one, and a snapshot pair taken around a
+    /// counter reset (or passed in the wrong order) must yield zeros, not
+    /// a number near `u64::MAX` that silently wrecks every derived rate.
+    pub fn since(&self, earlier: &RtsStatsSnapshot) -> RtsStatsSnapshot {
+        RtsStatsSnapshot {
+            local_reads: self.local_reads.saturating_sub(earlier.local_reads),
+            remote_reads: self.remote_reads.saturating_sub(earlier.remote_reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            broadcast_writes: self
+                .broadcast_writes
+                .saturating_sub(earlier.broadcast_writes),
+            remote_writes: self.remote_writes.saturating_sub(earlier.remote_writes),
+            updates_applied: self.updates_applied.saturating_sub(earlier.updates_applied),
+            invalidations_received: self
+                .invalidations_received
+                .saturating_sub(earlier.invalidations_received),
+            copies_fetched: self.copies_fetched.saturating_sub(earlier.copies_fetched),
+            copies_dropped: self.copies_dropped.saturating_sub(earlier.copies_dropped),
+            guard_retries: self.guard_retries.saturating_sub(earlier.guard_retries),
+            objects_created: self.objects_created.saturating_sub(earlier.objects_created),
+            regime_switches: self.regime_switches.saturating_sub(earlier.regime_switches),
+            batches_sent: self.batches_sent.saturating_sub(earlier.batches_sent),
+            ops_batched: self.ops_batched.saturating_sub(earlier.ops_batched),
+            batch_ops_applied: self
+                .batch_ops_applied
+                .saturating_sub(earlier.batch_ops_applied),
+        }
+    }
+
     /// Total operations invoked by processes on this node.
     pub fn total_invocations(&self) -> u64 {
         self.local_reads + self.remote_reads + self.writes
@@ -251,6 +283,25 @@ mod tests {
     fn local_read_fraction_with_no_reads() {
         let snap = RtsStatsSnapshot::default();
         assert_eq!(snap.local_read_fraction(), 1.0);
+        assert!(snap.local_read_fraction().is_finite());
+    }
+
+    #[test]
+    fn since_saturates_instead_of_underflowing() {
+        let stats = RtsStats::new_shared();
+        RtsStats::bump(&stats.local_reads);
+        RtsStats::bump(&stats.writes);
+        let before = stats.snapshot();
+        RtsStats::bump(&stats.local_reads);
+        let after = stats.snapshot();
+        let delta = after.since(&before);
+        assert_eq!(delta.local_reads, 1);
+        assert_eq!(delta.writes, 0);
+        // Swapped order (or a reset between snapshots) yields zeros, never
+        // a wrapped value.
+        let swapped = before.since(&after);
+        assert_eq!(swapped, RtsStatsSnapshot::default());
+        assert_eq!(swapped.local_read_fraction(), 1.0);
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! Causal invocation tracing: a thread-local "current trace" that rides
+//! along the call stack, plus span-tree reconstruction from flight events.
+//!
+//! The propagation scheme is deliberately minimal. A [`TraceId`] is minted
+//! when an invocation enters the runtime and installed in a thread-local
+//! with [`set_current`]; the transport layer reads [`current`] when it
+//! builds a request and carries the id in the wire vocabulary; the server
+//! side re-installs it before running the handler. Because handlers run on
+//! the thread that installs the id (all three serve modes call the handler
+//! inline), nested RPCs issued from inside a handler inherit the trace
+//! without any plumbing through application signatures.
+//!
+//! Reconstruction is offline: [`span_tree`] groups a flight-event dump by
+//! trace id and renders each trace's events in sim-time order with per-hop
+//! timestamps — enough to answer "which nodes did invocation t3.41 touch,
+//! in what order, and where did the time go".
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+
+use orca_wire::TraceId;
+
+use crate::flight::FlightEvent;
+
+thread_local! {
+    static CURRENT: Cell<TraceId> = const { Cell::new(TraceId::NONE) };
+}
+
+/// The trace id attached to work on this thread ([`TraceId::NONE`] when
+/// the thread is not inside a traced invocation).
+pub fn current() -> TraceId {
+    CURRENT.with(|c| c.get())
+}
+
+/// Install `trace` as this thread's current trace, returning the previous
+/// value. Prefer [`enter`] (RAII) in handler paths.
+pub fn set_current(trace: TraceId) -> TraceId {
+    CURRENT.with(|c| c.replace(trace))
+}
+
+/// Install `trace` for the lifetime of the returned guard; the previous
+/// trace is restored on drop (handlers nest).
+pub fn enter(trace: TraceId) -> TraceGuard {
+    TraceGuard {
+        prev: set_current(trace),
+    }
+}
+
+/// Restores the previously current trace on drop. See [`enter`].
+#[must_use = "dropping the guard immediately restores the previous trace"]
+pub struct TraceGuard {
+    prev: TraceId,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        set_current(self.prev);
+    }
+}
+
+/// All events of one traced invocation, in sim-time order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// The invocation's trace id.
+    pub trace: TraceId,
+    /// Its events across every node, sorted by sim time.
+    pub events: Vec<FlightEvent>,
+}
+
+impl Span {
+    /// Sim time of the first event.
+    pub fn start(&self) -> u64 {
+        self.events.first().map_or(0, |e| e.t)
+    }
+
+    /// Sim-time extent (last event minus first).
+    pub fn duration(&self) -> u64 {
+        match (self.events.first(), self.events.last()) {
+            (Some(first), Some(last)) => last.t - first.t,
+            _ => 0,
+        }
+    }
+
+    /// The distinct nodes this invocation touched, in order of first
+    /// contact.
+    pub fn nodes(&self) -> Vec<u16> {
+        let mut nodes = Vec::new();
+        for e in &self.events {
+            if !nodes.contains(&e.node) {
+                nodes.push(e.node);
+            }
+        }
+        nodes
+    }
+}
+
+/// Group a merged flight-event dump into per-invocation spans, ordered by
+/// each span's first event. Untraced events (trace NONE) are dropped: they
+/// are background protocol work, visible in the raw dump but not causally
+/// attributable to one invocation.
+pub fn span_tree(events: &[FlightEvent]) -> Vec<Span> {
+    let mut by_trace: BTreeMap<u64, Vec<FlightEvent>> = BTreeMap::new();
+    for e in events {
+        if e.trace.is_traced() {
+            by_trace.entry(e.trace.0).or_default().push(*e);
+        }
+    }
+    let mut spans: Vec<Span> = by_trace
+        .into_iter()
+        .map(|(raw, mut events)| {
+            events.sort_by_key(|e| e.t);
+            Span {
+                trace: TraceId(raw),
+                events,
+            }
+        })
+        .collect();
+    spans.sort_by_key(|s| s.start());
+    spans
+}
+
+/// Render spans as an indented text tree: one header line per invocation,
+/// one line per hop with the sim-time offset from the span's start.
+pub fn render_spans(spans: &[Span]) -> String {
+    let mut out = String::new();
+    for span in spans {
+        out.push_str(&format!(
+            "trace {} — {} events, {} nodes, {} ticks\n",
+            span.trace,
+            span.events.len(),
+            span.nodes().len(),
+            span.duration()
+        ));
+        let start = span.start();
+        for e in &span.events {
+            out.push_str(&format!(
+                "  +{:<6} n{:<2} {:<13} a={} b={}\n",
+                e.t - start,
+                e.node,
+                e.kind.name(),
+                e.a,
+                e.b
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flight::FlightKind;
+
+    fn ev(t: u64, node: u16, kind: FlightKind, trace: TraceId) -> FlightEvent {
+        FlightEvent {
+            t,
+            node,
+            kind,
+            trace,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn guard_nests_and_restores() {
+        assert_eq!(current(), TraceId::NONE);
+        let outer = TraceId::mint(1, 1);
+        let inner = TraceId::mint(2, 2);
+        {
+            let _g1 = enter(outer);
+            assert_eq!(current(), outer);
+            {
+                let _g2 = enter(inner);
+                assert_eq!(current(), inner);
+            }
+            assert_eq!(current(), outer);
+        }
+        assert_eq!(current(), TraceId::NONE);
+    }
+
+    #[test]
+    fn span_tree_groups_and_orders() {
+        let ta = TraceId::mint(0, 1);
+        let tb = TraceId::mint(0, 2);
+        let events = vec![
+            ev(10, 2, FlightKind::Deliver, ta),
+            ev(5, 0, FlightKind::InvokeStart, ta),
+            ev(7, 0, FlightKind::Send, ta),
+            ev(6, 1, FlightKind::InvokeStart, tb),
+            ev(3, 3, FlightKind::Crash, TraceId::NONE), // untraced: dropped
+            ev(12, 0, FlightKind::InvokeEnd, ta),
+        ];
+        let spans = span_tree(&events);
+        assert_eq!(spans.len(), 2);
+        // Ordered by first event: ta starts at 5, tb at 6.
+        assert_eq!(spans[0].trace, ta);
+        assert_eq!(spans[0].events.len(), 4);
+        assert_eq!(spans[0].start(), 5);
+        assert_eq!(spans[0].duration(), 7);
+        assert_eq!(spans[0].nodes(), vec![0, 2]);
+        assert_eq!(spans[1].trace, tb);
+
+        let rendered = render_spans(&spans);
+        assert!(rendered.contains("trace t0.1"));
+        assert!(rendered.contains("+0"));
+        assert!(rendered.contains("invoke-end"));
+    }
+}

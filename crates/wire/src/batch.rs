@@ -18,7 +18,7 @@
 //! reports a *per-operation* outcome at the origin — no operation is
 //! silently dropped.
 
-use crate::{Decoder, Encoder, Wire, WireError, WireResult};
+use crate::{Decoder, Encoder, TraceId, Wire, WireError, WireResult};
 
 /// One operation inside an [`OpBatch`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +36,9 @@ pub struct BatchOp {
     pub epoch: u64,
     /// Encoded operation.
     pub op: Vec<u8>,
+    /// Causal identity of the invocation that issued this operation
+    /// ([`TraceId::NONE`] when the origin did not trace it).
+    pub trace: TraceId,
 }
 
 impl Wire for BatchOp {
@@ -45,6 +48,7 @@ impl Wire for BatchOp {
         self.partition.encode(enc);
         self.epoch.encode(enc);
         enc.put_bytes(&self.op);
+        self.trace.encode(enc);
     }
     fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
         Ok(BatchOp {
@@ -53,6 +57,7 @@ impl Wire for BatchOp {
             partition: Wire::decode(dec)?,
             epoch: Wire::decode(dec)?,
             op: dec.get_bytes()?,
+            trace: Wire::decode(dec)?,
         })
     }
 }
@@ -163,6 +168,7 @@ mod tests {
                     partition: 2,
                     epoch: 1,
                     op: vec![1, 2, 3],
+                    trace: TraceId::mint(1, 7),
                 },
                 BatchOp {
                     id: 43,
@@ -170,6 +176,7 @@ mod tests {
                     partition: 0,
                     epoch: 0,
                     op: vec![],
+                    trace: TraceId::NONE,
                 },
             ],
         }

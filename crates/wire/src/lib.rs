@@ -53,6 +53,7 @@ mod impls;
 pub mod recovery;
 pub mod regime;
 pub mod shard;
+pub mod trace;
 
 pub use batch::{BatchOp, BatchOutcome, BatchReply, OpBatch};
 pub use decode::{Decoder, MAX_LEN};
@@ -61,6 +62,7 @@ pub use error::{WireError, WireResult};
 pub use recovery::{CopyInfo, MembershipView, RecoveryMsg, RecoveryReply};
 pub use regime::{RegimeKind, RegimeMsg, RegimeReply, RegimeTable};
 pub use shard::{ShardMsg, ShardPartId, ShardReply, ShardRouteTable};
+pub use trace::TraceId;
 
 /// A type that can be serialized to and deserialized from the wire format.
 ///

@@ -30,7 +30,7 @@
 //! property-tested together with every other wire type and the byte counts
 //! the network statistics accumulate for recovery traffic are real.
 
-use crate::{Decoder, Encoder, Wire, WireError, WireResult};
+use crate::{Decoder, Encoder, TraceId, Wire, WireError, WireResult};
 
 /// One epoch of the group's membership: which nodes are believed alive.
 ///
@@ -127,6 +127,9 @@ pub enum RecoveryMsg {
         epoch: u64,
         /// Raw object id.
         object: u64,
+        /// Causal identity of this recovery round's coordination span
+        /// ([`TraceId::NONE`] when untraced).
+        trace: TraceId,
     },
     /// Full-state shipment to a promotion target that lacks a local copy.
     StateTransfer {
@@ -151,6 +154,9 @@ pub enum RecoveryMsg {
         /// True when no copy survived anywhere: the object is lost and
         /// operations on it must fail with an object-lost error.
         lost: bool,
+        /// Causal identity of this recovery round's coordination span
+        /// ([`TraceId::NONE`] when untraced).
+        trace: TraceId,
     },
     /// Coordinator → every survivor: recovery for `epoch` is complete.
     /// Orphaned objects without a published re-homing are lost.
@@ -177,10 +183,15 @@ impl Wire for RecoveryMsg {
                 epoch.encode(enc);
                 dead.encode(enc);
             }
-            RecoveryMsg::Promote { epoch, object } => {
+            RecoveryMsg::Promote {
+                epoch,
+                object,
+                trace,
+            } => {
                 enc.put_u8(3);
                 epoch.encode(enc);
                 object.encode(enc);
+                trace.encode(enc);
             }
             RecoveryMsg::StateTransfer {
                 object,
@@ -199,12 +210,14 @@ impl Wire for RecoveryMsg {
                 object,
                 new_home,
                 lost,
+                trace,
             } => {
                 enc.put_u8(5);
                 epoch.encode(enc);
                 object.encode(enc);
                 new_home.encode(enc);
                 lost.encode(enc);
+                trace.encode(enc);
             }
             RecoveryMsg::Done { epoch } => {
                 enc.put_u8(6);
@@ -228,6 +241,7 @@ impl Wire for RecoveryMsg {
             3 => Ok(RecoveryMsg::Promote {
                 epoch: Wire::decode(dec)?,
                 object: Wire::decode(dec)?,
+                trace: Wire::decode(dec)?,
             }),
             4 => Ok(RecoveryMsg::StateTransfer {
                 object: Wire::decode(dec)?,
@@ -240,6 +254,7 @@ impl Wire for RecoveryMsg {
                 object: Wire::decode(dec)?,
                 new_home: Wire::decode(dec)?,
                 lost: Wire::decode(dec)?,
+                trace: Wire::decode(dec)?,
             }),
             6 => Ok(RecoveryMsg::Done {
                 epoch: Wire::decode(dec)?,
@@ -327,6 +342,7 @@ mod tests {
             RecoveryMsg::Promote {
                 epoch: 2,
                 object: (5u64 << 48) | 7,
+                trace: TraceId::mint(0, 1),
             },
             RecoveryMsg::StateTransfer {
                 object: 12,
@@ -339,6 +355,7 @@ mod tests {
                 object: 12,
                 new_home: 2,
                 lost: false,
+                trace: TraceId::NONE,
             },
             RecoveryMsg::Done { epoch: 2 },
         ];

@@ -14,7 +14,7 @@
 //! real. Object identifiers are carried as their raw `u64` representation
 //! (exactly the encoding `ObjectId` in `orca-object` uses on the wire).
 
-use crate::{Decoder, Encoder, Wire, WireError, WireResult};
+use crate::{Decoder, Encoder, TraceId, Wire, WireError, WireResult};
 
 /// Which synchronization regime currently serves an object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -133,6 +133,9 @@ pub enum RegimeMsg {
         partition: u32,
         /// Encoded (already partition-narrowed) operation.
         op: Vec<u8>,
+        /// Causal identity of the originating invocation
+        /// ([`TraceId::NONE`] when untraced).
+        trace: TraceId,
     },
     /// Client → home node: execute an all-partition operation indivisibly.
     /// The home fans the operation out under its switch lock, so a regime
@@ -143,6 +146,9 @@ pub enum RegimeMsg {
         object: u64,
         /// Encoded whole-object operation.
         op: Vec<u8>,
+        /// Causal identity of the originating invocation
+        /// ([`TraceId::NONE`] when untraced).
+        trace: TraceId,
     },
     /// Any node → home node: re-evaluate the object's regime now from the
     /// usage evidence accumulated so far (a regime-change *proposal*). The
@@ -273,17 +279,20 @@ impl Wire for RegimeMsg {
                 epoch,
                 partition,
                 op,
+                trace,
             } => {
                 enc.put_u8(1);
                 object.encode(enc);
                 epoch.encode(enc);
                 partition.encode(enc);
                 enc.put_bytes(op);
+                trace.encode(enc);
             }
-            RegimeMsg::OpAll { object, op } => {
+            RegimeMsg::OpAll { object, op, trace } => {
                 enc.put_u8(2);
                 object.encode(enc);
                 enc.put_bytes(op);
+                trace.encode(enc);
             }
             RegimeMsg::Propose { object } => {
                 enc.put_u8(3);
@@ -387,10 +396,12 @@ impl Wire for RegimeMsg {
                 epoch: Wire::decode(dec)?,
                 partition: Wire::decode(dec)?,
                 op: dec.get_bytes()?,
+                trace: Wire::decode(dec)?,
             }),
             2 => Ok(RegimeMsg::OpAll {
                 object: Wire::decode(dec)?,
                 op: dec.get_bytes()?,
+                trace: Wire::decode(dec)?,
             }),
             3 => Ok(RegimeMsg::Propose {
                 object: Wire::decode(dec)?,
@@ -581,10 +592,12 @@ mod tests {
                 epoch: 2,
                 partition: 3,
                 op: vec![1, 2, 3],
+                trace: TraceId::mint(0, 3),
             },
             RegimeMsg::OpAll {
                 object: 9,
                 op: vec![4, 5],
+                trace: TraceId::NONE,
             },
             RegimeMsg::Propose { object: 9 },
             RegimeMsg::Report {
@@ -639,6 +652,7 @@ mod tests {
                     partition: 1,
                     epoch: 3,
                     op: vec![2],
+                    trace: TraceId::mint(1, 4),
                 }],
             },
         ];
@@ -698,6 +712,7 @@ mod tests {
             epoch: 1,
             partition: 1,
             op: vec![1, 2, 3],
+            trace: TraceId::NONE,
         }
         .to_bytes();
         assert!(RegimeMsg::from_bytes(&bytes[..bytes.len() - 1]).is_err());

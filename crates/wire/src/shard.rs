@@ -12,7 +12,7 @@
 //! `orca-object` uses on the wire).
 
 use crate::batch::{BatchOp, BatchOutcome};
-use crate::{Decoder, Encoder, Wire, WireError, WireResult};
+use crate::{Decoder, Encoder, TraceId, Wire, WireError, WireResult};
 
 /// Identifies one partition of one sharded object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -104,6 +104,9 @@ pub enum ShardMsg {
         shard: ShardPartId,
         /// Encoded operation.
         op: Vec<u8>,
+        /// Causal identity of the originating invocation
+        /// ([`TraceId::NONE`] when untraced).
+        trace: TraceId,
     },
     /// Creator/old owner → new owner: install a partition replica (initial
     /// placement and the final step of a migration).
@@ -213,10 +216,11 @@ impl Wire for ShardMsg {
                 enc.put_u8(0);
                 object.encode(enc);
             }
-            ShardMsg::Op { shard, op } => {
+            ShardMsg::Op { shard, op, trace } => {
                 enc.put_u8(1);
                 shard.encode(enc);
                 enc.put_bytes(op);
+                trace.encode(enc);
             }
             ShardMsg::Install {
                 shard,
@@ -290,6 +294,7 @@ impl Wire for ShardMsg {
             1 => Ok(ShardMsg::Op {
                 shard: Wire::decode(dec)?,
                 op: dec.get_bytes()?,
+                trace: Wire::decode(dec)?,
             }),
             2 => Ok(ShardMsg::Install {
                 shard: Wire::decode(dec)?,
@@ -448,6 +453,7 @@ mod tests {
             ShardMsg::Op {
                 shard: shard(),
                 op: vec![1, 2, 3],
+                trace: TraceId::mint(2, 11),
             },
             ShardMsg::Install {
                 shard: shard(),
@@ -483,6 +489,7 @@ mod tests {
                     partition: 2,
                     epoch: 0,
                     op: vec![1],
+                    trace: TraceId::NONE,
                 }],
             },
             ShardMsg::BackupBatch {
@@ -535,6 +542,7 @@ mod tests {
         let bytes = ShardMsg::Op {
             shard: shard(),
             op: vec![1, 2, 3],
+            trace: TraceId::NONE,
         }
         .to_bytes();
         assert!(ShardMsg::from_bytes(&bytes[..bytes.len() - 1]).is_err());

@@ -1,0 +1,104 @@
+//! Causal trace identities carried by the wire vocabulary.
+//!
+//! A [`TraceId`] names one application-level invocation. It is minted at
+//! the `invoke`/`invoke_async` entry point of the runtime layer and rides
+//! every message the invocation causes — the RPC envelope, batched
+//! operations, regime/shard operations, recovery coordination — so the
+//! telemetry layer can stitch the per-node flight-recorder events of one
+//! operation back into a single causal span tree: origin → sequencer /
+//! primary / owner → secondaries / backups / mirrors.
+//!
+//! The id is a single `u64`: the high 16 bits hold `origin node + 1`, the
+//! low 48 bits a per-origin counter. Zero is reserved for *untraced*
+//! traffic (background protocol work such as heartbeats), which keeps the
+//! encoding one byte on every message that does not belong to an
+//! invocation.
+
+use crate::{Decoder, Encoder, Wire, WireResult};
+
+/// Compact causal identity of one invocation (0 = untraced).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// The untraced identity carried by background protocol traffic.
+    pub const NONE: TraceId = TraceId(0);
+
+    /// Build the id of invocation `seq` minted at `origin`.
+    ///
+    /// `origin + 1` occupies the high 16 bits so ids from different nodes
+    /// can never collide and node 0's ids are still distinguishable from
+    /// [`TraceId::NONE`].
+    pub fn mint(origin: u16, seq: u64) -> TraceId {
+        TraceId((u64::from(origin) + 1) << 48 | (seq & ((1 << 48) - 1)))
+    }
+
+    /// True when this id names a real invocation.
+    pub fn is_traced(self) -> bool {
+        self.0 != 0
+    }
+
+    /// The node that minted this id (`None` for [`TraceId::NONE`]).
+    pub fn origin(self) -> Option<u16> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(((self.0 >> 48) - 1) as u16)
+        }
+    }
+
+    /// The per-origin invocation counter.
+    pub fn seq(self) -> u64 {
+        self.0 & ((1 << 48) - 1)
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.origin() {
+            None => write!(f, "-"),
+            Some(origin) => write!(f, "t{}.{}", origin, self.seq()),
+        }
+    }
+}
+
+impl Wire for TraceId {
+    fn encode(&self, enc: &mut Encoder) {
+        self.0.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        Ok(TraceId(Wire::decode(dec)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mint_and_unpack() {
+        let id = TraceId::mint(3, 41);
+        assert!(id.is_traced());
+        assert_eq!(id.origin(), Some(3));
+        assert_eq!(id.seq(), 41);
+        assert_eq!(id.to_string(), "t3.41");
+        assert_eq!(TraceId::NONE.origin(), None);
+        assert_eq!(TraceId::NONE.to_string(), "-");
+        assert!(!TraceId::NONE.is_traced());
+        // Node 0's first id is distinct from NONE.
+        assert!(TraceId::mint(0, 0).is_traced());
+    }
+
+    #[test]
+    fn round_trips_and_stays_compact() {
+        for id in [
+            TraceId::NONE,
+            TraceId::mint(0, 0),
+            TraceId::mint(65535, (1 << 48) - 1),
+        ] {
+            assert_eq!(TraceId::from_bytes(&id.to_bytes()).unwrap(), id);
+        }
+        // Untraced costs one byte on the wire.
+        assert_eq!(TraceId::NONE.encoded_len(), 1);
+    }
+}

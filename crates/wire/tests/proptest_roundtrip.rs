@@ -374,6 +374,7 @@ fn shard_messages_round_trip() {
             1 => ShardMsg::Op {
                 shard,
                 op: gen.bytes(48),
+                trace: random_trace(&mut gen),
             },
             2 => ShardMsg::Install {
                 shard,
@@ -477,10 +478,12 @@ fn regime_messages_round_trip() {
                 epoch,
                 partition: gen.next_u64() as u32,
                 op: gen.bytes(48),
+                trace: random_trace(&mut gen),
             },
             2 => RegimeMsg::OpAll {
                 object,
                 op: gen.bytes(48),
+                trace: random_trace(&mut gen),
             },
             3 => RegimeMsg::Propose { object },
             4 => RegimeMsg::Report {
@@ -584,6 +587,7 @@ fn recovery_messages_round_trip() {
             3 => RecoveryMsg::Promote {
                 epoch: gen.next_u64(),
                 object: gen.next_u64(),
+                trace: random_trace(&mut gen),
             },
             4 => RecoveryMsg::StateTransfer {
                 object: gen.next_u64(),
@@ -596,6 +600,7 @@ fn recovery_messages_round_trip() {
                 object: gen.next_u64(),
                 new_home: gen.next_u64() as u16,
                 lost: gen.below(2) == 0,
+                trace: random_trace(&mut gen),
             },
             _ => RecoveryMsg::Done {
                 epoch: gen.next_u64(),
@@ -622,13 +627,45 @@ fn recovery_messages_round_trip() {
     }
 }
 
+fn random_trace(gen: &mut Gen) -> orca_wire::TraceId {
+    match gen.below(3) {
+        0 => orca_wire::TraceId::NONE,
+        _ => orca_wire::TraceId::mint(gen.next_u64() as u16, gen.next_u64() & ((1 << 48) - 1)),
+    }
+}
+
 fn random_batch_op(gen: &mut Gen) -> orca_wire::BatchOp {
+    let trace = random_trace(gen);
     orca_wire::BatchOp {
         id: gen.next_u64(),
         object: gen.next_u64(),
         partition: gen.next_u64() as u32,
         epoch: gen.next_u64(),
         op: gen.bytes(48),
+        trace,
+    }
+}
+
+#[test]
+fn trace_ids_round_trip_and_survive_garbage() {
+    use orca_wire::TraceId;
+    let mut gen = Gen::new(0x7 * 0xACE1D);
+    for case in 0..CASES {
+        let id = random_trace(&mut gen);
+        assert_roundtrip(&id, case);
+        // Mint/unpack agree with the wire form.
+        if let Some(origin) = id.origin() {
+            assert_eq!(TraceId::mint(origin, id.seq()), id, "case {case}");
+        }
+        // Truncated encodings are errors, garbage never panics.
+        let bytes = id.to_bytes();
+        if bytes.len() > 1 {
+            assert!(
+                TraceId::from_bytes(&bytes[..bytes.len() - 1]).is_err(),
+                "case {case}: truncated trace id decoded"
+            );
+        }
+        let _ = TraceId::from_bytes(&gen.bytes(16));
     }
 }
 

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Validate the metrics JSON emitted by the `telemetry_smoke` binary.
+
+The CI telemetry lane runs a tiny real workload and dumps the unified
+registry snapshot; this script asserts the document is well-formed JSON
+with the instruments the runtime promises to keep populated:
+
+* network and runtime-system counters absorbed from the legacy stats
+  structs (`net.*`, `rts.node*.*`);
+* the always-on latency histograms of the invocation paths
+  (`rts.invoke.sync_ns`, `rts.pipeline.queue_ns`,
+  `rts.pipeline.service_ns`), each non-empty with internally consistent
+  percentile ranks (count > 0, p50 <= p90 <= p99 <= p999).
+
+Usage: check_telemetry.py <snapshot.json>
+"""
+
+import json
+import sys
+
+REQUIRED_HISTOGRAMS = [
+    "rts.invoke.sync_ns",
+    "rts.pipeline.queue_ns",
+    "rts.pipeline.service_ns",
+]
+
+COUNTER_PREFIXES = ["net.", "rts.node"]
+
+
+def fail(message):
+    print(f"check_telemetry: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} <snapshot.json>")
+    path = sys.argv[1]
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"{path}: {err}")
+
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            fail(f"{path}: missing or malformed section {section!r}")
+
+    counters = doc["counters"]
+    for prefix in COUNTER_PREFIXES:
+        matching = [k for k in counters if k.startswith(prefix)]
+        if not matching:
+            fail(f"no counters with prefix {prefix!r} (got {sorted(counters)})")
+        if all(counters[k] == 0 for k in matching):
+            fail(f"all {prefix!r} counters are zero: the collectors never ran")
+
+    hists = doc["histograms"]
+    for name in REQUIRED_HISTOGRAMS:
+        hist = hists.get(name)
+        if hist is None:
+            fail(f"histogram {name!r} missing (got {sorted(hists)})")
+        for field in ("count", "sum", "max", "mean", "p50", "p90", "p99", "p999"):
+            if field not in hist:
+                fail(f"histogram {name!r} lacks field {field!r}")
+        if hist["count"] <= 0:
+            fail(f"histogram {name!r} recorded nothing")
+        ranks = [hist["p50"], hist["p90"], hist["p99"], hist["p999"]]
+        if ranks != sorted(ranks):
+            fail(f"histogram {name!r} percentile ranks not monotone: {ranks}")
+
+    print(
+        f"check_telemetry: OK: {len(counters)} counters, "
+        f"{len(doc['gauges'])} gauges, {len(hists)} histograms, "
+        f"required histograms populated"
+    )
+
+
+if __name__ == "__main__":
+    main()

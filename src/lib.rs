@@ -9,6 +9,8 @@
 //! * [`wire`] — compact binary wire codec used for every simulated network
 //!   message, so that byte counts reported by the statistics layer are
 //!   meaningful.
+//! * [`telemetry`] — unified observability: metrics registry with latency
+//!   histograms, per-node flight recorder, causal invocation tracing.
 //! * [`amoeba`] — the simulated multicomputer substrate (nodes, unreliable
 //!   network with fault injection, RPC, statistics, sequencer election),
 //!   standing in for the Amoeba microkernel of the paper.
@@ -35,6 +37,7 @@ pub use orca_group as group;
 pub use orca_object as object;
 pub use orca_perf as perf;
 pub use orca_rts as rts;
+pub use orca_telemetry as telemetry;
 pub use orca_wire as wire;
 
 /// Version of the umbrella crate (mirrors the workspace version).

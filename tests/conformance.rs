@@ -400,6 +400,23 @@ fn run_history_program(
         })
         .collect();
     let histories: Vec<Vec<HistOp>> = workers.into_iter().map(|w| w.join()).collect();
+    // Check consistency while the runtime (and its flight recorder) is
+    // still alive: a violation persists the black box — every protocol
+    // event of the run plus the causal span of each invocation — and the
+    // failure message carries its path.
+    if !sequentially_consistent(&histories) {
+        let slug: String = label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let dump = runtime
+            .telemetry()
+            .dump_to_file(&format!("conformance_{slug}"));
+        panic!(
+            "{label}: no sequentially consistent total order explains the \
+             histories {histories:?}\n  flight dump: {dump:?}"
+        );
+    }
     runtime.shutdown();
     histories
 }

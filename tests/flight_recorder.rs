@@ -1,0 +1,61 @@
+//! Flight-recorder acceptance: when an invariant check fails, the runtime's
+//! black box must land on disk and contain the *causal span* of the
+//! offending invocation — which nodes it touched, in what order — so a
+//! violation report is debuggable without a rerun.
+//!
+//! The violation here is forced: the history handed to the checker is
+//! deliberately corrupted (as if the runtime had lost an acknowledged
+//! write), because the point under test is the failure path, not the
+//! runtime's correctness (the conformance suite covers that).
+
+use orca::core::objects::{IntObject, IntOp};
+use orca::core::{standard_registry, OrcaConfig, OrcaRuntime};
+use orca_check::{sequentially_consistent, HistOp};
+
+/// The invariant-check idiom the suites use: pass, or persist the flight
+/// dump and hand back its path for the failure message.
+fn check_or_dump(
+    runtime: &OrcaRuntime,
+    histories: &[Vec<HistOp>],
+    name: &str,
+) -> Result<(), std::path::PathBuf> {
+    if sequentially_consistent(histories) {
+        return Ok(());
+    }
+    let path = runtime
+        .telemetry()
+        .dump_to_file(name)
+        .expect("writing flight dump");
+    Err(path)
+}
+
+#[test]
+fn forced_violation_dumps_causal_span_of_offending_invocation() {
+    let runtime = OrcaRuntime::start(OrcaConfig::broadcast(2), standard_registry());
+    let counter = runtime.create::<IntObject>(&0).unwrap();
+    let ctx = runtime.context(1);
+    // The invocation under suspicion: the first (and only) one entering at
+    // node 1, so its minted trace id is deterministically t1.0.
+    let reply = ctx.invoke(counter, &IntOp::Add(5)).unwrap();
+    assert_eq!(reply, 5);
+
+    // The honest history passes and writes nothing.
+    let honest = vec![vec![HistOp::new(5, reply)]];
+    assert!(check_or_dump(&runtime, &honest, "unused").is_ok());
+
+    // Corrupt the recorded reply, as if the write had been lost: the
+    // checker must reject it and the dump must carry the invocation's span.
+    let corrupted = vec![vec![HistOp::new(5, reply + 1)]];
+    let path = check_or_dump(&runtime, &corrupted, "forced_violation")
+        .expect_err("corrupted history accepted");
+    let dump = std::fs::read_to_string(&path).unwrap();
+    assert!(
+        dump.contains("trace t1.0"),
+        "dump at {} lacks the offending invocation's span:\n{dump}",
+        path.display()
+    );
+    assert!(dump.contains("invoke-start"), "span lacks invoke-start");
+    assert!(dump.contains("traced invocations"));
+    assert!(dump.contains("=== metrics ==="));
+    runtime.shutdown();
+}
