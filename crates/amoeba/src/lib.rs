@@ -22,6 +22,11 @@
 //! * [`segment`] — a tiny memory-segment manager mirroring Amoeba's
 //!   memory-management primitives.
 //! * [`election`] — sequencer election among the live members of a group.
+//! * [`transport`] — the seam that makes everything above the packet layer
+//!   generic over a [`transport::Transport`] backend: the simulated network
+//!   is the default ([`transport::SimTransport`]), and
+//!   [`transport::SocketTransport`] runs the same stack over real TCP/UDP
+//!   sockets so N OS processes form a live cluster.
 //!
 //! Everything in this crate is deliberately independent of the shared-object
 //! model; it only moves bytes and counts them.
@@ -37,6 +42,7 @@ pub mod rpc;
 pub mod sched;
 pub mod segment;
 pub mod stats;
+pub mod transport;
 
 pub use fault::FaultConfig;
 pub use message::NetMessage;
@@ -44,3 +50,4 @@ pub use network::{Network, NetworkConfig, NetworkHandle, PortReceiver};
 pub use node::{ports, NodeId, Port};
 pub use sched::{HeldDescriptor, MsgId, SchedulerConfig};
 pub use stats::{NetStats, NetStatsSnapshot};
+pub use transport::{SimTransport, SocketConfig, SocketTransport, Transport, TransportKind};

@@ -17,6 +17,14 @@
 //! Messages sent to a port that is not yet bound are buffered and flushed
 //! when the port is bound, so higher layers do not need to orchestrate
 //! start-up order.
+//!
+//! Since the transport seam refactor, [`NetworkHandle`] is a thin wrapper
+//! over an `Arc<dyn Transport>` ([`crate::transport::Transport`]): the
+//! simulated network here is the default [`crate::transport::SimTransport`]
+//! backend, and the same handle type drives the real TCP/UDP
+//! [`crate::transport::SocketTransport`]. Everything specific to the
+//! *simulation* — fault injection, crash/recover, the model-checking
+//! schedule driver — stays on [`Network`] itself.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -32,6 +40,7 @@ use crate::message::{Delivery, NetMessage, WIRE_HEADER_BYTES};
 use crate::node::{ports, NodeId, Port};
 use crate::sched::{HeldDescriptor, MsgId, SchedState, SchedulerConfig};
 use crate::stats::{NetStats, NetStatsSnapshot};
+use crate::transport::{SimTransport, Transport, TransportKind};
 
 /// Configuration of a simulated network.
 #[derive(Debug, Clone)]
@@ -114,7 +123,7 @@ impl NodeInbox {
     }
 }
 
-struct NetworkCore {
+pub(crate) struct NetworkCore {
     config: NetworkConfig,
     inboxes: Vec<NodeInbox>,
     stats: Arc<NetStats>,
@@ -129,6 +138,26 @@ struct NetworkCore {
 }
 
 impl NetworkCore {
+    pub(crate) fn num_nodes(&self) -> usize {
+        self.config.nodes
+    }
+
+    pub(crate) fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    pub(crate) fn stats_snapshot(&self) -> NetStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    pub(crate) fn alloc_ephemeral_port(&self) -> Port {
+        self.next_ephemeral.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn is_crashed(&self, node: NodeId) -> bool {
+        self.inboxes[node.index()].crashed.load(Ordering::SeqCst)
+    }
+
     fn enqueue(&self, dst: NodeId, msg: NetMessage) {
         self.activity.fetch_add(1, Ordering::SeqCst);
         let inbox = &self.inboxes[dst.index()];
@@ -170,6 +199,158 @@ impl NetworkCore {
             return;
         }
         self.enqueue(dst, msg);
+    }
+
+    /// Bind `port` on `node`, returning the receiving end.
+    pub(crate) fn bind_on(self: &Arc<Self>, node: NodeId, port: Port) -> PortReceiver {
+        let (tx, rx) = unbounded();
+        let inbox = &self.inboxes[node.index()];
+        {
+            let mut bound = inbox.bound.lock();
+            bound.insert(port, tx.clone());
+        }
+        // Flush messages that arrived before the bind.
+        let pending = inbox.pending.lock().remove(&port).unwrap_or_default();
+        for msg in pending {
+            let _ = tx.send(msg);
+        }
+        let core = Arc::clone(self);
+        let unbind = move || {
+            core.inboxes[node.index()].bound.lock().remove(&port);
+        };
+        PortReceiver::new(node, port, rx, Box::new(unbind))
+    }
+
+    /// Point-to-point transmission from `src`.
+    pub(crate) fn transmit_from(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        port: Port,
+        payload: Vec<u8>,
+        delivery: Delivery,
+        reliable: bool,
+    ) -> Result<(), NetError> {
+        if dst.index() >= self.config.nodes {
+            return Err(NetError::NoSuchNode(dst));
+        }
+        if self.inboxes[src.index()].crashed.load(Ordering::SeqCst) {
+            return Ok(()); // a crashed node's transmissions go nowhere
+        }
+        let wire_bytes = payload.len() + WIRE_HEADER_BYTES;
+        let packets = packets_for(payload.len(), self.config.packet_payload);
+        self.stats.record_p2p_send(src, wire_bytes, packets);
+        self.telemetry
+            .record_traced(src.0, FlightKind::Send, u64::from(dst.0), wire_bytes as u64);
+        let msg = NetMessage {
+            src,
+            port,
+            delivery,
+            payload,
+        };
+        self.deliver(dst, msg, reliable);
+        Ok(())
+    }
+
+    /// Hardware-style broadcast from `src` to every node (including `src`).
+    pub(crate) fn broadcast_from(
+        &self,
+        src: NodeId,
+        port: Port,
+        payload: Vec<u8>,
+    ) -> Result<(), NetError> {
+        if self.inboxes[src.index()].crashed.load(Ordering::SeqCst) {
+            return Ok(()); // a crashed node's transmissions go nowhere
+        }
+        let wire_bytes = payload.len() + WIRE_HEADER_BYTES;
+        let packets = packets_for(payload.len(), self.config.packet_payload);
+        self.stats.record_broadcast_send(src, wire_bytes, packets);
+        // One Send event for the whole broadcast (a = u64::MAX marks "all
+        // nodes"), matching the once-on-the-wire accounting above.
+        self.telemetry
+            .record_traced(src.0, FlightKind::Send, u64::MAX, wire_bytes as u64);
+        for dst_index in 0..self.config.nodes {
+            let dst = NodeId::from(dst_index);
+            let msg = NetMessage {
+                src,
+                port,
+                delivery: Delivery::Broadcast,
+                payload: payload.clone(),
+            };
+            self.deliver(dst, msg, false);
+        }
+        Ok(())
+    }
+
+    fn deliver(&self, dst: NodeId, msg: NetMessage, reliable: bool) {
+        let inbox = &self.inboxes[dst.index()];
+        if inbox.crashed.load(Ordering::SeqCst) {
+            self.activity.fetch_add(1, Ordering::SeqCst);
+            self.stats.record_drop(dst);
+            self.telemetry.record_traced(
+                dst.0,
+                FlightKind::Drop,
+                u64::from(msg.src.0),
+                msg.wire_size() as u64,
+            );
+            return;
+        }
+        // Schedule-driver seam: while a scheduler is installed, hold
+        // everything except passthrough traffic, and never consult the
+        // fault injector (the driver makes the drop decisions).
+        {
+            let mut sched = self.sched.lock();
+            if let Some(state) = sched.as_mut() {
+                if !state.is_passthrough(msg.port) {
+                    state.hold(dst, msg, reliable);
+                    self.activity.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+                drop(sched);
+                self.enqueue(dst, msg);
+                return;
+            }
+        }
+        let action = if reliable {
+            FaultAction::Deliver
+        } else {
+            self.injector.lock().decide()
+        };
+        match action {
+            FaultAction::Drop => {
+                self.activity.fetch_add(1, Ordering::SeqCst);
+                self.stats.record_drop(dst);
+                self.telemetry.record_traced(
+                    dst.0,
+                    FlightKind::Drop,
+                    u64::from(msg.src.0),
+                    msg.wire_size() as u64,
+                );
+            }
+            FaultAction::Deliver => {
+                self.enqueue(dst, msg);
+                self.release_holdback(dst);
+            }
+            FaultAction::Duplicate => {
+                self.enqueue(dst, msg.clone());
+                self.enqueue(dst, msg);
+                self.release_holdback(dst);
+            }
+            FaultAction::HoldBack => {
+                self.activity.fetch_add(1, Ordering::SeqCst);
+                inbox.holdback.lock().push(msg);
+            }
+        }
+    }
+
+    fn release_holdback(&self, dst: NodeId) {
+        let held: Vec<NetMessage> = {
+            let mut holdback = self.inboxes[dst.index()].holdback.lock();
+            std::mem::take(&mut *holdback)
+        };
+        for msg in held {
+            self.enqueue(dst, msg);
+        }
     }
 }
 
@@ -254,10 +435,7 @@ impl Network {
     /// Obtain the per-node handle used to send and receive messages.
     pub fn handle(&self, node: NodeId) -> NetworkHandle {
         assert!(node.index() < self.core.config.nodes, "no such node {node}");
-        NetworkHandle {
-            core: Arc::clone(&self.core),
-            node,
-        }
+        NetworkHandle::from_transport(Arc::new(SimTransport::new(Arc::clone(&self.core), node)))
     }
 
     /// Snapshot of all statistics counters.
@@ -294,9 +472,7 @@ impl Network {
 
     /// True if `node` is currently simulated as crashed.
     pub fn is_crashed(&self, node: NodeId) -> bool {
-        self.core.inboxes[node.index()]
-            .crashed
-            .load(Ordering::SeqCst)
+        self.core.is_crashed(node)
     }
 
     /// Nodes that are currently alive (not crashed).
@@ -411,51 +587,84 @@ pub fn packets_for(payload_len: usize, packet_payload: usize) -> usize {
 }
 
 /// Per-node endpoint of the network.
+///
+/// Since the transport seam refactor this is a thin, cheaply cloneable
+/// wrapper over an `Arc<dyn Transport>`; the same handle type serves the
+/// simulated in-process network and the real TCP/UDP socket backend, so
+/// everything above the packet layer (RPC, group communication, the runtime
+/// systems) is transport-agnostic.
 #[derive(Clone)]
 pub struct NetworkHandle {
-    core: Arc<NetworkCore>,
-    node: NodeId,
+    inner: Arc<dyn Transport>,
 }
 
 impl std::fmt::Debug for NetworkHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetworkHandle")
-            .field("node", &self.node)
+            .field("node", &self.inner.node())
+            .field("kind", &self.inner.kind())
             .finish()
     }
 }
 
 impl NetworkHandle {
+    /// Wrap a transport backend in the handle type every layer above uses.
+    pub fn from_transport(inner: Arc<dyn Transport>) -> Self {
+        NetworkHandle { inner }
+    }
+
+    /// The transport backend behind this handle.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.inner
+    }
+
+    /// Which backend this handle runs on.
+    pub fn kind(&self) -> TransportKind {
+        self.inner.kind()
+    }
+
     /// The node this handle belongs to.
     pub fn node(&self) -> NodeId {
-        self.node
+        self.inner.node()
     }
 
     /// Number of nodes in the pool.
     pub fn num_nodes(&self) -> usize {
-        self.core.config.nodes
+        self.inner.num_nodes()
     }
 
     /// All node ids in the pool.
     pub fn node_ids(&self) -> Vec<NodeId> {
-        (0..self.core.config.nodes).map(NodeId::from).collect()
+        (0..self.inner.num_nodes()).map(NodeId::from).collect()
     }
 
-    /// The whole network this handle belongs to.
-    pub fn network(&self) -> Network {
-        Network {
-            core: Arc::clone(&self.core),
-        }
-    }
-
-    /// The network's observability hub (see [`Network::telemetry`]).
+    /// The transport's observability hub (see [`Network::telemetry`]).
     pub fn telemetry(&self) -> &Arc<Telemetry> {
-        &self.core.telemetry
+        self.inner.telemetry()
     }
 
-    /// Allocate a fresh ephemeral port (unique network-wide).
+    /// Snapshot of the transport's statistics counters.
+    ///
+    /// On the simulated network every node shares one statistics table; on
+    /// the socket backend each process fills in its own node's row.
+    pub fn stats(&self) -> NetStatsSnapshot {
+        self.inner.stats()
+    }
+
+    /// True if `node` is *confirmed* crashed.
+    ///
+    /// This is the fail-stop confirmation oracle the group layer consults
+    /// before deposing a sequencer: on the simulated network it is the
+    /// perfect crash flag; on the socket backend it reports nodes the
+    /// failure detector has declared dead (`SocketTransport::confirm_dead`).
+    /// A `false` answer means "not confirmed", never "definitely alive".
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.inner.is_crashed(node)
+    }
+
+    /// Allocate a fresh ephemeral port (unique for this node).
     pub fn alloc_ephemeral_port(&self) -> Port {
-        self.core.next_ephemeral.fetch_add(1, Ordering::Relaxed)
+        self.inner.alloc_ephemeral_port()
     }
 
     /// Bind `port` on this node, returning the receiving end.
@@ -463,184 +672,34 @@ impl NetworkHandle {
     /// Any messages that arrived for the port before it was bound are
     /// delivered immediately, in arrival order.
     pub fn bind(&self, port: Port) -> PortReceiver {
-        let (tx, rx) = unbounded();
-        let inbox = &self.core.inboxes[self.node.index()];
-        {
-            let mut bound = inbox.bound.lock();
-            bound.insert(port, tx.clone());
-        }
-        // Flush messages that arrived before the bind.
-        let pending = inbox.pending.lock().remove(&port).unwrap_or_default();
-        for msg in pending {
-            let _ = tx.send(msg);
-        }
-        PortReceiver {
-            core: Arc::clone(&self.core),
-            node: self.node,
-            port,
-            rx,
-        }
+        self.inner.bind(port)
     }
 
     /// Reliable point-to-point send (models Amoeba RPC transport).
     pub fn send_reliable(&self, dst: NodeId, port: Port, payload: Vec<u8>) -> Result<(), NetError> {
-        self.transmit(dst, port, payload, Delivery::PointToPoint, true)
+        self.inner.send_reliable(dst, port, payload)
     }
 
-    /// Unreliable point-to-point datagram (subject to fault injection).
+    /// Unreliable point-to-point datagram (subject to fault injection on the
+    /// simulated network; a UDP datagram on the socket backend).
     pub fn send(&self, dst: NodeId, port: Port, payload: Vec<u8>) -> Result<(), NetError> {
-        self.transmit(dst, port, payload, Delivery::PointToPoint, false)
+        self.inner.send(dst, port, payload)
     }
 
     /// Unreliable hardware-style broadcast to every node (including the
     /// sender). Each destination copy is perturbed independently by the fault
     /// injector, but the transmission is counted once on the wire.
     pub fn broadcast(&self, port: Port, payload: Vec<u8>) -> Result<(), NetError> {
-        let src = self.node;
-        if self.core.inboxes[src.index()]
-            .crashed
-            .load(Ordering::SeqCst)
-        {
-            return Ok(()); // a crashed node's transmissions go nowhere
-        }
-        let wire_bytes = payload.len() + WIRE_HEADER_BYTES;
-        let packets = packets_for(payload.len(), self.core.config.packet_payload);
-        self.core
-            .stats
-            .record_broadcast_send(src, wire_bytes, packets);
-        // One Send event for the whole broadcast (a = u64::MAX marks "all
-        // nodes"), matching the once-on-the-wire accounting above.
-        self.core
-            .telemetry
-            .record_traced(src.0, FlightKind::Send, u64::MAX, wire_bytes as u64);
-        for dst_index in 0..self.core.config.nodes {
-            let dst = NodeId::from(dst_index);
-            let msg = NetMessage {
-                src,
-                port,
-                delivery: Delivery::Broadcast,
-                payload: payload.clone(),
-            };
-            self.deliver(dst, msg, false);
-        }
-        Ok(())
-    }
-
-    fn transmit(
-        &self,
-        dst: NodeId,
-        port: Port,
-        payload: Vec<u8>,
-        delivery: Delivery,
-        reliable: bool,
-    ) -> Result<(), NetError> {
-        if dst.index() >= self.core.config.nodes {
-            return Err(NetError::NoSuchNode(dst));
-        }
-        let src = self.node;
-        if self.core.inboxes[src.index()]
-            .crashed
-            .load(Ordering::SeqCst)
-        {
-            return Ok(());
-        }
-        let wire_bytes = payload.len() + WIRE_HEADER_BYTES;
-        let packets = packets_for(payload.len(), self.core.config.packet_payload);
-        self.core.stats.record_p2p_send(src, wire_bytes, packets);
-        self.core.telemetry.record_traced(
-            src.0,
-            FlightKind::Send,
-            u64::from(dst.0),
-            wire_bytes as u64,
-        );
-        let msg = NetMessage {
-            src,
-            port,
-            delivery,
-            payload,
-        };
-        self.deliver(dst, msg, reliable);
-        Ok(())
-    }
-
-    fn deliver(&self, dst: NodeId, msg: NetMessage, reliable: bool) {
-        let inbox = &self.core.inboxes[dst.index()];
-        if inbox.crashed.load(Ordering::SeqCst) {
-            self.core.activity.fetch_add(1, Ordering::SeqCst);
-            self.core.stats.record_drop(dst);
-            self.core.telemetry.record_traced(
-                dst.0,
-                FlightKind::Drop,
-                u64::from(msg.src.0),
-                msg.wire_size() as u64,
-            );
-            return;
-        }
-        // Schedule-driver seam: while a scheduler is installed, hold
-        // everything except passthrough traffic, and never consult the
-        // fault injector (the driver makes the drop decisions).
-        {
-            let mut sched = self.core.sched.lock();
-            if let Some(state) = sched.as_mut() {
-                if !state.is_passthrough(msg.port) {
-                    state.hold(dst, msg, reliable);
-                    self.core.activity.fetch_add(1, Ordering::SeqCst);
-                    return;
-                }
-                drop(sched);
-                self.core.enqueue(dst, msg);
-                return;
-            }
-        }
-        let action = if reliable {
-            FaultAction::Deliver
-        } else {
-            self.core.injector.lock().decide()
-        };
-        match action {
-            FaultAction::Drop => {
-                self.core.activity.fetch_add(1, Ordering::SeqCst);
-                self.core.stats.record_drop(dst);
-                self.core.telemetry.record_traced(
-                    dst.0,
-                    FlightKind::Drop,
-                    u64::from(msg.src.0),
-                    msg.wire_size() as u64,
-                );
-            }
-            FaultAction::Deliver => {
-                self.core.enqueue(dst, msg);
-                self.release_holdback(dst);
-            }
-            FaultAction::Duplicate => {
-                self.core.enqueue(dst, msg.clone());
-                self.core.enqueue(dst, msg);
-                self.release_holdback(dst);
-            }
-            FaultAction::HoldBack => {
-                self.core.activity.fetch_add(1, Ordering::SeqCst);
-                inbox.holdback.lock().push(msg);
-            }
-        }
-    }
-
-    fn release_holdback(&self, dst: NodeId) {
-        let held: Vec<NetMessage> = {
-            let mut holdback = self.core.inboxes[dst.index()].holdback.lock();
-            std::mem::take(&mut *holdback)
-        };
-        for msg in held {
-            self.core.enqueue(dst, msg);
-        }
+        self.inner.broadcast(port, payload)
     }
 }
 
 /// Receiving end of a bound port. Unbinds the port when dropped.
 pub struct PortReceiver {
-    core: Arc<NetworkCore>,
     node: NodeId,
     port: Port,
     rx: Receiver<NetMessage>,
+    unbind: Option<Box<dyn FnOnce() + Send>>,
 }
 
 impl std::fmt::Debug for PortReceiver {
@@ -653,6 +712,22 @@ impl std::fmt::Debug for PortReceiver {
 }
 
 impl PortReceiver {
+    /// Assemble a receiver from its delivery channel and an unbind action
+    /// run on drop. Transport backends call this from `Transport::bind`.
+    pub(crate) fn new(
+        node: NodeId,
+        port: Port,
+        rx: Receiver<NetMessage>,
+        unbind: Box<dyn FnOnce() + Send>,
+    ) -> Self {
+        PortReceiver {
+            node,
+            port,
+            rx,
+            unbind: Some(unbind),
+        }
+    }
+
     /// The node this receiver lives on.
     pub fn node(&self) -> NodeId {
         self.node
@@ -695,8 +770,9 @@ impl PortReceiver {
 
 impl Drop for PortReceiver {
     fn drop(&mut self) {
-        let inbox = &self.core.inboxes[self.node.index()];
-        inbox.bound.lock().remove(&self.port);
+        if let Some(unbind) = self.unbind.take() {
+            unbind();
+        }
     }
 }
 
@@ -752,6 +828,7 @@ mod tests {
         let rx = net.handle(NodeId(1)).bind(5);
         net.crash(NodeId(1));
         assert!(net.is_crashed(NodeId(1)));
+        assert!(net.handle(NodeId(0)).is_crashed(NodeId(1)));
         net.handle(NodeId(0))
             .send_reliable(NodeId(1), 5, vec![1])
             .unwrap();
@@ -815,6 +892,13 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(b, c);
         assert!(a >= ports::EPHEMERAL_BASE);
+    }
+
+    #[test]
+    fn handle_reports_sim_transport_kind() {
+        let net = Network::reliable(2);
+        assert_eq!(net.handle(NodeId(0)).kind(), TransportKind::Sim);
+        assert_eq!(net.handle(NodeId(1)).stats().per_node.len(), 2);
     }
 
     #[test]

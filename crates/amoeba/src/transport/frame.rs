@@ -1,0 +1,186 @@
+//! Wire frame carried by the socket transport.
+//!
+//! Every TCP message and UDP datagram is one frame: a fixed 18-byte header
+//! (magic, version, delivery class, source node, destination node, port)
+//! followed by the opaque payload. The header carries exactly the fields of
+//! [`NetMessage`], so the `orca-wire` codecs of every layer above ride
+//! unchanged — the socket backend reconstructs the same `NetMessage` the
+//! simulator would have delivered.
+//!
+//! On TCP the frame is preceded by a big-endian `u32` length prefix (the
+//! frame's total byte count); on UDP one datagram is one frame.
+
+use crate::message::{Delivery, NetMessage};
+use crate::node::{NodeId, Port};
+
+/// `"ORCA"` in big-endian bytes.
+pub const FRAME_MAGIC: u32 = 0x4F52_4341;
+
+/// Current frame format version.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Fixed header size: magic (4) + version (1) + delivery (1) + src (2) +
+/// dst (2) + port (8).
+pub const FRAME_HEADER_BYTES: usize = 18;
+
+/// A decoded socket frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node (the receiver checks it got the right frame).
+    pub dst: NodeId,
+    /// Destination port.
+    pub port: Port,
+    /// Delivery class reported to the receiver.
+    pub delivery: Delivery,
+    /// Opaque payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Frame decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer than [`FRAME_HEADER_BYTES`] bytes.
+    Truncated,
+    /// Magic number mismatch (not an Orca frame).
+    BadMagic(u32),
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// Unknown delivery class tag.
+    BadDelivery(u8),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported frame version {v}"),
+            FrameError::BadDelivery(d) => write!(f, "unknown delivery tag {d}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl Frame {
+    /// Total encoded size (header + payload).
+    pub fn encoded_len(&self) -> usize {
+        FRAME_HEADER_BYTES + self.payload.len()
+    }
+
+    /// Encode the frame into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        buf.extend_from_slice(&FRAME_MAGIC.to_be_bytes());
+        buf.push(FRAME_VERSION);
+        buf.push(match self.delivery {
+            Delivery::PointToPoint => 0,
+            Delivery::Broadcast => 1,
+        });
+        buf.extend_from_slice(&self.src.0.to_be_bytes());
+        buf.extend_from_slice(&self.dst.0.to_be_bytes());
+        buf.extend_from_slice(&self.port.to_be_bytes());
+        buf.extend_from_slice(&self.payload);
+        buf
+    }
+
+    /// Decode a frame from a full buffer (one TCP message body or one UDP
+    /// datagram).
+    pub fn decode(bytes: &[u8]) -> Result<Frame, FrameError> {
+        if bytes.len() < FRAME_HEADER_BYTES {
+            return Err(FrameError::Truncated);
+        }
+        let magic = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        if magic != FRAME_MAGIC {
+            return Err(FrameError::BadMagic(magic));
+        }
+        let version = bytes[4];
+        if version != FRAME_VERSION {
+            return Err(FrameError::BadVersion(version));
+        }
+        let delivery = match bytes[5] {
+            0 => Delivery::PointToPoint,
+            1 => Delivery::Broadcast,
+            tag => return Err(FrameError::BadDelivery(tag)),
+        };
+        let src = NodeId(u16::from_be_bytes([bytes[6], bytes[7]]));
+        let dst = NodeId(u16::from_be_bytes([bytes[8], bytes[9]]));
+        let port = Port::from_be_bytes([
+            bytes[10], bytes[11], bytes[12], bytes[13], bytes[14], bytes[15], bytes[16], bytes[17],
+        ]);
+        Ok(Frame {
+            src,
+            dst,
+            port,
+            delivery,
+            payload: bytes[FRAME_HEADER_BYTES..].to_vec(),
+        })
+    }
+
+    /// The [`NetMessage`] this frame delivers (drops the routing `dst`).
+    pub fn into_message(self) -> NetMessage {
+        NetMessage {
+            src: self.src,
+            port: self.port,
+            delivery: self.delivery,
+            payload: self.payload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let frame = Frame {
+            src: NodeId(3),
+            dst: NodeId(1),
+            port: (1 << 32) + 77,
+            delivery: Delivery::Broadcast,
+            payload: vec![1, 2, 3, 4, 5],
+        };
+        let bytes = frame.encode();
+        assert_eq!(bytes.len(), frame.encoded_len());
+        assert_eq!(Frame::decode(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn empty_payload_round_trip() {
+        let frame = Frame {
+            src: NodeId(0),
+            dst: NodeId(0),
+            port: 1,
+            delivery: Delivery::PointToPoint,
+            payload: vec![],
+        };
+        assert_eq!(Frame::decode(&frame.encode()).unwrap(), frame);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(Frame::decode(&[1, 2, 3]), Err(FrameError::Truncated));
+        let mut bytes = Frame {
+            src: NodeId(0),
+            dst: NodeId(1),
+            port: 5,
+            delivery: Delivery::PointToPoint,
+            payload: vec![],
+        }
+        .encode();
+        bytes[0] = 0xFF;
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(FrameError::BadMagic(_))
+        ));
+        bytes[0] = 0x4F;
+        bytes[4] = 99;
+        assert_eq!(Frame::decode(&bytes), Err(FrameError::BadVersion(99)));
+        bytes[4] = FRAME_VERSION;
+        bytes[5] = 7;
+        assert_eq!(Frame::decode(&bytes), Err(FrameError::BadDelivery(7)));
+    }
+}

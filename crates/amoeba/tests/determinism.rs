@@ -61,6 +61,11 @@ fn run_workload(seed: u64) -> Observation {
         }
     }
 
+    // Draining with `try_recv` right after the sends is valid ONLY on the
+    // simulated transport, where delivery happens synchronously inside the
+    // sender's call. Transport-agnostic code must not assume this — see
+    // `tests/transport_conformance.rs` for the contract that also holds
+    // over real sockets.
     let delivered = receivers
         .iter()
         .map(|rx| {

@@ -1,0 +1,150 @@
+//! `MultiRpc` demultiplexing under reordered delivery.
+//!
+//! The pipelined runtime-system paths keep many RPCs in flight on one
+//! shared reply port, so replies routinely arrive in a different order
+//! than the caller waits for them. These tests pin the two properties the
+//! batching layers depend on:
+//!
+//! * a reply for a *different* outstanding request is stashed, never
+//!   dropped, and handed out when its own `wait` comes around;
+//! * replies are matched strictly by request id, so a stale reply from a
+//!   timed-out earlier call on the reused port can never satisfy a newer
+//!   request.
+//!
+//! Reordering is produced deterministically by handler-side delays (a slow
+//! first request, fast later ones), and each scenario runs on both the
+//! simulated network and a real loopback socket cluster — the socket path
+//! adds genuine cross-thread asynchrony.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use orca_amoeba::network::{Network, NetworkHandle};
+use orca_amoeba::node::{ports, NodeId};
+use orca_amoeba::rpc::{MultiRpc, RpcError, RpcServer};
+use orca_amoeba::transport::SocketTransport;
+
+const SERVICE: u64 = ports::USER_BASE + 50;
+const DEADLINE: Duration = Duration::from_secs(20);
+
+/// Run `scenario(client_handle, server_handle)` on both backends.
+fn both_backends(scenario: impl Fn(NetworkHandle, NetworkHandle)) {
+    let net = Network::reliable(2);
+    scenario(net.handle(NodeId(0)), net.handle(NodeId(1)));
+
+    let transports = SocketTransport::start_loopback_cluster(2).expect("loopback cluster");
+    let handle = |i: usize| {
+        NetworkHandle::from_transport(Arc::clone(&transports[i]) as Arc<dyn orca_amoeba::Transport>)
+    };
+    scenario(handle(0), handle(1));
+}
+
+/// Echo server that sleeps `slow_ms` milliseconds when the request body
+/// starts with the byte `b'S'`, so a slow request's reply overtakes
+/// nothing while fast later replies overtake *it*.
+fn echo_server_with_slow_requests(server: NetworkHandle, slow_ms: u64) -> RpcServer {
+    RpcServer::serve_concurrent(server, SERVICE, move |body, _src| {
+        if body.first() == Some(&b'S') {
+            std::thread::sleep(Duration::from_millis(slow_ms));
+        }
+        body.to_vec()
+    })
+}
+
+#[test]
+fn reply_for_a_different_request_is_stashed_not_lost() {
+    both_backends(|client, server| {
+        let server = echo_server_with_slow_requests(server, 150);
+        let mut rpc = MultiRpc::new(&client);
+        let slow = rpc.send(NodeId(1), SERVICE, b"S-first".to_vec()).unwrap();
+        let fast = rpc.send(NodeId(1), SERVICE, b"fast".to_vec()).unwrap();
+        // Waiting for the slow request first forces the fast reply —
+        // which arrives earlier — through the stash.
+        let deadline = Instant::now() + DEADLINE;
+        assert_eq!(rpc.wait(slow, deadline).unwrap(), b"S-first");
+        // The fast reply was consumed while waiting for `slow`; it must
+        // now come straight out of the stash (no further delivery needed).
+        assert_eq!(rpc.wait(fast, deadline).unwrap(), b"fast");
+        server.shutdown();
+    });
+}
+
+#[test]
+fn many_outstanding_replies_demux_in_any_wait_order() {
+    both_backends(|client, server| {
+        let server = echo_server_with_slow_requests(server, 0);
+        let mut rpc = MultiRpc::new(&client);
+        let ids: Vec<(u64, Vec<u8>)> = (0..8u8)
+            .map(|i| {
+                let body = vec![b'r', i];
+                (rpc.send(NodeId(1), SERVICE, body.clone()).unwrap(), body)
+            })
+            .collect();
+        // Wait in reverse send order: all but the last-waited reply must
+        // travel through the stash at some point.
+        let deadline = Instant::now() + DEADLINE;
+        for (id, body) in ids.iter().rev() {
+            assert_eq!(&rpc.wait(*id, deadline).unwrap(), body);
+        }
+        server.shutdown();
+    });
+}
+
+#[test]
+fn stale_reply_from_a_timed_out_call_never_satisfies_a_newer_request() {
+    both_backends(|client, server| {
+        let server = echo_server_with_slow_requests(server, 300);
+        let mut rpc = MultiRpc::new(&client);
+        let stale = rpc.send(NodeId(1), SERVICE, b"S-stale".to_vec()).unwrap();
+        // Give up on the slow request long before its reply arrives.
+        let result = rpc.wait(stale, Instant::now() + Duration::from_millis(50));
+        assert!(matches!(result, Err(RpcError::Timeout)), "{result:?}");
+        // A newer request on the same reply port must get *its* reply,
+        // even though the stale one lands on the port first.
+        let fresh = rpc.send(NodeId(1), SERVICE, b"fresh".to_vec()).unwrap();
+        let deadline = Instant::now() + DEADLINE;
+        assert_eq!(rpc.wait(fresh, deadline).unwrap(), b"fresh");
+        // The stale reply went to the stash keyed by its own id — still
+        // retrievable, proving it was demuxed rather than misdelivered.
+        assert_eq!(rpc.wait(stale, deadline).unwrap(), b"S-stale");
+        server.shutdown();
+    });
+}
+
+#[test]
+fn interleaved_rounds_keep_ids_straight_across_destinations() {
+    // Two servers on different nodes answering with distinct markers: a
+    // client pipelining one request per destination per round must never
+    // cross replies, whatever order they arrive in.
+    let net = Network::reliable(3);
+    let servers: Vec<RpcServer> = [1u16, 2]
+        .iter()
+        .map(|&n| {
+            RpcServer::serve_concurrent(net.handle(NodeId(n)), SERVICE, move |body, _src| {
+                let mut reply = vec![n as u8];
+                reply.extend_from_slice(body);
+                reply
+            })
+        })
+        .collect();
+    let mut rpc = MultiRpc::new(&net.handle(NodeId(0)));
+    for round in 0..20u8 {
+        let a = rpc.send(NodeId(1), SERVICE, vec![round]).unwrap();
+        let b = rpc.send(NodeId(2), SERVICE, vec![round]).unwrap();
+        let deadline = Instant::now() + DEADLINE;
+        // Alternate which destination is waited on first.
+        let (first, second, first_node, second_node) = if round % 2 == 0 {
+            (a, b, 1u8, 2u8)
+        } else {
+            (b, a, 2u8, 1u8)
+        };
+        assert_eq!(rpc.wait(first, deadline).unwrap(), vec![first_node, round]);
+        assert_eq!(
+            rpc.wait(second, deadline).unwrap(),
+            vec![second_node, round]
+        );
+    }
+    for server in servers {
+        server.shutdown();
+    }
+}

@@ -1,0 +1,39 @@
+//! Wall-clock pipelined-write throughput over real loopback sockets.
+//!
+//! Sweeps pipeline depths {1, 4, 16, 64} on a 4-node loopback
+//! `SocketTransport` cluster under the broadcast, primary-copy and sharded
+//! runtime systems, prints the wall-clock throughput table, and writes the
+//! `BENCH_tcp.json` trajectory file. Unlike the simulated benches these
+//! numbers are real time on the build machine, so they vary run to run.
+//! Override the shape with `ORCA_BENCH_NODES` / `ORCA_BENCH_OPS_PER_NODE`,
+//! or pass `--smoke` for a tiny CI-sized run (the numbers are meaningless,
+//! but the socket path and both output formats are exercised).
+
+fn main() {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    let (nodes, ops_per_node, depths): (usize, usize, &[usize]) = if smoke {
+        (2, 16, &[1, 4])
+    } else {
+        (
+            orca_bench::env_usize("NODES", 4),
+            orca_bench::env_usize("OPS_PER_NODE", 512),
+            &[1, 4, 16, 64],
+        )
+    };
+    let rows = orca_bench::tcp::tcp_pipeline_throughput(nodes, ops_per_node, depths);
+    print!("{}", orca_bench::tcp::format_table(&rows));
+    let json = orca_bench::tcp::to_json(&rows);
+    if smoke {
+        println!("smoke run: trajectory not written");
+        return;
+    }
+    // Anchor at the workspace root (cargo runs benches from the package
+    // directory), so the trajectory file lands next to the README.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_tcp.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("trajectory written to {}", path.display()),
+        Err(err) => eprintln!("could not write {}: {err}", path.display()),
+    }
+}

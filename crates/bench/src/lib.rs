@@ -29,6 +29,7 @@ pub mod recovery;
 pub mod rtscompare;
 pub mod sharded;
 pub mod speedup;
+pub mod tcp;
 
 /// Processor counts used for the speedup sweeps (the paper's figures go up
 /// to 16; intermediate points keep total bench time reasonable).

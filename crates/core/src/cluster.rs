@@ -1,0 +1,143 @@
+//! One Orca node per OS process: the runtime behind the `orca-node` binary.
+//!
+//! [`crate::OrcaRuntime`] hosts a whole processor pool inside one process
+//! (simulated network or loopback sockets). [`OrcaNodeRuntime`] is the
+//! multi-process twin: it starts *one* node's runtime system over a real
+//! [`SocketTransport`], and N processes launched with the same static peer
+//! list form a live cluster — same registry, same strategies, same
+//! recovery machinery, real `kill -9` failures.
+
+use std::sync::Arc;
+
+use orca_amoeba::network::NetworkHandle;
+use orca_amoeba::transport::{SocketConfig, SocketTransport, Transport};
+use orca_amoeba::{NetStatsSnapshot, NodeId};
+use orca_object::ObjectRegistry;
+use orca_rts::{FailureDetector, RtsStatsSnapshot, ViewSnapshot};
+use orca_telemetry::Telemetry;
+
+use crate::config::OrcaConfig;
+use crate::runtime::{build_node_rts, NodeRts, OrcaNode};
+
+/// One node of a multi-process Orca cluster.
+///
+/// The peer list is static (the paper's processor pool has a fixed
+/// membership too): every process is launched knowing `node_id` and the
+/// addresses of all nodes, and the failure detector prunes the membership
+/// as processes die. `config.processors` must equal the peer count.
+pub struct OrcaNodeRuntime {
+    node: NodeId,
+    transport: Arc<SocketTransport>,
+    rts: NodeRts,
+    context: OrcaNode,
+    detector: Option<Arc<FailureDetector>>,
+}
+
+impl std::fmt::Debug for OrcaNodeRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OrcaNodeRuntime")
+            .field("node", &self.node)
+            .field("peers", &self.transport.peer_addrs())
+            .finish()
+    }
+}
+
+impl OrcaNodeRuntime {
+    /// Bind this node's sockets and start its runtime system.
+    ///
+    /// With recovery enabled in `config`, a heartbeat failure detector runs
+    /// over the cluster and its death verdicts feed both the runtime
+    /// system's re-homing protocol and the transport's fail-stop oracle
+    /// (`SocketTransport::confirm_dead`).
+    pub fn start(
+        config: OrcaConfig,
+        registry: ObjectRegistry,
+        socket: SocketConfig,
+    ) -> std::io::Result<OrcaNodeRuntime> {
+        assert_eq!(
+            config.processors,
+            socket.peers.len(),
+            "config.processors must equal the peer count"
+        );
+        let node = socket.node;
+        let transport = SocketTransport::start(socket)?;
+        let handle = NetworkHandle::from_transport(Arc::clone(&transport) as Arc<dyn Transport>);
+        let detector = if config.recovery.enabled {
+            let detector = FailureDetector::start(handle.clone(), config.recovery.failure_config());
+            let oracle = Arc::clone(&transport);
+            detector.on_failure(Box::new(move |dead, _view| oracle.confirm_dead(dead)));
+            Some(detector)
+        } else {
+            None
+        };
+        let rts = build_node_rts(handle, &config, &registry, detector.clone());
+        let telemetry = Arc::clone(transport.telemetry());
+        let context = OrcaNode::assemble(node, rts.as_runtime(), telemetry);
+        Ok(OrcaNodeRuntime {
+            node,
+            transport,
+            rts,
+            context,
+            detector,
+        })
+    }
+
+    /// The execution context processes on this node invoke through.
+    pub fn node(&self) -> &OrcaNode {
+        &self.context
+    }
+
+    /// This process's node id.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Total number of nodes in the cluster's static peer list.
+    pub fn num_nodes(&self) -> usize {
+        self.transport.peer_addrs().len()
+    }
+
+    /// The socket transport carrying this node's traffic.
+    pub fn transport(&self) -> &Arc<SocketTransport> {
+        &self.transport
+    }
+
+    /// This process's telemetry hub.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        self.transport.telemetry()
+    }
+
+    /// Network statistics as observed by this process (only this node's
+    /// row is populated; a cluster-wide table needs every process's
+    /// snapshot).
+    pub fn network_stats(&self) -> NetStatsSnapshot {
+        Transport::stats(&*self.transport)
+    }
+
+    /// Runtime-system statistics of this node.
+    pub fn rts_stats(&self) -> RtsStatsSnapshot {
+        self.context.rts_stats()
+    }
+
+    /// The failure detector's current membership view (`None` when
+    /// recovery is disabled).
+    pub fn membership_view(&self) -> Option<ViewSnapshot> {
+        self.detector.as_ref().map(|d| d.view())
+    }
+
+    /// Shut down the runtime system, the failure detector and the
+    /// transport. Called automatically on drop.
+    pub fn shutdown(&self) {
+        self.rts.shutdown();
+        if let Some(detector) = &self.detector {
+            detector.shutdown();
+        }
+        self.transport.shutdown();
+    }
+}
+
+impl Drop for OrcaNodeRuntime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

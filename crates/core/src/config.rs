@@ -93,6 +93,26 @@ impl RtsStrategy {
     }
 }
 
+/// Which transport backend carries the cluster's traffic.
+///
+/// The deterministic simulator is the default; the socket variant runs the
+/// same runtime systems over real loopback TCP/UDP sockets inside one
+/// process (wall-clock benches, transport-conformance tests). Real
+/// multi-process clusters use the `orca-node` binary, which drives one
+/// node per process over `SocketTransport` directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportConfig {
+    /// In-process simulated network (deterministic; supports fault
+    /// injection, crash simulation and the model-checking scheduler).
+    #[default]
+    Sim,
+    /// One real `SocketTransport` per node, all inside this process on
+    /// loopback ephemeral ports. Fault injection and the scheduler seam
+    /// are unavailable; `kill_node` maps to a local crash flag plus
+    /// failure-detector confirmation.
+    SocketLoopback,
+}
+
 /// Configuration of a whole Orca application run.
 #[derive(Debug, Clone)]
 pub struct OrcaConfig {
@@ -114,6 +134,9 @@ pub struct OrcaConfig {
     /// message, and how long a round waits for more submissions.
     /// Synchronous invocations are never batched.
     pub batch: BatchPolicy,
+    /// Transport backend: the deterministic simulator (default) or real
+    /// loopback sockets. Fault injection only applies to the simulator.
+    pub transport: TransportConfig,
 }
 
 impl OrcaConfig {
@@ -126,6 +149,7 @@ impl OrcaConfig {
             strategy: RtsStrategy::broadcast(),
             recovery: RecoveryConfig::disabled(),
             batch: BatchPolicy::default(),
+            transport: TransportConfig::Sim,
         }
     }
 
@@ -140,6 +164,7 @@ impl OrcaConfig {
             },
             recovery: RecoveryConfig::disabled(),
             batch: BatchPolicy::default(),
+            transport: TransportConfig::Sim,
         }
     }
 
@@ -152,6 +177,7 @@ impl OrcaConfig {
             strategy: RtsStrategy::sharded(partitions),
             recovery: RecoveryConfig::disabled(),
             batch: BatchPolicy::default(),
+            transport: TransportConfig::Sim,
         }
     }
 
@@ -163,6 +189,7 @@ impl OrcaConfig {
             strategy: RtsStrategy::adaptive(),
             recovery: RecoveryConfig::disabled(),
             batch: BatchPolicy::default(),
+            transport: TransportConfig::Sim,
         }
     }
 
@@ -181,6 +208,12 @@ impl OrcaConfig {
     /// Replace the asynchronous-path batching knobs.
     pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Replace the transport backend.
+    pub fn with_transport(mut self, transport: TransportConfig) -> Self {
+        self.transport = transport;
         self
     }
 }

@@ -21,6 +21,7 @@
 //!   key-value table) that cover the patterns the paper's applications use,
 //!   including the *replicated worker paradigm* helper in [`worker`].
 
+pub mod cluster;
 pub mod config;
 pub mod future;
 pub mod handle;
@@ -28,9 +29,11 @@ pub mod objects;
 pub mod runtime;
 pub mod worker;
 
-pub use config::{OrcaConfig, RtsStrategy};
+pub use cluster::OrcaNodeRuntime;
+pub use config::{OrcaConfig, RtsStrategy, TransportConfig};
 pub use future::InvocationFuture;
 pub use handle::ObjectHandle;
+pub use orca_amoeba::SocketConfig;
 pub use orca_rts::{BatchPolicy, RecoveryConfig, ViewSnapshot};
 pub use runtime::{OrcaNode, OrcaRuntime};
 pub use worker::replicated_workers;

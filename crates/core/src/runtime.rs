@@ -3,8 +3,9 @@
 use std::sync::{Arc, Weak};
 use std::time::Instant;
 
-use orca_amoeba::network::{Network, NetworkConfig};
+use orca_amoeba::network::{Network, NetworkConfig, NetworkHandle};
 use orca_amoeba::process::{ProcessHandle, ProcessorPool};
+use orca_amoeba::transport::{SocketTransport, Transport};
 use orca_amoeba::{NetStatsSnapshot, NodeId};
 use orca_object::{ObjectId, ObjectRegistry, ObjectType, OpKind};
 use orca_rts::{
@@ -14,11 +15,11 @@ use orca_rts::{
 use orca_telemetry::{trace, FlightKind, HistHandle, Telemetry};
 use orca_wire::Wire;
 
-use crate::config::{OrcaConfig, RtsStrategy};
+use crate::config::{OrcaConfig, RtsStrategy, TransportConfig};
 use crate::handle::ObjectHandle;
 use crate::{OrcaError, OrcaResult};
 
-enum NodeRts {
+pub(crate) enum NodeRts {
     Broadcast(BroadcastRts),
     Primary(PrimaryCopyRts),
     Sharded(ShardedRts),
@@ -26,7 +27,7 @@ enum NodeRts {
 }
 
 impl NodeRts {
-    fn as_runtime(&self) -> Arc<dyn RuntimeSystem> {
+    pub(crate) fn as_runtime(&self) -> Arc<dyn RuntimeSystem> {
         match self {
             NodeRts::Broadcast(rts) => Arc::new(rts.clone()),
             NodeRts::Primary(rts) => Arc::new(rts.clone()),
@@ -35,7 +36,7 @@ impl NodeRts {
         }
     }
 
-    fn shutdown(&self) {
+    pub(crate) fn shutdown(&self) {
         match self {
             NodeRts::Broadcast(rts) => rts.shutdown(),
             NodeRts::Primary(rts) => rts.shutdown(),
@@ -44,7 +45,7 @@ impl NodeRts {
         }
     }
 
-    fn set_batch_policy(&self, policy: orca_rts::BatchPolicy) {
+    pub(crate) fn set_batch_policy(&self, policy: orca_rts::BatchPolicy) {
         match self {
             NodeRts::Broadcast(rts) => rts.set_batch_policy(policy),
             NodeRts::Primary(rts) => rts.set_batch_policy(policy),
@@ -52,6 +53,111 @@ impl NodeRts {
             NodeRts::Adaptive(rts) => rts.set_batch_policy(policy),
         }
     }
+}
+
+/// The communication substrate of a runtime: one shared simulated network,
+/// or one real socket transport per node (all on loopback inside this
+/// process).
+pub(crate) enum ClusterNet {
+    Sim(Network),
+    Socket {
+        transports: Vec<Arc<SocketTransport>>,
+    },
+}
+
+impl ClusterNet {
+    pub(crate) fn handle(&self, node: NodeId) -> NetworkHandle {
+        match self {
+            ClusterNet::Sim(net) => net.handle(node),
+            ClusterNet::Socket { transports } => NetworkHandle::from_transport(Arc::clone(
+                &transports[node.index()],
+            )
+                as Arc<dyn Transport>),
+        }
+    }
+
+    pub(crate) fn telemetry(&self) -> &Arc<Telemetry> {
+        match self {
+            ClusterNet::Sim(net) => net.telemetry(),
+            // Loopback transports are started with one shared hub.
+            ClusterNet::Socket { transports } => transports[0].telemetry(),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> NetStatsSnapshot {
+        match self {
+            ClusterNet::Sim(net) => net.stats(),
+            // Each transport fills in only its own node's row; merge them
+            // into the familiar one-row-per-node table.
+            ClusterNet::Socket { transports } => NetStatsSnapshot {
+                per_node: transports
+                    .iter()
+                    .enumerate()
+                    .map(|(index, t)| t.stats().per_node[index])
+                    .collect(),
+            },
+        }
+    }
+
+    pub(crate) fn crash(&self, node: NodeId) {
+        match self {
+            ClusterNet::Sim(net) => net.crash(node),
+            ClusterNet::Socket { transports } => transports[node.index()].crash_local(),
+        }
+    }
+
+    pub(crate) fn is_crashed(&self, node: NodeId) -> bool {
+        match self {
+            ClusterNet::Sim(net) => net.is_crashed(node),
+            ClusterNet::Socket { transports } => transports[node.index()].is_crashed(node),
+        }
+    }
+}
+
+/// Build one node's runtime system for `config.strategy` over `handle`.
+/// Shared by [`OrcaRuntime::start`] (N nodes in one process) and the
+/// single-node cluster runtime in [`crate::cluster`].
+pub(crate) fn build_node_rts(
+    handle: NetworkHandle,
+    config: &OrcaConfig,
+    registry: &ObjectRegistry,
+    detector: Option<Arc<FailureDetector>>,
+) -> NodeRts {
+    let rts = match &config.strategy {
+        RtsStrategy::Broadcast(group) => {
+            // The broadcast RTS needs no per-object re-homing: every
+            // replica is everywhere and sequencer failure is handled
+            // inside the group layer.
+            NodeRts::Broadcast(BroadcastRts::start(handle, registry.clone(), group.clone()))
+        }
+        RtsStrategy::PrimaryCopy {
+            policy,
+            replication,
+        } => NodeRts::Primary(PrimaryCopyRts::start_recoverable(
+            handle,
+            registry.clone(),
+            *policy,
+            *replication,
+            config.recovery,
+            detector,
+        )),
+        RtsStrategy::Sharded { policy } => NodeRts::Sharded(ShardedRts::start_recoverable(
+            handle,
+            registry.clone(),
+            *policy,
+            config.recovery,
+            detector,
+        )),
+        RtsStrategy::Adaptive { policy } => NodeRts::Adaptive(AdaptiveRts::start_recoverable(
+            handle,
+            registry.clone(),
+            *policy,
+            config.recovery,
+            detector,
+        )),
+    };
+    rts.set_batch_policy(config.batch);
+    rts
 }
 
 /// The per-process execution context: which node the process runs on and the
@@ -75,6 +181,22 @@ impl std::fmt::Debug for OrcaNode {
 }
 
 impl OrcaNode {
+    /// Assemble a context around an already-started runtime system. Used
+    /// by [`OrcaRuntime::start`] and the single-node cluster runtime.
+    pub(crate) fn assemble(
+        node: NodeId,
+        rts: Arc<dyn RuntimeSystem>,
+        telemetry: Arc<Telemetry>,
+    ) -> OrcaNode {
+        let sync_hist = telemetry.registry().histogram("rts.invoke.sync_ns");
+        OrcaNode {
+            node,
+            rts,
+            telemetry,
+            sync_hist,
+        }
+    }
+
     /// The simulated processor this context belongs to.
     pub fn node(&self) -> NodeId {
         self.node
@@ -197,7 +319,7 @@ impl OrcaNode {
 /// objects and forks worker processes.
 pub struct OrcaRuntime {
     config: OrcaConfig,
-    network: Network,
+    net: ClusterNet,
     pool: ProcessorPool,
     rtses: Vec<NodeRts>,
     contexts: Vec<OrcaNode>,
@@ -222,66 +344,54 @@ impl OrcaRuntime {
     /// (start from [`crate::standard_registry`] and add application types).
     pub fn start(config: OrcaConfig, registry: ObjectRegistry) -> Self {
         assert!(config.processors > 0, "need at least one processor");
-        let network = Network::new(NetworkConfig::with_fault(config.processors, config.fault));
+        let net = match config.transport {
+            TransportConfig::Sim => ClusterNet::Sim(Network::new(NetworkConfig::with_fault(
+                config.processors,
+                config.fault,
+            ))),
+            TransportConfig::SocketLoopback => ClusterNet::Socket {
+                transports: SocketTransport::start_loopback_cluster(config.processors)
+                    .expect("bind loopback socket cluster"),
+            },
+        };
         let pool = ProcessorPool::new(config.processors);
         // With recovery enabled, one heartbeat failure detector per node is
         // started here and shared with that node's runtime system, so the
         // application (kill_node / membership_view) and the RTS see the
         // same membership.
         let detectors: Vec<Arc<FailureDetector>> = if config.recovery.enabled {
-            network
-                .node_ids()
-                .into_iter()
+            (0..config.processors)
                 .map(|node| {
-                    FailureDetector::start(network.handle(node), config.recovery.failure_config())
+                    FailureDetector::start(
+                        net.handle(NodeId::from(node)),
+                        config.recovery.failure_config(),
+                    )
                 })
                 .collect()
         } else {
             Vec::new()
         };
-        let mut rtses = Vec::with_capacity(config.processors);
-        for node in network.node_ids() {
-            let handle = network.handle(node);
-            let detector = detectors.get(node.index()).cloned();
-            let rts = match &config.strategy {
-                RtsStrategy::Broadcast(group) => {
-                    // The broadcast RTS needs no per-object re-homing:
-                    // every replica is everywhere and sequencer failure is
-                    // handled inside the group layer.
-                    NodeRts::Broadcast(BroadcastRts::start(handle, registry.clone(), group.clone()))
-                }
-                RtsStrategy::PrimaryCopy {
-                    policy,
-                    replication,
-                } => NodeRts::Primary(PrimaryCopyRts::start_recoverable(
-                    handle,
-                    registry.clone(),
-                    *policy,
-                    *replication,
-                    config.recovery,
-                    detector,
-                )),
-                RtsStrategy::Sharded { policy } => NodeRts::Sharded(ShardedRts::start_recoverable(
-                    handle,
-                    registry.clone(),
-                    *policy,
-                    config.recovery,
-                    detector,
-                )),
-                RtsStrategy::Adaptive { policy } => {
-                    NodeRts::Adaptive(AdaptiveRts::start_recoverable(
-                        handle,
-                        registry.clone(),
-                        *policy,
-                        config.recovery,
-                        detector,
-                    ))
-                }
-            };
-            rts.set_batch_policy(config.batch);
-            rtses.push(rts);
+        // On sockets the group layer's fail-stop oracle is not the perfect
+        // simulator crash flag but the failure detector's verdict: wire
+        // each node's detector into its transport's confirmed-dead set.
+        if let ClusterNet::Socket { transports } = &net {
+            for (index, detector) in detectors.iter().enumerate() {
+                let transport = Arc::clone(&transports[index]);
+                detector.on_failure(Box::new(move |dead, _view| transport.confirm_dead(dead)));
+            }
         }
-        let telemetry = Arc::clone(network.telemetry());
+        let mut rtses = Vec::with_capacity(config.processors);
+        for node in 0..config.processors {
+            let node = NodeId::from(node);
+            let detector = detectors.get(node.index()).cloned();
+            rtses.push(build_node_rts(
+                net.handle(node),
+                &config,
+                &registry,
+                detector,
+            ));
+        }
+        let telemetry = Arc::clone(net.telemetry());
         let sync_hist = telemetry.registry().histogram("rts.invoke.sync_ns");
         let contexts: Vec<OrcaNode> = rtses
             .iter()
@@ -319,7 +429,7 @@ impl OrcaRuntime {
         });
         OrcaRuntime {
             config,
-            network,
+            net,
             pool,
             rtses,
             contexts,
@@ -392,13 +502,13 @@ impl OrcaRuntime {
 
     /// Network-level statistics (messages, bytes, interrupts per node).
     pub fn network_stats(&self) -> NetStatsSnapshot {
-        self.network.stats()
+        self.net.stats()
     }
 
     /// The run's telemetry hub: metrics registry, flight recorder rings,
     /// and trace minting — shared by the network and every runtime system.
     pub fn telemetry(&self) -> &Arc<Telemetry> {
-        self.network.telemetry()
+        self.net.telemetry()
     }
 
     /// Runtime-system statistics of every node.
@@ -406,9 +516,22 @@ impl OrcaRuntime {
         self.contexts.iter().map(|ctx| ctx.rts_stats()).collect()
     }
 
-    /// Direct access to the simulated network (for crash injection in tests).
+    /// Direct access to the simulated network (for crash injection and the
+    /// model checker's schedule driver in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the runtime was started with
+    /// [`TransportConfig::SocketLoopback`]: fault injection and the
+    /// scheduler seam exist only on the simulator. Socket runtimes inject
+    /// failures through [`OrcaRuntime::kill_node`].
     pub fn network(&self) -> &Network {
-        &self.network
+        match &self.net {
+            ClusterNet::Sim(network) => network,
+            ClusterNet::Socket { .. } => {
+                panic!("OrcaRuntime::network() is simulator-only; this runtime uses sockets")
+            }
+        }
     }
 
     /// Kill `node`: its network traffic stops in both directions, exactly
@@ -417,7 +540,7 @@ impl OrcaRuntime {
     /// recovery enabled, survivors detect the silence, agree on a new
     /// membership view, and re-home the node's objects.
     pub fn kill_node(&self, node: NodeId) {
-        self.network.crash(node);
+        self.net.crash(node);
     }
 
     /// The membership view of the lowest live node's failure detector, or
@@ -426,7 +549,7 @@ impl OrcaRuntime {
     pub fn membership_view(&self) -> Option<ViewSnapshot> {
         self.detectors
             .iter()
-            .find(|d| !self.network.is_crashed(d.node()))
+            .find(|d| !self.net.is_crashed(d.node()))
             .map(|d| d.view())
     }
 
@@ -437,7 +560,7 @@ impl OrcaRuntime {
         self.rtses
             .iter()
             .enumerate()
-            .find(|(index, _)| !self.network.is_crashed(NodeId::from(*index)))
+            .find(|(index, _)| !self.net.is_crashed(NodeId::from(*index)))
             .map(|(_, rts)| rts)
             .unwrap_or(&self.rtses[0])
     }
@@ -497,7 +620,7 @@ impl OrcaRuntime {
     /// Returns the — possibly freshly switched — regime.
     pub fn propose_regime(&self, object: ObjectId) -> Option<RegimeKind> {
         for (index, rts) in self.rtses.iter().enumerate() {
-            if self.network.is_crashed(NodeId::from(index)) {
+            if self.net.is_crashed(NodeId::from(index)) {
                 continue;
             }
             if let NodeRts::Adaptive(rts) = rts {
@@ -727,6 +850,29 @@ mod tests {
             );
             runtime.shutdown();
         }
+    }
+
+    #[test]
+    fn socket_loopback_transport_runs_the_stack() {
+        let config = OrcaConfig::primary_copy(3, orca_rts::WritePolicy::Update)
+            .with_transport(crate::TransportConfig::SocketLoopback);
+        let runtime = OrcaRuntime::start(config, crate::standard_registry());
+        let counter = runtime.create::<IntObject>(&0).unwrap();
+        let mut workers = Vec::new();
+        for w in 0..3 {
+            workers.push(runtime.fork_on(w, "adder", move |ctx| {
+                for _ in 0..5 {
+                    ctx.invoke(counter, &IntOp::Add(1)).unwrap();
+                }
+            }));
+        }
+        for worker in workers {
+            worker.join();
+        }
+        assert_eq!(runtime.main().invoke(counter, &IntOp::Value).unwrap(), 15);
+        // The traffic really went over sockets: the merged per-node table
+        // has every node's own row populated.
+        assert!(runtime.network_stats().total_messages() > 0);
     }
 
     #[test]

@@ -881,11 +881,12 @@ impl ProtocolState {
     }
 
     fn check_sequencer_alive(&mut self) {
-        // The simulated kernel exposes crash state directly (a perfect
-        // failure detector); the retry path below raises suspicion after
-        // repeated fruitless retransmissions but also defers to this
-        // crash state before deposing anyone.
-        if self.handle.network().is_crashed(self.sequencer) {
+        // The transport's fail-stop oracle: the simulated kernel exposes
+        // crash state directly (a perfect failure detector), the socket
+        // backend reports failure-detector verdicts. The retry path below
+        // raises suspicion after repeated fruitless retransmissions but
+        // also defers to this confirmation before deposing anyone.
+        if self.handle.is_crashed(self.sequencer) {
             self.fail_sequencer();
         }
     }
@@ -993,10 +994,7 @@ impl ProtocolState {
         // members that each suspect the other's (live, merely resyncing)
         // sequencer elect each other in a cycle and livelock the group.
         // Under fail-stop semantics only a confirmed crash deposes.
-        if suspect_sequencer
-            && !self.is_sequencer()
-            && self.handle.network().is_crashed(self.sequencer)
-        {
+        if suspect_sequencer && !self.is_sequencer() && self.handle.is_crashed(self.sequencer) {
             self.fail_sequencer();
         }
     }
