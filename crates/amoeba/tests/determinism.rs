@@ -8,6 +8,8 @@
 //! tests pin that property down; any change that makes the substrate
 //! schedule-dependent (or silently reseeds the injector) breaks them.
 
+use std::time::Duration;
+
 use orca_amoeba::network::{Network, NetworkConfig};
 use orca_amoeba::node::{ports, NodeId};
 use orca_amoeba::stats::NetStatsSnapshot;
@@ -26,7 +28,8 @@ struct Observation {
 
 /// Drive a fixed, fully single-threaded message pattern over a faulty
 /// network: point-to-point datagrams, broadcasts and a deterministic
-/// crash/recovery schedule, then drain every inbox without blocking.
+/// crash/recovery schedule, then drain every inbox with bounded
+/// blocking receives (exactly as many as the statistics report).
 fn run_workload(seed: u64) -> Observation {
     let fault = FaultConfig {
         drop_prob: 0.2,
@@ -61,25 +64,31 @@ fn run_workload(seed: u64) -> Observation {
         }
     }
 
-    // Draining with `try_recv` right after the sends is valid ONLY on the
-    // simulated transport, where delivery happens synchronously inside the
-    // sender's call. Transport-agnostic code must not assume this — see
-    // `tests/transport_conformance.rs` for the contract that also holds
-    // over real sockets.
+    // Drain every inbox with *bounded blocking* receives. The statistics
+    // snapshot tells us exactly how many copies were delivered to each
+    // node, so we pull precisely that many messages with a timeout per
+    // message. On the simulated transport every message is already queued
+    // (delivery happens synchronously inside the sender's call), so this
+    // never actually blocks; unlike a bare `try_recv` drain it would also
+    // be valid over a real `SocketTransport`, where delivery is
+    // asynchronous — see `tests/transport_conformance.rs` for the
+    // contract that holds on both backends.
+    let stats = net.stats();
     let delivered = receivers
         .iter()
         .map(|rx| {
+            let expected = stats.node(rx.node()).interrupts;
             let mut messages = Vec::new();
-            while let Some(msg) = rx.try_recv() {
+            for _ in 0..expected {
+                let msg = rx
+                    .recv_timeout(Duration::from_secs(5))
+                    .expect("stats promised a delivery that never arrived");
                 messages.push((msg.src, msg.payload));
             }
             messages
         })
         .collect();
-    Observation {
-        stats: net.stats(),
-        delivered,
-    }
+    Observation { stats, delivered }
 }
 
 #[test]

@@ -1,0 +1,30 @@
+//! Runtime-system comparison driver (§3.2.2) plus the read-lease lane.
+//!
+//! Prints the invalidation/update/broadcast comparison table and the
+//! leased-read phase, and *asserts* the lease contract so CI catches a
+//! regression: the read-only phase under leases puts zero messages on the
+//! wire, and the modeled read throughput beats the plain primary-copy RPC
+//! read path by at least 5x. `--smoke` shrinks the sweep for CI.
+
+fn main() {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    let (nodes, reads_per_node) = if smoke { (3, 300) } else { (4, 3000) };
+    let report = orca_bench::rtscompare::leased_read_phase(nodes, reads_per_node);
+    println!("{}", orca_bench::rtscompare::format_leased(&report));
+    assert_eq!(
+        report.leased.messages, 0,
+        "leased read-only phase must put nothing on the wire: {report:?}"
+    );
+    assert!(
+        report.leased.lease_local_reads >= ((nodes - 1) * reads_per_node) as u64,
+        "every secondary read should be served under its lease: {report:?}"
+    );
+    assert!(
+        report.modeled_read_speedup >= 5.0,
+        "leased reads should beat the RPC read path by >= 5x: {report:?}"
+    );
+    if !smoke {
+        let rows = orca_bench::rtscompare::rts_comparison(nodes, 150, &[0.5, 0.9, 0.99]);
+        println!("{}", orca_bench::rtscompare::format_table(&rows));
+    }
+}

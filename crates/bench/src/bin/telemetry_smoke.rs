@@ -5,13 +5,16 @@
 //! through the full stack so every always-on instrument records something —
 //! network counters, per-node RTS counters, the invoke/queue/service
 //! latency histograms — then writes `Registry::snapshot().to_json()` to the
-//! given path (default `target/telemetry_smoke.json`).
+//! given path (default `target/telemetry_smoke.json`). A second, leased
+//! primary-copy runtime contributes the `rts.lease.*` counters (grants and
+//! zero-message local reads) merged into the same document.
 //! `scripts/check_telemetry.py` validates the emitted document.
 //!
 //! Usage: `telemetry_smoke [output.json]`
 
-use orca_core::objects::{JobQueue, JobQueueOp};
-use orca_core::{standard_registry, BatchPolicy, OrcaConfig, OrcaRuntime};
+use orca_core::objects::{IntObject, IntOp, JobQueue, JobQueueOp};
+use orca_core::{standard_registry, BatchPolicy, OrcaConfig, OrcaRuntime, RtsStrategy};
+use orca_rts::{ReplicationPolicy, WritePolicy};
 use orca_wire::Wire;
 
 fn main() {
@@ -42,7 +45,40 @@ fn main() {
         drained += 1;
     }
     assert_eq!(drained, 16, "smoke workload lost jobs");
-    let snapshot = runtime.telemetry().registry().snapshot();
+    let mut snapshot = runtime.telemetry().registry().snapshot();
+    // The broadcast runtime grants no read leases; a tiny leased
+    // primary-copy phase populates the `rts.lease.*` counters, merged into
+    // the same document for the validator.
+    let lease_cfg = OrcaConfig {
+        strategy: RtsStrategy::PrimaryCopy {
+            policy: WritePolicy::Update,
+            replication: ReplicationPolicy {
+                fetch_ratio: 0.0,
+                drop_ratio: -1.0,
+                window: 1,
+                enabled: true,
+                read_lease_ms: 60_000,
+            },
+        },
+        ..OrcaConfig::broadcast(2)
+    };
+    let leased = OrcaRuntime::start(lease_cfg, standard_registry());
+    let counter = leased.create::<IntObject>(&0).unwrap();
+    let reader = leased.context(1);
+    for _ in 0..8 {
+        reader.invoke(counter, &IntOp::Value).unwrap();
+    }
+    leased.main().invoke(counter, &IntOp::Add(1)).unwrap();
+    for _ in 0..8 {
+        reader.invoke(counter, &IntOp::Value).unwrap();
+    }
+    let lease_snap = leased.telemetry().registry().snapshot();
+    for (name, value) in &lease_snap.counters {
+        if name.starts_with("rts.lease.") {
+            *snapshot.counters.entry(name.clone()).or_insert(0) += value;
+        }
+    }
+    leased.shutdown();
     let events = runtime.telemetry().flight_events().len();
     if let Some(dir) = std::path::Path::new(&out).parent() {
         std::fs::create_dir_all(dir).unwrap();

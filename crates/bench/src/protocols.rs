@@ -47,6 +47,29 @@ fn measure(
     payload: usize,
     count: usize,
 ) -> ProtocolRow {
+    // This experiment measures the protocol's *inherent* wire cost, but on a
+    // loaded machine a scheduler stall can outlast the retransmit timeout and
+    // the resent bytes pollute the per-message averages. A polluted run is
+    // detectable (the members count their retransmissions), so re-measure
+    // until a run is retry-free; a clean run is the overwhelmingly common
+    // case, the bound is just a backstop.
+    let mut last = measure_once(members, policy, name, payload, count);
+    for _ in 0..4 {
+        if last.1 == 0 {
+            break;
+        }
+        last = measure_once(members, policy, name, payload, count);
+    }
+    last.0
+}
+
+fn measure_once(
+    members: usize,
+    policy: MethodPolicy,
+    name: &'static str,
+    payload: usize,
+    count: usize,
+) -> (ProtocolRow, u64) {
     let net = Network::reliable(members);
     let config = GroupConfig {
         method: policy,
@@ -75,15 +98,17 @@ fn measure(
     let delta = net.stats().since(&before);
     let wire_bytes_per_msg = delta.total_wire_bytes() as f64 / count as f64;
     let interrupts_per_member = delta.total_interrupts() as f64 / (count as f64 * members as f64);
+    let retries: u64 = group.iter().map(|m| m.stats().send_retries).sum();
     for member in group {
         member.shutdown();
     }
-    ProtocolRow {
+    let row = ProtocolRow {
         policy: name,
         payload,
         wire_bytes_per_msg,
         interrupts_per_member,
-    }
+    };
+    (row, retries)
 }
 
 /// Format the comparison as a text table.

@@ -5,6 +5,15 @@
 //! sweeps the read/write ratio of a synthetic shared-object workload and
 //! reports, for each runtime system, the communication it generated and the
 //! estimated time per operation on the paper's hardware.
+//!
+//! [`leased_read_phase`] additionally compares the read-lease path against
+//! the plain primary-copy read path on a read-only phase: leased
+//! secondaries serve linearizable reads from local copies with zero
+//! messages (telemetry-verified), so read throughput is limited only by
+//! local apply cost, while the unreplicated baseline pays one modeled RPC
+//! round trip per non-primary read.
+
+use std::time::Instant;
 
 use orca_amoeba::NodeId;
 use orca_core::objects::{IntObject, IntOp};
@@ -111,6 +120,162 @@ fn run_one(nodes: usize, ops_per_node: usize, read_fraction: f64, strategy: RtsS
     }
 }
 
+/// One side of the leased-read comparison: a read-only phase over one
+/// shared integer, every node reading concurrently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadPhase {
+    /// Total reads performed during the phase.
+    pub reads: u64,
+    /// Wire messages generated during the phase (telemetry-verified).
+    pub messages: u64,
+    /// `rts.lease.local_reads` counter delta over the phase.
+    pub lease_local_reads: u64,
+    /// Estimated microseconds per read: measured local apply cost for the
+    /// leased phase (it generates no communication to model), the cost
+    /// model's RPC path for the baseline.
+    pub est_us_per_read: f64,
+}
+
+/// Leased reads vs the plain primary-copy read path, same workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeasedReadReport {
+    /// Nodes in both runs.
+    pub nodes: usize,
+    /// The phase with read leases: secondaries serve linearizable reads
+    /// from their leased local copies with **zero messages**, so throughput
+    /// is limited only by local apply cost (measured, not modeled).
+    pub leased: ReadPhase,
+    /// The phase without replication: every non-primary read is a `ReadAt`
+    /// RPC to the primary (modeled on the paper's hardware).
+    pub baseline: ReadPhase,
+    /// `baseline.est_us_per_read / leased.est_us_per_read`.
+    pub modeled_read_speedup: f64,
+}
+
+fn read_phase(nodes: usize, reads_per_node: usize, leased: bool) -> ReadPhase {
+    let replication = if leased {
+        ReplicationPolicy {
+            // Fetch a copy on the first read; leases far outlast the phase
+            // so no renewal traffic perturbs the zero-message claim.
+            fetch_ratio: 0.0,
+            drop_ratio: -1.0,
+            window: 1,
+            enabled: true,
+            read_lease_ms: 60_000,
+        }
+    } else {
+        ReplicationPolicy::never_replicate()
+    };
+    let config = OrcaConfig {
+        strategy: RtsStrategy::PrimaryCopy {
+            policy: WritePolicy::Update,
+            replication,
+        },
+        ..OrcaConfig::broadcast(nodes)
+    };
+    let runtime = OrcaRuntime::start(config, orca_core::standard_registry());
+    let counter = runtime.create::<IntObject>(&1).expect("create counter");
+    if leased {
+        // Prime: every secondary fetches its leased copy before the
+        // measured phase, so the phase is pure steady-state reads.
+        for node in 1..nodes {
+            runtime
+                .context(node)
+                .invoke(counter, &IntOp::Value)
+                .expect("priming read");
+        }
+    }
+    let local_reads = runtime
+        .telemetry()
+        .registry()
+        .counter("rts.lease.local_reads");
+    let local_before = local_reads.get();
+    let before = runtime.network_stats();
+    let started = Instant::now();
+    let workers: Vec<_> = (0..nodes)
+        .map(|node| {
+            let handle = counter;
+            runtime.fork_on(node, "reader", move |ctx| {
+                for _ in 0..reads_per_node {
+                    ctx.invoke(handle, &IntOp::Value).expect("read");
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join();
+    }
+    let wall = started.elapsed();
+    let delta = runtime.network_stats().since(&before);
+    let reads = (nodes * reads_per_node) as u64;
+    let est_us_per_read = if leased {
+        // No communication to model: throughput is bounded by the local
+        // apply cost alone, so measure it.
+        wall.as_secs_f64() * 1e6 / reads as f64
+    } else {
+        let model = CostModel::with_unit_seconds(0.0);
+        let rts_stats = runtime.rts_stats();
+        let total: f64 = (0..nodes)
+            .map(|n| {
+                let stats = rts_stats[n];
+                model.node_time(&NodeLoad {
+                    work_units: 0,
+                    updates_handled: stats.updates_applied,
+                    ops_shipped: 0,
+                    rpcs: stats.remote_reads + stats.copies_fetched,
+                    interrupts: delta.node(NodeId::from(n)).interrupts,
+                    wire_bytes: delta.node(NodeId::from(n)).bytes_sent,
+                })
+            })
+            .sum();
+        total * 1e6 / reads as f64
+    };
+    let phase = ReadPhase {
+        reads,
+        messages: delta.total_messages(),
+        lease_local_reads: local_reads.get() - local_before,
+        est_us_per_read,
+    };
+    runtime.shutdown();
+    phase
+}
+
+/// Run the read-only phase twice — leases on, replication off — and report
+/// messages per read and the modeled read-throughput gap.
+pub fn leased_read_phase(nodes: usize, reads_per_node: usize) -> LeasedReadReport {
+    let leased = read_phase(nodes, reads_per_node, true);
+    let baseline = read_phase(nodes, reads_per_node, false);
+    let modeled_read_speedup = baseline.est_us_per_read / leased.est_us_per_read.max(1e-9);
+    LeasedReadReport {
+        nodes,
+        leased,
+        baseline,
+        modeled_read_speedup,
+    }
+}
+
+/// Format the leased-read comparison as a text table.
+pub fn format_leased(report: &LeasedReadReport) -> String {
+    let mut out = String::from("# read leases: zero-message linearizable reads\n");
+    out.push_str("phase      reads   messages  msgs/read  lease_local  est_us/read\n");
+    for (name, phase) in [("leased", &report.leased), ("baseline", &report.baseline)] {
+        out.push_str(&format!(
+            "{:<9} {:>6}  {:>9}  {:>9.3}  {:>11}  {:>11.2}\n",
+            name,
+            phase.reads,
+            phase.messages,
+            phase.messages as f64 / phase.reads as f64,
+            phase.lease_local_reads,
+            phase.est_us_per_read,
+        ));
+    }
+    out.push_str(&format!(
+        "modeled read speedup (leased vs primary-copy RPC path): {:.1}x\n",
+        report.modeled_read_speedup
+    ));
+    out
+}
+
 /// Format the comparison as a text table.
 pub fn format_table(rows: &[RtsRow]) -> String {
     let mut out = String::from("# §3.2.2: invalidation vs two-phase update vs broadcast RTS\n");
@@ -152,6 +317,19 @@ mod tests {
         // copies have been fetched.
         assert!(update.messages_per_op > broadcast.messages_per_op);
         assert!(invalidate.messages_per_op > 0.0);
+    }
+
+    #[test]
+    fn leased_read_phase_is_zero_message_and_faster() {
+        let report = leased_read_phase(3, 50);
+        assert_eq!(
+            report.leased.messages, 0,
+            "leased read-only phase must put nothing on the wire: {report:?}"
+        );
+        // Both secondaries served every read under their lease.
+        assert!(report.leased.lease_local_reads >= 100, "{report:?}");
+        assert!(report.baseline.messages > 0, "{report:?}");
+        assert!(report.modeled_read_speedup >= 5.0, "{report:?}");
     }
 
     #[test]

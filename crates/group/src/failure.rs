@@ -184,6 +184,15 @@ impl FailureDetector {
         }
     }
 
+    /// Current membership epoch alone, without snapshotting the alive set.
+    ///
+    /// Lease validation checks the epoch on every leased local read, so this
+    /// avoids cloning the membership vector on a path that must cost no more
+    /// than the local apply itself.
+    pub fn epoch(&self) -> u64 {
+        self.inner.state.lock().epoch
+    }
+
     /// True if `node` is currently believed alive.
     pub fn is_alive(&self, node: NodeId) -> bool {
         self.inner.membership.is_alive(node)

@@ -25,13 +25,6 @@ pub struct WorkerOutcome {
     /// may or may not have been applied, exactly the ambiguity the
     /// phantom-extension SC check models.
     pub maybe: i64,
-    /// OR of the deltas of writes that may have been applied one *extra*
-    /// time. The primary-copy runtime is documented at-least-once across a
-    /// primary crash (the dead primary may have applied and replicated an
-    /// operation whose reply the crash ate; the client retry then applies
-    /// it again at the promoted copy), so crash scenarios record writes
-    /// whose invocation window spanned the crash here.
-    pub maybe_twice: i64,
 }
 
 impl WorkerOutcome {
@@ -46,22 +39,6 @@ impl WorkerOutcome {
         self.maybe |= delta;
     }
 
-    /// Record an acked write of `delta` whose invocation spanned a node
-    /// crash: guaranteed applied, possibly twice (retried across a
-    /// promotion).
-    pub fn acked_spanning_write(&mut self, delta: i64, reply: i64) {
-        self.ops.push(HistOp::new(delta, reply));
-        self.acked |= delta;
-        self.maybe_twice |= delta;
-    }
-
-    /// Record an errored write of `delta` whose invocation spanned a node
-    /// crash: applied zero, one or two times.
-    pub fn maybe_spanning_write(&mut self, delta: i64) {
-        self.maybe |= delta;
-        self.maybe_twice |= delta;
-    }
-
     /// Record a read that returned `value`.
     pub fn read(&mut self, value: i64) {
         self.ops.push(HistOp::new(0, value));
@@ -74,9 +51,10 @@ impl WorkerOutcome {
 ///    final value.
 /// 2. **No acked write lost, none invented** — the final value contains
 ///    every acked delta and nothing outside acked ∪ maybe
-///    ([`counter_value_explained`]); a `maybe_twice` delta may additionally
-///    appear one extra time (the at-least-once window around a primary
-///    crash).
+///    ([`counter_value_explained`]). Every write applies **at most once**,
+///    crashes included: retries carry a per-origin `(origin, op_seq)` stamp
+///    and the dedup window travels with every copy and promotion, so the
+///    old at-least-once allowance around a primary crash is gone.
 /// 3. **Sequential consistency** — some interleaving of the per-worker
 ///    histories (with maybe-applied writes insertable anywhere at most
 ///    once) explains every recorded reply.
@@ -89,36 +67,17 @@ pub fn check_counter(outcomes: &[WorkerOutcome], finals: &[i64]) -> Result<(), S
     }
     let acked = outcomes.iter().fold(0i64, |m, o| m | o.acked);
     let maybe = outcomes.iter().fold(0i64, |m, o| m | o.maybe);
-    let maybe_twice = outcomes.iter().fold(0i64, |m, o| m | o.maybe_twice);
-    let explained = if maybe_twice == 0 {
-        counter_value_explained(first, acked, maybe)
-    } else {
-        // A second application of `1 << k` carries into bit k+1, so the
-        // purely bitwise check no longer applies. Deltas are distinct
-        // powers of two, so `final - acked` is explained iff it is the sum
-        // of a subset of the optional contributions: each maybe delta once,
-        // each maybe_twice delta one extra time, and — for deltas in both
-        // sets (errored *and* crash-spanning) — possibly doubled.
-        let extra = first.wrapping_sub(acked);
-        let allowed = maybe | maybe_twice | ((maybe & maybe_twice) << 1);
-        extra >= 0 && extra & !allowed == 0
-    };
-    if !explained {
+    if !counter_value_explained(first, acked, maybe) {
         return Err(format!(
             "final value {first:#x} not explained by acked {acked:#x} + maybe {maybe:#x} \
-             + extra {maybe_twice:#x} (an acked write was lost, or a write applied twice)"
+             (an acked write was lost, or a write applied twice)"
         ));
     }
     let histories: Vec<Vec<HistOp>> = outcomes.iter().map(|o| o.ops.clone()).collect();
-    let mut phantoms: Vec<i64> = (0..63)
+    let phantoms: Vec<i64> = (0..63)
         .map(|bit| 1i64 << bit)
         .filter(|bit| maybe & bit != 0)
         .collect();
-    phantoms.extend(
-        (0..63)
-            .map(|bit| 1i64 << bit)
-            .filter(|bit| maybe_twice & bit != 0),
-    );
     if !sequentially_consistent_with_phantoms(&histories, &phantoms) {
         return Err(format!(
             "histories are not sequentially consistent (phantom deltas {phantoms:?}): \
@@ -186,25 +145,19 @@ mod tests {
     }
 
     #[test]
-    fn crash_spanning_write_may_apply_twice() {
-        // The interleaving the checker found in the promotion scenario:
-        // all four writes acked (0x55), but 0x40 spanned the crash and was
-        // retried across the promotion — final 0x95 = 0x55 + one extra
-        // 0x40. Legal only because the write is marked crash-spanning.
+    fn crash_spanning_write_applying_twice_is_now_a_violation() {
+        // Before per-origin dedup stamps, a write retried across a primary
+        // promotion could legally apply twice (the old `maybe_twice`
+        // allowance). The dedup window travels with every copy now, so the
+        // same outcome — final 0x95 = all four acked (0x55) plus one extra
+        // 0x40 — is a hard violation with no escape hatch.
         let mut a = WorkerOutcome::default();
         a.acked_write(1, 1);
         a.acked_write(4, 5);
         let mut b = WorkerOutcome::default();
         b.acked_write(0x10, 0x15);
-        b.acked_spanning_write(0x40, 0x95);
-        assert!(check_counter(&[a.clone(), b.clone()], &[0x95]).is_ok());
-        // Applied once is equally fine...
-        b.ops.last_mut().unwrap().reply = 0x55;
-        assert!(check_counter(&[a.clone(), b.clone()], &[0x55]).is_ok());
-        // ...but losing the write entirely is still a violation, and so is
-        // a third application.
-        assert!(check_counter(&[a.clone(), b.clone()], &[0x15]).is_err());
-        assert!(check_counter(&[a, b], &[0xd5]).is_err());
+        b.acked_write(0x40, 0x95);
+        assert!(check_counter(&[a, b], &[0x95]).is_err());
     }
 
     #[test]

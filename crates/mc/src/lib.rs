@@ -39,5 +39,5 @@ pub use engine::{
 pub use invariants::{check_counter, check_jobs, WorkerOutcome};
 pub use scenarios::{
     all_scenarios, AdaptiveRegimeSwitch, BroadcastEraReplay, BroadcastOrdering, PrimaryFetchRace,
-    PrimaryPromotion, ShardedHandoff,
+    PrimaryLeaseRevoke, PrimaryPromotion, ShardedHandoff,
 };

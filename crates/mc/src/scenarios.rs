@@ -53,41 +53,13 @@ fn counter_worker(
     handle: ObjectHandle<IntObject>,
     steps: Vec<Step>,
 ) -> WorkerOutcome {
-    counter_worker_watching(ctx, handle, steps, None)
-}
-
-/// Like [`counter_worker`], but when `crash_watch` names a crashable node,
-/// a write whose invocation window spans that node's crash is recorded as
-/// possibly-applied-twice: the primary-copy runtime is *at-least-once*
-/// across a primary crash (the old primary may have applied and replicated
-/// the write before dying; the client retry applies it again at the
-/// promoted copy), and the invariants must not call that legal outcome a
-/// violation.
-fn counter_worker_watching(
-    ctx: OrcaNode,
-    handle: ObjectHandle<IntObject>,
-    steps: Vec<Step>,
-    crash_watch: Option<(orca_amoeba::Network, NodeId)>,
-) -> WorkerOutcome {
-    let crashed = |watch: &Option<(orca_amoeba::Network, NodeId)>| {
-        watch
-            .as_ref()
-            .is_some_and(|(net, node)| net.is_crashed(*node))
-    };
     let mut out = WorkerOutcome::default();
     for step in steps {
         match step {
-            Step::Write(delta) => {
-                let before = crashed(&crash_watch);
-                let result = ctx.invoke(handle, &IntOp::Add(delta));
-                let spanned = !before && crashed(&crash_watch);
-                match (result, spanned) {
-                    (Ok(sum), false) => out.acked_write(delta, sum),
-                    (Ok(sum), true) => out.acked_spanning_write(delta, sum),
-                    (Err(_), false) => out.maybe_write(delta),
-                    (Err(_), true) => out.maybe_spanning_write(delta),
-                }
-            }
+            Step::Write(delta) => match ctx.invoke(handle, &IntOp::Add(delta)) {
+                Ok(sum) => out.acked_write(delta, sum),
+                Err(_) => out.maybe_write(delta),
+            },
             Step::Read => {
                 if let Ok(value) = ctx.invoke(handle, &IntOp::Value) {
                     out.read(value);
@@ -182,6 +154,9 @@ fn eager_replication() -> ReplicationPolicy {
         drop_ratio: -1.0,
         window: 1,
         enabled: true,
+        // The model checker virtualizes time; real-clock leases would
+        // either never expire or stall explored schedules on sleeps.
+        read_lease_ms: 0,
     }
 }
 
@@ -436,6 +411,13 @@ impl Scenario for PrimaryFetchRace {
 /// survive, and survivors' copies must stay on the new primary's version
 /// line (the `REHOME_KEEPS_STALE_COPIES` mutation leaves an orphaned stale
 /// secondary behind, which a later local read exposes).
+///
+/// Retried writes are **exactly-once** even across the promotion: every
+/// sync write carries a per-origin `(origin, op_seq)` stamp, the dedup
+/// window travels with each secondary copy, and the promoted replica
+/// answers a replayed stamp from the window instead of re-applying it. The
+/// invariants therefore make no at-least-once allowance — a write applied
+/// twice is a violation, crash or no crash.
 pub struct PrimaryPromotion {
     /// Exploration budgets.
     pub budget: McConfig,
@@ -501,13 +483,8 @@ impl Scenario for PrimaryPromotion {
                     Step::Write(1 << (base + 2)),
                     Step::Read,
                 ];
-                // Writes whose invocation spans the primary's crash are
-                // at-least-once (the retry after promotion may re-apply a
-                // write the dead primary had already replicated), so they
-                // are recorded as possibly-applied-twice, not exactly-once.
-                let watch = Some((rt.network().clone(), NodeId(0)));
                 rt.fork_on(node, &format!("mc-w{node}"), move |ctx| {
-                    counter_worker_watching(ctx, handle, steps, watch)
+                    counter_worker(ctx, handle, steps)
                 })
             })
             .collect();
@@ -521,7 +498,124 @@ impl Scenario for PrimaryPromotion {
 }
 
 // ---------------------------------------------------------------------------
-// 5. Sharded: partition hand-off under concurrent operations.
+// 5. Primary copy: read-lease grant/revoke racing a write.
+// ---------------------------------------------------------------------------
+
+/// Three nodes, primary-copy with *leased* eager replication: node 0 holds
+/// the primary, nodes 1 and 2 prime leased secondary copies before the
+/// scheduler installs. Node 1 then serves zero-message local reads under
+/// its lease while node 0 writes — every write must push an update to each
+/// holder, re-lock and unlock the copies, and re-mint the holders' grants
+/// before it completes, so the search enumerates each leased read against
+/// every phase of the revocation hand-shake.
+///
+/// The search may crash node 2 (a pure lease *holder* — no worker) at any
+/// point. The crash exercises the failure-detector tie-in end to end: the
+/// primary's push to the dead holder fails and its grant is settled by the
+/// fail-stop declaration (a dead holder serves no reads), while the epoch
+/// bump invalidates node 1's held lease, forcing its next read through the
+/// renewal path — and when a concurrent write re-minted node 1's grant
+/// first, the stale renewal is answered with an explicit `Revoke` and the
+/// copy is dropped. A leased read that ever returns a value older than the
+/// reader's own acked write fails sequential consistency.
+///
+/// Leases are deliberately much longer than the schedule (the model
+/// checker virtualizes time): no lease expires mid-schedule, so no
+/// wall-clock renewal traffic perturbs replay; every lease transition in
+/// the scenario is driven by messages or by the epoch fence.
+pub struct PrimaryLeaseRevoke {
+    /// Exploration budgets.
+    pub budget: McConfig,
+}
+
+impl Default for PrimaryLeaseRevoke {
+    fn default() -> Self {
+        PrimaryLeaseRevoke {
+            budget: McConfig {
+                max_schedules: 48,
+                max_depth: 72,
+                quiesce_idle: Duration::from_millis(10),
+                crash_candidates: vec![NodeId(2)],
+                max_crashes: 1,
+                // Budget-capped: the interesting branches crash the holder
+                // early, while its lease is live and pushes are in flight.
+                shallow_first: true,
+                ..McConfig::default()
+            },
+        }
+    }
+}
+
+impl Scenario for PrimaryLeaseRevoke {
+    fn name(&self) -> &'static str {
+        "primary_lease_revoke"
+    }
+
+    fn config(&self) -> McConfig {
+        self.budget.clone()
+    }
+
+    fn run(&self, exec: &mut Execution<'_>) -> Result<(), String> {
+        let mut cfg = OrcaConfig::primary_copy(3, WritePolicy::Update);
+        cfg.strategy = RtsStrategy::PrimaryCopy {
+            policy: WritePolicy::Update,
+            replication: ReplicationPolicy {
+                // Leases far past the schedule horizon: transitions come
+                // from writes, revokes and the epoch fence, never from a
+                // wall-clock expiry mid-schedule.
+                read_lease_ms: 60_000,
+                ..eager_replication()
+            },
+        };
+        // Recovery is enabled for the failure detector: lease validity is
+        // fenced by the membership epoch, and settling a dead holder's
+        // grant relies on the fail-stop declaration.
+        cfg.recovery = RecoveryConfig {
+            heartbeat_every: Duration::from_millis(25),
+            suspect_after: 12,
+            attempt_timeout: Duration::from_millis(250),
+            rehome_wait: Duration::from_secs(10),
+            ..RecoveryConfig::enabled()
+        };
+        let rt = OrcaRuntime::start(cfg, standard_registry());
+        let handle = rt.create::<IntObject>(&0).map_err(|e| e.to_string())?;
+        // Prime: both secondaries fetch a leased copy before scheduling
+        // starts, so every write in the schedule races outstanding grants.
+        for node in [1, 2] {
+            rt.context(node)
+                .invoke(handle, &IntOp::Value)
+                .map_err(|e| format!("priming read failed: {e}"))?;
+        }
+        rt.network().set_scheduler(Some(exec.scheduler()));
+        let w0 = rt.fork_on(0, "mc-w0", move |ctx| {
+            counter_worker(
+                ctx,
+                handle,
+                vec![Step::Write(1), Step::Read, Step::Write(1 << 2), Step::Read],
+            )
+        });
+        // Node 1 reads under its lease on both sides of a forwarded write;
+        // the final read must observe that write even if the lease was
+        // revoked and the copy dropped in between.
+        let w1 = rt.fork_on(1, "mc-w1", move |ctx| {
+            counter_worker(
+                ctx,
+                handle,
+                vec![Step::Read, Step::Write(1 << 4), Step::Read],
+            )
+        });
+        let workers = vec![w0, w1];
+        let driven = exec.drive(rt.network(), || all_finished(&workers));
+        if let Err(violation) = driven {
+            rt.network().set_scheduler(None);
+            return Err(violation);
+        }
+        finish_counter(exec, &rt, workers, handle)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 6. Sharded: partition hand-off under concurrent operations.
 // ---------------------------------------------------------------------------
 
 /// Two nodes, a job queue split over two partitions (one per node). While
@@ -692,7 +786,7 @@ impl Scenario for ShardedHandoff {
 }
 
 // ---------------------------------------------------------------------------
-// 6. Adaptive: regime switch under concurrent operations.
+// 7. Adaptive: regime switch under concurrent operations.
 // ---------------------------------------------------------------------------
 
 /// Two nodes under the adaptive runtime with hair-trigger thresholds: the
@@ -755,6 +849,10 @@ impl Scenario for AdaptiveRegimeSwitch {
                 // progress-wait cap if it is the only activity left.
                 stale_retry_delay: Duration::from_millis(300),
                 blocked_retry_delay: Duration::from_millis(300),
+                // The model checker virtualizes time; real-clock read
+                // leases would either never expire or stall explored
+                // schedules on sleeps.
+                read_lease_ms: 0,
                 ..AdaptivePolicy::default()
             },
         };
@@ -793,13 +891,14 @@ impl Scenario for AdaptiveRegimeSwitch {
     }
 }
 
-/// All six scenarios, one per protocol family plus the two crash lanes.
+/// All seven scenarios, one per protocol family plus the three crash lanes.
 pub fn all_scenarios() -> Vec<Box<dyn Scenario>> {
     vec![
         Box::new(BroadcastOrdering::default()),
         Box::new(BroadcastEraReplay::default()),
         Box::new(PrimaryFetchRace::default()),
         Box::new(PrimaryPromotion::default()),
+        Box::new(PrimaryLeaseRevoke::default()),
         Box::new(ShardedHandoff::default()),
         Box::new(AdaptiveRegimeSwitch::default()),
     ]

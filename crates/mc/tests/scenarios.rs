@@ -3,7 +3,7 @@
 //!
 //! The four crash-free scenarios (one per runtime-system family) must
 //! explore their full interleaving tree — `complete` in the report — within
-//! the state budget; the two crash scenarios may legitimately hit their
+//! the state budget; the three crash scenarios may legitimately hit their
 //! schedule budgets (crash-at-every-point multiplies the tree) and only
 //! assert no violation.
 //!
@@ -77,4 +77,9 @@ fn broadcast_era_replay_survives_sequencer_crash_everywhere() {
 #[test]
 fn primary_promotion_survives_home_crash_everywhere() {
     run(&orca_mc::PrimaryPromotion::default(), false);
+}
+
+#[test]
+fn primary_lease_revoke_keeps_leased_reads_linearizable() {
+    run(&orca_mc::PrimaryLeaseRevoke::default(), false);
 }

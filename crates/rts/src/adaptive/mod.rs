@@ -89,10 +89,11 @@ use orca_object::shard::spread_owner;
 use orca_object::ShardRoute;
 use orca_object::{AnyReplica, AppliedOutcome, ObjectError, ObjectId, ObjectRegistry, OpKind};
 use orca_telemetry::{trace, FlightKind};
-use orca_wire::{BatchOp, BatchOutcome, Wire};
+use orca_wire::{BatchOp, BatchOutcome, DedupWindow, LeaseGrant, OpStamp, Wire};
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::pipeline::{pending_pair, resolve_round, BatchPolicy, Pipeline, QueuedOp, RoundSlot};
+use crate::primary::LeaseCounters;
 use crate::recovery::{is_dead, recovery_rpc, RecoveryConfig};
 use crate::stats::{AccessStats, RtsStats, RtsStatsSnapshot};
 use crate::{PendingInvocation, RtsError, RtsKind, RuntimeSystem, ViewSnapshot};
@@ -128,6 +129,29 @@ struct Slot {
     /// Owner-side access counters (diagnostics; decisions use the reported
     /// per-node aggregate at the home).
     access: AccessStats,
+    /// Recently applied stamped writes and their replies (exactly-once
+    /// across client retries; travels with the state through regime
+    /// switches and adoption). Locked strictly after — and only while
+    /// holding — the replica mutex.
+    dedup: Mutex<DedupWindow>,
+    /// Read-lease bookkeeping of a replicated-regime home copy.
+    leases: Mutex<SlotLeases>,
+}
+
+/// Home-side read-lease state of one authoritative slot.
+#[derive(Default)]
+struct SlotLeases {
+    /// Conservative expiry (on the grantor's clock, twice the holder-side
+    /// validity) of the newest lease granted to each mirror node. A write
+    /// whose push cannot reach a live mirror waits out that entry before
+    /// completing.
+    grants: HashMap<u16, Instant>,
+    /// Writes may not execute before this instant. Set when this slot was
+    /// installed by home adoption: the dead home's outstanding grants are
+    /// unknown, so the first write conservatively waits out a full grant
+    /// span (reads need no fence — every valid lease covers a mirror that
+    /// already contains every acknowledged write).
+    fence: Option<Instant>,
 }
 
 /// One node's read mirror of a replicated-regime object.
@@ -144,6 +168,24 @@ struct MirrorState {
     seen_seq: u64,
     /// True between the update and unlock phases of a push; reads wait.
     locked: bool,
+    /// Dedup window mirroring the home's, kept as fresh as `copy` by the
+    /// stamped piggyback on update pushes — what lets an adopted home
+    /// answer retries of writes the dead home already applied.
+    dedup: DedupWindow,
+    /// Read lease over `copy`, when the home grants leases. Reads serve
+    /// locally only while it is valid; a lapsed lease forces a re-sync
+    /// from the home (which doubles as the renewal).
+    lease: Option<MirrorLease>,
+}
+
+/// Holder-side record of the lease covering the local mirror.
+struct MirrorLease {
+    /// Membership epoch of this node's failure detector at receipt; a
+    /// view change invalidates the lease regardless of the clock, exactly
+    /// like the primary-copy RTS's holder-side epoch check.
+    detector_epoch: u64,
+    /// Expiry on the holder's clock (`valid_ms` from receipt).
+    expires: Instant,
 }
 
 struct Mirror {
@@ -201,6 +243,12 @@ struct Inner {
     /// Ids for batched asynchronous operations (wire-level only; replies
     /// are matched by batch order).
     next_async: AtomicU64,
+    /// Per-node monotonic sequence stamping synchronously-invoked writes
+    /// with an exactly-once identity (see [`OpStamp`]).
+    next_stamp: AtomicU64,
+    /// Cached `rts.lease.*` telemetry counters (shared names with the
+    /// primary-copy RTS).
+    lease_counters: LeaseCounters,
     /// Batching knobs of the asynchronous path.
     batch_policy: Arc<Mutex<BatchPolicy>>,
 }
@@ -208,6 +256,59 @@ struct Inner {
 impl Inner {
     fn is_lost(&self, object: ObjectId) -> bool {
         self.lost.read().contains(&object)
+    }
+
+    fn leases_enabled(&self) -> bool {
+        self.policy.read_lease_ms > 0
+    }
+
+    /// Conservative grantor-side span of one lease: double the holder-side
+    /// validity, covering delivery delay and clock drift to the same
+    /// degree the recovery timeline already assumes.
+    fn grant_span(&self) -> Duration {
+        Duration::from_millis(self.policy.read_lease_ms.saturating_mul(2))
+    }
+
+    /// This node's failure-detector membership epoch (0 without recovery;
+    /// both sides then agree and leases degrade to pure clock bounds).
+    fn detector_epoch(&self) -> u64 {
+        self.detector.as_ref().map(|d| d.epoch()).unwrap_or(0)
+    }
+
+    /// A lease grant over `object` under regime epoch `epoch`. The grant
+    /// value alone — recording the holder's conservative expiry in the
+    /// slot's grant table and bumping the grant/renewal counter happen at
+    /// the call sites, which know which holders actually received it.
+    fn lease_grant(&self, object: ObjectId, epoch: u64, seq: u64) -> LeaseGrant {
+        LeaseGrant {
+            object: object.0,
+            epoch,
+            seq,
+            valid_ms: self.policy.read_lease_ms,
+        }
+    }
+}
+
+/// Install a received grant as the mirror-side lease (validity counted
+/// from receipt, on the holder's own clock and detector epoch).
+fn install_mirror_lease(inner: &Inner, state: &mut MirrorState, grant: &LeaseGrant) {
+    // A grant for a different regime epoch covers a copy this mirror does
+    // not hold; never let it bless the current one.
+    if grant.epoch == state.epoch {
+        state.lease = Some(MirrorLease {
+            detector_epoch: inner.detector_epoch(),
+            expires: Instant::now() + Duration::from_millis(grant.valid_ms),
+        });
+    }
+}
+
+/// True while the mirror-side lease permits zero-message local reads.
+fn mirror_lease_valid(inner: &Inner, state: &MirrorState) -> bool {
+    match &state.lease {
+        Some(lease) => {
+            Instant::now() < lease.expires && inner.detector_epoch() == lease.detector_epoch
+        }
+        None => false,
     }
 }
 
@@ -276,6 +377,8 @@ impl AdaptiveRts {
             lost: RwLock::new(HashSet::new()),
             adoption: Mutex::new(()),
             next_async: AtomicU64::new(1),
+            next_stamp: AtomicU64::new(1),
+            lease_counters: LeaseCounters::from_handle(&handle),
             batch_policy: Arc::new(Mutex::new(BatchPolicy::default())),
         });
         let service_inner = Arc::clone(&inner);
@@ -627,10 +730,14 @@ impl AdaptiveRts {
                             }
                             slots[i] = match route {
                                 ShardRoute::Any => {
+                                    // Unstamped: the batched asynchronous
+                                    // path never re-presents an op across a
+                                    // node death.
                                     match self.any_partition_op(
                                         &table,
                                         logic.as_ref(),
                                         &op.op,
+                                        None,
                                         deadline,
                                     ) {
                                         Ok(PartOutcome::Done(reply)) => RoundSlot::Ready(Ok(reply)),
@@ -748,6 +855,7 @@ impl AdaptiveRts {
         table: &RegimeTable,
         partition: u32,
         op: &[u8],
+        stamp: Option<OpStamp>,
         deadline: Instant,
     ) -> Result<PartOutcome, RtsError> {
         let owner = NodeId(table.owners[partition as usize]);
@@ -759,6 +867,7 @@ impl AdaptiveRts {
                 partition,
                 table.epoch,
                 op,
+                stamp,
                 self.inner.node,
             )
         } else {
@@ -770,6 +879,7 @@ impl AdaptiveRts {
                     partition,
                     op: op.to_vec(),
                     trace: trace::current(),
+                    stamp,
                 },
                 deadline,
             )?
@@ -804,6 +914,20 @@ impl AdaptiveRts {
                 }
                 continue;
             }
+            if self.inner.leases_enabled() && !mirror_lease_valid(&self.inner, &state) {
+                // The lease lapsed (idle home) or the membership view moved
+                // under it. Re-sync from the home — the fresh snapshot
+                // carries a fresh grant, so the refetch doubles as the
+                // renewal.
+                if Instant::now() >= deadline {
+                    return Ok(PartOutcome::Stale);
+                }
+                drop(state);
+                if !self.fetch_mirror(object, table, &mirror, deadline)? {
+                    return Ok(PartOutcome::Stale);
+                }
+                continue;
+            }
             if state.locked {
                 // A two-phase update is in flight; wait for its unlock. A
                 // lock that never clears (the unlock was lost to a crash
@@ -823,6 +947,9 @@ impl AdaptiveRts {
             match copy.apply_encoded(op)? {
                 AppliedOutcome::Done(reply) => {
                     RtsStats::bump(&self.inner.stats.local_reads);
+                    if self.inner.leases_enabled() {
+                        self.inner.lease_counters.local_reads.inc();
+                    }
                     return Ok(PartOutcome::Done(reply));
                 }
                 AppliedOutcome::Blocked => {
@@ -852,7 +979,12 @@ impl AdaptiveRts {
         };
         let home = current_home(&self.inner, object);
         match self.rpc(home, &msg, deadline)? {
-            RegimeReply::MirrorState { state, seq } => {
+            RegimeReply::MirrorState {
+                state,
+                seq,
+                dedup,
+                lease,
+            } => {
                 let replica = self.inner.registry.instantiate(&table.type_name, &state)?;
                 let mut guard = mirror.state.lock();
                 if guard.epoch > table.epoch {
@@ -873,6 +1005,11 @@ impl AdaptiveRts {
                 guard.seq = seq;
                 guard.seen_seq = guard.seen_seq.max(seq);
                 guard.locked = false;
+                guard.dedup = dedup;
+                guard.lease = None;
+                if let Some(grant) = &lease {
+                    install_mirror_lease(&self.inner, &mut guard, grant);
+                }
                 RtsStats::bump(&self.inner.stats.copies_fetched);
                 Ok(true)
             }
@@ -892,6 +1029,7 @@ impl AdaptiveRts {
         table: &RegimeTable,
         logic: &dyn orca_object::ShardLogic,
         op: &[u8],
+        stamp: Option<OpStamp>,
         deadline: Instant,
     ) -> Result<PartOutcome, RtsError> {
         let parts = table.partitions();
@@ -903,7 +1041,7 @@ impl AdaptiveRts {
         for step in 0..parts {
             let partition = ((start + u64::from(step)) % u64::from(parts)) as u32;
             let part_op = logic.op_for(op, partition, parts)?;
-            match self.slot_op(table, partition, &part_op, deadline)? {
+            match self.slot_op(table, partition, &part_op, stamp, deadline)? {
                 PartOutcome::Done(reply) => {
                     if logic.accepts(op, &reply)? {
                         return Ok(PartOutcome::Done(reply));
@@ -964,27 +1102,28 @@ impl AdaptiveRts {
         table: &RegimeTable,
         kind: OpKind,
         op: &[u8],
+        stamp: Option<OpStamp>,
         deadline: Instant,
     ) -> Result<PartOutcome, RtsError> {
         let me = self.inner.node.0;
         match table.regime {
             RegimeKind::Primary => {
                 self.record_invocation(table.owners[0] == me, kind);
-                self.slot_op(table, 0, op, deadline)
+                self.slot_op(table, 0, op, stamp, deadline)
             }
             RegimeKind::Replicated => match kind {
                 OpKind::Read => {
                     if table.owners[0] == me {
                         // The home reads its authoritative copy directly.
                         RtsStats::bump(&self.inner.stats.local_reads);
-                        self.slot_op(table, 0, op, deadline)
+                        self.slot_op(table, 0, op, stamp, deadline)
                     } else {
                         self.mirror_read(table, op, deadline)
                     }
                 }
                 OpKind::Write => {
                     self.record_invocation(table.owners[0] == me, kind);
-                    self.slot_op(table, 0, op, deadline)
+                    self.slot_op(table, 0, op, stamp, deadline)
                 }
             },
             RegimeKind::Sharded => {
@@ -1004,9 +1143,16 @@ impl AdaptiveRts {
                 match route {
                     ShardRoute::One(partition) => {
                         let part_op = logic.op_for(op, partition, table.partitions())?;
-                        self.slot_op(table, partition, &part_op, deadline)
+                        self.slot_op(table, partition, &part_op, stamp, deadline)
                     }
-                    ShardRoute::Any => self.any_partition_op(table, logic.as_ref(), op, deadline),
+                    ShardRoute::Any => {
+                        self.any_partition_op(table, logic.as_ref(), op, stamp, deadline)
+                    }
+                    // All-routed operations fan out at the home under its
+                    // switch lock and their per-partition shares are only
+                    // retried as a whole; they stay unstamped because the
+                    // shares of one logical op would need distinct stamps
+                    // per partition, which the home mints — not the client.
                     ShardRoute::All => self.all_partitions_op(table, op, deadline),
                 }
             }
@@ -1037,6 +1183,8 @@ impl RuntimeSystem for AdaptiveRts {
                 withdrawn: AtomicBool::new(false),
                 push_updates: false,
                 access: AccessStats::default(),
+                dedup: Mutex::new(DedupWindow::new()),
+                leases: Mutex::new(SlotLeases::default()),
             }),
         );
         self.inner.homes.write().insert(
@@ -1069,20 +1217,30 @@ impl RuntimeSystem for AdaptiveRts {
         // guard-blocked and stale-regime retries must not masquerade as
         // fresh accesses in the usage evidence driving regime decisions.
         self.note_access(object, kind);
+        // Minted once per logical invocation and re-presented verbatim by
+        // every retry: a slot that already applied the write under this
+        // stamp answers its recorded reply instead of applying again.
+        let stamp = (kind == OpKind::Write).then(|| OpStamp {
+            origin: self.inner.node.0,
+            seq: self.inner.next_stamp.fetch_add(1, Ordering::Relaxed),
+        });
         loop {
             if self.inner.stopped.load(Ordering::SeqCst) {
                 return Err(RtsError::Terminated);
             }
             let attempt = self
                 .route_for(object, deadline)
-                .and_then(|table| self.dispatch_client_op(&table, kind, op, deadline));
+                .and_then(|table| self.dispatch_client_op(&table, kind, op, stamp, deadline));
             let outcome = match attempt {
                 Ok(outcome) => outcome,
                 Err(RtsError::NodeDown(node)) if self.inner.recovery.rehome => {
                     // The home (or a partition owner) is dead; adoption or
                     // a regime fallback will re-home the object. Retry
-                    // until the deadline, then name the dead node. Ops
-                    // retried across a promotion are at-least-once.
+                    // until the deadline, then name the dead node. The
+                    // retry re-presents `stamp`, and the dedup window
+                    // rides mirror updates and regime transfers, so a
+                    // write the dead home already applied is answered its
+                    // recorded reply — exactly once, not at-least-once.
                     self.inner.routes.lock().remove(&object);
                     if Instant::now() >= deadline {
                         return Err(RtsError::NodeDown(node));
@@ -1118,7 +1276,7 @@ impl RuntimeSystem for AdaptiveRts {
     fn invoke_async(
         &self,
         object: ObjectId,
-        type_name: &str,
+        _type_name: &str,
         kind: OpKind,
         op: &[u8],
     ) -> PendingInvocation {
@@ -1134,18 +1292,31 @@ impl RuntimeSystem for AdaptiveRts {
         // The access evidence driving regime decisions counts logical
         // invocations, exactly like the synchronous path.
         self.note_access(object, kind);
-        let retry = {
-            let rts = self.detached();
-            let type_name = type_name.to_string();
+        let pipeline = self.ensure_pipeline();
+        let trace = trace::current();
+        // A guard-blocked op re-enters this same queue from wait(), so its
+        // re-execution keeps issue order instead of jumping ahead through
+        // the synchronous path.
+        let resubmit = {
+            let pipeline = Arc::clone(&pipeline);
             let op = op.to_vec();
-            Arc::new(move || rts.invoke(object, &type_name, kind, &op))
+            Arc::new(move |completer| {
+                pipeline.submit(QueuedOp {
+                    object,
+                    kind,
+                    op: op.clone(),
+                    trace,
+                    submitted: Instant::now(),
+                    completer,
+                })
+            })
         };
-        let (handle, completer) = pending_pair(retry);
-        self.ensure_pipeline().submit(QueuedOp {
+        let (handle, completer) = pending_pair(resubmit);
+        pipeline.submit(QueuedOp {
             object,
             kind,
             op: op.to_vec(),
-            trace: trace::current(),
+            trace,
             submitted: Instant::now(),
             completer,
         });
@@ -1229,9 +1400,18 @@ fn dispatch(inner: &Arc<Inner>, msg: RegimeMsg, caller: NodeId) -> RegimeReply {
             partition,
             op,
             trace,
+            stamp,
         } => {
             let _span = trace::enter(trace);
-            apply_at_slot(inner, ObjectId(object), partition, epoch, &op, caller)
+            apply_at_slot(
+                inner,
+                ObjectId(object),
+                partition,
+                epoch,
+                &op,
+                stamp,
+                caller,
+            )
         }
         RegimeMsg::OpBatch { ops } => RegimeReply::Batch(apply_op_batch(inner, &ops, caller)),
         RegimeMsg::OpAll { object, op, trace } => {
@@ -1274,7 +1454,7 @@ fn dispatch(inner: &Arc<Inner>, msg: RegimeMsg, caller: NodeId) -> RegimeReply {
             epoch,
             partition,
         } => match drain_local(inner, ObjectId(object), partition, epoch) {
-            Some(state) => RegimeReply::State(state),
+            Some((state, dedup)) => RegimeReply::State { state, dedup },
             None => RegimeReply::StaleRegime,
         },
         RegimeMsg::Install {
@@ -1283,6 +1463,7 @@ fn dispatch(inner: &Arc<Inner>, msg: RegimeMsg, caller: NodeId) -> RegimeReply {
             partition,
             type_name,
             state,
+            dedup,
         } => match install_slot(
             inner,
             ObjectId(object),
@@ -1290,6 +1471,7 @@ fn dispatch(inner: &Arc<Inner>, msg: RegimeMsg, caller: NodeId) -> RegimeReply {
             epoch,
             &type_name,
             &state,
+            dedup,
             false,
         ) {
             Ok(()) => RegimeReply::Ack,
@@ -1301,9 +1483,20 @@ fn dispatch(inner: &Arc<Inner>, msg: RegimeMsg, caller: NodeId) -> RegimeReply {
             type_name,
             state,
             seq,
-        } => install_mirror(inner, ObjectId(object), epoch, &type_name, &state, seq),
+            dedup,
+            lease,
+        } => install_mirror(
+            inner,
+            ObjectId(object),
+            epoch,
+            &type_name,
+            &state,
+            seq,
+            dedup,
+            lease,
+        ),
         RegimeMsg::FetchMirror { object, epoch } => {
-            serve_fetch_mirror(inner, ObjectId(object), epoch)
+            serve_fetch_mirror(inner, ObjectId(object), epoch, caller)
         }
         RegimeMsg::DropMirror { object, epoch } => {
             let mirror = inner.mirrors.read().get(&ObjectId(object)).cloned();
@@ -1312,6 +1505,8 @@ fn dispatch(inner: &Arc<Inner>, msg: RegimeMsg, caller: NodeId) -> RegimeReply {
                 if state.epoch <= epoch {
                     state.copy = None;
                     state.locked = false;
+                    state.lease = None;
+                    state.dedup = DedupWindow::new();
                     mirror.unlocked.notify_all();
                 }
             }
@@ -1322,13 +1517,27 @@ fn dispatch(inner: &Arc<Inner>, msg: RegimeMsg, caller: NodeId) -> RegimeReply {
             epoch,
             seq,
             op,
-        } => apply_update(inner, ObjectId(object), epoch, seq, &op),
-        RegimeMsg::Unlock { object, epoch, seq } => {
+            stamped,
+        } => apply_update(inner, ObjectId(object), epoch, seq, &op, stamped),
+        RegimeMsg::Unlock {
+            object,
+            epoch,
+            seq,
+            lease,
+        } => {
             let mirror = inner.mirrors.read().get(&ObjectId(object)).cloned();
             if let Some(mirror) = mirror {
                 let mut state = mirror.state.lock();
                 if state.epoch == epoch && state.seq <= seq {
                     state.locked = false;
+                    // The unlock doubles as the lease renewal: the mirror
+                    // is current again (or will re-sync on its next read
+                    // if it dropped the copy on a gap).
+                    if let Some(grant) = &lease {
+                        if state.copy.is_some() {
+                            install_mirror_lease(inner, &mut state, grant);
+                        }
+                    }
                 }
                 mirror.unlocked.notify_all();
             }
@@ -1344,7 +1553,10 @@ fn dispatch(inner: &Arc<Inner>, msg: RegimeMsg, caller: NodeId) -> RegimeReply {
 fn serve_mirror_query(inner: &Arc<Inner>, object: ObjectId) -> RegimeReply {
     let mirror = inner.mirrors.read().get(&object).cloned();
     let Some(mirror) = mirror else {
-        return RegimeReply::MirrorReport { mirror: None };
+        return RegimeReply::MirrorReport {
+            mirror: None,
+            dedup: DedupWindow::new(),
+        };
     };
     let state = mirror.state.lock();
     match &state.copy {
@@ -1355,8 +1567,14 @@ fn serve_mirror_query(inner: &Arc<Inner>, object: ObjectId) -> RegimeReply {
                 copy.type_name().to_string(),
                 copy.state_bytes(),
             )),
+            // The window pairs with exactly this state; an adopter must
+            // never combine it with another mirror's snapshot.
+            dedup: state.dedup.clone(),
         },
-        None => RegimeReply::MirrorReport { mirror: None },
+        None => RegimeReply::MirrorReport {
+            mirror: None,
+            dedup: DedupWindow::new(),
+        },
     }
 }
 
@@ -1375,8 +1593,13 @@ fn adopt_object(inner: &Arc<Inner>, object: ObjectId) -> Result<Arc<HomeObject>,
         return Err(RtsError::Communication("no failure detector".into()));
     };
     let view = detector.view();
-    // Collect every survivor's freshest mirror (our own included).
-    let mut best: Option<(u64, u64, String, Vec<u8>)> = None;
+    // Collect every survivor's freshest mirror (our own included). A
+    // report's dedup window pairs with exactly that mirror's snapshot, so
+    // the adopter takes the winner's window whole and never merges windows
+    // across different mirrors.
+    // (epoch, seq, type_name, snapshot) of the freshest mirror seen so far.
+    type MirrorCandidate = (u64, u64, String, Vec<u8>);
+    let mut best: Option<(MirrorCandidate, DedupWindow)> = None;
     for survivor in &view.alive {
         let report = if *survivor == inner.node {
             serve_mirror_query(inner, object)
@@ -1392,23 +1615,35 @@ fn adopt_object(inner: &Arc<Inner>, object: ObjectId) -> Result<Arc<HomeObject>,
         };
         if let RegimeReply::MirrorReport {
             mirror: Some(candidate),
+            dedup,
         } = report
         {
             let newer = best
                 .as_ref()
-                .map(|(epoch, seq, _, _)| (candidate.0, candidate.1) > (*epoch, *seq))
+                .map(|((epoch, seq, _, _), _)| (candidate.0, candidate.1) > (*epoch, *seq))
                 .unwrap_or(true);
             if newer {
-                best = Some(candidate);
+                best = Some((candidate, dedup));
             }
         }
     }
-    let Some((epoch, _seq, type_name, state)) = best else {
+    let Some(((epoch, _seq, type_name, state), dedup)) = best else {
         inner.lost.write().insert(object);
         return Err(RtsError::ObjectLost(object));
     };
     let new_epoch = epoch + 1;
-    install_slot(inner, object, 0, new_epoch, &type_name, &state, false)?;
+    install_slot(
+        inner, object, 0, new_epoch, &type_name, &state, dedup, false,
+    )?;
+    if inner.leases_enabled() {
+        // The dead home's grant ledger died with it. Fence the adopted
+        // slot for a full conservative grant span: the first write waits
+        // it out, so any lease the dead home granted before crashing has
+        // lapsed before an adopted-regime write can become visible.
+        if let Some(slot) = inner.slots.read().get(&(object, 0)) {
+            slot.leases.lock().fence = Some(Instant::now() + inner.grant_span());
+        }
+    }
     let entry = Arc::new(HomeObject {
         table: Mutex::new(Arc::new(RegimeTable {
             object: object.0,
@@ -1467,6 +1702,7 @@ fn apply_op_batch(inner: &Arc<Inner>, ops: &[BatchOp], caller: NodeId) -> Vec<Ba
                 op.partition,
                 op.epoch,
                 &op.op,
+                None,
                 inner.node,
             ) {
                 RegimeReply::Done(reply) => BatchOutcome::Done(reply),
@@ -1490,6 +1726,7 @@ fn apply_at_slot(
     partition: u32,
     epoch: u64,
     op: &[u8],
+    stamp: Option<OpStamp>,
     caller: NodeId,
 ) -> RegimeReply {
     let slot = inner.slots.read().get(&(object, partition)).cloned();
@@ -1509,6 +1746,29 @@ fn apply_at_slot(
         Ok(kind) => kind,
         Err(err) => return RegimeReply::Error(err.to_string()),
     };
+    if kind == OpKind::Write {
+        // Exactly-once: a retried stamped write the slot (or the state it
+        // was regenerated from) already applied is answered its recorded
+        // reply without applying again.
+        if let Some(stamp) = stamp {
+            if let Some(reply) = slot.dedup.lock().lookup(stamp) {
+                return RegimeReply::Done(reply.to_vec());
+            }
+        }
+        // Adoption fence: the dead home's outstanding read leases are
+        // unknown, so the first writes after adoption wait out a full
+        // grant span. Held under the replica mutex — the fence must also
+        // keep the home's own reads from observing the new write early,
+        // and it clears within one grant span of the install.
+        let fence = slot.leases.lock().fence;
+        if let Some(fence) = fence {
+            let now = Instant::now();
+            if now < fence {
+                std::thread::sleep(fence - now);
+            }
+            slot.leases.lock().fence = None;
+        }
+    }
     match kind {
         OpKind::Read => slot.access.record_read(),
         OpKind::Write => slot.access.record_write(),
@@ -1518,9 +1778,15 @@ fn apply_at_slot(
             if caller != inner.node {
                 RtsStats::bump(&inner.stats.updates_applied);
             }
-            if slot.push_updates && kind == OpKind::Write {
-                let seq = replica.version();
-                push_update(inner, object, epoch, seq, op);
+            if kind == OpKind::Write {
+                let stamped = stamp.map(|stamp| (stamp, reply.clone()));
+                if let Some((stamp, reply)) = &stamped {
+                    slot.dedup.lock().record(*stamp, reply.clone());
+                }
+                if slot.push_updates {
+                    let seq = replica.version();
+                    push_update(inner, &slot, object, epoch, seq, op, stamped);
+                }
             }
             RegimeReply::Done(reply)
         }
@@ -1530,37 +1796,132 @@ fn apply_at_slot(
 }
 
 /// Push one committed write to every mirror (two-phase: update-and-lock,
-/// then unlock). Best-effort under crashes: a mirror that misses an update
-/// detects the sequence gap on the next one and re-syncs from the home.
+/// then unlock). Without read leases this is best-effort under crashes: a
+/// mirror that misses an update detects the sequence gap on the next one
+/// and re-syncs from the home. With leases enabled the unlock doubles as
+/// the lease renewal, and a mirror a push could not reach has its
+/// outstanding grant *settled* — the write waits out the grant's
+/// conservative expiry before it is acknowledged, so no node can still be
+/// serving leased reads of the pre-write state when the writer continues.
 ///
-/// The whole fan-out runs under a budget of half the operation deadline
-/// (the replica mutex is held throughout, and the writer is waiting on
-/// this reply): a crashed node eats the remaining budget at most once,
-/// the rest of the push is skipped, and the home still answers the
-/// writer before *its* deadline expires — a committed write must not be
-/// reported as a timeout just because a mirror is unreachable.
-fn push_update(inner: &Arc<Inner>, object: ObjectId, epoch: u64, seq: u64, op: &[u8]) {
+/// The fan-out runs under a budget of half the operation deadline (the
+/// replica mutex is held throughout, and the writer is waiting on this
+/// reply): a crashed node eats the remaining budget at most once, the
+/// rest of the push is skipped, and the home still answers the writer
+/// before *its* deadline expires — a committed write must not be reported
+/// as a timeout just because a mirror is unreachable.
+fn push_update(
+    inner: &Arc<Inner>,
+    slot: &Slot,
+    object: ObjectId,
+    epoch: u64,
+    seq: u64,
+    op: &[u8],
+    stamped: Option<(OpStamp, Vec<u8>)>,
+) {
     let deadline = Instant::now() + inner.policy.op_timeout / 2;
     let others: Vec<NodeId> = (0..inner.num_nodes)
         .map(NodeId::from)
         .filter(|n| *n != inner.node && !is_dead(&inner.detector, *n))
         .collect();
-    let update = RegimeMsg::Update {
+    // Encode each phase once and fan the bytes out; the per-destination
+    // copy is unavoidable (the transport owns its buffer) but the encoding
+    // work is not.
+    let mut buf = Vec::new();
+    RegimeMsg::Update {
         object: object.0,
         epoch,
         seq,
         op: op.to_vec(),
-    };
-    for node in &others {
-        let _ = regime_rpc_deadline(inner, *node, &update, deadline);
+        stamped,
     }
-    let unlock = RegimeMsg::Unlock {
+    .encode_into(&mut buf);
+    let mut failed: Vec<NodeId> = Vec::new();
+    for node in &others {
+        if regime_rpc_raw(inner, *node, buf.clone(), deadline).is_err() {
+            failed.push(*node);
+        }
+    }
+    // The unlock renews every reachable mirror's lease. The grant is
+    // identical for all holders (validity counts from each holder's own
+    // receipt), so one encoding serves the whole fan-out here too.
+    let lease = inner
+        .leases_enabled()
+        .then(|| inner.lease_grant(object, epoch, seq));
+    buf.clear();
+    RegimeMsg::Unlock {
         object: object.0,
         epoch,
         seq,
-    };
+        lease,
+    }
+    .encode_into(&mut buf);
     for node in &others {
-        let _ = regime_rpc_deadline(inner, *node, &unlock, deadline);
+        if failed.contains(node) {
+            continue;
+        }
+        if regime_rpc_raw(inner, *node, buf.clone(), deadline).is_ok() {
+            if inner.leases_enabled() {
+                slot.leases
+                    .lock()
+                    .grants
+                    .insert(node.0, Instant::now() + inner.grant_span());
+                inner.lease_counters.renewals.inc();
+            }
+        } else {
+            failed.push(*node);
+        }
+    }
+    settle_failed_mirror_leases(inner, slot, &failed);
+}
+
+/// Wait out the outstanding read-lease grants of mirrors an update push
+/// could not reach, then drop them from the grant table. A dead holder's
+/// grant is dropped immediately (its node cannot answer reads); an
+/// already-expired grant is skipped silently. No-op when leases are
+/// disabled — push failures then stay best-effort, exactly the legacy
+/// behavior.
+fn settle_failed_mirror_leases(inner: &Arc<Inner>, slot: &Slot, failed: &[NodeId]) {
+    if !inner.leases_enabled() || failed.is_empty() {
+        return;
+    }
+    for node in failed {
+        let grant = slot.leases.lock().grants.remove(&node.0);
+        let Some(expires) = grant else { continue };
+        if is_dead(&inner.detector, *node) {
+            continue;
+        }
+        let now = Instant::now();
+        if now < expires {
+            std::thread::sleep(expires - now);
+            inner.lease_counters.revokes.inc();
+        }
+    }
+}
+
+/// Settle the grants a regime switch inherited from the drained home slot:
+/// a node whose `DropMirror` succeeded had its lease explicitly revoked; a
+/// live node whose drop was lost keeps serving leased reads of the retired
+/// copy until its grant runs out, so the switch sleeps that out before the
+/// new regime can accept a write.
+fn settle_switch_grants(inner: &Arc<Inner>, grants: &HashMap<u16, Instant>, dropped: &[NodeId]) {
+    if !inner.leases_enabled() || grants.is_empty() {
+        return;
+    }
+    for (&node, &expires) in grants {
+        let node = NodeId(node);
+        if dropped.contains(&node) {
+            inner.lease_counters.revokes.inc();
+            continue;
+        }
+        if is_dead(&inner.detector, node) {
+            continue;
+        }
+        let now = Instant::now();
+        if now < expires {
+            std::thread::sleep(expires - now);
+            inner.lease_counters.revokes.inc();
+        }
     }
 }
 
@@ -1589,6 +1950,7 @@ fn apply_update(
     epoch: u64,
     seq: u64,
     op: &[u8],
+    stamped: Option<(OpStamp, Vec<u8>)>,
 ) -> RegimeReply {
     let mirror = mirror_entry(inner, object);
     let mut state = mirror.state.lock();
@@ -1600,6 +1962,8 @@ fn apply_update(
         state.copy = None;
         state.seq = 0;
         state.seen_seq = 0;
+        state.lease = None;
+        state.dedup = DedupWindow::new();
     }
     state.seen_seq = state.seen_seq.max(seq);
     let applied_seq = state.seq;
@@ -1614,20 +1978,32 @@ fn apply_update(
                 Ok(_) => {
                     state.seq = seq;
                     state.locked = true;
+                    // The window stays exactly as fresh as the copy: both
+                    // advance in the same critical section.
+                    if let Some((stamp, reply)) = stamped {
+                        state.dedup.record(stamp, reply);
+                    }
                     RtsStats::bump(&inner.stats.updates_applied);
                 }
-                Err(_) => state.copy = None,
+                Err(_) => {
+                    state.copy = None;
+                    state.lease = None;
+                    state.dedup = DedupWindow::new();
+                }
             }
         } else if seq > applied_seq + 1 {
             // Gap: an update was lost; drop the copy and re-sync on the
             // next read.
             state.copy = None;
+            state.lease = None;
+            state.dedup = DedupWindow::new();
         }
         // seq <= state.seq: duplicate, ignore.
     }
     RegimeReply::Ack
 }
 
+#[allow(clippy::too_many_arguments)]
 fn install_mirror(
     inner: &Arc<Inner>,
     object: ObjectId,
@@ -1635,6 +2011,8 @@ fn install_mirror(
     type_name: &str,
     state_bytes: &[u8],
     seq: u64,
+    dedup: DedupWindow,
+    lease: Option<LeaseGrant>,
 ) -> RegimeReply {
     let replica = match inner.registry.instantiate(type_name, state_bytes) {
         Ok(replica) => replica,
@@ -1649,23 +2027,35 @@ fn install_mirror(
         state.epoch = epoch;
         state.seq = 0;
         state.seen_seq = 0;
+        state.lease = None;
     }
     if state.seen_seq > seq {
         // An update for this epoch raced ahead of the snapshot; leave the
         // copy absent so the first read fetches a fresh one.
         state.copy = None;
+        state.lease = None;
+        state.dedup = DedupWindow::new();
         return RegimeReply::Ack;
     }
     state.copy = Some(replica);
     state.seq = seq;
     state.seen_seq = state.seen_seq.max(seq);
     state.locked = false;
+    state.dedup = dedup;
+    if let Some(grant) = &lease {
+        install_mirror_lease(inner, &mut state, grant);
+    }
     mirror.unlocked.notify_all();
     RtsStats::bump(&inner.stats.copies_fetched);
     RegimeReply::Ack
 }
 
-fn serve_fetch_mirror(inner: &Arc<Inner>, object: ObjectId, epoch: u64) -> RegimeReply {
+fn serve_fetch_mirror(
+    inner: &Arc<Inner>,
+    object: ObjectId,
+    epoch: u64,
+    caller: NodeId,
+) -> RegimeReply {
     let entry = inner.homes.read().get(&object).cloned();
     let Some(entry) = entry else {
         return RegimeReply::Error(format!("not home of {object}"));
@@ -1687,9 +2077,24 @@ fn serve_fetch_mirror(inner: &Arc<Inner>, object: ObjectId, epoch: u64) -> Regim
     if slot.withdrawn.load(Ordering::Relaxed) {
         return RegimeReply::StaleRegime;
     }
+    let seq = replica.version();
+    let lease = inner.leases_enabled().then(|| {
+        // Record the conservative grant span before the reply leaves, so a
+        // write can never observe the mirror reading without a tracked
+        // grant to wait out.
+        slot.leases
+            .lock()
+            .grants
+            .insert(caller.0, Instant::now() + inner.grant_span());
+        inner.lease_counters.grants.inc();
+        inner.lease_grant(object, epoch, seq)
+    });
+    let dedup = slot.dedup.lock().clone();
     RegimeReply::MirrorState {
         state: replica.state_bytes(),
-        seq: replica.version(),
+        seq,
+        dedup,
+        lease,
     }
 }
 
@@ -1705,8 +2110,10 @@ fn serve_op_all(inner: &Arc<Inner>, object: ObjectId, op: &[u8], caller: NodeId)
     match table.regime {
         RegimeKind::Primary | RegimeKind::Replicated => {
             // Single authoritative copy at home: the whole-object op
-            // applies directly.
-            apply_at_slot(inner, object, 0, table.epoch, op, caller)
+            // applies directly. All-routed ops stay unstamped — their
+            // shares would need per-partition stamps minted here, not at
+            // the client, to dedup safely.
+            apply_at_slot(inner, object, 0, table.epoch, op, None, caller)
         }
         RegimeKind::Sharded => {
             let Some(logic) = inner.registry.shard_logic(&table.type_name) else {
@@ -1721,7 +2128,7 @@ fn serve_op_all(inner: &Arc<Inner>, object: ObjectId, op: &[u8], caller: NodeId)
                 };
                 let owner = NodeId(table.owners[partition as usize]);
                 let reply = if owner == inner.node {
-                    apply_at_slot(inner, object, partition, table.epoch, &share, caller)
+                    apply_at_slot(inner, object, partition, table.epoch, &share, None, caller)
                 } else {
                     match regime_rpc(
                         inner,
@@ -1732,6 +2139,7 @@ fn serve_op_all(inner: &Arc<Inner>, object: ObjectId, op: &[u8], caller: NodeId)
                             partition,
                             op: share,
                             trace: trace::current(),
+                            stamp: None,
                         },
                     ) {
                         Ok(reply) => reply,
@@ -1768,14 +2176,15 @@ fn serve_op_all(inner: &Arc<Inner>, object: ObjectId, op: &[u8], caller: NodeId)
 }
 
 /// Withdraw a locally-served slot for a regime switch and return its
-/// serialized state. Returns `None` when the slot is absent or belongs to
-/// a different epoch (duplicate or late drain).
+/// serialized state plus the dedup window that describes exactly that
+/// state. Returns `None` when the slot is absent or belongs to a
+/// different epoch (duplicate or late drain).
 fn drain_local(
     inner: &Arc<Inner>,
     object: ObjectId,
     partition: u32,
     epoch: u64,
-) -> Option<Vec<u8>> {
+) -> Option<(Vec<u8>, DedupWindow)> {
     let slot = {
         let mut slots = inner.slots.write();
         match slots.get(&(object, partition)) {
@@ -1786,14 +2195,18 @@ fn drain_local(
     // Mark the slot withdrawn in the same critical section that snapshots
     // the state: an operation that cloned the slot out of `slots` before
     // the removal above will acquire this mutex later, see the mark and
-    // answer StaleRegime instead of applying to the orphaned replica.
+    // answer StaleRegime instead of applying to the orphaned replica. The
+    // dedup window is cloned under the same lock so it pairs with exactly
+    // this snapshot.
     let replica = slot.replica.lock();
     slot.withdrawn.store(true, Ordering::Relaxed);
+    let dedup = slot.dedup.lock().clone();
     RtsStats::bump(&inner.stats.copies_dropped);
-    Some(replica.state_bytes())
+    Some((replica.state_bytes(), dedup))
 }
 
 /// Install an authoritative slot on this node.
+#[allow(clippy::too_many_arguments)]
 fn install_slot(
     inner: &Arc<Inner>,
     object: ObjectId,
@@ -1801,6 +2214,7 @@ fn install_slot(
     epoch: u64,
     type_name: &str,
     state: &[u8],
+    dedup: DedupWindow,
     push_updates: bool,
 ) -> Result<(), RtsError> {
     let replica = inner.registry.instantiate(type_name, state)?;
@@ -1812,6 +2226,8 @@ fn install_slot(
             withdrawn: AtomicBool::new(false),
             push_updates,
             access: AccessStats::default(),
+            dedup: Mutex::new(dedup),
+            leases: Mutex::new(SlotLeases::default()),
         }),
     );
     Ok(())
@@ -1832,13 +2248,24 @@ fn regime_rpc_deadline(
     msg: &RegimeMsg,
     deadline: Instant,
 ) -> Result<RegimeReply, RtsError> {
+    regime_rpc_raw(inner, dst, msg.to_bytes(), deadline)
+}
+
+/// Like [`regime_rpc_deadline`] but takes the already-encoded request, so
+/// fan-outs (update pushes) encode once and ship clones of the bytes.
+fn regime_rpc_raw(
+    inner: &Arc<Inner>,
+    dst: NodeId,
+    body: Vec<u8>,
+    deadline: Instant,
+) -> Result<RegimeReply, RtsError> {
     let reply = recovery_rpc(
         &inner.handle,
         &inner.detector,
         &inner.recovery,
         dst,
         ports::RTS_ADAPTIVE,
-        msg.to_bytes(),
+        body,
         deadline,
     )?;
     RegimeReply::from_bytes(&reply)
@@ -1892,8 +2319,25 @@ fn switch_regime(
         .filter(|n| *n != inner.node)
         .collect();
 
-    // Phase 1: drain every authoritative replica of the old regime.
-    let mut states: Vec<Vec<u8>> = Vec::with_capacity(old.owners.len());
+    // Snapshot the outstanding read-lease grants before the drain removes
+    // the home slot: a mirror whose DropMirror is lost below may keep
+    // serving leased reads until its grant runs out, and the switch must
+    // wait that out before the new regime can accept writes.
+    let old_grants: HashMap<u16, Instant> = if old.regime == RegimeKind::Replicated {
+        inner
+            .slots
+            .read()
+            .get(&(object, 0))
+            .map(|slot| slot.leases.lock().grants.clone())
+            .unwrap_or_default()
+    } else {
+        HashMap::new()
+    };
+
+    // Phase 1: drain every authoritative replica of the old regime. Each
+    // drained state travels with the dedup window that was recorded
+    // against exactly that state.
+    let mut states: Vec<(Vec<u8>, DedupWindow)> = Vec::with_capacity(old.owners.len());
     for (partition, &owner) in old.owners.iter().enumerate() {
         let partition = partition as u32;
         let drained = if NodeId(owner) == inner.node {
@@ -1909,7 +2353,7 @@ fn switch_regime(
                     partition,
                 },
             ) {
-                Ok(RegimeReply::State(state)) => Ok(state),
+                Ok(RegimeReply::State { state, dedup }) => Ok((state, dedup)),
                 Ok(other) => Err(RtsError::Communication(format!(
                     "unexpected Drain reply {other:?}"
                 ))),
@@ -1935,8 +2379,9 @@ fn switch_regime(
     // consistent (best-effort under crashes; the regime lease bounds the
     // window for a node whose drop was lost).
     if old.regime == RegimeKind::Replicated {
+        let mut dropped: Vec<NodeId> = Vec::new();
         for node in &others {
-            let _ = regime_rpc(
+            let reply = regime_rpc(
                 inner,
                 *node,
                 &RegimeMsg::DropMirror {
@@ -1944,19 +2389,33 @@ fn switch_regime(
                     epoch: old.epoch,
                 },
             );
+            if matches!(reply, Ok(RegimeReply::Ack)) {
+                dropped.push(*node);
+            }
         }
+        // A successful drop is an explicit revoke; a failed drop to a live
+        // node leaves its grant outstanding, and the switch sleeps it out
+        // so no leased read of the retired copy can overlap a new-regime
+        // write.
+        settle_switch_grants(inner, &old_grants, &dropped);
     }
 
     // Phase 2: merge the drained states into one whole-object state
     // (`states` stays alive so any later failure can re-install the old
-    // regime — a drained object must never be lost).
+    // regime — a drained object must never be lost). The dedup windows
+    // merge alongside: lookups are by stamp, so an entry recorded at one
+    // partition is simply inert at another.
+    let mut dedup = DedupWindow::new();
+    for (_, window) in &states {
+        dedup.merge(window);
+    }
     let full = if states.len() == 1 {
-        states[0].clone()
+        states[0].0.clone()
     } else {
         let logic = logic
             .as_ref()
             .expect("multi-partition regime implies shard logic");
-        match logic.merge_states(states.clone()) {
+        match logic.merge_states(states.iter().map(|(state, _)| state.clone()).collect()) {
             Ok(full) => full,
             Err(err) => {
                 undo_drain(inner, object, &old, &states);
@@ -1977,6 +2436,7 @@ fn switch_regime(
         logic.as_deref(),
         &others,
         &full,
+        &dedup,
     ) {
         Ok(published) => published,
         Err(err) => {
@@ -2008,6 +2468,7 @@ fn switch_regime(
 /// at home under a further epoch — the merged state is in hand, so the
 /// fallback cannot fail remotely; an error return means nothing usable
 /// was installed and the caller re-installs the old regime.
+#[allow(clippy::too_many_arguments)]
 fn install_new_regime(
     inner: &Arc<Inner>,
     object: ObjectId,
@@ -2016,19 +2477,43 @@ fn install_new_regime(
     logic: Option<&dyn orca_object::ShardLogic>,
     others: &[NodeId],
     full: &[u8],
+    dedup: &DedupWindow,
 ) -> Result<(u64, RegimeKind, Vec<u16>), RtsError> {
     let new_epoch = old.epoch + 1;
     match target {
         RegimeKind::Primary => {
-            install_slot(inner, object, 0, new_epoch, &old.type_name, full, false)?;
+            install_slot(
+                inner,
+                object,
+                0,
+                new_epoch,
+                &old.type_name,
+                full,
+                dedup.clone(),
+                false,
+            )?;
             Ok((new_epoch, target, vec![inner.node.0]))
         }
         RegimeKind::Replicated => {
-            install_slot(inner, object, 0, new_epoch, &old.type_name, full, true)?;
+            install_slot(
+                inner,
+                object,
+                0,
+                new_epoch,
+                &old.type_name,
+                full,
+                dedup.clone(),
+                true,
+            )?;
             // Best-effort eager mirrors; a node that misses its install
-            // fetches lazily on its first read.
+            // fetches lazily on its first read. Each eager mirror gets a
+            // fresh lease alongside its copy.
+            let home_slot = inner.slots.read().get(&(object, 0)).cloned();
             for node in others {
-                let _ = regime_rpc(
+                let lease = inner
+                    .leases_enabled()
+                    .then(|| inner.lease_grant(object, new_epoch, 0));
+                let reply = regime_rpc(
                     inner,
                     *node,
                     &RegimeMsg::Mirror {
@@ -2037,8 +2522,19 @@ fn install_new_regime(
                         type_name: old.type_name.clone(),
                         state: full.to_vec(),
                         seq: 0,
+                        dedup: dedup.clone(),
+                        lease,
                     },
                 );
+                if lease.is_some() && matches!(reply, Ok(RegimeReply::Ack)) {
+                    if let Some(slot) = &home_slot {
+                        slot.leases
+                            .lock()
+                            .grants
+                            .insert(node.0, Instant::now() + inner.grant_span());
+                    }
+                    inner.lease_counters.grants.inc();
+                }
             }
             Ok((new_epoch, target, vec![inner.node.0]))
         }
@@ -2060,6 +2556,7 @@ fn install_new_regime(
                         new_epoch,
                         &old.type_name,
                         state,
+                        dedup.clone(),
                         false,
                     )?;
                 } else {
@@ -2072,6 +2569,7 @@ fn install_new_regime(
                             partition,
                             type_name: old.type_name.clone(),
                             state: state.clone(),
+                            dedup: dedup.clone(),
                         },
                     );
                     if matches!(installed, Ok(RegimeReply::Ack)) {
@@ -2119,6 +2617,7 @@ fn install_new_regime(
                 fallback_epoch,
                 &old.type_name,
                 full,
+                dedup.clone(),
                 false,
             )?;
             Ok((fallback_epoch, RegimeKind::Primary, vec![inner.node.0]))
@@ -2135,9 +2634,15 @@ fn place(inner: &Arc<Inner>, object: ObjectId, partition: u32) -> u16 {
 }
 
 /// Put drained partitions back at their old owners (failed switch), so the
-/// old regime keeps serving without any lost state.
-fn undo_drain(inner: &Arc<Inner>, object: ObjectId, old: &RegimeTable, states: &[Vec<u8>]) {
-    for (partition, state) in states.iter().enumerate() {
+/// old regime keeps serving without any lost state. Each partition's dedup
+/// window goes back with the state it was drained with.
+fn undo_drain(
+    inner: &Arc<Inner>,
+    object: ObjectId,
+    old: &RegimeTable,
+    states: &[(Vec<u8>, DedupWindow)],
+) {
+    for (partition, (state, dedup)) in states.iter().enumerate() {
         let partition = partition as u32;
         let owner = NodeId(old.owners[partition as usize]);
         let push = old.regime == RegimeKind::Replicated;
@@ -2149,6 +2654,7 @@ fn undo_drain(inner: &Arc<Inner>, object: ObjectId, old: &RegimeTable, states: &
                 old.epoch,
                 &old.type_name,
                 state,
+                dedup.clone(),
                 push,
             );
         } else {
@@ -2161,6 +2667,7 @@ fn undo_drain(inner: &Arc<Inner>, object: ObjectId, old: &RegimeTable, states: &
                     partition,
                     type_name: old.type_name.clone(),
                     state: state.clone(),
+                    dedup: dedup.clone(),
                 },
             );
         }
@@ -2632,6 +3139,186 @@ mod tests {
         assert!(
             started.elapsed() < Duration::from_secs(5),
             "ObjectLost was not fast"
+        );
+        shutdown_all(&rtses);
+    }
+
+    /// Tentpole: once an object is replicated and a mirror holds a valid
+    /// read lease, its reads are answered entirely locally — zero
+    /// messages on the wire — and the lease telemetry records them.
+    #[test]
+    fn leased_mirror_reads_put_nothing_on_the_wire() {
+        let net = Network::reliable(3);
+        let policy = AdaptivePolicy {
+            report_every: u64::MAX,
+            regime_lease: Duration::from_secs(10),
+            read_lease_ms: 10_000,
+            ..AdaptivePolicy::eager()
+        };
+        let rtses = start_all(&net, policy);
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &7i64.to_bytes())
+            .unwrap();
+        let home = rtses[0].inner.homes.read().get(&id).cloned().unwrap();
+        switch_regime(&rtses[0].inner, id, &home, RegimeKind::Replicated).unwrap();
+        // The switch pushed eager mirrors with leases alongside.
+        assert!(rtses[0].inner.lease_counters.grants.get() >= 1);
+        // Warm node 1's regime-table cache, then measure.
+        assert_eq!(read(&rtses[1], id), 7);
+        let before = net.stats();
+        let leased_before = rtses[1].inner.lease_counters.local_reads.get();
+        for _ in 0..20 {
+            assert_eq!(read(&rtses[1], id), 7);
+        }
+        let sent = net.stats().since(&before).node(NodeId(1)).messages_sent();
+        assert_eq!(sent, 0, "leased reads must be message-free");
+        assert!(rtses[1].inner.lease_counters.local_reads.get() >= leased_before + 20);
+        shutdown_all(&rtses);
+    }
+
+    /// Headline bugfix: a stamped write re-presented after a retry is
+    /// answered its recorded reply from the dedup window instead of being
+    /// applied a second time.
+    #[test]
+    fn represented_stamped_write_applies_exactly_once() {
+        let net = Network::reliable(2);
+        let rtses = start_all(&net, AdaptivePolicy::default());
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+            .unwrap();
+        let stamp = OpStamp { origin: 1, seq: 77 };
+        let op = AccumulatorOp::Add(5).to_bytes();
+        let first = apply_at_slot(&rtses[0].inner, id, 0, 0, &op, Some(stamp), NodeId(1));
+        let retry = apply_at_slot(&rtses[0].inner, id, 0, 0, &op, Some(stamp), NodeId(1));
+        let RegimeReply::Done(first) = first else {
+            panic!("first apply failed");
+        };
+        assert_eq!(i64::from_bytes(&first).unwrap(), 5);
+        let RegimeReply::Done(retry) = retry else {
+            panic!("retry was not answered");
+        };
+        assert_eq!(
+            i64::from_bytes(&retry).unwrap(),
+            5,
+            "retry must see the recorded reply"
+        );
+        assert_eq!(read(&rtses[1], id), 5, "the write must have applied once");
+        shutdown_all(&rtses);
+    }
+
+    /// The dedup window rides the drain/install state transfer of a regime
+    /// switch: a stamp recorded under the old regime still answers its
+    /// recorded reply under the new one.
+    #[test]
+    fn dedup_window_survives_a_regime_switch() {
+        let net = Network::reliable(2);
+        let policy = AdaptivePolicy {
+            report_every: u64::MAX,
+            ..AdaptivePolicy::eager()
+        };
+        let rtses = start_all(&net, policy);
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+            .unwrap();
+        let stamp = OpStamp { origin: 1, seq: 3 };
+        let op = AccumulatorOp::Add(9).to_bytes();
+        let RegimeReply::Done(_) =
+            apply_at_slot(&rtses[0].inner, id, 0, 0, &op, Some(stamp), NodeId(1))
+        else {
+            panic!("stamped write failed");
+        };
+        let home = rtses[0].inner.homes.read().get(&id).cloned().unwrap();
+        switch_regime(&rtses[0].inner, id, &home, RegimeKind::Replicated).unwrap();
+        let (_, epoch) = rtses[0].regime_of(id).unwrap();
+        let RegimeReply::Done(reply) =
+            apply_at_slot(&rtses[0].inner, id, 0, epoch, &op, Some(stamp), NodeId(1))
+        else {
+            panic!("re-presented write was not answered");
+        };
+        assert_eq!(i64::from_bytes(&reply).unwrap(), 9);
+        assert_eq!(read(&rtses[1], id), 9, "retry must not double-apply");
+        shutdown_all(&rtses);
+    }
+
+    /// A mirror whose lease lapsed (idle home) re-syncs from the home on
+    /// its next read; the fresh snapshot carries a fresh grant, so the
+    /// refetch doubles as the renewal and reads go local again.
+    #[test]
+    fn lapsed_mirror_lease_resyncs_and_renews() {
+        let net = Network::reliable(2);
+        let policy = AdaptivePolicy {
+            report_every: u64::MAX,
+            regime_lease: Duration::from_secs(10),
+            read_lease_ms: 100,
+            ..AdaptivePolicy::eager()
+        };
+        let rtses = start_all(&net, policy);
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &4i64.to_bytes())
+            .unwrap();
+        let home = rtses[0].inner.homes.read().get(&id).cloned().unwrap();
+        switch_regime(&rtses[0].inner, id, &home, RegimeKind::Replicated).unwrap();
+        assert_eq!(read(&rtses[1], id), 4);
+        let fetched = rtses[1].stats().copies_fetched;
+        std::thread::sleep(Duration::from_millis(250));
+        assert_eq!(read(&rtses[1], id), 4);
+        assert!(
+            rtses[1].stats().copies_fetched > fetched,
+            "a lapsed lease must force a re-sync"
+        );
+        // The re-sync renewed the lease; the next read is leased again.
+        let leased = rtses[1].inner.lease_counters.local_reads.get();
+        assert_eq!(read(&rtses[1], id), 4);
+        assert!(rtses[1].inner.lease_counters.local_reads.get() > leased);
+        shutdown_all(&rtses);
+    }
+
+    /// Recovery fences adopted state: the adopter cannot know which leases
+    /// the dead home granted, so the adopted slot starts under a
+    /// conservative fence that the first write waits out (reads are
+    /// exempt — they serve the regenerated committed state).
+    #[test]
+    fn adoption_fences_writes_for_a_grant_span() {
+        let net = Network::reliable(3);
+        let policy = AdaptivePolicy {
+            read_lease_ms: 150,
+            ..AdaptivePolicy::eager()
+        };
+        let rtses = start_all_recoverable(&net, policy, RecoveryConfig::fast());
+        let id = rtses[2]
+            .create_object(Accumulator::TYPE_NAME, &1i64.to_bytes())
+            .unwrap();
+        for rts in &rtses {
+            for _ in 0..24 {
+                assert_eq!(read(rts, id), 1);
+            }
+            rts.flush_usage(id);
+        }
+        assert_eq!(rtses[0].propose(id).unwrap(), RegimeKind::Replicated);
+        assert_eq!(read(&rtses[0], id), 1);
+        assert_eq!(read(&rtses[1], id), 1);
+
+        net.crash(NodeId(2));
+        wait_for_view_epoch(&rtses[0], 1);
+        // A read adopts the object on node 0 (lowest live) and is served
+        // without waiting for the fence.
+        assert_eq!(read(&rtses[1], id), 1);
+        let slot = rtses[0]
+            .inner
+            .slots
+            .read()
+            .get(&(id, 0))
+            .cloned()
+            .expect("node 0 adopted the object");
+        assert!(
+            slot.leases.lock().fence.is_some(),
+            "adoption must arm the write fence"
+        );
+        // The first write waits the fence out, then clears it.
+        assert_eq!(add(&rtses[1], id, 5), 6);
+        assert!(
+            slot.leases.lock().fence.is_none(),
+            "the write consumed the fence"
         );
         shutdown_all(&rtses);
     }

@@ -61,6 +61,17 @@ pub struct AdaptivePolicy {
     /// operation waits out the switch instead of flooding the network
     /// with table re-fetches.
     pub stale_retry_delay: Duration,
+    /// Validity, in milliseconds, of the read leases the home of a
+    /// replicated-regime object grants to its mirrors (0 disables leases).
+    ///
+    /// While a mirror's lease is valid it serves reads with **zero
+    /// messages**; every update push renews it, and a write whose push
+    /// could not reach a live mirror waits out that mirror's grant before
+    /// completing, which keeps leased reads linearizable even though the
+    /// mirror fan-out is otherwise best-effort. A mirror whose lease
+    /// lapsed (idle home) re-syncs from the home, which doubles as the
+    /// renewal.
+    pub read_lease_ms: u64,
 }
 
 impl Default for AdaptivePolicy {
@@ -76,6 +87,7 @@ impl Default for AdaptivePolicy {
             shard_write_fraction: 0.5,
             blocked_retry_delay: Duration::from_millis(20),
             stale_retry_delay: Duration::from_millis(5),
+            read_lease_ms: 150,
         }
     }
 }

@@ -767,7 +767,7 @@ impl RuntimeSystem for BroadcastRts {
     fn invoke_async(
         &self,
         object: ObjectId,
-        type_name: &str,
+        _type_name: &str,
         kind: OpKind,
         op: &[u8],
     ) -> PendingInvocation {
@@ -777,18 +777,31 @@ impl RuntimeSystem for BroadcastRts {
         if kind == OpKind::Write {
             RtsStats::bump(&self.inner.stats.writes);
         }
-        let retry = {
-            let rts = self.detached();
-            let type_name = type_name.to_string();
+        let pipeline = self.ensure_pipeline();
+        let trace = trace::current();
+        // A guard-blocked op re-enters this same queue from wait(), so its
+        // re-execution keeps issue order instead of jumping ahead through
+        // the synchronous path.
+        let resubmit = {
+            let pipeline = Arc::clone(&pipeline);
             let op = op.to_vec();
-            Arc::new(move || rts.invoke(object, &type_name, kind, &op))
+            Arc::new(move |completer| {
+                pipeline.submit(QueuedOp {
+                    object,
+                    kind,
+                    op: op.clone(),
+                    trace,
+                    submitted: Instant::now(),
+                    completer,
+                })
+            })
         };
-        let (handle, completer) = pending_pair(retry);
-        self.ensure_pipeline().submit(QueuedOp {
+        let (handle, completer) = pending_pair(resubmit);
+        pipeline.submit(QueuedOp {
             object,
             kind,
             op: op.to_vec(),
-            trace: trace::current(),
+            trace,
             submitted: Instant::now(),
             completer,
         });

@@ -22,11 +22,13 @@
 //! order before the next round is cut. In particular, operations issued by
 //! one process on one object complete in the order they were issued. The
 //! single deliberate exception is a *guarded* operation whose guard is
-//! false at apply time: it takes no effect, its handle resolves on
-//! [`PendingInvocation::wait`] through the synchronous retry path, and
-//! later operations do not wait for its guard — pipelining is for
-//! non-blocking operations, synchronization points should use the
-//! synchronous API.
+//! false at apply time: it takes no effect in its round, and
+//! [`PendingInvocation::wait`] **re-enters it at the tail of the same
+//! pipeline** — it re-executes in issue order relative to everything
+//! submitted since, never jumping the queue through the synchronous path —
+//! while later operations do not wait for its guard. Pipelining is for
+//! non-blocking operations; synchronization points should use the
+//! synchronous API, which waits for the guard instead of polling it.
 //!
 //! # Failure contract
 //!
@@ -95,8 +97,8 @@ impl BatchPolicy {
 enum FutureState {
     /// Not resolved yet.
     Pending,
-    /// The operation's guard was false; it took no effect. Resolved through
-    /// the synchronous retry path on [`PendingInvocation::wait`].
+    /// The operation's guard was false; it took no effect. Resolved by
+    /// re-entering the pipeline queue on [`PendingInvocation::wait`].
     Blocked,
     /// Resolved.
     Ready(Result<Vec<u8>, RtsError>),
@@ -107,10 +109,15 @@ struct FutureShared {
     done: Condvar,
 }
 
-/// Synchronous fallback used to resolve a guard-blocked asynchronous
-/// invocation (re-issues the operation through the blocking path, which
-/// waits for the guard).
-type RetryFn = dyn Fn() -> Result<Vec<u8>, RtsError> + Send + Sync;
+/// Re-enters a guard-blocked operation at the tail of its pipeline queue
+/// (with the handed-back [`Completer`]), so the re-execution keeps issue
+/// order relative to everything submitted since.
+type ResubmitFn = dyn Fn(Completer) + Send + Sync;
+
+/// Pause between a guard-blocked resolution and its re-entry into the
+/// queue: a guard that stays false cycles through flusher rounds at this
+/// rate instead of spinning them hot.
+const BLOCKED_RESUBMIT_DELAY: Duration = Duration::from_millis(2);
 
 /// Completion handle of one asynchronous invocation
 /// (`RuntimeSystem::invoke_async`).
@@ -119,7 +126,7 @@ type RetryFn = dyn Fn() -> Result<Vec<u8>, RtsError> + Send + Sync;
 /// times (the result is cached).
 pub struct PendingInvocation {
     shared: Arc<FutureShared>,
-    retry: Option<Arc<RetryFn>>,
+    resubmit: Option<Arc<ResubmitFn>>,
 }
 
 impl std::fmt::Debug for PendingInvocation {
@@ -144,7 +151,7 @@ impl PendingInvocation {
                 state: Mutex::new(FutureState::Ready(result)),
                 done: Condvar::new(),
             }),
-            retry: None,
+            resubmit: None,
         }
     }
 
@@ -155,20 +162,24 @@ impl PendingInvocation {
             match &*state {
                 FutureState::Ready(result) => return result.clone(),
                 FutureState::Blocked => {
-                    let Some(retry) = self.retry.clone() else {
+                    let Some(resubmit) = self.resubmit.clone() else {
                         return Err(RtsError::Communication(
-                            "blocked invocation has no retry path".into(),
+                            "blocked invocation has no resubmission path".into(),
                         ));
                     };
-                    drop(state);
                     // The blocked operation took no effect anywhere;
-                    // re-issuing it through the synchronous path (which
-                    // waits for the guard) is exact.
-                    let result = retry();
-                    let mut state = self.shared.state.lock();
-                    *state = FutureState::Ready(result.clone());
-                    self.shared.done.notify_all();
-                    return result;
+                    // re-entering it at the tail of its own pipeline keeps
+                    // the issue-order contract — it never jumps the queue
+                    // through the synchronous path. Re-arming under the
+                    // lock makes exactly one waiter the resubmitter; any
+                    // concurrent wait() sees Pending and just waits.
+                    *state = FutureState::Pending;
+                    drop(state);
+                    std::thread::sleep(BLOCKED_RESUBMIT_DELAY);
+                    resubmit(Completer {
+                        shared: Arc::clone(&self.shared),
+                    });
+                    state = self.shared.state.lock();
                 }
                 FutureState::Pending => self.shared.done.wait(&mut state),
             }
@@ -202,7 +213,7 @@ impl Completer {
         }
     }
 
-    /// Mark the handle guard-blocked; `wait()` resolves it synchronously.
+    /// Mark the handle guard-blocked; `wait()` re-enters it in the queue.
     pub(crate) fn complete_blocked(&self) {
         let mut state = self.shared.state.lock();
         if matches!(*state, FutureState::Pending) {
@@ -212,9 +223,10 @@ impl Completer {
     }
 }
 
-/// Create a linked handle/completer pair. `retry` is the synchronous
-/// fallback used when the operation comes back guard-blocked.
-pub(crate) fn pending_pair(retry: Arc<RetryFn>) -> (PendingInvocation, Completer) {
+/// Create a linked handle/completer pair. `resubmit` re-enqueues the
+/// operation (with the completer it is handed) when a round reports its
+/// guard false, preserving issue order for the re-execution.
+pub(crate) fn pending_pair(resubmit: Arc<ResubmitFn>) -> (PendingInvocation, Completer) {
     let shared = Arc::new(FutureShared {
         state: Mutex::new(FutureState::Pending),
         done: Condvar::new(),
@@ -222,7 +234,7 @@ pub(crate) fn pending_pair(retry: Arc<RetryFn>) -> (PendingInvocation, Completer
     (
         PendingInvocation {
             shared: Arc::clone(&shared),
-            retry: Some(retry),
+            resubmit: Some(resubmit),
         },
         Completer { shared },
     )
@@ -234,7 +246,7 @@ pub(crate) enum RoundSlot {
     /// Not executed (a round that ends with `Todo` slots resolves them as
     /// timed out — every handle always resolves).
     Todo,
-    /// Guard was false; resolves through the synchronous retry on `wait()`.
+    /// Guard was false; `wait()` re-enters the op in the pipeline queue.
     Blocked,
     /// Executed.
     Ready(Result<Vec<u8>, RtsError>),
@@ -510,8 +522,8 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
 
-    fn no_retry() -> Arc<RetryFn> {
-        Arc::new(|| Err(RtsError::Terminated))
+    fn no_resubmit() -> Arc<ResubmitFn> {
+        Arc::new(|completer: Completer| completer.complete(Err(RtsError::Terminated)))
     }
 
     #[test]
@@ -525,7 +537,7 @@ mod tests {
 
     #[test]
     fn completer_resolves_waiting_handle() {
-        let (handle, completer) = pending_pair(no_retry());
+        let (handle, completer) = pending_pair(no_resubmit());
         assert_eq!(handle.try_get(), None);
         let waiter = std::thread::spawn(move || handle.wait());
         std::thread::sleep(Duration::from_millis(20));
@@ -534,20 +546,89 @@ mod tests {
     }
 
     #[test]
-    fn blocked_handle_resolves_through_retry() {
+    fn blocked_handle_reenters_the_queue_until_the_guard_passes() {
+        // A resubmission target standing in for the pipeline: the first
+        // re-entry reports the guard still false, the second succeeds.
         let calls = Arc::new(AtomicUsize::new(0));
-        let retry_calls = Arc::clone(&calls);
-        let retry: Arc<RetryFn> = Arc::new(move || {
-            retry_calls.fetch_add(1, Ordering::SeqCst);
-            Ok(vec![9])
+        let resubmit_calls = Arc::clone(&calls);
+        let resubmit: Arc<ResubmitFn> = Arc::new(move |completer: Completer| {
+            if resubmit_calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                completer.complete_blocked();
+            } else {
+                completer.complete(Ok(vec![9]));
+            }
         });
-        let (handle, completer) = pending_pair(retry);
+        let (handle, completer) = pending_pair(resubmit);
         completer.complete_blocked();
-        // try_get does not trigger the retry (it cannot block).
+        // try_get does not trigger the resubmission (it cannot block).
         assert_eq!(handle.try_get(), None);
         assert_eq!(handle.wait(), Ok(vec![9]));
         assert_eq!(handle.wait(), Ok(vec![9]));
-        assert_eq!(calls.load(Ordering::SeqCst), 1, "retry ran exactly once");
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            2,
+            "each blocked resolution re-enters exactly once"
+        );
+    }
+
+    #[test]
+    fn blocked_op_reexecutes_in_issue_order_not_ahead_of_the_queue() {
+        // Round executor: op value 0 is guard-blocked on its first pass,
+        // everything else (and its re-entry) succeeds. The re-entered op
+        // must land *after* ops that were already queued behind it.
+        let order: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let order_w = Arc::clone(&order);
+        let first_pass = Arc::new(AtomicBool::new(true));
+        let policy = Arc::new(Mutex::new(BatchPolicy::with_max_batch(1)));
+        let telemetry = Telemetry::new(1);
+        let pipeline = Pipeline::start("test-pipe".into(), 0, telemetry, policy, move |ops| {
+            for op in ops {
+                let value = u64::from_le_bytes(op.op.clone().try_into().unwrap());
+                if value == 0 && first_pass.swap(false, Ordering::SeqCst) {
+                    op.completer.complete_blocked();
+                    continue;
+                }
+                order_w.lock().push(value);
+                op.completer.complete(Ok(Vec::new()));
+            }
+        });
+        let pipe = Arc::new(pipeline);
+        let mut handles = Vec::new();
+        for i in 0..3u64 {
+            let resubmit: Arc<ResubmitFn> = {
+                let pipe = Arc::clone(&pipe);
+                let op = i.to_le_bytes().to_vec();
+                Arc::new(move |completer: Completer| {
+                    pipe.submit(QueuedOp {
+                        object: ObjectId::compose(0, 1),
+                        kind: OpKind::Write,
+                        op: op.clone(),
+                        trace: TraceId::NONE,
+                        submitted: Instant::now(),
+                        completer,
+                    })
+                })
+            };
+            let (handle, completer) = pending_pair(resubmit);
+            pipe.submit(QueuedOp {
+                object: ObjectId::compose(0, 1),
+                kind: OpKind::Write,
+                op: i.to_le_bytes().to_vec(),
+                trace: TraceId::NONE,
+                submitted: Instant::now(),
+                completer,
+            });
+            handles.push(handle);
+        }
+        for handle in &handles {
+            assert_eq!(handle.wait(), Ok(Vec::new()));
+        }
+        assert_eq!(
+            *order.lock(),
+            vec![1, 2, 0],
+            "the re-entered op must run after the ops queued behind it"
+        );
+        pipe.shutdown();
     }
 
     #[test]
@@ -571,7 +652,7 @@ mod tests {
         });
         let mut handles = Vec::new();
         for i in 0..10u64 {
-            let (handle, completer) = pending_pair(no_retry());
+            let (handle, completer) = pending_pair(no_resubmit());
             pipeline.submit(QueuedOp {
                 object: ObjectId::compose(0, 1),
                 kind: OpKind::Write,
@@ -589,7 +670,7 @@ mod tests {
         assert!(rounds.lock().iter().all(|len| *len <= 4));
         pipeline.shutdown();
         // Submissions after shutdown fail fast.
-        let (handle, completer) = pending_pair(no_retry());
+        let (handle, completer) = pending_pair(no_resubmit());
         pipeline.submit(QueuedOp {
             object: ObjectId::compose(0, 1),
             kind: OpKind::Write,

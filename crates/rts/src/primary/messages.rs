@@ -1,12 +1,42 @@
 //! RPC messages of the point-to-point (primary-copy) runtime system.
 
 use orca_object::ObjectId;
-use orca_wire::{BatchOp, BatchOutcome, Decoder, Encoder, Wire, WireError, WireResult};
+use orca_wire::{
+    BatchOp, BatchOutcome, Decoder, DedupWindow, Encoder, LeaseGrant, LeaseMsg, OpStamp, Wire,
+    WireError, WireResult,
+};
+
+/// A stamped write's identity plus the reply it produced, piggybacked on
+/// update pushes so every copy holder's [`DedupWindow`] stays as fresh as
+/// its state — whichever copy gets promoted can answer a retry.
+pub type StampedReply = (OpStamp, Vec<u8>);
+
+fn encode_stamped(enc: &mut Encoder, stamped: &Option<StampedReply>) {
+    match stamped {
+        None => enc.put_u8(0),
+        Some((stamp, reply)) => {
+            enc.put_u8(1);
+            stamp.encode(enc);
+            enc.put_bytes(reply);
+        }
+    }
+}
+
+fn decode_stamped(dec: &mut Decoder<'_>) -> WireResult<Option<StampedReply>> {
+    match dec.get_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some((Wire::decode(dec)?, dec.get_bytes()?))),
+        tag => Err(WireError::InvalidTag {
+            type_name: "Option<StampedReply>",
+            tag: u64::from(tag),
+        }),
+    }
+}
 
 /// Requests sent to a node's primary-copy RTS service.
 ///
-/// The first four are client → primary requests; the last three are
-/// primary → secondary requests used by the write protocols.
+/// The first four are client → primary requests; the rest are
+/// primary → secondary requests used by the write and lease protocols.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PrimaryMsg {
     /// Execute a read operation at the primary copy (the caller holds no
@@ -24,6 +54,10 @@ pub enum PrimaryMsg {
         object: ObjectId,
         /// Encoded operation.
         op: Vec<u8>,
+        /// Exactly-once identity of the write; a retry after a timeout or a
+        /// re-homing re-sends the same stamp and is answered from the
+        /// primary's [`DedupWindow`] instead of being applied again.
+        stamp: Option<OpStamp>,
     },
     /// Register the caller as a copy holder and return the current state.
     FetchCopy {
@@ -61,11 +95,19 @@ pub enum PrimaryMsg {
         /// re-syncs on the next access — the discipline that makes a copy
         /// of version `v` provably contain every write up to `v`.
         version: u64,
+        /// The stamp and reply of the write this update propagates, folded
+        /// into the secondary's dedup window so a promoted copy answers
+        /// retries of writes the dead primary already applied.
+        stamped: Option<StampedReply>,
     },
     /// Primary → secondary: unlock the object (update protocol, phase 2).
     Unlock {
         /// Target object.
         object: ObjectId,
+        /// Renewed read lease, when leases are enabled: the holder's copy
+        /// is current again as of this unlock, so the primary re-arms its
+        /// permission to serve local reads.
+        lease: Option<LeaseGrant>,
     },
     /// Client → primary: execute a *batch* of write operations, in order
     /// (the pipelined asynchronous path). Each operation runs the full
@@ -92,6 +134,10 @@ pub enum PrimaryMsg {
         /// (same strict version ordering as single updates).
         first_version: u64,
     },
+    /// Standalone lease traffic (see [`LeaseMsg`]): grants and renewals
+    /// piggyback on [`PrimaryReply::State`] and [`PrimaryMsg::Unlock`], so
+    /// only explicit revocations travel as this message.
+    Lease(LeaseMsg),
 }
 
 impl Wire for PrimaryMsg {
@@ -102,10 +148,11 @@ impl Wire for PrimaryMsg {
                 object.encode(enc);
                 enc.put_bytes(op);
             }
-            PrimaryMsg::WriteAt { object, op } => {
+            PrimaryMsg::WriteAt { object, op, stamp } => {
                 enc.put_u8(1);
                 object.encode(enc);
                 enc.put_bytes(op);
+                stamp.encode(enc);
             }
             PrimaryMsg::FetchCopy { object } => {
                 enc.put_u8(2);
@@ -124,15 +171,18 @@ impl Wire for PrimaryMsg {
                 object,
                 op,
                 version,
+                stamped,
             } => {
                 enc.put_u8(5);
                 object.encode(enc);
                 enc.put_bytes(op);
                 version.encode(enc);
+                encode_stamped(enc, stamped);
             }
-            PrimaryMsg::Unlock { object } => {
+            PrimaryMsg::Unlock { object, lease } => {
                 enc.put_u8(6);
                 object.encode(enc);
+                lease.encode(enc);
             }
             PrimaryMsg::WriteBatch { ops } => {
                 enc.put_u8(7);
@@ -148,6 +198,10 @@ impl Wire for PrimaryMsg {
                 ops.encode(enc);
                 first_version.encode(enc);
             }
+            PrimaryMsg::Lease(msg) => {
+                enc.put_u8(9);
+                msg.encode(enc);
+            }
         }
     }
 
@@ -160,6 +214,7 @@ impl Wire for PrimaryMsg {
             1 => Ok(PrimaryMsg::WriteAt {
                 object: Wire::decode(dec)?,
                 op: dec.get_bytes()?,
+                stamp: Wire::decode(dec)?,
             }),
             2 => Ok(PrimaryMsg::FetchCopy {
                 object: Wire::decode(dec)?,
@@ -175,9 +230,11 @@ impl Wire for PrimaryMsg {
                 object: Wire::decode(dec)?,
                 op: dec.get_bytes()?,
                 version: Wire::decode(dec)?,
+                stamped: decode_stamped(dec)?,
             }),
             6 => Ok(PrimaryMsg::Unlock {
                 object: Wire::decode(dec)?,
+                lease: Wire::decode(dec)?,
             }),
             7 => Ok(PrimaryMsg::WriteBatch {
                 ops: Wire::decode(dec)?,
@@ -187,6 +244,7 @@ impl Wire for PrimaryMsg {
                 ops: Wire::decode(dec)?,
                 first_version: Wire::decode(dec)?,
             }),
+            9 => Ok(PrimaryMsg::Lease(Wire::decode(dec)?)),
             tag => Err(WireError::InvalidTag {
                 type_name: "PrimaryMsg",
                 tag: u64::from(tag),
@@ -211,6 +269,11 @@ pub enum PrimaryReply {
         /// The primary replica's version at the snapshot; the fetcher's
         /// copy continues the update-version sequence from here.
         version: u64,
+        /// A fresh read lease over the copy, when leases are enabled.
+        lease: Option<LeaseGrant>,
+        /// The primary's dedup window at the snapshot, so the copy can be
+        /// promoted without forgetting which stamped writes were applied.
+        dedup: DedupWindow,
     },
     /// Acknowledgement with no payload.
     Ack,
@@ -219,6 +282,8 @@ pub enum PrimaryReply {
     /// Per-operation outcomes of a [`PrimaryMsg::WriteBatch`], in batch
     /// order.
     Batch(Vec<BatchOutcome>),
+    /// Lease sub-protocol reply (a [`LeaseMsg::RevokeAck`]).
+    Lease(LeaseMsg),
 }
 
 impl Wire for PrimaryReply {
@@ -233,11 +298,15 @@ impl Wire for PrimaryReply {
                 type_name,
                 state,
                 version,
+                lease,
+                dedup,
             } => {
                 enc.put_u8(2);
                 type_name.encode(enc);
                 enc.put_bytes(state);
                 version.encode(enc);
+                lease.encode(enc);
+                dedup.encode(enc);
             }
             PrimaryReply::Ack => enc.put_u8(3),
             PrimaryReply::Error(msg) => {
@@ -247,6 +316,10 @@ impl Wire for PrimaryReply {
             PrimaryReply::Batch(outcomes) => {
                 enc.put_u8(5);
                 outcomes.encode(enc);
+            }
+            PrimaryReply::Lease(msg) => {
+                enc.put_u8(6);
+                msg.encode(enc);
             }
         }
     }
@@ -259,10 +332,13 @@ impl Wire for PrimaryReply {
                 type_name: Wire::decode(dec)?,
                 state: dec.get_bytes()?,
                 version: Wire::decode(dec)?,
+                lease: Wire::decode(dec)?,
+                dedup: Wire::decode(dec)?,
             }),
             3 => Ok(PrimaryReply::Ack),
             4 => Ok(PrimaryReply::Error(Wire::decode(dec)?)),
             5 => Ok(PrimaryReply::Batch(Wire::decode(dec)?)),
+            6 => Ok(PrimaryReply::Lease(Wire::decode(dec)?)),
             tag => Err(WireError::InvalidTag {
                 type_name: "PrimaryReply",
                 tag: u64::from(tag),
@@ -286,6 +362,12 @@ mod tests {
             PrimaryMsg::WriteAt {
                 object,
                 op: vec![2, 3],
+                stamp: Some(OpStamp { origin: 2, seq: 8 }),
+            },
+            PrimaryMsg::WriteAt {
+                object,
+                op: vec![2, 3],
+                stamp: None,
             },
             PrimaryMsg::FetchCopy { object },
             PrimaryMsg::DropCopy { object },
@@ -294,8 +376,27 @@ mod tests {
                 object,
                 op: vec![],
                 version: 4,
+                stamped: Some((OpStamp { origin: 1, seq: 2 }, vec![7])),
             },
-            PrimaryMsg::Unlock { object },
+            PrimaryMsg::UpdateOp {
+                object,
+                op: vec![5],
+                version: 5,
+                stamped: None,
+            },
+            PrimaryMsg::Unlock {
+                object,
+                lease: Some(LeaseGrant {
+                    object: object.0,
+                    epoch: 3,
+                    seq: 11,
+                    valid_ms: 40,
+                }),
+            },
+            PrimaryMsg::Unlock {
+                object,
+                lease: None,
+            },
             PrimaryMsg::WriteBatch {
                 ops: vec![BatchOp {
                     id: 8,
@@ -311,6 +412,10 @@ mod tests {
                 ops: vec![vec![1], vec![2, 3]],
                 first_version: 9,
             },
+            PrimaryMsg::Lease(LeaseMsg::Revoke {
+                object: object.0,
+                seq: 11,
+            }),
         ];
         for msg in msgs {
             assert_eq!(PrimaryMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
@@ -319,6 +424,8 @@ mod tests {
 
     #[test]
     fn all_replies_round_trip() {
+        let mut dedup = DedupWindow::new();
+        dedup.record(OpStamp { origin: 0, seq: 1 }, vec![5]);
         let replies = vec![
             PrimaryReply::Reply(vec![9, 9]),
             PrimaryReply::Blocked,
@@ -326,6 +433,20 @@ mod tests {
                 type_name: "T".into(),
                 state: vec![0; 10],
                 version: 7,
+                lease: Some(LeaseGrant {
+                    object: 4,
+                    epoch: 0,
+                    seq: 1,
+                    valid_ms: 25,
+                }),
+                dedup,
+            },
+            PrimaryReply::State {
+                type_name: "T".into(),
+                state: vec![],
+                version: 0,
+                lease: None,
+                dedup: DedupWindow::new(),
             },
             PrimaryReply::Ack,
             PrimaryReply::Error("nope".into()),
@@ -334,6 +455,7 @@ mod tests {
                 BatchOutcome::Blocked,
                 BatchOutcome::Failed("no".into()),
             ]),
+            PrimaryReply::Lease(LeaseMsg::RevokeAck { object: 4, seq: 1 }),
         ];
         for reply in replies {
             assert_eq!(PrimaryReply::from_bytes(&reply.to_bytes()).unwrap(), reply);

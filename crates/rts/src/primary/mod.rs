@@ -38,8 +38,11 @@ use orca_amoeba::rpc::RpcServer;
 use orca_amoeba::NodeId;
 use orca_group::{FailureDetector, ViewSnapshot};
 use orca_object::{AnyReplica, AppliedOutcome, ObjectError, ObjectId, ObjectRegistry, OpKind};
-use orca_telemetry::{trace, FlightKind};
-use orca_wire::{BatchOp, BatchOutcome, CopyInfo, RecoveryMsg, RecoveryReply, Wire};
+use orca_telemetry::{trace, Counter, FlightKind};
+use orca_wire::{
+    BatchOp, BatchOutcome, CopyInfo, DedupWindow, LeaseGrant, LeaseMsg, OpStamp, RecoveryMsg,
+    RecoveryReply, Wire,
+};
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::pipeline::{pending_pair, resolve_round, BatchPolicy, Pipeline, QueuedOp, RoundSlot};
@@ -71,6 +74,16 @@ pub struct ReplicationPolicy {
     /// Disable dynamic replication entirely (no secondary copies are ever
     /// created; all remote accesses go to the primary).
     pub enabled: bool,
+    /// Validity, in milliseconds, of the read leases the primary grants to
+    /// secondary copy holders (0 disables leases).
+    ///
+    /// While a holder's lease is valid it serves reads from its local copy
+    /// with **zero messages**; in exchange a write must renew, revoke or
+    /// wait out every outstanding grant before it completes, which is what
+    /// keeps leased reads linearizable even though update pushes can fail.
+    /// Validity is tied to the failure detector's membership epoch: any
+    /// view change invalidates every lease granted under the old epoch.
+    pub read_lease_ms: u64,
 }
 
 impl Default for ReplicationPolicy {
@@ -80,6 +93,7 @@ impl Default for ReplicationPolicy {
             drop_ratio: 1.0,
             window: 16,
             enabled: true,
+            read_lease_ms: 150,
         }
     }
 }
@@ -102,11 +116,87 @@ const BLOCKED_RETRY_DELAY: Duration = Duration::from_millis(20);
 /// [`PrimaryCopyRts::set_op_timeout`].
 const DEFAULT_OP_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// Authoritative per-object state of the primary, guarded by one mutex that
+/// doubles as the object lock held for the duration of the write protocol.
+/// The dedup window and the lease table live under the same lock as the
+/// replica because both must change atomically with an apply: a stamped
+/// write is recorded in the window in the same critical section it executes
+/// in, and leases are granted/settled while the write they fence is still
+/// invisible to new readers.
+struct PrimaryCore {
+    /// The authoritative replica.
+    replica: Box<dyn AnyReplica>,
+    /// Recently applied stamped writes and their replies (exactly-once
+    /// across retries and promotion; rides copy fetches and update pushes).
+    dedup: DedupWindow,
+    /// Outstanding read leases granted to secondary copy holders.
+    leases: LeaseTable,
+}
+
+/// Primary-side bookkeeping of the read-lease protocol for one object.
+#[derive(Default)]
+struct LeaseTable {
+    /// Latest grant per holder, with the *conservative* expiry instant on
+    /// the grantor's clock (the holder counts `valid_ms` from receipt, so
+    /// the grantor waits out twice that span — the bounded-delivery-delay
+    /// assumption recovery's re-home wait already makes).
+    grants: HashMap<NodeId, GrantRecord>,
+    /// Grant sequence numbers, unique per object per grantor incarnation.
+    next_seq: u64,
+    /// Writes may not execute before this instant. Set when this replica
+    /// was promoted by crash recovery: the dead primary's grants are
+    /// unknown, so the first write conservatively waits out a full lease
+    /// span (reads need no fence — every valid lease covers a copy that
+    /// already contains every acknowledged write).
+    fence: Option<Instant>,
+}
+
+#[derive(Clone, Copy)]
+struct GrantRecord {
+    seq: u64,
+    expires: Instant,
+}
+
+/// Holder-side record of the lease covering the local secondary copy.
+struct HeldLease {
+    /// Sequence number of the grant (named by revocations and renewals).
+    seq: u64,
+    /// Membership epoch the grant was issued under; a holder whose own
+    /// detector has moved past it treats the lease as expired regardless of
+    /// the clock.
+    epoch: u64,
+    /// Expiry on the holder's clock (`valid_ms` from receipt).
+    expires: Instant,
+}
+
+/// Telemetry counters of the lease protocol, cached so the leased read path
+/// does not take the registry lock per read. Shared with the adaptive RTS:
+/// both backends account their leases under the same `rts.lease.*` names.
+pub(crate) struct LeaseCounters {
+    pub(crate) grants: Counter,
+    pub(crate) renewals: Counter,
+    pub(crate) revokes: Counter,
+    pub(crate) local_reads: Counter,
+}
+
+impl LeaseCounters {
+    /// Resolve (or create) the `rts.lease.*` counters of this node's
+    /// telemetry registry.
+    pub(crate) fn from_handle(handle: &NetworkHandle) -> Self {
+        let reg = handle.telemetry().registry();
+        LeaseCounters {
+            grants: reg.counter("rts.lease.grants"),
+            renewals: reg.counter("rts.lease.renewals"),
+            revokes: reg.counter("rts.lease.revokes"),
+            local_reads: reg.counter("rts.lease.local_reads"),
+        }
+    }
+}
+
 /// Primary-side record of one object.
 struct PrimaryObject {
-    /// The authoritative replica. The mutex doubles as the object lock held
-    /// for the duration of the write protocol.
-    replica: Mutex<Box<dyn AnyReplica>>,
+    /// Replica, dedup window and lease table under the object lock.
+    core: Mutex<PrimaryCore>,
     /// Nodes currently holding a secondary copy.
     copy_holders: Mutex<HashSet<NodeId>>,
     type_name: String,
@@ -130,6 +220,14 @@ struct SecondaryState {
     /// it and is discarded instead of installed — the fix for the stale
     /// fetch/write race.
     seen: u64,
+    /// Read lease over `copy`, when leases are enabled. Kept even after
+    /// expiry (an expired lease is the token a renewal request presents);
+    /// cleared only when the copy itself goes.
+    lease: Option<HeldLease>,
+    /// Dedup window mirroring the primary's, kept as fresh as `copy` by
+    /// the stamped piggyback on update pushes — what lets a promoted copy
+    /// answer retries of writes the dead primary already applied.
+    dedup: DedupWindow,
 }
 
 struct SecondaryObject {
@@ -151,6 +249,11 @@ struct Inner {
     /// Ids for batched asynchronous operations (wire-level only; replies
     /// are matched by batch order).
     next_async: AtomicU64,
+    /// Per-node monotonic sequence stamping synchronously-invoked writes
+    /// with an exactly-once identity (see [`OpStamp`]).
+    next_stamp: AtomicU64,
+    /// Cached `rts.lease.*` telemetry counters.
+    lease_counters: LeaseCounters,
     /// Per-invocation RPC deadline in milliseconds.
     op_timeout_ms: AtomicU64,
     /// Batching knobs of the asynchronous path.
@@ -186,6 +289,72 @@ impl Inner {
     fn is_lost(&self, object: ObjectId) -> bool {
         self.lost.read().contains(&object)
     }
+
+    fn leases_enabled(&self) -> bool {
+        self.replication.read_lease_ms > 0
+    }
+
+    /// The membership epoch leases are stamped with (0 when recovery — and
+    /// with it the failure detector — is disabled; both sides then agree on
+    /// epoch 0 and leases degrade to pure wall-clock bounds).
+    fn current_epoch(&self) -> u64 {
+        self.detector.as_ref().map(|d| d.epoch()).unwrap_or(0)
+    }
+
+    /// Conservative grantor-side span of one lease: double the holder-side
+    /// validity, covering delivery delay and clock drift to the same degree
+    /// the recovery timeline already assumes.
+    fn grant_span(&self) -> Duration {
+        Duration::from_millis(self.replication.read_lease_ms.saturating_mul(2))
+    }
+
+    /// Mint a lease for `holder`, recording the grant in `leases`.
+    fn mint_grant(
+        &self,
+        object: ObjectId,
+        leases: &mut LeaseTable,
+        holder: NodeId,
+        renewal: bool,
+    ) -> LeaseGrant {
+        leases.next_seq += 1;
+        let seq = leases.next_seq;
+        leases.grants.insert(
+            holder,
+            GrantRecord {
+                seq,
+                expires: Instant::now() + self.grant_span(),
+            },
+        );
+        if renewal {
+            self.lease_counters.renewals.inc();
+        } else {
+            self.lease_counters.grants.inc();
+        }
+        LeaseGrant {
+            object: object.0,
+            epoch: self.current_epoch(),
+            seq,
+            valid_ms: self.replication.read_lease_ms,
+        }
+    }
+}
+
+/// True while the holder-side lease permits zero-message local reads.
+fn lease_valid(inner: &Inner, state: &SecondaryState) -> bool {
+    match &state.lease {
+        Some(lease) => Instant::now() < lease.expires && inner.current_epoch() == lease.epoch,
+        None => false,
+    }
+}
+
+/// Install a received grant as the holder-side lease (validity counted from
+/// receipt, on the holder's own clock).
+fn install_lease(state: &mut SecondaryState, grant: &LeaseGrant) {
+    state.lease = Some(HeldLease {
+        seq: grant.seq,
+        epoch: grant.epoch,
+        expires: Instant::now() + Duration::from_millis(grant.valid_ms),
+    });
 }
 
 /// Handle to one node's primary-copy runtime system. Cheap to clone.
@@ -242,6 +411,7 @@ impl PrimaryCopyRts {
         detector: Option<Arc<FailureDetector>>,
     ) -> Self {
         let detector = crate::recovery::ensure_detector(&handle, &recovery, detector);
+        let lease_counters = LeaseCounters::from_handle(&handle);
         let inner = Arc::new(Inner {
             node: handle.node(),
             num_nodes: handle.num_nodes(),
@@ -253,6 +423,8 @@ impl PrimaryCopyRts {
             secondaries: RwLock::new(HashMap::new()),
             next_object: AtomicU64::new(1),
             next_async: AtomicU64::new(1),
+            next_stamp: AtomicU64::new(1),
+            lease_counters,
             op_timeout_ms: AtomicU64::new(DEFAULT_OP_TIMEOUT.as_millis() as u64),
             batch_policy: Arc::new(Mutex::new(BatchPolicy::default())),
             stats: RtsStats::new_shared(),
@@ -504,11 +676,15 @@ impl PrimaryCopyRts {
         entry.access.record_read();
         {
             let mut state = entry.state.lock();
-            if !state.locked {
+            let leased = !self.inner.leases_enabled() || lease_valid(&self.inner, &state);
+            if !state.locked && leased {
                 if let Some(copy) = state.copy.as_mut() {
                     match copy.apply_encoded(&op.op) {
                         Ok(AppliedOutcome::Done(reply)) => {
                             RtsStats::bump(&self.inner.stats.local_reads);
+                            if self.inner.leases_enabled() {
+                                self.inner.lease_counters.local_reads.inc();
+                            }
                             return RoundSlot::Ready(Ok(reply));
                         }
                         Ok(AppliedOutcome::Blocked) => return RoundSlot::Blocked,
@@ -516,8 +692,9 @@ impl PrimaryCopyRts {
                     }
                 }
             }
-            // Locked (an update push is in flight) or no copy: read at the
-            // primary, whose object lock serializes against the push.
+            // Locked (an update push is in flight), lease lapsed, or no
+            // copy: read at the primary, whose object lock serializes
+            // against the push.
         }
         RtsStats::bump(&self.inner.stats.remote_reads);
         let msg = PrimaryMsg::ReadAt {
@@ -604,6 +781,7 @@ impl PrimaryCopyRts {
         object: ObjectId,
         op: &[u8],
         kind: OpKind,
+        stamp: Option<OpStamp>,
     ) -> Result<Vec<u8>, RtsError> {
         loop {
             let outcome = match kind {
@@ -614,7 +792,7 @@ impl PrimaryCopyRts {
                 }
                 OpKind::Write => {
                     RtsStats::bump(&self.inner.stats.writes);
-                    primary_write(&self.inner, object, op)?
+                    primary_write(&self.inner, object, op, stamp)?
                 }
             };
             match outcome {
@@ -635,6 +813,14 @@ impl PrimaryCopyRts {
         op: &[u8],
     ) -> Result<Vec<u8>, RtsError> {
         let deadline = Instant::now() + self.inner.op_timeout();
+        // Writes carry an exactly-once stamp, minted once per invocation and
+        // re-sent verbatim by every retry below: whichever replica ends up
+        // primary answers a duplicate from its dedup window instead of
+        // applying the operation a second time.
+        let stamp = (kind == OpKind::Write).then(|| OpStamp {
+            origin: self.inner.node.0,
+            seq: self.inner.next_stamp.fetch_add(1, Ordering::Relaxed),
+        });
         loop {
             if self.inner.is_lost(object) {
                 return Err(RtsError::ObjectLost(object));
@@ -642,7 +828,7 @@ impl PrimaryCopyRts {
             let primary = self.inner.primary_node(object);
             if primary == self.inner.node {
                 // Recovery re-homed the object onto this very node.
-                return self.invoke_at_primary_local(object, op, kind);
+                return self.invoke_at_primary_local(object, op, kind, stamp);
             }
             if is_dead(&self.inner.detector, primary) {
                 // Wait (bounded) for the recovery coordinator to publish a
@@ -650,17 +836,16 @@ impl PrimaryCopyRts {
                 self.await_rehome(object, primary, deadline)?;
                 continue;
             }
-            match self.invoke_remote_once(object, type_name, kind, op, primary, deadline) {
+            match self.invoke_remote_once(object, type_name, kind, op, primary, deadline, stamp) {
                 Err(RtsError::NodeDown(_))
                     if self.inner.recovery.rehome && Instant::now() < deadline =>
                 {
                     // The primary died mid-call; loop into the re-homing
-                    // wait. An operation retried this way is at-least-once
-                    // across the failure (the dead primary may have applied
-                    // it before crashing and the promoted copy may include
-                    // it) — like any RPC system, exactly-once across a
-                    // primary crash needs idempotent operations or
-                    // application-level dedup.
+                    // wait. The retry re-sends the same stamp, and the
+                    // dedup window travels with every copy, so the write
+                    // applies exactly once even when the dead primary
+                    // executed it just before crashing and the promoted
+                    // copy already contains it.
                     continue;
                 }
                 other => return other,
@@ -670,6 +855,7 @@ impl PrimaryCopyRts {
 
     /// One attempt of a remote invocation against a specific (believed
     /// live) primary.
+    #[allow(clippy::too_many_arguments)]
     fn invoke_remote_once(
         &self,
         object: ObjectId,
@@ -678,6 +864,7 @@ impl PrimaryCopyRts {
         op: &[u8],
         primary: NodeId,
         deadline: Instant,
+        stamp: Option<OpStamp>,
     ) -> Result<Vec<u8>, RtsError> {
         let entry = self.secondary_entry(object);
         match kind {
@@ -686,7 +873,13 @@ impl PrimaryCopyRts {
         }
         let result = match kind {
             OpKind::Read => {
-                if let Some(reply) = self.try_local_secondary_read(object, &entry, op)? {
+                let mut local = self.try_local_secondary_read(object, &entry, op)?;
+                if local.is_none() && self.try_renew_lease(object, primary, &entry, deadline) {
+                    // One renewal RPC re-arms a whole lease window of
+                    // zero-message reads; retry locally before going remote.
+                    local = self.try_local_secondary_read(object, &entry, op)?;
+                }
+                if let Some(reply) = local {
                     RtsStats::bump(&self.inner.stats.local_reads);
                     Ok(reply)
                 } else {
@@ -709,6 +902,7 @@ impl PrimaryCopyRts {
                     PrimaryMsg::WriteAt {
                         object,
                         op: op.to_vec(),
+                        stamp,
                     },
                     deadline,
                 )
@@ -716,6 +910,66 @@ impl PrimaryCopyRts {
         };
         self.maybe_adjust_replication(object, type_name, primary, &entry, deadline)?;
         result
+    }
+
+    /// Ask the primary for a fresh lease over the local copy, presenting the
+    /// (expired or epoch-stale) grant currently held. The primary re-grants
+    /// only when that grant is still the latest it issued to this node — a
+    /// newer or revoked grant means the copy may have missed a write, in
+    /// which case the copy is dropped and the caller falls back to a remote
+    /// read.
+    fn try_renew_lease(
+        &self,
+        object: ObjectId,
+        primary: NodeId,
+        entry: &SecondaryObject,
+        deadline: Instant,
+    ) -> bool {
+        if !self.inner.leases_enabled() {
+            return false;
+        }
+        let request = {
+            let state = entry.state.lock();
+            if state.copy.is_none() || lease_valid(&self.inner, &state) {
+                return false;
+            }
+            let Some(lease) = &state.lease else {
+                return false;
+            };
+            LeaseGrant {
+                object: object.0,
+                epoch: lease.epoch,
+                seq: lease.seq,
+                valid_ms: 0,
+            }
+        };
+        match self.rpc(
+            primary,
+            &PrimaryMsg::Lease(LeaseMsg::Renew(request)),
+            deadline,
+        ) {
+            Ok(PrimaryReply::Lease(LeaseMsg::Renew(grant))) => {
+                let mut state = entry.state.lock();
+                if state.copy.is_some() {
+                    install_lease(&mut state, &grant);
+                    return true;
+                }
+                false
+            }
+            Ok(_) => {
+                // Denied: the copy is (or may be) stale. Drop it and let the
+                // next access re-fetch.
+                let mut state = entry.state.lock();
+                if state.copy.take().is_some() {
+                    RtsStats::bump(&self.inner.stats.copies_dropped);
+                }
+                state.lease = None;
+                state.locked = false;
+                entry.unlocked.notify_all();
+                false
+            }
+            Err(_) => false,
+        }
     }
 
     /// Block (bounded by the invocation deadline and the configured
@@ -792,11 +1046,25 @@ impl PrimaryCopyRts {
                     return Ok(None);
                 }
             }
+            if state.copy.is_some() && self.inner.leases_enabled() {
+                // Leases on: the copy alone is not permission to read. A
+                // write at the primary can complete only after renewing,
+                // revoking or waiting out this node's grant, so a valid
+                // lease proves the copy reflects every completed write.
+                if !lease_valid(&self.inner, &state) {
+                    return Ok(None);
+                }
+            }
             let Some(copy) = state.copy.as_mut() else {
                 return Ok(None);
             };
             match copy.apply_encoded(op)? {
-                AppliedOutcome::Done(reply) => return Ok(Some(reply)),
+                AppliedOutcome::Done(reply) => {
+                    if self.inner.leases_enabled() {
+                        self.inner.lease_counters.local_reads.inc();
+                    }
+                    return Ok(Some(reply));
+                }
                 AppliedOutcome::Blocked => {
                     // Guarded read: wait for the copy to change (updates
                     // arrive via the update protocol) or fall back to a
@@ -874,6 +1142,8 @@ impl PrimaryCopyRts {
                 type_name,
                 state,
                 version,
+                lease,
+                dedup,
             } => {
                 let replica = self.inner.registry.instantiate(&type_name, &state)?;
                 let mut guard = entry.state.lock();
@@ -888,6 +1158,11 @@ impl PrimaryCopyRts {
                 guard.version = version;
                 guard.seen = guard.seen.max(version);
                 guard.locked = false;
+                guard.dedup = dedup;
+                guard.lease = None;
+                if let Some(grant) = lease {
+                    install_lease(&mut guard, &grant);
+                }
                 RtsStats::bump(&self.inner.stats.copies_fetched);
                 Ok(())
             }
@@ -909,6 +1184,8 @@ impl PrimaryCopyRts {
         let mut guard = entry.state.lock();
         guard.copy = None;
         guard.locked = false;
+        guard.lease = None;
+        guard.dedup = DedupWindow::new();
         RtsStats::bump(&self.inner.stats.copies_dropped);
         self.inner.stats.snapshot();
         Ok(())
@@ -931,7 +1208,11 @@ impl RuntimeSystem for PrimaryCopyRts {
         self.inner.primaries.write().insert(
             id,
             Arc::new(PrimaryObject {
-                replica: Mutex::new(replica),
+                core: Mutex::new(PrimaryCore {
+                    replica,
+                    dedup: DedupWindow::new(),
+                    leases: LeaseTable::default(),
+                }),
                 copy_holders: Mutex::new(HashSet::new()),
                 type_name: type_name.to_string(),
             }),
@@ -951,7 +1232,9 @@ impl RuntimeSystem for PrimaryCopyRts {
             return Err(RtsError::ObjectLost(object));
         }
         if self.inner.primary_node(object) == self.inner.node {
-            self.invoke_at_primary_local(object, op, kind)
+            // Local invocations never retry across a node death (the
+            // caller dies with the primary), so they carry no dedup stamp.
+            self.invoke_at_primary_local(object, op, kind, None)
         } else {
             self.invoke_remote(object, type_name, kind, op)
         }
@@ -960,7 +1243,7 @@ impl RuntimeSystem for PrimaryCopyRts {
     fn invoke_async(
         &self,
         object: ObjectId,
-        type_name: &str,
+        _type_name: &str,
         kind: OpKind,
         op: &[u8],
     ) -> PendingInvocation {
@@ -970,18 +1253,31 @@ impl RuntimeSystem for PrimaryCopyRts {
         if kind == OpKind::Write {
             RtsStats::bump(&self.inner.stats.writes);
         }
-        let retry = {
-            let rts = self.detached();
-            let type_name = type_name.to_string();
+        let pipeline = self.ensure_pipeline();
+        let trace = trace::current();
+        // A guard-blocked op re-enters this same queue from wait(), so its
+        // re-execution keeps issue order instead of jumping ahead through
+        // the synchronous path.
+        let resubmit = {
+            let pipeline = Arc::clone(&pipeline);
             let op = op.to_vec();
-            Arc::new(move || rts.invoke(object, &type_name, kind, &op))
+            Arc::new(move |completer| {
+                pipeline.submit(QueuedOp {
+                    object,
+                    kind,
+                    op: op.clone(),
+                    trace,
+                    submitted: Instant::now(),
+                    completer,
+                })
+            })
         };
-        let (handle, completer) = pending_pair(retry);
-        self.ensure_pipeline().submit(QueuedOp {
+        let (handle, completer) = pending_pair(resubmit);
+        pipeline.submit(QueuedOp {
             object,
             kind,
             op: op.to_vec(),
-            trace: trace::current(),
+            trace,
             submitted: Instant::now(),
             completer,
         });
@@ -1025,8 +1321,144 @@ fn primary_read(
             .cloned()
             .ok_or(RtsError::Object(ObjectError::NoSuchObject(object)))?
     };
-    let mut replica = entry.replica.lock();
-    Ok(replica.apply_encoded(op)?)
+    let mut core = entry.core.lock();
+    Ok(core.replica.apply_encoded(op)?)
+}
+
+/// Sleep out the promotion fence, if one is pending: the dead primary's
+/// grants are unknown to the promoted replica, so the first write waits a
+/// full conservative lease span before its effect may become visible.
+/// Reads are exempt — every lease still valid covers a copy that already
+/// contains every acknowledged write, so pre-fence reads are consistent.
+fn wait_out_fence(leases: &mut LeaseTable) {
+    if let Some(fence) = leases.fence.take() {
+        let now = Instant::now();
+        if now < fence {
+            std::thread::sleep(fence - now);
+        }
+    }
+}
+
+/// Prune lease grants that no longer need settling: expired on the
+/// grantor's conservative clock, or held by a node the failure detector has
+/// declared dead (fail-stop: a dead holder serves no reads, so its grant
+/// cannot wedge writes).
+fn prune_grants(inner: &Arc<Inner>, leases: &mut LeaseTable) {
+    let now = Instant::now();
+    leases
+        .grants
+        .retain(|holder, rec| now < rec.expires && !is_dead(&inner.detector, *holder));
+}
+
+/// Settle the leases of holders an update/invalidate push could not reach:
+/// explicit revoke bounded by the grant's own expiry, falling back to
+/// sleeping the remainder out. On return none of `failed`'s grants can
+/// still authorize a local read, so the write may complete. The failed
+/// holders are also deregistered — their copies are stale.
+fn settle_failed_leases(
+    inner: &Arc<Inner>,
+    object: ObjectId,
+    entry: &PrimaryObject,
+    leases: &mut LeaseTable,
+    failed: &[NodeId],
+) {
+    if failed.is_empty() || !inner.leases_enabled() {
+        // Without leases a failed push is ignored, as before: the holder
+        // keeps receiving future pushes and version gating re-syncs it.
+        return;
+    }
+    for holder in failed {
+        let Some(rec) = leases.grants.get(holder).copied() else {
+            continue;
+        };
+        leases.grants.remove(holder);
+        if is_dead(&inner.detector, *holder) || Instant::now() >= rec.expires {
+            continue;
+        }
+        // The revoke RPC is bounded by the grant's own expiry: waiting any
+        // longer than the lease lasts could simply wait it out instead.
+        inner.lease_counters.revokes.inc();
+        let revoke = PrimaryMsg::Lease(LeaseMsg::Revoke {
+            object: object.0,
+            seq: rec.seq,
+        });
+        if send_to_secondary_by(inner, *holder, revoke.to_bytes(), rec.expires).is_err() {
+            let now = Instant::now();
+            if now < rec.expires {
+                std::thread::sleep(rec.expires - now);
+            }
+        }
+    }
+    let mut holders = entry.copy_holders.lock();
+    for holder in failed {
+        holders.remove(holder);
+    }
+}
+
+/// Run the two-phase update protocol for one already-applied write (or run
+/// of writes): ship `phase1` to every holder, then unlock everyone with a
+/// renewed lease piggybacked, and settle the leases of holders that could
+/// not be reached. The phase-1 message is encoded once and fanned out from
+/// one scratch buffer.
+fn propagate_update(
+    inner: &Arc<Inner>,
+    object: ObjectId,
+    entry: &PrimaryObject,
+    leases: &mut LeaseTable,
+    holders: &[NodeId],
+    phase1: &PrimaryMsg,
+) {
+    let mut scratch = Vec::new();
+    phase1.encode_into(&mut scratch);
+    let mut failed: Vec<NodeId> = Vec::new();
+    for holder in holders {
+        if send_to_secondary_bytes(inner, *holder, scratch.clone()).is_err() {
+            failed.push(*holder);
+        }
+    }
+    for holder in holders {
+        if failed.contains(holder) {
+            continue;
+        }
+        let lease = inner
+            .leases_enabled()
+            .then(|| inner.mint_grant(object, leases, *holder, true));
+        let unlock = PrimaryMsg::Unlock { object, lease };
+        scratch.clear();
+        unlock.encode_into(&mut scratch);
+        if send_to_secondary_bytes(inner, *holder, scratch.clone()).is_err() {
+            // The holder applied the update but never got the unlock; its
+            // fresh grant must not outlive this write unsettled.
+            failed.push(*holder);
+        }
+    }
+    settle_failed_leases(inner, object, entry, leases, &failed);
+}
+
+/// Invalidate every holder's copy and settle the leases of unreachable
+/// holders. A successful invalidation retires the holder's grant with it.
+fn propagate_invalidate(
+    inner: &Arc<Inner>,
+    object: ObjectId,
+    entry: &PrimaryObject,
+    leases: &mut LeaseTable,
+    holders: &[NodeId],
+    version: u64,
+) {
+    let msg = PrimaryMsg::Invalidate { object, version };
+    let mut scratch = Vec::new();
+    msg.encode_into(&mut scratch);
+    let mut failed: Vec<NodeId> = Vec::new();
+    for holder in holders {
+        match send_to_secondary_bytes(inner, *holder, scratch.clone()) {
+            Ok(_) => {
+                leases.grants.remove(holder);
+            }
+            Err(_) => failed.push(*holder),
+        }
+    }
+    entry.copy_holders.lock().clear();
+    settle_failed_leases(inner, object, entry, leases, &failed);
 }
 
 /// Execute a write at the primary copy and run the configured propagation
@@ -1035,6 +1467,7 @@ fn primary_write(
     inner: &Arc<Inner>,
     object: ObjectId,
     op: &[u8],
+    stamp: Option<OpStamp>,
 ) -> Result<AppliedOutcome, RtsError> {
     let entry = {
         let primaries = inner.primaries.read();
@@ -1043,14 +1476,28 @@ fn primary_write(
             .cloned()
             .ok_or(RtsError::Object(ObjectError::NoSuchObject(object)))?
     };
-    // The primary replica's mutex is the object lock: it stays held for the
+    // The primary core's mutex is the object lock: it stays held for the
     // entire protocol so no reads or competing writes observe partial state.
-    let mut replica = entry.replica.lock();
-    let outcome = replica.apply_encoded(op)?;
+    let mut core = entry.core.lock();
+    let core = &mut *core;
+    wait_out_fence(&mut core.leases);
+    if let Some(stamp) = stamp {
+        if let Some(reply) = core.dedup.lookup(stamp) {
+            // A retry of a write this replica (or the replica it was
+            // promoted from) already applied: answer with the original
+            // reply instead of applying twice.
+            return Ok(AppliedOutcome::Done(reply.to_vec()));
+        }
+    }
+    let outcome = core.replica.apply_encoded(op)?;
     let AppliedOutcome::Done(reply) = outcome else {
         return Ok(AppliedOutcome::Blocked);
     };
-    let version = replica.version();
+    if let Some(stamp) = stamp {
+        core.dedup.record(stamp, reply.clone());
+    }
+    let version = core.replica.version();
+    prune_grants(inner, &mut core.leases);
     // Copy holders the failure detector has declared dead are dropped from
     // the protocol (and the holder set): waiting on them would stall every
     // write at this primary for the full push deadline, forever.
@@ -1065,29 +1512,16 @@ fn primary_write(
     };
     match inner.write_policy {
         WritePolicy::Invalidate => {
-            for holder in &holders {
-                let _ =
-                    send_to_secondary(inner, *holder, &PrimaryMsg::Invalidate { object, version });
-            }
-            entry.copy_holders.lock().clear();
+            propagate_invalidate(inner, object, &entry, &mut core.leases, &holders, version);
         }
         WritePolicy::Update => {
-            // Phase 1: ship the operation; every holder applies it and stays
-            // locked. Phase 2: unlock everyone.
-            for holder in &holders {
-                let _ = send_to_secondary(
-                    inner,
-                    *holder,
-                    &PrimaryMsg::UpdateOp {
-                        object,
-                        op: op.to_vec(),
-                        version,
-                    },
-                );
-            }
-            for holder in &holders {
-                let _ = send_to_secondary(inner, *holder, &PrimaryMsg::Unlock { object });
-            }
+            let phase1 = PrimaryMsg::UpdateOp {
+                object,
+                op: op.to_vec(),
+                version,
+                stamped: stamp.map(|s| (s, reply.clone())),
+            };
+            propagate_update(inner, object, &entry, &mut core.leases, &holders, &phase1);
         }
     }
     Ok(AppliedOutcome::Done(reply))
@@ -1113,17 +1547,30 @@ fn primary_write_many(inner: &Arc<Inner>, object: ObjectId, ops: &[&[u8]]) -> Ve
             }
         }
     };
-    // The primary replica's mutex is the object lock: held for the entire
-    // run and its propagation, exactly like a single write's protocol.
-    let mut replica = entry.replica.lock();
+    // The primary core's mutex is the object lock: held for the entire run
+    // and its propagation, exactly like a single write's protocol.
+    let mut core = entry.core.lock();
+    let core = &mut *core;
+    wait_out_fence(&mut core.leases);
     let mut outcomes = Vec::with_capacity(ops.len());
     let mut applied: Vec<Vec<u8>> = Vec::new();
     let mut first_version = 0;
     for op in ops {
-        match replica.apply_encoded(op) {
+        if outcomes
+            .last()
+            .is_some_and(|last| matches!(last, BatchOutcome::Blocked))
+        {
+            // A blocked guard stops the run: the remaining ops were issued
+            // *after* the blocked one on the same object, so applying them
+            // now would reorder one process's operations. They report
+            // `Blocked` and re-enter the issue-order pipeline with it.
+            outcomes.push(BatchOutcome::Blocked);
+            continue;
+        }
+        match core.replica.apply_encoded(op) {
             Ok(AppliedOutcome::Done(reply)) => {
                 if applied.is_empty() {
-                    first_version = replica.version();
+                    first_version = core.replica.version();
                 }
                 applied.push(op.to_vec());
                 outcomes.push(BatchOutcome::Done(reply));
@@ -1133,6 +1580,7 @@ fn primary_write_many(inner: &Arc<Inner>, object: ObjectId, ops: &[&[u8]]) -> Ve
         }
     }
     if !applied.is_empty() {
+        prune_grants(inner, &mut core.leases);
         let holders: Vec<NodeId> = {
             let mut holders = entry.copy_holders.lock();
             holders.retain(|h| !is_dead(&inner.detector, *h));
@@ -1144,15 +1592,8 @@ fn primary_write_many(inner: &Arc<Inner>, object: ObjectId, ops: &[&[u8]]) -> Ve
         };
         match inner.write_policy {
             WritePolicy::Invalidate => {
-                let version = replica.version();
-                for holder in &holders {
-                    let _ = send_to_secondary(
-                        inner,
-                        *holder,
-                        &PrimaryMsg::Invalidate { object, version },
-                    );
-                }
-                entry.copy_holders.lock().clear();
+                let version = core.replica.version();
+                propagate_invalidate(inner, object, &entry, &mut core.leases, &holders, version);
             }
             WritePolicy::Update => {
                 let update = PrimaryMsg::UpdateBatch {
@@ -1160,22 +1601,30 @@ fn primary_write_many(inner: &Arc<Inner>, object: ObjectId, ops: &[&[u8]]) -> Ve
                     ops: applied,
                     first_version,
                 };
-                for holder in &holders {
-                    let _ = send_to_secondary(inner, *holder, &update);
-                }
-                for holder in &holders {
-                    let _ = send_to_secondary(inner, *holder, &PrimaryMsg::Unlock { object });
-                }
+                propagate_update(inner, object, &entry, &mut core.leases, &holders, &update);
             }
         }
     }
     outcomes
 }
 
-fn send_to_secondary(
+/// Ship pre-encoded bytes to a secondary with the default push deadline.
+/// Fan-out paths encode the message once (`Wire::encode_into` into a
+/// scratch buffer) and clone the bytes per destination instead of
+/// re-encoding per holder.
+fn send_to_secondary_bytes(
     inner: &Arc<Inner>,
     dst: NodeId,
-    msg: &PrimaryMsg,
+    body: Vec<u8>,
+) -> Result<PrimaryReply, RtsError> {
+    send_to_secondary_by(inner, dst, body, Instant::now() + inner.op_timeout())
+}
+
+fn send_to_secondary_by(
+    inner: &Arc<Inner>,
+    dst: NodeId,
+    body: Vec<u8>,
+    deadline: Instant,
 ) -> Result<PrimaryReply, RtsError> {
     let reply = recovery_rpc(
         &inner.handle,
@@ -1183,8 +1632,8 @@ fn send_to_secondary(
         &inner.recovery,
         dst,
         ports::RTS_PRIMARY,
-        msg.to_bytes(),
-        Instant::now() + inner.op_timeout(),
+        body,
+        deadline,
     )?;
     PrimaryReply::from_bytes(&reply).map_err(|err| RtsError::Communication(err.to_string()))
 }
@@ -1215,42 +1664,55 @@ fn dispatch(inner: &Arc<Inner>, msg: PrimaryMsg, caller: NodeId) -> PrimaryReply
             Ok(AppliedOutcome::Blocked) => PrimaryReply::Blocked,
             Err(err) => PrimaryReply::Error(err.to_string()),
         },
-        PrimaryMsg::WriteAt { object, op } => match primary_write(inner, object, &op) {
-            Ok(AppliedOutcome::Done(reply)) => {
-                if caller != inner.node {
-                    RtsStats::bump(&inner.stats.updates_applied);
+        PrimaryMsg::WriteAt { object, op, stamp } => {
+            match primary_write(inner, object, &op, stamp) {
+                Ok(AppliedOutcome::Done(reply)) => {
+                    if caller != inner.node {
+                        RtsStats::bump(&inner.stats.updates_applied);
+                    }
+                    PrimaryReply::Reply(reply)
                 }
-                PrimaryReply::Reply(reply)
+                Ok(AppliedOutcome::Blocked) => PrimaryReply::Blocked,
+                Err(err) => PrimaryReply::Error(err.to_string()),
             }
-            Ok(AppliedOutcome::Blocked) => PrimaryReply::Blocked,
-            Err(err) => PrimaryReply::Error(err.to_string()),
-        },
+        }
         PrimaryMsg::FetchCopy { object } => {
             let primaries = inner.primaries.read();
             let Some(entry) = primaries.get(&object).cloned() else {
                 return PrimaryReply::Error(format!("no such object {object}"));
             };
             drop(primaries);
-            // Lock the replica so the state snapshot cannot interleave with
+            // Lock the core so the state snapshot cannot interleave with
             // a write protocol in progress — and register the caller as a
             // holder *inside* the same critical section: registering after
             // the unlock used to let a write slip between snapshot and
             // registration, reaching neither the snapshot nor the push
-            // list (a permanently stale copy).
-            let replica = entry.replica.lock();
-            let state = replica.state_bytes();
-            let version = replica.version();
+            // list (a permanently stale copy). The dedup window snapshots
+            // with the state (same atomicity: a promoted copy must remember
+            // exactly the stamped writes its state contains), and a fresh
+            // lease is granted in the same section, before any later write
+            // could need to settle it.
+            let mut core = entry.core.lock();
+            let state = core.replica.state_bytes();
+            let version = core.replica.version();
+            let dedup = core.dedup.clone();
+            let lease = inner
+                .leases_enabled()
+                .then(|| inner.mint_grant(object, &mut core.leases, caller, false));
             entry.copy_holders.lock().insert(caller);
-            drop(replica);
+            drop(core);
             PrimaryReply::State {
                 type_name: entry.type_name.clone(),
                 state,
                 version,
+                lease,
+                dedup,
             }
         }
         PrimaryMsg::DropCopy { object } => {
             let primaries = inner.primaries.read();
             if let Some(entry) = primaries.get(&object) {
+                entry.core.lock().leases.grants.remove(&caller);
                 entry.copy_holders.lock().remove(&caller);
             }
             PrimaryReply::Ack
@@ -1267,6 +1729,8 @@ fn dispatch(inner: &Arc<Inner>, msg: PrimaryMsg, caller: NodeId) -> PrimaryReply
                 state.seen = state.seen.max(version);
                 state.copy = None;
                 state.locked = false;
+                state.lease = None;
+                state.dedup = DedupWindow::new();
                 entry.unlocked.notify_all();
                 RtsStats::bump(&inner.stats.invalidations_received);
             }
@@ -1276,6 +1740,7 @@ fn dispatch(inner: &Arc<Inner>, msg: PrimaryMsg, caller: NodeId) -> PrimaryReply
             object,
             op,
             version,
+            stamped,
         } => {
             let secondaries = inner.secondaries.read();
             if let Some(entry) = secondaries.get(&object) {
@@ -1292,6 +1757,12 @@ fn dispatch(inner: &Arc<Inner>, msg: PrimaryMsg, caller: NodeId) -> PrimaryReply
                             Ok(_) => {
                                 state.version = version;
                                 state.locked = true;
+                                if let Some((stamp, reply)) = stamped {
+                                    // Keep the window as fresh as the copy:
+                                    // if this copy is promoted, it answers
+                                    // retries of this write from here.
+                                    state.dedup.record(stamp, reply);
+                                }
                                 RtsStats::bump(&inner.stats.updates_applied);
                             }
                             Err(_) => {
@@ -1299,6 +1770,7 @@ fn dispatch(inner: &Arc<Inner>, msg: PrimaryMsg, caller: NodeId) -> PrimaryReply
                                 // next access will fetch a fresh one.
                                 state.copy = None;
                                 state.locked = false;
+                                state.lease = None;
                             }
                         }
                     } else if version > state.version + 1 {
@@ -1306,20 +1778,77 @@ fn dispatch(inner: &Arc<Inner>, msg: PrimaryMsg, caller: NodeId) -> PrimaryReply
                         // re-sync on the next access rather than diverge.
                         state.copy = None;
                         state.locked = false;
+                        state.lease = None;
                     }
                     // version <= state.version: duplicate push, ignore.
                 }
             }
             PrimaryReply::Ack
         }
-        PrimaryMsg::Unlock { object } => {
+        PrimaryMsg::Unlock { object, lease } => {
             let secondaries = inner.secondaries.read();
             if let Some(entry) = secondaries.get(&object) {
                 let mut state = entry.state.lock();
                 state.locked = false;
+                if let Some(grant) = lease {
+                    // Renewal piggyback: the copy is current again as of
+                    // this unlock. Install only over a live copy — a grant
+                    // for a copy that was dropped mid-protocol must not
+                    // authorize anything.
+                    if state.copy.is_some() {
+                        install_lease(&mut state, &grant);
+                    }
+                }
                 entry.unlocked.notify_all();
             }
             PrimaryReply::Ack
+        }
+        PrimaryMsg::Lease(LeaseMsg::Revoke { object, seq }) => {
+            // Grantor → holder: the primary could not keep this copy
+            // current (an update push failed); stop serving local reads
+            // and drop the stale copy.
+            let id = ObjectId(object);
+            let secondaries = inner.secondaries.read();
+            if let Some(entry) = secondaries.get(&id) {
+                let mut state = entry.state.lock();
+                state.lease = None;
+                if state.copy.take().is_some() {
+                    RtsStats::bump(&inner.stats.copies_dropped);
+                }
+                state.locked = false;
+                entry.unlocked.notify_all();
+            }
+            PrimaryReply::Lease(LeaseMsg::RevokeAck { object, seq })
+        }
+        PrimaryMsg::Lease(LeaseMsg::Renew(request)) => {
+            // Holder → grantor: renewal request, presenting the grant the
+            // holder currently holds. Re-grant only when that grant is
+            // still the latest one issued to the caller — any write since
+            // would have renewed (new seq) or revoked it, so a match
+            // proves the caller's copy is current.
+            let id = ObjectId(request.object);
+            let primaries = inner.primaries.read();
+            let Some(entry) = primaries.get(&id).cloned() else {
+                return PrimaryReply::Error(format!("no such object {id}"));
+            };
+            drop(primaries);
+            let mut core = entry.core.lock();
+            let registered = entry.copy_holders.lock().contains(&caller);
+            let current = core.leases.grants.get(&caller).map(|rec| rec.seq) == Some(request.seq);
+            if inner.leases_enabled() && registered && current {
+                let grant = inner.mint_grant(id, &mut core.leases, caller, true);
+                PrimaryReply::Lease(LeaseMsg::Renew(grant))
+            } else {
+                core.leases.grants.remove(&caller);
+                entry.copy_holders.lock().remove(&caller);
+                PrimaryReply::Lease(LeaseMsg::Revoke {
+                    object: request.object,
+                    seq: request.seq,
+                })
+            }
+        }
+        PrimaryMsg::Lease(other) => {
+            PrimaryReply::Error(format!("unexpected lease message {other:?}"))
         }
         PrimaryMsg::WriteBatch { ops } => {
             // One protocol-handling event for the whole message, one apply
@@ -1371,6 +1900,7 @@ fn dispatch(inner: &Arc<Inner>, msg: PrimaryMsg, caller: NodeId) -> PrimaryReply
                         // access rather than diverge.
                         state.copy = None;
                         state.locked = false;
+                        state.lease = None;
                     } else if last_version > state.version {
                         // Apply exactly the unseen suffix, in order (the
                         // prefix up to `state.version` is a duplicate).
@@ -1392,6 +1922,7 @@ fn dispatch(inner: &Arc<Inner>, msg: PrimaryMsg, caller: NodeId) -> PrimaryReply
                                     // the next access fetches a fresh one.
                                     state.copy = None;
                                     state.locked = false;
+                                    state.lease = None;
                                     break;
                                 }
                             }
@@ -1479,21 +2010,38 @@ fn promote_local(inner: &Arc<Inner>, object: ObjectId) -> RecoveryReply {
     let Some(entry) = entry else {
         return RecoveryReply::Error(format!("no copy of {object}"));
     };
-    let copy = {
+    let (copy, dedup) = {
         let mut state = entry.state.lock();
         state.locked = false;
         state.version = 0;
         state.seen = 0;
-        state.copy.take()
+        state.lease = None;
+        // The dedup window travelled with the copy: as the new primary we
+        // must still answer retries of writes the dead primary acked.
+        (state.copy.take(), std::mem::take(&mut state.dedup))
     };
     let Some(copy) = copy else {
         return RecoveryReply::Error(format!("no copy of {object}"));
     };
     let type_name = copy.type_name().to_string();
+    // Leases granted by the dead primary may still be live on nodes that
+    // have not observed the view change. Reads here are safe immediately
+    // (every acked write reached every leased copy), but writes must wait
+    // out the longest grant the dead primary could have issued.
+    let fence = inner
+        .leases_enabled()
+        .then(|| Instant::now() + inner.grant_span());
     inner.primaries.write().insert(
         object,
         Arc::new(PrimaryObject {
-            replica: Mutex::new(copy),
+            core: Mutex::new(PrimaryCore {
+                replica: copy,
+                dedup,
+                leases: LeaseTable {
+                    fence,
+                    ..LeaseTable::default()
+                },
+            }),
             copy_holders: Mutex::new(HashSet::new()),
             type_name,
         }),
@@ -1519,6 +2067,8 @@ fn apply_rehome(inner: &Arc<Inner>, object: ObjectId, new_home: NodeId, lost: bo
             state.locked = false;
             state.version = 0;
             state.seen = 0;
+            state.lease = None;
+            state.dedup = DedupWindow::new();
             entry.unlocked.notify_all();
         }
     }
@@ -1747,7 +2297,7 @@ mod tests {
             fetch_ratio: 2.0,
             drop_ratio: 0.5,
             window: 8,
-            enabled: true,
+            ..ReplicationPolicy::default()
         };
         let rtses = start_all(&net, WritePolicy::Update, replication);
         let id = rtses[0]
@@ -1778,7 +2328,7 @@ mod tests {
             fetch_ratio: 1.0,
             drop_ratio: 0.0,
             window: 4,
-            enabled: true,
+            ..ReplicationPolicy::default()
         };
         let rtses = start_all(&net, WritePolicy::Update, replication);
         let id = rtses[0]
@@ -1804,7 +2354,7 @@ mod tests {
             fetch_ratio: 1.0,
             drop_ratio: 0.0,
             window: 4,
-            enabled: true,
+            ..ReplicationPolicy::default()
         };
         let rtses = start_all(&net, WritePolicy::Invalidate, replication);
         let id = rtses[0]
@@ -1855,7 +2405,7 @@ mod tests {
             fetch_ratio: 2.0,
             drop_ratio: 0.5,
             window: 8,
-            enabled: true,
+            ..ReplicationPolicy::default()
         };
         let rtses = start_all(&net, WritePolicy::Update, replication);
         let id = rtses[0]
@@ -1983,7 +2533,7 @@ mod tests {
             fetch_ratio: 0.0,
             drop_ratio: -1.0,
             window: 1,
-            enabled: true,
+            ..ReplicationPolicy::default()
         };
         let rtses = start_all_recoverable(&net, WritePolicy::Update, eager, RecoveryConfig::fast());
         let id = rtses[0]
@@ -2128,6 +2678,170 @@ mod tests {
         std::thread::sleep(Duration::from_millis(80));
         add(&rtses[0], id, 10);
         assert_eq!(waiter.join().unwrap(), 10);
+        for rts in &rtses {
+            rts.shutdown();
+        }
+    }
+
+    /// Tentpole: a secondary holding a valid read lease serves linearizable
+    /// reads without touching the network at all — zero messages per read.
+    #[test]
+    fn leased_reads_are_zero_message() {
+        let net = Network::reliable(2);
+        let replication = ReplicationPolicy {
+            fetch_ratio: 1.0,
+            drop_ratio: 0.0,
+            window: 4,
+            ..ReplicationPolicy::default()
+        };
+        let rtses = start_all(&net, WritePolicy::Update, replication);
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+            .unwrap();
+        // Prime: fetch a copy (the State reply carries the first grant) and
+        // push one write through so the copy carries real state and a
+        // renewed lease from the unlock.
+        for _ in 0..8 {
+            read(&rtses[1], id);
+        }
+        assert!(rtses[1].has_local_copy(id));
+        assert_eq!(add(&rtses[0], id, 4), 4);
+        assert!(rtses[0].inner.lease_counters.grants.get() >= 1);
+
+        let wire_before = net.stats();
+        let leased_before = rtses[1].inner.lease_counters.local_reads.get();
+        for _ in 0..20 {
+            assert_eq!(read(&rtses[1], id), 4);
+        }
+        let sent = net.stats().since(&wire_before).per_node[1];
+        assert_eq!(
+            sent.p2p_sent + sent.broadcasts_sent,
+            0,
+            "leased reads must not send any messages"
+        );
+        assert!(rtses[1].inner.lease_counters.local_reads.get() >= leased_before + 20);
+        for rts in &rtses {
+            rts.shutdown();
+        }
+    }
+
+    /// An expired lease is renewed with one RPC — the holder presents its
+    /// old grant and, because no write intervened, gets a fresh one without
+    /// re-fetching the copy.
+    #[test]
+    fn expired_lease_renews_without_refetching_copy() {
+        let net = Network::reliable(2);
+        let replication = ReplicationPolicy {
+            fetch_ratio: 1.0,
+            drop_ratio: 0.0,
+            window: 4,
+            read_lease_ms: 25,
+            ..ReplicationPolicy::default()
+        };
+        let rtses = start_all(&net, WritePolicy::Update, replication);
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &2i64.to_bytes())
+            .unwrap();
+        for _ in 0..8 {
+            assert_eq!(read(&rtses[1], id), 2);
+        }
+        assert!(rtses[1].has_local_copy(id));
+        let fetched = rtses[1].stats().copies_fetched;
+        std::thread::sleep(Duration::from_millis(80)); // let the lease lapse
+        assert_eq!(read(&rtses[1], id), 2);
+        assert_eq!(
+            rtses[1].stats().copies_fetched,
+            fetched,
+            "renewal must revalidate the held copy, not re-fetch it"
+        );
+        assert!(rtses[0].inner.lease_counters.renewals.get() >= 1);
+        for rts in &rtses {
+            rts.shutdown();
+        }
+    }
+
+    /// Lease-holder crash: a write at the primary settles the dead holder's
+    /// grant within the grant's own lifetime and completes; the holder is
+    /// deregistered so later writes don't keep paying the push timeout.
+    #[test]
+    fn write_settles_lease_of_crashed_holder() {
+        let net = Network::reliable(2);
+        let replication = ReplicationPolicy {
+            fetch_ratio: 1.0,
+            drop_ratio: 0.0,
+            window: 4,
+            // Long enough that the grant is still live when the push times
+            // out below, forcing an explicit revoke (an already-expired
+            // grant would be settled silently).
+            read_lease_ms: 200,
+            ..ReplicationPolicy::default()
+        };
+        let rtses = start_all(&net, WritePolicy::Update, replication);
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+            .unwrap();
+        for _ in 0..8 {
+            read(&rtses[1], id);
+        }
+        assert_eq!(rtses[0].copy_holders(id), vec![NodeId(1)]);
+
+        // No failure detector here: the primary discovers the crash only
+        // through the push timing out, then must settle the holder's lease
+        // (bounded by the grant span) rather than hang or stay wedged.
+        net.crash(NodeId(1));
+        rtses[0].set_op_timeout(Duration::from_millis(150));
+        let started = std::time::Instant::now();
+        assert_eq!(add(&rtses[0], id, 6), 6);
+        assert!(started.elapsed() < Duration::from_secs(5));
+        assert!(
+            rtses[0].copy_holders(id).is_empty(),
+            "unreachable holder must be deregistered after its lease settles"
+        );
+        assert!(rtses[0].inner.lease_counters.revokes.get() >= 1);
+        // Later writes no longer push to the dead holder at all.
+        let started = std::time::Instant::now();
+        assert_eq!(add(&rtses[0], id, 1), 7);
+        assert!(started.elapsed() < Duration::from_millis(100));
+        for rts in &rtses {
+            rts.shutdown();
+        }
+    }
+
+    /// Lease-grantor crash: the promoted primary serves reads immediately
+    /// but fences *writes* until every grant the dead primary could have
+    /// issued has expired, so stale leased copies elsewhere can never
+    /// observe a value the new era wrote.
+    #[test]
+    fn promoted_primary_fences_writes_until_old_grants_expire() {
+        let net = Network::reliable(3);
+        let eager = ReplicationPolicy {
+            fetch_ratio: 0.0,
+            drop_ratio: -1.0,
+            window: 1,
+            read_lease_ms: 300,
+            ..ReplicationPolicy::default()
+        };
+        let rtses = start_all_recoverable(&net, WritePolicy::Update, eager, RecoveryConfig::fast());
+        let id = rtses[0]
+            .create_object(Accumulator::TYPE_NAME, &0i64.to_bytes())
+            .unwrap();
+        assert_eq!(read(&rtses[1], id), 0);
+        assert_eq!(read(&rtses[2], id), 0);
+        assert_eq!(add(&rtses[1], id, 5), 5);
+
+        let crashed = std::time::Instant::now();
+        net.crash(NodeId(0));
+        wait_for_view_epoch(&rtses[1], 1);
+        // The first write after promotion completes only after the fence:
+        // promotion happens strictly after the crash, and the fence spans
+        // the longest grant the dead primary could have had outstanding
+        // (2 × read_lease_ms = 600 ms past promotion).
+        assert_eq!(add(&rtses[2], id, 1), 6);
+        assert!(
+            crashed.elapsed() >= Duration::from_millis(550),
+            "write must wait out grants issued by the dead primary"
+        );
+        assert_eq!(read(&rtses[1], id), 6);
         for rts in &rtses {
             rts.shutdown();
         }

@@ -55,7 +55,7 @@ use orca_object::shard::spread_owner;
 use orca_object::{AnyReplica, AppliedOutcome, ObjectError, ObjectId, ObjectRegistry, OpKind};
 use orca_object::{ShardLogic, ShardRoute};
 use orca_telemetry::{trace, FlightKind};
-use orca_wire::{BatchOp, BatchOutcome, Wire};
+use orca_wire::{BatchOp, BatchOutcome, DedupWindow, OpStamp, Wire};
 use parking_lot::{Mutex, RwLock};
 
 use crate::pipeline::{pending_pair, resolve_round, BatchPolicy, Pipeline, QueuedOp, RoundSlot};
@@ -155,6 +155,11 @@ struct PartitionSlot {
     /// what recovery compares — is `version_base + replica.version()`.
     version_base: u64,
     access: AccessStats,
+    /// Replies of recently applied stamped writes, keyed per origin.
+    /// Locked strictly *after* (and only while holding) the replica mutex,
+    /// and travelling with the partition state across migrations,
+    /// hand-offs, backups and promotions.
+    dedup: Mutex<DedupWindow>,
 }
 
 impl PartitionSlot {
@@ -163,11 +168,20 @@ impl PartitionSlot {
     }
 
     fn with_base(replica: Box<dyn AnyReplica>, version_base: u64) -> Arc<Self> {
+        Self::with_parts(replica, version_base, DedupWindow::new())
+    }
+
+    fn with_parts(
+        replica: Box<dyn AnyReplica>,
+        version_base: u64,
+        dedup: DedupWindow,
+    ) -> Arc<Self> {
         Arc::new(PartitionSlot {
             replica: Mutex::new(replica),
             withdrawn: AtomicBool::new(false),
             version_base,
             access: AccessStats::default(),
+            dedup: Mutex::new(dedup),
         })
     }
 }
@@ -179,6 +193,9 @@ struct BackupSlot {
     replica: Mutex<Box<dyn AnyReplica>>,
     /// Cumulative partition version of the backup state.
     version: AtomicU64,
+    /// Dedup window, kept exactly as current as the backup replica (locked
+    /// only while holding the replica mutex).
+    dedup: Mutex<DedupWindow>,
 }
 
 /// Outcome of one attempt to execute an operation on one partition.
@@ -216,6 +233,12 @@ struct Inner {
     /// Read-through cache of other objects' routing tables.
     routes: RouteCache,
     next_object: AtomicU64,
+    /// Mints the per-invocation dedup stamps of synchronous writes: a
+    /// stamp is chosen once per invocation and reused verbatim by every
+    /// retry, so an owner that already applied the write (or the backup
+    /// promoted in its place) answers the recorded reply instead of
+    /// applying it again.
+    next_stamp: AtomicU64,
     /// Rotates the scan start of `Any`-routed operations so concurrent
     /// consumers do not all hammer partition 0.
     any_seq: AtomicU64,
@@ -296,6 +319,7 @@ impl ShardedRts {
             homes: RwLock::new(HashMap::new()),
             routes: RouteCache::default(),
             next_object: AtomicU64::new(1),
+            next_stamp: AtomicU64::new(1),
             any_seq: AtomicU64::new(0),
             stats: RtsStats::new_shared(),
             recovery,
@@ -574,6 +598,7 @@ impl ShardedRts {
         partition: u32,
         op: &[u8],
         kind: OpKind,
+        stamp: Option<OpStamp>,
         deadline: Instant,
     ) -> Result<PartOutcome, RtsError> {
         let owner = NodeId(table.owners[partition as usize]);
@@ -595,10 +620,27 @@ impl ShardedRts {
                 OpKind::Read => slot.access.record_read(),
                 OpKind::Write => slot.access.record_write(),
             }
+            if let Some(stamp) = stamp {
+                if let Some(reply) = slot.dedup.lock().lookup(stamp) {
+                    return Ok(PartOutcome::Done(reply.to_vec()));
+                }
+            }
             match replica.apply_encoded(op)? {
                 AppliedOutcome::Done(reply) => {
                     if kind == OpKind::Write {
-                        ship_backup(&self.inner, object, partition, &slot, &**replica, op);
+                        let stamped = stamp.map(|s| (s, reply.clone()));
+                        if let Some((stamp, reply)) = &stamped {
+                            slot.dedup.lock().record(*stamp, reply.clone());
+                        }
+                        ship_backup(
+                            &self.inner,
+                            object,
+                            partition,
+                            &slot,
+                            &**replica,
+                            op,
+                            stamped,
+                        );
                     }
                     Ok(PartOutcome::Done(reply))
                 }
@@ -609,6 +651,7 @@ impl ShardedRts {
                 shard: part(object, partition),
                 op: op.to_vec(),
                 trace: trace::current(),
+                stamp,
             };
             match self.rpc(owner, &msg, deadline)? {
                 ShardReply::Done(reply) => Ok(PartOutcome::Done(reply)),
@@ -632,12 +675,14 @@ impl ShardedRts {
     /// Without this, a mid-scan route refresh would re-apply
     /// non-idempotent shares — e.g. duplicate the jobs of an
     /// `AddJobs` batch on the partitions that had already taken them.
+    #[allow(clippy::too_many_arguments)]
     fn all_partitions_op(
         &self,
         table: &ShardRouteTable,
         logic: &dyn ShardLogic,
         op: &[u8],
         kind: OpKind,
+        stamp: Option<OpStamp>,
         deadline: Instant,
         progress: &mut Vec<Option<Vec<u8>>>,
     ) -> Result<PartOutcome, RtsError> {
@@ -648,7 +693,7 @@ impl ShardedRts {
                 continue;
             }
             let part_op = logic.op_for(op, partition, parts)?;
-            match self.partition_op(table, partition, &part_op, kind, deadline)? {
+            match self.partition_op(table, partition, &part_op, kind, stamp, deadline)? {
                 PartOutcome::Done(reply) => progress[partition as usize] = Some(reply),
                 PartOutcome::Blocked => return Ok(PartOutcome::Blocked),
                 PartOutcome::Stale => return Ok(PartOutcome::Stale),
@@ -667,6 +712,7 @@ impl ShardedRts {
         logic: &dyn ShardLogic,
         op: &[u8],
         kind: OpKind,
+        stamp: Option<OpStamp>,
         deadline: Instant,
     ) -> Result<PartOutcome, RtsError> {
         let parts = table.partitions();
@@ -678,7 +724,7 @@ impl ShardedRts {
         for step in 0..parts {
             let partition = ((start + u64::from(step)) % u64::from(parts)) as u32;
             let part_op = logic.op_for(op, partition, parts)?;
-            match self.partition_op(table, partition, &part_op, kind, deadline)? {
+            match self.partition_op(table, partition, &part_op, kind, stamp, deadline)? {
                 PartOutcome::Done(reply) => {
                     if logic.accepts(op, &reply)? {
                         return Ok(PartOutcome::Done(reply));
@@ -830,11 +876,15 @@ impl ShardedRts {
                     }
                     slots[i] = match route {
                         ShardRoute::Any => {
+                            // Unstamped: the batched asynchronous path
+                            // never re-presents an op across a node death
+                            // (failures surface on the completion handle).
                             match self.any_partition_op(
                                 &table,
                                 logic.as_ref(),
                                 &op.op,
                                 op.kind,
+                                None,
                                 deadline,
                             ) {
                                 Ok(PartOutcome::Done(reply)) => RoundSlot::Ready(Ok(reply)),
@@ -954,6 +1004,7 @@ impl ShardedRts {
         object: ObjectId,
         kind: OpKind,
         op: &[u8],
+        stamp: Option<OpStamp>,
         deadline: Instant,
         all_progress: &mut Vec<Option<Vec<u8>>>,
     ) -> Result<PartOutcome, RtsError> {
@@ -961,7 +1012,7 @@ impl ShardedRts {
         if !table.sharded {
             let route = ShardRoute::One(0);
             self.record_invocation(&table, &route, kind);
-            return self.partition_op(&table, 0, op, kind, deadline);
+            return self.partition_op(&table, 0, op, kind, stamp, deadline);
         }
         let logic = self
             .inner
@@ -973,12 +1024,20 @@ impl ShardedRts {
         match route {
             ShardRoute::One(partition) => {
                 let part_op = logic.op_for(op, partition, table.partitions())?;
-                self.partition_op(&table, partition, &part_op, kind, deadline)
+                self.partition_op(&table, partition, &part_op, kind, stamp, deadline)
             }
-            ShardRoute::All => {
-                self.all_partitions_op(&table, logic.as_ref(), op, kind, deadline, all_progress)
+            ShardRoute::All => self.all_partitions_op(
+                &table,
+                logic.as_ref(),
+                op,
+                kind,
+                stamp,
+                deadline,
+                all_progress,
+            ),
+            ShardRoute::Any => {
+                self.any_partition_op(&table, logic.as_ref(), op, kind, stamp, deadline)
             }
-            ShardRoute::Any => self.any_partition_op(&table, logic.as_ref(), op, kind, deadline),
         }
     }
 }
@@ -1024,6 +1083,7 @@ impl RuntimeSystem for ShardedRts {
                     type_name: type_name.to_string(),
                     state: state.clone(),
                     version: 0,
+                    dedup: DedupWindow::new(),
                 };
                 match self.rpc(owner, &msg, deadline)? {
                     ShardReply::Ack => {}
@@ -1063,23 +1123,32 @@ impl RuntimeSystem for ShardedRts {
         op: &[u8],
     ) -> Result<Vec<u8>, RtsError> {
         let mut deadline = Instant::now() + self.inner.policy.op_timeout;
+        // Minted once per invocation and reused verbatim by every retry, so
+        // a write retried across a promotion applies exactly once: the
+        // owner records (stamp, reply) under the replica mutex and the
+        // window travels with the partition state into its backup.
+        let stamp = (kind == OpKind::Write).then(|| OpStamp {
+            origin: self.inner.node.0,
+            seq: self.inner.next_stamp.fetch_add(1, Ordering::Relaxed),
+        });
         // Per-partition replies of an All-routed operation, preserved
         // across Blocked/Stale retries so no partition's share executes
         // twice (the route is a pure function of the op, so the same
         // invocation routes identically on every retry).
         let mut all_progress: Vec<Option<Vec<u8>>> = Vec::new();
         loop {
-            let attempt = self.invoke_once(object, kind, op, deadline, &mut all_progress);
+            let attempt = self.invoke_once(object, kind, op, stamp, deadline, &mut all_progress);
             let outcome = match attempt {
                 Ok(outcome) => outcome,
                 Err(RtsError::NodeDown(node)) if self.inner.recovery.rehome => {
                     // A partition owner (or the home) is dead; recovery is
                     // re-homing its partitions. Re-fetch the route and
                     // retry until the invocation deadline, then report the
-                    // dead node rather than a vague timeout. An operation
-                    // retried across a promotion is at-least-once: the
-                    // dead owner may have applied it and its backup may
-                    // include it.
+                    // dead node rather than a vague timeout. The retry
+                    // re-presents the same stamp, so a write the dead owner
+                    // already applied (and whose backup was promoted) is
+                    // answered from the promoted dedup window, never
+                    // applied a second time.
                     self.inner.routes.invalidate(object);
                     if Instant::now() >= deadline {
                         return Err(RtsError::NodeDown(node));
@@ -1115,7 +1184,7 @@ impl RuntimeSystem for ShardedRts {
     fn invoke_async(
         &self,
         object: ObjectId,
-        type_name: &str,
+        _type_name: &str,
         kind: OpKind,
         op: &[u8],
     ) -> PendingInvocation {
@@ -1125,18 +1194,31 @@ impl RuntimeSystem for ShardedRts {
         if kind == OpKind::Write {
             RtsStats::bump(&self.inner.stats.writes);
         }
-        let retry = {
-            let rts = self.detached();
-            let type_name = type_name.to_string();
+        let pipeline = self.ensure_pipeline();
+        let trace = trace::current();
+        // A guard-blocked op re-enters this same queue from wait(), so its
+        // re-execution keeps issue order instead of jumping ahead through
+        // the synchronous path.
+        let resubmit = {
+            let pipeline = Arc::clone(&pipeline);
             let op = op.to_vec();
-            Arc::new(move || rts.invoke(object, &type_name, kind, &op))
+            Arc::new(move |completer| {
+                pipeline.submit(QueuedOp {
+                    object,
+                    kind,
+                    op: op.clone(),
+                    trace,
+                    submitted: Instant::now(),
+                    completer,
+                })
+            })
         };
-        let (handle, completer) = pending_pair(retry);
-        self.ensure_pipeline().submit(QueuedOp {
+        let (handle, completer) = pending_pair(resubmit);
+        pipeline.submit(QueuedOp {
             object,
             kind,
             op: op.to_vec(),
-            trace: trace::current(),
+            trace,
             submitted: Instant::now(),
             completer,
         });
@@ -1192,9 +1274,14 @@ fn dispatch(inner: &Arc<Inner>, msg: ShardMsg, caller: NodeId) -> ShardReply {
                 }
             }
         }
-        ShardMsg::Op { shard, op, trace } => {
+        ShardMsg::Op {
+            shard,
+            op,
+            trace,
+            stamp,
+        } => {
             let _span = trace::enter(trace);
-            serve_op(inner, &shard, &op, caller)
+            serve_op(inner, &shard, &op, stamp, caller)
         }
         ShardMsg::OpBatch { ops } => ShardReply::Batch(apply_op_batch(inner, &ops, caller)),
         ShardMsg::Install {
@@ -1202,9 +1289,10 @@ fn dispatch(inner: &Arc<Inner>, msg: ShardMsg, caller: NodeId) -> ShardReply {
             type_name,
             state,
             version,
+            dedup,
         } => match inner.registry.instantiate(&type_name, &state) {
             Ok(replica) => {
-                let slot = PartitionSlot::with_base(replica, version);
+                let slot = PartitionSlot::with_parts(replica, version, dedup);
                 {
                     let replica = slot.replica.lock();
                     ship_backup_state(
@@ -1366,6 +1454,7 @@ fn ship_backup_batch(
                 type_name: replica.type_name().to_string(),
                 state: replica.state_bytes(),
                 version: slot.version_base + replica.version(),
+                dedup: slot.dedup.lock().clone(),
             };
             let _ = backup_rpc(inner, target, &install);
         }
@@ -1374,7 +1463,13 @@ fn ship_backup_batch(
 }
 
 /// Execute an owner-shipped operation on a locally-owned partition.
-fn serve_op(inner: &Arc<Inner>, shard: &ShardPartId, op: &[u8], caller: NodeId) -> ShardReply {
+fn serve_op(
+    inner: &Arc<Inner>,
+    shard: &ShardPartId,
+    op: &[u8],
+    stamp: Option<OpStamp>,
+    caller: NodeId,
+) -> ShardReply {
     let key = (part_object(shard), shard.partition);
     let slot = inner.owned.read().get(&key).cloned();
     let Some(slot) = slot else {
@@ -1394,13 +1489,25 @@ fn serve_op(inner: &Arc<Inner>, shard: &ShardPartId, op: &[u8], caller: NodeId) 
         OpKind::Read => slot.access.record_read(),
         OpKind::Write => slot.access.record_write(),
     }
+    if let Some(stamp) = stamp {
+        if let Some(reply) = slot.dedup.lock().lookup(stamp) {
+            // A retry of a write this partition already applied (possibly
+            // on the backup this replica was promoted from): answer the
+            // original reply instead of applying twice.
+            return ShardReply::Done(reply.to_vec());
+        }
+    }
     match replica.apply_encoded(op) {
         Ok(AppliedOutcome::Done(reply)) => {
             if caller != inner.node {
                 RtsStats::bump(&inner.stats.updates_applied);
             }
             if kind == OpKind::Write {
-                ship_backup(inner, key.0, key.1, &slot, &**replica, op);
+                let stamped = stamp.map(|s| (s, reply.clone()));
+                if let Some((stamp, reply)) = &stamped {
+                    slot.dedup.lock().record(*stamp, reply.clone());
+                }
+                ship_backup(inner, key.0, key.1, &slot, &**replica, op, stamped);
             }
             ShardReply::Done(reply)
         }
@@ -1473,7 +1580,7 @@ fn hand_off(inner: &Arc<Inner>, shard: &ShardPartId, dst: u16) -> ShardReply {
         inner.owned.write().insert(key, slot);
         return ShardReply::Ack;
     }
-    let (type_name, state, version) = {
+    let (type_name, state, version, dedup) = {
         // Mark the slot withdrawn in the same critical section that
         // snapshots the state: an operation that cloned the slot out of
         // `owned` before the removal above will acquire this mutex later,
@@ -1485,6 +1592,7 @@ fn hand_off(inner: &Arc<Inner>, shard: &ShardPartId, dst: u16) -> ShardReply {
             replica.type_name().to_string(),
             replica.state_bytes(),
             slot.version_base + replica.version(),
+            slot.dedup.lock().clone(),
         )
     };
     let install = ShardMsg::Install {
@@ -1492,6 +1600,7 @@ fn hand_off(inner: &Arc<Inner>, shard: &ShardPartId, dst: u16) -> ShardReply {
         type_name,
         state,
         version,
+        dedup,
     };
     match shard_rpc(inner, NodeId(dst), &install) {
         Ok(ShardReply::Ack) => {
@@ -1551,7 +1660,12 @@ fn serve_backup_request(inner: &Arc<Inner>, body: &[u8], caller: NodeId) -> Vec<
 
 fn dispatch_backup(inner: &Arc<Inner>, msg: ShardMsg, _caller: NodeId) -> ShardReply {
     match msg {
-        ShardMsg::Backup { shard, op, version } => {
+        ShardMsg::Backup {
+            shard,
+            op,
+            version,
+            stamped,
+        } => {
             let key = (part_object(&shard), shard.partition);
             let slot = inner.backups.read().get(&key).cloned();
             let Some(slot) = slot else {
@@ -1566,6 +1680,12 @@ fn dispatch_backup(inner: &Arc<Inner>, msg: ShardMsg, _caller: NodeId) -> ShardR
             match replica.apply_encoded(&op) {
                 Ok(AppliedOutcome::Done(_)) => {
                     slot.version.store(version, Ordering::Relaxed);
+                    if let Some((stamp, reply)) = stamped {
+                        // Keep the window as fresh as the replica: if this
+                        // backup is promoted, it answers retries of this
+                        // write from here.
+                        slot.dedup.lock().record(stamp, reply);
+                    }
                     RtsStats::bump(&inner.stats.updates_applied);
                     ShardReply::Ack
                 }
@@ -1621,6 +1741,7 @@ fn dispatch_backup(inner: &Arc<Inner>, msg: ShardMsg, _caller: NodeId) -> ShardR
             type_name,
             state,
             version,
+            dedup,
         } => match inner.registry.instantiate(&type_name, &state) {
             Ok(replica) => {
                 inner.backups.write().insert(
@@ -1628,6 +1749,7 @@ fn dispatch_backup(inner: &Arc<Inner>, msg: ShardMsg, _caller: NodeId) -> ShardR
                     Arc::new(BackupSlot {
                         replica: Mutex::new(replica),
                         version: AtomicU64::new(version),
+                        dedup: Mutex::new(dedup),
                     }),
                 );
                 ShardReply::Ack
@@ -1641,22 +1763,23 @@ fn dispatch_backup(inner: &Arc<Inner>, msg: ShardMsg, _caller: NodeId) -> ShardR
                 return ShardReply::StaleRoute;
             };
             let version = backup.version.load(Ordering::Relaxed);
-            let replica = match Arc::try_unwrap(backup) {
-                Ok(backup) => backup.replica.into_inner(),
+            let (replica, dedup) = match Arc::try_unwrap(backup) {
+                Ok(backup) => (backup.replica.into_inner(), backup.dedup.into_inner()),
                 Err(shared) => {
                     // Someone still holds the backup slot (a concurrent
                     // Backup RPC); rebuild the replica from its state.
                     let guard = shared.replica.lock();
+                    let dedup = shared.dedup.lock().clone();
                     match inner
                         .registry
                         .instantiate(guard.type_name(), &guard.state_bytes())
                     {
-                        Ok(replica) => replica,
+                        Ok(replica) => (replica, dedup),
                         Err(err) => return ShardReply::Error(err.to_string()),
                     }
                 }
             };
-            let slot = PartitionSlot::with_base(replica, version);
+            let slot = PartitionSlot::with_parts(replica, version, dedup);
             {
                 // Re-establish a backup for the promoted partition on the
                 // next live node before serving any write.
@@ -1741,6 +1864,7 @@ fn backup_rpc(inner: &Arc<Inner>, dst: NodeId, msg: &ShardMsg) -> Result<ShardRe
 /// backup exists). A backup that lost sync is reinstalled from full state;
 /// an unreachable backup node is skipped — the next write re-targets the
 /// then-next live node.
+#[allow(clippy::too_many_arguments)]
 fn ship_backup(
     inner: &Arc<Inner>,
     object: ObjectId,
@@ -1748,6 +1872,7 @@ fn ship_backup(
     slot: &PartitionSlot,
     replica: &dyn AnyReplica,
     op: &[u8],
+    stamped: Option<(OpStamp, Vec<u8>)>,
 ) {
     if !inner.recovery.enabled {
         return;
@@ -1761,6 +1886,7 @@ fn ship_backup(
         shard,
         op: op.to_vec(),
         version,
+        stamped,
     };
     match backup_rpc(inner, target, &msg) {
         Ok(ShardReply::Ack) => {}
@@ -1770,6 +1896,7 @@ fn ship_backup(
                 type_name: replica.type_name().to_string(),
                 state: replica.state_bytes(),
                 version,
+                dedup: slot.dedup.lock().clone(),
             };
             let _ = backup_rpc(inner, target, &install);
         }
@@ -1797,6 +1924,7 @@ fn ship_backup_state(
         type_name: replica.type_name().to_string(),
         state: replica.state_bytes(),
         version: slot.version_base + replica.version(),
+        dedup: slot.dedup.lock().clone(),
     };
     let _ = backup_rpc(inner, target, &install);
 }

@@ -22,6 +22,20 @@ impl Encoder {
         }
     }
 
+    /// Wrap an existing buffer, appending to whatever it already holds.
+    ///
+    /// Together with [`Encoder::into_bytes`] this lets hot paths recycle
+    /// one scratch buffer across many messages (see `Wire::encode_into`)
+    /// instead of allocating per message.
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        Encoder { buf }
+    }
+
+    /// Forget everything written so far, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
     /// Number of bytes written so far.
     pub fn len(&self) -> usize {
         self.buf.len()

@@ -50,6 +50,7 @@ mod decode;
 mod encode;
 mod error;
 mod impls;
+pub mod lease;
 pub mod recovery;
 pub mod regime;
 pub mod shard;
@@ -59,6 +60,7 @@ pub use batch::{BatchOp, BatchOutcome, BatchReply, OpBatch};
 pub use decode::{Decoder, MAX_LEN};
 pub use encode::{uvarint_len, Encoder};
 pub use error::{WireError, WireResult};
+pub use lease::{DedupWindow, LeaseGrant, LeaseMsg, OpStamp, DEDUP_WINDOW_PER_ORIGIN};
 pub use recovery::{CopyInfo, MembershipView, RecoveryMsg, RecoveryReply};
 pub use regime::{RegimeKind, RegimeMsg, RegimeReply, RegimeTable};
 pub use shard::{ShardMsg, ShardPartId, ShardReply, ShardRouteTable};
@@ -80,6 +82,18 @@ pub trait Wire: Sized {
         let mut enc = Encoder::new();
         self.encode(&mut enc);
         enc.into_bytes()
+    }
+
+    /// Append the encoding of `self` to `buf`, reusing its capacity.
+    ///
+    /// This is the allocation-free seam of the hot send paths: a caller
+    /// that fans one message out to many destinations (or encodes a stream
+    /// of batches) clears and re-fills one scratch buffer instead of
+    /// allocating a fresh `Vec` per message.
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        let mut enc = Encoder::from_vec(std::mem::take(buf));
+        self.encode(&mut enc);
+        *buf = enc.into_bytes();
     }
 
     /// Decode a value from a byte slice, requiring that the whole slice is

@@ -14,6 +14,7 @@
 //! real. Object identifiers are carried as their raw `u64` representation
 //! (exactly the encoding `ObjectId` in `orca-object` uses on the wire).
 
+use crate::lease::{DedupWindow, LeaseGrant, OpStamp};
 use crate::{Decoder, Encoder, TraceId, Wire, WireError, WireResult};
 
 /// Which synchronization regime currently serves an object.
@@ -136,6 +137,11 @@ pub enum RegimeMsg {
         /// Causal identity of the originating invocation
         /// ([`TraceId::NONE`] when untraced).
         trace: TraceId,
+        /// Exactly-once identity of a synchronously invoked write, reused
+        /// verbatim across client retries so a slot that already applied
+        /// the op answers its recorded reply instead of applying again.
+        /// `None` for reads and for the batched asynchronous path.
+        stamp: Option<OpStamp>,
     },
     /// Client → home node: execute an all-partition operation indivisibly.
     /// The home fans the operation out under its switch lock, so a regime
@@ -195,6 +201,10 @@ pub enum RegimeMsg {
         type_name: String,
         /// Encoded partition state.
         state: Vec<u8>,
+        /// Recently applied stamped writes of the installed state, so
+        /// exactly-once dedup survives the regime switch with the state it
+        /// describes.
+        dedup: DedupWindow,
     },
     /// Home → every node (switch into the replicated regime): install a
     /// read mirror primed with the given state and update sequence number.
@@ -209,6 +219,12 @@ pub enum RegimeMsg {
         state: Vec<u8>,
         /// Update sequence number the state corresponds to.
         seq: u64,
+        /// Dedup window paired with `state` (rides along so a mirror
+        /// promoted by home adoption can answer retried writes).
+        dedup: DedupWindow,
+        /// Read lease over the installed mirror, when the home grants
+        /// leases.
+        lease: Option<LeaseGrant>,
     },
     /// Client → home node: fetch a fresh mirror state (lazy re-sync after a
     /// lost update or a missed mirror install).
@@ -239,6 +255,10 @@ pub enum RegimeMsg {
         seq: u64,
         /// Encoded write operation.
         op: Vec<u8>,
+        /// When the pushed write was stamped, its exactly-once identity and
+        /// recorded reply, so the mirror's dedup window stays as fresh as
+        /// its copy.
+        stamped: Option<(OpStamp, Vec<u8>)>,
     },
     /// Home → mirror holder: release the mirror locked by `seq`.
     Unlock {
@@ -248,6 +268,9 @@ pub enum RegimeMsg {
         epoch: u64,
         /// Update sequence number being released.
         seq: u64,
+        /// Renewed read lease over the (now current again) mirror, when
+        /// the home grants leases.
+        lease: Option<LeaseGrant>,
     },
     /// Recovering home → survivor: report the freshest mirror state of
     /// `object` you hold, so a node adopting the home role of a dead
@@ -280,6 +303,7 @@ impl Wire for RegimeMsg {
                 partition,
                 op,
                 trace,
+                stamp,
             } => {
                 enc.put_u8(1);
                 object.encode(enc);
@@ -287,6 +311,7 @@ impl Wire for RegimeMsg {
                 partition.encode(enc);
                 enc.put_bytes(op);
                 trace.encode(enc);
+                stamp.encode(enc);
             }
             RegimeMsg::OpAll { object, op, trace } => {
                 enc.put_u8(2);
@@ -326,6 +351,7 @@ impl Wire for RegimeMsg {
                 partition,
                 type_name,
                 state,
+                dedup,
             } => {
                 enc.put_u8(6);
                 object.encode(enc);
@@ -333,6 +359,7 @@ impl Wire for RegimeMsg {
                 partition.encode(enc);
                 type_name.encode(enc);
                 enc.put_bytes(state);
+                dedup.encode(enc);
             }
             RegimeMsg::Mirror {
                 object,
@@ -340,6 +367,8 @@ impl Wire for RegimeMsg {
                 type_name,
                 state,
                 seq,
+                dedup,
+                lease,
             } => {
                 enc.put_u8(7);
                 object.encode(enc);
@@ -347,6 +376,8 @@ impl Wire for RegimeMsg {
                 type_name.encode(enc);
                 enc.put_bytes(state);
                 seq.encode(enc);
+                dedup.encode(enc);
+                lease.encode(enc);
             }
             RegimeMsg::FetchMirror { object, epoch } => {
                 enc.put_u8(8);
@@ -363,18 +394,26 @@ impl Wire for RegimeMsg {
                 epoch,
                 seq,
                 op,
+                stamped,
             } => {
                 enc.put_u8(10);
                 object.encode(enc);
                 epoch.encode(enc);
                 seq.encode(enc);
                 enc.put_bytes(op);
+                stamped.encode(enc);
             }
-            RegimeMsg::Unlock { object, epoch, seq } => {
+            RegimeMsg::Unlock {
+                object,
+                epoch,
+                seq,
+                lease,
+            } => {
                 enc.put_u8(11);
                 object.encode(enc);
                 epoch.encode(enc);
                 seq.encode(enc);
+                lease.encode(enc);
             }
             RegimeMsg::OpBatch { ops } => {
                 enc.put_u8(13);
@@ -397,6 +436,7 @@ impl Wire for RegimeMsg {
                 partition: Wire::decode(dec)?,
                 op: dec.get_bytes()?,
                 trace: Wire::decode(dec)?,
+                stamp: Wire::decode(dec)?,
             }),
             2 => Ok(RegimeMsg::OpAll {
                 object: Wire::decode(dec)?,
@@ -423,6 +463,7 @@ impl Wire for RegimeMsg {
                 partition: Wire::decode(dec)?,
                 type_name: Wire::decode(dec)?,
                 state: dec.get_bytes()?,
+                dedup: Wire::decode(dec)?,
             }),
             7 => Ok(RegimeMsg::Mirror {
                 object: Wire::decode(dec)?,
@@ -430,6 +471,8 @@ impl Wire for RegimeMsg {
                 type_name: Wire::decode(dec)?,
                 state: dec.get_bytes()?,
                 seq: Wire::decode(dec)?,
+                dedup: Wire::decode(dec)?,
+                lease: Wire::decode(dec)?,
             }),
             8 => Ok(RegimeMsg::FetchMirror {
                 object: Wire::decode(dec)?,
@@ -444,11 +487,13 @@ impl Wire for RegimeMsg {
                 epoch: Wire::decode(dec)?,
                 seq: Wire::decode(dec)?,
                 op: dec.get_bytes()?,
+                stamped: Wire::decode(dec)?,
             }),
             11 => Ok(RegimeMsg::Unlock {
                 object: Wire::decode(dec)?,
                 epoch: Wire::decode(dec)?,
                 seq: Wire::decode(dec)?,
+                lease: Wire::decode(dec)?,
             }),
             13 => Ok(RegimeMsg::OpBatch {
                 ops: Wire::decode(dec)?,
@@ -479,7 +524,12 @@ pub enum RegimeReply {
     /// regime table from the home node.
     StaleRegime,
     /// Serialized partition state (reply to [`RegimeMsg::Drain`]).
-    State(Vec<u8>),
+    State {
+        /// Encoded partition state.
+        state: Vec<u8>,
+        /// Dedup window paired with `state`, carried through the switch.
+        dedup: DedupWindow,
+    },
     /// Serialized full state plus update sequence number (reply to
     /// [`RegimeMsg::FetchMirror`]).
     MirrorState {
@@ -487,6 +537,11 @@ pub enum RegimeReply {
         state: Vec<u8>,
         /// Update sequence number the state corresponds to.
         seq: u64,
+        /// Dedup window paired with `state`.
+        dedup: DedupWindow,
+        /// Read lease over the fetched mirror, when the home grants
+        /// leases.
+        lease: Option<LeaseGrant>,
     },
     /// Acknowledgement with no payload.
     Ack,
@@ -497,6 +552,10 @@ pub enum RegimeReply {
     MirrorReport {
         /// The mirror's `(epoch, seq, type_name, state)`, if one is held.
         mirror: Option<(u64, u64, String, Vec<u8>)>,
+        /// Dedup window paired with the reported state (empty when no
+        /// mirror is held), so an adopted home answers retried writes the
+        /// dead home already applied.
+        dedup: DedupWindow,
     },
     /// The object's state did not survive the failure (no authoritative
     /// copy and no mirror left); operations on it can never succeed.
@@ -518,23 +577,32 @@ impl Wire for RegimeReply {
                 table.encode(enc);
             }
             RegimeReply::StaleRegime => enc.put_u8(3),
-            RegimeReply::State(bytes) => {
+            RegimeReply::State { state, dedup } => {
                 enc.put_u8(4);
-                enc.put_bytes(bytes);
+                enc.put_bytes(state);
+                dedup.encode(enc);
             }
-            RegimeReply::MirrorState { state, seq } => {
+            RegimeReply::MirrorState {
+                state,
+                seq,
+                dedup,
+                lease,
+            } => {
                 enc.put_u8(5);
                 enc.put_bytes(state);
                 seq.encode(enc);
+                dedup.encode(enc);
+                lease.encode(enc);
             }
             RegimeReply::Ack => enc.put_u8(6),
             RegimeReply::Error(msg) => {
                 enc.put_u8(7);
                 msg.encode(enc);
             }
-            RegimeReply::MirrorReport { mirror } => {
+            RegimeReply::MirrorReport { mirror, dedup } => {
                 enc.put_u8(8);
                 mirror.encode(enc);
+                dedup.encode(enc);
             }
             RegimeReply::ObjectLost => enc.put_u8(9),
             RegimeReply::Batch(outcomes) => {
@@ -549,15 +617,21 @@ impl Wire for RegimeReply {
             1 => Ok(RegimeReply::Blocked),
             2 => Ok(RegimeReply::Route(Wire::decode(dec)?)),
             3 => Ok(RegimeReply::StaleRegime),
-            4 => Ok(RegimeReply::State(dec.get_bytes()?)),
+            4 => Ok(RegimeReply::State {
+                state: dec.get_bytes()?,
+                dedup: Wire::decode(dec)?,
+            }),
             5 => Ok(RegimeReply::MirrorState {
                 state: dec.get_bytes()?,
                 seq: Wire::decode(dec)?,
+                dedup: Wire::decode(dec)?,
+                lease: Wire::decode(dec)?,
             }),
             6 => Ok(RegimeReply::Ack),
             7 => Ok(RegimeReply::Error(Wire::decode(dec)?)),
             8 => Ok(RegimeReply::MirrorReport {
                 mirror: Wire::decode(dec)?,
+                dedup: Wire::decode(dec)?,
             }),
             9 => Ok(RegimeReply::ObjectLost),
             10 => Ok(RegimeReply::Batch(Wire::decode(dec)?)),
@@ -583,6 +657,21 @@ mod tests {
         }
     }
 
+    fn window() -> DedupWindow {
+        let mut dedup = DedupWindow::new();
+        dedup.record(OpStamp { origin: 3, seq: 11 }, vec![1, 2]);
+        dedup
+    }
+
+    fn grant() -> LeaseGrant {
+        LeaseGrant {
+            object: 9,
+            epoch: 3,
+            seq: 4,
+            valid_ms: 150,
+        }
+    }
+
     #[test]
     fn all_requests_round_trip() {
         let msgs = vec![
@@ -593,6 +682,7 @@ mod tests {
                 partition: 3,
                 op: vec![1, 2, 3],
                 trace: TraceId::mint(0, 3),
+                stamp: Some(OpStamp { origin: 2, seq: 40 }),
             },
             RegimeMsg::OpAll {
                 object: 9,
@@ -617,6 +707,7 @@ mod tests {
                 partition: 1,
                 type_name: "orca.Set".into(),
                 state: vec![0; 8],
+                dedup: window(),
             },
             RegimeMsg::Mirror {
                 object: 9,
@@ -624,6 +715,8 @@ mod tests {
                 type_name: "orca.Int".into(),
                 state: vec![7],
                 seq: 12,
+                dedup: DedupWindow::new(),
+                lease: Some(grant()),
             },
             RegimeMsg::FetchMirror {
                 object: 9,
@@ -638,11 +731,13 @@ mod tests {
                 epoch: 3,
                 seq: 13,
                 op: vec![1],
+                stamped: Some((OpStamp { origin: 1, seq: 7 }, vec![0])),
             },
             RegimeMsg::Unlock {
                 object: 9,
                 epoch: 3,
                 seq: 13,
+                lease: Some(grant()),
             },
             RegimeMsg::MirrorQuery { object: 9 },
             RegimeMsg::OpBatch {
@@ -670,16 +765,25 @@ mod tests {
             RegimeReply::Blocked,
             RegimeReply::Route(table),
             RegimeReply::StaleRegime,
-            RegimeReply::State(vec![1, 2]),
+            RegimeReply::State {
+                state: vec![1, 2],
+                dedup: window(),
+            },
             RegimeReply::MirrorState {
                 state: vec![3],
                 seq: 8,
+                dedup: window(),
+                lease: Some(grant()),
             },
             RegimeReply::Ack,
             RegimeReply::Error("nope".into()),
-            RegimeReply::MirrorReport { mirror: None },
+            RegimeReply::MirrorReport {
+                mirror: None,
+                dedup: DedupWindow::new(),
+            },
             RegimeReply::MirrorReport {
                 mirror: Some((4, 17, "orca.Int".into(), vec![7])),
+                dedup: window(),
             },
             RegimeReply::ObjectLost,
             RegimeReply::Batch(vec![
@@ -713,6 +817,7 @@ mod tests {
             partition: 1,
             op: vec![1, 2, 3],
             trace: TraceId::NONE,
+            stamp: None,
         }
         .to_bytes();
         assert!(RegimeMsg::from_bytes(&bytes[..bytes.len() - 1]).is_err());

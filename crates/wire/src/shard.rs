@@ -12,6 +12,7 @@
 //! `orca-object` uses on the wire).
 
 use crate::batch::{BatchOp, BatchOutcome};
+use crate::lease::{DedupWindow, OpStamp};
 use crate::{Decoder, Encoder, TraceId, Wire, WireError, WireResult};
 
 /// Identifies one partition of one sharded object.
@@ -107,6 +108,12 @@ pub enum ShardMsg {
         /// Causal identity of the originating invocation
         /// ([`TraceId::NONE`] when untraced).
         trace: TraceId,
+        /// Dedup stamp of the originating *write* invocation (`None` for
+        /// reads). Minted once per invocation and reused verbatim on every
+        /// retry, so an owner (or the backup promoted in its place) that
+        /// already applied the write answers the recorded reply instead of
+        /// applying it twice.
+        stamp: Option<OpStamp>,
     },
     /// Creator/old owner → new owner: install a partition replica (initial
     /// placement and the final step of a migration).
@@ -122,6 +129,9 @@ pub enum ShardMsg {
         /// whole life) of the shipped state, preserved across migrations
         /// and promotions so recovery can always pick the freshest copy.
         version: u64,
+        /// The partition's dedup window, travelling with the state: the new
+        /// owner must answer retries of writes the old owner acknowledged.
+        dedup: DedupWindow,
     },
     /// Client → home node: migrate a partition to node `dst`. The home node
     /// coordinates the hand-off and updates the authoritative routing table.
@@ -154,6 +164,10 @@ pub enum ShardMsg {
         /// backup whose version does not line up detects a missed update
         /// and asks for a full reinstall instead of diverging silently.
         version: u64,
+        /// Stamp and original reply of the write, when the invocation was
+        /// stamped: the backup records it so its dedup window stays exactly
+        /// as current as its replica.
+        stamped: Option<(OpStamp, Vec<u8>)>,
     },
     /// Owner → backup node: (re)install the full backup state of a
     /// partition (initial placement, migration, promotion, and recovery
@@ -167,6 +181,8 @@ pub enum ShardMsg {
         state: Vec<u8>,
         /// Version (completed-write count) of the shipped state.
         version: u64,
+        /// The partition's dedup window as of the shipped state.
+        dedup: DedupWindow,
     },
     /// Home node → backup holder: the partition's owner died; promote your
     /// backup replica to the authoritative copy.
@@ -216,23 +232,31 @@ impl Wire for ShardMsg {
                 enc.put_u8(0);
                 object.encode(enc);
             }
-            ShardMsg::Op { shard, op, trace } => {
+            ShardMsg::Op {
+                shard,
+                op,
+                trace,
+                stamp,
+            } => {
                 enc.put_u8(1);
                 shard.encode(enc);
                 enc.put_bytes(op);
                 trace.encode(enc);
+                stamp.encode(enc);
             }
             ShardMsg::Install {
                 shard,
                 type_name,
                 state,
                 version,
+                dedup,
             } => {
                 enc.put_u8(2);
                 shard.encode(enc);
                 type_name.encode(enc);
                 enc.put_bytes(state);
                 version.encode(enc);
+                dedup.encode(enc);
             }
             ShardMsg::Migrate { shard, dst } => {
                 enc.put_u8(3);
@@ -244,23 +268,31 @@ impl Wire for ShardMsg {
                 shard.encode(enc);
                 dst.encode(enc);
             }
-            ShardMsg::Backup { shard, op, version } => {
+            ShardMsg::Backup {
+                shard,
+                op,
+                version,
+                stamped,
+            } => {
                 enc.put_u8(5);
                 shard.encode(enc);
                 enc.put_bytes(op);
                 version.encode(enc);
+                stamped.encode(enc);
             }
             ShardMsg::InstallBackup {
                 shard,
                 type_name,
                 state,
                 version,
+                dedup,
             } => {
                 enc.put_u8(6);
                 shard.encode(enc);
                 type_name.encode(enc);
                 enc.put_bytes(state);
                 version.encode(enc);
+                dedup.encode(enc);
             }
             ShardMsg::PromoteBackup { shard } => {
                 enc.put_u8(7);
@@ -295,12 +327,14 @@ impl Wire for ShardMsg {
                 shard: Wire::decode(dec)?,
                 op: dec.get_bytes()?,
                 trace: Wire::decode(dec)?,
+                stamp: Wire::decode(dec)?,
             }),
             2 => Ok(ShardMsg::Install {
                 shard: Wire::decode(dec)?,
                 type_name: Wire::decode(dec)?,
                 state: dec.get_bytes()?,
                 version: Wire::decode(dec)?,
+                dedup: Wire::decode(dec)?,
             }),
             3 => Ok(ShardMsg::Migrate {
                 shard: Wire::decode(dec)?,
@@ -314,12 +348,14 @@ impl Wire for ShardMsg {
                 shard: Wire::decode(dec)?,
                 op: dec.get_bytes()?,
                 version: Wire::decode(dec)?,
+                stamped: Wire::decode(dec)?,
             }),
             6 => Ok(ShardMsg::InstallBackup {
                 shard: Wire::decode(dec)?,
                 type_name: Wire::decode(dec)?,
                 state: dec.get_bytes()?,
                 version: Wire::decode(dec)?,
+                dedup: Wire::decode(dec)?,
             }),
             7 => Ok(ShardMsg::PromoteBackup {
                 shard: Wire::decode(dec)?,
@@ -454,12 +490,18 @@ mod tests {
                 shard: shard(),
                 op: vec![1, 2, 3],
                 trace: TraceId::mint(2, 11),
+                stamp: Some(OpStamp { origin: 2, seq: 40 }),
             },
             ShardMsg::Install {
                 shard: shard(),
                 type_name: "orca.KvTable".into(),
                 state: vec![0; 10],
                 version: 5,
+                dedup: {
+                    let mut window = DedupWindow::new();
+                    window.record(OpStamp { origin: 1, seq: 7 }, vec![3]);
+                    window
+                },
             },
             ShardMsg::Migrate {
                 shard: shard(),
@@ -473,12 +515,14 @@ mod tests {
                 shard: shard(),
                 op: vec![4, 5],
                 version: 3,
+                stamped: Some((OpStamp { origin: 0, seq: 2 }, vec![6])),
             },
             ShardMsg::InstallBackup {
                 shard: shard(),
                 type_name: "orca.Set".into(),
                 state: vec![7; 4],
                 version: 12,
+                dedup: DedupWindow::new(),
             },
             ShardMsg::PromoteBackup { shard: shard() },
             ShardMsg::ReportOwned { object: 77 },
@@ -543,6 +587,7 @@ mod tests {
             shard: shard(),
             op: vec![1, 2, 3],
             trace: TraceId::NONE,
+            stamp: None,
         }
         .to_bytes();
         assert!(ShardMsg::from_bytes(&bytes[..bytes.len() - 1]).is_err());

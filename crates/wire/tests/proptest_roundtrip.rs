@@ -375,12 +375,14 @@ fn shard_messages_round_trip() {
                 shard,
                 op: gen.bytes(48),
                 trace: random_trace(&mut gen),
+                stamp: (gen.below(2) == 0).then(|| random_stamp(&mut gen)),
             },
             2 => ShardMsg::Install {
                 shard,
                 type_name: gen.string(),
                 state: gen.bytes(48),
                 version: gen.next_u64(),
+                dedup: random_dedup(&mut gen),
             },
             3 => ShardMsg::Migrate {
                 shard,
@@ -390,12 +392,14 @@ fn shard_messages_round_trip() {
                 shard,
                 op: gen.bytes(48),
                 version: gen.next_u64(),
+                stamped: (gen.below(2) == 0).then(|| (random_stamp(&mut gen), gen.bytes(16))),
             },
             5 => ShardMsg::InstallBackup {
                 shard,
                 type_name: gen.string(),
                 state: gen.bytes(48),
                 version: gen.next_u64(),
+                dedup: random_dedup(&mut gen),
             },
             6 => ShardMsg::PromoteBackup { shard },
             7 => ShardMsg::ReportOwned {
@@ -479,6 +483,7 @@ fn regime_messages_round_trip() {
                 partition: gen.next_u64() as u32,
                 op: gen.bytes(48),
                 trace: random_trace(&mut gen),
+                stamp: (gen.below(2) == 0).then(|| random_stamp(&mut gen)),
             },
             2 => RegimeMsg::OpAll {
                 object,
@@ -503,6 +508,7 @@ fn regime_messages_round_trip() {
                 partition: gen.next_u64() as u32,
                 type_name: gen.string(),
                 state: gen.bytes(48),
+                dedup: random_dedup(&mut gen),
             },
             7 => RegimeMsg::Mirror {
                 object,
@@ -510,6 +516,8 @@ fn regime_messages_round_trip() {
                 type_name: gen.string(),
                 state: gen.bytes(48),
                 seq: gen.next_u64(),
+                dedup: random_dedup(&mut gen),
+                lease: (gen.below(2) == 0).then(|| random_lease(&mut gen)),
             },
             8 => RegimeMsg::FetchMirror { object, epoch },
             9 => RegimeMsg::DropMirror { object, epoch },
@@ -518,11 +526,13 @@ fn regime_messages_round_trip() {
                 epoch,
                 seq: gen.next_u64(),
                 op: gen.bytes(48),
+                stamped: (gen.below(2) == 0).then(|| (random_stamp(&mut gen), gen.bytes(16))),
             },
             _ => RegimeMsg::Unlock {
                 object,
                 epoch,
                 seq: gen.next_u64(),
+                lease: (gen.below(2) == 0).then(|| random_lease(&mut gen)),
             },
         };
         assert_roundtrip(&msg, case);
@@ -541,10 +551,15 @@ fn regime_messages_round_trip() {
             1 => RegimeReply::Blocked,
             2 => RegimeReply::Route(random_regime_table(&mut gen)),
             3 => RegimeReply::StaleRegime,
-            4 => RegimeReply::State(gen.bytes(48)),
+            4 => RegimeReply::State {
+                state: gen.bytes(48),
+                dedup: random_dedup(&mut gen),
+            },
             5 => RegimeReply::MirrorState {
                 state: gen.bytes(48),
                 seq: gen.next_u64(),
+                dedup: random_dedup(&mut gen),
+                lease: (gen.below(2) == 0).then(|| random_lease(&mut gen)),
             },
             6 => RegimeReply::Ack,
             7 => RegimeReply::MirrorReport {
@@ -553,6 +568,7 @@ fn regime_messages_round_trip() {
                 } else {
                     Some((gen.next_u64(), gen.next_u64(), gen.string(), gen.bytes(48)))
                 },
+                dedup: random_dedup(&mut gen),
             },
             8 => RegimeReply::ObjectLost,
             _ => RegimeReply::Error(gen.string()),
@@ -624,6 +640,32 @@ fn recovery_messages_round_trip() {
         let bytes = gen.bytes(32);
         let _ = RecoveryMsg::from_bytes(&bytes);
         let _ = RecoveryReply::from_bytes(&bytes);
+    }
+}
+
+fn random_stamp(gen: &mut Gen) -> orca_wire::OpStamp {
+    orca_wire::OpStamp {
+        origin: gen.next_u64() as u16,
+        seq: gen.next_u64(),
+    }
+}
+
+fn random_dedup(gen: &mut Gen) -> orca_wire::DedupWindow {
+    let mut window = orca_wire::DedupWindow::new();
+    for _ in 0..gen.below(8) {
+        let stamp = random_stamp(gen);
+        let reply = gen.bytes(16);
+        window.record(stamp, reply);
+    }
+    window
+}
+
+fn random_lease(gen: &mut Gen) -> orca_wire::LeaseGrant {
+    orca_wire::LeaseGrant {
+        object: gen.next_u64(),
+        epoch: gen.next_u64(),
+        seq: gen.next_u64(),
+        valid_ms: gen.next_u64(),
     }
 }
 

@@ -10,7 +10,10 @@ with the instruments the runtime promises to keep populated:
 * the always-on latency histograms of the invocation paths
   (`rts.invoke.sync_ns`, `rts.pipeline.queue_ns`,
   `rts.pipeline.service_ns`), each non-empty with internally consistent
-  percentile ranks (count > 0, p50 <= p90 <= p99 <= p999).
+  percentile ranks (count > 0, p50 <= p90 <= p99 <= p999);
+* the read-lease protocol counters (`rts.lease.*`): all four present,
+  with grants and zero-message local reads actually recorded by the
+  smoke workload's leased primary-copy phase.
 
 Usage: check_telemetry.py <snapshot.json>
 """
@@ -25,6 +28,17 @@ REQUIRED_HISTOGRAMS = [
 ]
 
 COUNTER_PREFIXES = ["net.", "rts.node"]
+
+# Read-lease protocol counters: the smoke workload's leased primary-copy
+# phase must grant leases and serve local reads under them; renewals and
+# revokes only need to exist (the happy-path smoke run revokes nothing).
+LEASE_COUNTERS = [
+    "rts.lease.grants",
+    "rts.lease.renewals",
+    "rts.lease.revokes",
+    "rts.lease.local_reads",
+]
+LEASE_NONZERO = ["rts.lease.grants", "rts.lease.local_reads"]
 
 
 def fail(message):
@@ -53,6 +67,13 @@ def main():
             fail(f"no counters with prefix {prefix!r} (got {sorted(counters)})")
         if all(counters[k] == 0 for k in matching):
             fail(f"all {prefix!r} counters are zero: the collectors never ran")
+
+    for name in LEASE_COUNTERS:
+        if name not in counters:
+            fail(f"lease counter {name!r} missing (got {sorted(counters)})")
+    for name in LEASE_NONZERO:
+        if counters[name] == 0:
+            fail(f"lease counter {name!r} is zero: the leased phase never ran")
 
     hists = doc["histograms"]
     for name in REQUIRED_HISTOGRAMS:

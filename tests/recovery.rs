@@ -64,7 +64,7 @@ fn eager_replication() -> ReplicationPolicy {
         fetch_ratio: 0.0,
         drop_ratio: -1.0,
         window: 1,
-        enabled: true,
+        ..ReplicationPolicy::default()
     }
 }
 
